@@ -1,0 +1,84 @@
+// Reproduces the paper's §3.3 CPU-time experiment: per-iteration cost of the
+// adaptive algorithm on the µA741, with and without the eq. (17) deflation.
+//
+// Paper (SPARC Station 10): 3.9 s per iteration without the reduction;
+// 3.9 s / 2.3 s / 0.9 s for the three iterations with it. Absolute times are
+// hardware-bound; the reproduction target is the *decline* driven by the
+// shrinking interpolation point count (the work per iteration is
+// points x LU cost). google-benchmark timings of the full run follow.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "circuits/ua741.h"
+#include "refgen/adaptive.h"
+#include "support/table.h"
+
+namespace {
+
+void print_iteration_costs() {
+  const auto ua = symref::circuits::ua741();
+  const auto spec = symref::circuits::ua741_gain_spec();
+
+  symref::refgen::AdaptiveOptions with_deflation;
+  symref::refgen::AdaptiveOptions without_deflation;
+  without_deflation.use_deflation = false;
+
+  const auto deflated = symref::refgen::generate_reference(ua, spec, with_deflation);
+  const auto plain = symref::refgen::generate_reference(ua, spec, without_deflation);
+
+  std::printf("=== §3.3: per-iteration cost, eq. (17) deflation on/off ===\n\n");
+  symref::support::TextTable table;
+  table.set_header({"iteration", "points (defl.)", "time [ms] (defl.)", "points (plain)",
+                    "time [ms] (plain)"});
+  const std::size_t rows = std::max(deflated.iterations.size(), plain.iterations.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    auto cell_points = [&](const symref::refgen::AdaptiveResult& r) {
+      return i < r.iterations.size() ? std::to_string(r.iterations[i].points)
+                                     : std::string("-");
+    };
+    auto cell_time = [&](const symref::refgen::AdaptiveResult& r) {
+      return i < r.iterations.size()
+                 ? symref::support::format_sci(r.iterations[i].seconds * 1e3, 3)
+                 : std::string("-");
+    };
+    table.add_row({std::to_string(i), cell_points(deflated), cell_time(deflated),
+                   cell_points(plain), cell_time(plain)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("totals: deflated %d evaluations in %.1f ms; plain %d evaluations in %.1f ms\n",
+              deflated.total_evaluations, deflated.seconds * 1e3, plain.total_evaluations,
+              plain.seconds * 1e3);
+  std::printf("paper:  3.9/2.3/0.9 s per productive iteration (deflated) vs 3.9 s flat\n\n");
+}
+
+void BM_Ua741ReferenceDeflated(benchmark::State& state) {
+  const auto ua = symref::circuits::ua741();
+  const auto spec = symref::circuits::ua741_gain_spec();
+  for (auto _ : state) {
+    auto result = symref::refgen::generate_reference(ua, spec);
+    benchmark::DoNotOptimize(result.total_evaluations);
+  }
+}
+BENCHMARK(BM_Ua741ReferenceDeflated)->Unit(benchmark::kMillisecond);
+
+void BM_Ua741ReferencePlain(benchmark::State& state) {
+  const auto ua = symref::circuits::ua741();
+  const auto spec = symref::circuits::ua741_gain_spec();
+  symref::refgen::AdaptiveOptions options;
+  options.use_deflation = false;
+  for (auto _ : state) {
+    auto result = symref::refgen::generate_reference(ua, spec, options);
+    benchmark::DoNotOptimize(result.total_evaluations);
+  }
+}
+BENCHMARK(BM_Ua741ReferencePlain)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_iteration_costs();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

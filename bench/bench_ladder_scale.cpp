@@ -1,0 +1,75 @@
+// Ablation A4: scalability of the reference generator with circuit size.
+//
+// RC ladders of increasing order n: the engine needs O(n) interpolation
+// points per iteration and a sparse LU per point (the ladder factors with
+// zero fill), so total work should grow roughly as n^2 with a small number
+// of iterations independent of n. google-benchmark timings per size follow
+// the summary table.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "circuits/ladder.h"
+#include "circuits/ua741.h"
+#include "mna/nodal.h"
+#include "netlist/canonical.h"
+#include "refgen/adaptive.h"
+#include "support/table.h"
+
+namespace {
+
+void print_summary() {
+  std::printf("=== Ablation A4: adaptive reference generation vs ladder size ===\n\n");
+  symref::support::TextTable table;
+  table.set_header({"n (order)", "iterations", "LU evaluations", "time [ms]", "complete"});
+  for (const int n : {4, 8, 16, 32, 64, 128}) {
+    const auto ladder = symref::circuits::rc_ladder(n);
+    const auto spec = symref::circuits::rc_ladder_spec(n);
+    const auto result = symref::refgen::generate_reference(ladder, spec);
+    table.add_row({
+        std::to_string(n),
+        std::to_string(result.iterations.size()),
+        std::to_string(result.total_evaluations),
+        symref::support::format_sci(result.seconds * 1e3, 3),
+        result.complete ? "yes" : result.termination,
+    });
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+void BM_LadderReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto ladder = symref::circuits::rc_ladder(n);
+  const auto spec = symref::circuits::rc_ladder_spec(n);
+  for (auto _ : state) {
+    auto result = symref::refgen::generate_reference(ladder, spec);
+    benchmark::DoNotOptimize(result.total_evaluations);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LadderReference)->RangeMultiplier(2)->Range(4, 128)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_Ua741SparseLuPerPoint(benchmark::State& state) {
+  // The per-interpolation-point kernel: factor + solve on the 741 matrix.
+  const auto ua = symref::circuits::ua741();
+  const auto canonical = symref::netlist::canonicalize(ua);
+  const symref::mna::NodalSystem system(canonical);
+  const symref::mna::CofactorEvaluator evaluator(system,
+                                                 symref::circuits::ua741_gain_spec());
+  const std::complex<double> s(0.30901699437494745, 0.9510565162951535);
+  for (auto _ : state) {
+    auto sample = evaluator.evaluate(s, 2.7e10, 283.0);
+    benchmark::DoNotOptimize(sample.denominator);
+  }
+}
+BENCHMARK(BM_Ua741SparseLuPerPoint)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

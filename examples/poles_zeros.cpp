@@ -1,0 +1,40 @@
+// Poles and zeros from the interpolated coefficients (library extension).
+//
+//   $ ./poles_zeros
+//
+// Once the adaptive engine has produced exact numerator/denominator
+// coefficients — even when they span hundreds of decades — their roots are
+// the circuit's zeros and poles. The Aberth-Ehrlich finder runs on a
+// variable-scaled copy, so the dynamic range costs nothing.
+#include <cstdio>
+
+#include <algorithm>
+
+#include "circuits/ua741.h"
+#include "numeric/roots.h"
+#include "refgen/adaptive.h"
+
+int main() {
+  const auto ua = symref::circuits::ua741();
+  const auto spec = symref::circuits::ua741_gain_spec();
+  const auto result = symref::refgen::generate_reference(ua, spec);
+  std::printf("reference: %s\n\n", result.termination.c_str());
+
+  const auto poles = symref::numeric::find_roots(result.reference.denominator().polynomial());
+  const auto zeros = symref::numeric::find_roots(result.reference.numerator().polynomial());
+  std::printf("%zu poles (converged=%s), %zu zeros (converged=%s)\n\n", poles.roots.size(),
+              poles.converged ? "yes" : "no", zeros.roots.size(),
+              zeros.converged ? "yes" : "no");
+
+  std::printf("dominant poles (Hz):\n");
+  const std::size_t show = std::min<std::size_t>(poles.roots.size(), 10);
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto p = poles.roots[i] / (2.0 * M_PI);
+    std::printf("  p%-2zu  %12.4g %+12.4g j   |p| = %.4g\n", i, p.real(), p.imag(),
+                std::abs(p));
+  }
+  std::printf("\nThe dominant pole (Miller compensation, ~5-10 Hz on a classic 741) and\n");
+  std::printf("the unity-gain bandwidth pole cluster are read straight off the\n");
+  std::printf("interpolated denominator — no eigenanalysis of the full MNA needed.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Command-line reference generator: the library as a tool.
+//
+//   $ ./refgen_cli my_amplifier.cir --in=vin --out=vout [--in-neg=0]
+//                  [--out-neg=0] [--transimpedance] [--sigma=6]
+//                  [--bode] [--poles] [--emit-reference]
+//
+// Reads a SPICE-subset netlist from a file, runs the adaptive scaling
+// engine, and prints the coefficients (optionally a Bode table, the poles/
+// zeros, or the machine-readable reference format of refgen/io.h).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "mna/transfer.h"
+#include "netlist/parser.h"
+#include "numeric/roots.h"
+#include "refgen/adaptive.h"
+#include "refgen/io.h"
+#include "refgen/validate.h"
+#include "support/cli.h"
+
+int main(int argc, char** argv) {
+  const symref::support::CliArgs args(argc, argv);
+  if (args.positional().empty() || !args.has("in") || !args.has("out")) {
+    std::fprintf(stderr,
+                 "usage: refgen_cli <netlist-file> --in=<node> --out=<node>\n"
+                 "       [--in-neg=<node>] [--out-neg=<node>] [--transimpedance]\n"
+                 "       [--sigma=<digits>] [--bode] [--poles] [--emit-reference]\n");
+    return 2;
+  }
+
+  std::ifstream file(args.positional().front());
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", args.positional().front().c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  symref::netlist::Circuit circuit;
+  try {
+    circuit = symref::netlist::parse_netlist(buffer.str());
+  } catch (const symref::netlist::ParseError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "%s\n", circuit.summary().c_str());
+
+  symref::mna::TransferSpec spec;
+  spec.kind = args.has("transimpedance") ? symref::mna::TransferSpec::Kind::Transimpedance
+                                         : symref::mna::TransferSpec::Kind::VoltageGain;
+  spec.in_pos = args.get("in");
+  spec.in_neg = args.get("in-neg", "0");
+  spec.out_pos = args.get("out");
+  spec.out_neg = args.get("out-neg", "0");
+
+  symref::refgen::AdaptiveOptions options;
+  options.sigma = args.get_int("sigma", 6);
+
+  symref::refgen::AdaptiveResult result;
+  try {
+    result = symref::refgen::generate_reference(circuit, spec, options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "engine: %s, %zu iterations, %d factorizations, %.1f ms\n",
+               result.termination.c_str(), result.iterations.size(),
+               result.total_evaluations, result.seconds * 1e3);
+  if (!result.complete) return 1;
+
+  if (args.has("emit-reference")) {
+    symref::refgen::write_reference(std::cout, result.reference);
+  } else {
+    std::printf("%s", result.reference.describe(8).c_str());
+  }
+
+  if (args.has("bode")) {
+    std::printf("\nfreq[Hz]  |H|[dB]  phase[deg]\n");
+    for (const auto& p : result.reference.bode(1.0, 1e9, 3)) {
+      std::printf("%9.3g  %8.3f  %9.3f\n", p.frequency_hz, p.magnitude_db, p.phase_deg);
+    }
+  }
+  if (args.has("poles")) {
+    const auto poles =
+        symref::numeric::find_roots(result.reference.denominator().polynomial());
+    std::printf("\npoles (rad/s):\n");
+    for (const auto& p : poles.roots) {
+      std::printf("  %13.5g %+13.5g j\n", p.real(), p.imag());
+    }
+    const auto zeros =
+        symref::numeric::find_roots(result.reference.numerator().polynomial());
+    std::printf("zeros (rad/s):\n");
+    for (const auto& z : zeros.roots) {
+      std::printf("  %13.5g %+13.5g j\n", z.real(), z.imag());
+    }
+  }
+  return 0;
+}

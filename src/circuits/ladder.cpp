@@ -1,0 +1,84 @@
+#include "circuits/ladder.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace symref::circuits {
+
+netlist::Circuit rc_ladder(int stages, double resistance, double capacitance) {
+  if (stages < 1) throw std::invalid_argument("rc_ladder: stages must be >= 1");
+  netlist::Circuit c;
+  c.title = "rc-ladder-" + std::to_string(stages);
+  std::string previous = "in";
+  for (int i = 1; i <= stages; ++i) {
+    const std::string node = "n" + std::to_string(i);
+    c.add_resistor("r" + std::to_string(i), previous, node, resistance);
+    c.add_capacitor("c" + std::to_string(i), node, "0", capacitance);
+    previous = node;
+  }
+  return c;
+}
+
+mna::TransferSpec rc_ladder_spec(int stages) {
+  return mna::TransferSpec::voltage_gain("in", "n" + std::to_string(stages));
+}
+
+netlist::Circuit gm_c_chain(int stages, double decades_of_spread, double base_gm,
+                            double base_c) {
+  if (stages < 1) throw std::invalid_argument("gm_c_chain: stages must be >= 1");
+  netlist::Circuit c;
+  c.title = "gm-c-chain-" + std::to_string(stages);
+  std::string previous = "in";
+  // A tiny input-termination conductance keeps the input node non-floating.
+  c.add_conductance("gin", "in", "0", base_gm / 10.0);
+  for (int i = 1; i <= stages; ++i) {
+    const std::string node = "n" + std::to_string(i);
+    // Element values sweep log-linearly across the requested spread, so
+    // consecutive coefficient ratios vary from stage to stage.
+    const double position =
+        stages > 1 ? static_cast<double>(i - 1) / static_cast<double>(stages - 1) : 0.0;
+    const double scale = std::pow(10.0, decades_of_spread * (position - 0.5));
+    c.add_vccs("gm" + std::to_string(i), node, "0", previous, "0", base_gm * scale);
+    c.add_conductance("gl" + std::to_string(i), node, "0", base_gm * scale / 20.0);
+    c.add_capacitor("c" + std::to_string(i), node, "0", base_c / scale);
+    previous = node;
+  }
+  return c;
+}
+
+mna::TransferSpec gm_c_chain_spec(int stages) {
+  return mna::TransferSpec::voltage_gain("in", "n" + std::to_string(stages));
+}
+
+netlist::Circuit random_rc(support::Rng& rng, const RandomRcOptions& options) {
+  netlist::Circuit c;
+  c.title = "random-rc";
+  auto node_name = [](int i) { return i == 0 ? std::string("0") : "n" + std::to_string(i); };
+  int element = 0;
+
+  // Resistor spanning tree over nodes 0..nodes: node i attaches to a random
+  // earlier node, so the conductance graph is connected and grounded.
+  for (int i = 1; i <= options.nodes; ++i) {
+    const int parent = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(i)));
+    c.add_resistor("rt" + std::to_string(++element), node_name(i), node_name(parent),
+                   rng.log_uniform(options.r_min, options.r_max));
+  }
+  for (int i = 0; i < options.extra_resistors; ++i) {
+    const int a = static_cast<int>(rng.uniform_index(options.nodes + 1));
+    int b = static_cast<int>(rng.uniform_index(options.nodes + 1));
+    if (a == b) b = (b + 1) % (options.nodes + 1);
+    c.add_resistor("rx" + std::to_string(++element), node_name(a), node_name(b),
+                   rng.log_uniform(options.r_min, options.r_max));
+  }
+  for (int i = 0; i < options.capacitors; ++i) {
+    const int a = static_cast<int>(rng.uniform_index(options.nodes)) + 1;  // not ground
+    int b = static_cast<int>(rng.uniform_index(options.nodes + 1));
+    if (a == b) b = 0;
+    c.add_capacitor("cx" + std::to_string(++element), node_name(a), node_name(b),
+                    rng.log_uniform(options.c_min, options.c_max));
+  }
+  return c;
+}
+
+}  // namespace symref::circuits

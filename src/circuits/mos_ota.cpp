@@ -1,0 +1,107 @@
+#include "circuits/mos_ota.h"
+
+#include "netlist/devices.h"
+
+namespace symref::circuits {
+
+using netlist::MosParams;
+
+namespace {
+
+/// Saturation-region small-signal parameters for a long-channel analog
+/// device at the given bias current, gm/Id ~ 10 and intrinsic gain ~50.
+MosParams nmos(double id) {
+  MosParams p;
+  p.gm = 10.0 * id;
+  p.gds = 0.02 * p.gm;  // gm*ro ~ 50
+  p.cgs = 20e-15 + id * 2e-9;
+  p.cgd = 5e-15;
+  p.cdb = 10e-15;
+  return p;
+}
+
+MosParams pmos(double id) {
+  MosParams p;
+  p.gm = 8.0 * id;      // lower mobility
+  p.gds = 0.04 * p.gm;  // gm*ro ~ 25
+  p.cgs = 30e-15 + id * 3e-9;
+  p.cgd = 8e-15;
+  p.cdb = 15e-15;
+  return p;
+}
+
+}  // namespace
+
+netlist::Circuit two_stage_miller_ota(const MosOtaOptions& options) {
+  netlist::Circuit c;
+  c.title = "two-stage Miller OTA";
+
+  // First stage: NMOS differential pair (tail node "tail" — the tail source
+  // is a bias element, small-signal a conductance to ground), PMOS mirror
+  // load (diode side "d1", output side "d2").
+  const double id1 = 10e-6;
+  netlist::expand_mos(c, "m1", /*d=*/"d1", /*g=*/"inp", /*s=*/"tail", nmos(id1));
+  netlist::expand_mos(c, "m2", "d2", "inn", "tail", nmos(id1));
+  netlist::expand_mos(c, "m3", "d1", "d1", "0", pmos(id1));  // diode-connected
+  netlist::expand_mos(c, "m4", "d2", "d1", "0", pmos(id1));
+  // Tail current source output conductance.
+  c.add_conductance("gtail", "tail", "0", 2e-6);
+
+  // Second stage: PMOS common source driven from "d2", NMOS current-source
+  // load m7 (gate AC-grounded: only its gds/cdb stamp).
+  const double id2 = 100e-6;
+  netlist::expand_mos(c, "m6", "vo", "d2", "0", pmos(id2));
+  netlist::expand_mos(c, "m7", "vo", "0", "0", nmos(id2));
+
+  // Miller compensation, optionally with a nulling resistor.
+  if (options.nulling_resistance > 0.0) {
+    c.add_resistor("rz", "d2", "cz", options.nulling_resistance);
+    c.add_capacitor("cc", "cz", "vo", options.compensation_capacitance);
+  } else {
+    c.add_capacitor("cc", "d2", "vo", options.compensation_capacitance);
+  }
+  c.add_capacitor("cl", "vo", "0", options.load_capacitance);
+  return c;
+}
+
+mna::TransferSpec two_stage_miller_ota_spec() {
+  return mna::TransferSpec::voltage_gain("inp", "vo", "inn", "0");
+}
+
+netlist::Circuit folded_cascode_ota(double load_capacitance) {
+  netlist::Circuit c;
+  c.title = "folded-cascode OTA";
+
+  const double id = 20e-6;
+  // Input pair folding into nodes "fp"/"fn".
+  netlist::expand_mos(c, "m1", "fp", "inp", "tail", nmos(id));
+  netlist::expand_mos(c, "m2", "fn", "inn", "tail", nmos(id));
+  c.add_conductance("gtail", "tail", "0", 2e-6);
+
+  // Folding current sources (NMOS, gates AC-grounded: only gds/cdb stamp).
+  netlist::expand_mos(c, "m3", "fp", "0", "0", nmos(2 * id));
+  netlist::expand_mos(c, "m4", "fn", "0", "0", nmos(2 * id));
+
+  // NMOS cascodes from the folding nodes to the mirror-diode node ("cp")
+  // and the output ("vo"); cascode gates are AC ground.
+  netlist::expand_mos(c, "m5", "cp", "0", "fp", nmos(id));
+  netlist::expand_mos(c, "m6", "vo", "0", "fn", nmos(id));
+
+  // Cascoded PMOS current-mirror load: bottom devices m7/m8 (gates on the
+  // diode node "cp"), cascodes m9/m10 (gates AC ground) — without the
+  // p-side cascode the output resistance, and thus the gain, collapses to
+  // a single ro.
+  netlist::expand_mos(c, "m7", "mp", "cp", "0", pmos(id));
+  netlist::expand_mos(c, "m8", "mn", "cp", "0", pmos(id));
+  netlist::expand_mos(c, "m9", "cp", "0", "mp", pmos(id));
+  netlist::expand_mos(c, "m10", "vo", "0", "mn", pmos(id));
+
+  c.add_capacitor("cl", "vo", "0", load_capacitance);
+  return c;
+}
+
+mna::TransferSpec folded_cascode_ota_spec() {
+  return mna::TransferSpec::voltage_gain("inp", "vo", "inn", "0");
+}
+
+}  // namespace symref::circuits

@@ -1,0 +1,33 @@
+// MOS operational transconductance amplifiers — CMOS-flavoured benchmark
+// circuits (the paper's techniques target exactly this class; the OTA of
+// Fig. 1 is a CMOS block). Both builders expand saturation-region MOS
+// small-signal models (netlist/devices.h).
+#pragma once
+
+#include "mna/transfer.h"
+#include "netlist/circuit.h"
+
+namespace symref::circuits {
+
+struct MosOtaOptions {
+  double load_capacitance = 2e-12;
+  double compensation_capacitance = 1e-12;
+  /// Nulling resistor in series with the Miller capacitor (0 = none).
+  double nulling_resistance = 0.0;
+};
+
+/// Two-stage Miller-compensated OTA: differential pair + current-mirror
+/// load, common-source second stage, Miller cap (optionally with a nulling
+/// resistor) to the output. Inputs "inp"/"inn", output "vo".
+netlist::Circuit two_stage_miller_ota(const MosOtaOptions& options = {});
+
+mna::TransferSpec two_stage_miller_ota_spec();
+
+/// Folded-cascode OTA: differential pair folded into cascoded branches with
+/// a cascode current-mirror load. Single high-impedance output node, one
+/// dominant pole at the output. Inputs "inp"/"inn", output "vo".
+netlist::Circuit folded_cascode_ota(double load_capacitance = 2e-12);
+
+mna::TransferSpec folded_cascode_ota_spec();
+
+}  // namespace symref::circuits

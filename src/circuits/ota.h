@@ -1,0 +1,30 @@
+// Positive-feedback OTA (paper Fig. 1).
+//
+// The paper's Table 1 example: a two-Gm OTA whose differential voltage gain
+// has a topological order estimate of 9 (capacitor count) while the true
+// order is much lower — exactly the situation where unit-circle
+// interpolation without scaling (Table 1a) produces round-off garbage.
+//
+// The authors' device-level netlist is not published; this is a small-signal
+// macromodel with the same structure: differential Gm input stage, positive
+// feedback (negative conductance) at the internal node, Gm output stage, and
+// nine parasitic/load capacitors with typical integrated-circuit values
+// (1 fF .. 2 pF against conductances of 1 uS .. 200 uS), giving consecutive
+// coefficient ratios of 1e6-1e12 as in §2.2.
+#pragma once
+
+#include "mna/transfer.h"
+#include "netlist/circuit.h"
+
+namespace symref::circuits {
+
+/// Build the positive-feedback OTA. Input nodes "inp"/"inn", output "vo".
+netlist::Circuit ota_fig1();
+
+/// Differential voltage gain spec used by Table 1: (vo - 0) / (inp - inn).
+mna::TransferSpec ota_fig1_gain_spec();
+
+/// The paper's "upper estimate on the polynomial order" for this circuit.
+inline constexpr int kOtaFig1OrderEstimate = 9;
+
+}  // namespace symref::circuits

@@ -1,0 +1,104 @@
+#include "circuits/ua741.h"
+
+#include "netlist/devices.h"
+
+namespace symref::circuits {
+
+using netlist::BjtParams;
+
+namespace {
+
+/// Vertical NPN, classic 6-GHz-class small-signal parameters scaled to the
+/// 741's conservative process (fT a few hundred MHz).
+BjtParams npn(double ic, const Ua741Options& options) {
+  BjtParams p = BjtParams::from_bias(ic, /*beta=*/200.0, /*early=*/130.0,
+                                     /*tau_f=*/0.35e-9, /*cje=*/1.0e-12,
+                                     /*cmu=*/0.5e-12,
+                                     /*ccs=*/options.substrate_caps ? 2.0e-12 : 0.0,
+                                     /*rb=*/options.base_resistance ? 200.0 : 0.0);
+  return p;
+}
+
+/// Lateral PNP: low beta, low Early voltage, slow (tau_f tens of ns).
+BjtParams pnp(double ic, const Ua741Options& options) {
+  BjtParams p = BjtParams::from_bias(ic, /*beta=*/50.0, /*early=*/50.0,
+                                     /*tau_f=*/30e-9, /*cje=*/0.3e-12,
+                                     /*cmu=*/1.0e-12,
+                                     /*ccs=*/options.substrate_caps ? 3.0e-12 : 0.0,
+                                     /*rb=*/options.base_resistance ? 300.0 : 0.0);
+  return p;
+}
+
+}  // namespace
+
+netlist::Circuit ua741(const Ua741Options& options) {
+  netlist::Circuit c;
+  c.title = "uA741 small-signal";
+
+  // AC ground: both supply rails collapse to node "0".
+
+  // --- Input stage -----------------------------------------------------
+  // Q1/Q2: NPN emitter followers from the inputs; collectors feed the Q8
+  // mirror input. Q3/Q4: lateral PNP common-base; bases biased by the
+  // Q9/Q10 loop, collectors into the Q5/Q6/Q7 mirror.
+  netlist::expand_bjt(c, "q1", /*c=*/"c8", /*b=*/"inp", /*e=*/"e1", npn(9.5e-6, options));
+  netlist::expand_bjt(c, "q2", "c8", "inn", "e2", npn(9.5e-6, options));
+  netlist::expand_bjt(c, "q3", "col3", "b34", "e1", pnp(9.5e-6, options));
+  netlist::expand_bjt(c, "q4", "o1", "b34", "e2", pnp(9.5e-6, options));
+
+  // Q5/Q6 mirror with emitter degeneration, Q7 beta-helper.
+  netlist::expand_bjt(c, "q5", "col3", "bm", "em5", npn(9.5e-6, options));
+  netlist::expand_bjt(c, "q6", "o1", "bm", "em6", npn(9.5e-6, options));
+  netlist::expand_bjt(c, "q7", "0", "col3", "bm", npn(10e-6, options));
+  c.add_resistor("r1", "em5", "0", 1e3);
+  c.add_resistor("r2", "em6", "0", 1e3);
+  c.add_resistor("r3", "bm", "0", 50e3);
+
+  // --- Bias network ------------------------------------------------------
+  // Q8 diode-connected PNP at the input-pair collectors, mirrored by Q9
+  // onto the Q3/Q4 base line, which the Widlar source Q10 pulls down.
+  netlist::expand_bjt(c, "q8", "c8", "c8", "0", pnp(19e-6, options));
+  netlist::expand_bjt(c, "q9", "b34", "c8", "0", pnp(19e-6, options));
+  netlist::expand_bjt(c, "q10", "b34", "b11", "er10", npn(19e-6, options));
+  c.add_resistor("r4", "er10", "0", 5e3);
+  netlist::expand_bjt(c, "q11", "b11", "b11", "0", npn(730e-6, options));
+  c.add_resistor("r5", "b11", "bias", 39e3);
+  netlist::expand_bjt(c, "q12", "bias", "bias", "0", pnp(730e-6, options));
+  // Q13 dual-collector PNP, modeled as two devices: Q13a biases the output
+  // stage, Q13b is the second stage's active load.
+  netlist::expand_bjt(c, "q13a", "b14", "bias", "0", pnp(180e-6, options));
+  netlist::expand_bjt(c, "q13b", "o2", "bias", "0", pnp(550e-6, options));
+
+  // --- Second stage -------------------------------------------------------
+  // Q16 emitter follower into Q17 common-emitter; the 30 pF Miller
+  // capacitor closes the loop from Q17's collector back to Q16's base.
+  netlist::expand_bjt(c, "q16", "0", "o1", "e16", npn(16e-6, options));
+  c.add_resistor("r9", "e16", "0", 50e3);
+  netlist::expand_bjt(c, "q17", "o2", "e16", "em17", npn(550e-6, options));
+  c.add_resistor("r8", "em17", "0", 100.0);
+  c.add_capacitor("cc", "o1", "o2", 30e-12);
+
+  // --- Class-AB output stage ----------------------------------------------
+  // VBE multiplier Q18 between the output bases, push-pull Q14 (NPN) /
+  // Q20 (PNP) with short-circuit-sense resistors R6/R7.
+  netlist::expand_bjt(c, "q18", "b14", "n18", "o2", npn(165e-6, options));
+  c.add_resistor("rm1", "b14", "n18", 4.5e3);
+  c.add_resistor("rm2", "n18", "o2", 7.5e3);
+  netlist::expand_bjt(c, "q14", "0", "b14", "e14", npn(180e-6, options));
+  c.add_resistor("r6", "e14", "vo", 27.0);
+  netlist::expand_bjt(c, "q20", "0", "o2", "e20", pnp(180e-6, options));
+  c.add_resistor("r7", "e20", "vo", 22.0);
+
+  // Load.
+  c.add_resistor("rl", "vo", "0", options.load_resistance);
+  if (options.load_capacitance > 0.0) {
+    c.add_capacitor("cl", "vo", "0", options.load_capacitance);
+  }
+  return c;
+}
+
+mna::TransferSpec ua741_gain_spec() {
+  return mna::TransferSpec::voltage_gain("inp", "vo", "inn", "0");
+}
+
+}  // namespace symref::circuits

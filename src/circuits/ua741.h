@@ -1,0 +1,37 @@
+// Small-signal µA741 operational amplifier (paper §3.2 example).
+//
+// The paper demonstrates the adaptive algorithm on the µA741's open-loop
+// voltage gain, whose denominator has ~49 coefficients spanning from 1e-90
+// down to 1e-522 — far beyond what any single scaling can expose. The
+// authors' netlist and bias data are not published, so this is the classic
+// Fairchild schematic (input stage Q1-Q9, Widlar bias Q10-Q13, second stage
+// Q16/Q17, class-AB output Q14/Q18/Q20 with the 30 pF Miller capacitor)
+// expanded transistor-by-transistor into hybrid-pi small-signal models with
+// textbook operating-point currents. Every transistor gets a base-spreading
+// resistance (private internal node) and a collector-substrate capacitance,
+// which reproduces the paper's situation: a ~40-node admittance matrix,
+// ~60 capacitors, consecutive coefficients 1e6-1e9 apart.
+#pragma once
+
+#include "mna/transfer.h"
+#include "netlist/circuit.h"
+
+namespace symref::circuits {
+
+struct Ua741Options {
+  /// Model base spreading resistances (adds one node per transistor).
+  bool base_resistance = true;
+  /// Model collector-substrate junction capacitances.
+  bool substrate_caps = true;
+  /// Output load.
+  double load_resistance = 2e3;
+  double load_capacitance = 100e-12;
+};
+
+/// Build the µA741 small-signal equivalent. Inputs "inp"/"inn", output "vo".
+netlist::Circuit ua741(const Ua741Options& options = {});
+
+/// Open-loop differential voltage gain: (vo - 0) / (inp - inn).
+mna::TransferSpec ua741_gain_spec();
+
+}  // namespace symref::circuits

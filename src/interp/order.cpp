@@ -1,0 +1,72 @@
+#include "interp/order.h"
+
+#include <numeric>
+#include <vector>
+
+namespace symref::interp {
+
+namespace {
+
+/// Union-find over circuit nodes.
+class DisjointSet {
+ public:
+  explicit DisjointSet(int count) : parent_(static_cast<std::size_t>(count)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  /// Returns true when the edge joined two components (tree edge).
+  bool unite(int a, int b) {
+    const int ra = find(a);
+    const int rb = find(b);
+    if (ra == rb) return false;
+    parent_[static_cast<std::size_t>(ra)] = rb;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+int capacitor_element_bound(const netlist::Circuit& circuit) {
+  int count = 0;
+  for (const auto& e : circuit.elements()) {
+    if (e.kind == netlist::ElementKind::Capacitor && e.node_pos != e.node_neg) ++count;
+  }
+  return count;
+}
+
+int capacitor_rank_bound(const netlist::Circuit& circuit) {
+  DisjointSet components(circuit.node_count());
+  int rank = 0;
+  for (const auto& e : circuit.elements()) {
+    if (e.kind != netlist::ElementKind::Capacitor || e.node_pos == e.node_neg) continue;
+    if (components.unite(e.node_pos, e.node_neg)) ++rank;
+  }
+  return rank;
+}
+
+int denominator_order_bound(const netlist::Circuit& canonical_circuit) {
+  // Active non-ground node count bounds the matrix dimension.
+  std::vector<bool> active(static_cast<std::size_t>(canonical_circuit.node_count()), false);
+  for (const auto& e : canonical_circuit.elements()) {
+    active[static_cast<std::size_t>(e.node_pos)] = true;
+    active[static_cast<std::size_t>(e.node_neg)] = true;
+  }
+  int dim = 0;
+  for (int n = 1; n < canonical_circuit.node_count(); ++n) {
+    if (active[static_cast<std::size_t>(n)]) ++dim;
+  }
+  const int rank = capacitor_rank_bound(canonical_circuit);
+  return rank < dim ? rank : dim;
+}
+
+}  // namespace symref::interp

@@ -1,0 +1,29 @@
+// Topological upper bounds on the network-function polynomial order.
+//
+// The interpolation needs K >= n+1 points, but "in most cases ... the
+// polynomial order is not known beforehand. Hence, an upper estimate on K
+// must be done" (paper §2.1). Two bounds are provided:
+//
+//  * element bound — each capacitor is a rank-1 update of Y(s), so the
+//    determinant degree is at most the number of capacitors;
+//  * rank bound — the sC part of Y has rank equal to the rank of the
+//    capacitor incidence structure, i.e. sum over connected components of
+//    the capacitor subgraph (ground included as a vertex) of
+//    (vertices - 1). Capacitor loops reduce this below the element count
+//    (a loop of k capacitors contributes only k-1 to the degree).
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace symref::interp {
+
+/// Number of capacitor elements with distinct terminals.
+int capacitor_element_bound(const netlist::Circuit& circuit);
+
+/// Rank of the capacitor subgraph (tighter; accounts for capacitor loops).
+int capacitor_rank_bound(const netlist::Circuit& circuit);
+
+/// min(rank bound, matrix dimension): the order bound used by the engine.
+int denominator_order_bound(const netlist::Circuit& canonical_circuit);
+
+}  // namespace symref::interp

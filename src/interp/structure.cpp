@@ -1,0 +1,174 @@
+#include "interp/structure.h"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "netlist/canonical.h"
+
+namespace symref::interp {
+
+namespace {
+
+constexpr double kInfeasible = 1e18;
+
+/// Hungarian algorithm (Jonker-Volgenant potentials form), minimizing the
+/// total cost of a perfect matching on a dense n x n cost matrix.
+/// Returns the optimal cost, or >= kInfeasible/2 when only matchings through
+/// forbidden entries exist.
+double solve_assignment(const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  if (n == 0) return 0.0;
+  // 1-based potentials implementation (classic competitive-programming form,
+  // O(n^3)).
+  std::vector<double> u(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<std::size_t>(n) + 1, 0.0);
+  std::vector<int> match(static_cast<std::size_t>(n) + 1, 0);  // column -> row
+  std::vector<int> way(static_cast<std::size_t>(n) + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    match[0] = i;
+    int j0 = 0;
+    std::vector<double> min_v(static_cast<std::size_t>(n) + 1,
+                              std::numeric_limits<double>::infinity());
+    std::vector<bool> used(static_cast<std::size_t>(n) + 1, false);
+    do {
+      used[static_cast<std::size_t>(j0)] = true;
+      const int i0 = match[static_cast<std::size_t>(j0)];
+      double delta = std::numeric_limits<double>::infinity();
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const double current =
+            cost[static_cast<std::size_t>(i0 - 1)][static_cast<std::size_t>(j - 1)] -
+            u[static_cast<std::size_t>(i0)] - v[static_cast<std::size_t>(j)];
+        if (current < min_v[static_cast<std::size_t>(j)]) {
+          min_v[static_cast<std::size_t>(j)] = current;
+          way[static_cast<std::size_t>(j)] = j0;
+        }
+        if (min_v[static_cast<std::size_t>(j)] < delta) {
+          delta = min_v[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(match[static_cast<std::size_t>(j)])] += delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          min_v[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[static_cast<std::size_t>(j0)] != 0);
+    // Augment along the alternating path.
+    do {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      match[static_cast<std::size_t>(j0)] = match[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  double total = 0.0;
+  for (int j = 1; j <= n; ++j) {
+    total += cost[static_cast<std::size_t>(match[static_cast<std::size_t>(j)] - 1)]
+                 [static_cast<std::size_t>(j - 1)];
+  }
+  return total;
+}
+
+enum EntryKind : unsigned { kEmpty = 0, kHasCond = 1, kHasCap = 2 };
+
+}  // namespace
+
+StructuralDegrees structural_determinant_degrees(const netlist::Circuit& circuit) {
+  if (!netlist::is_canonical(circuit)) {
+    throw std::invalid_argument(
+        "structural_determinant_degrees: circuit is not canonical");
+  }
+
+  // Active-node row map, mirroring mna::NodalSystem.
+  std::vector<bool> active(static_cast<std::size_t>(circuit.node_count()), false);
+  for (const auto& e : circuit.elements()) {
+    active[static_cast<std::size_t>(e.node_pos)] = true;
+    active[static_cast<std::size_t>(e.node_neg)] = true;
+    if (e.ctrl_pos >= 0) active[static_cast<std::size_t>(e.ctrl_pos)] = true;
+    if (e.ctrl_neg >= 0) active[static_cast<std::size_t>(e.ctrl_neg)] = true;
+  }
+  std::vector<int> row_of(static_cast<std::size_t>(circuit.node_count()), -1);
+  int n = 0;
+  for (int node = 1; node < circuit.node_count(); ++node) {
+    if (active[static_cast<std::size_t>(node)]) row_of[static_cast<std::size_t>(node)] = n++;
+  }
+
+  std::vector<unsigned> pattern(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                                kEmpty);
+  auto mark = [&](int r, int c, unsigned kind) {
+    if (r < 0 || c < 0) return;
+    pattern[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+            static_cast<std::size_t>(c)] |= kind;
+  };
+  for (const auto& e : circuit.elements()) {
+    const int ra = row_of[static_cast<std::size_t>(e.node_pos)];
+    const int rb = row_of[static_cast<std::size_t>(e.node_neg)];
+    switch (e.kind) {
+      case netlist::ElementKind::Conductance:
+      case netlist::ElementKind::Capacitor: {
+        const unsigned kind =
+            e.kind == netlist::ElementKind::Capacitor ? kHasCap : kHasCond;
+        mark(ra, ra, kind);
+        mark(rb, rb, kind);
+        mark(ra, rb, kind);
+        mark(rb, ra, kind);
+        break;
+      }
+      case netlist::ElementKind::Vccs: {
+        const int rc = row_of[static_cast<std::size_t>(e.ctrl_pos)];
+        const int rd = row_of[static_cast<std::size_t>(e.ctrl_neg)];
+        mark(ra, rc, kHasCond);
+        mark(ra, rd, kHasCond);
+        mark(rb, rc, kHasCond);
+        mark(rb, rd, kHasCond);
+        break;
+      }
+      default:
+        break;  // unreachable (canonical)
+    }
+  }
+
+  StructuralDegrees degrees;
+  if (n == 0) return degrees;
+
+  // max_degree: maximize cap usage -> minimize (1 - has_cap).
+  std::vector<std::vector<double>> cost_max(
+      static_cast<std::size_t>(n), std::vector<double>(static_cast<std::size_t>(n)));
+  // min_degree: minimize forced caps (cap-only entries cost 1).
+  std::vector<std::vector<double>> cost_min = cost_max;
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const unsigned kind = pattern[static_cast<std::size_t>(r) * static_cast<std::size_t>(n) +
+                                    static_cast<std::size_t>(c)];
+      if (kind == kEmpty) {
+        cost_max[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = kInfeasible;
+        cost_min[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = kInfeasible;
+      } else {
+        cost_max[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+            (kind & kHasCap) ? 0.0 : 1.0;
+        cost_min[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+            (kind & kHasCond) ? 0.0 : 1.0;
+      }
+    }
+  }
+
+  const double max_cost = solve_assignment(cost_max);
+  if (max_cost >= kInfeasible / 2) {
+    degrees.singular = true;
+    return degrees;
+  }
+  degrees.max_degree = n - static_cast<int>(max_cost + 0.5);
+  const double min_cost = solve_assignment(cost_min);
+  degrees.min_degree = static_cast<int>(min_cost + 0.5);
+  return degrees;
+}
+
+}  // namespace symref::interp

@@ -1,0 +1,45 @@
+// Structural (generic) s-degree bounds of the nodal determinant via
+// bipartite assignment.
+//
+// A determinant term picks one entry per row/column; its power of s equals
+// the number of capacitor entries used. The achievable powers therefore form
+// the interval [min_degree, max_degree], where
+//
+//   max_degree = max over perfect matchings of #(entries with a cap atom)
+//   min_degree = min over perfect matchings of #(cap-only entries)
+//
+// (matchings over the nonzero pattern; the achievable set is an interval by
+// the matching exchange property). Outside this interval the coefficient is
+// ZERO for every choice of element values — a certificate, unlike the
+// engine's probe-based zero-tail detection.
+//
+// Inside the interval the bounds are *entry-generic*: they treat matrix
+// entries as independent, but one element stamps the same symbol into four
+// positions, and those repetitions can cancel identically. Example: an RC
+// ladder driven at a node with no conductive path to ground has det(G) == 0
+// for every value choice (the all-ones vector is always in G's null space),
+// yet all-conductance matchings exist — so min_degree = 0 while the true
+// lowest nonzero power is 1. Likewise a pure capacitor loop caps the true
+// top degree below max_degree; combine with capacitor_rank_bound() for the
+// tighter top-side estimate.
+//
+// Both bounds solve an n x n assignment problem (Hungarian algorithm,
+// O(n^3)) on the canonical circuit's stamp pattern.
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace symref::interp {
+
+struct StructuralDegrees {
+  /// No perfect matching exists: det(Y) is identically zero.
+  bool singular = false;
+  int min_degree = 0;
+  int max_degree = 0;
+};
+
+/// Degree bounds of det(Y) for a canonical circuit ({G, C, VCCS}).
+/// Throws std::invalid_argument for non-canonical circuits.
+StructuralDegrees structural_determinant_degrees(const netlist::Circuit& circuit);
+
+}  // namespace symref::interp

@@ -1,0 +1,115 @@
+#include "mna/ac.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mna/assembler.h"
+#include "sparse/lu.h"
+
+namespace symref::mna {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+double magnitude_db(std::complex<double> value) noexcept {
+  const double magnitude = std::abs(value);
+  if (magnitude <= 0.0) return -400.0;
+  return std::max(-400.0, 20.0 * std::log10(magnitude));
+}
+
+double phase_deg(std::complex<double> value) noexcept {
+  return std::arg(value) * 180.0 / M_PI;
+}
+
+AcSimulator::AcSimulator(const netlist::Circuit& circuit) : circuit_(circuit) {}
+
+std::complex<double> AcSimulator::transfer_s(const TransferSpec& spec,
+                                             std::complex<double> s) const {
+  // Work on a copy with the drive attached. Existing independent V sources
+  // stay as 0 V constraints (their magnitudes live only in the excitation,
+  // which we rebuild below), existing I sources are simply not excited —
+  // i.e. standard superposition with only the drive active.
+  netlist::Circuit work = circuit_;
+  const bool voltage_drive = spec.kind == TransferSpec::Kind::VoltageGain;
+  if (voltage_drive) {
+    work.add_vsource("__drive", spec.in_pos, spec.in_neg, 1.0);
+  } else {
+    work.add_isource("__drive", spec.in_pos, spec.in_neg, 1.0);
+  }
+
+  const MnaAssembler assembler(work);
+  std::vector<std::complex<double>> rhs(static_cast<std::size_t>(assembler.dim()));
+  if (voltage_drive) {
+    const auto branch = assembler.branch_index("__drive");
+    rhs[static_cast<std::size_t>(*branch)] = 1.0;
+  } else {
+    // Transimpedance convention: 1 A injected INTO in+ and drawn from in-
+    // (matches CofactorEvaluator, so signs agree across both paths).
+    const auto rp = assembler.node_index(spec.in_pos);
+    const auto rn = assembler.node_index(spec.in_neg);
+    if (rp) rhs[static_cast<std::size_t>(*rp)] += 1.0;
+    if (rn) rhs[static_cast<std::size_t>(*rn)] -= 1.0;
+  }
+
+  sparse::SparseLu lu;
+  if (!lu.factor(assembler.matrix(s))) {
+    throw std::runtime_error("AcSimulator: singular MNA system");
+  }
+  lu.solve(rhs);
+
+  auto voltage = [&](const std::string& name) -> std::complex<double> {
+    if (work.find_node(name) == std::nullopt) {
+      throw std::runtime_error("AcSimulator: unknown node '" + name + "'");
+    }
+    const auto row = assembler.node_index(name);
+    return row ? rhs[static_cast<std::size_t>(*row)] : std::complex<double>(0.0, 0.0);
+  };
+  return voltage(spec.out_pos) - voltage(spec.out_neg);
+}
+
+std::complex<double> AcSimulator::transfer(const TransferSpec& spec, double frequency_hz) const {
+  return transfer_s(spec, std::complex<double>(0.0, kTwoPi * frequency_hz));
+}
+
+std::vector<double> log_frequency_grid(double f_start_hz, double f_stop_hz,
+                                       int points_per_decade) {
+  if (f_start_hz <= 0.0 || f_stop_hz <= f_start_hz || points_per_decade < 1) {
+    throw std::invalid_argument("log_frequency_grid: bad range");
+  }
+  const double decades = std::log10(f_stop_hz / f_start_hz);
+  const int count = std::max(2, static_cast<int>(std::ceil(decades * points_per_decade)) + 1);
+  std::vector<double> grid(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    grid[static_cast<std::size_t>(i)] =
+        f_start_hz * std::pow(10.0, decades * i / (count - 1));
+  }
+  return grid;
+}
+
+std::vector<BodePoint> AcSimulator::bode(const TransferSpec& spec, double f_start_hz,
+                                         double f_stop_hz, int points_per_decade) const {
+  const std::vector<double> grid = log_frequency_grid(f_start_hz, f_stop_hz, points_per_decade);
+  std::vector<BodePoint> points;
+  points.reserve(grid.size());
+  double previous_phase = 0.0;
+  bool first = true;
+  for (const double f : grid) {
+    BodePoint p;
+    p.frequency_hz = f;
+    p.value = transfer(spec, f);
+    p.magnitude_db = magnitude_db(p.value);
+    double phase = phase_deg(p.value);
+    if (!first) {
+      while (phase - previous_phase > 180.0) phase -= 360.0;
+      while (phase - previous_phase < -180.0) phase += 360.0;
+    }
+    p.phase_deg = phase;
+    previous_phase = phase;
+    first = false;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace symref::mna

@@ -1,0 +1,59 @@
+// AC small-signal simulator: one complex MNA solve per frequency point.
+//
+// This is the repo's stand-in for the "commercial electrical simulator" the
+// paper compares against in Fig. 2 — a SPICE AC analysis is exactly this
+// computation. It is also the SBG pass's error oracle.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "mna/transfer.h"
+#include "netlist/circuit.h"
+
+namespace symref::mna {
+
+struct BodePoint {
+  double frequency_hz = 0.0;
+  std::complex<double> value;
+  double magnitude_db = 0.0;
+  /// Unwrapped across the sweep (no +/-360 jumps between adjacent points).
+  double phase_deg = 0.0;
+};
+
+/// 20*log10|value|; -inf dB saturates at -400.
+double magnitude_db(std::complex<double> value) noexcept;
+
+/// Principal phase in degrees, (-180, 180].
+double phase_deg(std::complex<double> value) noexcept;
+
+class AcSimulator {
+ public:
+  /// The circuit must outlive the simulator.
+  explicit AcSimulator(const netlist::Circuit& circuit);
+
+  /// Complex transfer value at a frequency. A VoltageGain spec drives the
+  /// input pair with an ideal 1 V source; Transimpedance injects 1 A.
+  /// Throws std::runtime_error when the MNA system is singular or the spec
+  /// names unknown nodes.
+  [[nodiscard]] std::complex<double> transfer(const TransferSpec& spec, double frequency_hz) const;
+
+  /// Transfer at a complex frequency s (rad/s), for cross-checks against
+  /// interpolated polynomials at arbitrary points.
+  [[nodiscard]] std::complex<double> transfer_s(const TransferSpec& spec,
+                                                std::complex<double> s) const;
+
+  /// Sweep with log-spaced points; magnitude_db and unwrapped phase_deg are
+  /// filled in.
+  [[nodiscard]] std::vector<BodePoint> bode(const TransferSpec& spec, double f_start_hz,
+                                            double f_stop_hz, int points_per_decade = 10) const;
+
+ private:
+  const netlist::Circuit& circuit_;
+};
+
+/// Log-spaced frequency grid [f_start, f_stop], >= 2 points.
+std::vector<double> log_frequency_grid(double f_start_hz, double f_stop_hz,
+                                       int points_per_decade);
+
+}  // namespace symref::mna

@@ -1,0 +1,177 @@
+#include "mna/assembler.h"
+
+#include <stdexcept>
+
+namespace symref::mna {
+
+using netlist::Element;
+using netlist::ElementKind;
+
+MnaAssembler::MnaAssembler(const netlist::Circuit& circuit) : circuit_(circuit) {
+  // Active nodes: touched by at least one element (ground excluded).
+  std::vector<bool> active(static_cast<std::size_t>(circuit.node_count()), false);
+  for (const Element& e : circuit.elements()) {
+    active[static_cast<std::size_t>(e.node_pos)] = true;
+    active[static_cast<std::size_t>(e.node_neg)] = true;
+    if (e.ctrl_pos >= 0) active[static_cast<std::size_t>(e.ctrl_pos)] = true;
+    if (e.ctrl_neg >= 0) active[static_cast<std::size_t>(e.ctrl_neg)] = true;
+  }
+  node_to_row_.assign(static_cast<std::size_t>(circuit.node_count()), -1);
+  int next = 0;
+  for (int n = 1; n < circuit.node_count(); ++n) {
+    if (active[static_cast<std::size_t>(n)]) node_to_row_[static_cast<std::size_t>(n)] = next++;
+  }
+  for (const Element& e : circuit.elements()) {
+    if (e.needs_branch_current()) {
+      branch_rows_.emplace_back(e.name, next++);
+    }
+  }
+  dim_ = next;
+}
+
+std::optional<int> MnaAssembler::node_index(int node) const {
+  if (node < 0 || node >= static_cast<int>(node_to_row_.size())) return std::nullopt;
+  const int row = node_to_row_[static_cast<std::size_t>(node)];
+  return row < 0 ? std::nullopt : std::optional<int>(row);
+}
+
+std::optional<int> MnaAssembler::node_index(std::string_view name) const {
+  const auto node = circuit_.find_node(name);
+  if (!node) return std::nullopt;
+  return node_index(*node);
+}
+
+std::optional<int> MnaAssembler::branch_index(std::string_view element_name) const {
+  for (const auto& [name, row] : branch_rows_) {
+    if (name == element_name) return row;
+  }
+  return std::nullopt;
+}
+
+sparse::TripletMatrix MnaAssembler::matrix(std::complex<double> s) const {
+  sparse::TripletMatrix mat(dim_);
+  auto row_of = [&](int node) { return node_to_row_[static_cast<std::size_t>(node)]; };
+  auto add = [&](int r, int c, std::complex<double> v) {
+    if (r >= 0 && c >= 0) mat.add(r, c, v);
+  };
+  // Two-terminal admittance stamp.
+  auto stamp_admittance = [&](int a, int b, std::complex<double> y) {
+    const int ra = row_of(a);
+    const int rb = row_of(b);
+    add(ra, ra, y);
+    add(rb, rb, y);
+    add(ra, rb, -y);
+    add(rb, ra, -y);
+  };
+  // VCCS: i(a->b) = gm * v(c, d); SPICE sign convention.
+  auto stamp_vccs = [&](int a, int b, int c, int d, std::complex<double> gm) {
+    const int ra = row_of(a);
+    const int rb = row_of(b);
+    const int rc = row_of(c);
+    const int rd = row_of(d);
+    add(ra, rc, gm);
+    add(ra, rd, -gm);
+    add(rb, rc, -gm);
+    add(rb, rd, gm);
+  };
+
+  for (const Element& e : circuit_.elements()) {
+    switch (e.kind) {
+      case ElementKind::Resistor:
+        stamp_admittance(e.node_pos, e.node_neg, 1.0 / e.value);
+        break;
+      case ElementKind::Conductance:
+        stamp_admittance(e.node_pos, e.node_neg, e.value);
+        break;
+      case ElementKind::Capacitor:
+        stamp_admittance(e.node_pos, e.node_neg, s * e.value);
+        break;
+      case ElementKind::Vccs:
+        stamp_vccs(e.node_pos, e.node_neg, e.ctrl_pos, e.ctrl_neg, e.value);
+        break;
+      case ElementKind::CurrentSource:
+        break;  // excitation only
+      case ElementKind::VoltageSource: {
+        const int k = *branch_index(e.name);
+        add(row_of(e.node_pos), k, 1.0);
+        add(row_of(e.node_neg), k, -1.0);
+        add(k, row_of(e.node_pos), 1.0);
+        add(k, row_of(e.node_neg), -1.0);
+        break;
+      }
+      case ElementKind::Inductor: {
+        const int k = *branch_index(e.name);
+        add(row_of(e.node_pos), k, 1.0);
+        add(row_of(e.node_neg), k, -1.0);
+        add(k, row_of(e.node_pos), 1.0);
+        add(k, row_of(e.node_neg), -1.0);
+        add(k, k, -s * e.value);
+        break;
+      }
+      case ElementKind::Vcvs: {
+        const int k = *branch_index(e.name);
+        add(row_of(e.node_pos), k, 1.0);
+        add(row_of(e.node_neg), k, -1.0);
+        add(k, row_of(e.node_pos), 1.0);
+        add(k, row_of(e.node_neg), -1.0);
+        add(k, row_of(e.ctrl_pos), -e.value);
+        add(k, row_of(e.ctrl_neg), e.value);
+        break;
+      }
+      case ElementKind::Cccs: {
+        const auto kc = branch_index(e.ctrl_branch);
+        if (!kc) {
+          throw std::invalid_argument("CCCS '" + e.name + "': controlling element '" +
+                                      e.ctrl_branch + "' has no branch current");
+        }
+        add(row_of(e.node_pos), *kc, e.value);
+        add(row_of(e.node_neg), *kc, -e.value);
+        break;
+      }
+      case ElementKind::Ccvs: {
+        const auto kc = branch_index(e.ctrl_branch);
+        if (!kc) {
+          throw std::invalid_argument("CCVS '" + e.name + "': controlling element '" +
+                                      e.ctrl_branch + "' has no branch current");
+        }
+        const int k = *branch_index(e.name);
+        add(row_of(e.node_pos), k, 1.0);
+        add(row_of(e.node_neg), k, -1.0);
+        add(k, row_of(e.node_pos), 1.0);
+        add(k, row_of(e.node_neg), -1.0);
+        add(k, *kc, -e.value);
+        break;
+      }
+      case ElementKind::IdealOpAmp: {
+        // Nullor: output branch current is whatever keeps v(ctrl+)==v(ctrl-).
+        const int k = *branch_index(e.name);
+        add(row_of(e.node_pos), k, 1.0);
+        add(row_of(e.node_neg), k, -1.0);
+        add(k, row_of(e.ctrl_pos), 1.0);
+        add(k, row_of(e.ctrl_neg), -1.0);
+        break;
+      }
+    }
+  }
+  return mat;
+}
+
+std::vector<std::complex<double>> MnaAssembler::excitation() const {
+  std::vector<std::complex<double>> rhs(static_cast<std::size_t>(dim_));
+  auto row_of = [&](int node) { return node_to_row_[static_cast<std::size_t>(node)]; };
+  for (const Element& e : circuit_.elements()) {
+    if (e.kind == ElementKind::CurrentSource) {
+      // Positive current flows n+ -> n- through the source.
+      const int ra = row_of(e.node_pos);
+      const int rb = row_of(e.node_neg);
+      if (ra >= 0) rhs[static_cast<std::size_t>(ra)] -= e.value;
+      if (rb >= 0) rhs[static_cast<std::size_t>(rb)] += e.value;
+    } else if (e.kind == ElementKind::VoltageSource) {
+      const int k = *branch_index(e.name);
+      rhs[static_cast<std::size_t>(k)] += e.value;
+    }
+  }
+  return rhs;
+}
+
+}  // namespace symref::mna

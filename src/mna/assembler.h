@@ -1,0 +1,48 @@
+// Full modified nodal analysis.
+//
+// Unknowns are the non-ground node voltages that at least one element
+// touches, plus one auxiliary branch current per element that needs it
+// (V sources, VCVS, CCVS, inductors, ideal opamps). This is the paper's
+// eq. (7): Y_MNA * X = E. The assembler is the backbone of the AC simulator;
+// the interpolation engine uses the leaner homogeneous NodalAssembler.
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "sparse/matrix.h"
+
+namespace symref::mna {
+
+class MnaAssembler {
+ public:
+  explicit MnaAssembler(const netlist::Circuit& circuit);
+
+  /// System dimension: active nodes + auxiliary branch currents.
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+
+  /// Row/column of a node's voltage unknown; nullopt for ground or a node no
+  /// element touches.
+  [[nodiscard]] std::optional<int> node_index(int node) const;
+  [[nodiscard]] std::optional<int> node_index(std::string_view name) const;
+
+  /// Row/column of an element's auxiliary branch current, when it has one.
+  [[nodiscard]] std::optional<int> branch_index(std::string_view element_name) const;
+
+  /// Assemble Y_MNA(s).
+  [[nodiscard]] sparse::TripletMatrix matrix(std::complex<double> s) const;
+
+  /// Excitation vector from the independent sources (AC magnitudes).
+  [[nodiscard]] std::vector<std::complex<double>> excitation() const;
+
+ private:
+  const netlist::Circuit& circuit_;
+  int dim_ = 0;
+  std::vector<int> node_to_row_;                  // -1 when inactive/ground
+  std::vector<std::pair<std::string, int>> branch_rows_;
+};
+
+}  // namespace symref::mna

@@ -1,0 +1,204 @@
+#include "mna/nodal.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "netlist/canonical.h"
+#include "numeric/stats.h"
+#include "sparse/lu.h"
+
+namespace symref::mna {
+
+using netlist::Element;
+using netlist::ElementKind;
+
+NodalSystem::NodalSystem(const netlist::Circuit& circuit) : circuit_(circuit) {
+  if (!netlist::is_canonical(circuit)) {
+    throw std::invalid_argument(
+        "NodalSystem: circuit is not canonical; run netlist::canonicalize first");
+  }
+
+  std::vector<bool> active(static_cast<std::size_t>(circuit.node_count()), false);
+  for (const Element& e : circuit.elements()) {
+    active[static_cast<std::size_t>(e.node_pos)] = true;
+    active[static_cast<std::size_t>(e.node_neg)] = true;
+    if (e.ctrl_pos >= 0) active[static_cast<std::size_t>(e.ctrl_pos)] = true;
+    if (e.ctrl_neg >= 0) active[static_cast<std::size_t>(e.ctrl_neg)] = true;
+  }
+  node_to_row_.assign(static_cast<std::size_t>(circuit.node_count()), -1);
+  int next = 0;
+  for (int n = 1; n < circuit.node_count(); ++n) {
+    if (active[static_cast<std::size_t>(n)]) node_to_row_[static_cast<std::size_t>(n)] = next++;
+  }
+  dim_ = next;
+
+  // Merge stamps position-wise so matrix() is a flat scan.
+  std::map<std::pair<int, int>, Entry> merged;
+  auto accumulate = [&](int r, int c, double g, double cap) {
+    if (r < 0 || c < 0) return;
+    Entry& entry = merged[{r, c}];
+    entry.row = r;
+    entry.col = c;
+    entry.conductance += g;
+    entry.capacitance += cap;
+  };
+  auto row_of = [&](int node) { return node_to_row_[static_cast<std::size_t>(node)]; };
+
+  for (const Element& e : circuit.elements()) {
+    const int ra = row_of(e.node_pos);
+    const int rb = row_of(e.node_neg);
+    switch (e.kind) {
+      case ElementKind::Conductance:
+        accumulate(ra, ra, e.value, 0.0);
+        accumulate(rb, rb, e.value, 0.0);
+        accumulate(ra, rb, -e.value, 0.0);
+        accumulate(rb, ra, -e.value, 0.0);
+        break;
+      case ElementKind::Capacitor:
+        if (e.node_pos != e.node_neg) ++capacitor_count_;
+        accumulate(ra, ra, 0.0, e.value);
+        accumulate(rb, rb, 0.0, e.value);
+        accumulate(ra, rb, 0.0, -e.value);
+        accumulate(rb, ra, 0.0, -e.value);
+        break;
+      case ElementKind::Vccs: {
+        const int rc = row_of(e.ctrl_pos);
+        const int rd = row_of(e.ctrl_neg);
+        accumulate(ra, rc, e.value, 0.0);
+        accumulate(ra, rd, -e.value, 0.0);
+        accumulate(rb, rc, -e.value, 0.0);
+        accumulate(rb, rd, e.value, 0.0);
+        break;
+      }
+      default:
+        // unreachable: canonicality checked in the constructor
+        break;
+    }
+  }
+  entries_.reserve(merged.size());
+  for (const auto& [key, entry] : merged) entries_.push_back(entry);
+}
+
+std::optional<int> NodalSystem::row_of_node(std::string_view name) const {
+  const auto node = circuit_.find_node(name);
+  if (!node) return std::nullopt;
+  if (*node == 0) return std::nullopt;
+  const int row = node_to_row_[static_cast<std::size_t>(*node)];
+  return row < 0 ? std::nullopt : std::optional<int>(row);
+}
+
+sparse::TripletMatrix NodalSystem::matrix(std::complex<double> s_hat, double f_scale,
+                                          double g_scale) const {
+  sparse::TripletMatrix mat(dim_);
+  for (const Entry& entry : entries_) {
+    const std::complex<double> value =
+        g_scale * entry.conductance + s_hat * (f_scale * entry.capacitance);
+    if (value != std::complex<double>()) mat.add(entry.row, entry.col, value);
+  }
+  return mat;
+}
+
+CofactorEvaluator::CofactorEvaluator(const NodalSystem& system, const TransferSpec& spec)
+    : system_(system), spec_kind_(spec.kind) {
+  auto resolve = [&](const std::string& name, const char* what) -> int {
+    const auto node = system.circuit().find_node(name);
+    if (!node) {
+      throw std::invalid_argument("CofactorEvaluator: unknown " + std::string(what) +
+                                  " node '" + name + "'");
+    }
+    if (*node == 0) return -1;
+    const auto row = system.row_of_node(name);
+    if (!row) {
+      throw std::invalid_argument("CofactorEvaluator: " + std::string(what) + " node '" +
+                                  name + "' is floating");
+    }
+    return *row;
+  };
+  in_pos_ = resolve(spec.in_pos, "input+");
+  in_neg_ = resolve(spec.in_neg, "input-");
+  out_pos_ = resolve(spec.out_pos, "output+");
+  out_neg_ = resolve(spec.out_neg, "output-");
+  if (in_pos_ == in_neg_) {
+    throw std::invalid_argument("CofactorEvaluator: input pair is degenerate");
+  }
+  if (spec_kind_ == TransferSpec::Kind::VoltageGain) {
+    // Typical element magnitudes keep the drive admittance in the same
+    // range as the rest of the (scaled) matrix.
+    const auto conductances = system.circuit().conductance_values();
+    const auto capacitances = system.circuit().capacitor_values();
+    drive_conductance_ = numeric::geometric_mean(conductances);
+    if (drive_conductance_ <= 0.0) drive_conductance_ = 1.0;
+    drive_capacitance_ = numeric::geometric_mean(capacitances);
+  }
+}
+
+CofactorEvaluator::Sample CofactorEvaluator::evaluate(std::complex<double> s_hat,
+                                                      double f_scale, double g_scale) const {
+  Sample sample;
+  sparse::TripletMatrix matrix = system_.matrix(s_hat, f_scale, g_scale);
+  if (spec_kind_ == TransferSpec::Kind::VoltageGain) {
+    // Drive admittance across the input pair (see header): scaled like any
+    // other element so the matrix stays balanced at every iteration.
+    const std::complex<double> y_drive =
+        g_scale * drive_conductance_ + s_hat * (f_scale * drive_capacitance_);
+    if (in_pos_ >= 0) matrix.add(in_pos_, in_pos_, y_drive);
+    if (in_neg_ >= 0) matrix.add(in_neg_, in_neg_, y_drive);
+    if (in_pos_ >= 0 && in_neg_ >= 0) {
+      matrix.add(in_pos_, in_neg_, -y_drive);
+      matrix.add(in_neg_, in_pos_, -y_drive);
+    }
+  }
+  // Static-pivot refactorization first (same pattern across points); fall
+  // back to a full Markowitz factorization when the reused pivots degrade.
+  const sparse::CompressedMatrix compressed = matrix.compress();
+  if (!lu_.refactor(compressed) && !lu_.factor(compressed)) {
+    return sample;  // singular at this point; caller will retry/adjust
+  }
+  sparse::SparseLu& lu = lu_;
+  const numeric::ScaledComplex det = lu.determinant();
+  constexpr double kMachineEpsilon = 2.220446049250313e-16;
+  const double min_pivot = lu.min_abs_pivot();
+  const double det_error =
+      std::max(min_pivot > 0.0 ? kMachineEpsilon * lu.max_abs_entry() / min_pivot
+                               : kMachineEpsilon,
+               kMachineEpsilon);
+
+  std::vector<std::complex<double>> rhs(static_cast<std::size_t>(system_.dim()));
+  if (in_pos_ >= 0) rhs[static_cast<std::size_t>(in_pos_)] += 1.0;
+  if (in_neg_ >= 0) rhs[static_cast<std::size_t>(in_neg_)] -= 1.0;
+  lu.solve(rhs);
+
+  auto voltage = [&](int row) -> std::complex<double> {
+    return row < 0 ? std::complex<double>(0.0, 0.0) : rhs[static_cast<std::size_t>(row)];
+  };
+  const std::complex<double> v_out = voltage(out_pos_) - voltage(out_neg_);
+  const std::complex<double> v_in = voltage(in_pos_) - voltage(in_neg_);
+
+  sample.numerator = numeric::ScaledComplex(v_out) * det;
+  sample.denominator = spec_kind_ == TransferSpec::Kind::VoltageGain
+                           ? numeric::ScaledComplex(v_in) * det
+                           : det;
+
+  // Solve error of a port voltage relative to the solution's largest entry:
+  // the triangular solves carry absolute round-off ~ eps * max|V|, so a port
+  // voltage far below that level has a large RELATIVE error even when the
+  // determinant is accurate.
+  double max_abs_v = 0.0;
+  for (const std::complex<double>& value : rhs) {
+    max_abs_v = std::max(max_abs_v, std::abs(value));
+  }
+  auto port_error = [&](const std::complex<double>& port) {
+    const double magnitude = std::abs(port);
+    if (magnitude == 0.0 || max_abs_v == 0.0) return det_error;
+    return det_error + kMachineEpsilon * max_abs_v / magnitude;
+  };
+  sample.numerator_error = port_error(v_out);
+  sample.denominator_error = spec_kind_ == TransferSpec::Kind::VoltageGain
+                                 ? port_error(v_in)
+                                 : det_error;
+  sample.ok = true;
+  return sample;
+}
+
+}  // namespace symref::mna

@@ -1,0 +1,140 @@
+// Homogeneous node-admittance formulation for the interpolation engine.
+//
+// Over a canonical circuit ({G, C, VCCS}, see netlist/canonical.h) every
+// matrix entry is a sum of admittances, so every determinant term is a
+// product of exactly M admittance factors (M = matrix dimension) and every
+// cofactor term a product of M-1. That homogeneity is what makes the
+// paper's conductance scaling (eq. (11)) exact:
+//
+//   p'_j = p_j * f^j * g^(deg - j)
+//
+// where scale factors multiply element values (c_e -> f*c_e, g_e -> g*g_e)
+// and deg is the polynomial's homogeneity degree.
+//
+// Network functions are evaluated per interpolation point the classical way
+// (paper eqs. (7)-(10)): one sparse LU factorization gives the determinant
+// from the pivot product, one solve with a unit current injection at the
+// input pair gives the cofactor sums:
+//
+//   voltage gain:   N(s) = (V_out+ - V_out-) * det,  D(s) = (V_in+ - V_in-) * det
+//                   (both homogeneous of degree M-1; Lin's cofactor form)
+//   transimpedance: N(s) as above (degree M-1),      D(s) = det (degree M)
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "mna/transfer.h"
+#include "netlist/circuit.h"
+#include "numeric/scaled.h"
+#include "sparse/lu.h"
+#include "sparse/matrix.h"
+
+namespace symref::mna {
+
+class NodalSystem {
+ public:
+  /// Throws std::invalid_argument unless the circuit is canonical.
+  explicit NodalSystem(const netlist::Circuit& circuit);
+
+  /// Matrix dimension M (active non-ground nodes).
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+
+  /// Number of capacitor elements stamped (each is a rank-1 determinant
+  /// update, so the determinant's s-degree is at most this).
+  [[nodiscard]] int capacitor_count() const noexcept { return capacitor_count_; }
+
+  /// Upper bound on the s-degree of the determinant.
+  [[nodiscard]] int order_bound() const noexcept {
+    return capacitor_count_ < dim_ ? capacitor_count_ : dim_;
+  }
+
+  /// Row of a node's unknown; nullopt for ground ("0") and unknown names.
+  [[nodiscard]] std::optional<int> row_of_node(std::string_view name) const;
+
+  /// Y(s_hat) with element scaling applied: every conductance multiplied by
+  /// g_scale, every capacitance by f_scale.
+  [[nodiscard]] sparse::TripletMatrix matrix(std::complex<double> s_hat, double f_scale,
+                                             double g_scale) const;
+
+  [[nodiscard]] const netlist::Circuit& circuit() const noexcept { return circuit_; }
+
+ private:
+  struct Entry {
+    int row = 0;
+    int col = 0;
+    double conductance = 0.0;  // sum of G/gm contributions at this position
+    double capacitance = 0.0;  // sum of C contributions at this position
+  };
+
+  const netlist::Circuit& circuit_;
+  int dim_ = 0;
+  int capacitor_count_ = 0;
+  std::vector<int> node_to_row_;
+  std::vector<Entry> entries_;
+};
+
+/// One interpolation-point evaluation of the network function's numerator
+/// and denominator.
+class CofactorEvaluator {
+ public:
+  /// Throws std::invalid_argument when the spec references unknown or
+  /// floating nodes.
+  CofactorEvaluator(const NodalSystem& system, const TransferSpec& spec);
+
+  /// Homogeneity degrees used for denormalization.
+  [[nodiscard]] int numerator_degree() const noexcept { return system_.dim() - 1; }
+  [[nodiscard]] int denominator_degree() const noexcept {
+    return spec_kind_ == TransferSpec::Kind::VoltageGain ? system_.dim() - 1 : system_.dim();
+  }
+
+  struct Sample {
+    numeric::ScaledComplex numerator;
+    numeric::ScaledComplex denominator;
+    /// Estimated relative evaluation errors of the two sample values. Two
+    /// mechanisms contribute:
+    ///  * determinant round-off: eps * max|entry| / min|pivot| (grows when
+    ///    the scaling spreads conductance and capacitor entries apart —
+    ///    §3.2's warning about overly large scale factors);
+    ///  * solve round-off on the port voltage: eps * max_j|V_j| / |V_port|
+    ///    (dominates when the output voltage is orders of magnitude below
+    ///    the other node voltages, e.g. deep-stopband numerators).
+    /// Both feed the engine's acceptance floor.
+    double numerator_error = 0.0;
+    double denominator_error = 0.0;
+    bool ok = false;
+  };
+
+  /// Evaluate N and D at one scaled frequency point.
+  ///
+  /// Successive evaluations reuse the previous pivot order (static-pivot
+  /// refactorization — the pattern is identical across interpolation
+  /// points), falling back to a fresh Markowitz factorization whenever the
+  /// reused pivots degrade. The cached factorization makes this method
+  /// non-reentrant: do not share one evaluator across threads.
+  [[nodiscard]] Sample evaluate(std::complex<double> s_hat, double f_scale,
+                                double g_scale) const;
+
+ private:
+  const NodalSystem& system_;
+  TransferSpec::Kind spec_kind_;
+  int in_pos_ = -1;  // -1 encodes ground
+  int in_neg_ = -1;
+  int out_pos_ = -1;
+  int out_neg_ = -1;
+  // Cached factorization for static-pivot reuse across evaluation points.
+  mutable sparse::SparseLu lu_;
+  // Drive admittance stamped across the input pair for VoltageGain specs.
+  // Needed when the input node carries no admittance of its own (it only
+  // controls sources): det(Y) would be structurally zero. By the
+  // Sherman-Morrison identity, adding y_d * u * u^T with u = e_in+ - e_in-
+  // leaves every component of adj(Y) * u — i.e. both N and D — exactly
+  // unchanged, so the recovered polynomials are still those of the original
+  // circuit (and still homogeneous in its elements).
+  double drive_conductance_ = 0.0;
+  double drive_capacitance_ = 0.0;
+};
+
+}  // namespace symref::mna

@@ -1,0 +1,158 @@
+#include "mna/sensitivity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mna/ac.h"
+#include "mna/nodal.h"
+#include "netlist/canonical.h"
+#include "numeric/stats.h"
+#include "sparse/lu.h"
+
+namespace symref::mna {
+
+namespace {
+
+using Complex = std::complex<double>;
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+int row_or_ground(const NodalSystem& system, const std::string& name) {
+  const auto row = system.row_of_node(name);
+  return row ? *row : -1;
+}
+
+Complex pick(const std::vector<Complex>& v, int row) {
+  return row < 0 ? Complex(0.0, 0.0) : v[static_cast<std::size_t>(row)];
+}
+
+}  // namespace
+
+std::vector<ElementSensitivity> ac_sensitivities(const netlist::Circuit& canonical,
+                                                 const TransferSpec& spec,
+                                                 double frequency_hz) {
+  if (!netlist::is_canonical(canonical)) {
+    throw std::invalid_argument("ac_sensitivities: circuit is not canonical");
+  }
+  const NodalSystem system(canonical);
+  const Complex s(0.0, kTwoPi * frequency_hz);
+
+  const int in_pos = row_or_ground(system, spec.in_pos);
+  const int in_neg = row_or_ground(system, spec.in_neg);
+  const int out_pos = row_or_ground(system, spec.out_pos);
+  const int out_neg = row_or_ground(system, spec.out_neg);
+
+  // Drive admittance across the input pair (same Sherman-Morrison trick as
+  // CofactorEvaluator: keeps Y factorable when the input node only controls
+  // sources, changes neither N, D nor their element derivatives).
+  sparse::TripletMatrix matrix = system.matrix(s, 1.0, 1.0);
+  {
+    const double g_typ = numeric::geometric_mean(canonical.conductance_values());
+    const Complex y_drive(g_typ > 0.0 ? g_typ : 1.0, 0.0);
+    if (in_pos >= 0) matrix.add(in_pos, in_pos, y_drive);
+    if (in_neg >= 0) matrix.add(in_neg, in_neg, y_drive);
+    if (in_pos >= 0 && in_neg >= 0) {
+      matrix.add(in_pos, in_neg, -y_drive);
+      matrix.add(in_neg, in_pos, -y_drive);
+    }
+  }
+
+  // Direct factorization of Y and of Y^T (for the adjoint solves).
+  sparse::SparseLu lu;
+  if (!lu.factor(matrix)) throw std::runtime_error("ac_sensitivities: singular system");
+  sparse::TripletMatrix transposed(matrix.dim());
+  for (const auto& t : matrix.triplets()) transposed.add(t.col, t.row, t.value);
+  sparse::SparseLu lu_t;
+  if (!lu_t.factor(transposed)) {
+    throw std::runtime_error("ac_sensitivities: singular transposed system");
+  }
+
+  const int n = system.dim();
+  auto unit_pair = [&](int pos, int neg) {
+    std::vector<Complex> v(static_cast<std::size_t>(n));
+    if (pos >= 0) v[static_cast<std::size_t>(pos)] += 1.0;
+    if (neg >= 0) v[static_cast<std::size_t>(neg)] -= 1.0;
+    return v;
+  };
+
+  // v: response to the input injection. w_num/w_den: adjoints of the output
+  // and input selectors.
+  std::vector<Complex> v = unit_pair(in_pos, in_neg);
+  lu.solve(v);
+  std::vector<Complex> w_num = unit_pair(out_pos, out_neg);
+  lu_t.solve(w_num);
+  std::vector<Complex> w_den = unit_pair(in_pos, in_neg);
+  lu_t.solve(w_den);
+
+  const Complex numerator = pick(v, out_pos) - pick(v, out_neg);
+  const Complex denominator = spec.kind == TransferSpec::Kind::VoltageGain
+                                  ? pick(v, in_pos) - pick(v, in_neg)
+                                  : Complex(1.0, 0.0);
+  if (numerator == Complex(0.0, 0.0) || denominator == Complex(0.0, 0.0)) {
+    throw std::runtime_error("ac_sensitivities: transfer function is zero at this point");
+  }
+
+  std::vector<ElementSensitivity> result;
+  result.reserve(canonical.element_count());
+  for (const auto& e : canonical.elements()) {
+    // Stamp pattern: output row pair (a, b), controlling column pair (c, d).
+    const auto row_of = [&](int node) {
+      if (node == 0) return -1;
+      const auto row = system.row_of_node(canonical.node_name(node));
+      return row ? *row : -1;
+    };
+    const int a = row_of(e.node_pos);
+    const int b = row_of(e.node_neg);
+    int c = a;
+    int d = b;
+    Complex admittance;
+    switch (e.kind) {
+      case netlist::ElementKind::Conductance:
+        admittance = Complex(e.value, 0.0);
+        break;
+      case netlist::ElementKind::Capacitor:
+        admittance = s * e.value;
+        break;
+      case netlist::ElementKind::Vccs:
+        admittance = Complex(e.value, 0.0);
+        c = row_of(e.ctrl_pos);
+        d = row_of(e.ctrl_neg);
+        break;
+      default:
+        continue;  // unreachable for canonical circuits
+    }
+    const Complex v_ctrl = pick(v, c) - pick(v, d);
+    // dN/dy = -(w_num_a - w_num_b)(v_c - v_d); same shape for D.
+    const Complex dn = -(pick(w_num, a) - pick(w_num, b)) * v_ctrl;
+    const Complex dd = spec.kind == TransferSpec::Kind::VoltageGain
+                           ? -(pick(w_den, a) - pick(w_den, b)) * v_ctrl
+                           : Complex(0.0, 0.0);
+    // y * dH/dy / H = y * (dN/N - dD/D).
+    const Complex normalized = admittance * (dn / numerator - dd / denominator);
+    result.push_back({e.name, normalized});
+  }
+  return result;
+}
+
+std::vector<ElementSensitivity> band_sensitivities(const netlist::Circuit& canonical,
+                                                   const TransferSpec& spec,
+                                                   double f_start_hz, double f_stop_hz,
+                                                   int points_per_decade) {
+  const std::vector<double> grid =
+      log_frequency_grid(f_start_hz, f_stop_hz, points_per_decade);
+  std::vector<ElementSensitivity> worst;
+  for (const double f : grid) {
+    const auto at_f = ac_sensitivities(canonical, spec, f);
+    if (worst.empty()) {
+      worst = at_f;
+      continue;
+    }
+    for (std::size_t i = 0; i < worst.size(); ++i) {
+      if (std::abs(at_f[i].normalized) > std::abs(worst[i].normalized)) {
+        worst[i].normalized = at_f[i].normalized;
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace symref::mna

@@ -1,0 +1,301 @@
+#include "netlist/circuit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace symref::netlist {
+
+const char* kind_name(ElementKind kind) noexcept {
+  switch (kind) {
+    case ElementKind::Resistor: return "resistor";
+    case ElementKind::Conductance: return "conductance";
+    case ElementKind::Capacitor: return "capacitor";
+    case ElementKind::Inductor: return "inductor";
+    case ElementKind::Vccs: return "vccs";
+    case ElementKind::Vcvs: return "vcvs";
+    case ElementKind::Cccs: return "cccs";
+    case ElementKind::Ccvs: return "ccvs";
+    case ElementKind::VoltageSource: return "vsource";
+    case ElementKind::CurrentSource: return "isource";
+    case ElementKind::IdealOpAmp: return "opamp";
+  }
+  return "?";
+}
+
+namespace {
+bool is_ground_name(std::string_view name) noexcept {
+  return name == "0" || name == "gnd" || name == "GND" || name == "Gnd";
+}
+}  // namespace
+
+Circuit::Circuit() {
+  node_names_.emplace_back("0");
+  alias_.push_back(0);
+}
+
+int Circuit::resolve_alias(int index) const noexcept {
+  while (alias_[static_cast<std::size_t>(index)] != index) {
+    index = alias_[static_cast<std::size_t>(index)];
+  }
+  return index;
+}
+
+int Circuit::node(std::string_view name) {
+  if (is_ground_name(name)) return 0;
+  for (std::size_t i = 1; i < node_names_.size(); ++i) {
+    if (node_names_[i] == name) return resolve_alias(static_cast<int>(i));
+  }
+  node_names_.emplace_back(name);
+  alias_.push_back(static_cast<int>(node_names_.size()) - 1);
+  return static_cast<int>(node_names_.size()) - 1;
+}
+
+std::optional<int> Circuit::find_node(std::string_view name) const {
+  if (is_ground_name(name)) return 0;
+  for (std::size_t i = 1; i < node_names_.size(); ++i) {
+    if (node_names_[i] == name) return resolve_alias(static_cast<int>(i));
+  }
+  return std::nullopt;
+}
+
+void Circuit::validate_new_element(const Element& element) const {
+  auto check_node = [&](int index, const char* what) {
+    if (index < 0 || index >= node_count()) {
+      throw std::invalid_argument("element '" + element.name + "': bad " + what + " node");
+    }
+  };
+  check_node(element.node_pos, "positive");
+  check_node(element.node_neg, "negative");
+  if (element.kind == ElementKind::Vccs || element.kind == ElementKind::Vcvs ||
+      element.kind == ElementKind::IdealOpAmp) {
+    check_node(element.ctrl_pos, "control positive");
+    check_node(element.ctrl_neg, "control negative");
+  }
+  if (!std::isfinite(element.value)) {
+    throw std::invalid_argument("element '" + element.name + "': non-finite value");
+  }
+  if (element.name.empty()) {
+    throw std::invalid_argument("element with empty name");
+  }
+  if (find_element(element.name) != nullptr) {
+    throw std::invalid_argument("duplicate element name '" + element.name + "'");
+  }
+  if ((element.kind == ElementKind::Resistor || element.kind == ElementKind::Capacitor ||
+       element.kind == ElementKind::Inductor) &&
+      element.value == 0.0) {
+    throw std::invalid_argument("element '" + element.name + "': zero-valued " +
+                                kind_name(element.kind));
+  }
+}
+
+Element& Circuit::add(Element element) {
+  validate_new_element(element);
+  elements_.push_back(std::move(element));
+  return elements_.back();
+}
+
+Element& Circuit::add_resistor(std::string name, std::string_view np, std::string_view nn,
+                               double ohms) {
+  Element e;
+  e.kind = ElementKind::Resistor;
+  e.name = std::move(name);
+  e.node_pos = node(np);
+  e.node_neg = node(nn);
+  e.value = ohms;
+  return add(std::move(e));
+}
+
+Element& Circuit::add_conductance(std::string name, std::string_view np, std::string_view nn,
+                                  double siemens) {
+  Element e;
+  e.kind = ElementKind::Conductance;
+  e.name = std::move(name);
+  e.node_pos = node(np);
+  e.node_neg = node(nn);
+  e.value = siemens;
+  return add(std::move(e));
+}
+
+Element& Circuit::add_capacitor(std::string name, std::string_view np, std::string_view nn,
+                                double farads) {
+  Element e;
+  e.kind = ElementKind::Capacitor;
+  e.name = std::move(name);
+  e.node_pos = node(np);
+  e.node_neg = node(nn);
+  e.value = farads;
+  return add(std::move(e));
+}
+
+Element& Circuit::add_inductor(std::string name, std::string_view np, std::string_view nn,
+                               double henries) {
+  Element e;
+  e.kind = ElementKind::Inductor;
+  e.name = std::move(name);
+  e.node_pos = node(np);
+  e.node_neg = node(nn);
+  e.value = henries;
+  return add(std::move(e));
+}
+
+Element& Circuit::add_vccs(std::string name, std::string_view np, std::string_view nn,
+                           std::string_view cp, std::string_view cn, double gm) {
+  Element e;
+  e.kind = ElementKind::Vccs;
+  e.name = std::move(name);
+  e.node_pos = node(np);
+  e.node_neg = node(nn);
+  e.ctrl_pos = node(cp);
+  e.ctrl_neg = node(cn);
+  e.value = gm;
+  return add(std::move(e));
+}
+
+Element& Circuit::add_vcvs(std::string name, std::string_view np, std::string_view nn,
+                           std::string_view cp, std::string_view cn, double gain) {
+  Element e;
+  e.kind = ElementKind::Vcvs;
+  e.name = std::move(name);
+  e.node_pos = node(np);
+  e.node_neg = node(nn);
+  e.ctrl_pos = node(cp);
+  e.ctrl_neg = node(cn);
+  e.value = gain;
+  return add(std::move(e));
+}
+
+Element& Circuit::add_cccs(std::string name, std::string_view np, std::string_view nn,
+                           std::string ctrl_branch, double gain) {
+  Element e;
+  e.kind = ElementKind::Cccs;
+  e.name = std::move(name);
+  e.node_pos = node(np);
+  e.node_neg = node(nn);
+  e.ctrl_branch = std::move(ctrl_branch);
+  e.value = gain;
+  return add(std::move(e));
+}
+
+Element& Circuit::add_ccvs(std::string name, std::string_view np, std::string_view nn,
+                           std::string ctrl_branch, double ohms) {
+  Element e;
+  e.kind = ElementKind::Ccvs;
+  e.name = std::move(name);
+  e.node_pos = node(np);
+  e.node_neg = node(nn);
+  e.ctrl_branch = std::move(ctrl_branch);
+  e.value = ohms;
+  return add(std::move(e));
+}
+
+Element& Circuit::add_vsource(std::string name, std::string_view np, std::string_view nn,
+                              double magnitude) {
+  Element e;
+  e.kind = ElementKind::VoltageSource;
+  e.name = std::move(name);
+  e.node_pos = node(np);
+  e.node_neg = node(nn);
+  e.value = magnitude;
+  return add(std::move(e));
+}
+
+Element& Circuit::add_isource(std::string name, std::string_view np, std::string_view nn,
+                              double magnitude) {
+  Element e;
+  e.kind = ElementKind::CurrentSource;
+  e.name = std::move(name);
+  e.node_pos = node(np);
+  e.node_neg = node(nn);
+  e.value = magnitude;
+  return add(std::move(e));
+}
+
+Element& Circuit::add_opamp(std::string name, std::string_view out, std::string_view inp,
+                            std::string_view inn) {
+  Element e;
+  e.kind = ElementKind::IdealOpAmp;
+  e.name = std::move(name);
+  e.node_pos = node(out);
+  e.node_neg = 0;
+  e.ctrl_pos = node(inp);
+  e.ctrl_neg = node(inn);
+  e.value = 0.0;
+  return add(std::move(e));
+}
+
+const Element* Circuit::find_element(std::string_view name) const noexcept {
+  for (const Element& e : elements_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+bool Circuit::remove_element(std::string_view name) {
+  const auto it = std::find_if(elements_.begin(), elements_.end(),
+                               [&](const Element& e) { return e.name == name; });
+  if (it == elements_.end()) return false;
+  elements_.erase(it);
+  return true;
+}
+
+bool Circuit::short_element(std::string_view name) {
+  const auto it = std::find_if(elements_.begin(), elements_.end(),
+                               [&](const Element& e) { return e.name == name; });
+  if (it == elements_.end()) return false;
+  const int keep = std::min(it->node_pos, it->node_neg);
+  const int gone = std::max(it->node_pos, it->node_neg);
+  elements_.erase(it);
+  if (keep == gone) return true;
+  auto remap = [&](int n) { return n == gone ? keep : n; };
+  for (Element& e : elements_) {
+    e.node_pos = remap(e.node_pos);
+    e.node_neg = remap(e.node_neg);
+    if (e.ctrl_pos >= 0) e.ctrl_pos = remap(e.ctrl_pos);
+    if (e.ctrl_neg >= 0) e.ctrl_neg = remap(e.ctrl_neg);
+  }
+  // The merged node keeps its slot in node_names_ so indices stay stable;
+  // its name now aliases the survivor so lookups keep working.
+  alias_[static_cast<std::size_t>(gone)] = keep;
+  return true;
+}
+
+std::vector<double> Circuit::capacitor_values() const {
+  std::vector<double> values;
+  for (const Element& e : elements_) {
+    if (e.kind == ElementKind::Capacitor) values.push_back(e.value);
+  }
+  return values;
+}
+
+std::vector<double> Circuit::conductance_values() const {
+  std::vector<double> values;
+  for (const Element& e : elements_) {
+    switch (e.kind) {
+      case ElementKind::Resistor: values.push_back(1.0 / e.value); break;
+      case ElementKind::Conductance: values.push_back(e.value); break;
+      case ElementKind::Vccs: values.push_back(std::fabs(e.value)); break;
+      default: break;
+    }
+  }
+  return values;
+}
+
+std::size_t Circuit::count(ElementKind kind) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(elements_.begin(), elements_.end(),
+                    [kind](const Element& e) { return e.kind == kind; }));
+}
+
+std::string Circuit::summary() const {
+  std::map<std::string, int> counts;
+  for (const Element& e : elements_) ++counts[kind_name(e.kind)];
+  std::ostringstream os;
+  os << (title.empty() ? "circuit" : title) << ": " << unknown_count() << " nodes";
+  for (const auto& [kind, count] : counts) os << ", " << count << ' ' << kind;
+  return os.str();
+}
+
+}  // namespace symref::netlist

@@ -1,0 +1,66 @@
+#include "netlist/devices.h"
+
+namespace symref::netlist {
+
+BjtParams BjtParams::from_bias(double collector_current, double beta, double early_voltage,
+                               double tau_f, double cje, double cmu, double ccs, double rb) {
+  constexpr double kThermalVoltage = 0.02585;  // kT/q at 300 K
+  BjtParams p;
+  p.gm = collector_current / kThermalVoltage;
+  p.beta = beta;
+  p.ro = early_voltage > 0.0 ? early_voltage / collector_current : 0.0;
+  p.rb = rb;
+  p.cpi = p.gm * tau_f + cje;
+  p.cmu = cmu;
+  p.ccs = ccs;
+  return p;
+}
+
+void expand_bjt(Circuit& circuit, const std::string& name, std::string_view collector,
+                std::string_view base, std::string_view emitter, const BjtParams& params) {
+  // Intrinsic base node only when a spreading resistance is modeled.
+  std::string internal_base(base);
+  if (params.rb > 0.0) {
+    internal_base = name + ".bi";
+    circuit.add_resistor(name + ".rb", base, internal_base, params.rb);
+  }
+  if (params.gm > 0.0 && params.beta > 0.0) {
+    circuit.add_resistor(name + ".rpi", internal_base, emitter, params.beta / params.gm);
+  }
+  if (params.cpi > 0.0) {
+    circuit.add_capacitor(name + ".cpi", internal_base, emitter, params.cpi);
+  }
+  if (params.cmu > 0.0) {
+    circuit.add_capacitor(name + ".cmu", internal_base, collector, params.cmu);
+  }
+  if (params.gm != 0.0) {
+    circuit.add_vccs(name + ".gm", collector, emitter, internal_base, emitter, params.gm);
+  }
+  if (params.ro > 0.0) {
+    circuit.add_resistor(name + ".ro", collector, emitter, params.ro);
+  }
+  if (params.ccs > 0.0) {
+    circuit.add_capacitor(name + ".ccs", collector, "0", params.ccs);
+  }
+}
+
+void expand_mos(Circuit& circuit, const std::string& name, std::string_view drain,
+                std::string_view gate, std::string_view source, const MosParams& params) {
+  if (params.gm != 0.0) {
+    circuit.add_vccs(name + ".gm", drain, source, gate, source, params.gm);
+  }
+  if (params.gds > 0.0) {
+    circuit.add_conductance(name + ".gds", drain, source, params.gds);
+  }
+  if (params.cgs > 0.0) {
+    circuit.add_capacitor(name + ".cgs", gate, source, params.cgs);
+  }
+  if (params.cgd > 0.0) {
+    circuit.add_capacitor(name + ".cgd", gate, drain, params.cgd);
+  }
+  if (params.cdb > 0.0) {
+    circuit.add_capacitor(name + ".cdb", drain, "0", params.cdb);
+  }
+}
+
+}  // namespace symref::netlist

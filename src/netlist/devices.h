@@ -1,0 +1,55 @@
+// Small-signal device models.
+//
+// Symbolic analysis of the paper's class operates on linearized circuits:
+// each transistor is replaced by its hybrid-pi (BJT) or saturation-region
+// (MOS) small-signal equivalent. The expansion functions append the
+// equivalent's primitive elements (conductances, capacitors, VCCS) to a
+// Circuit with names derived from the device name ("q1.gm", "q1.cpi", ...),
+// so SBG simplification and symbolic output can refer to them individually.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/circuit.h"
+
+namespace symref::netlist {
+
+/// Hybrid-pi BJT parameters. Zero-valued members are omitted from the
+/// expansion (e.g. rb == 0 skips the base-spreading resistor and its
+/// internal node).
+struct BjtParams {
+  double gm = 0.0;   // transconductance [S]
+  double beta = 0.0; // current gain -> r_pi = beta / gm
+  double ro = 0.0;   // output resistance [ohm]; 0 = infinite
+  double rb = 0.0;   // base spreading resistance [ohm]; 0 = none
+  double cpi = 0.0;  // base-emitter capacitance [F]
+  double cmu = 0.0;  // base-collector capacitance [F]
+  double ccs = 0.0;  // collector-substrate capacitance to ground [F]
+
+  /// Textbook operating-point helper: gm = Ic/Vt, r_pi = beta/gm,
+  /// ro = Va/Ic, cpi = gm*tau_f + cje. Temperature fixed at 300 K.
+  static BjtParams from_bias(double collector_current, double beta, double early_voltage,
+                             double tau_f, double cje, double cmu, double ccs = 0.0,
+                             double rb = 0.0);
+};
+
+/// Saturation-region MOS parameters (bulk tied to the source rail).
+struct MosParams {
+  double gm = 0.0;   // transconductance [S]
+  double gds = 0.0;  // output conductance [S]
+  double cgs = 0.0;  // gate-source capacitance [F]
+  double cgd = 0.0;  // gate-drain capacitance [F]
+  double cdb = 0.0;  // drain-bulk capacitance to ground [F]
+};
+
+/// Expand a BJT (collector, base, emitter nodes by name) into primitives.
+/// Element names are prefixed with `name` + '.'.
+void expand_bjt(Circuit& circuit, const std::string& name, std::string_view collector,
+                std::string_view base, std::string_view emitter, const BjtParams& params);
+
+/// Expand a MOS transistor (drain, gate, source nodes by name).
+void expand_mos(Circuit& circuit, const std::string& name, std::string_view drain,
+                std::string_view gate, std::string_view source, const MosParams& params);
+
+}  // namespace symref::netlist

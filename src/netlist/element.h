@@ -1,0 +1,59 @@
+// Circuit element model.
+//
+// Terminal conventions follow SPICE: two-terminal elements connect
+// (node_pos, node_neg); controlled sources add a controlling node pair or a
+// controlling branch (the name of a source element whose current is sensed).
+#pragma once
+
+#include <string>
+
+namespace symref::netlist {
+
+enum class ElementKind {
+  Resistor,       // R: value = ohms
+  Conductance,    // G prefix "G" used for VCCS in SPICE; this is our internal kind
+  Capacitor,      // C: value = farads
+  Inductor,       // L: value = henries
+  Vccs,           // G: i(pos->neg) = value * v(ctrl_pos, ctrl_neg)   [gm, siemens]
+  Vcvs,           // E: v(pos,neg) = value * v(ctrl_pos, ctrl_neg)    [gain]
+  Cccs,           // F: i(pos->neg) = value * i(ctrl_branch)          [gain]
+  Ccvs,           // H: v(pos,neg) = value * i(ctrl_branch)           [ohms]
+  VoltageSource,  // V: value = AC magnitude
+  CurrentSource,  // I: value = AC magnitude
+  IdealOpAmp,     // O: v(pos) driven so that v(ctrl_pos) == v(ctrl_neg)
+};
+
+/// Human-readable kind name ("resistor", "vccs", ...).
+const char* kind_name(ElementKind kind) noexcept;
+
+struct Element {
+  ElementKind kind = ElementKind::Resistor;
+  std::string name;
+
+  // Node indices into the owning Circuit (0 = ground).
+  int node_pos = 0;
+  int node_neg = 0;
+  int ctrl_pos = -1;  // controlled sources only
+  int ctrl_neg = -1;
+
+  /// CCCS/CCVS: name of the element whose branch current controls this one.
+  std::string ctrl_branch;
+
+  double value = 0.0;
+
+  [[nodiscard]] bool is_controlled() const noexcept {
+    return kind == ElementKind::Vccs || kind == ElementKind::Vcvs ||
+           kind == ElementKind::Cccs || kind == ElementKind::Ccvs;
+  }
+  [[nodiscard]] bool is_source() const noexcept {
+    return kind == ElementKind::VoltageSource || kind == ElementKind::CurrentSource;
+  }
+  /// True for elements whose MNA stamp needs an auxiliary branch current.
+  [[nodiscard]] bool needs_branch_current() const noexcept {
+    return kind == ElementKind::VoltageSource || kind == ElementKind::Vcvs ||
+           kind == ElementKind::Ccvs || kind == ElementKind::Inductor ||
+           kind == ElementKind::IdealOpAmp;
+  }
+};
+
+}  // namespace symref::netlist

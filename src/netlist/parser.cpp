@@ -1,0 +1,349 @@
+#include "netlist/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "netlist/devices.h"
+#include "numeric/units.h"
+
+namespace symref::netlist {
+
+namespace {
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+struct LogicalLine {
+  int number = 0;  // 1-based source line of the first physical line
+  std::vector<std::string> tokens;
+};
+
+/// Strip comments, join continuations, tokenize.
+std::vector<LogicalLine> tokenize(std::string_view text) {
+  std::vector<LogicalLine> lines;
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  int number = 0;
+  while (std::getline(stream, raw)) {
+    ++number;
+    // Trailing comments.
+    for (const char marker : {';', '$'}) {
+      const auto pos = raw.find(marker);
+      if (pos != std::string::npos) raw.erase(pos);
+    }
+    // Leading whitespace.
+    std::size_t begin = raw.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    if (raw[begin] == '*' || raw[begin] == '#') continue;
+
+    const bool continuation = raw[begin] == '+';
+    if (continuation) ++begin;
+
+    std::istringstream token_stream(raw.substr(begin));
+    std::vector<std::string> tokens;
+    std::string token;
+    while (token_stream >> token) tokens.push_back(token);
+    if (tokens.empty()) continue;
+
+    if (continuation) {
+      if (lines.empty()) throw ParseError(number, "continuation '+' with no previous line");
+      auto& previous = lines.back().tokens;
+      previous.insert(previous.end(), tokens.begin(), tokens.end());
+    } else {
+      lines.push_back({number, std::move(tokens)});
+    }
+  }
+  return lines;
+}
+
+double parse_value(const LogicalLine& line, const std::string& token) {
+  const auto value = numeric::parse_engineering(token);
+  if (!value) throw ParseError(line.number, "bad numeric value '" + token + "'");
+  return *value;
+}
+
+struct ModelCard {
+  std::string type;  // "bjt" or "mos"
+  std::map<std::string, double> params;
+};
+
+struct SubcktDef {
+  std::vector<std::string> ports;
+  std::vector<LogicalLine> body;
+};
+
+class Parser {
+ public:
+  Circuit run(std::string_view text) {
+    const std::vector<LogicalLine> lines = tokenize(text);
+
+    // First pass: collect .model and .subckt cards.
+    std::size_t i = 0;
+    std::vector<LogicalLine> top_level;
+    while (i < lines.size()) {
+      const LogicalLine& line = lines[i];
+      const std::string head = to_lower(line.tokens.front());
+      if (head == ".model") {
+        collect_model(line);
+        ++i;
+      } else if (head == ".subckt") {
+        i = collect_subckt(lines, i);
+      } else if (head == ".end") {
+        break;
+      } else {
+        top_level.push_back(line);
+        ++i;
+      }
+    }
+
+    for (const LogicalLine& line : top_level) {
+      dispatch(line, /*prefix=*/"", /*port_map=*/{});
+    }
+    return std::move(circuit_);
+  }
+
+ private:
+  void collect_model(const LogicalLine& line) {
+    if (line.tokens.size() < 3) throw ParseError(line.number, ".model needs a name and a type");
+    ModelCard card;
+    const std::string name = to_lower(line.tokens[1]);
+    card.type = to_lower(line.tokens[2]);
+    if (card.type != "bjt" && card.type != "mos") {
+      throw ParseError(line.number, "unknown model type '" + card.type + "'");
+    }
+    for (std::size_t t = 3; t < line.tokens.size(); ++t) {
+      const std::string& token = line.tokens[t];
+      const auto eq = token.find('=');
+      if (eq == std::string::npos) {
+        throw ParseError(line.number, "model parameter '" + token + "' is not key=value");
+      }
+      const std::string key = to_lower(token.substr(0, eq));
+      const auto value = numeric::parse_engineering(token.substr(eq + 1));
+      if (!value) throw ParseError(line.number, "bad model value in '" + token + "'");
+      card.params[key] = *value;
+    }
+    models_[name] = std::move(card);
+  }
+
+  std::size_t collect_subckt(const std::vector<LogicalLine>& lines, std::size_t start) {
+    const LogicalLine& header = lines[start];
+    if (header.tokens.size() < 2) throw ParseError(header.number, ".subckt needs a name");
+    SubcktDef def;
+    const std::string name = to_lower(header.tokens[1]);
+    def.ports.assign(header.tokens.begin() + 2, header.tokens.end());
+    std::size_t i = start + 1;
+    while (i < lines.size()) {
+      const std::string head = to_lower(lines[i].tokens.front());
+      if (head == ".ends") {
+        subckts_[name] = std::move(def);
+        return i + 1;
+      }
+      if (head == ".subckt") {
+        throw ParseError(lines[i].number, "nested .subckt definitions are not supported");
+      }
+      def.body.push_back(lines[i]);
+      ++i;
+    }
+    throw ParseError(header.number, ".subckt '" + name + "' has no matching .ends");
+  }
+
+  /// Resolve a node token through the subcircuit port map and prefix.
+  std::string resolve_node(const std::string& token,
+                           const std::map<std::string, std::string>& port_map,
+                           const std::string& prefix) const {
+    if (token == "0" || token == "gnd" || token == "GND") return "0";
+    const auto it = port_map.find(token);
+    if (it != port_map.end()) return it->second;
+    return prefix.empty() ? token : prefix + token;
+  }
+
+  void dispatch(const LogicalLine& line, const std::string& prefix,
+                const std::map<std::string, std::string>& port_map) {
+    const std::string& first = line.tokens.front();
+    const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(first[0])));
+    const std::string name = prefix + first;
+
+    auto node = [&](std::size_t index) -> std::string {
+      if (index >= line.tokens.size()) {
+        throw ParseError(line.number, "'" + first + "': missing node");
+      }
+      return resolve_node(line.tokens[index], port_map, prefix);
+    };
+    auto value_token = [&](std::size_t index) -> const std::string& {
+      if (index >= line.tokens.size()) {
+        throw ParseError(line.number, "'" + first + "': missing value");
+      }
+      return line.tokens[index];
+    };
+    auto require_tokens = [&](std::size_t count) {
+      if (line.tokens.size() < count) {
+        throw ParseError(line.number, "'" + first + "': expected at least " +
+                                          std::to_string(count - 1) + " fields");
+      }
+    };
+
+    switch (kind) {
+      case 'r':
+        require_tokens(4);
+        circuit_.add_resistor(name, node(1), node(2), parse_value(line, value_token(3)));
+        break;
+      case 'c':
+        require_tokens(4);
+        circuit_.add_capacitor(name, node(1), node(2), parse_value(line, value_token(3)));
+        break;
+      case 'l':
+        require_tokens(4);
+        circuit_.add_inductor(name, node(1), node(2), parse_value(line, value_token(3)));
+        break;
+      case 'g':
+        require_tokens(6);
+        circuit_.add_vccs(name, node(1), node(2), node(3), node(4),
+                          parse_value(line, value_token(5)));
+        break;
+      case 'e':
+        require_tokens(6);
+        circuit_.add_vcvs(name, node(1), node(2), node(3), node(4),
+                          parse_value(line, value_token(5)));
+        break;
+      case 'f':
+        require_tokens(5);
+        circuit_.add_cccs(name, node(1), node(2), prefix + line.tokens[3],
+                          parse_value(line, value_token(4)));
+        break;
+      case 'h':
+        require_tokens(5);
+        circuit_.add_ccvs(name, node(1), node(2), prefix + line.tokens[3],
+                          parse_value(line, value_token(4)));
+        break;
+      case 'v':
+      case 'i': {
+        require_tokens(3);
+        double magnitude = 1.0;
+        for (std::size_t t = 3; t < line.tokens.size(); ++t) {
+          if (to_lower(line.tokens[t]) == "ac" || to_lower(line.tokens[t]) == "dc") continue;
+          magnitude = parse_value(line, line.tokens[t]);
+        }
+        if (kind == 'v') {
+          circuit_.add_vsource(name, node(1), node(2), magnitude);
+        } else {
+          circuit_.add_isource(name, node(1), node(2), magnitude);
+        }
+        break;
+      }
+      case 'o':
+        require_tokens(4);
+        circuit_.add_opamp(name, node(1), node(2), node(3));
+        break;
+      case 'q': {
+        require_tokens(5);
+        const std::string model = to_lower(line.tokens[4]);
+        const auto it = models_.find(model);
+        if (it == models_.end() || it->second.type != "bjt") {
+          throw ParseError(line.number, "'" + first + "': unknown bjt model '" + model + "'");
+        }
+        BjtParams p;
+        const auto& params = it->second.params;
+        auto get = [&](const char* key) {
+          const auto pit = params.find(key);
+          return pit == params.end() ? 0.0 : pit->second;
+        };
+        p.gm = get("gm");
+        p.beta = get("beta");
+        p.ro = get("ro");
+        p.rb = get("rb");
+        p.cpi = get("cpi");
+        p.cmu = get("cmu");
+        p.ccs = get("ccs");
+        expand_bjt(circuit_, name, node(1), node(2), node(3), p);
+        break;
+      }
+      case 'm': {
+        require_tokens(5);
+        const std::string model = to_lower(line.tokens[4]);
+        const auto it = models_.find(model);
+        if (it == models_.end() || it->second.type != "mos") {
+          throw ParseError(line.number, "'" + first + "': unknown mos model '" + model + "'");
+        }
+        MosParams p;
+        const auto& params = it->second.params;
+        auto get = [&](const char* key) {
+          const auto pit = params.find(key);
+          return pit == params.end() ? 0.0 : pit->second;
+        };
+        p.gm = get("gm");
+        p.gds = get("gds");
+        p.cgs = get("cgs");
+        p.cgd = get("cgd");
+        p.cdb = get("cdb");
+        expand_mos(circuit_, name, node(1), node(2), node(3), p);
+        break;
+      }
+      case 'x':
+        expand_subckt(line, prefix, port_map);
+        break;
+      case '.': {
+        const std::string head = to_lower(first);
+        if (head == ".title") {
+          std::string title;
+          for (std::size_t t = 1; t < line.tokens.size(); ++t) {
+            if (t > 1) title += ' ';
+            title += line.tokens[t];
+          }
+          circuit_.title = title;
+        } else {
+          throw ParseError(line.number, "unknown directive '" + first + "'");
+        }
+        break;
+      }
+      default:
+        throw ParseError(line.number, "unknown element card '" + first + "'");
+    }
+  }
+
+  void expand_subckt(const LogicalLine& line, const std::string& outer_prefix,
+                     const std::map<std::string, std::string>& outer_map) {
+    if (line.tokens.size() < 2) throw ParseError(line.number, "X card needs a subckt name");
+    const std::string subckt_name = to_lower(line.tokens.back());
+    const auto it = subckts_.find(subckt_name);
+    if (it == subckts_.end()) {
+      throw ParseError(line.number, "unknown subcircuit '" + line.tokens.back() + "'");
+    }
+    const SubcktDef& def = it->second;
+    const std::size_t node_count = line.tokens.size() - 2;
+    if (node_count != def.ports.size()) {
+      throw ParseError(line.number, "subckt '" + subckt_name + "' expects " +
+                                        std::to_string(def.ports.size()) + " nodes, got " +
+                                        std::to_string(node_count));
+    }
+    const std::string prefix = outer_prefix + line.tokens.front() + ".";
+    std::map<std::string, std::string> port_map;
+    for (std::size_t p = 0; p < def.ports.size(); ++p) {
+      // The instance's node tokens are resolved in the *outer* scope.
+      port_map[def.ports[p]] = resolve_node(line.tokens[1 + p], outer_map, outer_prefix);
+    }
+    for (const LogicalLine& body_line : def.body) {
+      dispatch(body_line, prefix, port_map);
+    }
+  }
+
+  Circuit circuit_;
+  std::map<std::string, ModelCard> models_;
+  std::map<std::string, SubcktDef> subckts_;
+};
+
+}  // namespace
+
+Circuit parse_netlist(std::string_view text) {
+  Parser parser;
+  return parser.run(text);
+}
+
+}  // namespace symref::netlist

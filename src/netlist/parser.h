@@ -1,0 +1,52 @@
+// SPICE-subset netlist parser.
+//
+// Supported cards (case-insensitive prefixes, engineering-notation values):
+//
+//   Rname n+ n- value              resistor
+//   Cname n+ n- value              capacitor
+//   Lname n+ n- value              inductor
+//   Gname n+ n- nc+ nc- gm         VCCS
+//   Ename n+ n- nc+ nc- gain       VCVS
+//   Fname n+ n- vsrc gain          CCCS (controlled by branch of `vsrc`)
+//   Hname n+ n- vsrc ohms          CCVS
+//   Vname n+ n- [AC] [mag]         independent voltage source (default 1)
+//   Iname n+ n- [AC] [mag]         independent current source (default 1)
+//   Oname out in+ in-              ideal opamp (nullor output to ground)
+//   Qname c b e model              BJT, expanded via a small-signal .model
+//   Mname d g s model              MOS, expanded via a small-signal .model
+//   Xname n1 ... nk subckt         subcircuit instance
+//
+//   .model name bjt gm=.. beta=.. ro=.. rb=.. cpi=.. cmu=.. ccs=..
+//   .model name mos gm=.. gds=.. cgs=.. cgd=.. cdb=..
+//   .subckt name n1 ... nk / .ends
+//   .title any text
+//   .end
+//
+// Comments: full-line '*' or '#', trailing ';' or '$'. Continuation lines
+// start with '+'. Unlike classic SPICE, the first line is NOT implicitly a
+// title (use .title) — netlists here are usually embedded string literals.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "netlist/circuit.h"
+
+namespace symref::netlist {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, const std::string& message)
+      : std::runtime_error("netlist line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parse a netlist; throws ParseError on malformed input.
+Circuit parse_netlist(std::string_view text);
+
+}  // namespace symref::netlist

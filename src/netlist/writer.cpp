@@ -1,0 +1,83 @@
+#include "netlist/writer.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "numeric/units.h"
+
+namespace symref::netlist {
+
+namespace {
+
+/// SPICE cards are dispatched on the first letter; prepend it when missing.
+std::string card_name(char prefix, const std::string& name) {
+  if (!name.empty() &&
+      std::tolower(static_cast<unsigned char>(name.front())) ==
+          std::tolower(static_cast<unsigned char>(prefix))) {
+    return name;
+  }
+  return std::string(1, prefix) + name;
+}
+
+}  // namespace
+
+std::string write_netlist(const Circuit& circuit) {
+  std::ostringstream os;
+  if (!circuit.title.empty()) os << ".title " << circuit.title << '\n';
+  for (const Element& e : circuit.elements()) {
+    const std::string np = circuit.node_name(e.node_pos);
+    const std::string nn = circuit.node_name(e.node_neg);
+    switch (e.kind) {
+      case ElementKind::Resistor:
+        os << card_name('R', e.name) << ' ' << np << ' ' << nn << ' '
+           << numeric::format_engineering(e.value, 9) << '\n';
+        break;
+      case ElementKind::Conductance:
+        os << card_name('R', e.name) << ' ' << np << ' ' << nn << ' '
+           << numeric::format_engineering(1.0 / e.value, 9) << '\n';
+        break;
+      case ElementKind::Capacitor:
+        os << card_name('C', e.name) << ' ' << np << ' ' << nn << ' '
+           << numeric::format_engineering(e.value, 9) << '\n';
+        break;
+      case ElementKind::Inductor:
+        os << card_name('L', e.name) << ' ' << np << ' ' << nn << ' '
+           << numeric::format_engineering(e.value, 9) << '\n';
+        break;
+      case ElementKind::Vccs:
+        os << card_name('G', e.name) << ' ' << np << ' ' << nn << ' '
+           << circuit.node_name(e.ctrl_pos) << ' ' << circuit.node_name(e.ctrl_neg) << ' '
+           << numeric::format_engineering(e.value, 9) << '\n';
+        break;
+      case ElementKind::Vcvs:
+        os << card_name('E', e.name) << ' ' << np << ' ' << nn << ' '
+           << circuit.node_name(e.ctrl_pos) << ' ' << circuit.node_name(e.ctrl_neg) << ' '
+           << numeric::format_engineering(e.value, 9) << '\n';
+        break;
+      case ElementKind::Cccs:
+        os << card_name('F', e.name) << ' ' << np << ' ' << nn << ' ' << e.ctrl_branch << ' '
+           << numeric::format_engineering(e.value, 9) << '\n';
+        break;
+      case ElementKind::Ccvs:
+        os << card_name('H', e.name) << ' ' << np << ' ' << nn << ' ' << e.ctrl_branch << ' '
+           << numeric::format_engineering(e.value, 9) << '\n';
+        break;
+      case ElementKind::VoltageSource:
+        os << card_name('V', e.name) << ' ' << np << ' ' << nn << " AC "
+           << numeric::format_engineering(e.value, 9) << '\n';
+        break;
+      case ElementKind::CurrentSource:
+        os << card_name('I', e.name) << ' ' << np << ' ' << nn << " AC "
+           << numeric::format_engineering(e.value, 9) << '\n';
+        break;
+      case ElementKind::IdealOpAmp:
+        os << card_name('O', e.name) << ' ' << np << ' ' << circuit.node_name(e.ctrl_pos)
+           << ' ' << circuit.node_name(e.ctrl_neg) << '\n';
+        break;
+    }
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace symref::netlist

@@ -1,0 +1,45 @@
+// Kahan-Neumaier compensated summation.
+//
+// The IDFT sums K terms whose partial cancellation determines which
+// coefficients survive above the round-off floor; compensated accumulation
+// keeps the floor at ~1e-16 * max instead of ~K * 1e-16 * max.
+#pragma once
+
+#include <complex>
+
+namespace symref::numeric {
+
+template <typename T>
+class KahanSum {
+ public:
+  void add(const T& value) noexcept {
+    const T t = sum_ + value;
+    // Neumaier variant: pick the larger operand to compute the lost bits.
+    if (magnitude(sum_) >= magnitude(value)) {
+      compensation_ += (sum_ - t) + value;
+    } else {
+      compensation_ += (value - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  [[nodiscard]] T value() const noexcept { return sum_ + compensation_; }
+
+  void reset() noexcept {
+    sum_ = T{};
+    compensation_ = T{};
+  }
+
+ private:
+  static double magnitude(double v) noexcept { return v < 0 ? -v : v; }
+  static double magnitude(const std::complex<double>& v) noexcept {
+    const double re = magnitude(v.real());
+    const double im = magnitude(v.imag());
+    return re > im ? re : im;
+  }
+
+  T sum_{};
+  T compensation_{};
+};
+
+}  // namespace symref::numeric

@@ -1,0 +1,87 @@
+#include "numeric/units.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace symref::numeric {
+
+namespace {
+
+bool iequals_prefix(std::string_view text, std::string_view prefix) noexcept {
+  if (text.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[i])) !=
+        std::tolower(static_cast<unsigned char>(prefix[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<double> parse_engineering(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  // strtod consumes the numeric part, including any exponent.
+  std::string buffer(text);
+  char* end = nullptr;
+  const double base = std::strtod(buffer.c_str(), &end);
+  if (end == buffer.c_str()) return std::nullopt;
+  std::string_view rest = std::string_view(buffer).substr(
+      static_cast<std::size_t>(end - buffer.c_str()));
+
+  if (rest.empty()) return base;
+  // "meg" must be tested before "m" (milli).
+  double multiplier = 1.0;
+  if (iequals_prefix(rest, "meg")) {
+    multiplier = 1e6;
+  } else {
+    switch (std::tolower(static_cast<unsigned char>(rest.front()))) {
+      case 't': multiplier = 1e12; break;
+      case 'g': multiplier = 1e9; break;
+      case 'k': multiplier = 1e3; break;
+      case 'm': multiplier = 1e-3; break;
+      case 'u': multiplier = 1e-6; break;
+      case 'n': multiplier = 1e-9; break;
+      case 'p': multiplier = 1e-12; break;
+      case 'f': multiplier = 1e-15; break;
+      default:
+        // Unknown trailing letters (e.g. unit names like "ohm") are ignored,
+        // matching SPICE behaviour, but reject trailing garbage that starts
+        // with a digit or punctuation.
+        if (!std::isalpha(static_cast<unsigned char>(rest.front()))) return std::nullopt;
+        multiplier = 1.0;
+        break;
+    }
+  }
+  return base * multiplier;
+}
+
+std::string format_engineering(double value, int significant_digits) {
+  if (value == 0.0) return "0";
+  struct Suffix {
+    double scale;
+    const char* text;
+  };
+  static constexpr Suffix kSuffixes[] = {
+      {1e12, "t"}, {1e9, "g"}, {1e6, "meg"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+  };
+  const double magnitude = std::fabs(value);
+  for (const auto& suffix : kSuffixes) {
+    const double scaled = magnitude / suffix.scale;
+    if (scaled >= 1.0 && scaled < 1000.0) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.*g%s", significant_digits,
+                    value / suffix.scale, suffix.text);
+      return buffer;
+    }
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*e", significant_digits - 1, value);
+  return buffer;
+}
+
+}  // namespace symref::numeric

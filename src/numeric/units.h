@@ -1,0 +1,21 @@
+// SPICE engineering-notation number parsing and printing.
+//
+// The netlist parser accepts values like "30p", "2.2k", "1meg", "10u",
+// "1e-9", "4.7E3"; suffix matching is case-insensitive and, as in SPICE,
+// any trailing letters after a recognized suffix are ignored ("30pF").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace symref::numeric {
+
+/// Parse an engineering-notation value; nullopt on malformed input.
+std::optional<double> parse_engineering(std::string_view text) noexcept;
+
+/// Format with an engineering suffix when one fits exactly ("30p", "2.2k"),
+/// otherwise scientific notation.
+std::string format_engineering(double value, int significant_digits = 4);
+
+}  // namespace symref::numeric

@@ -1,0 +1,105 @@
+#include "refgen/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace symref::refgen {
+
+namespace {
+
+const char* status_token(CoefficientStatus status) {
+  switch (status) {
+    case CoefficientStatus::Unknown: return "unknown";
+    case CoefficientStatus::Interpolated: return "interpolated";
+    case CoefficientStatus::ZeroTail: return "zero";
+  }
+  return "unknown";
+}
+
+CoefficientStatus parse_status(const std::string& token) {
+  if (token == "interpolated") return CoefficientStatus::Interpolated;
+  if (token == "zero") return CoefficientStatus::ZeroTail;
+  if (token == "unknown") return CoefficientStatus::Unknown;
+  throw std::runtime_error("read_reference: bad status token '" + token + "'");
+}
+
+void write_polynomial(std::ostream& os, const char* label, const PolynomialReference& poly) {
+  os << label << ' ' << poly.order_bound() << '\n';
+  char buffer[128];
+  for (int i = 0; i <= poly.order_bound(); ++i) {
+    const Coefficient& c = poly.at(i);
+    std::snprintf(buffer, sizeof(buffer), "%d %a %" PRId64 " %s %.17g\n", i,
+                  c.value.mantissa(), static_cast<std::int64_t>(c.value.exponent2()),
+                  status_token(c.status), c.relative_accuracy);
+    os << buffer;
+  }
+}
+
+PolynomialReference read_polynomial(std::istream& is, const char* expected_label) {
+  std::string label;
+  int order_bound = 0;
+  if (!(is >> label >> order_bound) || label != expected_label || order_bound < 0) {
+    throw std::runtime_error("read_reference: expected '" + std::string(expected_label) +
+                             " <order>' header");
+  }
+  PolynomialReference poly(order_bound);
+  for (int i = 0; i <= order_bound; ++i) {
+    int index = 0;
+    std::string mantissa_token;
+    std::int64_t exponent = 0;
+    std::string status;
+    double accuracy = 1.0;
+    if (!(is >> index >> mantissa_token >> exponent >> status >> accuracy) || index != i) {
+      throw std::runtime_error("read_reference: malformed coefficient line " +
+                               std::to_string(i));
+    }
+    double mantissa = 0.0;
+    if (std::sscanf(mantissa_token.c_str(), "%la", &mantissa) != 1) {
+      throw std::runtime_error("read_reference: bad mantissa '" + mantissa_token + "'");
+    }
+    Coefficient& c = poly.at(i);
+    c.value = numeric::ScaledDouble::from_mantissa_exp(mantissa, exponent);
+    c.status = parse_status(status);
+    c.relative_accuracy = accuracy;
+  }
+  return poly;
+}
+
+}  // namespace
+
+void write_reference(std::ostream& os, const NumericalReference& reference) {
+  os << "symref-reference v1\n";
+  write_polynomial(os, "numerator", reference.numerator());
+  write_polynomial(os, "denominator", reference.denominator());
+  os << "end\n";
+}
+
+std::string write_reference(const NumericalReference& reference) {
+  std::ostringstream os;
+  write_reference(os, reference);
+  return os.str();
+}
+
+NumericalReference read_reference(std::istream& is) {
+  std::string magic;
+  std::string version;
+  if (!(is >> magic >> version) || magic != "symref-reference" || version != "v1") {
+    throw std::runtime_error("read_reference: missing 'symref-reference v1' header");
+  }
+  PolynomialReference numerator = read_polynomial(is, "numerator");
+  PolynomialReference denominator = read_polynomial(is, "denominator");
+  std::string tail;
+  if (!(is >> tail) || tail != "end") {
+    throw std::runtime_error("read_reference: missing 'end' marker");
+  }
+  return NumericalReference(std::move(numerator), std::move(denominator));
+}
+
+NumericalReference read_reference(const std::string& text) {
+  std::istringstream is(text);
+  return read_reference(is);
+}
+
+}  // namespace symref::refgen

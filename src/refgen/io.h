@@ -1,0 +1,34 @@
+// Plain-text serialization of numerical references.
+//
+// Downstream symbolic tools are typically separate processes; this format
+// lets them consume the references without linking the engine. One line per
+// coefficient:
+//
+//   symref-reference v1
+//   numerator <order_bound>
+//   0 <mantissa_hex> <exp2> <status> <accuracy>
+//   ...
+//   denominator <order_bound>
+//   ...
+//   end
+//
+// Mantissas are serialized as hex doubles (%a), so the round-trip is
+// bit-exact; the binary exponent keeps the extended range intact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "refgen/reference.h"
+
+namespace symref::refgen {
+
+/// Serialize to the text format above.
+void write_reference(std::ostream& os, const NumericalReference& reference);
+std::string write_reference(const NumericalReference& reference);
+
+/// Parse the text format; throws std::runtime_error on malformed input.
+NumericalReference read_reference(std::istream& is);
+NumericalReference read_reference(const std::string& text);
+
+}  // namespace symref::refgen

@@ -1,0 +1,98 @@
+// The numerical reference: exact network-function coefficients at the
+// design point, the quantity SDG/SBG error control needs (paper eq. (3)).
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "mna/ac.h"
+#include "numeric/polynomial.h"
+#include "numeric/scaled.h"
+
+namespace symref::refgen {
+
+/// How a coefficient became known.
+enum class CoefficientStatus {
+  Unknown,     // never rose above the error floor; value unreliable
+  Interpolated,// inside a valid region of some interpolation
+  ZeroTail,    // proven zero: beyond the detected true order
+};
+
+struct Coefficient {
+  numeric::ScaledDouble value;  // denormalized (true) value
+  CoefficientStatus status = CoefficientStatus::Unknown;
+  int iteration = -1;  // which interpolation produced it (-1: none)
+  /// Estimated relative error at acceptance: (interpolation round-off +
+  /// deflation subtraction noise) / |value|. Used to bound the noise that
+  /// subtracting this coefficient injects into later deflated
+  /// interpolations (eq. (17)).
+  double relative_accuracy = 1.0;
+
+  [[nodiscard]] bool known() const noexcept { return status != CoefficientStatus::Unknown; }
+};
+
+/// One polynomial (numerator or denominator) of the network function.
+class PolynomialReference {
+ public:
+  PolynomialReference() = default;
+  explicit PolynomialReference(int order_bound)
+      : coefficients_(static_cast<std::size_t>(order_bound) + 1) {}
+
+  [[nodiscard]] int order_bound() const noexcept {
+    return static_cast<int>(coefficients_.size()) - 1;
+  }
+  /// Highest index whose value is known and nonzero (-1 for all-zero).
+  [[nodiscard]] int effective_order() const noexcept;
+
+  [[nodiscard]] const Coefficient& at(int index) const {
+    return coefficients_.at(static_cast<std::size_t>(index));
+  }
+  Coefficient& at(int index) { return coefficients_.at(static_cast<std::size_t>(index)); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return coefficients_.size(); }
+  [[nodiscard]] bool complete() const noexcept;
+  [[nodiscard]] int known_count() const noexcept;
+
+  /// Known coefficients as a polynomial (unknown indices contribute 0).
+  [[nodiscard]] numeric::Polynomial<numeric::ScaledDouble> polynomial() const;
+
+ private:
+  std::vector<Coefficient> coefficients_;
+};
+
+/// Full reference for one transfer function.
+class NumericalReference {
+ public:
+  NumericalReference() = default;
+  NumericalReference(PolynomialReference numerator, PolynomialReference denominator)
+      : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {}
+
+  [[nodiscard]] const PolynomialReference& numerator() const noexcept { return numerator_; }
+  [[nodiscard]] const PolynomialReference& denominator() const noexcept { return denominator_; }
+  PolynomialReference& numerator() noexcept { return numerator_; }
+  PolynomialReference& denominator() noexcept { return denominator_; }
+
+  [[nodiscard]] bool complete() const noexcept {
+    return numerator_.complete() && denominator_.complete();
+  }
+
+  /// H(s) from the interpolated coefficients; overflow-safe scaled Horner.
+  [[nodiscard]] std::complex<double> transfer(std::complex<double> s) const;
+
+  /// H(j*2*pi*f).
+  [[nodiscard]] std::complex<double> transfer_at_hz(double frequency_hz) const;
+
+  /// Bode sweep from the coefficients (same conventions as AcSimulator).
+  [[nodiscard]] std::vector<mna::BodePoint> bode(double f_start_hz, double f_stop_hz,
+                                                 int points_per_decade = 10) const;
+
+  /// Per-coefficient report for logs/tables.
+  [[nodiscard]] std::string describe(int significant_digits = 6) const;
+
+ private:
+  PolynomialReference numerator_;
+  PolynomialReference denominator_;
+};
+
+}  // namespace symref::refgen

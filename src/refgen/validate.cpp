@@ -1,0 +1,49 @@
+#include "refgen/validate.h"
+
+#include <cmath>
+
+namespace symref::refgen {
+
+BodeComparison compare_bode(const NumericalReference& reference,
+                            const netlist::Circuit& circuit, const mna::TransferSpec& spec,
+                            double f_start_hz, double f_stop_hz, int points_per_decade) {
+  const mna::AcSimulator simulator(circuit);
+  const std::vector<mna::BodePoint> simulated =
+      simulator.bode(spec, f_start_hz, f_stop_hz, points_per_decade);
+  const std::vector<mna::BodePoint> interpolated =
+      reference.bode(f_start_hz, f_stop_hz, points_per_decade);
+
+  BodeComparison comparison;
+  comparison.points.reserve(simulated.size());
+  for (std::size_t i = 0; i < simulated.size() && i < interpolated.size(); ++i) {
+    BodeComparisonPoint p;
+    p.frequency_hz = simulated[i].frequency_hz;
+    p.simulated_db = simulated[i].magnitude_db;
+    p.interpolated_db = interpolated[i].magnitude_db;
+    p.simulated_phase_deg = simulated[i].phase_deg;
+    p.interpolated_phase_deg = interpolated[i].phase_deg;
+    comparison.points.push_back(p);
+
+    comparison.max_magnitude_error_db = std::max(
+        comparison.max_magnitude_error_db, std::fabs(p.simulated_db - p.interpolated_db));
+    // Compare phases modulo 360 (unwrap offsets can differ between sweeps).
+    double dphi = std::fabs(p.simulated_phase_deg - p.interpolated_phase_deg);
+    dphi = std::fmod(dphi, 360.0);
+    if (dphi > 180.0) dphi = 360.0 - dphi;
+    comparison.max_phase_error_deg = std::max(comparison.max_phase_error_deg, dphi);
+  }
+  return comparison;
+}
+
+double relative_transfer_error(const NumericalReference& reference,
+                               const netlist::Circuit& circuit, const mna::TransferSpec& spec,
+                               std::complex<double> s) {
+  const mna::AcSimulator simulator(circuit);
+  const std::complex<double> simulated = simulator.transfer_s(spec, s);
+  const std::complex<double> interpolated = reference.transfer(s);
+  const double scale = std::abs(simulated);
+  if (scale == 0.0) return std::abs(interpolated);
+  return std::abs(interpolated - simulated) / scale;
+}
+
+}  // namespace symref::refgen

@@ -1,0 +1,45 @@
+// Validation of interpolated references against direct AC analysis.
+//
+// This is the paper's Fig. 2 experiment: evaluate the transfer function from
+// the interpolated coefficients across a frequency sweep and compare with an
+// "electrical simulator" (here: mna::AcSimulator, a direct complex MNA solve
+// per point — exactly what a SPICE AC analysis computes).
+#pragma once
+
+#include <vector>
+
+#include "mna/ac.h"
+#include "mna/transfer.h"
+#include "netlist/circuit.h"
+#include "refgen/reference.h"
+
+namespace symref::refgen {
+
+struct BodeComparisonPoint {
+  double frequency_hz = 0.0;
+  double interpolated_db = 0.0;
+  double simulated_db = 0.0;
+  double interpolated_phase_deg = 0.0;
+  double simulated_phase_deg = 0.0;
+};
+
+struct BodeComparison {
+  std::vector<BodeComparisonPoint> points;
+  double max_magnitude_error_db = 0.0;
+  double max_phase_error_deg = 0.0;
+};
+
+/// Sweep both paths over [f_start, f_stop]. The circuit passed here should
+/// be the same one the reference was generated from (the original,
+/// pre-canonicalization netlist is fine: AcSimulator handles all elements).
+BodeComparison compare_bode(const NumericalReference& reference,
+                            const netlist::Circuit& circuit, const mna::TransferSpec& spec,
+                            double f_start_hz, double f_stop_hz, int points_per_decade = 10);
+
+/// Pointwise relative error |H_ref(s) - H_sim(s)| / |H_sim(s)| at one
+/// complex frequency (used by property tests on random circuits).
+double relative_transfer_error(const NumericalReference& reference,
+                               const netlist::Circuit& circuit, const mna::TransferSpec& spec,
+                               std::complex<double> s);
+
+}  // namespace symref::refgen

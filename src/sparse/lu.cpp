@@ -1,0 +1,292 @@
+#include "sparse/lu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace symref::sparse {
+
+namespace {
+using Complex = std::complex<double>;
+}  // namespace
+
+int permutation_sign(const std::vector<int>& order) {
+  const std::size_t n = order.size();
+  std::vector<bool> visited(n, false);
+  int sign = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    std::size_t cycle_length = 0;
+    std::size_t j = i;
+    while (!visited[j]) {
+      visited[j] = true;
+      assert(order[j] >= 0 && static_cast<std::size_t>(order[j]) < n);
+      j = static_cast<std::size_t>(order[j]);
+      ++cycle_length;
+    }
+    if (cycle_length % 2 == 0) sign = -sign;
+  }
+  return sign;
+}
+
+bool SparseLu::factor(const TripletMatrix& matrix, const SparseLuOptions& options) {
+  return factor(matrix.compress(), options);
+}
+
+bool SparseLu::factor(const CompressedMatrix& matrix, const SparseLuOptions& options) {
+  const int n = matrix.dim;
+  dim_ = n;
+  ok_ = false;
+  fill_in_ = 0;
+  row_order_.assign(static_cast<std::size_t>(n), -1);
+  col_order_.assign(static_cast<std::size_t>(n), -1);
+  col_step_.assign(static_cast<std::size_t>(n), -1);
+  pivots_.assign(static_cast<std::size_t>(n), Complex{});
+  lower_ops_.assign(static_cast<std::size_t>(n), {});
+  upper_rows_.assign(static_cast<std::size_t>(n), {});
+
+  // Active submatrix in a dynamic row-hash / column-set structure.
+  std::vector<std::unordered_map<int, Complex>> rows(static_cast<std::size_t>(n));
+  std::vector<std::unordered_set<int>> col_rows(static_cast<std::size_t>(n));
+  const std::size_t original_nnz = matrix.nonzeros();
+  max_abs_entry_ = 0.0;
+  for (int r = 0; r < n; ++r) {
+    for (int k = matrix.row_start[static_cast<std::size_t>(r)];
+         k < matrix.row_start[static_cast<std::size_t>(r) + 1]; ++k) {
+      const int c = matrix.cols[static_cast<std::size_t>(k)];
+      const Complex v = matrix.values[static_cast<std::size_t>(k)];
+      const double magnitude = std::abs(v);
+      if (magnitude <= options.singularity_tolerance) continue;
+      max_abs_entry_ = std::max(max_abs_entry_, magnitude);
+      rows[static_cast<std::size_t>(r)].emplace(c, v);
+      col_rows[static_cast<std::size_t>(c)].insert(r);
+    }
+  }
+
+  std::vector<bool> row_active(static_cast<std::size_t>(n), true);
+  std::vector<bool> col_active(static_cast<std::size_t>(n), true);
+
+  for (int step = 0; step < n; ++step) {
+    // --- Pivot selection: minimum Markowitz cost among numerically
+    // acceptable entries; ties broken by larger magnitude.
+    int pivot_row = -1;
+    int pivot_col = -1;
+    std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+    double best_magnitude = 0.0;
+
+    for (int r = 0; r < n; ++r) {
+      if (!row_active[static_cast<std::size_t>(r)]) continue;
+      const auto& row = rows[static_cast<std::size_t>(r)];
+      if (row.empty()) continue;
+      double row_max = 0.0;
+      for (const auto& [c, v] : row) row_max = std::max(row_max, std::abs(v));
+      if (row_max == 0.0) continue;
+      const double accept = options.pivot_threshold * row_max;
+      const std::uint64_t row_count = row.size();
+      for (const auto& [c, v] : row) {
+        const double magnitude = std::abs(v);
+        if (magnitude < accept || magnitude <= options.singularity_tolerance) continue;
+        const std::uint64_t col_count = col_rows[static_cast<std::size_t>(c)].size();
+        const std::uint64_t cost = (row_count - 1) * (col_count - 1);
+        if (cost < best_cost || (cost == best_cost && magnitude > best_magnitude)) {
+          best_cost = cost;
+          best_magnitude = magnitude;
+          pivot_row = r;
+          pivot_col = c;
+        }
+      }
+    }
+
+    if (pivot_row < 0) {
+      // No acceptable pivot anywhere: matrix is (numerically) singular.
+      return false;
+    }
+
+    row_order_[static_cast<std::size_t>(step)] = pivot_row;
+    col_order_[static_cast<std::size_t>(step)] = pivot_col;
+    col_step_[static_cast<std::size_t>(pivot_col)] = step;
+
+    auto& prow = rows[static_cast<std::size_t>(pivot_row)];
+    const Complex pivot = prow.at(pivot_col);
+    pivots_[static_cast<std::size_t>(step)] = pivot;
+
+    // Freeze the pivot row as U row `step` (pivot entry kept separately).
+    auto& urow = upper_rows_[static_cast<std::size_t>(step)];
+    urow.reserve(prow.size() - 1);
+    for (const auto& [c, v] : prow) {
+      if (c != pivot_col) urow.push_back({c, v});
+    }
+
+    // Detach pivot row/column from the active structure.
+    row_active[static_cast<std::size_t>(pivot_row)] = false;
+    col_active[static_cast<std::size_t>(pivot_col)] = false;
+    for (const auto& [c, v] : prow) {
+      col_rows[static_cast<std::size_t>(c)].erase(pivot_row);
+    }
+
+    // Eliminate pivot_col from every remaining row that contains it.
+    auto& pcol_rows = col_rows[static_cast<std::size_t>(pivot_col)];
+    auto& lops = lower_ops_[static_cast<std::size_t>(step)];
+    lops.reserve(pcol_rows.size());
+    for (const int r : pcol_rows) {
+      auto& row = rows[static_cast<std::size_t>(r)];
+      const auto it = row.find(pivot_col);
+      assert(it != row.end());
+      const Complex multiplier = it->second / pivot;
+      row.erase(it);
+      lops.push_back({r, multiplier});
+      for (const auto& [c, v] : urow) {
+        auto [slot, inserted] = row.try_emplace(c, Complex{});
+        if (inserted) {
+          col_rows[static_cast<std::size_t>(c)].insert(r);
+          ++fill_in_;
+        }
+        slot->second -= multiplier * v;
+      }
+    }
+    pcol_rows.clear();
+  }
+
+  permutation_sign_ = permutation_sign(row_order_) * permutation_sign(col_order_);
+  ok_ = true;
+  pattern_dim_ = n;
+  pattern_nonzeros_ = original_nnz;
+  return true;
+}
+
+void SparseLu::solve(std::vector<Complex>& rhs) const {
+  assert(ok_);
+  assert(static_cast<int>(rhs.size()) == dim_);
+  const int n = dim_;
+
+  // Forward pass replays the elimination on the right-hand side:
+  // y[step] is the pivot-row value once all earlier steps have updated it.
+  std::vector<Complex> y(static_cast<std::size_t>(n));
+  for (int step = 0; step < n; ++step) {
+    const Complex value = rhs[static_cast<std::size_t>(row_order_[static_cast<std::size_t>(step)])];
+    y[static_cast<std::size_t>(step)] = value;
+    if (value == Complex{}) continue;
+    for (const Entry& op : lower_ops_[static_cast<std::size_t>(step)]) {
+      rhs[static_cast<std::size_t>(op.index)] -= op.value * value;
+    }
+  }
+
+  // Back substitution over U; z[step] is the unknown for column
+  // col_order_[step], and every U entry references a later step.
+  std::vector<Complex> z(static_cast<std::size_t>(n));
+  for (int step = n - 1; step >= 0; --step) {
+    Complex acc = y[static_cast<std::size_t>(step)];
+    for (const Entry& entry : upper_rows_[static_cast<std::size_t>(step)]) {
+      const int target_step = col_step_[static_cast<std::size_t>(entry.index)];
+      assert(target_step > step);
+      acc -= entry.value * z[static_cast<std::size_t>(target_step)];
+    }
+    z[static_cast<std::size_t>(step)] = acc / pivots_[static_cast<std::size_t>(step)];
+  }
+
+  for (int step = 0; step < n; ++step) {
+    rhs[static_cast<std::size_t>(col_order_[static_cast<std::size_t>(step)])] =
+        z[static_cast<std::size_t>(step)];
+  }
+}
+
+bool SparseLu::refactor(const CompressedMatrix& matrix, const SparseLuOptions& options) {
+  if (!ok_ || matrix.dim != pattern_dim_ || matrix.nonzeros() != pattern_nonzeros_) {
+    return false;  // no prior plan or pattern changed: need a full factor()
+  }
+  const int n = matrix.dim;
+
+  std::vector<std::unordered_map<int, Complex>> rows(static_cast<std::size_t>(n));
+  std::vector<std::unordered_set<int>> col_rows(static_cast<std::size_t>(n));
+  max_abs_entry_ = 0.0;
+  for (int r = 0; r < n; ++r) {
+    for (int k = matrix.row_start[static_cast<std::size_t>(r)];
+         k < matrix.row_start[static_cast<std::size_t>(r) + 1]; ++k) {
+      const int c = matrix.cols[static_cast<std::size_t>(k)];
+      const Complex v = matrix.values[static_cast<std::size_t>(k)];
+      const double magnitude = std::abs(v);
+      if (magnitude <= options.singularity_tolerance) continue;
+      max_abs_entry_ = std::max(max_abs_entry_, magnitude);
+      rows[static_cast<std::size_t>(r)].emplace(c, v);
+      col_rows[static_cast<std::size_t>(c)].insert(r);
+    }
+  }
+
+  // Numeric elimination along the stored pivot order. Pivots are accepted
+  // with a relaxed threshold (we did not search for the best one); a pivot
+  // that degraded too much signals the caller to re-run the full factor().
+  constexpr double kRelaxedThresholdScale = 1e-5;
+  for (int step = 0; step < n; ++step) {
+    const int pivot_row = row_order_[static_cast<std::size_t>(step)];
+    const int pivot_col = col_order_[static_cast<std::size_t>(step)];
+    auto& prow = rows[static_cast<std::size_t>(pivot_row)];
+    const auto pivot_it = prow.find(pivot_col);
+    if (pivot_it == prow.end()) {
+      ok_ = false;
+      return false;  // structural change (exact cancellation created a zero)
+    }
+    const Complex pivot = pivot_it->second;
+    double row_max = 0.0;
+    for (const auto& [c, v] : prow) row_max = std::max(row_max, std::abs(v));
+    if (std::abs(pivot) <= options.singularity_tolerance ||
+        std::abs(pivot) < kRelaxedThresholdScale * options.pivot_threshold * row_max) {
+      ok_ = false;
+      return false;
+    }
+    pivots_[static_cast<std::size_t>(step)] = pivot;
+
+    auto& urow = upper_rows_[static_cast<std::size_t>(step)];
+    urow.clear();
+    urow.reserve(prow.size() - 1);
+    for (const auto& [c, v] : prow) {
+      if (c != pivot_col) urow.push_back({c, v});
+    }
+    for (const auto& [c, v] : prow) {
+      col_rows[static_cast<std::size_t>(c)].erase(pivot_row);
+    }
+
+    auto& pcol_rows = col_rows[static_cast<std::size_t>(pivot_col)];
+    auto& lops = lower_ops_[static_cast<std::size_t>(step)];
+    lops.clear();
+    lops.reserve(pcol_rows.size());
+    for (const int r : pcol_rows) {
+      auto& row = rows[static_cast<std::size_t>(r)];
+      const auto it = row.find(pivot_col);
+      assert(it != row.end());
+      const Complex multiplier = it->second / pivot;
+      row.erase(it);
+      lops.push_back({r, multiplier});
+      for (const auto& [c, v] : urow) {
+        auto [slot, inserted] = row.try_emplace(c, Complex{});
+        if (inserted) col_rows[static_cast<std::size_t>(c)].insert(r);
+        slot->second -= multiplier * v;
+      }
+    }
+    pcol_rows.clear();
+  }
+  // Permutation and sign are unchanged by construction.
+  ok_ = true;
+  return true;
+}
+
+double SparseLu::min_abs_pivot() const noexcept {
+  double smallest = 0.0;
+  for (const Complex& pivot : pivots_) {
+    const double magnitude = std::abs(pivot);
+    if (smallest == 0.0 || magnitude < smallest) smallest = magnitude;
+  }
+  return smallest;
+}
+
+numeric::ScaledComplex SparseLu::determinant() const {
+  if (!ok_) return numeric::ScaledComplex();
+  numeric::ScaledComplex det(Complex(static_cast<double>(permutation_sign_), 0.0));
+  for (const Complex& pivot : pivots_) det *= numeric::ScaledComplex(pivot);
+  return det;
+}
+
+}  // namespace sparse

@@ -1,0 +1,72 @@
+#include "sparse/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace symref::sparse {
+
+std::complex<double> CompressedMatrix::at(int r, int c) const noexcept {
+  if (r < 0 || r >= dim) return {};
+  const int begin = row_start[static_cast<std::size_t>(r)];
+  const int end = row_start[static_cast<std::size_t>(r) + 1];
+  const auto first = cols.begin() + begin;
+  const auto last = cols.begin() + end;
+  const auto it = std::lower_bound(first, last, c);
+  if (it == last || *it != c) return {};
+  return values[static_cast<std::size_t>(it - cols.begin())];
+}
+
+void CompressedMatrix::multiply(const std::vector<std::complex<double>>& x,
+                                std::vector<std::complex<double>>& y) const {
+  assert(static_cast<int>(x.size()) == dim);
+  y.assign(static_cast<std::size_t>(dim), {});
+  for (int r = 0; r < dim; ++r) {
+    std::complex<double> acc;
+    for (int k = row_start[static_cast<std::size_t>(r)];
+         k < row_start[static_cast<std::size_t>(r) + 1]; ++k) {
+      acc += values[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(cols[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+void TripletMatrix::add(int row, int col, std::complex<double> value) {
+  if (row < 0 || row >= dim_ || col < 0 || col >= dim_) {
+    throw std::out_of_range("TripletMatrix::add: index outside matrix");
+  }
+  if (value == std::complex<double>()) return;
+  triplets_.push_back({row, col, value});
+}
+
+CompressedMatrix TripletMatrix::compress() const {
+  CompressedMatrix out;
+  out.dim = dim_;
+  std::vector<Triplet> sorted = triplets_;
+  std::sort(sorted.begin(), sorted.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  out.row_start.assign(static_cast<std::size_t>(dim_) + 1, 0);
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i + 1;
+    std::complex<double> sum = sorted[i].value;
+    while (j < sorted.size() && sorted[j].row == sorted[i].row && sorted[j].col == sorted[i].col) {
+      sum += sorted[j].value;
+      ++j;
+    }
+    if (sum != std::complex<double>()) {
+      out.cols.push_back(sorted[i].col);
+      out.values.push_back(sum);
+      ++out.row_start[static_cast<std::size_t>(sorted[i].row) + 1];
+    }
+    i = j;
+  }
+  for (int r = 0; r < dim_; ++r) {
+    out.row_start[static_cast<std::size_t>(r) + 1] += out.row_start[static_cast<std::size_t>(r)];
+  }
+  return out;
+}
+
+}  // namespace symref::sparse

@@ -1,0 +1,59 @@
+// Triplet (COO) assembly matrix for MNA stamping.
+//
+// Element stamps accumulate duplicate (row, col) contributions; compress()
+// merges them into a deterministic column-sorted row structure consumed by
+// the LU factorizations.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace symref::sparse {
+
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  std::complex<double> value;
+};
+
+/// Row-compressed view produced by TripletMatrix::compress().
+struct CompressedMatrix {
+  int dim = 0;
+  /// row_start[i]..row_start[i+1] index into cols/values; cols sorted per row.
+  std::vector<int> row_start;
+  std::vector<int> cols;
+  std::vector<std::complex<double>> values;
+
+  [[nodiscard]] std::size_t nonzeros() const noexcept { return values.size(); }
+
+  /// Entry (r, c); zero when not stored. O(log nnz(row)).
+  [[nodiscard]] std::complex<double> at(int r, int c) const noexcept;
+
+  /// Dense y = A*x (used by iterative-refinement and tests).
+  void multiply(const std::vector<std::complex<double>>& x,
+                std::vector<std::complex<double>>& y) const;
+};
+
+class TripletMatrix {
+ public:
+  explicit TripletMatrix(int dim) : dim_(dim) {}
+
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t entries() const noexcept { return triplets_.size(); }
+  [[nodiscard]] const std::vector<Triplet>& triplets() const noexcept { return triplets_; }
+
+  /// Accumulate value at (row, col); indices must be within [0, dim).
+  void add(int row, int col, std::complex<double> value);
+
+  void clear() noexcept { triplets_.clear(); }
+
+  /// Merge duplicates and sort columns within each row.
+  [[nodiscard]] CompressedMatrix compress() const;
+
+ private:
+  int dim_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace symref::sparse

@@ -1,0 +1,33 @@
+// Tiny flag parser shared by examples: `--key=value` / `--flag` only.
+// Examples are demonstration binaries; anything fancier belongs to the user.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace symref::support {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if `--name` or `--name=...` was passed.
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String value of `--name=value`, or `fallback` when absent.
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback = "") const;
+
+  /// Numeric value of `--name=value`, or `fallback` when absent/unparsable.
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+
+  /// Non-flag positional arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace symref::support

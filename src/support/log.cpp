@@ -1,0 +1,41 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace symref::support {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::atomic<std::ostream*> g_stream{nullptr};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "trace";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_stream(std::ostream* os) noexcept { g_stream.store(os, std::memory_order_relaxed); }
+
+void log_line(LogLevel level, std::string_view message) {
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::ostream* os = g_stream.load(std::memory_order_relaxed);
+  if (os == nullptr) os = &std::cerr;
+  (*os) << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace symref::support

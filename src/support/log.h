@@ -1,0 +1,65 @@
+// Minimal leveled logger for the symref library.
+//
+// The library itself is quiet by default (Warn); examples and benches raise
+// the level to trace algorithm progress (scale factors, valid regions, ...).
+// A single global sink keeps the dependency surface flat: no allocation on
+// the hot path when the level filters the message out.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace symref::support {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Redirect log output (default: stderr). Pass nullptr to restore stderr.
+void set_log_stream(std::ostream* os) noexcept;
+
+/// Emit one line at `level` with a "[level] " prefix.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+/// Stream-style builder: destructor emits the accumulated line.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) noexcept { return level >= log_level(); }
+
+}  // namespace symref::support
+
+// Macros guard the argument evaluation behind the level check so that
+// expensive formatting in hot loops costs nothing when filtered.
+#define SYMREF_LOG(level, expr)                                              \
+  do {                                                                       \
+    if (::symref::support::log_enabled(level)) {                            \
+      ::symref::support::detail::LogMessage(level) << expr;                  \
+    }                                                                        \
+  } while (0)
+
+#define SYMREF_TRACE(expr) SYMREF_LOG(::symref::support::LogLevel::Trace, expr)
+#define SYMREF_DEBUG(expr) SYMREF_LOG(::symref::support::LogLevel::Debug, expr)
+#define SYMREF_INFO(expr) SYMREF_LOG(::symref::support::LogLevel::Info, expr)
+#define SYMREF_WARN(expr) SYMREF_LOG(::symref::support::LogLevel::Warn, expr)
+#define SYMREF_ERROR(expr) SYMREF_LOG(::symref::support::LogLevel::Error, expr)

@@ -1,0 +1,58 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace symref::support {
+
+void TextTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable::add_row: arity mismatch with header");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::str() const {
+  const std::size_t cols = header_.empty() ? (rows_.empty() ? 0 : rows_.front().size())
+                                           : header_.size();
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < std::min(cols, row.size()); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << cell << std::string(width[c] - cell.size(), ' ');
+      if (c + 1 < cols) os << " | ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << std::string(width[c], '-');
+      if (c + 1 < cols) os << "-+-";
+    }
+    os << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string format_sci(double value, int significant_digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*e", std::max(0, significant_digits - 1), value);
+  return buffer;
+}
+
+}  // namespace symref::support

@@ -1,0 +1,39 @@
+// Plain-text table formatter used by the bench harnesses to print rows in
+// the same layout as the paper's Tables 1-3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace symref::support {
+
+/// Column-aligned text table. Cells are strings; the writer computes column
+/// widths and renders with a header rule, e.g.
+///
+///   s^i  | Numerator      | Denominator
+///   -----+----------------+-------------
+///   s^0  | -5.8296e-25    | 8.9418e-30
+class TextTable {
+ public:
+  /// Set the header row. Must be called before add_row with the same arity.
+  void set_header(std::vector<std::string> header);
+
+  /// Append one data row; its size must match the header (checked).
+  void add_row(std::vector<std::string> row);
+
+  /// Render the table to a string (trailing newline included).
+  [[nodiscard]] std::string str() const;
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double like the paper's tables: "-1.28095e+124" style with a
+/// fixed number of significant digits.
+std::string format_sci(double value, int significant_digits = 6);
+
+}  // namespace symref::support

@@ -1,0 +1,211 @@
+#include "symbolic/det.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "netlist/canonical.h"
+
+namespace symref::symbolic {
+
+using netlist::Element;
+using netlist::ElementKind;
+
+SymbolicNodalMatrix::SymbolicNodalMatrix(const netlist::Circuit& circuit)
+    : circuit_(&circuit) {
+  if (!netlist::is_canonical(circuit)) {
+    throw std::invalid_argument(
+        "SymbolicNodalMatrix: circuit is not canonical; run netlist::canonicalize first");
+  }
+  std::vector<bool> active(static_cast<std::size_t>(circuit.node_count()), false);
+  for (const Element& e : circuit.elements()) {
+    active[static_cast<std::size_t>(e.node_pos)] = true;
+    active[static_cast<std::size_t>(e.node_neg)] = true;
+    if (e.ctrl_pos >= 0) active[static_cast<std::size_t>(e.ctrl_pos)] = true;
+    if (e.ctrl_neg >= 0) active[static_cast<std::size_t>(e.ctrl_neg)] = true;
+  }
+  node_to_row_.assign(static_cast<std::size_t>(circuit.node_count()), -1);
+  int next = 0;
+  for (int n = 1; n < circuit.node_count(); ++n) {
+    if (active[static_cast<std::size_t>(n)]) node_to_row_[static_cast<std::size_t>(n)] = next++;
+  }
+  dim_ = next;
+  if (dim_ > 20) {
+    throw std::length_error("SymbolicNodalMatrix: symbolic expansion limited to 20 nodes");
+  }
+  entries_.assign(static_cast<std::size_t>(dim_) * static_cast<std::size_t>(dim_), {});
+
+  auto row_of = [&](int node) { return node_to_row_[static_cast<std::size_t>(node)]; };
+  auto stamp = [&](int r, int c, int symbol, double sign) {
+    if (r < 0 || c < 0) return;
+    entries_[static_cast<std::size_t>(r) * static_cast<std::size_t>(dim_) +
+             static_cast<std::size_t>(c)]
+        .push_back({symbol, sign});
+  };
+
+  for (const Element& e : circuit.elements()) {
+    const int id = symbols_.add({e.name, e.value, e.kind == ElementKind::Capacitor});
+    const int ra = row_of(e.node_pos);
+    const int rb = row_of(e.node_neg);
+    switch (e.kind) {
+      case ElementKind::Conductance:
+      case ElementKind::Capacitor:
+        stamp(ra, ra, id, 1.0);
+        stamp(rb, rb, id, 1.0);
+        stamp(ra, rb, id, -1.0);
+        stamp(rb, ra, id, -1.0);
+        break;
+      case ElementKind::Vccs: {
+        const int rc = row_of(e.ctrl_pos);
+        const int rd = row_of(e.ctrl_neg);
+        stamp(ra, rc, id, 1.0);
+        stamp(ra, rd, id, -1.0);
+        stamp(rb, rc, id, -1.0);
+        stamp(rb, rd, id, 1.0);
+        break;
+      }
+      default:
+        break;  // unreachable: canonicality enforced above
+    }
+  }
+}
+
+std::optional<int> SymbolicNodalMatrix::row_of_node(std::string_view name) const {
+  const auto node = circuit_->find_node(name);
+  if (!node || *node == 0) return std::nullopt;
+  const int row = node_to_row_[static_cast<std::size_t>(*node)];
+  return row < 0 ? std::nullopt : std::optional<int>(row);
+}
+
+Expression SymbolicNodalMatrix::entry_expression(int row, int col) const {
+  Expression out;
+  for (const MatrixAtom& atom : entry(row, col)) {
+    Term term;
+    term.coefficient = atom.sign;
+    term.symbols = {atom.symbol};
+    term.s_power = symbols_.at(atom.symbol).is_capacitor ? 1 : 0;
+    out.add_term(std::move(term));
+  }
+  out.canonicalize();
+  return out;
+}
+
+namespace {
+
+/// Memoized Laplace expansion over the rows in `rows` and the columns in the
+/// current bitmask. The memo key is the column mask (the row position is
+/// implied by its popcount).
+class DeterminantExpander {
+ public:
+  DeterminantExpander(const SymbolicNodalMatrix& matrix, std::vector<int> rows)
+      : matrix_(matrix), rows_(std::move(rows)) {}
+
+  Expression run(std::uint32_t colmask) { return expand(0, colmask); }
+
+ private:
+  Expression expand(std::size_t position, std::uint32_t colmask) {
+    if (position == rows_.size()) {
+      Expression one;
+      Term unit;
+      unit.coefficient = 1.0;
+      one.add_term(std::move(unit));
+      return one;
+    }
+    const auto memo = memo_.find(colmask);
+    if (memo != memo_.end()) return memo->second;
+
+    Expression result;
+    const int row = rows_[position];
+    int column_position = 0;  // rank of the column inside the mask: sign alternation
+    for (int col = 0; col < matrix_.dim(); ++col) {
+      const std::uint32_t bit = 1u << col;
+      if (!(colmask & bit)) continue;
+      const double parity = (column_position % 2 == 0) ? 1.0 : -1.0;
+      ++column_position;
+      const auto& atoms = matrix_.entry(row, col);
+      if (atoms.empty()) continue;
+      const Expression sub = expand(position + 1, colmask & ~bit);
+      if (sub.is_zero()) continue;
+      Expression entry;
+      for (const MatrixAtom& atom : atoms) {
+        Term term;
+        term.coefficient = atom.sign * parity;
+        term.symbols = {atom.symbol};
+        term.s_power = matrix_.symbols().at(atom.symbol).is_capacitor ? 1 : 0;
+        entry.add_term(std::move(term));
+      }
+      result += entry * sub;
+    }
+    memo_.emplace(colmask, result);
+    return result;
+  }
+
+  const SymbolicNodalMatrix& matrix_;
+  std::vector<int> rows_;
+  std::unordered_map<std::uint32_t, Expression> memo_;
+};
+
+std::vector<int> all_rows_except(int dim, int skip) {
+  std::vector<int> rows;
+  rows.reserve(static_cast<std::size_t>(dim));
+  for (int r = 0; r < dim; ++r) {
+    if (r != skip) rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace
+
+Expression symbolic_determinant(const SymbolicNodalMatrix& matrix) {
+  const std::uint32_t full = matrix.dim() >= 32
+                                 ? ~0u
+                                 : ((1u << matrix.dim()) - 1u);
+  DeterminantExpander expander(matrix, all_rows_except(matrix.dim(), -1));
+  Expression det = expander.run(full);
+  det.canonicalize();
+  return det;
+}
+
+Expression symbolic_cofactor(const SymbolicNodalMatrix& matrix, int row, int col) {
+  if (row < 0 || col < 0 || row >= matrix.dim() || col >= matrix.dim()) {
+    throw std::out_of_range("symbolic_cofactor: index outside matrix");
+  }
+  const std::uint32_t full = (1u << matrix.dim()) - 1u;
+  DeterminantExpander expander(matrix, all_rows_except(matrix.dim(), row));
+  Expression minor = expander.run(full & ~(1u << col));
+  minor.canonicalize();
+  if ((row + col) % 2 != 0) minor = -minor;
+  return minor;
+}
+
+SymbolicTransfer symbolic_transfer(const SymbolicNodalMatrix& matrix,
+                                   const mna::TransferSpec& spec) {
+  auto row_or_ground = [&](const std::string& name) -> int {
+    const auto row = matrix.row_of_node(name);
+    return row ? *row : -1;
+  };
+  const int ip = row_or_ground(spec.in_pos);
+  const int in = row_or_ground(spec.in_neg);
+  const int op = row_or_ground(spec.out_pos);
+  const int on = row_or_ground(spec.out_neg);
+
+  // V_x * det = sum_j J_j * C_{j,x}; ground indices contribute nothing.
+  auto cofactor_sum = [&](int x) {
+    Expression sum;
+    if (x < 0) return sum;  // ground output: voltage identically zero
+    if (ip >= 0) sum += symbolic_cofactor(matrix, ip, x);
+    if (in >= 0) sum -= symbolic_cofactor(matrix, in, x);
+    return sum;
+  };
+
+  SymbolicTransfer transfer;
+  transfer.numerator = cofactor_sum(op) - cofactor_sum(on);
+  if (spec.kind == mna::TransferSpec::Kind::VoltageGain) {
+    transfer.denominator = cofactor_sum(ip) - cofactor_sum(in);
+  } else {
+    transfer.denominator = symbolic_determinant(matrix);
+  }
+  return transfer;
+}
+
+}  // namespace symref::symbolic

@@ -1,0 +1,75 @@
+// Exact symbolic determinants and cofactors of the nodal admittance matrix.
+//
+// For small circuits the full symbolic determinant is tractable (memoized
+// Laplace expansion over column subsets, O(2^n * n) subproblems) and serves
+// two roles:
+//  * validation oracle — its design-point coefficients must match the
+//    adaptive interpolation engine exactly (up to round-off), which is the
+//    strongest correctness test this library has;
+//  * SAG-style symbolic output — the term lists the SDG generator produces
+//    incrementally can be compared against the complete expansion.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mna/transfer.h"
+#include "netlist/circuit.h"
+#include "symbolic/expr.h"
+
+namespace symref::symbolic {
+
+/// One admittance atom stamped at a matrix position: +/- symbol.
+struct MatrixAtom {
+  int symbol = 0;
+  double sign = 1.0;
+};
+
+/// The nodal admittance matrix with symbolic entries.
+class SymbolicNodalMatrix {
+ public:
+  /// Build from a canonical circuit ({G, C, VCCS}); one symbol per element.
+  /// Throws std::invalid_argument for non-canonical circuits.
+  explicit SymbolicNodalMatrix(const netlist::Circuit& circuit);
+
+  [[nodiscard]] int dim() const noexcept { return dim_; }
+  [[nodiscard]] const SymbolTable& symbols() const noexcept { return symbols_; }
+  [[nodiscard]] const std::vector<MatrixAtom>& entry(int row, int col) const {
+    return entries_.at(static_cast<std::size_t>(row) * static_cast<std::size_t>(dim_) +
+                       static_cast<std::size_t>(col));
+  }
+
+  /// Matrix row index of a named node (ground/unknown -> nullopt).
+  [[nodiscard]] std::optional<int> row_of_node(std::string_view name) const;
+
+  /// Entry as a (sum-of-atoms) expression.
+  [[nodiscard]] Expression entry_expression(int row, int col) const;
+
+ private:
+  int dim_ = 0;
+  SymbolTable symbols_;
+  std::vector<std::vector<MatrixAtom>> entries_;
+  std::vector<int> node_to_row_;
+  const netlist::Circuit* circuit_ = nullptr;
+
+  friend class DeterminantExpander;
+};
+
+/// Full symbolic determinant. Practical up to ~14 nodes.
+Expression symbolic_determinant(const SymbolicNodalMatrix& matrix);
+
+/// Signed cofactor C_{row,col} = (-1)^(row+col) * minor(row, col).
+Expression symbolic_cofactor(const SymbolicNodalMatrix& matrix, int row, int col);
+
+/// Symbolic numerator/denominator for a transfer spec, in Lin's cofactor
+/// form (the same quantities the interpolation engine samples numerically):
+///   voltage gain:   N = sum of 4 signed cross cofactors, D likewise at the
+///                   input; transimpedance: D = full determinant.
+struct SymbolicTransfer {
+  Expression numerator;
+  Expression denominator;
+};
+SymbolicTransfer symbolic_transfer(const SymbolicNodalMatrix& matrix,
+                                   const mna::TransferSpec& spec);
+
+}  // namespace symref::symbolic

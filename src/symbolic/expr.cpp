@@ -1,0 +1,138 @@
+#include "symbolic/expr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace symref::symbolic {
+
+using numeric::ScaledComplex;
+using numeric::ScaledDouble;
+
+int SymbolTable::add(Symbol symbol) {
+  symbols_.push_back(std::move(symbol));
+  return static_cast<int>(symbols_.size()) - 1;
+}
+
+int SymbolTable::find(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < symbols_.size(); ++i) {
+    if (symbols_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ScaledDouble Term::value(const SymbolTable& table) const {
+  ScaledDouble product(coefficient);
+  for (const int id : symbols) product *= ScaledDouble(table.at(id).value);
+  return product;
+}
+
+ScaledDouble Term::magnitude(const SymbolTable& table) const { return value(table).abs(); }
+
+std::string Term::to_string(const SymbolTable& table) const {
+  std::ostringstream os;
+  os << (coefficient < 0 ? "-" : "+");
+  if (std::fabs(coefficient) != 1.0) os << std::fabs(coefficient) << "*";
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    if (i > 0) os << "*";
+    os << table.at(symbols[i]).name;
+  }
+  if (symbols.empty()) os << "1";
+  return os.str();
+}
+
+void Expression::add_term(Term term) {
+  if (term.coefficient == 0.0) return;
+  std::sort(term.symbols.begin(), term.symbols.end());
+  terms_.push_back(std::move(term));
+}
+
+Expression& Expression::operator+=(const Expression& rhs) {
+  terms_.insert(terms_.end(), rhs.terms_.begin(), rhs.terms_.end());
+  canonicalize();
+  return *this;
+}
+
+Expression& Expression::operator-=(const Expression& rhs) {
+  Expression negated = -rhs;
+  return *this += negated;
+}
+
+Expression Expression::operator-() const {
+  Expression out = *this;
+  for (Term& term : out.terms_) term.coefficient = -term.coefficient;
+  return out;
+}
+
+Expression operator*(const Expression& a, const Expression& b) {
+  Expression out;
+  out.terms_.reserve(a.terms_.size() * b.terms_.size());
+  for (const Term& ta : a.terms_) {
+    for (const Term& tb : b.terms_) {
+      Term product;
+      product.coefficient = ta.coefficient * tb.coefficient;
+      product.symbols = ta.symbols;
+      product.symbols.insert(product.symbols.end(), tb.symbols.begin(), tb.symbols.end());
+      std::sort(product.symbols.begin(), product.symbols.end());
+      product.s_power = ta.s_power + tb.s_power;
+      out.terms_.push_back(std::move(product));
+    }
+  }
+  out.canonicalize();
+  return out;
+}
+
+void Expression::canonicalize() {
+  for (Term& term : terms_) std::sort(term.symbols.begin(), term.symbols.end());
+  std::sort(terms_.begin(), terms_.end(), [](const Term& a, const Term& b) {
+    if (a.s_power != b.s_power) return a.s_power < b.s_power;
+    return a.symbols < b.symbols;
+  });
+  std::vector<Term> merged;
+  merged.reserve(terms_.size());
+  for (Term& term : terms_) {
+    if (!merged.empty() && merged.back().symbols == term.symbols &&
+        merged.back().s_power == term.s_power) {
+      merged.back().coefficient += term.coefficient;
+    } else {
+      merged.push_back(std::move(term));
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Term& t) { return t.coefficient == 0.0; }),
+               merged.end());
+  terms_ = std::move(merged);
+}
+
+numeric::Polynomial<ScaledDouble> Expression::coefficients(const SymbolTable& table) const {
+  int max_power = -1;
+  for (const Term& term : terms_) max_power = std::max(max_power, term.s_power);
+  if (max_power < 0) return numeric::Polynomial<ScaledDouble>{};
+  std::vector<ScaledDouble> coeffs(static_cast<std::size_t>(max_power) + 1);
+  for (const Term& term : terms_) {
+    coeffs[static_cast<std::size_t>(term.s_power)] += term.value(table);
+  }
+  return numeric::Polynomial<ScaledDouble>(std::move(coeffs));
+}
+
+ScaledComplex Expression::evaluate(const SymbolTable& table, std::complex<double> s) const {
+  return numeric::eval_scaled(coefficients(table), s);
+}
+
+std::string Expression::to_string(const SymbolTable& table, std::size_t max_terms) const {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const Term& term : terms_) {
+    if (shown++ >= max_terms) {
+      os << " ... (+" << terms_.size() - max_terms << " terms)";
+      break;
+    }
+    if (shown > 1) os << ' ';
+    os << term.to_string(table);
+    if (term.s_power > 0) os << "*s^" << term.s_power;
+  }
+  if (terms_.empty()) os << "0";
+  return os.str();
+}
+
+}  // namespace symref::symbolic

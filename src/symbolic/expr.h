@@ -1,0 +1,100 @@
+// Symbolic sum-of-products expression engine.
+//
+// Symbolic analysis of the paper's class represents each network-function
+// coefficient as a sum of terms, each term a signed product of element
+// admittance symbols (transconductances/conductances and capacitances; the
+// capacitor count of a term is its power of s). This module provides the
+// term/expression algebra, the symbol table binding symbols to design-point
+// values, and evaluation — the machinery SDG/SBG operate on.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numeric/polynomial.h"
+#include "numeric/scaled.h"
+
+namespace symref::symbolic {
+
+/// One admittance symbol: a conductance-like value (g, gm) or a capacitance
+/// (which carries one power of s).
+struct Symbol {
+  std::string name;
+  double value = 0.0;
+  bool is_capacitor = false;
+};
+
+class SymbolTable {
+ public:
+  /// Register a symbol; returns its id. Duplicate names get distinct ids.
+  int add(Symbol symbol);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(symbols_.size()); }
+  [[nodiscard]] const Symbol& at(int id) const { return symbols_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] int find(std::string_view name) const noexcept;  // -1 if absent
+
+ private:
+  std::vector<Symbol> symbols_;
+};
+
+/// A signed product of symbols. `s_power` equals the number of capacitor
+/// symbols in the product and is stored to avoid re-deriving it.
+struct Term {
+  double coefficient = 1.0;      // sign and integer multiplicity
+  std::vector<int> symbols;      // sorted ids, repetition allowed
+  int s_power = 0;
+
+  /// Design-point magnitude |coefficient * prod(values)| as extended-range.
+  [[nodiscard]] numeric::ScaledDouble magnitude(const SymbolTable& table) const;
+  /// Signed design-point value.
+  [[nodiscard]] numeric::ScaledDouble value(const SymbolTable& table) const;
+
+  [[nodiscard]] std::string to_string(const SymbolTable& table) const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.coefficient == b.coefficient && a.symbols == b.symbols;
+  }
+};
+
+/// Sum of terms.
+class Expression {
+ public:
+  Expression() = default;
+  explicit Expression(Term term) { terms_.push_back(std::move(term)); }
+
+  [[nodiscard]] bool is_zero() const noexcept { return terms_.empty(); }
+  [[nodiscard]] std::size_t term_count() const noexcept { return terms_.size(); }
+  [[nodiscard]] const std::vector<Term>& terms() const noexcept { return terms_; }
+
+  void add_term(Term term);
+
+  Expression& operator+=(const Expression& rhs);
+  Expression& operator-=(const Expression& rhs);
+  friend Expression operator+(Expression a, const Expression& b) { return a += b; }
+  friend Expression operator-(Expression a, const Expression& b) { return a -= b; }
+  friend Expression operator*(const Expression& a, const Expression& b);
+
+  Expression operator-() const;
+
+  /// Merge identical products, drop zero terms, sort deterministically
+  /// (by s-power, then symbol lists).
+  void canonicalize();
+
+  /// Exact polynomial in s at the design point: coefficient k is the signed
+  /// sum over terms with s_power == k.
+  [[nodiscard]] numeric::Polynomial<numeric::ScaledDouble> coefficients(
+      const SymbolTable& table) const;
+
+  /// Value at complex s and the design point.
+  [[nodiscard]] numeric::ScaledComplex evaluate(const SymbolTable& table,
+                                                std::complex<double> s) const;
+
+  [[nodiscard]] std::string to_string(const SymbolTable& table, std::size_t max_terms = 24) const;
+
+ private:
+  std::vector<Term> terms_;
+};
+
+}  // namespace symref::symbolic

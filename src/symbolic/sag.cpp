@@ -1,0 +1,77 @@
+#include "symbolic/sag.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace symref::symbolic {
+
+using numeric::ScaledDouble;
+
+namespace {
+
+SagResult prune(const Expression& full, const SymbolTable& table,
+                const numeric::Polynomial<ScaledDouble>& reference, bool use_reference,
+                const SagOptions& options) {
+  SagResult result;
+  result.original_terms = full.term_count();
+
+  // Group term indices by power of s.
+  std::map<int, std::vector<std::size_t>> by_power;
+  for (std::size_t i = 0; i < full.terms().size(); ++i) {
+    by_power[full.terms()[i].s_power].push_back(i);
+  }
+
+  Expression kept;
+  for (auto& [power, indices] : by_power) {
+    // Target value for this coefficient.
+    ScaledDouble target;
+    if (use_reference) {
+      if (power > reference.degree()) continue;  // beyond the reference: drop
+      target = reference.coeff(static_cast<std::size_t>(power));
+    } else {
+      for (const std::size_t i : indices) target += full.terms()[i].value(table);
+    }
+
+    // Largest-magnitude first.
+    std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+      return full.terms()[b].magnitude(table) < full.terms()[a].magnitude(table);
+    });
+
+    ScaledDouble accumulated;
+    double error = target.is_zero() ? 0.0 : 1.0;
+    std::size_t taken = 0;
+    for (const std::size_t i : indices) {
+      if (error < options.epsilon) break;
+      kept.add_term(full.terms()[i]);
+      accumulated += full.terms()[i].value(table);
+      ++taken;
+      if (!target.is_zero()) {
+        error = ((target - accumulated).abs() / target.abs()).to_double();
+      } else {
+        error = accumulated.is_zero() ? 0.0 : 1.0;
+      }
+    }
+    result.retained_terms += taken;
+    result.worst_error = std::max(result.worst_error, std::min(error, 1.0));
+  }
+
+  kept.canonicalize();
+  result.simplified = std::move(kept);
+  return result;
+}
+
+}  // namespace
+
+SagResult prune_expression(const Expression& full, const SymbolTable& table,
+                           const SagOptions& options) {
+  return prune(full, table, numeric::Polynomial<ScaledDouble>{}, false, options);
+}
+
+SagResult prune_expression_against(const Expression& full, const SymbolTable& table,
+                                   const numeric::Polynomial<ScaledDouble>& reference,
+                                   const SagOptions& options) {
+  return prune(full, table, reference, true, options);
+}
+
+}  // namespace symref::symbolic

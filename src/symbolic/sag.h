@@ -1,0 +1,49 @@
+// Simplification After Generation (SAG).
+//
+// The classical approach the paper's §1 contrasts against: generate the
+// COMPLETE symbolic expression first, then drop insignificant terms. It is
+// "constrained to low and medium complexity circuits (below about 50
+// symbols)" because the full expression is exponential — but inside that
+// envelope it gives the optimal simplification for a given error budget,
+// which makes it the quality yardstick for SDG in this library's tests.
+//
+// Pruning keeps the largest-|value| terms of each coefficient until the
+// retained sum reproduces the full coefficient within epsilon — the same
+// error criterion as eq. (3), evaluated against the exact expansion (or,
+// via `prune_expression_against`, an external numerical reference such as
+// the adaptive engine's output).
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/polynomial.h"
+#include "numeric/scaled.h"
+#include "symbolic/expr.h"
+
+namespace symref::symbolic {
+
+struct SagOptions {
+  /// Per-coefficient relative error allowed after pruning (eq. (3) eps_k).
+  double epsilon = 1e-3;
+};
+
+struct SagResult {
+  Expression simplified;
+  std::size_t original_terms = 0;
+  std::size_t retained_terms = 0;
+  /// Worst per-coefficient relative error actually incurred.
+  double worst_error = 0.0;
+};
+
+/// Prune `full` against its own exact coefficient sums.
+SagResult prune_expression(const Expression& full, const SymbolTable& table,
+                           const SagOptions& options = {});
+
+/// Prune against externally supplied coefficient references (index = power
+/// of s) — e.g. the adaptive engine's numerical reference. Terms of powers
+/// beyond the reference polynomial are dropped outright.
+SagResult prune_expression_against(const Expression& full, const SymbolTable& table,
+                                   const numeric::Polynomial<numeric::ScaledDouble>& reference,
+                                   const SagOptions& options = {});
+
+}  // namespace symref::symbolic

@@ -1,0 +1,222 @@
+#include "symbolic/sdg.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace symref::symbolic {
+
+using numeric::ScaledDouble;
+
+namespace {
+
+struct SearchState {
+  int position = 0;            // index into the row list
+  std::uint32_t used_cols = 0; // columns already taken (absolute indices)
+  int caps = 0;                // capacitor atoms chosen so far
+  double sign = 1.0;           // permutation parity * atom signs
+  double log_magnitude = 0.0;  // log10 of |partial product|
+  double bound = 0.0;          // log10 upper bound on any completion
+  std::vector<int> symbols;    // chosen symbol ids
+};
+
+struct BoundOrder {
+  bool operator()(const SearchState& a, const SearchState& b) const noexcept {
+    return a.bound < b.bound;  // max-heap on the admissible bound
+  }
+};
+
+/// Best-first generation over the (sub)matrix given by `rows` x the columns
+/// in `allowed_cols` — the determinant itself or any minor of it.
+SdgResult run_search(const SymbolicNodalMatrix& matrix, const std::vector<int>& rows,
+                     std::uint32_t allowed_cols, double base_sign, int k,
+                     const ScaledDouble& reference, const SdgOptions& options) {
+  SdgResult result;
+  result.reference = reference;
+  const std::size_t levels = rows.size();
+
+  // Per-row admissible bound: log10 of the largest |atom value| among the
+  // allowed columns; suffix sums bound any completion. Also track which rows
+  // can still contribute capacitor atoms, to prune states that cannot reach
+  // exactly k capacitors.
+  std::vector<double> row_max_log(levels, -std::numeric_limits<double>::infinity());
+  std::vector<bool> row_has_cap(levels, false);
+  for (std::size_t level = 0; level < levels; ++level) {
+    const int row = rows[level];
+    for (int col = 0; col < matrix.dim(); ++col) {
+      if (!(allowed_cols & (1u << col))) continue;
+      for (const MatrixAtom& atom : matrix.entry(row, col)) {
+        const double value = std::fabs(matrix.symbols().at(atom.symbol).value);
+        if (value <= 0.0) continue;
+        row_max_log[level] = std::max(row_max_log[level], std::log10(value));
+        if (matrix.symbols().at(atom.symbol).is_capacitor) row_has_cap[level] = true;
+      }
+    }
+  }
+  std::vector<double> suffix_bound(levels + 1, 0.0);
+  std::vector<int> rows_with_cap_suffix(levels + 1, 0);
+  for (std::size_t level = levels; level-- > 0;) {
+    suffix_bound[level] = suffix_bound[level + 1] + row_max_log[level];
+    rows_with_cap_suffix[level] =
+        rows_with_cap_suffix[level + 1] + (row_has_cap[level] ? 1 : 0);
+  }
+
+  std::priority_queue<SearchState, std::vector<SearchState>, BoundOrder> frontier;
+  {
+    SearchState root;
+    root.bound = suffix_bound[0];
+    frontier.push(std::move(root));
+  }
+
+  ScaledDouble accumulated(0.0);
+  const ScaledDouble target = reference.abs();
+  auto error_now = [&]() {
+    if (target.is_zero()) return accumulated.is_zero() ? 0.0 : 1.0;
+    return ((reference - accumulated).abs() / target).to_double();
+  };
+
+  while (!frontier.empty()) {
+    if (frontier.size() > options.max_queue) {
+      result.termination = "queue_overflow";
+      break;
+    }
+    SearchState state = frontier.top();
+    frontier.pop();
+
+    if (state.position == static_cast<int>(levels)) {
+      // Completed permutation product. Only products with exactly k
+      // capacitor atoms belong to coefficient k.
+      if (state.caps != k) continue;
+      Term term;
+      term.coefficient = base_sign * state.sign;
+      term.symbols = state.symbols;
+      std::sort(term.symbols.begin(), term.symbols.end());
+      term.s_power = k;
+      accumulated += term.value(matrix.symbols());
+      result.terms.push_back(std::move(term));
+
+      result.relative_error = error_now();
+      if (result.relative_error < options.epsilon) {
+        result.met = true;
+        result.termination = "met";
+        break;
+      }
+      if (result.terms.size() >= options.max_terms) {
+        result.termination = "max_terms";
+        break;
+      }
+      continue;
+    }
+
+    // Feasibility pruning on the capacitor count.
+    const int caps_needed = k - state.caps;
+    if (caps_needed < 0) continue;
+    if (caps_needed > rows_with_cap_suffix[static_cast<std::size_t>(state.position)]) {
+      continue;
+    }
+
+    const int row = rows[static_cast<std::size_t>(state.position)];
+    for (int col = 0; col < matrix.dim(); ++col) {
+      const std::uint32_t bit = 1u << col;
+      if (!(allowed_cols & bit) || (state.used_cols & bit)) continue;
+      // Permutation parity: inversions added by assigning column `col` at
+      // this level equal the number of already-used columns above `col`
+      // (relative order within the allowed set is what matters, and used
+      // is a subset of allowed).
+      const int inversions = std::popcount(state.used_cols & ~((bit << 1) - 1u));
+      const double parity = (inversions % 2 == 0) ? 1.0 : -1.0;
+      for (const MatrixAtom& atom : matrix.entry(row, col)) {
+        const Symbol& symbol = matrix.symbols().at(atom.symbol);
+        if (symbol.value == 0.0) continue;
+        if (symbol.is_capacitor && state.caps + 1 > k) continue;
+        SearchState child;
+        child.position = state.position + 1;
+        child.used_cols = state.used_cols | bit;
+        child.caps = state.caps + (symbol.is_capacitor ? 1 : 0);
+        // The symbol's own sign is applied at evaluation time (Term::value
+        // multiplies the signed design-point values), so the coefficient
+        // carries only the permutation parity and the stamp sign.
+        child.sign = state.sign * parity * atom.sign;
+        child.log_magnitude = state.log_magnitude + std::log10(std::fabs(symbol.value));
+        child.bound =
+            child.log_magnitude + suffix_bound[static_cast<std::size_t>(child.position)];
+        child.symbols = state.symbols;
+        child.symbols.push_back(atom.symbol);
+        frontier.push(std::move(child));
+      }
+    }
+  }
+
+  if (result.termination.empty()) {
+    // Frontier exhausted: every term was generated; the sum is exact.
+    result.termination = "exhausted";
+    result.relative_error = error_now();
+    result.met = result.relative_error < options.epsilon;
+  }
+  result.accumulated = accumulated;
+  return result;
+}
+
+std::vector<int> all_rows(int dim, int skip) {
+  std::vector<int> rows;
+  rows.reserve(static_cast<std::size_t>(dim));
+  for (int r = 0; r < dim; ++r) {
+    if (r != skip) rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace
+
+SdgResult generate_determinant_terms(const SymbolicNodalMatrix& matrix, int k,
+                                     const ScaledDouble& reference,
+                                     const SdgOptions& options) {
+  const std::uint32_t full = (1u << matrix.dim()) - 1u;
+  return run_search(matrix, all_rows(matrix.dim(), -1), full, 1.0, k, reference, options);
+}
+
+SdgResult generate_cofactor_terms(const SymbolicNodalMatrix& matrix, int row, int col,
+                                  int k, const ScaledDouble& reference,
+                                  const SdgOptions& options) {
+  if (row < 0 || col < 0 || row >= matrix.dim() || col >= matrix.dim()) {
+    throw std::out_of_range("generate_cofactor_terms: index outside matrix");
+  }
+  const std::uint32_t allowed = ((1u << matrix.dim()) - 1u) & ~(1u << col);
+  const double base_sign = ((row + col) % 2 == 0) ? 1.0 : -1.0;
+  return run_search(matrix, all_rows(matrix.dim(), row), allowed, base_sign, k, reference,
+                    options);
+}
+
+SdgResult generate_transfer_terms(const SymbolicNodalMatrix& matrix,
+                                  const mna::TransferSpec& spec, TransferSide side, int k,
+                                  const ScaledDouble& reference, const SdgOptions& options) {
+  auto must_be_grounded = [&](const std::string& name, const char* what) {
+    if (!matrix.row_of_node(name).has_value() && name != "0") {
+      // row_of_node also returns nullopt for ground; distinguish via name.
+      throw std::invalid_argument(std::string("generate_transfer_terms: unknown ") + what +
+                                  " node '" + name + "'");
+    }
+  };
+  if (spec.in_neg != "0" || spec.out_neg != "0") {
+    throw std::invalid_argument(
+        "generate_transfer_terms: differential specs need four merged cofactor "
+        "generators; ground in_neg/out_neg or use generate_cofactor_terms directly");
+  }
+  must_be_grounded(spec.in_pos, "input");
+  must_be_grounded(spec.out_pos, "output");
+  const int in_row = *matrix.row_of_node(spec.in_pos);
+
+  if (side == TransferSide::Numerator) {
+    const int out_row = *matrix.row_of_node(spec.out_pos);
+    return generate_cofactor_terms(matrix, in_row, out_row, k, reference, options);
+  }
+  if (spec.kind == mna::TransferSpec::Kind::VoltageGain) {
+    return generate_cofactor_terms(matrix, in_row, in_row, k, reference, options);
+  }
+  return generate_determinant_terms(matrix, k, reference, options);
+}
+
+}  // namespace symref::symbolic

@@ -1,0 +1,112 @@
+// AC simulator: analytic transfer functions, sweeps, phase unwrapping.
+#include "mna/ac.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "circuits/filters.h"
+#include "circuits/ladder.h"
+
+namespace symref::mna {
+namespace {
+
+TEST(AcSimulator, RcLowpassMatchesAnalytic) {
+  netlist::Circuit c;
+  c.add_resistor("r1", "in", "out", 1e3);
+  c.add_capacitor("c1", "out", "0", 1e-9);
+  const AcSimulator sim(c);
+  const auto spec = TransferSpec::voltage_gain("in", "out");
+  for (const double freq : {1e3, 1e5, 1.59e5, 1e6, 1e8}) {
+    const std::complex<double> s(0.0, 2.0 * M_PI * freq);
+    const std::complex<double> expected = 1.0 / (1.0 + s * 1e3 * 1e-9);
+    EXPECT_LT(std::abs(sim.transfer(spec, freq) - expected), 1e-12 * std::abs(expected))
+        << freq;
+  }
+}
+
+TEST(AcSimulator, DifferentialDrive) {
+  // Symmetric divider driven differentially: out = (v+ - v-)/2 midpoint.
+  netlist::Circuit c;
+  c.add_resistor("r1", "p", "mid", 1e3);
+  c.add_resistor("r2", "mid", "n", 1e3);
+  c.add_resistor("r3", "mid", "0", 1e6);
+  const AcSimulator sim(c);
+  const auto spec = TransferSpec::voltage_gain("p", "mid", "n", "0");
+  const std::complex<double> h = sim.transfer(spec, 1e3);
+  EXPECT_NEAR(h.real(), 0.0, 1e-3);  // midpoint of +-0.5 V is ~0
+}
+
+TEST(AcSimulator, TransimpedanceSpec) {
+  netlist::Circuit c;
+  c.add_resistor("r1", "a", "0", 2e3);
+  const AcSimulator sim(c);
+  const auto spec = TransferSpec::transimpedance("a", "a");
+  EXPECT_NEAR(std::abs(sim.transfer(spec, 1.0)), 2e3, 1e-9);
+}
+
+TEST(AcSimulator, SallenKeyAnalytic) {
+  const double r1 = 10e3, r2 = 10e3, c1 = 10e-9, c2 = 1e-9;
+  const netlist::Circuit sk = circuits::sallen_key(r1, r2, c1, c2);
+  const AcSimulator sim(sk);
+  const auto spec = circuits::sallen_key_spec();
+  for (const double freq : {1e2, 1e3, 5e3, 1e4, 1e5}) {
+    const std::complex<double> s(0.0, 2.0 * M_PI * freq);
+    const std::complex<double> expected =
+        1.0 / (1.0 + s * c2 * (r1 + r2) + s * s * r1 * r2 * c1 * c2);
+    EXPECT_LT(std::abs(sim.transfer(spec, freq) - expected), 1e-9 * std::abs(expected))
+        << freq;
+  }
+}
+
+TEST(AcSimulator, TowThomasLowpassPeakNearF0) {
+  const netlist::Circuit tt = circuits::tow_thomas(10e3, 5.0, 1.0);
+  const AcSimulator sim(tt);
+  const auto spec = circuits::tow_thomas_lowpass_spec();
+  const double g_dc = std::abs(sim.transfer(spec, 10.0));
+  const double g_f0 = std::abs(sim.transfer(spec, 10e3));
+  const double g_hi = std::abs(sim.transfer(spec, 1e6));
+  EXPECT_NEAR(g_dc, 1.0, 1e-2);        // unity DC gain
+  EXPECT_NEAR(g_f0 / g_dc, 5.0, 0.1);  // Q-fold peaking at f0
+  EXPECT_LT(g_hi, 1e-2);               // -40 dB/dec rolloff
+}
+
+TEST(AcSimulator, LogFrequencyGrid) {
+  const auto grid = log_frequency_grid(1.0, 1e6, 2);
+  EXPECT_GE(grid.size(), 13u);
+  EXPECT_DOUBLE_EQ(grid.front(), 1.0);
+  EXPECT_NEAR(grid.back(), 1e6, 1e-6);
+  for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_GT(grid[i], grid[i - 1]);
+  EXPECT_THROW(log_frequency_grid(0.0, 1e3, 2), std::invalid_argument);
+  EXPECT_THROW(log_frequency_grid(1e3, 1e2, 2), std::invalid_argument);
+}
+
+TEST(AcSimulator, BodePhaseUnwrapped) {
+  // 5-stage RC ladder: total phase approaches -450 deg; unwrapping must not
+  // fold it back into (-180, 180].
+  const netlist::Circuit ladder = circuits::rc_ladder(5, 1e3, 1e-9);
+  const AcSimulator sim(ladder);
+  const auto bode = sim.bode(circuits::rc_ladder_spec(5), 1e2, 1e9, 5);
+  EXPECT_LT(bode.back().phase_deg, -300.0);
+  for (std::size_t i = 1; i < bode.size(); ++i) {
+    EXPECT_LT(std::fabs(bode[i].phase_deg - bode[i - 1].phase_deg), 180.0) << i;
+  }
+}
+
+TEST(AcSimulator, MagnitudeDbSaturatesAtZero) {
+  EXPECT_DOUBLE_EQ(magnitude_db({0.0, 0.0}), -400.0);
+  EXPECT_NEAR(magnitude_db({10.0, 0.0}), 20.0, 1e-12);
+  EXPECT_NEAR(phase_deg({0.0, 1.0}), 90.0, 1e-12);
+}
+
+TEST(AcSimulator, UnknownNodeThrows) {
+  netlist::Circuit c;
+  c.add_resistor("r1", "a", "0", 1.0);
+  const AcSimulator sim(c);
+  EXPECT_THROW(sim.transfer(TransferSpec::voltage_gain("a", "missing"), 1.0),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace symref::mna

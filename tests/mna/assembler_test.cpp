@@ -1,0 +1,150 @@
+// Full MNA assembler: stamps, auxiliary branches, excitation.
+#include "mna/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "sparse/lu.h"
+
+namespace symref::mna {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex> solve(const netlist::Circuit& circuit, Complex s) {
+  const MnaAssembler assembler(circuit);
+  sparse::SparseLu lu;
+  EXPECT_TRUE(lu.factor(assembler.matrix(s)));
+  std::vector<Complex> x = assembler.excitation();
+  lu.solve(x);
+  return x;
+}
+
+TEST(Assembler, ResistiveDivider) {
+  netlist::Circuit c;
+  c.add_vsource("v1", "in", "0", 10.0);
+  c.add_resistor("r1", "in", "out", 1e3);
+  c.add_resistor("r2", "out", "0", 1e3);
+  const MnaAssembler assembler(c);
+  EXPECT_EQ(assembler.dim(), 3);  // two nodes + one branch current
+  const auto x = solve(c, Complex(0.0, 0.0));
+  EXPECT_NEAR(x[static_cast<std::size_t>(*assembler.node_index("out"))].real(), 5.0, 1e-12);
+  // Branch current: 10V across 2k = 5 mA, flowing out of the source's + node.
+  EXPECT_NEAR(x[static_cast<std::size_t>(*assembler.branch_index("v1"))].real(), -5e-3,
+              1e-12);
+}
+
+TEST(Assembler, CurrentSourceExcitation) {
+  netlist::Circuit c;
+  c.add_isource("i1", "0", "a", 1e-3);  // pushes current into node a
+  c.add_resistor("r1", "a", "0", 2e3);
+  const MnaAssembler assembler(c);
+  const auto x = solve(c, Complex(0.0, 0.0));
+  EXPECT_NEAR(x[static_cast<std::size_t>(*assembler.node_index("a"))].real(), 2.0, 1e-12);
+}
+
+TEST(Assembler, RcLowpassAtCornerFrequency) {
+  netlist::Circuit c;
+  c.add_vsource("v1", "in", "0", 1.0);
+  c.add_resistor("r1", "in", "out", 1e3);
+  c.add_capacitor("c1", "out", "0", 1e-9);
+  const MnaAssembler assembler(c);
+  const double w0 = 1.0 / (1e3 * 1e-9);
+  const auto x = solve(c, Complex(0.0, w0));
+  const Complex vout = x[static_cast<std::size_t>(*assembler.node_index("out"))];
+  EXPECT_NEAR(std::abs(vout), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(std::arg(vout), -M_PI / 4.0, 1e-12);
+}
+
+TEST(Assembler, InductorBranch) {
+  // RL divider: v(out)/v(in) = sL/(R+sL); at w = R/L magnitude 1/sqrt(2).
+  netlist::Circuit c;
+  c.add_vsource("v1", "in", "0", 1.0);
+  c.add_resistor("r1", "in", "out", 100.0);
+  c.add_inductor("l1", "out", "0", 1e-3);
+  const MnaAssembler assembler(c);
+  EXPECT_TRUE(assembler.branch_index("l1").has_value());
+  const auto x = solve(c, Complex(0.0, 100.0 / 1e-3));
+  EXPECT_NEAR(std::abs(x[static_cast<std::size_t>(*assembler.node_index("out"))]),
+              1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Assembler, VccsStampSign) {
+  // SPICE convention: G out 0 in 0 gm draws gm*v(in) OUT of node `out`.
+  netlist::Circuit c;
+  c.add_vsource("v1", "in", "0", 1.0);
+  c.add_vccs("g1", "out", "0", "in", "0", 1e-3);
+  c.add_resistor("rl", "out", "0", 1e3);
+  const MnaAssembler assembler(c);
+  const auto x = solve(c, Complex(0.0, 0.0));
+  // KCL at out: gm*v(in) + v(out)/RL = 0 -> v(out) = -1.
+  EXPECT_NEAR(x[static_cast<std::size_t>(*assembler.node_index("out"))].real(), -1.0, 1e-12);
+}
+
+TEST(Assembler, VcvsGain) {
+  netlist::Circuit c;
+  c.add_vsource("v1", "in", "0", 1.0);
+  c.add_vcvs("e1", "out", "0", "in", "0", 7.5);
+  c.add_resistor("rl", "out", "0", 1e3);
+  const MnaAssembler assembler(c);
+  const auto x = solve(c, Complex(0.0, 0.0));
+  EXPECT_NEAR(x[static_cast<std::size_t>(*assembler.node_index("out"))].real(), 7.5, 1e-12);
+}
+
+TEST(Assembler, CccsMirrorsBranchCurrent) {
+  netlist::Circuit c;
+  c.add_vsource("v1", "in", "0", 1.0);
+  c.add_resistor("r1", "in", "0", 1e3);  // i(v1) = -1 mA (out of + terminal)
+  c.add_cccs("f1", "out", "0", "v1", 2.0);
+  c.add_resistor("rl", "out", "0", 1e3);
+  const MnaAssembler assembler(c);
+  const auto x = solve(c, Complex(0.0, 0.0));
+  // i(f1) = 2 * i(v1) = -2 mA drawn from out -> v(out) = +2.
+  EXPECT_NEAR(x[static_cast<std::size_t>(*assembler.node_index("out"))].real(), 2.0, 1e-12);
+}
+
+TEST(Assembler, CcvsTransresistance) {
+  netlist::Circuit c;
+  c.add_vsource("v1", "in", "0", 1.0);
+  c.add_resistor("r1", "in", "0", 1e3);
+  c.add_ccvs("h1", "out", "0", "v1", 500.0);
+  c.add_resistor("rl", "out", "0", 1e3);
+  const MnaAssembler assembler(c);
+  const auto x = solve(c, Complex(0.0, 0.0));
+  // v(out) = 500 * i(v1) = 500 * (-1 mA) = -0.5 V.
+  EXPECT_NEAR(x[static_cast<std::size_t>(*assembler.node_index("out"))].real(), -0.5, 1e-12);
+}
+
+TEST(Assembler, IdealOpampInverter) {
+  netlist::Circuit c;
+  c.add_vsource("v1", "in", "0", 1.0);
+  c.add_resistor("r1", "in", "x", 1e3);
+  c.add_resistor("r2", "x", "out", 2e3);
+  c.add_opamp("a1", "out", "0", "x");  // + input grounded, - input at x
+  const MnaAssembler assembler(c);
+  const auto x = solve(c, Complex(0.0, 0.0));
+  EXPECT_NEAR(x[static_cast<std::size_t>(*assembler.node_index("out"))].real(), -2.0, 1e-12);
+  EXPECT_NEAR(x[static_cast<std::size_t>(*assembler.node_index("x"))].real(), 0.0, 1e-12);
+}
+
+TEST(Assembler, FloatingNodesExcluded) {
+  netlist::Circuit c;
+  c.node("unused");
+  c.add_resistor("r1", "a", "0", 1e3);
+  const MnaAssembler assembler(c);
+  EXPECT_EQ(assembler.dim(), 1);
+  EXPECT_FALSE(assembler.node_index("unused").has_value());
+}
+
+TEST(Assembler, CccsWithoutBranchThrows) {
+  netlist::Circuit c;
+  c.add_resistor("r1", "a", "0", 1e3);
+  c.add_cccs("f1", "b", "0", "r1", 2.0);
+  c.add_resistor("r2", "b", "0", 1e3);
+  const MnaAssembler assembler(c);
+  EXPECT_THROW(assembler.matrix({0.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace symref::mna

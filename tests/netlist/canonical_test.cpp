@@ -1,0 +1,200 @@
+// Canonicalization to the homogeneous admittance class {G, C, VCCS}.
+//
+// The strongest check is electrical: the canonical circuit must present the
+// same transfer function as the original (up to the documented O(1/Gbig)
+// modeling error), verified through the full-MNA AC simulator.
+#include "netlist/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "circuits/filters.h"
+#include "circuits/ladder.h"
+#include "mna/ac.h"
+#include "netlist/circuit.h"
+
+namespace symref::netlist {
+namespace {
+
+double transfer_mismatch(const Circuit& a, const Circuit& b, const mna::TransferSpec& spec,
+                         double freq) {
+  const std::complex<double> ha = mna::AcSimulator(a).transfer(spec, freq);
+  const std::complex<double> hb = mna::AcSimulator(b).transfer(spec, freq);
+  return std::abs(ha - hb) / std::max(1e-30, std::abs(ha));
+}
+
+TEST(Canonical, DetectsCanonicalCircuits) {
+  Circuit c;
+  c.add_conductance("g1", "a", "0", 1e-3);
+  c.add_capacitor("c1", "a", "0", 1e-12);
+  c.add_vccs("gm1", "b", "0", "a", "0", 1e-3);
+  EXPECT_TRUE(is_canonical(c));
+  c.add_resistor("r1", "b", "0", 1e3);
+  EXPECT_FALSE(is_canonical(c));
+}
+
+TEST(Canonical, ResistorBecomesConductance) {
+  Circuit c;
+  c.add_resistor("r1", "a", "b", 2e3);
+  const Circuit out = canonicalize(c);
+  ASSERT_TRUE(is_canonical(out));
+  const Element* g = out.find_element("r1");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->kind, ElementKind::Conductance);
+  EXPECT_DOUBLE_EQ(g->value, 0.5e-3);
+}
+
+TEST(Canonical, NodeNamesPreserved) {
+  Circuit c;
+  c.add_resistor("r1", "in", "out", 1e3);
+  c.add_capacitor("c1", "out", "0", 1e-9);
+  const Circuit out = canonicalize(c);
+  EXPECT_EQ(*out.find_node("in"), *c.find_node("in"));
+  EXPECT_EQ(*out.find_node("out"), *c.find_node("out"));
+}
+
+TEST(Canonical, InductorGyratorMatchesImpedance) {
+  // Series RL lowpass: in -R- out -L- 0. |H| = 1/sqrt(1+(wR/L... )
+  Circuit rl;
+  rl.add_resistor("r1", "in", "out", 100.0);
+  rl.add_inductor("l1", "out", "0", 1e-3);
+  const Circuit canonical = canonicalize(rl);
+  ASSERT_TRUE(is_canonical(canonical));
+  EXPECT_NE(canonical.find_element("l1.gy1"), nullptr);
+  EXPECT_NE(canonical.find_element("l1.gy2"), nullptr);
+  EXPECT_NE(canonical.find_element("l1.cx"), nullptr);
+
+  const auto spec = mna::TransferSpec::voltage_gain("in", "out");
+  for (const double freq : {1e2, 1e4, 1e5, 1e6}) {
+    EXPECT_LT(transfer_mismatch(rl, canonical, spec, freq), 1e-9) << freq;
+  }
+}
+
+TEST(Canonical, VcvsBigGApproximation) {
+  // Non-inverting amplifier-ish: E gain 10 buffering a divider.
+  Circuit c;
+  c.add_resistor("r1", "in", "x", 1e3);
+  c.add_resistor("r2", "x", "0", 1e3);
+  c.add_vcvs("e1", "out", "0", "x", "0", 10.0);
+  c.add_resistor("rl", "out", "0", 1e3);
+  const Circuit canonical = canonicalize(c);
+  ASSERT_TRUE(is_canonical(canonical));
+  const auto spec = mna::TransferSpec::voltage_gain("in", "out");
+  // Error is O(Gload/Gbig) ~ 1e-4 with the default Gbig = 1e4 * maxG.
+  EXPECT_LT(transfer_mismatch(c, canonical, spec, 1e3), 1e-3);
+
+  // A tighter Gbig tightens the match.
+  CanonicalOptions options;
+  options.vcvs_conductance = 1e6;
+  const Circuit tight = canonicalize(c, options);
+  EXPECT_LT(transfer_mismatch(c, tight, spec, 1e3), 1e-6);
+}
+
+TEST(Canonical, IdealOpampFollower) {
+  Circuit c;
+  c.add_resistor("r1", "in", "inp", 1e3);
+  c.add_opamp("a1", "out", "inp", "out");  // unity follower
+  c.add_resistor("rl", "out", "0", 1e3);
+  const Circuit canonical = canonicalize(c);
+  ASSERT_TRUE(is_canonical(canonical));
+  const auto spec = mna::TransferSpec::voltage_gain("in", "out");
+  const std::complex<double> h = mna::AcSimulator(canonical).transfer(spec, 1e3);
+  EXPECT_NEAR(std::abs(h), 1.0, 1e-3);  // follower gain 1 within 1/A0
+}
+
+TEST(Canonical, SallenKeyTransferPreserved) {
+  const Circuit sk = circuits::sallen_key();
+  const Circuit canonical = canonicalize(sk);
+  ASSERT_TRUE(is_canonical(canonical));
+  const auto spec = circuits::sallen_key_spec();
+  for (const double freq : {1e2, 1e3, 1e4, 1e5}) {
+    EXPECT_LT(transfer_mismatch(sk, canonical, spec, freq), 1e-3) << freq;
+  }
+}
+
+TEST(Canonical, CccsThroughSenseConductance) {
+  // F mirrors the current of sense source V1 (0 V) through R1 into R2.
+  Circuit c;
+  c.add_vsource("v1", "a", "0", 0.0);
+  c.add_resistor("r1", "in", "a", 1e3);
+  c.add_cccs("f1", "out", "0", "v1", 2.0);
+  c.add_resistor("r2", "out", "0", 1e3);
+  const Circuit canonical = canonicalize(c);
+  ASSERT_TRUE(is_canonical(canonical));
+  // i(r1) = vin/1k; i(f1) = 2 * that; v(out) = -i * 1k = -2 vin (sign per
+  // SPICE F convention). Compare original vs canonical, not absolute signs.
+  const auto spec = mna::TransferSpec::voltage_gain("in", "out");
+  EXPECT_LT(transfer_mismatch(c, canonical, spec, 1e3), 1e-3);
+}
+
+TEST(Canonical, CcvsRejectedWithoutVoltageSourceBranch) {
+  Circuit c;
+  c.add_resistor("r1", "a", "0", 1e3);
+  c.add_cccs("f1", "out", "0", "r1", 2.0);  // controlling branch is not a V source
+  c.add_resistor("r2", "out", "0", 1e3);
+  EXPECT_THROW(canonicalize(c), std::invalid_argument);
+}
+
+TEST(Canonical, IndependentSourcesDroppedByDefault) {
+  Circuit c;
+  c.add_vsource("v1", "in", "0", 1.0);
+  c.add_isource("i1", "out", "0", 1e-3);
+  c.add_resistor("r1", "in", "out", 1e3);
+  const Circuit canonical = canonicalize(c);
+  EXPECT_EQ(canonical.find_element("v1"), nullptr);
+  EXPECT_EQ(canonical.find_element("i1"), nullptr);
+  EXPECT_NE(canonical.find_element("r1"), nullptr);
+
+  CanonicalOptions strict;
+  strict.drop_independent_sources = false;
+  EXPECT_THROW(canonicalize(c, strict), std::invalid_argument);
+}
+
+TEST(Canonical, IdempotentOnCanonicalCircuits) {
+  Circuit c;
+  c.add_conductance("g1", "a", "0", 1e-3);
+  c.add_capacitor("c1", "a", "0", 1e-12);
+  c.add_vccs("gm1", "b", "0", "a", "0", 2e-3);
+  const Circuit once = canonicalize(c);
+  const Circuit twice = canonicalize(once);
+  EXPECT_EQ(once.element_count(), twice.element_count());
+  for (const Element& e : once.elements()) {
+    const Element* other = twice.find_element(e.name);
+    ASSERT_NE(other, nullptr) << e.name;
+    EXPECT_DOUBLE_EQ(other->value, e.value) << e.name;
+  }
+}
+
+TEST(Canonical, GyratorConductanceOverride) {
+  Circuit rl;
+  rl.add_resistor("r1", "in", "out", 100.0);
+  rl.add_inductor("l1", "out", "0", 1e-3);
+  CanonicalOptions options;
+  options.gyrator_conductance = 0.5;
+  const Circuit canonical = canonicalize(rl, options);
+  // C = L * gg^2 = 1e-3 * 0.25.
+  EXPECT_DOUBLE_EQ(canonical.find_element("l1.cx")->value, 1e-3 * 0.25);
+  EXPECT_DOUBLE_EQ(canonical.find_element("l1.gy1")->value, 0.5);
+}
+
+TEST(Canonical, RandomRcEquivalenceSweep) {
+  // Property: canonicalization never changes the AC behaviour of R/C nets.
+  symref::support::Rng rng(4242);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Circuit c = circuits::random_rc(rng);
+    const Circuit canonical = canonicalize(c);
+    ASSERT_TRUE(is_canonical(canonical)) << trial;
+    const auto spec = mna::TransferSpec::transimpedance("n1", "n3");
+    for (const double f : {1e3, 1e6}) {
+      const auto a = mna::AcSimulator(c).transfer(spec, f);
+      const auto b = mna::AcSimulator(canonical).transfer(spec, f);
+      EXPECT_LT(std::abs(a - b), 1e-9 * std::max(1.0, std::abs(a)))
+          << "trial " << trial << " f " << f;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace symref::netlist

@@ -1,0 +1,147 @@
+// Circuit graph: nodes, elements, editing operations, statistics.
+#include "netlist/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace symref::netlist {
+namespace {
+
+TEST(Circuit, GroundAliases) {
+  Circuit c;
+  EXPECT_EQ(c.node("0"), 0);
+  EXPECT_EQ(c.node("gnd"), 0);
+  EXPECT_EQ(c.node("GND"), 0);
+  EXPECT_EQ(c.node_count(), 1);
+}
+
+TEST(Circuit, NodeCreationIsIdempotent) {
+  Circuit c;
+  const int a = c.node("a");
+  EXPECT_EQ(c.node("a"), a);
+  EXPECT_EQ(c.node_count(), 2);
+  EXPECT_EQ(c.unknown_count(), 1);
+  EXPECT_EQ(c.node_name(a), "a");
+  EXPECT_FALSE(c.find_node("missing").has_value());
+}
+
+TEST(Circuit, AddElementsAndLookup) {
+  Circuit c;
+  c.add_resistor("r1", "a", "0", 1e3);
+  c.add_capacitor("c1", "a", "b", 1e-12);
+  c.add_vccs("g1", "b", "0", "a", "0", 1e-3);
+  EXPECT_EQ(c.element_count(), 3u);
+  ASSERT_NE(c.find_element("c1"), nullptr);
+  EXPECT_EQ(c.find_element("c1")->kind, ElementKind::Capacitor);
+  EXPECT_EQ(c.find_element("nope"), nullptr);
+}
+
+TEST(Circuit, DuplicateNameRejected) {
+  Circuit c;
+  c.add_resistor("r1", "a", "0", 1e3);
+  EXPECT_THROW(c.add_capacitor("r1", "a", "0", 1e-12), std::invalid_argument);
+}
+
+TEST(Circuit, ZeroValuedPassivesRejected) {
+  Circuit c;
+  EXPECT_THROW(c.add_resistor("r1", "a", "0", 0.0), std::invalid_argument);
+  EXPECT_THROW(c.add_capacitor("c1", "a", "0", 0.0), std::invalid_argument);
+  EXPECT_THROW(c.add_inductor("l1", "a", "0", 0.0), std::invalid_argument);
+}
+
+TEST(Circuit, NonFiniteValueRejected) {
+  Circuit c;
+  EXPECT_THROW(c.add_resistor("r1", "a", "0", std::nan("")), std::invalid_argument);
+}
+
+TEST(Circuit, RemoveElement) {
+  Circuit c;
+  c.add_resistor("r1", "a", "0", 1e3);
+  EXPECT_TRUE(c.remove_element("r1"));
+  EXPECT_FALSE(c.remove_element("r1"));
+  EXPECT_EQ(c.element_count(), 0u);
+}
+
+TEST(Circuit, ShortElementMergesNodes) {
+  Circuit c;
+  c.add_resistor("r1", "a", "b", 1e3);
+  c.add_resistor("r2", "b", "c", 2e3);
+  c.add_capacitor("c1", "a", "0", 1e-12);
+  ASSERT_TRUE(c.short_element("r1"));
+  // r1 gone; all references to the higher-index node now point at the lower.
+  EXPECT_EQ(c.element_count(), 2u);
+  const Element* r2 = c.find_element("r2");
+  ASSERT_NE(r2, nullptr);
+  EXPECT_EQ(r2->node_pos, *c.find_node("a"));
+  // Name lookup of the merged node resolves to the survivor.
+  EXPECT_EQ(*c.find_node("b"), *c.find_node("a"));
+}
+
+TEST(Circuit, ShortToGroundKeepsGround) {
+  Circuit c;
+  c.add_resistor("r1", "a", "0", 1e3);
+  c.add_capacitor("c1", "a", "b", 1e-12);
+  ASSERT_TRUE(c.short_element("r1"));
+  EXPECT_EQ(*c.find_node("a"), 0);
+  const Element* c1 = c.find_element("c1");
+  EXPECT_EQ(c1->node_pos, 0);
+}
+
+TEST(Circuit, ShortPreservesControlReferences) {
+  Circuit c;
+  c.add_vccs("g1", "out", "0", "x", "y", 1e-3);
+  c.add_resistor("rxy", "x", "y", 10.0);
+  ASSERT_TRUE(c.short_element("rxy"));
+  const Element* g1 = c.find_element("g1");
+  EXPECT_EQ(g1->ctrl_pos, g1->ctrl_neg);  // control pair collapsed together
+}
+
+TEST(Circuit, ConductanceStatistics) {
+  Circuit c;
+  c.add_resistor("r1", "a", "0", 1e3);        // 1e-3 S
+  c.add_conductance("g1", "a", "0", 2e-3);    // 2e-3 S
+  c.add_vccs("gm1", "b", "0", "a", "0", -5e-3);  // |gm| = 5e-3
+  c.add_capacitor("c1", "b", "0", 1e-12);
+  const auto conds = c.conductance_values();
+  ASSERT_EQ(conds.size(), 3u);
+  EXPECT_DOUBLE_EQ(conds[0], 1e-3);
+  EXPECT_DOUBLE_EQ(conds[1], 2e-3);
+  EXPECT_DOUBLE_EQ(conds[2], 5e-3);
+  const auto caps = c.capacitor_values();
+  ASSERT_EQ(caps.size(), 1u);
+  EXPECT_DOUBLE_EQ(caps[0], 1e-12);
+}
+
+TEST(Circuit, CountByKind) {
+  Circuit c;
+  c.add_resistor("r1", "a", "0", 1.0);
+  c.add_resistor("r2", "b", "0", 2.0);
+  c.add_capacitor("c1", "a", "b", 1e-12);
+  EXPECT_EQ(c.count(ElementKind::Resistor), 2u);
+  EXPECT_EQ(c.count(ElementKind::Capacitor), 1u);
+  EXPECT_EQ(c.count(ElementKind::Inductor), 0u);
+}
+
+TEST(Circuit, SummaryMentionsCounts) {
+  Circuit c;
+  c.title = "test";
+  c.add_resistor("r1", "a", "0", 1.0);
+  const std::string summary = c.summary();
+  EXPECT_NE(summary.find("test"), std::string::npos);
+  EXPECT_NE(summary.find("resistor"), std::string::npos);
+}
+
+TEST(Circuit, OpampTerminals) {
+  Circuit c;
+  c.add_opamp("a1", "out", "inp", "inn");
+  const Element* op = c.find_element("a1");
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->kind, ElementKind::IdealOpAmp);
+  EXPECT_TRUE(op->needs_branch_current());
+  EXPECT_EQ(op->node_neg, 0);
+}
+
+}  // namespace
+}  // namespace symref::netlist

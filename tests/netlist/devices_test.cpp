@@ -1,0 +1,106 @@
+// Hybrid-pi / MOS small-signal expansion.
+#include "netlist/devices.h"
+
+#include <gtest/gtest.h>
+
+namespace symref::netlist {
+namespace {
+
+TEST(Devices, FromBiasTextbookValues) {
+  // Ic = 1 mA, beta = 100, Va = 100 V, tau_f = 0.5 ns, cje = 1 pF.
+  const BjtParams p = BjtParams::from_bias(1e-3, 100.0, 100.0, 0.5e-9, 1e-12, 0.5e-12);
+  EXPECT_NEAR(p.gm, 1e-3 / 0.02585, 1e-6);
+  EXPECT_NEAR(p.beta / p.gm, 100.0 * 0.02585 / 1e-3, 1e-6);  // r_pi = beta/gm = 2585 ohm
+  EXPECT_NEAR(p.ro, 100.0 / 1e-3, 1e-6);
+  EXPECT_NEAR(p.cpi, p.gm * 0.5e-9 + 1e-12, 1e-18);
+  EXPECT_DOUBLE_EQ(p.cmu, 0.5e-12);
+}
+
+TEST(Devices, BjtFullExpansion) {
+  Circuit c;
+  BjtParams p;
+  p.gm = 4e-3;
+  p.beta = 200.0;
+  p.ro = 50e3;
+  p.rb = 100.0;
+  p.cpi = 20e-12;
+  p.cmu = 2e-12;
+  p.ccs = 1e-12;
+  expand_bjt(c, "q1", "coll", "base", "emit", p);
+
+  ASSERT_NE(c.find_element("q1.rb"), nullptr);
+  ASSERT_NE(c.find_element("q1.rpi"), nullptr);
+  ASSERT_NE(c.find_element("q1.cpi"), nullptr);
+  ASSERT_NE(c.find_element("q1.cmu"), nullptr);
+  ASSERT_NE(c.find_element("q1.gm"), nullptr);
+  ASSERT_NE(c.find_element("q1.ro"), nullptr);
+  ASSERT_NE(c.find_element("q1.ccs"), nullptr);
+
+  // rb isolates the intrinsic base node.
+  const int bi = *c.find_node("q1.bi");
+  EXPECT_EQ(c.find_element("q1.rpi")->node_pos, bi);
+  EXPECT_EQ(c.find_element("q1.cmu")->node_pos, bi);
+  EXPECT_EQ(c.find_element("q1.cmu")->node_neg, *c.find_node("coll"));
+  // gm: collector-emitter output, intrinsic-base control.
+  const Element* gm = c.find_element("q1.gm");
+  EXPECT_EQ(gm->node_pos, *c.find_node("coll"));
+  EXPECT_EQ(gm->node_neg, *c.find_node("emit"));
+  EXPECT_EQ(gm->ctrl_pos, bi);
+  // ccs goes to ground.
+  EXPECT_EQ(c.find_element("q1.ccs")->node_neg, 0);
+}
+
+TEST(Devices, BjtWithoutRbUsesExternalBase) {
+  Circuit c;
+  BjtParams p;
+  p.gm = 1e-3;
+  p.beta = 100.0;
+  p.cpi = 1e-12;
+  expand_bjt(c, "q1", "c", "b", "e", p);
+  EXPECT_EQ(c.find_element("q1.rb"), nullptr);
+  EXPECT_FALSE(c.find_node("q1.bi").has_value());
+  EXPECT_EQ(c.find_element("q1.cpi")->node_pos, *c.find_node("b"));
+}
+
+TEST(Devices, BjtZeroParamsOmitted) {
+  Circuit c;
+  BjtParams p;
+  p.gm = 1e-3;  // only gm set (beta=0 -> no rpi)
+  expand_bjt(c, "q1", "c", "b", "e", p);
+  EXPECT_EQ(c.element_count(), 1u);
+  EXPECT_NE(c.find_element("q1.gm"), nullptr);
+}
+
+TEST(Devices, MosExpansion) {
+  Circuit c;
+  MosParams p;
+  p.gm = 2e-3;
+  p.gds = 50e-6;
+  p.cgs = 50e-15;
+  p.cgd = 10e-15;
+  p.cdb = 20e-15;
+  expand_mos(c, "m1", "d", "g", "s", p);
+  EXPECT_EQ(c.element_count(), 5u);
+  const Element* gm = c.find_element("m1.gm");
+  EXPECT_EQ(gm->node_pos, *c.find_node("d"));
+  EXPECT_EQ(gm->ctrl_pos, *c.find_node("g"));
+  EXPECT_EQ(gm->ctrl_neg, *c.find_node("s"));
+  EXPECT_EQ(c.find_element("m1.cdb")->node_neg, 0);
+}
+
+TEST(Devices, DiodeConnectedBjtIsLegal) {
+  // Base tied to collector (mirror input): the cmu capacitor degenerates to
+  // a self-loop, which must be accepted and stamp to nothing.
+  Circuit c;
+  BjtParams p;
+  p.gm = 1e-3;
+  p.beta = 100.0;
+  p.cpi = 1e-12;
+  p.cmu = 0.5e-12;
+  expand_bjt(c, "q8", "n1", "n1", "0", p);
+  EXPECT_NE(c.find_element("q8.cmu"), nullptr);
+  EXPECT_EQ(c.find_element("q8.cmu")->node_pos, c.find_element("q8.cmu")->node_neg);
+}
+
+}  // namespace
+}  // namespace symref::netlist

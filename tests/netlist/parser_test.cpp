@@ -1,0 +1,222 @@
+// SPICE-subset netlist parser.
+#include "netlist/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace symref::netlist {
+namespace {
+
+TEST(Parser, BasicElements) {
+  const Circuit c = parse_netlist(R"(
+R1 in out 1k
+C1 out 0 30p
+L1 out tail 10u
+G1 o2 0 out 0 2m
+E1 o3 0 out 0 10
+V1 in 0 AC 1
+I1 o2 0 AC 2m
+)");
+  EXPECT_EQ(c.element_count(), 7u);
+  EXPECT_DOUBLE_EQ(c.find_element("R1")->value, 1e3);
+  EXPECT_DOUBLE_EQ(c.find_element("C1")->value, 30e-12);
+  EXPECT_DOUBLE_EQ(c.find_element("L1")->value, 10e-6);
+  EXPECT_EQ(c.find_element("G1")->kind, ElementKind::Vccs);
+  EXPECT_DOUBLE_EQ(c.find_element("G1")->value, 2e-3);
+  EXPECT_EQ(c.find_element("E1")->kind, ElementKind::Vcvs);
+  EXPECT_DOUBLE_EQ(c.find_element("V1")->value, 1.0);
+  EXPECT_DOUBLE_EQ(c.find_element("I1")->value, 2e-3);
+}
+
+TEST(Parser, SourceDefaultsToUnitMagnitude) {
+  const Circuit c = parse_netlist("V1 in 0\n");
+  EXPECT_DOUBLE_EQ(c.find_element("V1")->value, 1.0);
+}
+
+TEST(Parser, CurrentControlledSources) {
+  const Circuit c = parse_netlist(R"(
+V1 a 0 0
+F1 b 0 V1 5
+H1 c 0 V1 2k
+R1 b 0 1k
+R2 c 0 1k
+R3 a 0 1k
+)");
+  EXPECT_EQ(c.find_element("F1")->kind, ElementKind::Cccs);
+  EXPECT_EQ(c.find_element("F1")->ctrl_branch, "V1");
+  EXPECT_EQ(c.find_element("H1")->kind, ElementKind::Ccvs);
+  EXPECT_DOUBLE_EQ(c.find_element("H1")->value, 2e3);
+}
+
+TEST(Parser, CommentsAndContinuations) {
+  const Circuit c = parse_netlist(R"(
+* full-line comment
+# another comment
+R1 a 0 1k ; trailing comment
+C1 a
++ 0
++ 10p $ continued over three lines
+)");
+  EXPECT_EQ(c.element_count(), 2u);
+  EXPECT_DOUBLE_EQ(c.find_element("C1")->value, 10e-12);
+}
+
+TEST(Parser, TitleDirective) {
+  const Circuit c = parse_netlist(".title my amplifier\nR1 a 0 1k\n.end\n");
+  EXPECT_EQ(c.title, "my amplifier");
+}
+
+TEST(Parser, EndStopsParsing) {
+  const Circuit c = parse_netlist("R1 a 0 1k\n.end\nR2 b 0 2k\n");
+  EXPECT_EQ(c.element_count(), 1u);
+}
+
+TEST(Parser, OpampCard) {
+  const Circuit c = parse_netlist("O1 out inp inn\n");
+  const Element* op = c.find_element("O1");
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->kind, ElementKind::IdealOpAmp);
+}
+
+TEST(Parser, BjtModelExpansion) {
+  const Circuit c = parse_netlist(R"(
+.model qn bjt gm=4m beta=200 ro=50k cpi=20p cmu=2p rb=100
+Q1 c b e qn
+)");
+  // rb creates the internal base node; expansion yields rb, rpi, cpi, cmu,
+  // gm, ro.
+  EXPECT_NE(c.find_element("Q1.rb"), nullptr);
+  EXPECT_NE(c.find_element("Q1.rpi"), nullptr);
+  EXPECT_NE(c.find_element("Q1.cpi"), nullptr);
+  EXPECT_NE(c.find_element("Q1.cmu"), nullptr);
+  EXPECT_NE(c.find_element("Q1.gm"), nullptr);
+  EXPECT_NE(c.find_element("Q1.ro"), nullptr);
+  EXPECT_DOUBLE_EQ(c.find_element("Q1.gm")->value, 4e-3);
+  EXPECT_DOUBLE_EQ(c.find_element("Q1.rpi")->value, 200.0 / 4e-3);
+}
+
+TEST(Parser, MosModelExpansion) {
+  const Circuit c = parse_netlist(R"(
+.model mn mos gm=1m gds=50u cgs=50f cgd=10f cdb=20f
+M1 d g s mn
+)");
+  EXPECT_NE(c.find_element("M1.gm"), nullptr);
+  EXPECT_NE(c.find_element("M1.gds"), nullptr);
+  EXPECT_DOUBLE_EQ(c.find_element("M1.cgs")->value, 50e-15);
+}
+
+TEST(Parser, SubcircuitExpansion) {
+  const Circuit c = parse_netlist(R"(
+.subckt divider top bottom
+R1 top mid 1k
+R2 mid bottom 1k
+.ends
+X1 in out divider
+X2 out 0 divider
+)");
+  EXPECT_EQ(c.element_count(), 4u);
+  // Internal node "mid" is instance-prefixed; ports are mapped.
+  EXPECT_NE(c.find_element("X1.R1"), nullptr);
+  EXPECT_TRUE(c.find_node("X1.mid").has_value());
+  EXPECT_TRUE(c.find_node("X2.mid").has_value());
+  const Element* x1r1 = c.find_element("X1.R1");
+  EXPECT_EQ(x1r1->node_pos, *c.find_node("in"));
+}
+
+TEST(Parser, NestedSubcircuitInstances) {
+  const Circuit c = parse_netlist(R"(
+.subckt leaf a b
+R1 a b 1k
+.ends
+.subckt branch x y
+X1 x mid leaf
+X2 mid y leaf
+.ends
+X9 in 0 branch
+)");
+  EXPECT_EQ(c.element_count(), 2u);
+  EXPECT_NE(c.find_element("X9.X1.R1"), nullptr);
+  EXPECT_NE(c.find_element("X9.X2.R1"), nullptr);
+  EXPECT_TRUE(c.find_node("X9.mid").has_value());
+}
+
+TEST(Parser, SubcircuitPortArityChecked) {
+  EXPECT_THROW(parse_netlist(".subckt d a b\nR1 a b 1\n.ends\nX1 in d\n"), ParseError);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("R1 a 0 1k\nC1 a 0 zzz\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, UnknownCardRejected) {
+  EXPECT_THROW(parse_netlist("Z1 a 0 1k\n"), ParseError);
+}
+
+TEST(Parser, UnknownModelRejected) {
+  EXPECT_THROW(parse_netlist("Q1 c b e nomodel\n"), ParseError);
+}
+
+TEST(Parser, UnknownSubcircuitRejected) {
+  EXPECT_THROW(parse_netlist("X1 a b nothing\n"), ParseError);
+}
+
+TEST(Parser, MissingEndsRejected) {
+  EXPECT_THROW(parse_netlist(".subckt d a b\nR1 a b 1\n"), ParseError);
+}
+
+TEST(Parser, ContinuationWithoutPreviousLineRejected) {
+  EXPECT_THROW(parse_netlist("+ R1 a 0 1k\n"), ParseError);
+}
+
+TEST(Parser, GroundVariantsInsideSubckt) {
+  const Circuit c = parse_netlist(R"(
+.subckt g1 a
+R1 a gnd 1k
+.ends
+X1 in g1
+)");
+  const Element* r = c.find_element("X1.R1");
+  EXPECT_EQ(r->node_neg, 0);  // gnd is global, never prefixed
+}
+
+TEST(Parser, LowercaseCardsAndNumericNodes) {
+  const Circuit c = parse_netlist("r1 1 2 1k\nc1 2 0 1n\n");
+  EXPECT_EQ(c.element_count(), 2u);
+  EXPECT_TRUE(c.find_node("1").has_value());
+  EXPECT_TRUE(c.find_node("2").has_value());
+}
+
+TEST(Parser, DcAndAcTokens) {
+  const Circuit c = parse_netlist("V1 in 0 DC 5 AC 0.5\n");
+  // The last numeric token wins as the AC magnitude.
+  EXPECT_DOUBLE_EQ(c.find_element("V1")->value, 0.5);
+}
+
+TEST(Parser, NegativeTransconductance) {
+  const Circuit c = parse_netlist("G1 a 0 b 0 -2m\n");
+  EXPECT_DOUBLE_EQ(c.find_element("G1")->value, -2e-3);
+}
+
+TEST(Parser, DuplicateInstanceNamesRejected) {
+  EXPECT_THROW(parse_netlist("R1 a 0 1k\nR1 b 0 2k\n"), std::invalid_argument);
+}
+
+TEST(Parser, SubcktUsesGlobalModels) {
+  const Circuit c = parse_netlist(R"(
+.model qn bjt gm=1m beta=100 cpi=1p
+.subckt amp b c
+Q1 c b 0 qn
+.ends
+X1 base coll amp
+)");
+  EXPECT_NE(c.find_element("X1.Q1.gm"), nullptr);
+  EXPECT_DOUBLE_EQ(c.find_element("X1.Q1.gm")->value, 1e-3);
+}
+
+}  // namespace
+}  // namespace symref::netlist

@@ -1,0 +1,87 @@
+// Netlist serialization round-trips.
+#include "netlist/writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "mna/ac.h"
+#include "netlist/parser.h"
+
+namespace symref::netlist {
+namespace {
+
+/// Electrical round-trip: write, re-parse, compare transfer functions.
+void expect_electrical_round_trip(const Circuit& original, const mna::TransferSpec& spec) {
+  const std::string text = write_netlist(original);
+  const Circuit reparsed = parse_netlist(text);
+  for (const double freq : {1e2, 1e4, 1e6}) {
+    const std::complex<double> ha = mna::AcSimulator(original).transfer(spec, freq);
+    const std::complex<double> hb = mna::AcSimulator(reparsed).transfer(spec, freq);
+    EXPECT_LT(std::abs(ha - hb), 1e-6 * std::max(1.0, std::abs(ha)))
+        << "freq " << freq << "\n" << text;
+  }
+}
+
+TEST(Writer, PassiveRoundTrip) {
+  Circuit c;
+  c.add_resistor("r1", "in", "out", 1e3);
+  c.add_capacitor("c1", "out", "0", 30e-12);
+  c.add_inductor("l1", "out", "0", 1e-3);
+  expect_electrical_round_trip(c, mna::TransferSpec::voltage_gain("in", "out"));
+}
+
+TEST(Writer, ConductanceWrittenAsResistor) {
+  Circuit c;
+  c.add_conductance("gl", "a", "0", 2e-3);
+  const std::string text = write_netlist(c);
+  EXPECT_NE(text.find("Rgl a 0 500"), std::string::npos) << text;
+}
+
+TEST(Writer, ControlledSourcesRoundTrip) {
+  Circuit c;
+  c.add_vccs("g1", "out", "0", "in", "0", 2e-3);
+  c.add_resistor("rl", "out", "0", 1e3);
+  c.add_resistor("rin", "in", "0", 1e6);
+  expect_electrical_round_trip(c, mna::TransferSpec::voltage_gain("in", "out"));
+}
+
+TEST(Writer, VcvsRoundTrip) {
+  Circuit c;
+  c.add_vcvs("e1", "out", "0", "in", "0", 5.0);
+  c.add_resistor("rl", "out", "0", 1e3);
+  c.add_resistor("rin", "in", "0", 1e6);
+  expect_electrical_round_trip(c, mna::TransferSpec::voltage_gain("in", "out"));
+}
+
+TEST(Writer, TitleAndEndEmitted) {
+  Circuit c;
+  c.title = "hello world";
+  c.add_resistor("r1", "a", "0", 1.0);
+  const std::string text = write_netlist(c);
+  EXPECT_EQ(text.find(".title hello world"), 0u);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+TEST(Writer, CardLetterPrefixAddedWhenMissing) {
+  Circuit c;
+  c.add_capacitor("q1.cpi", "a", "0", 1e-12);  // name starts with 'q'
+  const std::string text = write_netlist(c);
+  EXPECT_NE(text.find("Cq1.cpi"), std::string::npos) << text;
+}
+
+TEST(Writer, SourcesSerialized) {
+  Circuit c;
+  c.add_vsource("v1", "in", "0", 1.0);
+  c.add_isource("i1", "out", "0", 2e-3);
+  c.add_resistor("r1", "in", "out", 1e3);
+  const std::string text = write_netlist(c);
+  EXPECT_NE(text.find("v1 in 0 AC"), std::string::npos) << text;
+  const Circuit reparsed = parse_netlist(text);
+  EXPECT_DOUBLE_EQ(reparsed.find_element("v1")->value, 1.0);
+  EXPECT_DOUBLE_EQ(reparsed.find_element("i1")->value, 2e-3);
+}
+
+}  // namespace
+}  // namespace symref::netlist

@@ -1,0 +1,86 @@
+// Aberth-Ehrlich root finding on extended-range coefficients.
+#include "numeric/roots.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace symref::numeric {
+namespace {
+
+void expect_contains_root(const RootResult& result, std::complex<double> root, double tol) {
+  double best = 1e300;
+  for (const auto& r : result.roots) best = std::min(best, std::abs(r - root));
+  EXPECT_LT(best, tol) << "missing root " << root.real() << "+j" << root.imag();
+}
+
+TEST(Roots, Quadratic) {
+  // (s+1)(s+2) = 2 + 3s + s^2
+  const Polynomial<double> p({2.0, 3.0, 1.0});
+  const RootResult result = find_roots(p);
+  ASSERT_TRUE(result.converged);
+  ASSERT_EQ(result.roots.size(), 2u);
+  expect_contains_root(result, {-1.0, 0.0}, 1e-9);
+  expect_contains_root(result, {-2.0, 0.0}, 1e-9);
+}
+
+TEST(Roots, ComplexPair) {
+  // s^2 + 2s + 5 -> roots -1 +/- 2j.
+  const Polynomial<double> p({5.0, 2.0, 1.0});
+  const RootResult result = find_roots(p);
+  ASSERT_TRUE(result.converged);
+  expect_contains_root(result, {-1.0, 2.0}, 1e-9);
+  expect_contains_root(result, {-1.0, -2.0}, 1e-9);
+}
+
+TEST(Roots, WidelySpreadPoles) {
+  // Circuit-like pole spread: (1 + s/1e2)(1 + s/1e6)(1 + s/1e9). The
+  // variable-scaling inside the finder balances the 1e-17-spread
+  // coefficients without losing the small root.
+  const double p1 = 1e2, p2 = 1e6, p3 = 1e9;
+  Polynomial<double> p({1.0, 1 / p1 + 1 / p2 + 1 / p3,
+                        1 / (p1 * p2) + 1 / (p1 * p3) + 1 / (p2 * p3),
+                        1 / (p1 * p2 * p3)});
+  const RootResult result = find_roots(p);
+  ASSERT_TRUE(result.converged);
+  expect_contains_root(result, {-p1, 0.0}, p1 * 1e-6);
+  expect_contains_root(result, {-p2, 0.0}, p2 * 1e-6);
+  expect_contains_root(result, {-p3, 0.0}, p3 * 1e-6);
+}
+
+TEST(Roots, OriginRootsFromLeadingZeros) {
+  // s^2 * (s + 3): coefficients {0, 0, 3, 1}.
+  const Polynomial<double> p({0.0, 0.0, 3.0, 1.0});
+  const RootResult result = find_roots(p);
+  ASSERT_EQ(result.roots.size(), 3u);
+  // Sorted by magnitude: the two origin roots come first.
+  EXPECT_EQ(result.roots[0], std::complex<double>(0.0, 0.0));
+  EXPECT_EQ(result.roots[1], std::complex<double>(0.0, 0.0));
+  expect_contains_root(result, {-3.0, 0.0}, 1e-9);
+}
+
+TEST(Roots, ScaledCoefficientsBeyondDoubleRange) {
+  // p(s) = (1 + s/1e3)^2 multiplied by 1e-400: coefficients are not
+  // representable as double, roots are unchanged.
+  Polynomial<ScaledDouble> p;
+  const ScaledDouble scale = ScaledDouble::exp10i(-400);
+  p.set_coeff(0, scale);
+  p.set_coeff(1, scale * ScaledDouble(2e-3));
+  p.set_coeff(2, scale * ScaledDouble(1e-6));
+  const RootResult result = find_roots(p);
+  ASSERT_TRUE(result.converged);
+  ASSERT_EQ(result.roots.size(), 2u);
+  expect_contains_root(result, {-1e3, 0.0}, 1e-3);
+}
+
+TEST(Roots, DegenerateInputs) {
+  EXPECT_TRUE(find_roots(Polynomial<double>{}).roots.empty());
+  EXPECT_TRUE(find_roots(Polynomial<double>({5.0})).roots.empty());
+  const RootResult linear = find_roots(Polynomial<double>({4.0, 2.0}));
+  ASSERT_EQ(linear.roots.size(), 1u);
+  expect_contains_root(linear, {-2.0, 0.0}, 1e-10);
+}
+
+}  // namespace
+}  // namespace symref::numeric

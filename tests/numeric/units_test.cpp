@@ -1,0 +1,64 @@
+// Engineering-notation parsing/printing.
+#include "numeric/units.h"
+
+#include <gtest/gtest.h>
+
+namespace symref::numeric {
+namespace {
+
+TEST(Units, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(*parse_engineering("42"), 42.0);
+  EXPECT_DOUBLE_EQ(*parse_engineering("-3.5"), -3.5);
+  EXPECT_DOUBLE_EQ(*parse_engineering("1e-9"), 1e-9);
+  EXPECT_DOUBLE_EQ(*parse_engineering("4.7E3"), 4.7e3);
+}
+
+TEST(Units, Suffixes) {
+  EXPECT_DOUBLE_EQ(*parse_engineering("30p"), 30e-12);
+  EXPECT_DOUBLE_EQ(*parse_engineering("2.2k"), 2.2e3);
+  EXPECT_DOUBLE_EQ(*parse_engineering("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(*parse_engineering("1MEG"), 1e6);
+  EXPECT_DOUBLE_EQ(*parse_engineering("10u"), 10e-6);
+  EXPECT_DOUBLE_EQ(*parse_engineering("5n"), 5e-9);
+  EXPECT_DOUBLE_EQ(*parse_engineering("3f"), 3e-15);
+  EXPECT_DOUBLE_EQ(*parse_engineering("2g"), 2e9);
+  EXPECT_DOUBLE_EQ(*parse_engineering("1t"), 1e12);
+  EXPECT_DOUBLE_EQ(*parse_engineering("7m"), 7e-3);
+}
+
+TEST(Units, MilliVersusMega) {
+  // "m" is milli; mega needs "meg" — the classic SPICE gotcha.
+  EXPECT_DOUBLE_EQ(*parse_engineering("1m"), 1e-3);
+  EXPECT_DOUBLE_EQ(*parse_engineering("1meg"), 1e6);
+}
+
+TEST(Units, TrailingUnitNamesIgnored) {
+  EXPECT_DOUBLE_EQ(*parse_engineering("30pF"), 30e-12);
+  EXPECT_DOUBLE_EQ(*parse_engineering("2.2kohm"), 2.2e3);
+  EXPECT_DOUBLE_EQ(*parse_engineering("5ohm"), 5.0);  // 'o' unknown -> 1.0
+}
+
+TEST(Units, Rejections) {
+  EXPECT_FALSE(parse_engineering("").has_value());
+  EXPECT_FALSE(parse_engineering("abc").has_value());
+  EXPECT_FALSE(parse_engineering("k12").has_value());
+}
+
+TEST(Units, FormattingPicksSuffix) {
+  EXPECT_EQ(format_engineering(30e-12), "30p");
+  EXPECT_EQ(format_engineering(2.2e3), "2.2k");
+  EXPECT_EQ(format_engineering(0.0), "0");
+  EXPECT_EQ(format_engineering(1e6), "1meg");
+}
+
+TEST(Units, FormatParseRoundTrip) {
+  for (const double value : {1e-15, 33e-12, 4.7e-9, 1e-6, 2.2e-3, 1.0, 47.0, 3.3e3, 1e6,
+                             2.5e9, 1e12}) {
+    const auto parsed = parse_engineering(format_engineering(value, 9));
+    ASSERT_TRUE(parsed.has_value()) << value;
+    EXPECT_NEAR(*parsed, value, value * 1e-6) << value;
+  }
+}
+
+}  // namespace
+}  // namespace symref::numeric

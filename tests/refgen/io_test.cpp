@@ -1,0 +1,88 @@
+// Reference serialization round-trips.
+#include "refgen/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuits/ladder.h"
+#include "circuits/ua741.h"
+#include "refgen/adaptive.h"
+
+namespace symref::refgen {
+namespace {
+
+void expect_equal_references(const NumericalReference& a, const NumericalReference& b) {
+  ASSERT_EQ(a.numerator().order_bound(), b.numerator().order_bound());
+  ASSERT_EQ(a.denominator().order_bound(), b.denominator().order_bound());
+  for (int i = 0; i <= a.denominator().order_bound(); ++i) {
+    const Coefficient& ca = a.denominator().at(i);
+    const Coefficient& cb = b.denominator().at(i);
+    EXPECT_EQ(ca.value, cb.value) << i;  // bit-exact via %a round-trip
+    EXPECT_EQ(ca.status, cb.status) << i;
+    EXPECT_DOUBLE_EQ(ca.relative_accuracy, cb.relative_accuracy) << i;
+  }
+  for (int i = 0; i <= a.numerator().order_bound(); ++i) {
+    EXPECT_EQ(a.numerator().at(i).value, b.numerator().at(i).value) << i;
+  }
+}
+
+TEST(ReferenceIo, LadderRoundTripBitExact) {
+  const auto ladder = circuits::rc_ladder(4);
+  const auto result = generate_reference(ladder, circuits::rc_ladder_spec(4));
+  ASSERT_TRUE(result.complete);
+  const std::string text = write_reference(result.reference);
+  const NumericalReference back = read_reference(text);
+  expect_equal_references(result.reference, back);
+}
+
+TEST(ReferenceIo, Ua741RoundTripWithExtendedRange) {
+  // Coefficients far below double range must survive the text round-trip.
+  const auto ua = circuits::ua741();
+  const auto result = generate_reference(ua, circuits::ua741_gain_spec());
+  ASSERT_TRUE(result.complete);
+  const std::string text = write_reference(result.reference);
+  const NumericalReference back = read_reference(text);
+  expect_equal_references(result.reference, back);
+  // Spot check an extreme exponent really made it through.
+  const int top = result.reference.denominator().effective_order();
+  EXPECT_LT(back.denominator().at(top).value.log10_abs(), -300.0);
+}
+
+TEST(ReferenceIo, HeaderValidation) {
+  EXPECT_THROW(read_reference(std::string("bogus v1\n")), std::runtime_error);
+  EXPECT_THROW(read_reference(std::string("symref-reference v2\n")), std::runtime_error);
+  EXPECT_THROW(read_reference(std::string("")), std::runtime_error);
+}
+
+TEST(ReferenceIo, TruncatedInputRejected) {
+  const auto ladder = circuits::rc_ladder(2);
+  const auto result = generate_reference(ladder, circuits::rc_ladder_spec(2));
+  std::string text = write_reference(result.reference);
+  text.resize(text.size() / 2);
+  EXPECT_THROW(read_reference(text), std::runtime_error);
+}
+
+TEST(ReferenceIo, MissingEndRejected) {
+  const auto ladder = circuits::rc_ladder(2);
+  const auto result = generate_reference(ladder, circuits::rc_ladder_spec(2));
+  std::string text = write_reference(result.reference);
+  const auto pos = text.rfind("end");
+  text.erase(pos);
+  EXPECT_THROW(read_reference(text), std::runtime_error);
+}
+
+TEST(ReferenceIo, StatusTokensPreserved) {
+  // The ladder numerator has zero-tail entries; they must survive as 'zero'.
+  const auto ladder = circuits::rc_ladder(3);
+  const auto result = generate_reference(ladder, circuits::rc_ladder_spec(3));
+  const NumericalReference back = read_reference(write_reference(result.reference));
+  bool saw_zero_tail = false;
+  for (int i = 0; i <= back.numerator().order_bound(); ++i) {
+    if (back.numerator().at(i).status == CoefficientStatus::ZeroTail) saw_zero_tail = true;
+  }
+  EXPECT_TRUE(saw_zero_tail);
+}
+
+}  // namespace
+}  // namespace symref::refgen

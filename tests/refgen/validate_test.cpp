@@ -1,0 +1,63 @@
+// Bode comparison utilities (Fig. 2 machinery).
+#include "refgen/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/ladder.h"
+#include "refgen/adaptive.h"
+
+namespace symref::refgen {
+namespace {
+
+TEST(Validate, LadderBodeMatches) {
+  const netlist::Circuit ladder = circuits::rc_ladder(4);
+  const auto spec = circuits::rc_ladder_spec(4);
+  const AdaptiveResult result = generate_reference(ladder, spec);
+  ASSERT_TRUE(result.complete);
+  const BodeComparison cmp = compare_bode(result.reference, ladder, spec, 1e2, 1e8, 5);
+  ASSERT_GT(cmp.points.size(), 10u);
+  EXPECT_LT(cmp.max_magnitude_error_db, 1e-8);
+  EXPECT_LT(cmp.max_phase_error_deg, 1e-6);
+  // Sanity of the data itself: DC gain ~0 dB, high-frequency rolloff.
+  EXPECT_NEAR(cmp.points.front().simulated_db, 0.0, 0.1);
+  EXPECT_LT(cmp.points.back().simulated_db, -60.0);
+}
+
+TEST(Validate, DetectsDeliberateCorruption) {
+  const netlist::Circuit ladder = circuits::rc_ladder(3);
+  const auto spec = circuits::rc_ladder_spec(3);
+  AdaptiveResult result = generate_reference(ladder, spec);
+  ASSERT_TRUE(result.complete);
+  // Corrupt one coefficient by 10%: the comparison must light up.
+  auto& c1 = result.reference.denominator().at(1);
+  c1.value = c1.value * numeric::ScaledDouble(1.1);
+  const BodeComparison cmp = compare_bode(result.reference, ladder, spec, 1e2, 1e8, 5);
+  EXPECT_GT(cmp.max_magnitude_error_db, 0.1);
+}
+
+TEST(Validate, RelativeTransferErrorSmallEverywhere) {
+  const netlist::Circuit ladder = circuits::rc_ladder(5);
+  const auto spec = circuits::rc_ladder_spec(5);
+  const AdaptiveResult result = generate_reference(ladder, spec);
+  ASSERT_TRUE(result.complete);
+  for (const double w : {1e3, 1e5, 1e7, 1e9}) {
+    EXPECT_LT(relative_transfer_error(result.reference, ladder, spec, {0.0, w}), 1e-7)
+        << w;
+    EXPECT_LT(relative_transfer_error(result.reference, ladder, spec, {-w, w}), 1e-7)
+        << w;
+  }
+}
+
+TEST(Validate, PhaseComparisonHandlesWrapOffsets) {
+  // Construct two identical references; phase error must be ~0 even where
+  // the absolute phase passes through +/-180.
+  const netlist::Circuit ladder = circuits::rc_ladder(6);
+  const auto spec = circuits::rc_ladder_spec(6);
+  const AdaptiveResult result = generate_reference(ladder, spec);
+  ASSERT_TRUE(result.complete);
+  const BodeComparison cmp = compare_bode(result.reference, ladder, spec, 1e2, 1e9, 4);
+  EXPECT_LT(cmp.max_phase_error_deg, 1e-5);
+}
+
+}  // namespace
+}  // namespace symref::refgen

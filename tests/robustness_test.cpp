@@ -1,0 +1,134 @@
+// Parameterized robustness sweeps: the engine must complete and validate
+// across circuit families x element-value decades x engine settings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "circuits/ladder.h"
+#include "circuits/ota.h"
+#include "circuits/ua741.h"
+#include "mna/ac.h"
+#include "refgen/adaptive.h"
+#include "refgen/validate.h"
+
+namespace symref {
+namespace {
+
+// --- Ladder value grid: R and C swept over 6 decades each ------------------
+
+class LadderValueGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LadderValueGrid, ExactOrderAndBodeAcrossDecades) {
+  const auto [resistance, capacitance] = GetParam();
+  const int n = 5;
+  const netlist::Circuit ladder = circuits::rc_ladder(n, resistance, capacitance);
+  const auto spec = circuits::rc_ladder_spec(n);
+  const refgen::AdaptiveResult result = refgen::generate_reference(ladder, spec);
+  ASSERT_TRUE(result.complete) << "R=" << resistance << " C=" << capacitance << " "
+                               << result.termination;
+  EXPECT_EQ(result.reference.denominator().effective_order(), n);
+  // Validate around the ladder's corner frequency, wherever the values put it.
+  const double f0 = 1.0 / (2.0 * M_PI * resistance * capacitance);
+  const refgen::BodeComparison bode =
+      refgen::compare_bode(result.reference, ladder, spec, f0 / 100, f0 * 100, 3);
+  EXPECT_LT(bode.max_magnitude_error_db, 1e-6)
+      << "R=" << resistance << " C=" << capacitance;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decades, LadderValueGrid,
+    ::testing::Combine(::testing::Values(1.0, 1e3, 1e6),
+                       ::testing::Values(1e-12, 1e-9, 1e-6)));
+
+// --- Engine settings grid on the OTA ---------------------------------------
+
+struct EngineSetting {
+  int sigma;
+  bool deflation;
+  bool symmetry;
+};
+
+class EngineSettingsGrid : public ::testing::TestWithParam<EngineSetting> {};
+
+TEST_P(EngineSettingsGrid, OtaCompletesAndValidates) {
+  const EngineSetting setting = GetParam();
+  refgen::AdaptiveOptions options;
+  options.sigma = setting.sigma;
+  options.use_deflation = setting.deflation;
+  options.conjugate_symmetry = setting.symmetry;
+  const netlist::Circuit ota = circuits::ota_fig1();
+  const auto spec = circuits::ota_fig1_gain_spec();
+  const refgen::AdaptiveResult result = refgen::generate_reference(ota, spec, options);
+  ASSERT_TRUE(result.complete)
+      << "sigma=" << setting.sigma << " deflation=" << setting.deflation
+      << " symmetry=" << setting.symmetry << " -> " << result.termination;
+  const refgen::BodeComparison bode =
+      refgen::compare_bode(result.reference, ota, spec, 1e3, 1e10, 3);
+  EXPECT_LT(bode.max_magnitude_error_db, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Settings, EngineSettingsGrid,
+                         ::testing::Values(EngineSetting{4, true, true},
+                                           EngineSetting{6, true, true},
+                                           EngineSetting{8, true, true},
+                                           EngineSetting{6, false, true},
+                                           EngineSetting{6, true, false},
+                                           EngineSetting{6, false, false}));
+
+// --- gm-C chain spread sweep ------------------------------------------------
+
+class SpreadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpreadSweep, GmCChainAcrossSpreads) {
+  const double decades = GetParam();
+  const int stages = 8;
+  const netlist::Circuit chain = circuits::gm_c_chain(stages, decades);
+  const auto spec = circuits::gm_c_chain_spec(stages);
+  const refgen::AdaptiveResult result = refgen::generate_reference(chain, spec);
+  ASSERT_TRUE(result.complete) << "spread=" << decades << " " << result.termination;
+  const double err =
+      refgen::relative_transfer_error(result.reference, chain, spec, {0.0, 1e6});
+  EXPECT_LT(err, 1e-4) << decades;
+}
+
+INSTANTIATE_TEST_SUITE_P(SpreadDecades, SpreadSweep,
+                         ::testing::Values(0.0, 2.0, 4.0, 6.0, 8.0));
+
+// --- 741 variants -------------------------------------------------------------
+
+class Ua741Variants : public ::testing::TestWithParam<int> {};
+
+TEST_P(Ua741Variants, AllModelFidelityLevelsComplete) {
+  circuits::Ua741Options options;
+  switch (GetParam()) {
+    case 0:  // full model
+      break;
+    case 1:
+      options.base_resistance = false;
+      break;
+    case 2:
+      options.substrate_caps = false;
+      break;
+    case 3:
+      options.base_resistance = false;
+      options.substrate_caps = false;
+      options.load_capacitance = 0.0;
+      break;
+    default:
+      break;
+  }
+  const netlist::Circuit ua = circuits::ua741(options);
+  const auto spec = circuits::ua741_gain_spec();
+  const refgen::AdaptiveResult result = refgen::generate_reference(ua, spec);
+  ASSERT_TRUE(result.complete) << "variant " << GetParam() << " " << result.termination;
+  const refgen::BodeComparison bode =
+      refgen::compare_bode(result.reference, ua, spec, 1.0, 1e7, 2);
+  EXPECT_LT(bode.max_magnitude_error_db, 1e-2) << "variant " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, Ua741Variants, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace symref

@@ -1,0 +1,297 @@
+// Dense and sparse LU: solve, determinant, pivoting.
+#include "sparse/lu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "sparse/dense.h"
+#include "support/random.h"
+
+namespace symref::sparse {
+namespace {
+
+using Complex = std::complex<double>;
+
+TripletMatrix random_matrix(support::Rng& rng, int n, double density) {
+  TripletMatrix m(n);
+  // Guarantee structural nonsingularity via a strong diagonal.
+  for (int i = 0; i < n; ++i) {
+    m.add(i, i, {rng.uniform(1.0, 2.0) * rng.sign(), rng.uniform(-0.5, 0.5)});
+  }
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      if (r == c) continue;
+      if (rng.next_double() < density) {
+        m.add(r, c, {rng.uniform(-1, 1), rng.uniform(-1, 1)});
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<Complex> random_vector(support::Rng& rng, int n) {
+  std::vector<Complex> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return v;
+}
+
+double residual_norm(const CompressedMatrix& a, const std::vector<Complex>& x,
+                     const std::vector<Complex>& b) {
+  std::vector<Complex> ax;
+  a.multiply(x, ax);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) worst = std::max(worst, std::abs(ax[i] - b[i]));
+  return worst;
+}
+
+TEST(PermutationSign, CyclesAndIdentity) {
+  EXPECT_EQ(permutation_sign({0, 1, 2}), 1);
+  EXPECT_EQ(permutation_sign({1, 0, 2}), -1);
+  EXPECT_EQ(permutation_sign({1, 2, 0}), 1);   // 3-cycle: even
+  EXPECT_EQ(permutation_sign({3, 2, 1, 0}), 1); // two swaps
+  EXPECT_EQ(permutation_sign({}), 1);
+}
+
+TEST(DenseLu, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+  DenseLu lu;
+  ASSERT_TRUE(lu.factor({Complex(2), Complex(1), Complex(1), Complex(3)}, 2));
+  std::vector<Complex> b{{5.0, 0.0}, {10.0, 0.0}};
+  lu.solve(b);
+  EXPECT_LT(std::abs(b[0] - Complex(1.0, 0.0)), 1e-14);
+  EXPECT_LT(std::abs(b[1] - Complex(3.0, 0.0)), 1e-14);
+  EXPECT_NEAR(lu.determinant().real().to_double(), 5.0, 1e-12);
+}
+
+TEST(DenseLu, DeterminantWithPivotingSign) {
+  // [0 1; 1 0]: det = -1, needs a row swap.
+  DenseLu lu;
+  ASSERT_TRUE(lu.factor({Complex(0), Complex(1), Complex(1), Complex(0)}, 2));
+  EXPECT_NEAR(lu.determinant().real().to_double(), -1.0, 1e-15);
+}
+
+TEST(DenseLu, SingularDetected) {
+  DenseLu lu;
+  EXPECT_FALSE(lu.factor({Complex(1), Complex(2), Complex(2), Complex(4)}, 2));
+  EXPECT_FALSE(lu.ok());
+}
+
+TEST(SparseLu, MatchesDenseOnRandomMatrices) {
+  support::Rng rng(1234);
+  for (const int n : {1, 2, 3, 5, 8, 13, 21, 34}) {
+    const TripletMatrix m = random_matrix(rng, n, 0.3);
+    SparseLu sparse;
+    DenseLu dense;
+    ASSERT_TRUE(sparse.factor(m)) << n;
+    ASSERT_TRUE(dense.factor(m)) << n;
+
+    const auto b = random_vector(rng, n);
+    std::vector<Complex> xs = b;
+    std::vector<Complex> xd = b;
+    sparse.solve(xs);
+    dense.solve(xd);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_LT(std::abs(xs[static_cast<std::size_t>(i)] - xd[static_cast<std::size_t>(i)]),
+                1e-9)
+          << "n " << n << " i " << i;
+    }
+
+    const auto det_s = sparse.determinant();
+    const auto det_d = dense.determinant();
+    EXPECT_LT(std::abs(det_s.to_complex() - det_d.to_complex()),
+              1e-9 * std::max(1.0, std::abs(det_d.to_complex())))
+        << n;
+  }
+}
+
+TEST(SparseLu, ResidualSmall) {
+  support::Rng rng(99);
+  const TripletMatrix m = random_matrix(rng, 40, 0.15);
+  const CompressedMatrix c = m.compress();
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(m));
+  const auto b = random_vector(rng, 40);
+  std::vector<Complex> x = b;
+  lu.solve(x);
+  EXPECT_LT(residual_norm(c, x, b), 1e-10);
+}
+
+TEST(SparseLu, DeterminantOfDiagonal) {
+  TripletMatrix m(4);
+  const Complex d[4] = {{2, 0}, {0, 3}, {-1, 0}, {0, -2}};
+  for (int i = 0; i < 4; ++i) m.add(i, i, d[i]);
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(m));
+  const Complex expected = d[0] * d[1] * d[2] * d[3];
+  EXPECT_LT(std::abs(lu.determinant().to_complex() - expected), 1e-12);
+}
+
+TEST(SparseLu, DeterminantBeyondDoubleRange) {
+  // 100 diagonal entries of 1e-8: det = 1e-800, unrepresentable in double
+  // but exact in the scaled domain.
+  const int n = 100;
+  TripletMatrix m(n);
+  for (int i = 0; i < n; ++i) m.add(i, i, {1e-8, 0.0});
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(m));
+  EXPECT_NEAR(lu.determinant().abs().log10_abs(), -800.0, 1e-6);
+}
+
+TEST(SparseLu, SingularMatrixRejected) {
+  TripletMatrix m(3);
+  m.add(0, 0, {1.0, 0.0});
+  m.add(1, 1, {1.0, 0.0});
+  // row 2 empty -> structurally singular
+  SparseLu lu;
+  EXPECT_FALSE(lu.factor(m));
+  EXPECT_FALSE(lu.ok());
+}
+
+TEST(SparseLu, NumericallySingularRejected) {
+  TripletMatrix m(2);
+  m.add(0, 0, {1.0, 0.0});
+  m.add(0, 1, {2.0, 0.0});
+  m.add(1, 0, {2.0, 0.0});
+  m.add(1, 1, {4.0, 0.0});
+  SparseLu lu;
+  EXPECT_FALSE(lu.factor(m));
+}
+
+TEST(SparseLu, PermutedIdentityTracksSign) {
+  // Anti-diagonal identity of size 4: det = +1 (two transpositions).
+  TripletMatrix m(4);
+  for (int i = 0; i < 4; ++i) m.add(i, 3 - i, {1.0, 0.0});
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(m));
+  EXPECT_NEAR(lu.determinant().real().to_double(), 1.0, 1e-15);
+
+  TripletMatrix m3(3);
+  for (int i = 0; i < 3; ++i) m3.add(i, 2 - i, {1.0, 0.0});
+  SparseLu lu3;
+  ASSERT_TRUE(lu3.factor(m3));
+  EXPECT_NEAR(lu3.determinant().real().to_double(), -1.0, 1e-15);
+}
+
+TEST(SparseLu, TridiagonalFillInStaysLow) {
+  const int n = 50;
+  TripletMatrix m(n);
+  for (int i = 0; i < n; ++i) {
+    m.add(i, i, {4.0, 0.0});
+    if (i > 0) {
+      m.add(i, i - 1, {-1.0, 0.0});
+      m.add(i - 1, i, {-1.0, 0.0});
+    }
+  }
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(m));
+  // Markowitz on a tridiagonal matrix should produce (near-)zero fill.
+  EXPECT_LE(lu.fill_in(), 5u);
+}
+
+
+TEST(SparseLu, RefactorMatchesFullFactor) {
+  support::Rng rng(555);
+  const int n = 30;
+  const TripletMatrix base = random_matrix(rng, n, 0.2);
+  const CompressedMatrix pattern = base.compress();
+
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(pattern));
+  const Complex det_first = lu.determinant().to_complex();
+
+  // Same pattern, perturbed values (same positions!): refactor must succeed
+  // and match a from-scratch factorization.
+  TripletMatrix perturbed(n);
+  for (const Triplet& t : base.triplets()) {
+    perturbed.add(t.row, t.col, t.value * Complex(1.1, -0.05));
+  }
+  const CompressedMatrix perturbed_c = perturbed.compress();
+  ASSERT_EQ(perturbed_c.nonzeros(), pattern.nonzeros());
+  ASSERT_TRUE(lu.refactor(perturbed_c));
+
+  SparseLu fresh;
+  ASSERT_TRUE(fresh.factor(perturbed_c));
+  EXPECT_LT(std::abs(lu.determinant().to_complex() - fresh.determinant().to_complex()),
+            1e-9 * std::abs(fresh.determinant().to_complex()));
+  // And the solve agrees.
+  const auto b = random_vector(rng, n);
+  std::vector<Complex> x1 = b;
+  std::vector<Complex> x2 = b;
+  lu.solve(x1);
+  fresh.solve(x2);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_LT(std::abs(x1[static_cast<std::size_t>(i)] - x2[static_cast<std::size_t>(i)]),
+              1e-8);
+  }
+  // Determinant of the first matrix is untouched conceptually; sanity only.
+  (void)det_first;
+}
+
+TEST(SparseLu, RefactorRejectsPatternChange) {
+  support::Rng rng(556);
+  const TripletMatrix a = random_matrix(rng, 10, 0.3);
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(a));
+  const TripletMatrix b = random_matrix(rng, 10, 0.5);  // different pattern
+  if (b.compress().nonzeros() != a.compress().nonzeros()) {
+    EXPECT_FALSE(lu.refactor(b.compress()));
+  }
+  const TripletMatrix c = random_matrix(rng, 12, 0.3);  // different dim
+  EXPECT_FALSE(lu.refactor(c.compress()));
+}
+
+TEST(SparseLu, RefactorWithoutPriorFactorFails) {
+  support::Rng rng(557);
+  const TripletMatrix m = random_matrix(rng, 8, 0.3);
+  SparseLu lu;
+  EXPECT_FALSE(lu.refactor(m.compress()));
+}
+
+TEST(SparseLu, RefactorDetectsDegradedPivot) {
+  // Diagonal matrix; zero out one diagonal value while keeping the pattern
+  // impossible — instead make it numerically tiny: refactor must refuse.
+  TripletMatrix m(3);
+  m.add(0, 0, {1.0, 0.0});
+  m.add(1, 1, {1.0, 0.0});
+  m.add(2, 2, {1.0, 0.0});
+  m.add(0, 1, {0.5, 0.0});
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(m));
+
+  TripletMatrix degraded(3);
+  degraded.add(0, 0, {1.0, 0.0});
+  degraded.add(1, 1, {1e-30, 0.0});  // pivot collapses
+  degraded.add(2, 2, {1.0, 0.0});
+  degraded.add(0, 1, {1e20, 0.0});   // row max explodes
+  EXPECT_FALSE(lu.refactor(degraded.compress()));
+  // Full factor still handles it (picks a better pivot or reports singular
+  // consistently).
+  SparseLu fresh;
+  EXPECT_TRUE(fresh.factor(degraded));
+}
+
+// Parameterized sweep over sizes: solve + determinant sanity on circuit-like
+// (diagonally dominant, sparse) matrices.
+class SparseLuSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseLuSweep, SolveAndDeterminantConsistent) {
+  const int n = GetParam();
+  support::Rng rng(static_cast<std::uint64_t>(n) * 7919);
+  const TripletMatrix m = random_matrix(rng, n, 4.0 / n);
+  const CompressedMatrix c = m.compress();
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(m));
+  const auto b = random_vector(rng, n);
+  std::vector<Complex> x = b;
+  lu.solve(x);
+  EXPECT_LT(residual_norm(c, x, b), 1e-9);
+  EXPECT_FALSE(lu.determinant().is_zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SparseLuSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace symref::sparse

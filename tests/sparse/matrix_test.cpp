@@ -1,0 +1,73 @@
+// Triplet assembly and compressed storage.
+#include "sparse/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace symref::sparse {
+namespace {
+
+using Complex = std::complex<double>;
+
+TEST(TripletMatrix, AccumulatesDuplicates) {
+  TripletMatrix m(3);
+  m.add(0, 0, {1.0, 0.0});
+  m.add(0, 0, {2.0, 1.0});
+  m.add(1, 2, {-1.0, 0.0});
+  const CompressedMatrix c = m.compress();
+  EXPECT_EQ(c.nonzeros(), 2u);
+  EXPECT_EQ(c.at(0, 0), Complex(3.0, 1.0));
+  EXPECT_EQ(c.at(1, 2), Complex(-1.0, 0.0));
+  EXPECT_EQ(c.at(2, 2), Complex(0.0, 0.0));
+}
+
+TEST(TripletMatrix, ExactCancellationDropsEntry) {
+  TripletMatrix m(2);
+  m.add(0, 1, {5.0, 0.0});
+  m.add(0, 1, {-5.0, 0.0});
+  const CompressedMatrix c = m.compress();
+  EXPECT_EQ(c.nonzeros(), 0u);
+}
+
+TEST(TripletMatrix, ZeroValueIgnored) {
+  TripletMatrix m(2);
+  m.add(0, 0, {0.0, 0.0});
+  EXPECT_EQ(m.entries(), 0u);
+}
+
+TEST(TripletMatrix, OutOfRangeThrows) {
+  TripletMatrix m(2);
+  EXPECT_THROW(m.add(2, 0, {1.0, 0.0}), std::out_of_range);
+  EXPECT_THROW(m.add(0, -1, {1.0, 0.0}), std::out_of_range);
+}
+
+TEST(CompressedMatrix, RowsSortedByColumn) {
+  TripletMatrix m(3);
+  m.add(1, 2, {3.0, 0.0});
+  m.add(1, 0, {1.0, 0.0});
+  m.add(1, 1, {2.0, 0.0});
+  const CompressedMatrix c = m.compress();
+  ASSERT_EQ(c.row_start[1 + 1] - c.row_start[1], 3);
+  EXPECT_EQ(c.cols[static_cast<std::size_t>(c.row_start[1])], 0);
+  EXPECT_EQ(c.cols[static_cast<std::size_t>(c.row_start[1]) + 1], 1);
+  EXPECT_EQ(c.cols[static_cast<std::size_t>(c.row_start[1]) + 2], 2);
+}
+
+TEST(CompressedMatrix, MultiplyMatchesDense) {
+  TripletMatrix m(3);
+  m.add(0, 0, {2.0, 0.0});
+  m.add(0, 2, {0.0, 1.0});
+  m.add(2, 1, {-1.0, 0.0});
+  const CompressedMatrix c = m.compress();
+  const std::vector<Complex> x{{1.0, 0.0}, {2.0, 0.0}, {0.0, 3.0}};
+  std::vector<Complex> y;
+  c.multiply(x, y);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_EQ(y[0], Complex(2.0, 0.0) + Complex(0.0, 1.0) * Complex(0.0, 3.0));
+  EXPECT_EQ(y[1], Complex(0.0, 0.0));
+  EXPECT_EQ(y[2], Complex(-2.0, 0.0));
+}
+
+}  // namespace
+}  // namespace symref::sparse

@@ -1,0 +1,137 @@
+// Symbolic expression algebra.
+#include "symbolic/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace symref::symbolic {
+namespace {
+
+using numeric::ScaledDouble;
+
+SymbolTable make_table() {
+  SymbolTable table;
+  table.add({"g1", 1e-3, false});
+  table.add({"g2", 2e-3, false});
+  table.add({"c1", 1e-12, true});
+  table.add({"c2", 3e-12, true});
+  return table;
+}
+
+Term term_of(double coeff, std::vector<int> symbols, int s_power) {
+  Term t;
+  t.coefficient = coeff;
+  t.symbols = std::move(symbols);
+  t.s_power = s_power;
+  return t;
+}
+
+TEST(SymbolTable, AddAndFind) {
+  const SymbolTable table = make_table();
+  EXPECT_EQ(table.size(), 4);
+  EXPECT_EQ(table.find("c1"), 2);
+  EXPECT_EQ(table.find("zz"), -1);
+  EXPECT_TRUE(table.at(2).is_capacitor);
+  EXPECT_FALSE(table.at(0).is_capacitor);
+}
+
+TEST(Term, ValueAndMagnitude) {
+  const SymbolTable table = make_table();
+  const Term t = term_of(-2.0, {0, 2}, 1);  // -2 * g1 * c1
+  EXPECT_NEAR(t.value(table).to_double(), -2.0 * 1e-3 * 1e-12, 1e-25);
+  EXPECT_NEAR(t.magnitude(table).to_double(), 2e-15, 1e-25);
+}
+
+TEST(Term, ToStringShowsSymbols) {
+  const SymbolTable table = make_table();
+  const Term t = term_of(1.0, {0, 3}, 1);
+  EXPECT_EQ(t.to_string(table), "+g1*c2");
+  EXPECT_EQ(term_of(-1.0, {}, 0).to_string(table), "-1");
+}
+
+TEST(Expression, CanonicalizeMergesAndCancels) {
+  Expression e;
+  e.add_term(term_of(1.0, {0, 1}, 0));
+  e.add_term(term_of(2.0, {1, 0}, 0));   // same product, different order
+  e.add_term(term_of(-3.0, {0, 1}, 0));  // cancels the sum exactly
+  e.canonicalize();
+  EXPECT_TRUE(e.is_zero());
+}
+
+TEST(Expression, AdditionAndSubtraction) {
+  Expression a(term_of(1.0, {0}, 0));
+  Expression b(term_of(4.0, {1}, 0));
+  Expression sum = a + b;
+  EXPECT_EQ(sum.term_count(), 2u);
+  Expression diff = sum - b;
+  diff.canonicalize();
+  ASSERT_EQ(diff.term_count(), 1u);
+  EXPECT_EQ(diff.terms()[0].symbols, std::vector<int>{0});
+}
+
+TEST(Expression, MultiplicationCombinesPowers) {
+  // (g1 + s c1)(g2 + s c2) = g1 g2 + s(g1 c2 + g2 c1) + s^2 c1 c2
+  Expression left;
+  left.add_term(term_of(1.0, {0}, 0));
+  left.add_term(term_of(1.0, {2}, 1));
+  Expression right;
+  right.add_term(term_of(1.0, {1}, 0));
+  right.add_term(term_of(1.0, {3}, 1));
+  Expression product = left * right;
+  product.canonicalize();
+  EXPECT_EQ(product.term_count(), 4u);
+
+  const SymbolTable table = make_table();
+  const auto poly = product.coefficients(table);
+  EXPECT_EQ(poly.degree(), 2);
+  EXPECT_NEAR(poly.coeff(0).to_double(), 1e-3 * 2e-3, 1e-18);
+  EXPECT_NEAR(poly.coeff(1).to_double(), 1e-3 * 3e-12 + 2e-3 * 1e-12, 1e-24);
+  EXPECT_NEAR(poly.coeff(2).to_double(), 1e-12 * 3e-12, 1e-36);
+}
+
+TEST(Expression, EvaluateMatchesPolynomial) {
+  const SymbolTable table = make_table();
+  Expression e;
+  e.add_term(term_of(1.0, {0}, 0));      // g1
+  e.add_term(term_of(-1.0, {2}, 1));     // -s c1
+  const std::complex<double> s(0.0, 1e9);
+  const auto value = e.evaluate(table, s);
+  const std::complex<double> expected(1e-3, -1e9 * 1e-12 * 1.0);
+  EXPECT_LT(std::abs(value.to_complex() - expected), 1e-12);
+}
+
+TEST(Expression, NegationFlipsAllSigns) {
+  Expression e;
+  e.add_term(term_of(2.0, {0}, 0));
+  e.add_term(term_of(-3.0, {1}, 0));
+  const Expression n = -e;
+  EXPECT_DOUBLE_EQ(n.terms()[0].coefficient, -2.0);
+  EXPECT_DOUBLE_EQ(n.terms()[1].coefficient, 3.0);
+}
+
+TEST(Expression, ToStringTruncatesLongSums) {
+  Expression e;
+  for (int i = 0; i < 30; ++i) e.add_term(term_of(1.0, {i % 4}, 0));
+  const SymbolTable table = make_table();
+  const std::string text = e.to_string(table, 5);
+  EXPECT_NE(text.find("..."), std::string::npos);
+}
+
+TEST(Expression, CoefficientsOfZeroExpression) {
+  Expression e;
+  const SymbolTable table = make_table();
+  EXPECT_TRUE(e.coefficients(table).is_zero());
+  EXPECT_EQ(e.to_string(table), "0");
+}
+
+TEST(Expression, SPowerSeparatesCoefficients) {
+  Expression e;
+  e.add_term(term_of(1.0, {2}, 1));
+  e.add_term(term_of(1.0, {3}, 1));
+  const SymbolTable table = make_table();
+  const auto poly = e.coefficients(table);
+  EXPECT_TRUE(poly.coeff(0).is_zero());
+  EXPECT_NEAR(poly.coeff(1).to_double(), 4e-12, 1e-24);
+}
+
+}  // namespace
+}  // namespace symref::symbolic

@@ -1,0 +1,128 @@
+// SAG pruning: complete expansion, then drop insignificant terms.
+#include "symbolic/sag.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/ladder.h"
+#include "circuits/ota.h"
+#include "netlist/canonical.h"
+#include "refgen/adaptive.h"
+#include "symbolic/det.h"
+#include "symbolic/sdg.h"
+
+namespace symref::symbolic {
+namespace {
+
+using numeric::ScaledDouble;
+
+TEST(Sag, PrunedExpressionKeepsCoefficientsWithinEpsilon) {
+  const auto ota = netlist::canonicalize(circuits::ota_fig1());
+  const SymbolicNodalMatrix matrix(ota);
+  const Expression full = symbolic_determinant(matrix);
+
+  SagOptions options;
+  options.epsilon = 1e-2;
+  const SagResult result = prune_expression(full, matrix.symbols(), options);
+  EXPECT_LT(result.retained_terms, result.original_terms);
+  EXPECT_LE(result.worst_error, options.epsilon);
+
+  const auto exact = full.coefficients(matrix.symbols());
+  const auto pruned = result.simplified.coefficients(matrix.symbols());
+  for (int k = 0; k <= exact.degree(); ++k) {
+    const ScaledDouble e = exact.coeff(static_cast<std::size_t>(k));
+    if (e.is_zero()) continue;
+    EXPECT_LT(numeric::relative_difference(e, pruned.coeff(static_cast<std::size_t>(k))),
+              options.epsilon * 1.01)
+        << k;
+  }
+}
+
+TEST(Sag, TighterEpsilonKeepsMoreTerms) {
+  const auto ota = netlist::canonicalize(circuits::ota_fig1());
+  const SymbolicNodalMatrix matrix(ota);
+  const Expression full = symbolic_determinant(matrix);
+
+  SagOptions loose;
+  loose.epsilon = 0.1;
+  SagOptions tight;
+  tight.epsilon = 1e-8;
+  const SagResult a = prune_expression(full, matrix.symbols(), loose);
+  const SagResult b = prune_expression(full, matrix.symbols(), tight);
+  EXPECT_LT(a.retained_terms, b.retained_terms);
+}
+
+TEST(Sag, AgainstExternalReferenceFromEngine) {
+  // The paper's setting: prune against the interpolated reference instead of
+  // the exact sums.
+  const auto ladder = circuits::rc_ladder(3);
+  const auto canonical = netlist::canonicalize(ladder);
+  const auto spec = mna::TransferSpec::transimpedance("in", "n3");
+  const auto reference = refgen::generate_reference(ladder, spec);
+  ASSERT_TRUE(reference.complete);
+
+  const SymbolicNodalMatrix matrix(canonical);
+  const Expression full = symbolic_determinant(matrix);
+  SagOptions options;
+  options.epsilon = 1e-3;
+  const SagResult result = prune_expression_against(
+      full, matrix.symbols(), reference.reference.denominator().polynomial(), options);
+  EXPECT_GT(result.retained_terms, 0u);
+  EXPECT_LE(result.worst_error, options.epsilon);
+}
+
+TEST(Sag, SdgReachesSagQuality) {
+  // For the same epsilon, SDG's incremental stream must not need more terms
+  // than SAG's optimal per-coefficient pruning by more than the duplicate
+  // (cancelling) generation pairs.
+  const auto ota = netlist::canonicalize(circuits::ota_fig1());
+  const SymbolicNodalMatrix matrix(ota);
+  const Expression full = symbolic_determinant(matrix);
+  const auto exact = full.coefficients(matrix.symbols());
+
+  const double epsilon = 1e-2;
+  SagOptions sag_options;
+  sag_options.epsilon = epsilon;
+  const SagResult sag = prune_expression(full, matrix.symbols(), sag_options);
+
+  std::size_t sdg_terms = 0;
+  for (int k = 0; k <= exact.degree(); ++k) {
+    if (exact.coeff(static_cast<std::size_t>(k)).is_zero()) continue;
+    SdgOptions sdg_options;
+    sdg_options.epsilon = epsilon;
+    const auto result = generate_determinant_terms(
+        matrix, k, exact.coeff(static_cast<std::size_t>(k)), sdg_options);
+    EXPECT_TRUE(result.met) << k;
+    sdg_terms += result.generated();
+  }
+  // SDG generates raw permutation terms (duplicates included), SAG counts
+  // canonicalized ones; allow a generous factor.
+  EXPECT_LE(sdg_terms, 6 * std::max<std::size_t>(sag.retained_terms, 1));
+}
+
+TEST(Sag, ZeroCoefficientKeepsNothing) {
+  // Ladder determinant has p0 == 0 exactly: SAG must not retain terms that
+  // only cancel each other.
+  const auto ladder = netlist::canonicalize(circuits::rc_ladder(2));
+  const SymbolicNodalMatrix matrix(ladder);
+  const Expression full = symbolic_determinant(matrix);
+  const auto exact = full.coefficients(matrix.symbols());
+  ASSERT_TRUE(exact.coeff(0).is_zero());
+
+  SagOptions options;
+  options.epsilon = 1e-3;
+  const SagResult result = prune_expression(full, matrix.symbols(), options);
+  for (const Term& term : result.simplified.terms()) {
+    EXPECT_GT(term.s_power, 0);
+  }
+}
+
+TEST(Sag, EmptyExpression) {
+  const SymbolTable table;
+  const SagResult result = prune_expression(Expression{}, table);
+  EXPECT_TRUE(result.simplified.is_zero());
+  EXPECT_EQ(result.retained_terms, 0u);
+  EXPECT_EQ(result.worst_error, 0.0);
+}
+
+}  // namespace
+}  // namespace symref::symbolic
