@@ -9,12 +9,53 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "circuits/ua741.h"
+#include "mna/ac.h"
 #include "refgen/adaptive.h"
+#include "support/bench_json.h"
 #include "support/table.h"
+#include "support/timer.h"
 
 namespace {
+
+/// Headline numbers merged into BENCH_refgen.json for cross-PR tracking.
+std::map<std::string, double> json_metrics;
+
+// Cached frequency sweep (one factorization plan for the whole Bode run)
+// against the per-point path (fresh simulator, fresh factorization each
+// point) — the repeated-evaluation workload the symbolic/numeric LU split
+// and pattern-cached assembly target.
+void measure_bode_sweep() {
+  const auto ua = symref::circuits::ua741();
+  const auto spec = symref::circuits::ua741_gain_spec();
+  const double f_start = 1.0;
+  const double f_stop = 1e8;
+  const int per_decade = 20;
+
+  const symref::mna::AcSimulator cached_sim(ua);
+  symref::support::Timer cached_timer;
+  const auto sweep = cached_sim.bode(spec, f_start, f_stop, per_decade);
+  const double cached_ms = cached_timer.millis();
+
+  symref::support::Timer per_point_timer;
+  for (const auto& point : sweep) {
+    const symref::mna::AcSimulator fresh(ua);
+    const auto value = fresh.transfer(spec, point.frequency_hz);
+    benchmark::DoNotOptimize(value);
+  }
+  const double per_point_ms = per_point_timer.millis();
+
+  std::printf("=== µA741 Bode sweep, %zu points ===\n\n", sweep.size());
+  std::printf("cached sweep (plan reuse):     %8.2f ms\n", cached_ms);
+  std::printf("per-point factorization:       %8.2f ms  (%.1fx slower)\n\n", per_point_ms,
+              per_point_ms / cached_ms);
+  json_metrics["ua741_bode_points"] = static_cast<double>(sweep.size());
+  json_metrics["ua741_bode_cached_ms"] = cached_ms;
+  json_metrics["ua741_bode_per_point_ms"] = per_point_ms;
+}
 
 void print_iteration_costs() {
   const auto ua = symref::circuits::ua741();
@@ -50,6 +91,10 @@ void print_iteration_costs() {
               deflated.total_evaluations, deflated.seconds * 1e3, plain.total_evaluations,
               plain.seconds * 1e3);
   std::printf("paper:  3.9/2.3/0.9 s per productive iteration (deflated) vs 3.9 s flat\n\n");
+  json_metrics["ua741_refgen_deflated_ms"] = deflated.seconds * 1e3;
+  json_metrics["ua741_refgen_deflated_evaluations"] = deflated.total_evaluations;
+  json_metrics["ua741_refgen_plain_ms"] = plain.seconds * 1e3;
+  json_metrics["ua741_refgen_plain_evaluations"] = plain.total_evaluations;
 }
 
 void BM_Ua741ReferenceDeflated(benchmark::State& state) {
@@ -78,6 +123,12 @@ BENCHMARK(BM_Ua741ReferencePlain)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_iteration_costs();
+  measure_bode_sweep();
+  if (!symref::support::merge_bench_json(symref::support::kBenchJsonPath, json_metrics)) {
+    std::fprintf(stderr, "warning: could not write %s\n", symref::support::kBenchJsonPath);
+  } else {
+    std::printf("metrics merged into %s\n\n", symref::support::kBenchJsonPath);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,17 +8,22 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "circuits/ladder.h"
 #include "circuits/ua741.h"
 #include "mna/nodal.h"
 #include "netlist/canonical.h"
 #include "refgen/adaptive.h"
+#include "support/bench_json.h"
 #include "support/table.h"
+#include "support/timer.h"
 
 namespace {
 
 void print_summary() {
+  std::map<std::string, double> json_metrics;
   std::printf("=== Ablation A4: adaptive reference generation vs ladder size ===\n\n");
   symref::support::TextTable table;
   table.set_header({"n (order)", "iterations", "LU evaluations", "time [ms]", "complete"});
@@ -33,8 +38,42 @@ void print_summary() {
         symref::support::format_sci(result.seconds * 1e3, 3),
         result.complete ? "yes" : result.termination,
     });
+    const std::string prefix = "ladder" + std::to_string(n) + "_refgen_";
+    json_metrics[prefix + "ms"] = result.seconds * 1e3;
+    json_metrics[prefix + "evaluations"] = result.total_evaluations;
   }
   std::printf("%s\n", table.str().c_str());
+
+  // Per-interpolation-point kernel: assemble + factor/refactor + solve on
+  // the µA741 matrix (the innermost repeated-evaluation hot path).
+  {
+    const auto ua = symref::circuits::ua741();
+    const auto canonical = symref::netlist::canonicalize(ua);
+    const symref::mna::NodalSystem system(canonical);
+    const symref::mna::CofactorEvaluator evaluator(system,
+                                                   symref::circuits::ua741_gain_spec());
+    const std::complex<double> s(0.30901699437494745, 0.9510565162951535);
+    constexpr int kWarmup = 50;
+    constexpr int kSamples = 2000;
+    for (int i = 0; i < kWarmup; ++i) {
+      auto sample = evaluator.evaluate(s, 2.7e10, 283.0);
+      benchmark::DoNotOptimize(sample.denominator);
+    }
+    symref::support::Timer timer;
+    for (int i = 0; i < kSamples; ++i) {
+      auto sample = evaluator.evaluate(s, 2.7e10, 283.0);
+      benchmark::DoNotOptimize(sample.denominator);
+    }
+    const double micros = timer.seconds() * 1e6 / kSamples;
+    std::printf("µA741 evaluate() kernel: %.2f us/point (%d samples)\n\n", micros, kSamples);
+    json_metrics["ua741_evaluate_us"] = micros;
+  }
+
+  if (!symref::support::merge_bench_json(symref::support::kBenchJsonPath, json_metrics)) {
+    std::fprintf(stderr, "warning: could not write %s\n", symref::support::kBenchJsonPath);
+  } else {
+    std::printf("metrics merged into %s\n\n", symref::support::kBenchJsonPath);
+  }
 }
 
 void BM_LadderReference(benchmark::State& state) {

@@ -3,13 +3,17 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "mna/assembler.h"
-#include "sparse/lu.h"
-
 namespace symref::mna {
 
 namespace {
+
 constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+bool same_spec(const TransferSpec& a, const TransferSpec& b) {
+  return a.kind == b.kind && a.in_pos == b.in_pos && a.in_neg == b.in_neg &&
+         a.out_pos == b.out_pos && a.out_neg == b.out_neg;
+}
+
 }  // namespace
 
 double magnitude_db(std::complex<double> value) noexcept {
@@ -24,45 +28,61 @@ double phase_deg(std::complex<double> value) noexcept {
 
 AcSimulator::AcSimulator(const netlist::Circuit& circuit) : circuit_(circuit) {}
 
-std::complex<double> AcSimulator::transfer_s(const TransferSpec& spec,
-                                             std::complex<double> s) const {
+AcSimulator::SpecCache& AcSimulator::prepare(const TransferSpec& spec) const {
+  if (cache_ && same_spec(cache_->spec, spec)) return *cache_;
+  cache_.reset();
+
   // Work on a copy with the drive attached. Existing independent V sources
   // stay as 0 V constraints (their magnitudes live only in the excitation,
-  // which we rebuild below), existing I sources are simply not excited —
+  // which we rebuild per point), existing I sources are simply not excited —
   // i.e. standard superposition with only the drive active.
-  netlist::Circuit work = circuit_;
+  auto cache = std::make_unique<SpecCache>();
+  cache->spec = spec;
+  cache->work = circuit_;
   const bool voltage_drive = spec.kind == TransferSpec::Kind::VoltageGain;
   if (voltage_drive) {
-    work.add_vsource("__drive", spec.in_pos, spec.in_neg, 1.0);
+    cache->work.add_vsource("__drive", spec.in_pos, spec.in_neg, 1.0);
   } else {
-    work.add_isource("__drive", spec.in_pos, spec.in_neg, 1.0);
+    cache->work.add_isource("__drive", spec.in_pos, spec.in_neg, 1.0);
   }
-
-  const MnaAssembler assembler(work);
-  std::vector<std::complex<double>> rhs(static_cast<std::size_t>(assembler.dim()));
+  cache->assembler = std::make_unique<MnaAssembler>(cache->work);
   if (voltage_drive) {
-    const auto branch = assembler.branch_index("__drive");
-    rhs[static_cast<std::size_t>(*branch)] = 1.0;
+    cache->drive_branch = *cache->assembler->branch_index("__drive");
   } else {
     // Transimpedance convention: 1 A injected INTO in+ and drawn from in-
     // (matches CofactorEvaluator, so signs agree across both paths).
-    const auto rp = assembler.node_index(spec.in_pos);
-    const auto rn = assembler.node_index(spec.in_neg);
-    if (rp) rhs[static_cast<std::size_t>(*rp)] += 1.0;
-    if (rn) rhs[static_cast<std::size_t>(*rn)] -= 1.0;
+    cache->in_pos_row = cache->assembler->node_index(spec.in_pos).value_or(-1);
+    cache->in_neg_row = cache->assembler->node_index(spec.in_neg).value_or(-1);
+  }
+  cache_ = std::move(cache);
+  return *cache_;
+}
+
+std::complex<double> AcSimulator::transfer_s(const TransferSpec& spec,
+                                             std::complex<double> s) const {
+  SpecCache& cache = prepare(spec);
+
+  std::vector<std::complex<double>> rhs(static_cast<std::size_t>(cache.assembler->dim()));
+  if (cache.drive_branch >= 0) {
+    rhs[static_cast<std::size_t>(cache.drive_branch)] = 1.0;
+  } else {
+    if (cache.in_pos_row >= 0) rhs[static_cast<std::size_t>(cache.in_pos_row)] += 1.0;
+    if (cache.in_neg_row >= 0) rhs[static_cast<std::size_t>(cache.in_neg_row)] -= 1.0;
   }
 
-  sparse::SparseLu lu;
-  if (!lu.factor(assembler.matrix(s))) {
+  // Pattern-cached assembly, then the plan replay; a fresh Markowitz
+  // factorization only on the first point of a sweep (or degraded pivots).
+  const sparse::CompressedMatrix& matrix = cache.assembler->assemble(s);
+  if (!cache.lu.refactor(matrix) && !cache.lu.factor(matrix)) {
     throw std::runtime_error("AcSimulator: singular MNA system");
   }
-  lu.solve(rhs);
+  cache.lu.solve(rhs);
 
   auto voltage = [&](const std::string& name) -> std::complex<double> {
-    if (work.find_node(name) == std::nullopt) {
+    if (cache.work.find_node(name) == std::nullopt) {
       throw std::runtime_error("AcSimulator: unknown node '" + name + "'");
     }
-    const auto row = assembler.node_index(name);
+    const auto row = cache.assembler->node_index(name);
     return row ? rhs[static_cast<std::size_t>(*row)] : std::complex<double>(0.0, 0.0);
   };
   return voltage(spec.out_pos) - voltage(spec.out_neg);

@@ -6,10 +6,13 @@
 #pragma once
 
 #include <complex>
+#include <memory>
 #include <vector>
 
+#include "mna/assembler.h"
 #include "mna/transfer.h"
 #include "netlist/circuit.h"
+#include "sparse/lu.h"
 
 namespace symref::mna {
 
@@ -36,6 +39,12 @@ class AcSimulator {
   /// input pair with an ideal 1 V source; Transimpedance injects 1 A.
   /// Throws std::runtime_error when the MNA system is singular or the spec
   /// names unknown nodes.
+  ///
+  /// The driven circuit and its assembler are built once per TransferSpec
+  /// and cached; subsequent points of the same spec reuse the structural
+  /// pattern and sweep via SparseLu::refactor() instead of re-assembling
+  /// and re-pivoting. The cache makes the simulator non-reentrant: do not
+  /// share one instance across threads.
   [[nodiscard]] std::complex<double> transfer(const TransferSpec& spec, double frequency_hz) const;
 
   /// Transfer at a complex frequency s (rad/s), for cross-checks against
@@ -44,12 +53,27 @@ class AcSimulator {
                                                 std::complex<double> s) const;
 
   /// Sweep with log-spaced points; magnitude_db and unwrapped phase_deg are
-  /// filled in.
+  /// filled in. One factorization for the whole sweep (plus refactors).
   [[nodiscard]] std::vector<BodePoint> bode(const TransferSpec& spec, double f_start_hz,
                                             double f_stop_hz, int points_per_decade = 10) const;
 
  private:
+  /// Per-spec sweep state: the drive-augmented circuit copy, its assembler
+  /// (pattern-cached) and the reusable factorization plan.
+  struct SpecCache {
+    TransferSpec spec;
+    netlist::Circuit work;
+    std::unique_ptr<MnaAssembler> assembler;  // references `work`
+    sparse::SparseLu lu;
+    int drive_branch = -1;  // VoltageGain: row of the 1 V drive constraint
+    int in_pos_row = -1;    // Transimpedance: injection rows (-1 = ground)
+    int in_neg_row = -1;
+  };
+
+  SpecCache& prepare(const TransferSpec& spec) const;
+
   const netlist::Circuit& circuit_;
+  mutable std::unique_ptr<SpecCache> cache_;
 };
 
 /// Log-spaced frequency grid [f_start, f_stop], >= 2 points.

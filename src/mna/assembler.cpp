@@ -1,6 +1,7 @@
 #include "mna/assembler.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace symref::mna {
 
@@ -23,10 +24,123 @@ MnaAssembler::MnaAssembler(const netlist::Circuit& circuit) : circuit_(circuit) 
   }
   for (const Element& e : circuit.elements()) {
     if (e.needs_branch_current()) {
-      branch_rows_.emplace_back(e.name, next++);
+      branch_rows_.emplace(e.name, next++);
     }
   }
   dim_ = next;
+
+  // Name -> row cache for the sweep loops (find_node resolves aliases from
+  // short_element merges, so go through it once per name here).
+  for (int n = 0; n < circuit.node_count(); ++n) {
+    const auto resolved = circuit.find_node(circuit.node_name(n));
+    const int row =
+        resolved ? node_to_row_[static_cast<std::size_t>(*resolved)] : -1;
+    node_rows_by_name_.emplace(circuit.node_name(n), row);
+  }
+
+  // Merge every element stamp into the fixed structural layout. MNA values
+  // are affine in s; PatternStamp.conductance carries the s^0 part and
+  // .capacitance the s^1 part (C and -L).
+  auto row_of = [&](int node) { return node_to_row_[static_cast<std::size_t>(node)]; };
+  auto add = [&](int r, int c, double base, double reactive) {
+    if (r >= 0 && c >= 0) stamps_.push_back({r, c, base, reactive});
+  };
+  auto stamp_admittance = [&](int a, int b, double g, double cap) {
+    const int ra = row_of(a);
+    const int rb = row_of(b);
+    add(ra, ra, g, cap);
+    add(rb, rb, g, cap);
+    add(ra, rb, -g, -cap);
+    add(rb, ra, -g, -cap);
+  };
+  // VCCS: i(a->b) = gm * v(c, d); SPICE sign convention.
+  auto stamp_vccs = [&](int a, int b, int c, int d, double gm) {
+    const int ra = row_of(a);
+    const int rb = row_of(b);
+    const int rc = row_of(c);
+    const int rd = row_of(d);
+    add(ra, rc, gm, 0.0);
+    add(ra, rd, -gm, 0.0);
+    add(rb, rc, -gm, 0.0);
+    add(rb, rd, gm, 0.0);
+  };
+  auto stamp_branch = [&](const Element& e, int k) {
+    add(row_of(e.node_pos), k, 1.0, 0.0);
+    add(row_of(e.node_neg), k, -1.0, 0.0);
+    add(k, row_of(e.node_pos), 1.0, 0.0);
+    add(k, row_of(e.node_neg), -1.0, 0.0);
+  };
+
+  for (const Element& e : circuit.elements()) {
+    switch (e.kind) {
+      case ElementKind::Resistor:
+        stamp_admittance(e.node_pos, e.node_neg, 1.0 / e.value, 0.0);
+        break;
+      case ElementKind::Conductance:
+        stamp_admittance(e.node_pos, e.node_neg, e.value, 0.0);
+        break;
+      case ElementKind::Capacitor:
+        stamp_admittance(e.node_pos, e.node_neg, 0.0, e.value);
+        break;
+      case ElementKind::Vccs:
+        stamp_vccs(e.node_pos, e.node_neg, e.ctrl_pos, e.ctrl_neg, e.value);
+        break;
+      case ElementKind::CurrentSource:
+        break;  // excitation only
+      case ElementKind::VoltageSource:
+        stamp_branch(e, *branch_index(e.name));
+        break;
+      case ElementKind::Inductor: {
+        const int k = *branch_index(e.name);
+        stamp_branch(e, k);
+        add(k, k, 0.0, -e.value);
+        break;
+      }
+      case ElementKind::Vcvs: {
+        const int k = *branch_index(e.name);
+        stamp_branch(e, k);
+        add(k, row_of(e.ctrl_pos), -e.value, 0.0);
+        add(k, row_of(e.ctrl_neg), e.value, 0.0);
+        break;
+      }
+      case ElementKind::Cccs: {
+        const auto kc = branch_index(e.ctrl_branch);
+        if (!kc) {
+          stamp_error_ = "CCCS '" + e.name + "': controlling element '" + e.ctrl_branch +
+                         "' has no branch current";
+          break;
+        }
+        add(row_of(e.node_pos), *kc, e.value, 0.0);
+        add(row_of(e.node_neg), *kc, -e.value, 0.0);
+        break;
+      }
+      case ElementKind::Ccvs: {
+        const auto kc = branch_index(e.ctrl_branch);
+        if (!kc) {
+          stamp_error_ = "CCVS '" + e.name + "': controlling element '" + e.ctrl_branch +
+                         "' has no branch current";
+          break;
+        }
+        const int k = *branch_index(e.name);
+        stamp_branch(e, k);
+        add(k, *kc, -e.value, 0.0);
+        break;
+      }
+      case ElementKind::IdealOpAmp: {
+        // Nullor: output branch current is whatever keeps v(ctrl+)==v(ctrl-).
+        const int k = *branch_index(e.name);
+        add(row_of(e.node_pos), k, 1.0, 0.0);
+        add(row_of(e.node_neg), k, -1.0, 0.0);
+        add(k, row_of(e.ctrl_pos), 1.0, 0.0);
+        add(k, row_of(e.ctrl_neg), -1.0, 0.0);
+        break;
+      }
+    }
+    if (!stamp_error_.empty()) break;
+  }
+  if (stamp_error_.empty()) {
+    assembly_ = sparse::PatternedMatrix(dim_, stamps_);
+  }
 }
 
 std::optional<int> MnaAssembler::node_index(int node) const {
@@ -36,124 +150,40 @@ std::optional<int> MnaAssembler::node_index(int node) const {
 }
 
 std::optional<int> MnaAssembler::node_index(std::string_view name) const {
+  const auto it = node_rows_by_name_.find(name);
+  if (it != node_rows_by_name_.end()) {
+    return it->second < 0 ? std::nullopt : std::optional<int>(it->second);
+  }
+  // Ground aliases ("gnd", "GND") and merged-node aliases are not circuit
+  // node names; resolve the slow way.
   const auto node = circuit_.find_node(name);
   if (!node) return std::nullopt;
   return node_index(*node);
 }
 
 std::optional<int> MnaAssembler::branch_index(std::string_view element_name) const {
-  for (const auto& [name, row] : branch_rows_) {
-    if (name == element_name) return row;
-  }
-  return std::nullopt;
+  const auto it = branch_rows_.find(element_name);
+  if (it == branch_rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MnaAssembler::require_stamps() const {
+  if (!stamp_error_.empty()) throw std::invalid_argument(stamp_error_);
 }
 
 sparse::TripletMatrix MnaAssembler::matrix(std::complex<double> s) const {
+  require_stamps();
   sparse::TripletMatrix mat(dim_);
-  auto row_of = [&](int node) { return node_to_row_[static_cast<std::size_t>(node)]; };
-  auto add = [&](int r, int c, std::complex<double> v) {
-    if (r >= 0 && c >= 0) mat.add(r, c, v);
-  };
-  // Two-terminal admittance stamp.
-  auto stamp_admittance = [&](int a, int b, std::complex<double> y) {
-    const int ra = row_of(a);
-    const int rb = row_of(b);
-    add(ra, ra, y);
-    add(rb, rb, y);
-    add(ra, rb, -y);
-    add(rb, ra, -y);
-  };
-  // VCCS: i(a->b) = gm * v(c, d); SPICE sign convention.
-  auto stamp_vccs = [&](int a, int b, int c, int d, std::complex<double> gm) {
-    const int ra = row_of(a);
-    const int rb = row_of(b);
-    const int rc = row_of(c);
-    const int rd = row_of(d);
-    add(ra, rc, gm);
-    add(ra, rd, -gm);
-    add(rb, rc, -gm);
-    add(rb, rd, gm);
-  };
-
-  for (const Element& e : circuit_.elements()) {
-    switch (e.kind) {
-      case ElementKind::Resistor:
-        stamp_admittance(e.node_pos, e.node_neg, 1.0 / e.value);
-        break;
-      case ElementKind::Conductance:
-        stamp_admittance(e.node_pos, e.node_neg, e.value);
-        break;
-      case ElementKind::Capacitor:
-        stamp_admittance(e.node_pos, e.node_neg, s * e.value);
-        break;
-      case ElementKind::Vccs:
-        stamp_vccs(e.node_pos, e.node_neg, e.ctrl_pos, e.ctrl_neg, e.value);
-        break;
-      case ElementKind::CurrentSource:
-        break;  // excitation only
-      case ElementKind::VoltageSource: {
-        const int k = *branch_index(e.name);
-        add(row_of(e.node_pos), k, 1.0);
-        add(row_of(e.node_neg), k, -1.0);
-        add(k, row_of(e.node_pos), 1.0);
-        add(k, row_of(e.node_neg), -1.0);
-        break;
-      }
-      case ElementKind::Inductor: {
-        const int k = *branch_index(e.name);
-        add(row_of(e.node_pos), k, 1.0);
-        add(row_of(e.node_neg), k, -1.0);
-        add(k, row_of(e.node_pos), 1.0);
-        add(k, row_of(e.node_neg), -1.0);
-        add(k, k, -s * e.value);
-        break;
-      }
-      case ElementKind::Vcvs: {
-        const int k = *branch_index(e.name);
-        add(row_of(e.node_pos), k, 1.0);
-        add(row_of(e.node_neg), k, -1.0);
-        add(k, row_of(e.node_pos), 1.0);
-        add(k, row_of(e.node_neg), -1.0);
-        add(k, row_of(e.ctrl_pos), -e.value);
-        add(k, row_of(e.ctrl_neg), e.value);
-        break;
-      }
-      case ElementKind::Cccs: {
-        const auto kc = branch_index(e.ctrl_branch);
-        if (!kc) {
-          throw std::invalid_argument("CCCS '" + e.name + "': controlling element '" +
-                                      e.ctrl_branch + "' has no branch current");
-        }
-        add(row_of(e.node_pos), *kc, e.value);
-        add(row_of(e.node_neg), *kc, -e.value);
-        break;
-      }
-      case ElementKind::Ccvs: {
-        const auto kc = branch_index(e.ctrl_branch);
-        if (!kc) {
-          throw std::invalid_argument("CCVS '" + e.name + "': controlling element '" +
-                                      e.ctrl_branch + "' has no branch current");
-        }
-        const int k = *branch_index(e.name);
-        add(row_of(e.node_pos), k, 1.0);
-        add(row_of(e.node_neg), k, -1.0);
-        add(k, row_of(e.node_pos), 1.0);
-        add(k, row_of(e.node_neg), -1.0);
-        add(k, *kc, -e.value);
-        break;
-      }
-      case ElementKind::IdealOpAmp: {
-        // Nullor: output branch current is whatever keeps v(ctrl+)==v(ctrl-).
-        const int k = *branch_index(e.name);
-        add(row_of(e.node_pos), k, 1.0);
-        add(row_of(e.node_neg), k, -1.0);
-        add(k, row_of(e.ctrl_pos), 1.0);
-        add(k, row_of(e.ctrl_neg), -1.0);
-        break;
-      }
-    }
+  for (const sparse::PatternStamp& stamp : stamps_) {
+    const std::complex<double> value = stamp.conductance + s * stamp.capacitance;
+    if (value != std::complex<double>()) mat.add(stamp.row, stamp.col, value);
   }
   return mat;
+}
+
+const sparse::CompressedMatrix& MnaAssembler::assemble(std::complex<double> s) {
+  require_stamps();
+  return assembly_.assemble(s);
 }
 
 std::vector<std::complex<double>> MnaAssembler::excitation() const {

@@ -5,9 +5,16 @@
 // (V sources, VCVS, CCVS, inductors, ideal opamps). This is the paper's
 // eq. (7): Y_MNA * X = E. The assembler is the backbone of the AC simulator;
 // the interpolation engine uses the leaner homogeneous NodalAssembler.
+//
+// Every MNA entry is affine in s (conductances and the ±1 incidence
+// constants plus s*C / -s*L reactive parts), so the constructor merges the
+// element stamps into a fixed structural layout once and assemble() rewrites
+// only the value array per frequency point — the pattern stability that lets
+// the AC simulator sweep via SparseLu::refactor().
 #pragma once
 
 #include <complex>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,24 +32,42 @@ class MnaAssembler {
   [[nodiscard]] int dim() const noexcept { return dim_; }
 
   /// Row/column of a node's voltage unknown; nullopt for ground or a node no
-  /// element touches.
+  /// element touches. The name overload resolves through a prebuilt
+  /// name -> row map (no circuit scan).
   [[nodiscard]] std::optional<int> node_index(int node) const;
   [[nodiscard]] std::optional<int> node_index(std::string_view name) const;
 
   /// Row/column of an element's auxiliary branch current, when it has one.
+  /// O(log #branches) through a prebuilt name -> row map.
   [[nodiscard]] std::optional<int> branch_index(std::string_view element_name) const;
 
-  /// Assemble Y_MNA(s).
+  /// Assemble Y_MNA(s) as fresh triplets (compatibility path; throws
+  /// std::invalid_argument when a CCCS/CCVS names a branchless element).
   [[nodiscard]] sparse::TripletMatrix matrix(std::complex<double> s) const;
+
+  /// Pattern-cached assembly: rewrites only the value array of the cached
+  /// CompressedMatrix (same error behavior as matrix()). The returned
+  /// reference stays valid and pattern-stable across calls.
+  const sparse::CompressedMatrix& assemble(std::complex<double> s);
 
   /// Excitation vector from the independent sources (AC magnitudes).
   [[nodiscard]] std::vector<std::complex<double>> excitation() const;
 
  private:
+  void require_stamps() const;
+
   const netlist::Circuit& circuit_;
   int dim_ = 0;
   std::vector<int> node_to_row_;                  // -1 when inactive/ground
-  std::vector<std::pair<std::string, int>> branch_rows_;
+  std::map<std::string, int, std::less<>> branch_rows_;
+  std::map<std::string, int, std::less<>> node_rows_by_name_;
+  /// Merged stamps (conductance = s^0 part, capacitance = s^1 part) and the
+  /// pattern-cached matrix they assemble into.
+  std::vector<sparse::PatternStamp> stamps_;
+  sparse::PatternedMatrix assembly_;
+  /// Deferred stamp error (e.g. CCCS controlling element without a branch
+  /// current): construction succeeds, matrix()/assemble() throw.
+  std::string stamp_error_;
 };
 
 }  // namespace symref::mna

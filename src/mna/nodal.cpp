@@ -34,10 +34,10 @@ NodalSystem::NodalSystem(const netlist::Circuit& circuit) : circuit_(circuit) {
   dim_ = next;
 
   // Merge stamps position-wise so matrix() is a flat scan.
-  std::map<std::pair<int, int>, Entry> merged;
+  std::map<std::pair<int, int>, PatternStamp> merged;
   auto accumulate = [&](int r, int c, double g, double cap) {
     if (r < 0 || c < 0) return;
-    Entry& entry = merged[{r, c}];
+    PatternStamp& entry = merged[{r, c}];
     entry.row = r;
     entry.col = c;
     entry.conductance += g;
@@ -91,7 +91,7 @@ std::optional<int> NodalSystem::row_of_node(std::string_view name) const {
 sparse::TripletMatrix NodalSystem::matrix(std::complex<double> s_hat, double f_scale,
                                           double g_scale) const {
   sparse::TripletMatrix mat(dim_);
-  for (const Entry& entry : entries_) {
+  for (const PatternStamp& entry : entries_) {
     const std::complex<double> value =
         g_scale * entry.conductance + s_hat * (f_scale * entry.capacitance);
     if (value != std::complex<double>()) mat.add(entry.row, entry.col, value);
@@ -122,6 +122,7 @@ CofactorEvaluator::CofactorEvaluator(const NodalSystem& system, const TransferSp
   if (in_pos_ == in_neg_) {
     throw std::invalid_argument("CofactorEvaluator: input pair is degenerate");
   }
+  std::vector<PatternStamp> stamps = system.stamps();
   if (spec_kind_ == TransferSpec::Kind::VoltageGain) {
     // Typical element magnitudes keep the drive admittance in the same
     // range as the rest of the (scaled) matrix.
@@ -130,28 +131,26 @@ CofactorEvaluator::CofactorEvaluator(const NodalSystem& system, const TransferSp
     drive_conductance_ = numeric::geometric_mean(conductances);
     if (drive_conductance_ <= 0.0) drive_conductance_ = 1.0;
     drive_capacitance_ = numeric::geometric_mean(capacitances);
+    // Drive admittance across the input pair (see header), merged into the
+    // structural pattern once: it scales exactly like any other element, so
+    // per-sample assembly needs no special-casing.
+    if (in_pos_ >= 0) stamps.push_back({in_pos_, in_pos_, drive_conductance_, drive_capacitance_});
+    if (in_neg_ >= 0) stamps.push_back({in_neg_, in_neg_, drive_conductance_, drive_capacitance_});
+    if (in_pos_ >= 0 && in_neg_ >= 0) {
+      stamps.push_back({in_pos_, in_neg_, -drive_conductance_, -drive_capacitance_});
+      stamps.push_back({in_neg_, in_pos_, -drive_conductance_, -drive_capacitance_});
+    }
   }
+  assembly_ = PatternedMatrix(system.dim(), std::move(stamps));
 }
 
 CofactorEvaluator::Sample CofactorEvaluator::evaluate(std::complex<double> s_hat,
                                                       double f_scale, double g_scale) const {
   Sample sample;
-  sparse::TripletMatrix matrix = system_.matrix(s_hat, f_scale, g_scale);
-  if (spec_kind_ == TransferSpec::Kind::VoltageGain) {
-    // Drive admittance across the input pair (see header): scaled like any
-    // other element so the matrix stays balanced at every iteration.
-    const std::complex<double> y_drive =
-        g_scale * drive_conductance_ + s_hat * (f_scale * drive_capacitance_);
-    if (in_pos_ >= 0) matrix.add(in_pos_, in_pos_, y_drive);
-    if (in_neg_ >= 0) matrix.add(in_neg_, in_neg_, y_drive);
-    if (in_pos_ >= 0 && in_neg_ >= 0) {
-      matrix.add(in_pos_, in_neg_, -y_drive);
-      matrix.add(in_neg_, in_pos_, -y_drive);
-    }
-  }
-  // Static-pivot refactorization first (same pattern across points); fall
-  // back to a full Markowitz factorization when the reused pivots degrade.
-  const sparse::CompressedMatrix compressed = matrix.compress();
+  // Pattern-cached assembly (values rewritten in place), then static-pivot
+  // refactorization (same pattern across points); fall back to a full
+  // Markowitz factorization when the reused pivots degrade.
+  const sparse::CompressedMatrix& compressed = assembly_.assemble(s_hat, f_scale, g_scale);
   if (!lu_.refactor(compressed) && !lu_.factor(compressed)) {
     return sample;  // singular at this point; caller will retry/adjust
   }

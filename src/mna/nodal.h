@@ -34,6 +34,11 @@
 
 namespace symref::mna {
 
+/// Structural stamp and pattern-cached assembly shared with the full MNA
+/// assembler (see sparse/matrix.h).
+using sparse::PatternStamp;
+using sparse::PatternedMatrix;
+
 class NodalSystem {
  public:
   /// Throws std::invalid_argument unless the circuit is canonical.
@@ -59,21 +64,19 @@ class NodalSystem {
   [[nodiscard]] sparse::TripletMatrix matrix(std::complex<double> s_hat, double f_scale,
                                              double g_scale) const;
 
+  /// The merged structural stamps (sorted by row, then column). Callers may
+  /// append extra stamps (e.g. a drive admittance) and feed the list to a
+  /// PatternedMatrix for allocation-free per-sample assembly.
+  [[nodiscard]] const std::vector<PatternStamp>& stamps() const noexcept { return entries_; }
+
   [[nodiscard]] const netlist::Circuit& circuit() const noexcept { return circuit_; }
 
  private:
-  struct Entry {
-    int row = 0;
-    int col = 0;
-    double conductance = 0.0;  // sum of G/gm contributions at this position
-    double capacitance = 0.0;  // sum of C contributions at this position
-  };
-
   const netlist::Circuit& circuit_;
   int dim_ = 0;
   int capacitor_count_ = 0;
   std::vector<int> node_to_row_;
-  std::vector<Entry> entries_;
+  std::vector<PatternStamp> entries_;
 };
 
 /// One interpolation-point evaluation of the network function's numerator
@@ -124,7 +127,9 @@ class CofactorEvaluator {
   int in_neg_ = -1;
   int out_pos_ = -1;
   int out_neg_ = -1;
-  // Cached factorization for static-pivot reuse across evaluation points.
+  // Pattern-cached assembly (system stamps + drive admittance, merged once)
+  // and the cached factorization plan reused across evaluation points.
+  mutable PatternedMatrix assembly_;
   mutable sparse::SparseLu lu_;
   // Drive admittance stamped across the input pair for VoltageGain specs.
   // Needed when the input node carries no admittance of its own (it only

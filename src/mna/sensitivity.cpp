@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "mna/ac.h"
 #include "mna/nodal.h"
@@ -25,6 +26,147 @@ Complex pick(const std::vector<Complex>& v, int row) {
   return row < 0 ? Complex(0.0, 0.0) : v[static_cast<std::size_t>(row)];
 }
 
+/// Everything a band sweep reuses across frequencies: the nodal system, the
+/// pattern-cached direct and transposed assemblies, both factorization plans
+/// and the per-element stamp rows (node-name lookups done once, not per
+/// frequency point).
+class AdjointContext {
+ public:
+  AdjointContext(const netlist::Circuit& canonical, const TransferSpec& spec)
+      : spec_(spec), system_(canonical) {
+    in_pos_ = row_or_ground(system_, spec.in_pos);
+    in_neg_ = row_or_ground(system_, spec.in_neg);
+    out_pos_ = row_or_ground(system_, spec.out_pos);
+    out_neg_ = row_or_ground(system_, spec.out_neg);
+
+    // Drive admittance across the input pair (same Sherman-Morrison trick as
+    // CofactorEvaluator: keeps Y factorable when the input node only controls
+    // sources, changes neither N, D nor their element derivatives).
+    std::vector<sparse::PatternStamp> stamps = system_.stamps();
+    const double g_typ_raw = numeric::geometric_mean(canonical.conductance_values());
+    const double g_typ = g_typ_raw > 0.0 ? g_typ_raw : 1.0;
+    if (in_pos_ >= 0) stamps.push_back({in_pos_, in_pos_, g_typ, 0.0});
+    if (in_neg_ >= 0) stamps.push_back({in_neg_, in_neg_, g_typ, 0.0});
+    if (in_pos_ >= 0 && in_neg_ >= 0) {
+      stamps.push_back({in_pos_, in_neg_, -g_typ, 0.0});
+      stamps.push_back({in_neg_, in_pos_, -g_typ, 0.0});
+    }
+    std::vector<sparse::PatternStamp> transposed = stamps;
+    for (sparse::PatternStamp& stamp : transposed) std::swap(stamp.row, stamp.col);
+    direct_ = sparse::PatternedMatrix(system_.dim(), std::move(stamps));
+    transposed_ = sparse::PatternedMatrix(system_.dim(), std::move(transposed));
+
+    // Stamp pattern per element: output row pair (a, b), controlling column
+    // pair (c, d) — resolved from node names once.
+    auto row_of = [&](int node) {
+      if (node == 0) return -1;
+      const auto row = system_.row_of_node(canonical.node_name(node));
+      return row ? *row : -1;
+    };
+    element_rows_.reserve(canonical.element_count());
+    for (const auto& e : canonical.elements()) {
+      ElementRows rows;
+      rows.element = &e;
+      rows.a = row_of(e.node_pos);
+      rows.b = row_of(e.node_neg);
+      rows.c = rows.a;
+      rows.d = rows.b;
+      if (e.kind == netlist::ElementKind::Vccs) {
+        rows.c = row_of(e.ctrl_pos);
+        rows.d = row_of(e.ctrl_neg);
+      }
+      element_rows_.push_back(rows);
+    }
+  }
+
+  std::vector<ElementSensitivity> at(double frequency_hz) {
+    const Complex s(0.0, kTwoPi * frequency_hz);
+
+    const sparse::CompressedMatrix& matrix = direct_.assemble(s);
+    if (!lu_.refactor(matrix) && !lu_.factor(matrix)) {
+      throw std::runtime_error("ac_sensitivities: singular system");
+    }
+    const sparse::CompressedMatrix& matrix_t = transposed_.assemble(s);
+    if (!lu_t_.refactor(matrix_t) && !lu_t_.factor(matrix_t)) {
+      throw std::runtime_error("ac_sensitivities: singular transposed system");
+    }
+
+    const int n = system_.dim();
+    auto unit_pair = [&](int pos, int neg) {
+      std::vector<Complex> v(static_cast<std::size_t>(n));
+      if (pos >= 0) v[static_cast<std::size_t>(pos)] += 1.0;
+      if (neg >= 0) v[static_cast<std::size_t>(neg)] -= 1.0;
+      return v;
+    };
+
+    // v: response to the input injection. w_num/w_den: adjoints of the
+    // output and input selectors.
+    std::vector<Complex> v = unit_pair(in_pos_, in_neg_);
+    lu_.solve(v);
+    std::vector<Complex> w_num = unit_pair(out_pos_, out_neg_);
+    lu_t_.solve(w_num);
+    std::vector<Complex> w_den = unit_pair(in_pos_, in_neg_);
+    lu_t_.solve(w_den);
+
+    const bool voltage_gain = spec_.kind == TransferSpec::Kind::VoltageGain;
+    const Complex numerator = pick(v, out_pos_) - pick(v, out_neg_);
+    const Complex denominator =
+        voltage_gain ? pick(v, in_pos_) - pick(v, in_neg_) : Complex(1.0, 0.0);
+    if (numerator == Complex(0.0, 0.0) || denominator == Complex(0.0, 0.0)) {
+      throw std::runtime_error("ac_sensitivities: transfer function is zero at this point");
+    }
+
+    std::vector<ElementSensitivity> result;
+    result.reserve(element_rows_.size());
+    for (const ElementRows& rows : element_rows_) {
+      const auto& e = *rows.element;
+      Complex admittance;
+      switch (e.kind) {
+        case netlist::ElementKind::Conductance:
+        case netlist::ElementKind::Vccs:
+          admittance = Complex(e.value, 0.0);
+          break;
+        case netlist::ElementKind::Capacitor:
+          admittance = s * e.value;
+          break;
+        default:
+          continue;  // unreachable for canonical circuits
+      }
+      const Complex v_ctrl = pick(v, rows.c) - pick(v, rows.d);
+      // dN/dy = -(w_num_a - w_num_b)(v_c - v_d); same shape for D.
+      const Complex dn = -(pick(w_num, rows.a) - pick(w_num, rows.b)) * v_ctrl;
+      const Complex dd = voltage_gain
+                             ? -(pick(w_den, rows.a) - pick(w_den, rows.b)) * v_ctrl
+                             : Complex(0.0, 0.0);
+      // y * dH/dy / H = y * (dN/N - dD/D).
+      const Complex normalized = admittance * (dn / numerator - dd / denominator);
+      result.push_back({e.name, normalized});
+    }
+    return result;
+  }
+
+ private:
+  struct ElementRows {
+    const netlist::Element* element = nullptr;
+    int a = -1;
+    int b = -1;
+    int c = -1;
+    int d = -1;
+  };
+
+  const TransferSpec& spec_;
+  NodalSystem system_;
+  int in_pos_ = -1;
+  int in_neg_ = -1;
+  int out_pos_ = -1;
+  int out_neg_ = -1;
+  sparse::PatternedMatrix direct_;
+  sparse::PatternedMatrix transposed_;
+  sparse::SparseLu lu_;
+  sparse::SparseLu lu_t_;
+  std::vector<ElementRows> element_rows_;
+};
+
 }  // namespace
 
 std::vector<ElementSensitivity> ac_sensitivities(const netlist::Circuit& canonical,
@@ -33,115 +175,23 @@ std::vector<ElementSensitivity> ac_sensitivities(const netlist::Circuit& canonic
   if (!netlist::is_canonical(canonical)) {
     throw std::invalid_argument("ac_sensitivities: circuit is not canonical");
   }
-  const NodalSystem system(canonical);
-  const Complex s(0.0, kTwoPi * frequency_hz);
-
-  const int in_pos = row_or_ground(system, spec.in_pos);
-  const int in_neg = row_or_ground(system, spec.in_neg);
-  const int out_pos = row_or_ground(system, spec.out_pos);
-  const int out_neg = row_or_ground(system, spec.out_neg);
-
-  // Drive admittance across the input pair (same Sherman-Morrison trick as
-  // CofactorEvaluator: keeps Y factorable when the input node only controls
-  // sources, changes neither N, D nor their element derivatives).
-  sparse::TripletMatrix matrix = system.matrix(s, 1.0, 1.0);
-  {
-    const double g_typ = numeric::geometric_mean(canonical.conductance_values());
-    const Complex y_drive(g_typ > 0.0 ? g_typ : 1.0, 0.0);
-    if (in_pos >= 0) matrix.add(in_pos, in_pos, y_drive);
-    if (in_neg >= 0) matrix.add(in_neg, in_neg, y_drive);
-    if (in_pos >= 0 && in_neg >= 0) {
-      matrix.add(in_pos, in_neg, -y_drive);
-      matrix.add(in_neg, in_pos, -y_drive);
-    }
-  }
-
-  // Direct factorization of Y and of Y^T (for the adjoint solves).
-  sparse::SparseLu lu;
-  if (!lu.factor(matrix)) throw std::runtime_error("ac_sensitivities: singular system");
-  sparse::TripletMatrix transposed(matrix.dim());
-  for (const auto& t : matrix.triplets()) transposed.add(t.col, t.row, t.value);
-  sparse::SparseLu lu_t;
-  if (!lu_t.factor(transposed)) {
-    throw std::runtime_error("ac_sensitivities: singular transposed system");
-  }
-
-  const int n = system.dim();
-  auto unit_pair = [&](int pos, int neg) {
-    std::vector<Complex> v(static_cast<std::size_t>(n));
-    if (pos >= 0) v[static_cast<std::size_t>(pos)] += 1.0;
-    if (neg >= 0) v[static_cast<std::size_t>(neg)] -= 1.0;
-    return v;
-  };
-
-  // v: response to the input injection. w_num/w_den: adjoints of the output
-  // and input selectors.
-  std::vector<Complex> v = unit_pair(in_pos, in_neg);
-  lu.solve(v);
-  std::vector<Complex> w_num = unit_pair(out_pos, out_neg);
-  lu_t.solve(w_num);
-  std::vector<Complex> w_den = unit_pair(in_pos, in_neg);
-  lu_t.solve(w_den);
-
-  const Complex numerator = pick(v, out_pos) - pick(v, out_neg);
-  const Complex denominator = spec.kind == TransferSpec::Kind::VoltageGain
-                                  ? pick(v, in_pos) - pick(v, in_neg)
-                                  : Complex(1.0, 0.0);
-  if (numerator == Complex(0.0, 0.0) || denominator == Complex(0.0, 0.0)) {
-    throw std::runtime_error("ac_sensitivities: transfer function is zero at this point");
-  }
-
-  std::vector<ElementSensitivity> result;
-  result.reserve(canonical.element_count());
-  for (const auto& e : canonical.elements()) {
-    // Stamp pattern: output row pair (a, b), controlling column pair (c, d).
-    const auto row_of = [&](int node) {
-      if (node == 0) return -1;
-      const auto row = system.row_of_node(canonical.node_name(node));
-      return row ? *row : -1;
-    };
-    const int a = row_of(e.node_pos);
-    const int b = row_of(e.node_neg);
-    int c = a;
-    int d = b;
-    Complex admittance;
-    switch (e.kind) {
-      case netlist::ElementKind::Conductance:
-        admittance = Complex(e.value, 0.0);
-        break;
-      case netlist::ElementKind::Capacitor:
-        admittance = s * e.value;
-        break;
-      case netlist::ElementKind::Vccs:
-        admittance = Complex(e.value, 0.0);
-        c = row_of(e.ctrl_pos);
-        d = row_of(e.ctrl_neg);
-        break;
-      default:
-        continue;  // unreachable for canonical circuits
-    }
-    const Complex v_ctrl = pick(v, c) - pick(v, d);
-    // dN/dy = -(w_num_a - w_num_b)(v_c - v_d); same shape for D.
-    const Complex dn = -(pick(w_num, a) - pick(w_num, b)) * v_ctrl;
-    const Complex dd = spec.kind == TransferSpec::Kind::VoltageGain
-                           ? -(pick(w_den, a) - pick(w_den, b)) * v_ctrl
-                           : Complex(0.0, 0.0);
-    // y * dH/dy / H = y * (dN/N - dD/D).
-    const Complex normalized = admittance * (dn / numerator - dd / denominator);
-    result.push_back({e.name, normalized});
-  }
-  return result;
+  AdjointContext context(canonical, spec);
+  return context.at(frequency_hz);
 }
 
 std::vector<ElementSensitivity> band_sensitivities(const netlist::Circuit& canonical,
                                                    const TransferSpec& spec,
                                                    double f_start_hz, double f_stop_hz,
                                                    int points_per_decade) {
+  if (!netlist::is_canonical(canonical)) {
+    throw std::invalid_argument("band_sensitivities: circuit is not canonical");
+  }
   const std::vector<double> grid =
       log_frequency_grid(f_start_hz, f_stop_hz, points_per_decade);
+  AdjointContext context(canonical, spec);
   std::vector<ElementSensitivity> worst;
   for (const double f : grid) {
-    const auto at_f = ac_sensitivities(canonical, spec, f);
+    const auto at_f = context.at(f);
     if (worst.empty()) {
       worst = at_f;
       continue;

@@ -5,13 +5,30 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 namespace symref::sparse {
 
 namespace {
+
 using Complex = std::complex<double>;
+
+/// One entry of a row of the active submatrix during symbolic analysis.
+struct ActiveEntry {
+  int col = 0;
+  Complex value;
+};
+
+/// Pivots reused by refactor() were not re-searched, so they are accepted
+/// with a threshold this much more permissive than the factor() one; a pivot
+/// degraded beyond it signals the caller to re-run the full factor().
+constexpr double kRelaxedThresholdScale = 1e-5;
+
+/// Bounded Markowitz search: only this many least-populated active columns
+/// are examined before falling back to a full scan (which is needed only
+/// when none of the candidates holds a numerically acceptable pivot).
+constexpr int kCandidateColumns = 4;
+
 }  // namespace
 
 int permutation_sign(const std::vector<int>& order) {
@@ -38,60 +55,85 @@ bool SparseLu::factor(const TripletMatrix& matrix, const SparseLuOptions& option
 }
 
 bool SparseLu::factor(const CompressedMatrix& matrix, const SparseLuOptions& options) {
+  return analyze_and_factor(matrix, options);
+}
+
+bool SparseLu::analyze_and_factor(const CompressedMatrix& matrix,
+                                  const SparseLuOptions& options) {
   const int n = matrix.dim;
   dim_ = n;
   ok_ = false;
   fill_in_ = 0;
+  max_abs_entry_ = 0.0;
   row_order_.assign(static_cast<std::size_t>(n), -1);
   col_order_.assign(static_cast<std::size_t>(n), -1);
   col_step_.assign(static_cast<std::size_t>(n), -1);
   pivots_.assign(static_cast<std::size_t>(n), Complex{});
-  lower_ops_.assign(static_cast<std::size_t>(n), {});
-  upper_rows_.assign(static_cast<std::size_t>(n), {});
 
-  // Active submatrix in a dynamic row-hash / column-set structure.
-  std::vector<std::unordered_map<int, Complex>> rows(static_cast<std::size_t>(n));
-  std::vector<std::unordered_set<int>> col_rows(static_cast<std::size_t>(n));
-  const std::size_t original_nnz = matrix.nonzeros();
-  max_abs_entry_ = 0.0;
+  // Active submatrix: unordered row vectors plus per-column row lists. The
+  // column lists are append-only (rows detached by pivoting are skipped via
+  // row_active), and exact active counts are kept separately for the
+  // Markowitz costs. Duplicates cannot arise: a row is appended to a column
+  // list only when the scatter stamp proves the entry is new.
+  std::vector<std::vector<ActiveEntry>> rows(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> col_rows(static_cast<std::size_t>(n));
+  std::vector<int> col_count(static_cast<std::size_t>(n), 0);
   for (int r = 0; r < n; ++r) {
-    for (int k = matrix.row_start[static_cast<std::size_t>(r)];
-         k < matrix.row_start[static_cast<std::size_t>(r) + 1]; ++k) {
+    const int begin = matrix.row_start[static_cast<std::size_t>(r)];
+    const int end = matrix.row_start[static_cast<std::size_t>(r) + 1];
+    rows[static_cast<std::size_t>(r)].reserve(static_cast<std::size_t>(end - begin));
+    for (int k = begin; k < end; ++k) {
       const int c = matrix.cols[static_cast<std::size_t>(k)];
       const Complex v = matrix.values[static_cast<std::size_t>(k)];
-      const double magnitude = std::abs(v);
-      if (magnitude <= options.singularity_tolerance) continue;
-      max_abs_entry_ = std::max(max_abs_entry_, magnitude);
-      rows[static_cast<std::size_t>(r)].emplace(c, v);
-      col_rows[static_cast<std::size_t>(c)].insert(r);
+      max_abs_entry_ = std::max(max_abs_entry_, std::abs(v));
+      rows[static_cast<std::size_t>(r)].push_back({c, v});
+      col_rows[static_cast<std::size_t>(c)].push_back(r);
+      ++col_count[static_cast<std::size_t>(c)];
     }
   }
 
-  std::vector<bool> row_active(static_cast<std::size_t>(n), true);
-  std::vector<bool> col_active(static_cast<std::size_t>(n), true);
+  std::vector<char> row_active(static_cast<std::size_t>(n), 1);
+  std::vector<char> col_active(static_cast<std::size_t>(n), 1);
+  std::vector<int> row_step(static_cast<std::size_t>(n), -1);
+  // Scatter workspace: stamp[col] == epoch marks presence, pos[col] is the
+  // entry's index inside the row vector being updated.
+  std::vector<int> stamp(static_cast<std::size_t>(n), -1);
+  std::vector<int> pos(static_cast<std::size_t>(n), 0);
+  int epoch = 0;
+
+  // Per-step payload harvested into the flat plan after elimination.
+  std::vector<std::vector<ActiveEntry>> urows(static_cast<std::size_t>(n));
+  std::vector<std::vector<std::pair<int, Complex>>> lops(static_cast<std::size_t>(n));
 
   for (int step = 0; step < n; ++step) {
     // --- Pivot selection: minimum Markowitz cost among numerically
-    // acceptable entries; ties broken by larger magnitude.
+    // acceptable entries of the candidate columns; ties broken by larger
+    // magnitude. Candidates are the least-populated active columns — the
+    // classical observation (Markowitz, Sparse1.3) that the best pivot
+    // almost always lives in a near-singleton column, so scanning the whole
+    // active submatrix every step is wasted work.
     int pivot_row = -1;
     int pivot_col = -1;
     std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
     double best_magnitude = 0.0;
 
-    for (int r = 0; r < n; ++r) {
-      if (!row_active[static_cast<std::size_t>(r)]) continue;
-      const auto& row = rows[static_cast<std::size_t>(r)];
-      if (row.empty()) continue;
-      double row_max = 0.0;
-      for (const auto& [c, v] : row) row_max = std::max(row_max, std::abs(v));
-      if (row_max == 0.0) continue;
-      const double accept = options.pivot_threshold * row_max;
-      const std::uint64_t row_count = row.size();
-      for (const auto& [c, v] : row) {
-        const double magnitude = std::abs(v);
-        if (magnitude < accept || magnitude <= options.singularity_tolerance) continue;
-        const std::uint64_t col_count = col_rows[static_cast<std::size_t>(c)].size();
-        const std::uint64_t cost = (row_count - 1) * (col_count - 1);
+    auto search_column = [&](int c) {
+      const std::uint64_t count = static_cast<std::uint64_t>(col_count[static_cast<std::size_t>(c)]);
+      for (const int r : col_rows[static_cast<std::size_t>(c)]) {
+        if (!row_active[static_cast<std::size_t>(r)]) continue;
+        const auto& row = rows[static_cast<std::size_t>(r)];
+        double row_max = 0.0;
+        Complex value;
+        for (const ActiveEntry& entry : row) {
+          row_max = std::max(row_max, std::abs(entry.value));
+          if (entry.col == c) value = entry.value;
+        }
+        const double magnitude = std::abs(value);
+        if (magnitude <= options.singularity_tolerance ||
+            magnitude < options.pivot_threshold * row_max) {
+          continue;
+        }
+        const std::uint64_t cost = (row.size() - 1) * (count - 1);
         if (cost < best_cost || (cost == best_cost && magnitude > best_magnitude)) {
           best_cost = cost;
           best_magnitude = magnitude;
@@ -99,62 +141,219 @@ bool SparseLu::factor(const CompressedMatrix& matrix, const SparseLuOptions& opt
           pivot_col = c;
         }
       }
+    };
+
+    // Gather the kCandidateColumns least-populated active columns.
+    int candidates[kCandidateColumns];
+    int candidate_count = 0;
+    for (int c = 0; c < n; ++c) {
+      if (!col_active[static_cast<std::size_t>(c)] || col_count[static_cast<std::size_t>(c)] == 0) {
+        continue;
+      }
+      int at = candidate_count < kCandidateColumns ? candidate_count : kCandidateColumns;
+      // Insertion-sort by active count; the worst candidate falls off.
+      while (at > 0 && col_count[static_cast<std::size_t>(candidates[at - 1])] >
+                           col_count[static_cast<std::size_t>(c)]) {
+        if (at < kCandidateColumns) candidates[at] = candidates[at - 1];
+        --at;
+      }
+      if (at < kCandidateColumns) candidates[at] = c;
+      if (candidate_count < kCandidateColumns) ++candidate_count;
     }
+    for (int i = 0; i < candidate_count; ++i) search_column(candidates[i]);
 
     if (pivot_row < 0) {
-      // No acceptable pivot anywhere: matrix is (numerically) singular.
-      return false;
+      // None of the candidates holds an acceptable pivot: widen to the full
+      // scan before declaring the matrix (numerically) singular.
+      for (int c = 0; c < n; ++c) {
+        if (col_active[static_cast<std::size_t>(c)] && col_count[static_cast<std::size_t>(c)] > 0) {
+          search_column(c);
+        }
+      }
+      if (pivot_row < 0) return false;
     }
 
     row_order_[static_cast<std::size_t>(step)] = pivot_row;
     col_order_[static_cast<std::size_t>(step)] = pivot_col;
     col_step_[static_cast<std::size_t>(pivot_col)] = step;
-
-    auto& prow = rows[static_cast<std::size_t>(pivot_row)];
-    const Complex pivot = prow.at(pivot_col);
-    pivots_[static_cast<std::size_t>(step)] = pivot;
+    row_step[static_cast<std::size_t>(pivot_row)] = step;
+    row_active[static_cast<std::size_t>(pivot_row)] = 0;
+    col_active[static_cast<std::size_t>(pivot_col)] = 0;
 
     // Freeze the pivot row as U row `step` (pivot entry kept separately).
-    auto& urow = upper_rows_[static_cast<std::size_t>(step)];
+    auto& prow = rows[static_cast<std::size_t>(pivot_row)];
+    auto& urow = urows[static_cast<std::size_t>(step)];
     urow.reserve(prow.size() - 1);
-    for (const auto& [c, v] : prow) {
-      if (c != pivot_col) urow.push_back({c, v});
-    }
-
-    // Detach pivot row/column from the active structure.
-    row_active[static_cast<std::size_t>(pivot_row)] = false;
-    col_active[static_cast<std::size_t>(pivot_col)] = false;
-    for (const auto& [c, v] : prow) {
-      col_rows[static_cast<std::size_t>(c)].erase(pivot_row);
-    }
-
-    // Eliminate pivot_col from every remaining row that contains it.
-    auto& pcol_rows = col_rows[static_cast<std::size_t>(pivot_col)];
-    auto& lops = lower_ops_[static_cast<std::size_t>(step)];
-    lops.reserve(pcol_rows.size());
-    for (const int r : pcol_rows) {
-      auto& row = rows[static_cast<std::size_t>(r)];
-      const auto it = row.find(pivot_col);
-      assert(it != row.end());
-      const Complex multiplier = it->second / pivot;
-      row.erase(it);
-      lops.push_back({r, multiplier});
-      for (const auto& [c, v] : urow) {
-        auto [slot, inserted] = row.try_emplace(c, Complex{});
-        if (inserted) {
-          col_rows[static_cast<std::size_t>(c)].insert(r);
-          ++fill_in_;
-        }
-        slot->second -= multiplier * v;
+    Complex pivot;
+    for (const ActiveEntry& entry : prow) {
+      --col_count[static_cast<std::size_t>(entry.col)];
+      if (entry.col == pivot_col) {
+        pivot = entry.value;
+      } else {
+        urow.push_back(entry);
       }
     }
-    pcol_rows.clear();
+    pivots_[static_cast<std::size_t>(step)] = pivot;
+    prow.clear();
+    prow.shrink_to_fit();
+
+    // Eliminate pivot_col from every remaining row that contains it.
+    auto& lrow = lops[static_cast<std::size_t>(step)];
+    for (const int r : col_rows[static_cast<std::size_t>(pivot_col)]) {
+      if (!row_active[static_cast<std::size_t>(r)]) continue;
+      auto& row = rows[static_cast<std::size_t>(r)];
+      ++epoch;
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        stamp[static_cast<std::size_t>(row[i].col)] = epoch;
+        pos[static_cast<std::size_t>(row[i].col)] = static_cast<int>(i);
+      }
+      const int at = pos[static_cast<std::size_t>(pivot_col)];
+      const Complex multiplier = row[static_cast<std::size_t>(at)].value / pivot;
+      // Remove the eliminated entry (swap-pop keeps the scatter consistent).
+      if (static_cast<std::size_t>(at) + 1 != row.size()) {
+        row[static_cast<std::size_t>(at)] = row.back();
+        pos[static_cast<std::size_t>(row[static_cast<std::size_t>(at)].col)] = at;
+      }
+      row.pop_back();
+      --col_count[static_cast<std::size_t>(pivot_col)];
+      lrow.emplace_back(r, multiplier);
+      for (const ActiveEntry& entry : urow) {
+        if (stamp[static_cast<std::size_t>(entry.col)] == epoch) {
+          row[static_cast<std::size_t>(pos[static_cast<std::size_t>(entry.col)])].value -=
+              multiplier * entry.value;
+        } else {
+          stamp[static_cast<std::size_t>(entry.col)] = epoch;
+          pos[static_cast<std::size_t>(entry.col)] = static_cast<int>(row.size());
+          row.push_back({entry.col, -multiplier * entry.value});
+          col_rows[static_cast<std::size_t>(entry.col)].push_back(r);
+          ++col_count[static_cast<std::size_t>(entry.col)];
+          ++fill_in_;
+        }
+      }
+    }
+    col_rows[static_cast<std::size_t>(pivot_col)].clear();
   }
 
   permutation_sign_ = permutation_sign(row_order_) * permutation_sign(col_order_);
+
+  // --- Harvest the flat plan -------------------------------------------------
+  pattern_row_start_ = matrix.row_start;
+  pattern_cols_ = matrix.cols;
+  a_dest_.resize(matrix.cols.size());
+  for (std::size_t k = 0; k < matrix.cols.size(); ++k) {
+    a_dest_[k] = col_step_[static_cast<std::size_t>(matrix.cols[k])];
+  }
+
+  // L bucketed by row-step; iterating steps in ascending order leaves each
+  // row's dependencies sorted, which the replay and solve() rely on.
+  l_start_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int step = 0; step < n; ++step) {
+    for (const auto& [r, multiplier] : lops[static_cast<std::size_t>(step)]) {
+      ++l_start_[static_cast<std::size_t>(row_step[static_cast<std::size_t>(r)]) + 1];
+    }
+  }
+  for (int i = 0; i < n; ++i) l_start_[static_cast<std::size_t>(i) + 1] += l_start_[static_cast<std::size_t>(i)];
+  l_steps_.resize(static_cast<std::size_t>(l_start_[static_cast<std::size_t>(n)]));
+  l_values_.resize(l_steps_.size());
+  std::vector<int> cursor(l_start_.begin(), l_start_.end() - 1);
+  for (int step = 0; step < n; ++step) {
+    for (const auto& [r, multiplier] : lops[static_cast<std::size_t>(step)]) {
+      const int i = row_step[static_cast<std::size_t>(r)];
+      const int at = cursor[static_cast<std::size_t>(i)]++;
+      l_steps_[static_cast<std::size_t>(at)] = step;
+      l_values_[static_cast<std::size_t>(at)] = multiplier;
+    }
+  }
+
+  // U rows keep the elimination's freeze order so replay applies the exact
+  // same operation sequence (bit-identical results).
+  u_start_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int step = 0; step < n; ++step) {
+    u_start_[static_cast<std::size_t>(step) + 1] =
+        u_start_[static_cast<std::size_t>(step)] +
+        static_cast<int>(urows[static_cast<std::size_t>(step)].size());
+  }
+  u_steps_.resize(static_cast<std::size_t>(u_start_[static_cast<std::size_t>(n)]));
+  u_values_.resize(u_steps_.size());
+  for (int step = 0; step < n; ++step) {
+    int at = u_start_[static_cast<std::size_t>(step)];
+    for (const ActiveEntry& entry : urows[static_cast<std::size_t>(step)]) {
+      u_steps_[static_cast<std::size_t>(at)] = col_step_[static_cast<std::size_t>(entry.col)];
+      u_values_[static_cast<std::size_t>(at)] = entry.value;
+      ++at;
+    }
+  }
+
   ok_ = true;
-  pattern_dim_ = n;
-  pattern_nonzeros_ = original_nnz;
+  return true;
+}
+
+bool SparseLu::refactor(const CompressedMatrix& matrix, const SparseLuOptions& options) {
+  if (!ok_ || matrix.dim != dim_ || matrix.row_start != pattern_row_start_ ||
+      matrix.cols != pattern_cols_) {
+    return false;  // no prior plan or pattern changed: need a full factor()
+  }
+  const int n = dim_;
+  max_abs_entry_ = 0.0;
+  for (const Complex& v : matrix.values) {
+    max_abs_entry_ = std::max(max_abs_entry_, std::abs(v));
+  }
+
+  // Up-looking replay: each row-step clears its pattern slots in the dense
+  // workspace, scatters the row of A, applies the recorded updates of the
+  // earlier steps in order, and gathers the surviving values back into the
+  // flat U storage. The operation sequence matches analyze_and_factor()
+  // exactly, so the numeric results agree bit-for-bit.
+  work_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int k = l_start_[static_cast<std::size_t>(i)]; k < l_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+      work_[static_cast<std::size_t>(l_steps_[static_cast<std::size_t>(k)])] = Complex{};
+    }
+    for (int k = u_start_[static_cast<std::size_t>(i)]; k < u_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+      work_[static_cast<std::size_t>(u_steps_[static_cast<std::size_t>(k)])] = Complex{};
+    }
+    work_[static_cast<std::size_t>(i)] = Complex{};
+
+    const int r = row_order_[static_cast<std::size_t>(i)];
+    for (int k = pattern_row_start_[static_cast<std::size_t>(r)];
+         k < pattern_row_start_[static_cast<std::size_t>(r) + 1]; ++k) {
+      work_[static_cast<std::size_t>(a_dest_[static_cast<std::size_t>(k)])] =
+          matrix.values[static_cast<std::size_t>(k)];
+    }
+
+    for (int k = l_start_[static_cast<std::size_t>(i)]; k < l_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int j = l_steps_[static_cast<std::size_t>(k)];
+      const Complex multiplier =
+          work_[static_cast<std::size_t>(j)] / pivots_[static_cast<std::size_t>(j)];
+      l_values_[static_cast<std::size_t>(k)] = multiplier;
+      for (int t = u_start_[static_cast<std::size_t>(j)]; t < u_start_[static_cast<std::size_t>(j) + 1]; ++t) {
+        work_[static_cast<std::size_t>(u_steps_[static_cast<std::size_t>(t)])] -=
+            multiplier * u_values_[static_cast<std::size_t>(t)];
+      }
+    }
+
+    // Pivot acceptance against the replayed active row (pivot + U part),
+    // with a relaxed threshold: this pivot position was not re-searched.
+    const Complex pivot = work_[static_cast<std::size_t>(i)];
+    const double pivot_magnitude = std::abs(pivot);
+    double row_max = pivot_magnitude;
+    for (int k = u_start_[static_cast<std::size_t>(i)]; k < u_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+      row_max = std::max(
+          row_max, std::abs(work_[static_cast<std::size_t>(u_steps_[static_cast<std::size_t>(k)])]));
+    }
+    if (pivot_magnitude <= options.singularity_tolerance ||
+        pivot_magnitude < kRelaxedThresholdScale * options.pivot_threshold * row_max) {
+      ok_ = false;
+      return false;
+    }
+    pivots_[static_cast<std::size_t>(i)] = pivot;
+    for (int k = u_start_[static_cast<std::size_t>(i)]; k < u_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+      u_values_[static_cast<std::size_t>(k)] =
+          work_[static_cast<std::size_t>(u_steps_[static_cast<std::size_t>(k)])];
+    }
+  }
+  // Permutation, pattern and sign are unchanged by construction.
+  ok_ = true;
   return true;
 }
 
@@ -163,121 +362,39 @@ void SparseLu::solve(std::vector<Complex>& rhs) const {
   assert(static_cast<int>(rhs.size()) == dim_);
   const int n = dim_;
 
-  // Forward pass replays the elimination on the right-hand side:
-  // y[step] is the pivot-row value once all earlier steps have updated it.
-  std::vector<Complex> y(static_cast<std::size_t>(n));
-  for (int step = 0; step < n; ++step) {
-    const Complex value = rhs[static_cast<std::size_t>(row_order_[static_cast<std::size_t>(step)])];
-    y[static_cast<std::size_t>(step)] = value;
-    if (value == Complex{}) continue;
-    for (const Entry& op : lower_ops_[static_cast<std::size_t>(step)]) {
-      rhs[static_cast<std::size_t>(op.index)] -= op.value * value;
+  // Forward substitution L y = P b, then in-place back substitution
+  // U z = y; both run on the flat per-row storage.
+  work_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Complex acc = rhs[static_cast<std::size_t>(row_order_[static_cast<std::size_t>(i)])];
+    for (int k = l_start_[static_cast<std::size_t>(i)]; k < l_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+      acc -= l_values_[static_cast<std::size_t>(k)] *
+             work_[static_cast<std::size_t>(l_steps_[static_cast<std::size_t>(k)])];
     }
+    work_[static_cast<std::size_t>(i)] = acc;
   }
-
-  // Back substitution over U; z[step] is the unknown for column
-  // col_order_[step], and every U entry references a later step.
-  std::vector<Complex> z(static_cast<std::size_t>(n));
-  for (int step = n - 1; step >= 0; --step) {
-    Complex acc = y[static_cast<std::size_t>(step)];
-    for (const Entry& entry : upper_rows_[static_cast<std::size_t>(step)]) {
-      const int target_step = col_step_[static_cast<std::size_t>(entry.index)];
-      assert(target_step > step);
-      acc -= entry.value * z[static_cast<std::size_t>(target_step)];
+  for (int i = n - 1; i >= 0; --i) {
+    Complex acc = work_[static_cast<std::size_t>(i)];
+    for (int k = u_start_[static_cast<std::size_t>(i)]; k < u_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+      assert(u_steps_[static_cast<std::size_t>(k)] > i);
+      acc -= u_values_[static_cast<std::size_t>(k)] *
+             work_[static_cast<std::size_t>(u_steps_[static_cast<std::size_t>(k)])];
     }
-    z[static_cast<std::size_t>(step)] = acc / pivots_[static_cast<std::size_t>(step)];
+    work_[static_cast<std::size_t>(i)] = acc / pivots_[static_cast<std::size_t>(i)];
   }
-
-  for (int step = 0; step < n; ++step) {
-    rhs[static_cast<std::size_t>(col_order_[static_cast<std::size_t>(step)])] =
-        z[static_cast<std::size_t>(step)];
+  for (int i = 0; i < n; ++i) {
+    rhs[static_cast<std::size_t>(col_order_[static_cast<std::size_t>(i)])] =
+        work_[static_cast<std::size_t>(i)];
   }
-}
-
-bool SparseLu::refactor(const CompressedMatrix& matrix, const SparseLuOptions& options) {
-  if (!ok_ || matrix.dim != pattern_dim_ || matrix.nonzeros() != pattern_nonzeros_) {
-    return false;  // no prior plan or pattern changed: need a full factor()
-  }
-  const int n = matrix.dim;
-
-  std::vector<std::unordered_map<int, Complex>> rows(static_cast<std::size_t>(n));
-  std::vector<std::unordered_set<int>> col_rows(static_cast<std::size_t>(n));
-  max_abs_entry_ = 0.0;
-  for (int r = 0; r < n; ++r) {
-    for (int k = matrix.row_start[static_cast<std::size_t>(r)];
-         k < matrix.row_start[static_cast<std::size_t>(r) + 1]; ++k) {
-      const int c = matrix.cols[static_cast<std::size_t>(k)];
-      const Complex v = matrix.values[static_cast<std::size_t>(k)];
-      const double magnitude = std::abs(v);
-      if (magnitude <= options.singularity_tolerance) continue;
-      max_abs_entry_ = std::max(max_abs_entry_, magnitude);
-      rows[static_cast<std::size_t>(r)].emplace(c, v);
-      col_rows[static_cast<std::size_t>(c)].insert(r);
-    }
-  }
-
-  // Numeric elimination along the stored pivot order. Pivots are accepted
-  // with a relaxed threshold (we did not search for the best one); a pivot
-  // that degraded too much signals the caller to re-run the full factor().
-  constexpr double kRelaxedThresholdScale = 1e-5;
-  for (int step = 0; step < n; ++step) {
-    const int pivot_row = row_order_[static_cast<std::size_t>(step)];
-    const int pivot_col = col_order_[static_cast<std::size_t>(step)];
-    auto& prow = rows[static_cast<std::size_t>(pivot_row)];
-    const auto pivot_it = prow.find(pivot_col);
-    if (pivot_it == prow.end()) {
-      ok_ = false;
-      return false;  // structural change (exact cancellation created a zero)
-    }
-    const Complex pivot = pivot_it->second;
-    double row_max = 0.0;
-    for (const auto& [c, v] : prow) row_max = std::max(row_max, std::abs(v));
-    if (std::abs(pivot) <= options.singularity_tolerance ||
-        std::abs(pivot) < kRelaxedThresholdScale * options.pivot_threshold * row_max) {
-      ok_ = false;
-      return false;
-    }
-    pivots_[static_cast<std::size_t>(step)] = pivot;
-
-    auto& urow = upper_rows_[static_cast<std::size_t>(step)];
-    urow.clear();
-    urow.reserve(prow.size() - 1);
-    for (const auto& [c, v] : prow) {
-      if (c != pivot_col) urow.push_back({c, v});
-    }
-    for (const auto& [c, v] : prow) {
-      col_rows[static_cast<std::size_t>(c)].erase(pivot_row);
-    }
-
-    auto& pcol_rows = col_rows[static_cast<std::size_t>(pivot_col)];
-    auto& lops = lower_ops_[static_cast<std::size_t>(step)];
-    lops.clear();
-    lops.reserve(pcol_rows.size());
-    for (const int r : pcol_rows) {
-      auto& row = rows[static_cast<std::size_t>(r)];
-      const auto it = row.find(pivot_col);
-      assert(it != row.end());
-      const Complex multiplier = it->second / pivot;
-      row.erase(it);
-      lops.push_back({r, multiplier});
-      for (const auto& [c, v] : urow) {
-        auto [slot, inserted] = row.try_emplace(c, Complex{});
-        if (inserted) col_rows[static_cast<std::size_t>(c)].insert(r);
-        slot->second -= multiplier * v;
-      }
-    }
-    pcol_rows.clear();
-  }
-  // Permutation and sign are unchanged by construction.
-  ok_ = true;
-  return true;
 }
 
 double SparseLu::min_abs_pivot() const noexcept {
-  double smallest = 0.0;
+  assert(ok_);
+  if (!ok_) return 0.0;
+  if (dim_ == 0) return std::numeric_limits<double>::infinity();
+  double smallest = std::numeric_limits<double>::infinity();
   for (const Complex& pivot : pivots_) {
-    const double magnitude = std::abs(pivot);
-    if (smallest == 0.0 || magnitude < smallest) smallest = magnitude;
+    smallest = std::min(smallest, std::abs(pivot));
   }
   return smallest;
 }
@@ -289,4 +406,4 @@ numeric::ScaledComplex SparseLu::determinant() const {
   return det;
 }
 
-}  // namespace sparse
+}  // namespace symref::sparse

@@ -1,4 +1,5 @@
-// Sparse complex LU factorization with Markowitz pivoting.
+// Sparse complex LU factorization split into a symbolic plan and a fast
+// numeric replay.
 //
 // This is the workhorse behind the paper's eq. (7)-(10): every interpolation
 // point costs one factorization of the (scaled) node-admittance matrix, one
@@ -7,6 +8,17 @@
 // using sparse matrix techniques"; Markowitz ordering with threshold partial
 // pivoting is the classical choice for circuit matrices (Kundert's Sparse1.3
 // and SPICE use the same scheme).
+//
+// The interpolation engine evaluates the SAME circuit at dozens to hundreds
+// of sample points, so the sparsity pattern never changes between
+// factorizations. factor() therefore performs the expensive one-time work —
+// Markowitz pivot ordering (bounded candidate search over the least-populated
+// active columns) and the complete fill-in pattern — and stores the result as
+// a flat CSR-like plan. refactor() replays only the numeric elimination
+// through that plan with a dense scatter/gather workspace: no dynamic
+// structures, no searching, no allocation on the repeated path. Both paths
+// execute the identical floating-point operation sequence, so a refactor()
+// is bit-for-bit equal to a fresh factor() that selects the same pivots.
 //
 // The determinant is returned as an extended-range ScaledComplex: the pivot
 // product of a scaled 50-node matrix routinely leaves IEEE double range.
@@ -25,23 +37,25 @@ struct SparseLuOptions {
   /// Threshold partial pivoting: a candidate pivot must satisfy
   /// |a_ij| >= pivot_threshold * max_j' |a_ij'| within its active row.
   double pivot_threshold = 1e-3;
-  /// Entries with magnitude <= this are treated as structural zeros.
+  /// A pivot with magnitude <= this is rejected as numerically zero.
   double singularity_tolerance = 0.0;
 };
 
 class SparseLu {
  public:
   /// Factor the matrix; returns false when singular (no acceptable pivot).
+  /// Also records the symbolic plan (pivot order + fill pattern) consumed by
+  /// refactor().
   bool factor(const TripletMatrix& matrix, const SparseLuOptions& options = {});
   bool factor(const CompressedMatrix& matrix, const SparseLuOptions& options = {});
 
-  /// Re-factor a matrix with the SAME sparsity pattern using the pivot
-  /// ORDER of the previous successful factor() — no Markowitz search, no
-  /// new fill, just the numeric elimination (the classic SPICE
-  /// "create/factor" split; interpolation evaluates the same circuit at
-  /// many points, so the pattern never changes). Returns false when a
-  /// reused pivot is numerically unacceptable (caller should fall back to
-  /// a fresh factor()) or when the pattern differs.
+  /// Re-factor a matrix with the SAME sparsity pattern using the plan of the
+  /// previous successful factor() — no Markowitz search, no new fill, just a
+  /// flat numeric replay of the elimination (the classic create/factor split
+  /// of SPICE and the analyze/factor split of KLU). Returns false when a
+  /// reused pivot is numerically unacceptable (caller should fall back to a
+  /// fresh factor()) or when the structural pattern differs; the pattern
+  /// check is exact (row/column structure, not just the nonzero count).
   bool refactor(const CompressedMatrix& matrix, const SparseLuOptions& options = {});
 
   [[nodiscard]] int dim() const noexcept { return dim_; }
@@ -56,34 +70,54 @@ class SparseLu {
   /// by delta changes det by delta * cofactor, and the largest cofactor is
   /// ~|det| / min_pivot.
   [[nodiscard]] double max_abs_entry() const noexcept { return max_abs_entry_; }
+
+  /// Smallest |pivot| of U. Requires ok() (asserted, like solve()); returns
+  /// 0.0 in release builds when nothing was factored, and +infinity for a
+  /// dimension-0 system (the empty pivot product has no smallest factor).
   [[nodiscard]] double min_abs_pivot() const noexcept;
 
-  /// Solve A x = b; rhs is overwritten with x. Requires ok().
+  /// Solve A x = b; rhs is overwritten with x. Requires ok(). Uses the
+  /// instance's shared scratch workspace, so concurrent solve() calls on one
+  /// SparseLu are not safe even though the method is const — the class is
+  /// single-threaded by design (like the evaluators built on it).
   void solve(std::vector<std::complex<double>>& rhs) const;
 
   /// det(A) = sign(P) * sign(Q) * prod(pivots), extended range.
   [[nodiscard]] numeric::ScaledComplex determinant() const;
 
  private:
-  struct Entry {
-    int index = 0;  // original row (L ops) or original column (U rows)
-    std::complex<double> value;
-  };
+  bool analyze_and_factor(const CompressedMatrix& matrix, const SparseLuOptions& options);
 
   int dim_ = 0;
   bool ok_ = false;
   std::size_t fill_in_ = 0;
   double max_abs_entry_ = 0.0;
   int permutation_sign_ = 1;
-  std::vector<int> row_order_;   // step -> original pivot row
-  std::vector<int> col_order_;   // step -> original pivot column
-  std::vector<int> col_step_;    // original column -> step
+
+  // --- Symbolic plan (fixed per sparsity pattern) ---------------------------
+  std::vector<int> row_order_;  // step -> original pivot row
+  std::vector<int> col_order_;  // step -> original pivot column
+  std::vector<int> col_step_;   // original column -> step
+  /// Structural fingerprint of A for the refactor() pattern check.
+  std::vector<int> pattern_row_start_;
+  std::vector<int> pattern_cols_;
+  /// CSR position k of A -> column-step workspace slot (scatter plan).
+  std::vector<int> a_dest_;
+  /// L (unit lower) stored by row-step: for row i, steps j < i in ascending
+  /// order with the multipliers. U stored by row-step: steps k > i in the
+  /// elimination's freeze order with the row values; pivots kept separately.
+  std::vector<int> l_start_;
+  std::vector<int> l_steps_;
+  std::vector<int> u_start_;
+  std::vector<int> u_steps_;
+
+  // --- Numeric payload (rewritten by every factor()/refactor()) -------------
+  std::vector<std::complex<double>> l_values_;
+  std::vector<std::complex<double>> u_values_;
   std::vector<std::complex<double>> pivots_;
-  std::vector<std::vector<Entry>> lower_ops_;  // per step: rows updated and multipliers
-  std::vector<std::vector<Entry>> upper_rows_; // per step: U row (original col ids), no pivot
-  /// Pattern fingerprint of the last full factor(), for refactor() checks.
-  std::size_t pattern_nonzeros_ = 0;
-  int pattern_dim_ = 0;
+
+  // --- Workspaces (persist to keep the repeated path allocation-free) -------
+  mutable std::vector<std::complex<double>> work_;
 };
 
 /// Permutation parity: +1 for even, -1 for odd. `order[k]` must be a

@@ -31,6 +31,42 @@ void CompressedMatrix::multiply(const std::vector<std::complex<double>>& x,
   }
 }
 
+PatternedMatrix::PatternedMatrix(int dim, std::vector<PatternStamp> stamps) {
+  std::sort(stamps.begin(), stamps.end(), [](const PatternStamp& a, const PatternStamp& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  matrix_.dim = dim;
+  matrix_.row_start.assign(static_cast<std::size_t>(dim) + 1, 0);
+  std::size_t i = 0;
+  while (i < stamps.size()) {
+    PatternStamp merged = stamps[i];
+    std::size_t j = i + 1;
+    while (j < stamps.size() && stamps[j].row == merged.row && stamps[j].col == merged.col) {
+      merged.conductance += stamps[j].conductance;
+      merged.capacitance += stamps[j].capacitance;
+      ++j;
+    }
+    matrix_.cols.push_back(merged.col);
+    conductance_.push_back(merged.conductance);
+    capacitance_.push_back(merged.capacitance);
+    ++matrix_.row_start[static_cast<std::size_t>(merged.row) + 1];
+    i = j;
+  }
+  for (int r = 0; r < dim; ++r) {
+    matrix_.row_start[static_cast<std::size_t>(r) + 1] +=
+        matrix_.row_start[static_cast<std::size_t>(r)];
+  }
+  matrix_.values.assign(matrix_.cols.size(), {});
+}
+
+const CompressedMatrix& PatternedMatrix::assemble(std::complex<double> s, double f_scale,
+                                                  double g_scale) {
+  for (std::size_t k = 0; k < matrix_.values.size(); ++k) {
+    matrix_.values[k] = g_scale * conductance_[k] + s * (f_scale * capacitance_[k]);
+  }
+  return matrix_;
+}
+
 void TripletMatrix::add(int row, int col, std::complex<double> value) {
   if (row < 0 || row >= dim_ || col < 0 || col >= dim_) {
     throw std::out_of_range("TripletMatrix::add: index outside matrix");

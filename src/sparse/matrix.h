@@ -35,6 +35,42 @@ struct CompressedMatrix {
                 std::vector<std::complex<double>>& y) const;
 };
 
+/// One structural stamp position of an admittance-like matrix whose values
+/// are an affine function of the evaluation point:
+/// value(s, f, g) = g * conductance + s * (f * capacitance).
+/// (For full MNA assembly the same shape reads base + s * reactive with
+/// f = g = 1.)
+struct PatternStamp {
+  int row = 0;
+  int col = 0;
+  double conductance = 0.0;
+  double capacitance = 0.0;
+};
+
+/// Pattern-cached assembly: the structural nonzero layout is computed once
+/// from a stamp list (duplicates merged, rows sorted), and every assemble()
+/// call rewrites only the value array of the cached CompressedMatrix — no
+/// triplet allocation, sorting or compression on the per-sample path. The
+/// fixed layout is what keeps SparseLu::refactor() applicable across an
+/// entire frequency sweep or interpolation run.
+class PatternedMatrix {
+ public:
+  PatternedMatrix() = default;
+  PatternedMatrix(int dim, std::vector<PatternStamp> stamps);
+
+  /// Rewrite the cached values for one (s, f, g) evaluation point and return
+  /// the assembled matrix (pattern stable across calls).
+  const CompressedMatrix& assemble(std::complex<double> s, double f_scale = 1.0,
+                                   double g_scale = 1.0);
+
+  [[nodiscard]] const CompressedMatrix& matrix() const noexcept { return matrix_; }
+
+ private:
+  CompressedMatrix matrix_;
+  std::vector<double> conductance_;  // aligned with matrix_.values
+  std::vector<double> capacitance_;
+};
+
 class TripletMatrix {
  public:
   explicit TripletMatrix(int dim) : dim_(dim) {}

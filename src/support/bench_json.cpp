@@ -1,0 +1,68 @@
+#include "support/bench_json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace symref::support {
+
+namespace {
+
+/// Parse the flat {"key": number, ...} object this module writes. Anything
+/// unparseable is ignored (the file is regenerated on every merge anyway).
+std::map<std::string, double> read_flat_json(const std::string& path) {
+  std::map<std::string, double> metrics;
+  std::ifstream in(path);
+  if (!in) return metrics;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const std::size_t key_begin = text.find('"', i);
+    if (key_begin == std::string::npos) break;
+    const std::size_t key_end = text.find('"', key_begin + 1);
+    if (key_end == std::string::npos) break;
+    const std::size_t colon = text.find(':', key_end + 1);
+    if (colon == std::string::npos) break;
+    std::size_t value_begin = colon + 1;
+    while (value_begin < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[value_begin]))) {
+      ++value_begin;
+    }
+    char* parsed_end = nullptr;
+    const double value = std::strtod(text.c_str() + value_begin, &parsed_end);
+    if (parsed_end != text.c_str() + value_begin) {
+      metrics[text.substr(key_begin + 1, key_end - key_begin - 1)] = value;
+      i = static_cast<std::size_t>(parsed_end - text.c_str());
+    } else {
+      i = key_end + 1;
+    }
+  }
+  return metrics;
+}
+
+}  // namespace
+
+bool merge_bench_json(const std::string& path, const std::map<std::string, double>& metrics) {
+  std::map<std::string, double> merged = read_flat_json(path);
+  for (const auto& [key, value] : metrics) merged[key] = value;
+
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  std::size_t written = 0;
+  for (const auto& [key, value] : merged) {
+    char formatted[64];
+    std::snprintf(formatted, sizeof(formatted), "%.9g", value);
+    out << "  \"" << key << "\": " << formatted;
+    if (++written < merged.size()) out << ",";
+    out << "\n";
+  }
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace symref::support

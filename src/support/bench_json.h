@@ -1,0 +1,22 @@
+// Machine-readable benchmark output.
+//
+// Every bench harness merges its headline numbers into one flat JSON file
+// (BENCH_refgen.json by default) so successive PRs can diff the perf
+// trajectory without scraping text tables. The file is a single object of
+// "metric": number pairs; merging preserves keys written by other benches.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace symref::support {
+
+/// Merge `metrics` into the JSON object stored at `path` (created when
+/// missing). Existing keys not in `metrics` are preserved; shared keys are
+/// overwritten. Returns false when the file cannot be written.
+bool merge_bench_json(const std::string& path, const std::map<std::string, double>& metrics);
+
+/// Default output path, relative to the working directory of the bench run.
+inline const char* kBenchJsonPath = "BENCH_refgen.json";
+
+}  // namespace symref::support

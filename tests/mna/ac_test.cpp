@@ -94,6 +94,39 @@ TEST(AcSimulator, BodePhaseUnwrapped) {
   }
 }
 
+TEST(AcSimulator, BodeSweepBitIdenticalToPerPointFactorization) {
+  // The cached sweep replays the first point's factorization plan at every
+  // later frequency; the replay executes the same operation sequence as a
+  // full factorization, so the sweep must match per-point factorization
+  // (a fresh simulator per point, i.e. the uncached path) bit for bit.
+  const netlist::Circuit ladder = circuits::rc_ladder(8);
+  const auto spec = circuits::rc_ladder_spec(8);
+  const AcSimulator sim(ladder);
+  const auto sweep = sim.bode(spec, 1e2, 1e8, 5);
+  ASSERT_GE(sweep.size(), 2u);
+  for (const BodePoint& point : sweep) {
+    const AcSimulator fresh(ladder);  // cold cache: full factorization
+    const std::complex<double> reference = fresh.transfer(spec, point.frequency_hz);
+    EXPECT_EQ(point.value, reference) << point.frequency_hz;
+  }
+}
+
+TEST(AcSimulator, SpecChangeInvalidatesSweepCache) {
+  // Alternating specs on one simulator must match fresh-simulator results.
+  const netlist::Circuit ladder = circuits::rc_ladder(4);
+  const AcSimulator sim(ladder);
+  const auto gain = circuits::rc_ladder_spec(4);
+  const auto trans = TransferSpec::transimpedance("in", "n4");
+  for (const double f : {1e3, 1e5, 1e7}) {
+    const auto h_gain = sim.transfer(gain, f);
+    const auto h_trans = sim.transfer(trans, f);
+    const AcSimulator fresh_gain(ladder);
+    const AcSimulator fresh_trans(ladder);
+    EXPECT_EQ(h_gain, fresh_gain.transfer(gain, f)) << f;
+    EXPECT_EQ(h_trans, fresh_trans.transfer(trans, f)) << f;
+  }
+}
+
 TEST(AcSimulator, MagnitudeDbSaturatesAtZero) {
   EXPECT_DOUBLE_EQ(magnitude_db({0.0, 0.0}), -400.0);
   EXPECT_NEAR(magnitude_db({10.0, 0.0}), 20.0, 1e-12);

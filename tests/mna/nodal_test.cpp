@@ -60,6 +60,46 @@ TEST(NodalSystem, ScalingMultipliesElementValues) {
   EXPECT_LT(std::abs(scaled.at(ra, ra) - Complex(1e-3 * g, 1e-12 * f)), 1e-15);
 }
 
+TEST(NodalSystem, PatternedAssemblyMatchesTripletPath) {
+  // The pattern-cached assembly must produce exactly the matrix the triplet
+  // path builds (same layout, same values) at any sample point.
+  const netlist::Circuit ladder = netlist::canonicalize(circuits::rc_ladder(6));
+  const NodalSystem system(ladder);
+  sparse::PatternedMatrix pattern(system.dim(), system.stamps());
+  const double f = 2.7e9;
+  const double g = 133.0;
+  for (const Complex s : {Complex(0.31, 0.95), Complex(-0.7, 0.7), Complex(0.99, -0.14)}) {
+    const sparse::CompressedMatrix& cached = pattern.assemble(s, f, g);
+    const sparse::CompressedMatrix fresh = system.matrix(s, f, g).compress();
+    ASSERT_EQ(cached.dim, fresh.dim);
+    ASSERT_EQ(cached.row_start, fresh.row_start);
+    ASSERT_EQ(cached.cols, fresh.cols);
+    for (std::size_t k = 0; k < fresh.values.size(); ++k) {
+      EXPECT_EQ(cached.values[k], fresh.values[k]) << k;
+    }
+  }
+}
+
+TEST(CofactorEvaluator, RepeatedEvaluationMatchesFreshEvaluator) {
+  // The evaluator reuses its factorization plan across points; every sample
+  // must agree with a cold evaluator to working precision.
+  const netlist::Circuit ladder = netlist::canonicalize(circuits::rc_ladder(5));
+  const NodalSystem system(ladder);
+  const auto spec = TransferSpec::transimpedance("in", "n5");
+  const CofactorEvaluator warm(system, spec);
+  for (const Complex s : {Complex(0.31, 0.95), Complex(-0.7, 0.7), Complex(0.99, -0.14)}) {
+    const auto cached = warm.evaluate(s, 2e9, 50.0);
+    const CofactorEvaluator cold(system, spec);
+    const auto fresh = cold.evaluate(s, 2e9, 50.0);
+    ASSERT_TRUE(cached.ok);
+    ASSERT_TRUE(fresh.ok);
+    const auto num_difference = (cached.numerator - fresh.numerator).abs();
+    const auto den_difference = (cached.denominator - fresh.denominator).abs();
+    EXPECT_LT((num_difference / fresh.numerator.abs()).to_double(), 1e-12);
+    EXPECT_LT((den_difference / fresh.denominator.abs()).to_double(), 1e-12);
+  }
+}
+
 TEST(CofactorEvaluator, TransimpedanceDenominatorIsDeterminant) {
   const netlist::Circuit ladder = netlist::canonicalize(circuits::rc_ladder(3));
   const NodalSystem system(ladder);

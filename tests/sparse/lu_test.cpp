@@ -1,4 +1,4 @@
-// Dense and sparse LU: solve, determinant, pivoting.
+// Dense and sparse LU: solve, determinant, pivoting, plan reuse.
 #include "sparse/lu.h"
 
 #include <gtest/gtest.h>
@@ -6,6 +6,10 @@
 #include <cmath>
 #include <complex>
 
+#include "circuits/ladder.h"
+#include "circuits/ua741.h"
+#include "mna/nodal.h"
+#include "netlist/canonical.h"
 #include "sparse/dense.h"
 #include "support/random.h"
 
@@ -270,6 +274,123 @@ TEST(SparseLu, RefactorDetectsDegradedPivot) {
   // consistently).
   SparseLu fresh;
   EXPECT_TRUE(fresh.factor(degraded));
+}
+
+TEST(SparseLu, RefactorOnSameValuesIsBitIdentical) {
+  // The numeric replay executes the exact operation sequence of the full
+  // factorization, so re-factoring the SAME values must reproduce every
+  // result bit-for-bit (this is what makes cached sweeps regression-free).
+  support::Rng rng(321);
+  const TripletMatrix m = random_matrix(rng, 25, 0.25);
+  const CompressedMatrix c = m.compress();
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(c));
+  const Complex det_factor = lu.determinant().to_complex();
+  const auto b = random_vector(rng, 25);
+  std::vector<Complex> x_factor = b;
+  lu.solve(x_factor);
+
+  ASSERT_TRUE(lu.refactor(c));
+  EXPECT_EQ(lu.determinant().to_complex(), det_factor);
+  std::vector<Complex> x_refactor = b;
+  lu.solve(x_refactor);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(x_refactor[static_cast<std::size_t>(i)], x_factor[static_cast<std::size_t>(i)]);
+  }
+}
+
+// Plan reuse on the paper's actual matrices: evaluating the same circuit at
+// a different sample point refactors against the cached plan and must agree
+// with a from-scratch factorization to working precision. The engine always
+// works on scaled matrices (paper §3.2), so evaluate at its first-scale
+// heuristic (f = 1/mean(C), g = 1/mean(G)) where entries are balanced.
+void expect_plan_reuse_agreement(const netlist::Circuit& circuit, const char* label) {
+  const netlist::Circuit canonical = symref::netlist::canonicalize(circuit);
+  const symref::mna::NodalSystem system(canonical);
+  const auto caps = canonical.capacitor_values();
+  const auto conds = canonical.conductance_values();
+  auto mean = [](const std::vector<double>& v) {
+    double sum = 0.0;
+    for (const double x : v) sum += x;
+    return v.empty() ? 1.0 : sum / static_cast<double>(v.size());
+  };
+  const double f = 1.0 / mean(caps);
+  const double g = 1.0 / mean(conds);
+  const Complex s1(0.30901699437494745, 0.9510565162951535);
+  const Complex s2(-0.80901699437494745, 0.5877852522924731);
+
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(system.matrix(s1, f, g))) << label;
+  const CompressedMatrix a2 = system.matrix(s2, f, g).compress();
+  ASSERT_TRUE(lu.refactor(a2)) << label;
+
+  SparseLu fresh;
+  ASSERT_TRUE(fresh.factor(a2)) << label;
+  const Complex det_reused = lu.determinant().to_complex();
+  const Complex det_fresh = fresh.determinant().to_complex();
+  EXPECT_LT(std::abs(det_reused - det_fresh), 1e-12 * std::abs(det_fresh)) << label;
+
+  std::vector<Complex> rhs(static_cast<std::size_t>(system.dim()));
+  rhs[0] = 1.0;
+  std::vector<Complex> x1 = rhs;
+  std::vector<Complex> x2 = rhs;
+  lu.solve(x1);
+  fresh.solve(x2);
+  double worst = 0.0;
+  double scale = 0.0;
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    worst = std::max(worst, std::abs(x1[i] - x2[i]));
+    scale = std::max(scale, std::abs(x2[i]));
+  }
+  EXPECT_LT(worst, 1e-12 * scale) << label;
+}
+
+TEST(SparseLu, PlanReuseAgreesOnLadderMatrix) {
+  expect_plan_reuse_agreement(symref::circuits::rc_ladder(32), "rc_ladder(32)");
+}
+
+TEST(SparseLu, PlanReuseAgreesOnUa741Matrix) {
+  expect_plan_reuse_agreement(symref::circuits::ua741(), "ua741");
+}
+
+TEST(SparseLu, DegradedPivotFallsBackToFullFactor) {
+  // The caller contract: when refactor() refuses (pivot degraded), a fresh
+  // factor() must recover, and the NEW plan must support further refactors.
+  TripletMatrix base(3);
+  base.add(0, 0, {1.0, 0.0});
+  base.add(1, 1, {1.0, 0.0});
+  base.add(2, 2, {1.0, 0.0});
+  base.add(0, 1, {0.5, 0.0});
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(base));
+
+  TripletMatrix degraded(3);
+  degraded.add(0, 0, {1.0, 0.0});
+  degraded.add(1, 1, {1e-30, 0.0});  // pivot collapses
+  degraded.add(2, 2, {1.0, 0.0});
+  degraded.add(0, 1, {1e20, 0.0});   // row max explodes
+  const CompressedMatrix degraded_c = degraded.compress();
+  EXPECT_FALSE(lu.refactor(degraded_c));
+  EXPECT_FALSE(lu.ok());
+  ASSERT_TRUE(lu.factor(degraded_c));
+  EXPECT_TRUE(lu.ok());
+  EXPECT_TRUE(lu.refactor(degraded_c));
+  EXPECT_FALSE(lu.determinant().is_zero());
+}
+
+TEST(SparseLu, MinAbsPivotMeaningful) {
+  // dim 0: the empty pivot product has no smallest factor -> +infinity.
+  TripletMatrix empty(0);
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(empty));
+  EXPECT_TRUE(std::isinf(lu.min_abs_pivot()));
+
+  TripletMatrix m(2);
+  m.add(0, 0, {3.0, 0.0});
+  m.add(1, 1, {0.25, 0.0});
+  SparseLu lu2;
+  ASSERT_TRUE(lu2.factor(m));
+  EXPECT_NEAR(lu2.min_abs_pivot(), 0.25, 1e-15);
 }
 
 // Parameterized sweep over sizes: solve + determinant sanity on circuit-like

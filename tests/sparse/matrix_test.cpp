@@ -69,5 +69,40 @@ TEST(CompressedMatrix, MultiplyMatchesDense) {
   EXPECT_EQ(y[2], Complex(-2.0, 0.0));
 }
 
+TEST(PatternedMatrix, MergesDuplicatesIntoSortedPattern) {
+  // Two stamps at (0,0) merge; rows come out column-sorted like compress().
+  PatternedMatrix pattern(2, {{0, 0, 1.0, 0.0},
+                              {0, 0, 2.0, 3.0},
+                              {1, 1, 0.5, 0.0},
+                              {1, 0, -0.5, 0.0},
+                              {0, 1, 0.0, -3.0}});
+  const CompressedMatrix& m = pattern.assemble(Complex(0.0, 2.0), 1.0, 1.0);
+  EXPECT_EQ(m.dim, 2);
+  EXPECT_EQ(m.nonzeros(), 4u);
+  EXPECT_EQ(m.at(0, 0), Complex(3.0, 0.0) + Complex(0.0, 2.0) * 3.0);
+  EXPECT_EQ(m.at(0, 1), Complex(0.0, 2.0) * -3.0);
+  EXPECT_EQ(m.at(1, 0), Complex(-0.5, 0.0));
+  EXPECT_EQ(m.at(1, 1), Complex(0.5, 0.0));
+  const std::vector<int> cols_before = m.cols;
+
+  // Re-assembly rewrites values only: the layout (and therefore any cached
+  // factorization plan pointing at it) stays put, even where values become
+  // exact zeros.
+  const CompressedMatrix& again = pattern.assemble(Complex(0.0, 0.0), 1.0, 1.0);
+  EXPECT_EQ(again.cols, cols_before);
+  EXPECT_EQ(again.nonzeros(), 4u);
+  EXPECT_EQ(again.at(0, 1), Complex(0.0, 0.0));  // structural zero is kept
+  EXPECT_EQ(again.at(0, 0), Complex(3.0, 0.0));
+}
+
+TEST(PatternedMatrix, AppliesScaleFactors) {
+  PatternedMatrix pattern(1, {{0, 0, 2.0, 5.0}});
+  const double f = 1e9;
+  const double g = 1e-2;
+  const Complex s(0.25, -0.5);
+  const CompressedMatrix& m = pattern.assemble(s, f, g);
+  EXPECT_EQ(m.at(0, 0), g * 2.0 + s * (f * 5.0));
+}
+
 }  // namespace
 }  // namespace symref::sparse
