@@ -6,25 +6,34 @@
 // factors", which would amplify the evaluation error of N and D at the
 // interpolation points. The table reports the largest scale factor each
 // policy needed and the worst sample-evaluation noise it caused.
+// Flags: --json <path> selects the metrics file (default BENCH_refgen.json).
 #include <cstdio>
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <string>
 
 #include "circuits/ua741.h"
 #include "refgen/adaptive.h"
+#include "support/bench_json.h"
+#include "support/cli.h"
 #include "support/table.h"
 
 namespace {
 
 struct Row {
   const char* label;
+  const char* key;
   symref::refgen::AdaptiveResult result;
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const symref::support::CliArgs args(argc, argv, {"json"});
+  const std::string json_path = args.get("json", symref::support::kBenchJsonPath);
+  std::map<std::string, double> json_metrics;
   std::printf("=== Ablation A2: eq. (13) simultaneous scaling vs single-factor ===\n\n");
 
   const auto ua = symref::circuits::ua741();
@@ -35,8 +44,9 @@ int main() {
   frequency_only.simultaneous_scaling = false;
 
   Row rows[] = {
-      {"f and g split (eq. 13)", symref::refgen::generate_reference(ua, spec, simultaneous)},
-      {"f only", symref::refgen::generate_reference(ua, spec, frequency_only)},
+      {"f and g split (eq. 13)", "split",
+       symref::refgen::generate_reference(ua, spec, simultaneous)},
+      {"f only", "fonly", symref::refgen::generate_reference(ua, spec, frequency_only)},
   };
 
   symref::support::TextTable table;
@@ -66,9 +76,18 @@ int main() {
         symref::support::format_sci(max_inv_g, 3),
         symref::support::format_sci(worst_noise, 3),
     });
+    const std::string prefix = std::string("ablation_") + row.key + "_";
+    json_metrics[prefix + "iterations"] = static_cast<double>(row.result.iterations.size());
+    json_metrics[prefix + "max_f"] = max_f;
+    json_metrics[prefix + "worst_eval_noise"] = worst_noise;
   }
   std::printf("%s\n", table.str().c_str());
   std::printf("Reading: the single-factor policy needs far larger frequency factors\n");
   std::printf("(paper: beyond ~1e18), inflating the evaluation-error share of the floor.\n");
+  if (!symref::support::merge_bench_json(json_path, json_metrics)) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  } else {
+    std::printf("metrics merged into %s\n", json_path.c_str());
+  }
   return 0;
 }

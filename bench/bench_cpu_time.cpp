@@ -6,29 +6,41 @@
 // hardware-bound; the reproduction target is the *decline* driven by the
 // shrinking interpolation point count (the work per iteration is
 // points x LU cost). google-benchmark timings of the full run follow.
+//
+// Flags: --json <path> selects the metrics file (default BENCH_refgen.json);
+// --threads N additionally sweeps the adaptive run and the Bode sweep at
+// 1, 2, 4, ... up to N lanes, checks the results are bit-identical to the
+// serial path, and emits one metrics row per thread count.
 #include <benchmark/benchmark.h>
 
+#include <complex>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "circuits/ua741.h"
 #include "mna/ac.h"
 #include "refgen/adaptive.h"
 #include "support/bench_json.h"
+#include "support/cli.h"
 #include "support/table.h"
 #include "support/timer.h"
 
 namespace {
 
-/// Headline numbers merged into BENCH_refgen.json for cross-PR tracking.
+using symref::support::thread_ladder;
+
+/// Headline numbers merged into the --json file for cross-PR tracking.
 std::map<std::string, double> json_metrics;
 
 // Cached frequency sweep (one factorization plan for the whole Bode run)
 // against the per-point path (fresh simulator, fresh factorization each
 // point) — the repeated-evaluation workload the symbolic/numeric LU split
-// and pattern-cached assembly target.
-void measure_bode_sweep() {
+// and pattern-cached assembly target. With --threads > 1 the same sweep is
+// repeated over the thread ladder; every run must be bit-identical to the
+// one-lane sweep (independent plan replays + ordered reduction).
+void measure_bode_sweep(int max_threads) {
   const auto ua = symref::circuits::ua741();
   const auto spec = symref::circuits::ua741_gain_spec();
   const double f_start = 1.0;
@@ -55,9 +67,30 @@ void measure_bode_sweep() {
   json_metrics["ua741_bode_points"] = static_cast<double>(sweep.size());
   json_metrics["ua741_bode_cached_ms"] = cached_ms;
   json_metrics["ua741_bode_per_point_ms"] = per_point_ms;
+
+  if (max_threads <= 1) return;
+  std::printf("--- parallel sweep, %zu points ---\n", sweep.size());
+  bool all_identical = true;
+  for (const int threads : thread_ladder(max_threads)) {
+    const symref::mna::AcSimulator sim(ua);
+    symref::support::Timer timer;
+    const auto parallel = sim.bode(spec, f_start, f_stop, per_decade, threads);
+    const double ms = timer.millis();
+    bool identical = parallel.size() == sweep.size();
+    for (std::size_t i = 0; identical && i < sweep.size(); ++i) {
+      identical = parallel[i].value == sweep[i].value &&
+                  parallel[i].phase_deg == sweep[i].phase_deg;
+    }
+    all_identical = all_identical && identical;
+    std::printf("threads=%2d: %8.2f ms  (%.2fx vs 1 thread)  bit-identical: %s\n", threads,
+                ms, cached_ms / ms, identical ? "yes" : "NO");
+    json_metrics["ua741_bode_cached_ms_t" + std::to_string(threads)] = ms;
+  }
+  json_metrics["ua741_bode_parallel_bit_identical"] = all_identical ? 1.0 : 0.0;
+  std::printf("\n");
 }
 
-void print_iteration_costs() {
+void print_iteration_costs(int max_threads) {
   const auto ua = symref::circuits::ua741();
   const auto spec = symref::circuits::ua741_gain_spec();
 
@@ -95,6 +128,38 @@ void print_iteration_costs() {
   json_metrics["ua741_refgen_deflated_evaluations"] = deflated.total_evaluations;
   json_metrics["ua741_refgen_plain_ms"] = plain.seconds * 1e3;
   json_metrics["ua741_refgen_plain_evaluations"] = plain.total_evaluations;
+
+  if (max_threads <= 1) return;
+  // Same adaptive run across the thread ladder; coefficients must come out
+  // bit-identical to the one-lane run at every thread count (independent
+  // replays of the per-iteration baseline plan, ordered reductions).
+  std::printf("--- parallel adaptive run (deflated) ---\n");
+  bool all_identical = true;
+  for (const int threads : thread_ladder(max_threads)) {
+    symref::refgen::AdaptiveOptions options;
+    options.threads = threads;
+    symref::support::Timer timer;
+    const auto result = symref::refgen::generate_reference(ua, spec, options);
+    const double ms = timer.millis();
+    bool identical = result.total_evaluations == deflated.total_evaluations &&
+                     result.iterations.size() == deflated.iterations.size();
+    auto same_poly = [&](const symref::refgen::PolynomialReference& a,
+                         const symref::refgen::PolynomialReference& b) {
+      for (int i = 0; i <= a.order_bound(); ++i) {
+        if (!(a.at(i).value == b.at(i).value)) return false;
+      }
+      return true;
+    };
+    identical = identical &&
+                same_poly(result.reference.numerator(), deflated.reference.numerator()) &&
+                same_poly(result.reference.denominator(), deflated.reference.denominator());
+    all_identical = all_identical && identical;
+    std::printf("threads=%2d: %8.2f ms  (%.2fx vs 1 thread)  bit-identical: %s\n", threads,
+                ms, (deflated.seconds * 1e3) / ms, identical ? "yes" : "NO");
+    json_metrics["ua741_refgen_deflated_ms_t" + std::to_string(threads)] = ms;
+  }
+  json_metrics["ua741_refgen_parallel_bit_identical"] = all_identical ? 1.0 : 0.0;
+  std::printf("\n");
 }
 
 void BM_Ua741ReferenceDeflated(benchmark::State& state) {
@@ -122,12 +187,15 @@ BENCHMARK(BM_Ua741ReferencePlain)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_iteration_costs();
-  measure_bode_sweep();
-  if (!symref::support::merge_bench_json(symref::support::kBenchJsonPath, json_metrics)) {
-    std::fprintf(stderr, "warning: could not write %s\n", symref::support::kBenchJsonPath);
+  const symref::support::CliArgs args(argc, argv, {"json", "threads"});
+  const std::string json_path = args.get("json", symref::support::kBenchJsonPath);
+  const int max_threads = args.get_int("threads", 1);
+  print_iteration_costs(max_threads);
+  measure_bode_sweep(max_threads);
+  if (!symref::support::merge_bench_json(json_path, json_metrics)) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
   } else {
-    std::printf("metrics merged into %s\n\n", symref::support::kBenchJsonPath);
+    std::printf("metrics merged into %s\n\n", json_path.c_str());
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -6,18 +6,26 @@
 // exactly and recovered through the IDFT; the table reports the worst
 // recovery error of the *zero* coefficients (pure noise) relative to the
 // largest coefficient — the quantity the paper pins at ~1e-13.
+// Flags: --json <path> selects the metrics file (default BENCH_refgen.json).
 #include <cstdio>
 
 #include <cmath>
 #include <complex>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "numeric/dft.h"
 #include "numeric/polynomial.h"
+#include "support/bench_json.h"
+#include "support/cli.h"
 #include "support/random.h"
 #include "support/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const symref::support::CliArgs args(argc, argv, {"json"});
+  const std::string json_path = args.get("json", symref::support::kBenchJsonPath);
+  std::map<std::string, double> json_metrics;
   std::printf("=== §2.2: round-off floor of unit-circle interpolation ===\n\n");
 
   symref::support::Rng rng(7);
@@ -53,10 +61,16 @@ int main() {
         symref::support::format_sci(worst_noise / max_coeff, 3),
         "~1e-13 .. 1e-16",
     });
+    if (spread == 12.0) json_metrics["error_floor_spread12_rel"] = worst_noise / max_coeff;
   }
   std::printf("%s\n", table.str().c_str());
   std::printf("Consequence (paper): any true coefficient more than ~13 decades below the\n");
   std::printf("largest one is unrecoverable at one scaling; with sigma=6 demanded digits\n");
   std::printf("the usable window per interpolation is ~7 decades.\n");
+  if (!symref::support::merge_bench_json(json_path, json_metrics)) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  } else {
+    std::printf("metrics merged into %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -5,11 +5,15 @@
 // zero fill), so total work should grow roughly as n^2 with a small number
 // of iterations independent of n. google-benchmark timings per size follow
 // the summary table.
+// Flags: --json <path> selects the metrics file (default BENCH_refgen.json);
+// --threads N re-runs the ladder-128 generation across 1, 2, 4, ... N lanes
+// and emits one metrics row per thread count.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "circuits/ladder.h"
 #include "circuits/ua741.h"
@@ -17,12 +21,15 @@
 #include "netlist/canonical.h"
 #include "refgen/adaptive.h"
 #include "support/bench_json.h"
+#include "support/cli.h"
 #include "support/table.h"
 #include "support/timer.h"
 
 namespace {
 
-void print_summary() {
+using symref::support::thread_ladder;
+
+void print_summary(const std::string& json_path, int max_threads) {
   std::map<std::string, double> json_metrics;
   std::printf("=== Ablation A4: adaptive reference generation vs ladder size ===\n\n");
   symref::support::TextTable table;
@@ -69,10 +76,29 @@ void print_summary() {
     json_metrics["ua741_evaluate_us"] = micros;
   }
 
-  if (!symref::support::merge_bench_json(symref::support::kBenchJsonPath, json_metrics)) {
-    std::fprintf(stderr, "warning: could not write %s\n", symref::support::kBenchJsonPath);
+  if (max_threads > 1) {
+    // Largest ladder across the thread ladder: the per-iteration point
+    // batches grow with n, so this is the best-scaling refgen workload.
+    std::printf("--- ladder-128 reference generation, parallel ---\n");
+    const auto ladder = symref::circuits::rc_ladder(128);
+    const auto spec = symref::circuits::rc_ladder_spec(128);
+    for (const int threads : thread_ladder(max_threads)) {
+      symref::refgen::AdaptiveOptions options;
+      options.threads = threads;
+      symref::support::Timer timer;
+      const auto result = symref::refgen::generate_reference(ladder, spec, options);
+      const double ms = timer.millis();
+      std::printf("threads=%2d: %8.2f ms (%d evaluations)\n", threads, ms,
+                  result.total_evaluations);
+      json_metrics["ladder128_refgen_ms_t" + std::to_string(threads)] = ms;
+    }
+    std::printf("\n");
+  }
+
+  if (!symref::support::merge_bench_json(json_path, json_metrics)) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
   } else {
-    std::printf("metrics merged into %s\n\n", symref::support::kBenchJsonPath);
+    std::printf("metrics merged into %s\n\n", json_path.c_str());
   }
 }
 
@@ -107,7 +133,9 @@ BENCHMARK(BM_Ua741SparseLuPerPoint)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_summary();
+  const symref::support::CliArgs args(argc, argv, {"json", "threads"});
+  print_summary(args.get("json", symref::support::kBenchJsonPath),
+                args.get_int("threads", 1));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

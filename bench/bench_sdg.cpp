@@ -5,16 +5,25 @@
 // reference within eps_k. The table shows, for the OTA's determinant
 // coefficients, how many terms each eps needs — the whole point of having
 // an accurate reference is that this stopping rule becomes trustworthy.
+// Flags: --json <path> selects the metrics file (default BENCH_refgen.json).
 #include <cstdio>
+
+#include <map>
+#include <string>
 
 #include "circuits/ota.h"
 #include "netlist/canonical.h"
 #include "refgen/adaptive.h"
+#include "support/bench_json.h"
+#include "support/cli.h"
 #include "support/table.h"
 #include "symbolic/det.h"
 #include "symbolic/sdg.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const symref::support::CliArgs args(argc, argv, {"json"});
+  const std::string json_path = args.get("json", symref::support::kBenchJsonPath);
+  std::map<std::string, double> json_metrics;
   std::printf("=== Ablation A5: SDG term counts vs eq. (3) epsilon (OTA) ===\n\n");
 
   const auto ota = symref::circuits::ota_fig1();
@@ -49,6 +58,10 @@ int main() {
           symref::symbolic::generate_determinant_terms(matrix, k, den.at(k).value, options);
       row.push_back(std::to_string(result.generated()) +
                     (result.met ? "" : " (!" + result.termination + ")"));
+      if (eps == 1e-3) {
+        json_metrics["sdg_terms_eps1e3_s" + std::to_string(k)] =
+            static_cast<double>(result.generated());
+      }
     }
     symref::symbolic::SdgOptions exact;
     exact.epsilon = 0.0;
@@ -62,5 +75,11 @@ int main() {
   std::printf("Reading: a handful of dominant terms reproduces each coefficient to 10%%;\n");
   std::printf("the exhausted stream matches the interpolated reference (last column ~ the\n");
   std::printf("engine's own accuracy), closing the SDG <-> reference loop end to end.\n");
+  json_metrics["sdg_reference_complete"] = reference.complete ? 1.0 : 0.0;
+  if (!symref::support::merge_bench_json(json_path, json_metrics)) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  } else {
+    std::printf("metrics merged into %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -4,21 +4,26 @@
 // element per greedy round; the adjoint method ranks ALL elements with two
 // extra solves per frequency. This bench measures both the agreement (same
 // prune set) and the cost difference on the µA741.
+// Flags: --json <path> selects the metrics file (default BENCH_refgen.json).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "circuits/ua741.h"
 #include "mna/sensitivity.h"
 #include "netlist/canonical.h"
 #include "refgen/adaptive.h"
+#include "support/bench_json.h"
+#include "support/cli.h"
 #include "support/table.h"
 #include "support/timer.h"
 #include "symbolic/sbg.h"
 
 namespace {
 
-void print_agreement() {
+void print_agreement(const std::string& json_path) {
   const auto ua = symref::circuits::ua741();
   const auto spec = symref::circuits::ua741_gain_spec();
   const auto reference = symref::refgen::generate_reference(ua, spec);
@@ -72,6 +77,18 @@ void print_agreement() {
     if (brute.actions[i].element == screened.actions[i].element) ++agree;
   }
   std::printf("prune-sequence agreement: %d of %zu actions identical\n\n", agree, common);
+  const std::map<std::string, double> json_metrics = {
+      {"sensitivity_rank_ms", rank_ms},
+      {"sbg_brute_ms", brute_ms},
+      {"sbg_screened_ms", screened_ms},
+      {"sbg_prune_agreement", common == 0 ? 1.0 : static_cast<double>(agree) /
+                                                      static_cast<double>(common)},
+  };
+  if (!symref::support::merge_bench_json(json_path, json_metrics)) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  } else {
+    std::printf("metrics merged into %s\n\n", json_path.c_str());
+  }
   std::printf("Reading: the adjoint ranking itself is ~1000x cheaper than one greedy SBG\n");
   std::printf("round, and screening provably never changes the prune sequence. On the 741\n");
   std::printf("only a minority of elements exceed the exclusion threshold, so end-to-end\n");
@@ -92,7 +109,8 @@ BENCHMARK(BM_AdjointBandRanking)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_agreement();
+  const symref::support::CliArgs args(argc, argv, {"json"});
+  print_agreement(args.get("json", symref::support::kBenchJsonPath));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,14 +5,23 @@
 // windows, hence more interpolations. The paper fixes sigma = 6; this table
 // shows the trade-off on the µA741 and validates each run's accuracy via
 // the Fig. 2 Bode comparison.
+// Flags: --json <path> selects the metrics file (default BENCH_refgen.json).
 #include <cstdio>
+
+#include <map>
+#include <string>
 
 #include "circuits/ua741.h"
 #include "refgen/adaptive.h"
 #include "refgen/validate.h"
+#include "support/bench_json.h"
+#include "support/cli.h"
 #include "support/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const symref::support::CliArgs args(argc, argv, {"json"});
+  const std::string json_path = args.get("json", symref::support::kBenchJsonPath);
+  std::map<std::string, double> json_metrics;
   std::printf("=== Ablation A6: significant digits sigma vs work/accuracy (uA741) ===\n\n");
 
   const auto ua = symref::circuits::ua741();
@@ -38,10 +47,20 @@ int main() {
         std::to_string(result.total_evaluations),
         result.complete ? symref::support::format_sci(bode_error, 3) : "-",
     });
+    if (sigma == 6) {
+      json_metrics["sigma6_iterations"] = static_cast<double>(result.iterations.size());
+      json_metrics["sigma6_evaluations"] = result.total_evaluations;
+      json_metrics["sigma6_bode_error_db"] = bode_error;
+    }
   }
   std::printf("%s\n", table.str().c_str());
   std::printf("Reading: the paper's sigma = 6 balances window width (7 decades) against\n");
   std::printf("coefficient quality; sigma >= 10 narrows windows to 3 decades and the\n");
   std::printf("iteration count grows accordingly.\n");
+  if (!symref::support::merge_bench_json(json_path, json_metrics)) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  } else {
+    std::printf("metrics merged into %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -9,13 +9,19 @@
 //
 // The paper's polynomial-order estimate for this circuit is 9 (capacitor
 // count), so both interpolations use 10 points.
+// Flags: --json <path> selects the metrics file (default BENCH_refgen.json).
 #include <cstdio>
+
+#include <map>
+#include <string>
 
 #include "circuits/ota.h"
 #include "interp/region.h"
 #include "mna/nodal.h"
 #include "netlist/canonical.h"
 #include "refgen/naive.h"
+#include "support/bench_json.h"
+#include "support/cli.h"
 #include "support/table.h"
 
 namespace {
@@ -49,7 +55,9 @@ void print_table(const char* title, const BaselineResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const symref::support::CliArgs args(argc, argv, {"json"});
+  const std::string json_path = args.get("json", symref::support::kBenchJsonPath);
   std::printf("=== Table 1: OTA differential voltage gain coefficients ===\n");
   std::printf("(paper: Garcia-Vargas et al., DATE 1997; '*' = above error level,\n");
   std::printf(" the paper's shaded cells)\n\n");
@@ -77,5 +85,14 @@ int main() {
               naive.denominator_region.width());
   std::printf("  scaled   valid denominator coefficients : %d (paper: low-order block)\n",
               scaled.denominator_region.width());
+  const std::map<std::string, double> json_metrics = {
+      {"table1_unscaled_den_width", static_cast<double>(naive.denominator_region.width())},
+      {"table1_scaled_den_width", static_cast<double>(scaled.denominator_region.width())},
+  };
+  if (!symref::support::merge_bench_json(json_path, json_metrics)) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  } else {
+    std::printf("metrics merged into %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -10,11 +10,17 @@
 // published); the structure — region locations, widths, normalized
 // magnitudes around 1e+100, denormalized values spanning hundreds of
 // decades — is the reproduction target.
+// Flags: --json <path> selects the metrics file (default BENCH_refgen.json).
 #include <cstdio>
+
+#include <map>
+#include <string>
 
 #include "circuits/ua741.h"
 #include "refgen/adaptive.h"
 #include "refgen/naive.h"
+#include "support/bench_json.h"
+#include "support/cli.h"
 #include "support/table.h"
 
 namespace {
@@ -48,7 +54,9 @@ void print_iteration(const char* title, const IterationRecord& it, int den_degre
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const symref::support::CliArgs args(argc, argv, {"json"});
+  const std::string json_path = args.get("json", symref::support::kBenchJsonPath);
   std::printf("=== Table 2: uA741 voltage-gain denominator, adaptive iterations ===\n");
   std::printf("('*' = inside the valid region / the paper's shaded cells)\n\n");
 
@@ -74,5 +82,15 @@ int main() {
   std::printf("paper shape: first region p0..p12 of 49, second p13..p30;\n");
   std::printf("this model:  see regions above (order bound %d)\n",
               result.reference.denominator().order_bound());
+  const std::map<std::string, double> json_metrics = {
+      {"table2_iterations", static_cast<double>(result.iterations.size())},
+      {"table2_evaluations", static_cast<double>(result.total_evaluations)},
+      {"table2_ms", result.seconds * 1e3},
+  };
+  if (!symref::support::merge_bench_json(json_path, json_metrics)) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  } else {
+    std::printf("metrics merged into %s\n", json_path.c_str());
+  }
   return 0;
 }

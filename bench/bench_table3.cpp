@@ -1,14 +1,22 @@
 // Reproduces paper Table 3: the remaining µA741 denominator coefficients
 // from the third (and any later) adaptive interpolation, completing the set
 // started in Table 2, plus the full assembled coefficient list.
+// Flags: --json <path> selects the metrics file (default BENCH_refgen.json).
 #include <cstdio>
+
+#include <map>
+#include <string>
 
 #include "circuits/ua741.h"
 #include "refgen/adaptive.h"
 #include "refgen/naive.h"
+#include "support/bench_json.h"
+#include "support/cli.h"
 #include "support/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const symref::support::CliArgs args(argc, argv, {"json"});
+  const std::string json_path = args.get("json", symref::support::kBenchJsonPath);
   std::printf("=== Table 3: uA741 denominator, remaining interpolations ===\n\n");
 
   const auto ua = symref::circuits::ua741();
@@ -61,5 +69,15 @@ int main() {
               den.order_bound() + 1,
               den.at(0).value.log10_abs() -
                   den.at(den.effective_order()).value.log10_abs());
+  const std::map<std::string, double> json_metrics = {
+      {"table3_den_coefficients", static_cast<double>(den.order_bound() + 1)},
+      {"table3_decades_spread", den.at(0).value.log10_abs() -
+                                    den.at(den.effective_order()).value.log10_abs()},
+  };
+  if (!symref::support::merge_bench_json(json_path, json_metrics)) {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  } else {
+    std::printf("metrics merged into %s\n", json_path.c_str());
+  }
   return 0;
 }

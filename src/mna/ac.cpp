@@ -1,7 +1,10 @@
 #include "mna/ac.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "support/thread_pool.h"
 
 namespace symref::mna {
 
@@ -54,15 +57,25 @@ AcSimulator::SpecCache& AcSimulator::prepare(const TransferSpec& spec) const {
     cache->in_pos_row = cache->assembler->node_index(spec.in_pos).value_or(-1);
     cache->in_neg_row = cache->assembler->node_index(spec.in_neg).value_or(-1);
   }
+  // Resolve the output pair once; a row of -1 reads as 0 V (ground or a node
+  // no element touches).
+  auto out_row = [&](const std::string& name) -> int {
+    if (cache->work.find_node(name) == std::nullopt) {
+      throw std::runtime_error("AcSimulator: unknown node '" + name + "'");
+    }
+    return cache->assembler->node_index(name).value_or(-1);
+  };
+  cache->out_pos_row = out_row(spec.out_pos);
+  cache->out_neg_row = out_row(spec.out_neg);
   cache_ = std::move(cache);
   return *cache_;
 }
 
-std::complex<double> AcSimulator::transfer_s(const TransferSpec& spec,
-                                             std::complex<double> s) const {
-  SpecCache& cache = prepare(spec);
-
-  std::vector<std::complex<double>> rhs(static_cast<std::size_t>(cache.assembler->dim()));
+std::complex<double> AcSimulator::solve_point(const SpecCache& cache, MnaAssembler& assembler,
+                                              sparse::SparseLu& lu,
+                                              std::vector<std::complex<double>>& rhs,
+                                              bool persist_plan, std::complex<double> s) const {
+  rhs.assign(static_cast<std::size_t>(assembler.dim()), std::complex<double>());
   if (cache.drive_branch >= 0) {
     rhs[static_cast<std::size_t>(cache.drive_branch)] = 1.0;
   } else {
@@ -71,21 +84,31 @@ std::complex<double> AcSimulator::transfer_s(const TransferSpec& spec,
   }
 
   // Pattern-cached assembly, then the plan replay; a fresh Markowitz
-  // factorization only on the first point of a sweep (or degraded pivots).
-  const sparse::CompressedMatrix& matrix = cache.assembler->assemble(s);
-  if (!cache.lu.refactor(matrix) && !cache.lu.factor(matrix)) {
-    throw std::runtime_error("AcSimulator: singular MNA system");
-  }
-  cache.lu.solve(rhs);
-
-  auto voltage = [&](const std::string& name) -> std::complex<double> {
-    if (cache.work.find_node(name) == std::nullopt) {
-      throw std::runtime_error("AcSimulator: unknown node '" + name + "'");
+  // factorization only when there is no plan yet or the reused pivots
+  // degraded at this point.
+  const sparse::CompressedMatrix& matrix = assembler.assemble(s);
+  const sparse::SparseLu* solver = &lu;
+  sparse::SparseLu throwaway;
+  if (!lu.refactor(matrix)) {
+    sparse::SparseLu& fresh = persist_plan ? lu : throwaway;
+    if (!fresh.factor(matrix)) {
+      throw std::runtime_error("AcSimulator: singular MNA system");
     }
-    const auto row = cache.assembler->node_index(name);
-    return row ? rhs[static_cast<std::size_t>(*row)] : std::complex<double>(0.0, 0.0);
+    solver = &fresh;
+  }
+  solver->solve(rhs);
+
+  auto voltage = [&](int row) -> std::complex<double> {
+    return row < 0 ? std::complex<double>(0.0, 0.0) : rhs[static_cast<std::size_t>(row)];
   };
-  return voltage(spec.out_pos) - voltage(spec.out_neg);
+  return voltage(cache.out_pos_row) - voltage(cache.out_neg_row);
+}
+
+std::complex<double> AcSimulator::transfer_s(const TransferSpec& spec,
+                                             std::complex<double> s) const {
+  SpecCache& cache = prepare(spec);
+  std::vector<std::complex<double>> rhs;
+  return solve_point(cache, *cache.assembler, cache.lu, rhs, /*persist_plan=*/true, s);
 }
 
 std::complex<double> AcSimulator::transfer(const TransferSpec& spec, double frequency_hz) const {
@@ -108,16 +131,67 @@ std::vector<double> log_frequency_grid(double f_start_hz, double f_stop_hz,
 }
 
 std::vector<BodePoint> AcSimulator::bode(const TransferSpec& spec, double f_start_hz,
-                                         double f_stop_hz, int points_per_decade) const {
+                                         double f_stop_hz, int points_per_decade,
+                                         int threads) const {
   const std::vector<double> grid = log_frequency_grid(f_start_hz, f_stop_hz, points_per_decade);
+  SpecCache& cache = prepare(spec);
+  auto s_of = [](double f) { return std::complex<double>(0.0, kTwoPi * f); };
+
+  // The first point runs on the caller with the cache's own state, creating
+  // (or refreshing) the factorization plan every other point replays.
+  std::vector<std::complex<double>> values(grid.size());
+  std::vector<std::complex<double>> rhs;
+  values[0] = solve_point(cache, *cache.assembler, cache.lu, rhs, /*persist_plan=*/true,
+                          s_of(grid[0]));
+
+  if (grid.size() > 1) {
+    // Per-lane clones: pattern-cached assembler values + SparseLu numeric
+    // workspace, sharing the immutable symbolic plan. Non-persisting
+    // fallback keeps every point a pure function of (plan, frequency), so
+    // the sweep is bit-identical at any thread count — the single-lane path
+    // below is the same code with one clone.
+    struct Lane {
+      MnaAssembler assembler;
+      sparse::SparseLu lu;
+      std::vector<std::complex<double>> rhs;
+    };
+    // <= 0 picks the hardware thread count (same convention as
+    // AdaptiveOptions::threads and ThreadPool); never more lanes than
+    // remaining points.
+    const int requested = threads <= 0 ? support::ThreadPool::hardware_threads() : threads;
+    const int lane_count =
+        static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(requested),
+                                               grid.size() - 1));
+    std::vector<Lane> lanes;
+    lanes.reserve(static_cast<std::size_t>(lane_count));
+    for (int i = 0; i < lane_count; ++i) {
+      lanes.push_back(Lane{*cache.assembler, cache.lu, {}});
+    }
+    auto body = [&](std::size_t begin, std::size_t end, int lane) {
+      Lane& state = lanes[static_cast<std::size_t>(lane)];
+      for (std::size_t i = begin; i < end; ++i) {
+        values[i + 1] = solve_point(cache, state.assembler, state.lu, state.rhs,
+                                    /*persist_plan=*/false, s_of(grid[i + 1]));
+      }
+    };
+    if (lane_count == 1) {
+      body(0, grid.size() - 1, 0);
+    } else {
+      support::ThreadPool pool(lane_count);
+      pool.parallel_for(grid.size() - 1, body);
+    }
+  }
+
+  // Ordered reduction on the caller: dB conversion and phase unwrapping walk
+  // the values in frequency order regardless of which lane produced them.
   std::vector<BodePoint> points;
   points.reserve(grid.size());
   double previous_phase = 0.0;
   bool first = true;
-  for (const double f : grid) {
+  for (std::size_t i = 0; i < grid.size(); ++i) {
     BodePoint p;
-    p.frequency_hz = f;
-    p.value = transfer(spec, f);
+    p.frequency_hz = grid[i];
+    p.value = values[i];
     p.magnitude_db = magnitude_db(p.value);
     double phase = phase_deg(p.value);
     if (!first) {

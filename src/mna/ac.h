@@ -43,8 +43,10 @@ class AcSimulator {
   /// The driven circuit and its assembler are built once per TransferSpec
   /// and cached; subsequent points of the same spec reuse the structural
   /// pattern and sweep via SparseLu::refactor() instead of re-assembling
-  /// and re-pivoting. The cache makes the simulator non-reentrant: do not
-  /// share one instance across threads.
+  /// and re-pivoting. The cache makes the simulator non-reentrant (do not
+  /// share one instance across threads) and snapshots the circuit at the
+  /// first query per spec: mutate the circuit only through a fresh
+  /// simulator, or results keep reflecting the old values.
   [[nodiscard]] std::complex<double> transfer(const TransferSpec& spec, double frequency_hz) const;
 
   /// Transfer at a complex frequency s (rad/s), for cross-checks against
@@ -54,8 +56,20 @@ class AcSimulator {
 
   /// Sweep with log-spaced points; magnitude_db and unwrapped phase_deg are
   /// filled in. One factorization for the whole sweep (plus refactors).
+  ///
+  /// `threads` > 1 distributes the per-point solves over a thread pool: the
+  /// first point establishes the factorization plan on the caller, then each
+  /// lane clones the pattern-cached assembler values and the SparseLu
+  /// numeric workspace (sharing the immutable plan) and sweeps its chunk. A
+  /// point whose replayed pivots degrade re-factors on a throwaway instance,
+  /// so per-point values depend only on (plan, frequency) — the sweep is
+  /// bit-identical at every thread count. Phase unwrapping runs afterwards
+  /// on the caller in frequency order (deterministic ordered reduction).
+  /// `threads` <= 0 picks the hardware thread count (the ThreadPool
+  /// convention); 1 is the serial path.
   [[nodiscard]] std::vector<BodePoint> bode(const TransferSpec& spec, double f_start_hz,
-                                            double f_stop_hz, int points_per_decade = 10) const;
+                                            double f_stop_hz, int points_per_decade = 10,
+                                            int threads = 1) const;
 
  private:
   /// Per-spec sweep state: the drive-augmented circuit copy, its assembler
@@ -68,9 +82,22 @@ class AcSimulator {
     int drive_branch = -1;  // VoltageGain: row of the 1 V drive constraint
     int in_pos_row = -1;    // Transimpedance: injection rows (-1 = ground)
     int in_neg_row = -1;
+    int out_pos_row = -1;   // output pair rows (-1 = ground)
+    int out_neg_row = -1;
   };
 
   SpecCache& prepare(const TransferSpec& spec) const;
+
+  /// One point with an explicit assembler + LU (the cache's own, or a
+  /// per-lane clone). Refactors against the existing plan; on refusal either
+  /// persists a fresh factorization in `lu` (persist_plan — the serial
+  /// cache path) or keeps the plan and factors a throwaway instance (the
+  /// parallel lanes).
+  [[nodiscard]] std::complex<double> solve_point(const SpecCache& cache,
+                                                 MnaAssembler& assembler, sparse::SparseLu& lu,
+                                                 std::vector<std::complex<double>>& rhs,
+                                                 bool persist_plan,
+                                                 std::complex<double> s) const;
 
   const netlist::Circuit& circuit_;
   mutable std::unique_ptr<SpecCache> cache_;

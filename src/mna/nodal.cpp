@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <stdexcept>
 
 #include "netlist/canonical.h"
 #include "numeric/stats.h"
 #include "sparse/lu.h"
+#include "support/thread_pool.h"
 
 namespace symref::mna {
 
@@ -146,15 +148,77 @@ CofactorEvaluator::CofactorEvaluator(const NodalSystem& system, const TransferSp
 
 CofactorEvaluator::Sample CofactorEvaluator::evaluate(std::complex<double> s_hat,
                                                       double f_scale, double g_scale) const {
-  Sample sample;
   // Pattern-cached assembly (values rewritten in place), then static-pivot
   // refactorization (same pattern across points); fall back to a full
-  // Markowitz factorization when the reused pivots degrade.
+  // Markowitz factorization when the reused pivots degrade. The fallback
+  // persists its plan in lu_, so later points (and batches) replay it.
   const sparse::CompressedMatrix& compressed = assembly_.assemble(s_hat, f_scale, g_scale);
   if (!lu_.refactor(compressed) && !lu_.factor(compressed)) {
-    return sample;  // singular at this point; caller will retry/adjust
+    return Sample{};  // singular at this point; caller will retry/adjust
   }
-  sparse::SparseLu& lu = lu_;
+  std::vector<std::complex<double>> rhs;
+  return finish_sample(lu_, rhs);
+}
+
+CofactorEvaluator::Sample CofactorEvaluator::evaluate_in(EvalContext& context,
+                                                         std::complex<double> s_hat,
+                                                         double f_scale, double g_scale) const {
+  const sparse::CompressedMatrix& compressed =
+      context.assembly.assemble(s_hat, f_scale, g_scale);
+  if (context.lu.refactor(compressed)) {
+    return finish_sample(context.lu, context.rhs);
+  }
+  // Degraded replay: fresh Markowitz factorization for this point only. The
+  // throwaway instance keeps the context's baseline plan untouched, so the
+  // next point in the chunk sees exactly what it would see in any other
+  // evaluation order.
+  sparse::SparseLu fresh;
+  if (!fresh.factor(compressed)) return Sample{};
+  return finish_sample(fresh, context.rhs);
+}
+
+std::vector<CofactorEvaluator::Sample> CofactorEvaluator::evaluate_batch(
+    const std::vector<std::complex<double>>& s_hats, double f_scale, double g_scale,
+    support::ThreadPool* pool) const {
+  std::vector<Sample> samples(s_hats.size());
+  if (s_hats.empty()) return samples;
+
+  // Point 0 on the caller, with the member state: identical plan evolution
+  // to a serial evaluate() loop at iteration granularity (a degraded or
+  // missing plan is refreshed here, once, for the whole batch).
+  samples[0] = evaluate(s_hats[0], f_scale, g_scale);
+  if (s_hats.size() == 1) return samples;
+
+  // One context slot per pool lane, cloned lazily on the lane's first chunk
+  // (a slot is only ever touched by its own lane): a wide pool driving a
+  // short batch does not pay for clones that never receive work. Each clone
+  // copies the value arrays and the numeric LU workspace; the symbolic plan
+  // inside lu_ is shared read-only across all lanes.
+  const int lanes = pool != nullptr ? pool->size() : 1;
+  std::vector<std::unique_ptr<EvalContext>> contexts(static_cast<std::size_t>(lanes));
+
+  // Per-point contract even when point 0 was singular (no baseline plan):
+  // evaluate_in then skips the replay and runs a fresh throwaway
+  // factorization per point, which depends only on the point's values —
+  // still deterministic at any thread count, and healthy points succeed.
+  auto body = [&](std::size_t begin, std::size_t end, int lane) {
+    std::unique_ptr<EvalContext>& slot = contexts[static_cast<std::size_t>(lane)];
+    if (!slot) slot = std::make_unique<EvalContext>(EvalContext{assembly_, lu_, {}});
+    for (std::size_t i = begin; i < end; ++i) {
+      samples[i + 1] = evaluate_in(*slot, s_hats[i + 1], f_scale, g_scale);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(s_hats.size() - 1, body);
+  } else {
+    body(0, s_hats.size() - 1, 0);
+  }
+  return samples;
+}
+
+CofactorEvaluator::Sample CofactorEvaluator::finish_sample(
+    const sparse::SparseLu& lu, std::vector<std::complex<double>>& rhs) const {
+  Sample sample;
   const numeric::ScaledComplex det = lu.determinant();
   constexpr double kMachineEpsilon = 2.220446049250313e-16;
   const double min_pivot = lu.min_abs_pivot();
@@ -163,7 +227,7 @@ CofactorEvaluator::Sample CofactorEvaluator::evaluate(std::complex<double> s_hat
                                : kMachineEpsilon,
                kMachineEpsilon);
 
-  std::vector<std::complex<double>> rhs(static_cast<std::size_t>(system_.dim()));
+  rhs.assign(static_cast<std::size_t>(system_.dim()), std::complex<double>());
   if (in_pos_ >= 0) rhs[static_cast<std::size_t>(in_pos_)] += 1.0;
   if (in_neg_ >= 0) rhs[static_cast<std::size_t>(in_neg_)] -= 1.0;
   lu.solve(rhs);

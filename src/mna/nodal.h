@@ -32,6 +32,10 @@
 #include "sparse/lu.h"
 #include "sparse/matrix.h"
 
+namespace symref::support {
+class ThreadPool;
+}
+
 namespace symref::mna {
 
 /// Structural stamp and pattern-cached assembly shared with the full MNA
@@ -120,7 +124,49 @@ class CofactorEvaluator {
   [[nodiscard]] Sample evaluate(std::complex<double> s_hat, double f_scale,
                                 double g_scale) const;
 
+  /// Evaluate a whole batch of points at one (f, g) scaling — the inner loop
+  /// of one interpolation iteration, and the unit of parallelism.
+  ///
+  /// The first point runs on the caller exactly like evaluate() (persisting
+  /// a fresh factorization when the reused pivots degrade), establishing the
+  /// shared baseline plan for the batch. Every remaining point is evaluated
+  /// independently against that immutable baseline: each pool lane clones
+  /// the PatternedMatrix value arrays and the SparseLu numeric workspace
+  /// (the symbolic plan is shared read-only), and a point whose replayed
+  /// pivots degrade falls back to a throwaway fresh factorization of that
+  /// point alone. Per-point results therefore depend only on (plan, point),
+  /// never on evaluation order — the returned samples are bit-identical at
+  /// every thread count, including the serial `pool == nullptr` path.
+  ///
+  /// Results are returned in point order. A singular point yields a sample
+  /// with ok == false; other points are unaffected (when the first point
+  /// leaves no baseline plan, each remaining point runs its own fresh
+  /// factorization — still a pure function of that point alone).
+  [[nodiscard]] std::vector<Sample> evaluate_batch(
+      const std::vector<std::complex<double>>& s_hats, double f_scale, double g_scale,
+      support::ThreadPool* pool = nullptr) const;
+
  private:
+  /// Per-lane mutable state of a batch evaluation: pattern-cached assembly
+  /// values and the SparseLu numeric payload, both cloned from the members
+  /// (sharing the immutable symbolic plan), plus the solve vector.
+  struct EvalContext {
+    PatternedMatrix assembly;
+    sparse::SparseLu lu;
+    std::vector<std::complex<double>> rhs;
+  };
+
+  /// One point against the context's baseline plan: refactor, with a
+  /// throwaway fresh factorization when the replay refuses (the context's
+  /// plan is never replaced, keeping later points history-independent).
+  [[nodiscard]] Sample evaluate_in(EvalContext& context, std::complex<double> s_hat,
+                                   double f_scale, double g_scale) const;
+
+  /// Shared tail of every evaluation path: determinant, cofactor solve and
+  /// the two error proxies from an already factored system.
+  [[nodiscard]] Sample finish_sample(const sparse::SparseLu& lu,
+                                     std::vector<std::complex<double>>& rhs) const;
+
   const NodalSystem& system_;
   TransferSpec::Kind spec_kind_;
   int in_pos_ = -1;  // -1 encodes ground

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "interp/interpolator.h"
@@ -10,6 +11,7 @@
 #include "numeric/stats.h"
 #include "refgen/naive.h"
 #include "support/log.h"
+#include "support/thread_pool.h"
 #include "support/timer.h"
 
 namespace symref::refgen {
@@ -158,6 +160,12 @@ AdaptiveResult AdaptiveScalingEngine::run() {
   const mna::CofactorEvaluator evaluator(system_, spec_);
   const int circuit_bound = system_.order_bound();
 
+  // One pool for the whole run (workers persist across iterations). The
+  // samples of an iteration are the parallel unit; everything downstream
+  // (IDFT, region logic) runs on the caller in index order.
+  std::unique_ptr<support::ThreadPool> pool;
+  if (options_.threads != 1) pool = std::make_unique<support::ThreadPool>(options_.threads);
+
   PolyTracker num;
   num.degree = evaluator.numerator_degree();
   num.ref = PolynomialReference(std::min(circuit_bound, num.degree));
@@ -236,8 +244,14 @@ AdaptiveResult AdaptiveScalingEngine::run() {
       den_eval_noise = ScaledDouble(0.0);
       singular = false;
       double worst_proxy = 0.0;
-      for (const std::complex<double>& s_hat : sampler.evaluation_points()) {
-        const auto sample = evaluator.evaluate(s_hat, f, g);
+      // The whole point batch evaluates in parallel (independent replays of
+      // one shared plan, bit-identical at any thread count); the noise and
+      // retry accounting below walks the results in point order. On a
+      // singular iteration the batch still evaluates every point (the
+      // scan stops at the first failure) — the tilt hunt rarely produces
+      // one, and per-point independence is what buys the parallelism.
+      const auto batch = evaluator.evaluate_batch(sampler.evaluation_points(), f, g, pool.get());
+      for (const auto& sample : batch) {
         if (!sample.ok) {
           singular = true;
           break;
@@ -294,9 +308,19 @@ AdaptiveResult AdaptiveScalingEngine::run() {
         auto [known, subtraction_noise] = poly.known_normalized(f, g);
         noise = subtraction_noise;
         if (!known.empty() || shift > 0) {
-          for (std::size_t k = 0; k < samples.size(); ++k) {
-            samples[k] = interp::deflate_sample(samples[k], sampler.evaluation_points()[k],
-                                                known, shift);
+          // Every sample deflates independently (eq. (17) is per-point), so
+          // the subtraction parallelizes like the evaluations themselves;
+          // per-slot writes keep the result identical at any thread count.
+          auto deflate_range = [&](std::size_t begin, std::size_t end, int) {
+            for (std::size_t k = begin; k < end; ++k) {
+              samples[k] = interp::deflate_sample(samples[k], sampler.evaluation_points()[k],
+                                                  known, shift);
+            }
+          };
+          if (pool) {
+            pool->parallel_for(samples.size(), deflate_range);
+          } else {
+            deflate_range(0, samples.size(), 0);
           }
         }
       }

@@ -65,6 +65,12 @@ struct AdaptiveOptions {
   /// (§3.1: such coefficients "would not be possible to calculate
   /// correctly"; §3.3 neglects them).
   int no_progress_limit = 3;
+  /// Worker lanes for the per-iteration sample batch (the LU evaluations —
+  /// the dominant cost). 1 = serial; <= 0 picks the hardware thread count.
+  /// Results are bit-identical at every setting: samples are independent
+  /// replays of one shared factorization plan, written into per-point slots
+  /// (see CofactorEvaluator::evaluate_batch).
+  int threads = 1;
 };
 
 enum class IterationPurpose { Initial, Upward, Downward, GapRepair };

@@ -1,0 +1,36 @@
+#include "refgen/batch.h"
+
+#include <exception>
+
+#include "support/thread_pool.h"
+
+namespace symref::refgen {
+
+BatchRunner::BatchRunner(int threads) : threads_(threads) {}
+
+std::vector<BatchResult> BatchRunner::run(const std::vector<BatchJob>& jobs) const {
+  std::vector<BatchResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  support::ThreadPool pool(threads_);
+  pool.parallel_for(jobs.size(), [&](std::size_t begin, std::size_t end, int /*lane*/) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const BatchJob& job = jobs[i];
+      BatchResult& out = results[i];
+      out.label = job.label;
+      AdaptiveOptions options = job.options;
+      options.threads = 1;
+      try {
+        out.result = generate_reference(job.circuit, job.spec, options);
+        out.ok = true;
+      } catch (const std::exception& error) {
+        out.error = error.what();
+      } catch (...) {
+        out.error = "unknown error";
+      }
+    }
+  });
+  return results;
+}
+
+}  // namespace symref::refgen

@@ -1,0 +1,56 @@
+// Multi-circuit / multi-transfer reference generation.
+//
+// Batch workloads — every transfer function of one chip, a corner sweep over
+// component tolerances, the population of a circuit-sizing optimizer (the
+// DSSA-style flows in PAPERS.md evaluate thousands of candidate circuits) —
+// run many *independent* adaptive-scaling jobs. The runner executes them
+// shared-nothing: each job canonicalizes its own circuit copy, builds its
+// own NodalSystem and engine, and runs serially on one lane, so jobs never
+// contend on anything and the results are identical to running each job
+// alone (and identical at every thread count).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mna/transfer.h"
+#include "netlist/circuit.h"
+#include "refgen/adaptive.h"
+
+namespace symref::refgen {
+
+/// One independent reference-generation job.
+struct BatchJob {
+  netlist::Circuit circuit;
+  mna::TransferSpec spec;
+  AdaptiveOptions options;
+  /// Optional caller tag carried through to the result (reports, tables).
+  std::string label;
+};
+
+/// Result of one job, in job order.
+struct BatchResult {
+  std::string label;
+  AdaptiveResult result;
+  /// False when the job threw (malformed circuit/spec); `error` holds the
+  /// exception text and `result` is default-constructed. Other jobs are
+  /// unaffected.
+  bool ok = false;
+  std::string error;
+};
+
+class BatchRunner {
+ public:
+  /// `threads` <= 0 picks the hardware thread count.
+  explicit BatchRunner(int threads = 0);
+
+  /// Run every job; results come back in job order regardless of which lane
+  /// ran them. Outer parallelism owns the lanes: each job runs with
+  /// options.threads forced to 1 (nested pools would only oversubscribe).
+  [[nodiscard]] std::vector<BatchResult> run(const std::vector<BatchJob>& jobs) const;
+
+ private:
+  int threads_;
+};
+
+}  // namespace symref::refgen

@@ -13,12 +13,6 @@ namespace {
 
 using Complex = std::complex<double>;
 
-/// One entry of a row of the active submatrix during symbolic analysis.
-struct ActiveEntry {
-  int col = 0;
-  Complex value;
-};
-
 /// Pivots reused by refactor() were not re-searched, so they are accepted
 /// with a threshold this much more permissive than the factor() one; a pivot
 /// degraded beyond it signals the caller to re-run the full factor().
@@ -28,6 +22,12 @@ constexpr double kRelaxedThresholdScale = 1e-5;
 /// are examined before falling back to a full scan (which is needed only
 /// when none of the candidates holds a numerically acceptable pivot).
 constexpr int kCandidateColumns = 4;
+
+/// One entry of a row of the active submatrix during symbolic analysis.
+struct ActiveEntry {
+  int col = 0;
+  Complex value;
+};
 
 }  // namespace
 
@@ -63,11 +63,15 @@ bool SparseLu::analyze_and_factor(const CompressedMatrix& matrix,
   const int n = matrix.dim;
   dim_ = n;
   ok_ = false;
-  fill_in_ = 0;
   max_abs_entry_ = 0.0;
-  row_order_.assign(static_cast<std::size_t>(n), -1);
-  col_order_.assign(static_cast<std::size_t>(n), -1);
-  col_step_.assign(static_cast<std::size_t>(n), -1);
+  // A fresh plan per factor(): clones of this instance may still replay the
+  // old one, so it is never mutated in place (copy-on-factor).
+  plan_.reset();
+  auto plan = std::make_shared<SymbolicPlan>();
+  plan->dim = n;
+  plan->row_order.assign(static_cast<std::size_t>(n), -1);
+  plan->col_order.assign(static_cast<std::size_t>(n), -1);
+  plan->col_step.assign(static_cast<std::size_t>(n), -1);
   pivots_.assign(static_cast<std::size_t>(n), Complex{});
 
   // Active submatrix: unordered row vectors plus per-column row lists. The
@@ -173,9 +177,9 @@ bool SparseLu::analyze_and_factor(const CompressedMatrix& matrix,
       if (pivot_row < 0) return false;
     }
 
-    row_order_[static_cast<std::size_t>(step)] = pivot_row;
-    col_order_[static_cast<std::size_t>(step)] = pivot_col;
-    col_step_[static_cast<std::size_t>(pivot_col)] = step;
+    plan->row_order[static_cast<std::size_t>(step)] = pivot_row;
+    plan->col_order[static_cast<std::size_t>(step)] = pivot_col;
+    plan->col_step[static_cast<std::size_t>(pivot_col)] = step;
     row_step[static_cast<std::size_t>(pivot_row)] = step;
     row_active[static_cast<std::size_t>(pivot_row)] = 0;
     col_active[static_cast<std::size_t>(pivot_col)] = 0;
@@ -227,107 +231,118 @@ bool SparseLu::analyze_and_factor(const CompressedMatrix& matrix,
           row.push_back({entry.col, -multiplier * entry.value});
           col_rows[static_cast<std::size_t>(entry.col)].push_back(r);
           ++col_count[static_cast<std::size_t>(entry.col)];
-          ++fill_in_;
+          ++plan->fill_in;
         }
       }
     }
     col_rows[static_cast<std::size_t>(pivot_col)].clear();
   }
 
-  permutation_sign_ = permutation_sign(row_order_) * permutation_sign(col_order_);
+  plan->permutation_sign =
+      permutation_sign(plan->row_order) * permutation_sign(plan->col_order);
 
   // --- Harvest the flat plan -------------------------------------------------
-  pattern_row_start_ = matrix.row_start;
-  pattern_cols_ = matrix.cols;
-  a_dest_.resize(matrix.cols.size());
+  plan->pattern_row_start = matrix.row_start;
+  plan->pattern_cols = matrix.cols;
+  plan->a_dest.resize(matrix.cols.size());
   for (std::size_t k = 0; k < matrix.cols.size(); ++k) {
-    a_dest_[k] = col_step_[static_cast<std::size_t>(matrix.cols[k])];
+    plan->a_dest[k] = plan->col_step[static_cast<std::size_t>(matrix.cols[k])];
   }
 
   // L bucketed by row-step; iterating steps in ascending order leaves each
   // row's dependencies sorted, which the replay and solve() rely on.
-  l_start_.assign(static_cast<std::size_t>(n) + 1, 0);
+  plan->l_start.assign(static_cast<std::size_t>(n) + 1, 0);
   for (int step = 0; step < n; ++step) {
     for (const auto& [r, multiplier] : lops[static_cast<std::size_t>(step)]) {
-      ++l_start_[static_cast<std::size_t>(row_step[static_cast<std::size_t>(r)]) + 1];
+      ++plan->l_start[static_cast<std::size_t>(row_step[static_cast<std::size_t>(r)]) + 1];
     }
   }
-  for (int i = 0; i < n; ++i) l_start_[static_cast<std::size_t>(i) + 1] += l_start_[static_cast<std::size_t>(i)];
-  l_steps_.resize(static_cast<std::size_t>(l_start_[static_cast<std::size_t>(n)]));
-  l_values_.resize(l_steps_.size());
-  std::vector<int> cursor(l_start_.begin(), l_start_.end() - 1);
+  for (int i = 0; i < n; ++i) {
+    plan->l_start[static_cast<std::size_t>(i) + 1] += plan->l_start[static_cast<std::size_t>(i)];
+  }
+  plan->l_steps.resize(static_cast<std::size_t>(plan->l_start[static_cast<std::size_t>(n)]));
+  l_values_.resize(plan->l_steps.size());
+  std::vector<int> cursor(plan->l_start.begin(), plan->l_start.end() - 1);
   for (int step = 0; step < n; ++step) {
     for (const auto& [r, multiplier] : lops[static_cast<std::size_t>(step)]) {
       const int i = row_step[static_cast<std::size_t>(r)];
       const int at = cursor[static_cast<std::size_t>(i)]++;
-      l_steps_[static_cast<std::size_t>(at)] = step;
+      plan->l_steps[static_cast<std::size_t>(at)] = step;
       l_values_[static_cast<std::size_t>(at)] = multiplier;
     }
   }
 
   // U rows keep the elimination's freeze order so replay applies the exact
   // same operation sequence (bit-identical results).
-  u_start_.assign(static_cast<std::size_t>(n) + 1, 0);
+  plan->u_start.assign(static_cast<std::size_t>(n) + 1, 0);
   for (int step = 0; step < n; ++step) {
-    u_start_[static_cast<std::size_t>(step) + 1] =
-        u_start_[static_cast<std::size_t>(step)] +
+    plan->u_start[static_cast<std::size_t>(step) + 1] =
+        plan->u_start[static_cast<std::size_t>(step)] +
         static_cast<int>(urows[static_cast<std::size_t>(step)].size());
   }
-  u_steps_.resize(static_cast<std::size_t>(u_start_[static_cast<std::size_t>(n)]));
-  u_values_.resize(u_steps_.size());
+  plan->u_steps.resize(static_cast<std::size_t>(plan->u_start[static_cast<std::size_t>(n)]));
+  u_values_.resize(plan->u_steps.size());
   for (int step = 0; step < n; ++step) {
-    int at = u_start_[static_cast<std::size_t>(step)];
+    int at = plan->u_start[static_cast<std::size_t>(step)];
     for (const ActiveEntry& entry : urows[static_cast<std::size_t>(step)]) {
-      u_steps_[static_cast<std::size_t>(at)] = col_step_[static_cast<std::size_t>(entry.col)];
+      plan->u_steps[static_cast<std::size_t>(at)] = plan->col_step[static_cast<std::size_t>(entry.col)];
       u_values_[static_cast<std::size_t>(at)] = entry.value;
       ++at;
     }
   }
 
+  plan_ = std::move(plan);
   ok_ = true;
   return true;
 }
 
 bool SparseLu::refactor(const CompressedMatrix& matrix, const SparseLuOptions& options) {
-  if (!ok_ || matrix.dim != dim_ || matrix.row_start != pattern_row_start_ ||
-      matrix.cols != pattern_cols_) {
-    return false;  // no prior plan or pattern changed: need a full factor()
+  if (!plan_ || matrix.dim != plan_->dim || matrix.row_start != plan_->pattern_row_start ||
+      matrix.cols != plan_->pattern_cols) {
+    return false;  // no plan or pattern changed: need a full factor()
   }
-  const int n = dim_;
+  const SymbolicPlan& plan = *plan_;
+  const int n = plan.dim;
+  dim_ = n;
   max_abs_entry_ = 0.0;
   for (const Complex& v : matrix.values) {
     max_abs_entry_ = std::max(max_abs_entry_, std::abs(v));
   }
+  l_values_.resize(plan.l_steps.size());
+  u_values_.resize(plan.u_steps.size());
+  pivots_.resize(static_cast<std::size_t>(n));
 
   // Up-looking replay: each row-step clears its pattern slots in the dense
   // workspace, scatters the row of A, applies the recorded updates of the
   // earlier steps in order, and gathers the surviving values back into the
   // flat U storage. The operation sequence matches analyze_and_factor()
-  // exactly, so the numeric results agree bit-for-bit.
+  // exactly, so the numeric results agree bit-for-bit. Everything read from
+  // the plan is const — a replay touches only this instance's numeric
+  // payload, which is what lets clones sharing one plan run in parallel.
   work_.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    for (int k = l_start_[static_cast<std::size_t>(i)]; k < l_start_[static_cast<std::size_t>(i) + 1]; ++k) {
-      work_[static_cast<std::size_t>(l_steps_[static_cast<std::size_t>(k)])] = Complex{};
+    for (int k = plan.l_start[static_cast<std::size_t>(i)]; k < plan.l_start[static_cast<std::size_t>(i) + 1]; ++k) {
+      work_[static_cast<std::size_t>(plan.l_steps[static_cast<std::size_t>(k)])] = Complex{};
     }
-    for (int k = u_start_[static_cast<std::size_t>(i)]; k < u_start_[static_cast<std::size_t>(i) + 1]; ++k) {
-      work_[static_cast<std::size_t>(u_steps_[static_cast<std::size_t>(k)])] = Complex{};
+    for (int k = plan.u_start[static_cast<std::size_t>(i)]; k < plan.u_start[static_cast<std::size_t>(i) + 1]; ++k) {
+      work_[static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(k)])] = Complex{};
     }
     work_[static_cast<std::size_t>(i)] = Complex{};
 
-    const int r = row_order_[static_cast<std::size_t>(i)];
-    for (int k = pattern_row_start_[static_cast<std::size_t>(r)];
-         k < pattern_row_start_[static_cast<std::size_t>(r) + 1]; ++k) {
-      work_[static_cast<std::size_t>(a_dest_[static_cast<std::size_t>(k)])] =
+    const int r = plan.row_order[static_cast<std::size_t>(i)];
+    for (int k = plan.pattern_row_start[static_cast<std::size_t>(r)];
+         k < plan.pattern_row_start[static_cast<std::size_t>(r) + 1]; ++k) {
+      work_[static_cast<std::size_t>(plan.a_dest[static_cast<std::size_t>(k)])] =
           matrix.values[static_cast<std::size_t>(k)];
     }
 
-    for (int k = l_start_[static_cast<std::size_t>(i)]; k < l_start_[static_cast<std::size_t>(i) + 1]; ++k) {
-      const int j = l_steps_[static_cast<std::size_t>(k)];
+    for (int k = plan.l_start[static_cast<std::size_t>(i)]; k < plan.l_start[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int j = plan.l_steps[static_cast<std::size_t>(k)];
       const Complex multiplier =
           work_[static_cast<std::size_t>(j)] / pivots_[static_cast<std::size_t>(j)];
       l_values_[static_cast<std::size_t>(k)] = multiplier;
-      for (int t = u_start_[static_cast<std::size_t>(j)]; t < u_start_[static_cast<std::size_t>(j) + 1]; ++t) {
-        work_[static_cast<std::size_t>(u_steps_[static_cast<std::size_t>(t)])] -=
+      for (int t = plan.u_start[static_cast<std::size_t>(j)]; t < plan.u_start[static_cast<std::size_t>(j) + 1]; ++t) {
+        work_[static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(t)])] -=
             multiplier * u_values_[static_cast<std::size_t>(t)];
       }
     }
@@ -337,9 +352,9 @@ bool SparseLu::refactor(const CompressedMatrix& matrix, const SparseLuOptions& o
     const Complex pivot = work_[static_cast<std::size_t>(i)];
     const double pivot_magnitude = std::abs(pivot);
     double row_max = pivot_magnitude;
-    for (int k = u_start_[static_cast<std::size_t>(i)]; k < u_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+    for (int k = plan.u_start[static_cast<std::size_t>(i)]; k < plan.u_start[static_cast<std::size_t>(i) + 1]; ++k) {
       row_max = std::max(
-          row_max, std::abs(work_[static_cast<std::size_t>(u_steps_[static_cast<std::size_t>(k)])]));
+          row_max, std::abs(work_[static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(k)])]));
     }
     if (pivot_magnitude <= options.singularity_tolerance ||
         pivot_magnitude < kRelaxedThresholdScale * options.pivot_threshold * row_max) {
@@ -347,9 +362,9 @@ bool SparseLu::refactor(const CompressedMatrix& matrix, const SparseLuOptions& o
       return false;
     }
     pivots_[static_cast<std::size_t>(i)] = pivot;
-    for (int k = u_start_[static_cast<std::size_t>(i)]; k < u_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+    for (int k = plan.u_start[static_cast<std::size_t>(i)]; k < plan.u_start[static_cast<std::size_t>(i) + 1]; ++k) {
       u_values_[static_cast<std::size_t>(k)] =
-          work_[static_cast<std::size_t>(u_steps_[static_cast<std::size_t>(k)])];
+          work_[static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(k)])];
     }
   }
   // Permutation, pattern and sign are unchanged by construction.
@@ -358,32 +373,34 @@ bool SparseLu::refactor(const CompressedMatrix& matrix, const SparseLuOptions& o
 }
 
 void SparseLu::solve(std::vector<Complex>& rhs) const {
-  assert(ok_);
+  assert(ok_ && plan_);
   assert(static_cast<int>(rhs.size()) == dim_);
+  if (!ok_ || !plan_) return;  // defined no-op in release builds
+  const SymbolicPlan& plan = *plan_;
   const int n = dim_;
 
   // Forward substitution L y = P b, then in-place back substitution
   // U z = y; both run on the flat per-row storage.
   work_.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    Complex acc = rhs[static_cast<std::size_t>(row_order_[static_cast<std::size_t>(i)])];
-    for (int k = l_start_[static_cast<std::size_t>(i)]; k < l_start_[static_cast<std::size_t>(i) + 1]; ++k) {
+    Complex acc = rhs[static_cast<std::size_t>(plan.row_order[static_cast<std::size_t>(i)])];
+    for (int k = plan.l_start[static_cast<std::size_t>(i)]; k < plan.l_start[static_cast<std::size_t>(i) + 1]; ++k) {
       acc -= l_values_[static_cast<std::size_t>(k)] *
-             work_[static_cast<std::size_t>(l_steps_[static_cast<std::size_t>(k)])];
+             work_[static_cast<std::size_t>(plan.l_steps[static_cast<std::size_t>(k)])];
     }
     work_[static_cast<std::size_t>(i)] = acc;
   }
   for (int i = n - 1; i >= 0; --i) {
     Complex acc = work_[static_cast<std::size_t>(i)];
-    for (int k = u_start_[static_cast<std::size_t>(i)]; k < u_start_[static_cast<std::size_t>(i) + 1]; ++k) {
-      assert(u_steps_[static_cast<std::size_t>(k)] > i);
+    for (int k = plan.u_start[static_cast<std::size_t>(i)]; k < plan.u_start[static_cast<std::size_t>(i) + 1]; ++k) {
+      assert(plan.u_steps[static_cast<std::size_t>(k)] > i);
       acc -= u_values_[static_cast<std::size_t>(k)] *
-             work_[static_cast<std::size_t>(u_steps_[static_cast<std::size_t>(k)])];
+             work_[static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(k)])];
     }
     work_[static_cast<std::size_t>(i)] = acc / pivots_[static_cast<std::size_t>(i)];
   }
   for (int i = 0; i < n; ++i) {
-    rhs[static_cast<std::size_t>(col_order_[static_cast<std::size_t>(i)])] =
+    rhs[static_cast<std::size_t>(plan.col_order[static_cast<std::size_t>(i)])] =
         work_[static_cast<std::size_t>(i)];
   }
 }
@@ -401,7 +418,7 @@ double SparseLu::min_abs_pivot() const noexcept {
 
 numeric::ScaledComplex SparseLu::determinant() const {
   if (!ok_) return numeric::ScaledComplex();
-  numeric::ScaledComplex det(Complex(static_cast<double>(permutation_sign_), 0.0));
+  numeric::ScaledComplex det(Complex(static_cast<double>(plan_->permutation_sign), 0.0));
   for (const Complex& pivot : pivots_) det *= numeric::ScaledComplex(pivot);
   return det;
 }

@@ -22,10 +22,19 @@
 //
 // The determinant is returned as an extended-range ScaledComplex: the pivot
 // product of a scaled 50-node matrix routinely leaves IEEE double range.
+//
+// Plan/workspace split for parallel replay: the symbolic plan is immutable
+// once factor() succeeds and is held behind a shared_ptr, while the numeric
+// payload (L/U values, pivots, scratch) is per instance. Copying a SparseLu
+// therefore clones only the numeric workspace and SHARES the plan — the
+// cheap per-thread clone the batch evaluators are built on. Any number of
+// clones may refactor()/solve() concurrently; one instance is still
+// single-threaded (solve() mutates its scratch workspace).
 #pragma once
 
 #include <complex>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "numeric/scaled.h"
@@ -50,19 +59,28 @@ class SparseLu {
   bool factor(const CompressedMatrix& matrix, const SparseLuOptions& options = {});
 
   /// Re-factor a matrix with the SAME sparsity pattern using the plan of the
-  /// previous successful factor() — no Markowitz search, no new fill, just a
+  /// last successful factor() — no Markowitz search, no new fill, just a
   /// flat numeric replay of the elimination (the classic create/factor split
   /// of SPICE and the analyze/factor split of KLU). Returns false when a
   /// reused pivot is numerically unacceptable (caller should fall back to a
   /// fresh factor()) or when the structural pattern differs; the pattern
   /// check is exact (row/column structure, not just the nonzero count).
+  /// The plan survives a refused refactor(), so another refactor() with
+  /// acceptable values may follow without an intervening factor() — each
+  /// replay depends only on (plan, input values), never on previous numeric
+  /// state. That history independence is what makes per-point evaluation
+  /// order (and hence thread count) irrelevant to the results.
   bool refactor(const CompressedMatrix& matrix, const SparseLuOptions& options = {});
 
   [[nodiscard]] int dim() const noexcept { return dim_; }
   [[nodiscard]] bool ok() const noexcept { return ok_; }
 
+  /// True when a successful factor() has recorded a symbolic plan (possibly
+  /// shared with clones of this instance). refactor() requires it.
+  [[nodiscard]] bool has_plan() const noexcept { return plan_ != nullptr; }
+
   /// Fill-in created by elimination (entries in L+U beyond those of A).
-  [[nodiscard]] std::size_t fill_in() const noexcept { return fill_in_; }
+  [[nodiscard]] std::size_t fill_in() const noexcept { return plan_ ? plan_->fill_in : 0; }
 
   /// Largest |entry| of the factored matrix and smallest |pivot| of U.
   /// Their ratio is a cheap proxy for the determinant's relative
@@ -86,30 +104,36 @@ class SparseLu {
   [[nodiscard]] numeric::ScaledComplex determinant() const;
 
  private:
+  /// The one-time symbolic work of factor(), immutable afterwards and shared
+  /// read-only between an instance and its clones (each thread of a batch
+  /// evaluation replays the same plan with its own numeric payload).
+  struct SymbolicPlan {
+    int dim = 0;
+    std::size_t fill_in = 0;
+    int permutation_sign = 1;
+    std::vector<int> row_order;  // step -> original pivot row
+    std::vector<int> col_order;  // step -> original pivot column
+    std::vector<int> col_step;   // original column -> step
+    /// Structural fingerprint of A for the refactor() pattern check.
+    std::vector<int> pattern_row_start;
+    std::vector<int> pattern_cols;
+    /// CSR position k of A -> column-step workspace slot (scatter plan).
+    std::vector<int> a_dest;
+    /// L (unit lower) stored by row-step: for row i, steps j < i in ascending
+    /// order with the multipliers. U stored by row-step: steps k > i in the
+    /// elimination's freeze order with the row values; pivots kept separately.
+    std::vector<int> l_start;
+    std::vector<int> l_steps;
+    std::vector<int> u_start;
+    std::vector<int> u_steps;
+  };
+
   bool analyze_and_factor(const CompressedMatrix& matrix, const SparseLuOptions& options);
 
   int dim_ = 0;
   bool ok_ = false;
-  std::size_t fill_in_ = 0;
   double max_abs_entry_ = 0.0;
-  int permutation_sign_ = 1;
-
-  // --- Symbolic plan (fixed per sparsity pattern) ---------------------------
-  std::vector<int> row_order_;  // step -> original pivot row
-  std::vector<int> col_order_;  // step -> original pivot column
-  std::vector<int> col_step_;   // original column -> step
-  /// Structural fingerprint of A for the refactor() pattern check.
-  std::vector<int> pattern_row_start_;
-  std::vector<int> pattern_cols_;
-  /// CSR position k of A -> column-step workspace slot (scatter plan).
-  std::vector<int> a_dest_;
-  /// L (unit lower) stored by row-step: for row i, steps j < i in ascending
-  /// order with the multipliers. U stored by row-step: steps k > i in the
-  /// elimination's freeze order with the row values; pivots kept separately.
-  std::vector<int> l_start_;
-  std::vector<int> l_steps_;
-  std::vector<int> u_start_;
-  std::vector<int> u_steps_;
+  std::shared_ptr<const SymbolicPlan> plan_;
 
   // --- Numeric payload (rewritten by every factor()/refactor()) -------------
   std::vector<std::complex<double>> l_values_;

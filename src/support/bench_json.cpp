@@ -46,6 +46,13 @@ std::map<std::string, double> read_flat_json(const std::string& path) {
 
 }  // namespace
 
+std::vector<int> thread_ladder(int max_threads) {
+  std::vector<int> ladder{1};
+  while (ladder.back() * 2 <= max_threads) ladder.push_back(ladder.back() * 2);
+  if (ladder.back() != max_threads) ladder.push_back(max_threads);
+  return ladder;
+}
+
 bool merge_bench_json(const std::string& path, const std::map<std::string, double>& metrics) {
   std::map<std::string, double> merged = read_flat_json(path);
   for (const auto& [key, value] : metrics) merged[key] = value;

@@ -8,6 +8,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace symref::support {
 
@@ -18,5 +19,9 @@ bool merge_bench_json(const std::string& path, const std::map<std::string, doubl
 
 /// Default output path, relative to the working directory of the bench run.
 inline const char* kBenchJsonPath = "BENCH_refgen.json";
+
+/// Thread counts for a --threads sweep: 1, 2, 4, ... doubling up to (and
+/// always including) `max_threads`. The `*_ms_t<N>` metric rows follow it.
+std::vector<int> thread_ladder(int max_threads);
 
 }  // namespace symref::support

@@ -1,7 +1,9 @@
-// Tiny flag parser shared by examples: `--key=value` / `--flag` only.
-// Examples are demonstration binaries; anything fancier belongs to the user.
+// Tiny flag parser shared by examples and benches: `--key=value` / `--flag`,
+// plus space-separated values (`--key value`) for flags the caller declares
+// as value-taking. Anything fancier belongs to the user.
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -10,12 +12,17 @@ namespace symref::support {
 
 class CliArgs {
  public:
-  CliArgs(int argc, const char* const* argv);
+  /// `value_flags` names flags (without the leading `--`) that consume the
+  /// following argument as their value when written space-separated
+  /// (`--json out.json`); the `--json=out.json` form always works. Flags not
+  /// listed stay boolean when written without '='.
+  CliArgs(int argc, const char* const* argv,
+          std::initializer_list<const char*> value_flags = {});
 
   /// True if `--name` or `--name=...` was passed.
   [[nodiscard]] bool has(const std::string& name) const;
 
-  /// String value of `--name=value`, or `fallback` when absent.
+  /// String value of `--name=value`, or `fallback` when absent or empty.
   [[nodiscard]] std::string get(const std::string& name, const std::string& fallback = "") const;
 
   /// Numeric value of `--name=value`, or `fallback` when absent/unparsable.

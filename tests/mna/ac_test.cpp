@@ -8,6 +8,7 @@
 
 #include "circuits/filters.h"
 #include "circuits/ladder.h"
+#include "circuits/ua741.h"
 
 namespace symref::mna {
 namespace {
@@ -108,6 +109,49 @@ TEST(AcSimulator, BodeSweepBitIdenticalToPerPointFactorization) {
     const AcSimulator fresh(ladder);  // cold cache: full factorization
     const std::complex<double> reference = fresh.transfer(spec, point.frequency_hz);
     EXPECT_EQ(point.value, reference) << point.frequency_hz;
+  }
+}
+
+TEST(AcSimulator, BodeSweepBitIdenticalAcrossThreadCounts) {
+  // Every point is an independent replay of the first point's plan (with a
+  // throwaway re-factorization if its pivots degrade), and the dB/phase
+  // reduction runs in frequency order on the caller — so the thread count
+  // must not change a single bit. The µA741 sweep here is the acceptance
+  // workload (161 points across 1 Hz .. 100 MHz at 20 points/decade).
+  const netlist::Circuit ua = circuits::ua741();
+  const auto spec = circuits::ua741_gain_spec();
+  const AcSimulator serial_sim(ua);
+  const auto serial = serial_sim.bode(spec, 1.0, 1e8, 20, /*threads=*/1);
+  EXPECT_EQ(serial.size(), 161u);
+  for (const int threads : {2, 8}) {
+    const AcSimulator sim(ua);
+    const auto parallel = sim.bode(spec, 1.0, 1e8, 20, threads);
+    ASSERT_EQ(parallel.size(), serial.size()) << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].value, serial[i].value) << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(parallel[i].magnitude_db, serial[i].magnitude_db)
+          << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(parallel[i].phase_deg, serial[i].phase_deg)
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(AcSimulator, ParallelSweepReusableAndCacheCoherent) {
+  // A parallel sweep must leave the per-spec cache in a state where single
+  // point queries and further sweeps still work and agree with cold-cache
+  // results.
+  const netlist::Circuit ladder = circuits::rc_ladder(8);
+  const auto spec = circuits::rc_ladder_spec(8);
+  const AcSimulator sim(ladder);
+  const auto first = sim.bode(spec, 1e2, 1e8, 5, 4);
+  const auto h = sim.transfer(spec, 12345.0);
+  const AcSimulator fresh(ladder);
+  EXPECT_EQ(h, fresh.transfer(spec, 12345.0));
+  const auto second = sim.bode(spec, 1e2, 1e8, 5, 2);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].value, second[i].value) << i;
   }
 }
 

@@ -393,6 +393,68 @@ TEST(SparseLu, MinAbsPivotMeaningful) {
   EXPECT_NEAR(lu2.min_abs_pivot(), 0.25, 1e-15);
 }
 
+TEST(SparseLu, ClonesShareThePlanAndReplayIndependently) {
+  // Copying a SparseLu clones only the numeric payload; the symbolic plan is
+  // shared read-only. A clone's refactor must (a) match the original's
+  // refactor bit for bit and (b) leave the original's numeric state — and
+  // hence its determinant and solves — untouched. This is the per-thread
+  // EvalContext contract of the batch evaluators.
+  support::Rng rng(2026);
+  const TripletMatrix m = random_matrix(rng, 20, 0.25);
+  const CompressedMatrix c = m.compress();
+  SparseLu original;
+  ASSERT_TRUE(original.factor(c));
+  ASSERT_TRUE(original.has_plan());
+  const Complex det_original = original.determinant().to_complex();
+
+  // Perturbed values on the same pattern.
+  CompressedMatrix perturbed = c;
+  for (auto& value : perturbed.values) value *= Complex(1.01, 0.002);
+
+  SparseLu clone = original;  // shares the plan, owns its numeric arrays
+  ASSERT_TRUE(clone.has_plan());
+  ASSERT_TRUE(clone.refactor(perturbed));
+  const Complex det_clone = clone.determinant().to_complex();
+
+  // The original never saw the perturbed values.
+  EXPECT_EQ(original.determinant().to_complex(), det_original);
+
+  // A second clone replaying the same values agrees bit for bit, and the
+  // original refactoring the perturbed values agrees with both.
+  SparseLu other = original;
+  ASSERT_TRUE(other.refactor(perturbed));
+  EXPECT_EQ(other.determinant().to_complex(), det_clone);
+  ASSERT_TRUE(original.refactor(perturbed));
+  EXPECT_EQ(original.determinant().to_complex(), det_clone);
+}
+
+TEST(SparseLu, RefactorAfterRefusedRefactorNeedsNoFactor) {
+  // A refused replay (degraded pivot) keeps the plan: a later refactor with
+  // healthy values must succeed and depend only on (plan, values) — the
+  // history independence that makes per-point evaluation order irrelevant.
+  TripletMatrix m(3);
+  m.add(0, 0, {1.0, 0.0});
+  m.add(1, 1, {1.0, 0.0});
+  m.add(2, 2, {1.0, 0.0});
+  m.add(0, 1, {0.5, 0.0});
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(m));
+  const Complex det_healthy = lu.determinant().to_complex();
+
+  TripletMatrix degraded(3);
+  degraded.add(0, 0, {1.0, 0.0});
+  degraded.add(1, 1, {1e-30, 0.0});
+  degraded.add(2, 2, {1.0, 0.0});
+  degraded.add(0, 1, {1e20, 0.0});
+  EXPECT_FALSE(lu.refactor(degraded.compress()));
+  EXPECT_FALSE(lu.ok());
+  EXPECT_TRUE(lu.has_plan());
+
+  ASSERT_TRUE(lu.refactor(m.compress()));
+  EXPECT_TRUE(lu.ok());
+  EXPECT_EQ(lu.determinant().to_complex(), det_healthy);
+}
+
 // Parameterized sweep over sizes: solve + determinant sanity on circuit-like
 // (diagonally dominant, sparse) matrices.
 class SparseLuSweep : public ::testing::TestWithParam<int> {};

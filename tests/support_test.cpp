@@ -70,6 +70,43 @@ TEST(CliArgs, BadNumberFallsBack) {
   EXPECT_DOUBLE_EQ(args.get_double("x", 7.0), 7.0);
 }
 
+TEST(CliArgs, DeclaredValueFlagConsumesNextArgument) {
+  const char* argv[] = {"prog", "--json", "out.json", "--threads", "8", "--flag", "pos"};
+  const CliArgs args(7, argv, {"json", "threads"});
+  EXPECT_EQ(args.get("json"), "out.json");
+  EXPECT_EQ(args.get_int("threads", 1), 8);
+  EXPECT_TRUE(args.has("flag"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos");
+}
+
+TEST(CliArgs, UndeclaredFlagStaysBoolean) {
+  // Without the declaration, `--flag value` keeps `value` positional, and
+  // the `--json=x` form works with or without the declaration.
+  const char* argv[] = {"prog", "--flag", "value", "--json=x"};
+  const CliArgs args(4, argv);
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_EQ(args.get("flag", ""), "");
+  EXPECT_EQ(args.get("json"), "x");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "value");
+}
+
+TEST(CliArgs, ValueFlagWithMissingValueFallsBack) {
+  const char* argv[] = {"prog", "--json"};
+  const CliArgs args(2, argv, {"json"});
+  EXPECT_TRUE(args.has("json"));
+  EXPECT_EQ(args.get("json", "default.json"), "default.json");
+}
+
+TEST(CliArgs, ValueFlagDoesNotSwallowFollowingFlag) {
+  // `--json --threads 8`: the forgotten path must not eat `--threads`.
+  const char* argv[] = {"prog", "--json", "--threads", "8"};
+  const CliArgs args(4, argv, {"json", "threads"});
+  EXPECT_EQ(args.get("json"), "");
+  EXPECT_EQ(args.get_int("threads", 1), 8);
+}
+
 TEST(Rng, DeterministicAcrossInstances) {
   Rng a(123);
   Rng b(123);
