@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "api/service.h"
 #include "circuits/mos_ota.h"
 #include "mna/ac.h"
 #include "mna/sensitivity.h"
@@ -30,7 +31,18 @@ int main(int argc, char** argv) {
   const auto spec = symref::circuits::two_stage_miller_ota_spec();
   std::printf("%s\n", ota.summary().c_str());
 
-  const auto result = symref::refgen::generate_reference(ota, spec);
+  const symref::api::Service service;
+  const auto compiled = service.compile(ota, "mos-ota");
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", compiled.status().to_string().c_str());
+    return 1;
+  }
+  const auto response = service.refgen(compiled.value(), {spec, {}});
+  if (!response.ok()) {
+    std::fprintf(stderr, "refgen failed: %s\n", response.status().to_string().c_str());
+    return 1;
+  }
+  const auto& result = response.value().result;
   std::printf("reference: %s (%d factorizations, %.1f ms)\n\n",
               result.termination.c_str(), result.total_evaluations,
               result.seconds * 1e3);

@@ -9,6 +9,7 @@
 // determinant expansion (tractable at this size).
 #include <cstdio>
 
+#include "api/service.h"
 #include "circuits/ota.h"
 #include "mna/nodal.h"
 #include "netlist/canonical.h"
@@ -45,7 +46,17 @@ int main(int argc, char** argv) {
 
   symref::refgen::AdaptiveOptions options;
   options.sigma = baseline.sigma;
-  const auto adaptive = symref::refgen::generate_reference(ota, spec, options);
+  const symref::api::Service service;
+  const auto compiled = service.compile(ota, "ota");
+  const auto adaptive_response =
+      compiled.ok() ? service.refgen(compiled.value(), {spec, options})
+                    : symref::api::Result<symref::api::RefgenResponse>(compiled.status());
+  if (!adaptive_response.ok()) {
+    std::fprintf(stderr, "refgen failed: %s\n",
+                 adaptive_response.status().to_string().c_str());
+    return 1;
+  }
+  const auto& adaptive = adaptive_response.value().result;
   std::printf("adaptive scaling        : complete=%s in %zu iterations\n\n",
               adaptive.complete ? "yes" : "no", adaptive.iterations.size());
 

@@ -4,32 +4,42 @@
 //
 // Once the adaptive engine has produced exact numerator/denominator
 // coefficients — even when they span hundreds of decades — their roots are
-// the circuit's zeros and poles. The Aberth-Ehrlich finder runs on a
-// variable-scaled copy, so the dynamic range costs nothing.
+// the circuit's zeros and poles. Served through the facade: the
+// PolesZerosRequest generates (or reuses) the reference and runs the
+// Aberth-Ehrlich finder on a variable-scaled copy, so the dynamic range
+// costs nothing.
 #include <cstdio>
 
 #include <algorithm>
+#include <cmath>
+#include <complex>
 
+#include "api/service.h"
 #include "circuits/ua741.h"
-#include "numeric/roots.h"
-#include "refgen/adaptive.h"
 
 int main() {
-  const auto ua = symref::circuits::ua741();
-  const auto spec = symref::circuits::ua741_gain_spec();
-  const auto result = symref::refgen::generate_reference(ua, spec);
-  std::printf("reference: %s\n\n", result.termination.c_str());
+  const symref::api::Service service;
+  const auto compiled = service.compile(symref::circuits::ua741(), "ua741");
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", compiled.status().to_string().c_str());
+    return 1;
+  }
 
-  const auto poles = symref::numeric::find_roots(result.reference.denominator().polynomial());
-  const auto zeros = symref::numeric::find_roots(result.reference.numerator().polynomial());
-  std::printf("%zu poles (converged=%s), %zu zeros (converged=%s)\n\n", poles.roots.size(),
-              poles.converged ? "yes" : "no", zeros.roots.size(),
-              zeros.converged ? "yes" : "no");
+  const auto response = service.poles_zeros(compiled.value(),
+                                            {symref::circuits::ua741_gain_spec(), {}});
+  if (!response.ok()) {
+    std::fprintf(stderr, "poles_zeros failed: %s\n", response.status().to_string().c_str());
+    return 1;
+  }
+  const auto& pz = response.value();
+  std::printf("%zu poles (converged=%s), %zu zeros (converged=%s)\n\n", pz.poles.size(),
+              pz.poles_converged ? "yes" : "no", pz.zeros.size(),
+              pz.zeros_converged ? "yes" : "no");
 
   std::printf("dominant poles (Hz):\n");
-  const std::size_t show = std::min<std::size_t>(poles.roots.size(), 10);
+  const std::size_t show = std::min<std::size_t>(pz.poles.size(), 10);
   for (std::size_t i = 0; i < show; ++i) {
-    const auto p = poles.roots[i] / (2.0 * M_PI);
+    const auto p = pz.poles[i] / (2.0 * M_PI);
     std::printf("  p%-2zu  %12.4g %+12.4g j   |p| = %.4g\n", i, p.real(), p.imag(),
                 std::abs(p));
   }

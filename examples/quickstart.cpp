@@ -2,36 +2,45 @@
 //
 //   $ ./quickstart
 //
-// Builds a two-pole RC filter, runs the adaptive scaling engine, prints the
-// exact transfer-function coefficients and validates them against a direct
-// AC analysis. This is the whole public API in ~40 lines:
+// Builds a two-pole RC filter, runs the adaptive scaling engine through the
+// service facade, prints the exact transfer-function coefficients and
+// validates them against a direct AC analysis. This is the whole public API
+// in ~40 lines:
 //
-//   netlist::Circuit / parse_netlist   - describe the circuit
+//   api::Service / CircuitHandle       - compile once, query many times
 //   mna::TransferSpec                  - pick the network function
-//   refgen::generate_reference         - the paper's algorithm
+//   api::RefgenRequest                 - the paper's algorithm
 //   refgen::compare_bode               - sanity check vs an AC simulation
 #include <cstdio>
 
-#include "mna/transfer.h"
-#include "netlist/parser.h"
-#include "refgen/adaptive.h"
+#include "api/service.h"
 #include "refgen/validate.h"
 
 int main() {
-  // A two-stage RC lowpass, written as a SPICE-style netlist.
-  const auto circuit = symref::netlist::parse_netlist(R"(
+  // Compile a SPICE-style netlist into an immutable circuit handle. Errors
+  // come back as api::Status — no exceptions to catch.
+  const symref::api::Service service;
+  const auto compiled = service.compile_netlist(R"(
 .title quickstart two-pole RC
 R1 in  n1 1k
 C1 n1  0  100n
 R2 n1  out 10k
 C2 out 0  10n
 )");
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", compiled.status().to_string().c_str());
+    return 1;
+  }
+  const symref::api::CircuitHandle& handle = compiled.value();
 
-  // Voltage gain from "in" to "out".
+  // Voltage gain from "in" to "out", default engine options.
   const auto spec = symref::mna::TransferSpec::voltage_gain("in", "out");
-
-  // Run the adaptive-scaling interpolation (Garcia-Vargas et al., DATE'97).
-  const auto result = symref::refgen::generate_reference(circuit, spec);
+  const auto response = service.refgen(handle, {spec, {}});
+  if (!response.ok()) {
+    std::fprintf(stderr, "refgen failed: %s\n", response.status().to_string().c_str());
+    return 1;
+  }
+  const auto& result = response.value().result;
   std::printf("engine: %s in %zu interpolation(s), %d matrix factorizations\n\n",
               result.termination.c_str(), result.iterations.size(),
               result.total_evaluations);
@@ -41,12 +50,17 @@ C2 out 0  10n
 
   // Validate against a direct MNA AC analysis over six decades.
   const auto comparison =
-      symref::refgen::compare_bode(result.reference, circuit, spec, 1.0, 1e6, 4);
+      symref::refgen::compare_bode(result.reference, handle.circuit(), spec, 1.0, 1e6, 4);
   std::printf("max deviation from AC analysis: %.2e dB magnitude, %.2e deg phase\n",
               comparison.max_magnitude_error_db, comparison.max_phase_error_deg);
 
   // Use the reference like a transfer function.
   std::printf("gain at 1 kHz: %.3f dB\n",
               symref::mna::magnitude_db(result.reference.transfer_at_hz(1e3)));
+
+  // A second identical request is served from the handle's response cache.
+  const auto warm = service.refgen(handle, {spec, {}});
+  std::printf("second request from_cache=%s\n",
+              warm.ok() && warm.value().from_cache ? "true" : "false");
   return 0;
 }

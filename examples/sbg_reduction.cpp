@@ -12,7 +12,7 @@
 
 #include "circuits/ua741.h"
 #include "netlist/writer.h"
-#include "refgen/adaptive.h"
+#include "api/service.h"
 #include "support/cli.h"
 #include "symbolic/sbg.h"
 
@@ -23,7 +23,18 @@ int main(int argc, char** argv) {
   const auto spec = symref::circuits::ua741_gain_spec();
   std::printf("original: %s\n", ua.summary().c_str());
 
-  const auto reference = symref::refgen::generate_reference(ua, spec);
+  const symref::api::Service service;
+  const auto compiled = service.compile(ua, "ua741");
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", compiled.status().to_string().c_str());
+    return 1;
+  }
+  const auto ref_response = service.refgen(compiled.value(), {spec, {}});
+  if (!ref_response.ok()) {
+    std::fprintf(stderr, "refgen failed: %s\n", ref_response.status().to_string().c_str());
+    return 1;
+  }
+  const auto& reference = ref_response.value().result;
   std::printf("reference: %s\n\n", reference.termination.c_str());
 
   symref::symbolic::SbgOptions options;

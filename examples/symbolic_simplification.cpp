@@ -9,9 +9,9 @@
 // 3. Print the dominant terms — the human-readable simplified expression.
 #include <cstdio>
 
+#include "api/service.h"
 #include "circuits/ota.h"
 #include "netlist/canonical.h"
-#include "refgen/adaptive.h"
 #include "support/cli.h"
 #include "symbolic/det.h"
 #include "symbolic/sdg.h"
@@ -26,7 +26,18 @@ int main(int argc, char** argv) {
 
   // Transimpedance denominator == the full determinant the SDG expands.
   const auto spec = symref::mna::TransferSpec::transimpedance("inp", "vo", "inn");
-  const auto reference = symref::refgen::generate_reference(ota, spec);
+  const symref::api::Service service;
+  const auto compiled = service.compile(ota, "ota");
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", compiled.status().to_string().c_str());
+    return 1;
+  }
+  const auto ref_response = service.refgen(compiled.value(), {spec, {}});
+  if (!ref_response.ok()) {
+    std::fprintf(stderr, "refgen failed: %s\n", ref_response.status().to_string().c_str());
+    return 1;
+  }
+  const auto& reference = ref_response.value().result;
   std::printf("reference: %s (%d matrix factorizations)\n\n",
               reference.termination.c_str(), reference.total_evaluations);
 

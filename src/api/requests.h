@@ -1,0 +1,94 @@
+// Typed request/response messages of the service facade.
+//
+// One request type per workload the library serves today; every request is
+// executed against a compiled CircuitHandle (see api/service.h), so the
+// parse/canonicalize/assembly/plan work is paid once per circuit, not once
+// per request. The JSON wire mapping of these structs lives in
+// api/serialize.h; docs/api.md documents the schema.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "api/status.h"
+#include "mna/ac.h"
+#include "mna/transfer.h"
+#include "refgen/adaptive.h"
+
+namespace symref::api {
+
+/// Generate the numerical reference (the paper's algorithm) for one
+/// transfer function of the compiled circuit.
+struct RefgenRequest {
+  mna::TransferSpec spec;
+  refgen::AdaptiveOptions options;
+};
+
+struct RefgenResponse {
+  refgen::AdaptiveResult result;
+  /// True when the response was served from the handle's response cache
+  /// (identical spec + options seen before on this handle).
+  bool from_cache = false;
+  /// Facade wall time for this request (cache lookup or full engine run).
+  double seconds = 0.0;
+};
+
+/// AC sweep (Bode analysis) via direct per-point MNA solves — the
+/// "electrical simulator" path, sharing the handle's per-spec plan cache.
+struct SweepRequest {
+  mna::TransferSpec spec;
+  double f_start_hz = 1.0;
+  double f_stop_hz = 1e9;
+  int points_per_decade = 10;
+  /// Worker lanes for the per-point solves; results are bit-identical at
+  /// every setting (not part of the response-cache key).
+  int threads = 1;
+};
+
+struct SweepResponse {
+  std::vector<mna::BodePoint> points;
+  bool from_cache = false;
+  double seconds = 0.0;
+};
+
+/// Poles and zeros: reference generation (or a response-cache hit) followed
+/// by extended-range Aberth-Ehrlich root extraction.
+struct PolesZerosRequest {
+  mna::TransferSpec spec;
+  /// Options of the underlying reference generation.
+  refgen::AdaptiveOptions options;
+};
+
+struct PolesZerosResponse {
+  std::vector<std::complex<double>> poles;
+  std::vector<std::complex<double>> zeros;
+  bool poles_converged = false;
+  bool zeros_converged = false;
+  /// True when the underlying reference came from the response cache.
+  bool from_cache = false;
+  double seconds = 0.0;
+};
+
+/// Many reference generations against ONE handle — every transfer function
+/// of a chip, or an options sweep. Items run shared-nothing in parallel
+/// (each with its own evaluator); per-item failures do not abort the batch.
+struct BatchRequest {
+  std::vector<RefgenRequest> items;
+  /// Outer worker lanes; <= 0 picks the hardware thread count. Item
+  /// engines run serially (options.threads is forced to 1).
+  int threads = 0;
+};
+
+struct BatchItemResponse {
+  /// Item outcome; `response` is meaningful only when status.ok().
+  Status status;
+  RefgenResponse response;
+};
+
+struct BatchResponse {
+  /// One entry per request item, in item order.
+  std::vector<BatchItemResponse> items;
+  double seconds = 0.0;
+};
+
+}  // namespace symref::api

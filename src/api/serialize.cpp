@@ -1,0 +1,413 @@
+#include "api/serialize.h"
+
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace symref::api {
+
+namespace {
+
+/// Hex-float rendering of a double: bit-exact and inf/nan-capable.
+std::string hex_double(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+Json scaled_to_json(const numeric::ScaledDouble& value) {
+  Json out = Json::object();
+  out.set("mantissa", hex_double(value.mantissa()));
+  out.set("exp2", static_cast<double>(value.exponent2()));
+  // Convenience double for consumers that do not need the extended range;
+  // null when the value over/underflows IEEE double (saturated to_double()
+  // would be misleading, and JSON cannot carry the inf anyway).
+  const double approx = value.to_double();
+  if (std::isfinite(approx) && (approx != 0.0 || value.is_zero())) {
+    out.set("approx", approx);
+  } else {
+    out.set("approx", nullptr);
+  }
+  return out;
+}
+
+Json complex_to_json(std::complex<double> value) {
+  Json out = Json::object();
+  out.set("real", value.real());
+  out.set("imag", value.imag());
+  return out;
+}
+
+Json polynomial_to_json(const refgen::PolynomialReference& poly) {
+  Json coefficients = Json::array();
+  for (int i = 0; i <= poly.order_bound(); ++i) {
+    const refgen::Coefficient& c = poly.at(i);
+    Json entry = Json::object();
+    entry.set("index", i);
+    entry.set("value", scaled_to_json(c.value));
+    entry.set("status", refgen::coefficient_status_name(c.status));
+    entry.set("accuracy", c.relative_accuracy);
+    coefficients.push_back(std::move(entry));
+  }
+  Json out = Json::object();
+  out.set("order_bound", poly.order_bound());
+  out.set("effective_order", poly.effective_order());
+  out.set("complete", poly.complete());
+  out.set("coefficients", std::move(coefficients));
+  return out;
+}
+
+/// Shared response header. Success payloads append their fields after it.
+Json envelope(const char* type, const Status& status) {
+  Json out = Json::object();
+  out.set("type", type);
+  out.set("status", to_json(status));
+  return out;
+}
+
+// --- Strict decoding helpers ------------------------------------------------
+
+/// Verifies every member of `json` is in the allowed list.
+Status check_keys(const Json& json, std::initializer_list<const char*> allowed,
+                  const char* what) {
+  if (!json.is_object()) {
+    return Status::error(StatusCode::kInvalidArgument,
+                         std::string(what) + ": expected a JSON object");
+  }
+  for (const auto& [key, value] : json.members()) {
+    bool known = false;
+    for (const char* name : allowed) {
+      if (key == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::error(StatusCode::kInvalidArgument,
+                           std::string(what) + ": unknown key \"" + key + "\"");
+    }
+  }
+  return Status();
+}
+
+Status read_string(const Json& json, const char* key, bool required, std::string* out,
+                   const char* what) {
+  const Json* value = json.find(key);
+  if (value == nullptr) {
+    if (!required) return Status();
+    return Status::error(StatusCode::kInvalidArgument,
+                         std::string(what) + ": missing required key \"" + key + "\"");
+  }
+  if (!value->is_string()) {
+    return Status::error(StatusCode::kInvalidArgument,
+                         std::string(what) + ": \"" + key + "\" must be a string");
+  }
+  *out = value->as_string();
+  return Status();
+}
+
+Status read_number(const Json& json, const char* key, double* out, const char* what) {
+  const Json* value = json.find(key);
+  if (value == nullptr) return Status();
+  if (!value->is_number()) {
+    return Status::error(StatusCode::kInvalidArgument,
+                         std::string(what) + ": \"" + key + "\" must be a number");
+  }
+  *out = value->as_number();
+  return Status();
+}
+
+Status read_int(const Json& json, const char* key, int* out, const char* what) {
+  double value = *out;
+  const Status status = read_number(json, key, &value, what);
+  if (!status.ok()) return status;
+  // Reject rather than cast out-of-range doubles: the cast would be UB,
+  // and these fields come from untrusted request files.
+  if (!(value >= static_cast<double>(INT_MIN) && value <= static_cast<double>(INT_MAX)) ||
+      value != static_cast<double>(static_cast<int>(value))) {
+    return Status::error(StatusCode::kInvalidArgument,
+                         std::string(what) + ": \"" + key + "\" must be an integer");
+  }
+  *out = static_cast<int>(value);
+  return Status();
+}
+
+Status read_bool(const Json& json, const char* key, bool* out, const char* what) {
+  const Json* value = json.find(key);
+  if (value == nullptr) return Status();
+  if (!value->is_bool()) {
+    return Status::error(StatusCode::kInvalidArgument,
+                         std::string(what) + ": \"" + key + "\" must be a boolean");
+  }
+  *out = value->as_bool();
+  return Status();
+}
+
+}  // namespace
+
+Json to_json(const Status& status) {
+  Json out = Json::object();
+  out.set("code", status_code_name(status.code()));
+  if (!status.message().empty()) out.set("message", status.message());
+  if (status.location().known()) {
+    out.set("line", status.location().line);
+    if (status.location().column > 0) out.set("column", status.location().column);
+  }
+  return out;
+}
+
+Json to_json(const mna::TransferSpec& spec) {
+  Json out = Json::object();
+  out.set("kind", spec.kind == mna::TransferSpec::Kind::VoltageGain ? "voltage_gain"
+                                                                    : "transimpedance");
+  out.set("in", spec.in_pos);
+  out.set("in_neg", spec.in_neg);
+  out.set("out", spec.out_pos);
+  out.set("out_neg", spec.out_neg);
+  return out;
+}
+
+Json to_json(const refgen::AdaptiveOptions& options) {
+  Json out = Json::object();
+  out.set("sigma", options.sigma);
+  out.set("noise_decades", options.noise_decades);
+  out.set("tuning_r", options.tuning_r);
+  out.set("max_iterations", options.max_iterations);
+  out.set("use_deflation", options.use_deflation);
+  out.set("conjugate_symmetry", options.conjugate_symmetry);
+  out.set("simultaneous_scaling", options.simultaneous_scaling);
+  out.set("geometric_mean_heuristic", options.geometric_mean_heuristic);
+  out.set("initial_f", options.initial_f);
+  out.set("initial_g", options.initial_g);
+  out.set("no_progress_limit", options.no_progress_limit);
+  out.set("threads", options.threads);
+  return out;
+}
+
+Json to_json(const refgen::NumericalReference& reference) {
+  Json out = Json::object();
+  out.set("numerator", polynomial_to_json(reference.numerator()));
+  out.set("denominator", polynomial_to_json(reference.denominator()));
+  return out;
+}
+
+Json to_json(const RefgenResponse& response) {
+  Json out = envelope("refgen", Status());
+  out.set("from_cache", response.from_cache);
+  out.set("seconds", response.seconds);
+  out.set("termination", response.result.termination);
+  out.set("complete", response.result.complete);
+  out.set("iterations", static_cast<double>(response.result.iterations.size()));
+  out.set("total_evaluations", response.result.total_evaluations);
+  out.set("engine_seconds", response.result.seconds);
+  out.set("numerator_degree", response.result.numerator_degree);
+  out.set("denominator_degree", response.result.denominator_degree);
+  out.set("reference", to_json(response.result.reference));
+  return out;
+}
+
+Json to_json(const SweepResponse& response) {
+  Json out = envelope("sweep", Status());
+  out.set("from_cache", response.from_cache);
+  out.set("seconds", response.seconds);
+  Json points = Json::array();
+  for (const mna::BodePoint& point : response.points) {
+    Json entry = Json::object();
+    entry.set("frequency_hz", point.frequency_hz);
+    entry.set("real", point.value.real());
+    entry.set("imag", point.value.imag());
+    entry.set("magnitude_db", point.magnitude_db);
+    entry.set("phase_deg", point.phase_deg);
+    points.push_back(std::move(entry));
+  }
+  out.set("points", std::move(points));
+  return out;
+}
+
+Json to_json(const PolesZerosResponse& response) {
+  Json out = envelope("poles_zeros", Status());
+  out.set("from_cache", response.from_cache);
+  out.set("seconds", response.seconds);
+  Json poles = Json::array();
+  for (const auto& pole : response.poles) poles.push_back(complex_to_json(pole));
+  Json zeros = Json::array();
+  for (const auto& zero : response.zeros) zeros.push_back(complex_to_json(zero));
+  out.set("poles", std::move(poles));
+  out.set("zeros", std::move(zeros));
+  out.set("poles_converged", response.poles_converged);
+  out.set("zeros_converged", response.zeros_converged);
+  return out;
+}
+
+Json to_json(const BatchResponse& response) {
+  Json out = envelope("batch", Status());
+  out.set("seconds", response.seconds);
+  Json items = Json::array();
+  for (const BatchItemResponse& item : response.items) {
+    items.push_back(item.status.ok() ? to_json(item.response)
+                                     : error_response("refgen", item.status));
+  }
+  out.set("items", std::move(items));
+  return out;
+}
+
+Json error_response(const char* type, const Status& status) {
+  return envelope(type, status);
+}
+
+Result<mna::TransferSpec> spec_from_json(const Json& json) {
+  constexpr const char* kWhat = "spec";
+  Status status = check_keys(json, {"kind", "in", "in_neg", "out", "out_neg"}, kWhat);
+  if (!status.ok()) return status;
+
+  mna::TransferSpec spec;
+  std::string kind = "voltage_gain";
+  if (!(status = read_string(json, "kind", false, &kind, kWhat)).ok()) return status;
+  if (kind == "voltage_gain") {
+    spec.kind = mna::TransferSpec::Kind::VoltageGain;
+  } else if (kind == "transimpedance") {
+    spec.kind = mna::TransferSpec::Kind::Transimpedance;
+  } else {
+    return Status::error(StatusCode::kInvalidArgument,
+                         "spec: unknown kind \"" + kind +
+                             "\" (expected voltage_gain or transimpedance)");
+  }
+  if (!(status = read_string(json, "in", true, &spec.in_pos, kWhat)).ok()) return status;
+  if (!(status = read_string(json, "out", true, &spec.out_pos, kWhat)).ok()) return status;
+  if (!(status = read_string(json, "in_neg", false, &spec.in_neg, kWhat)).ok()) return status;
+  if (!(status = read_string(json, "out_neg", false, &spec.out_neg, kWhat)).ok()) return status;
+  return spec;
+}
+
+Result<refgen::AdaptiveOptions> options_from_json(const Json& json) {
+  constexpr const char* kWhat = "options";
+  Status status = check_keys(json,
+                             {"sigma", "noise_decades", "tuning_r", "max_iterations",
+                              "use_deflation", "conjugate_symmetry", "simultaneous_scaling",
+                              "geometric_mean_heuristic", "initial_f", "initial_g",
+                              "no_progress_limit", "threads"},
+                             kWhat);
+  if (!status.ok()) return status;
+
+  refgen::AdaptiveOptions options;
+  if (!(status = read_int(json, "sigma", &options.sigma, kWhat)).ok()) return status;
+  if (!(status = read_number(json, "noise_decades", &options.noise_decades, kWhat)).ok()) {
+    return status;
+  }
+  if (!(status = read_number(json, "tuning_r", &options.tuning_r, kWhat)).ok()) return status;
+  if (!(status = read_int(json, "max_iterations", &options.max_iterations, kWhat)).ok()) {
+    return status;
+  }
+  if (!(status = read_bool(json, "use_deflation", &options.use_deflation, kWhat)).ok()) {
+    return status;
+  }
+  if (!(status = read_bool(json, "conjugate_symmetry", &options.conjugate_symmetry, kWhat))
+           .ok()) {
+    return status;
+  }
+  if (!(status = read_bool(json, "simultaneous_scaling", &options.simultaneous_scaling, kWhat))
+           .ok()) {
+    return status;
+  }
+  if (!(status = read_bool(json, "geometric_mean_heuristic",
+                           &options.geometric_mean_heuristic, kWhat))
+           .ok()) {
+    return status;
+  }
+  if (!(status = read_number(json, "initial_f", &options.initial_f, kWhat)).ok()) return status;
+  if (!(status = read_number(json, "initial_g", &options.initial_g, kWhat)).ok()) return status;
+  if (!(status = read_int(json, "no_progress_limit", &options.no_progress_limit, kWhat)).ok()) {
+    return status;
+  }
+  if (!(status = read_int(json, "threads", &options.threads, kWhat)).ok()) return status;
+  return options;
+}
+
+Result<AnyRequest> request_from_json(const Json& json) {
+  constexpr const char* kWhat = "request";
+  if (!json.is_object()) {
+    return Status::error(StatusCode::kInvalidArgument, "request: expected a JSON object");
+  }
+  std::string type;
+  Status status = read_string(json, "type", true, &type, kWhat);
+  if (!status.ok()) return status;
+
+  AnyRequest request;
+  if (type == "refgen" || type == "poles_zeros") {
+    status = check_keys(json, {"type", "spec", "options"}, kWhat);
+    if (!status.ok()) return status;
+    const Json* spec = json.find("spec");
+    if (spec == nullptr) {
+      return Status::error(StatusCode::kInvalidArgument,
+                           "request: missing required key \"spec\"");
+    }
+    Result<mna::TransferSpec> parsed_spec = spec_from_json(*spec);
+    if (!parsed_spec.ok()) return parsed_spec.status();
+    refgen::AdaptiveOptions options;
+    if (const Json* options_json = json.find("options"); options_json != nullptr) {
+      Result<refgen::AdaptiveOptions> parsed = options_from_json(*options_json);
+      if (!parsed.ok()) return parsed.status();
+      options = parsed.take();
+    }
+    if (type == "refgen") {
+      request.type = AnyRequest::Type::kRefgen;
+      request.refgen = {parsed_spec.take(), std::move(options)};
+    } else {
+      request.type = AnyRequest::Type::kPolesZeros;
+      request.poles_zeros = {parsed_spec.take(), std::move(options)};
+    }
+    return request;
+  }
+  if (type == "sweep") {
+    status = check_keys(
+        json, {"type", "spec", "f_start_hz", "f_stop_hz", "points_per_decade", "threads"},
+        kWhat);
+    if (!status.ok()) return status;
+    const Json* spec = json.find("spec");
+    if (spec == nullptr) {
+      return Status::error(StatusCode::kInvalidArgument,
+                           "request: missing required key \"spec\"");
+    }
+    Result<mna::TransferSpec> parsed_spec = spec_from_json(*spec);
+    if (!parsed_spec.ok()) return parsed_spec.status();
+    request.type = AnyRequest::Type::kSweep;
+    request.sweep.spec = parsed_spec.take();
+    if (!(status = read_number(json, "f_start_hz", &request.sweep.f_start_hz, kWhat)).ok()) {
+      return status;
+    }
+    if (!(status = read_number(json, "f_stop_hz", &request.sweep.f_stop_hz, kWhat)).ok()) {
+      return status;
+    }
+    if (!(status =
+              read_int(json, "points_per_decade", &request.sweep.points_per_decade, kWhat))
+             .ok()) {
+      return status;
+    }
+    if (!(status = read_int(json, "threads", &request.sweep.threads, kWhat)).ok()) {
+      return status;
+    }
+    return request;
+  }
+  return Status::error(StatusCode::kInvalidArgument,
+                       "request: unknown type \"" + type +
+                           "\" (expected refgen, sweep, or poles_zeros)");
+}
+
+Result<std::vector<AnyRequest>> requests_from_json(const Json& json) {
+  std::vector<AnyRequest> out;
+  if (json.is_array()) {
+    for (const Json& item : json.items()) {
+      Result<AnyRequest> parsed = request_from_json(item);
+      if (!parsed.ok()) return parsed.status();
+      out.push_back(parsed.take());
+    }
+    return out;
+  }
+  Result<AnyRequest> parsed = request_from_json(json);
+  if (!parsed.ok()) return parsed.status();
+  out.push_back(parsed.take());
+  return out;
+}
+
+}  // namespace symref::api

@@ -1,0 +1,66 @@
+// JSON wire mapping of the facade's requests and responses.
+//
+// One schema for every front end: tools/refgen emits these payloads with
+// --json, request files drive multi-request sessions, and a future RPC
+// server reuses the exact same encode/decode path. The schema is documented
+// in docs/api.md.
+//
+// Numbers that must survive a round trip bit-exactly (reference
+// coefficients, extended-range values) are carried as hex-float mantissa
+// strings plus a binary exponent — JSON doubles would silently round or
+// reject inf/nan. Everything else is plain JSON numbers.
+#pragma once
+
+#include "api/json.h"
+#include "api/requests.h"
+#include "api/status.h"
+#include "mna/transfer.h"
+#include "refgen/reference.h"
+
+namespace symref::api {
+
+// --- Encoding ---------------------------------------------------------------
+
+/// {"code": "parse_error", "message": "...", "line": 3, "column": 7}
+/// (message/line/column omitted when empty/unknown; ok status is
+/// {"code": "ok"}).
+Json to_json(const Status& status);
+
+Json to_json(const mna::TransferSpec& spec);
+Json to_json(const refgen::AdaptiveOptions& options);
+Json to_json(const refgen::NumericalReference& reference);
+
+/// Response payloads. Every response object carries "type" and "status";
+/// the remaining fields are type-specific and only present on success.
+Json to_json(const RefgenResponse& response);
+Json to_json(const SweepResponse& response);
+Json to_json(const PolesZerosResponse& response);
+Json to_json(const BatchResponse& response);
+
+/// Uniform failure payload: {"type": <type>, "status": {...}}.
+Json error_response(const char* type, const Status& status);
+
+// --- Decoding ---------------------------------------------------------------
+
+Result<mna::TransferSpec> spec_from_json(const Json& json);
+Result<refgen::AdaptiveOptions> options_from_json(const Json& json);
+
+/// A request of any type, as parsed from a JSON payload.
+struct AnyRequest {
+  enum class Type { kRefgen, kSweep, kPolesZeros };
+  Type type = Type::kRefgen;
+  RefgenRequest refgen;
+  SweepRequest sweep;
+  PolesZerosRequest poles_zeros;
+};
+
+/// Parse {"type": "refgen"|"sweep"|"poles_zeros", ...}. Strict: unknown
+/// keys and missing required fields fail with kInvalidArgument, so typos in
+/// hand-written request files surface instead of silently using defaults.
+Result<AnyRequest> request_from_json(const Json& json);
+
+/// Parse a request *session*: either one request object or an array of
+/// them (the multi-request form of tools/refgen --requests).
+Result<std::vector<AnyRequest>> requests_from_json(const Json& json);
+
+}  // namespace symref::api

@@ -1,0 +1,314 @@
+#include "api/service.h"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "mna/ac.h"
+#include "mna/nodal.h"
+#include "netlist/parser.h"
+#include "numeric/roots.h"
+#include "refgen/adaptive.h"
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+namespace symref::api {
+
+namespace {
+
+/// Exact textual fingerprint of a spec — the per-handle cache key. Node
+/// names cannot contain '\n', so joining with it is collision-free.
+std::string spec_key(const mna::TransferSpec& spec) {
+  std::string key = spec.kind == mna::TransferSpec::Kind::VoltageGain ? "vg" : "ti";
+  for (const std::string* part : {&spec.in_pos, &spec.in_neg, &spec.out_pos, &spec.out_neg}) {
+    key += '\n';
+    key += *part;
+  }
+  return key;
+}
+
+/// Exact fingerprint of the engine options. Doubles are rendered as hex
+/// floats (bit-exact); `threads` and `on_iteration` are excluded — neither
+/// influences the result (bit-identical parallelism; observer is a hook).
+std::string options_key(const refgen::AdaptiveOptions& o) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer), "%d|%a|%a|%d|%d%d%d%d|%a|%a|%d", o.sigma,
+                o.noise_decades, o.tuning_r, o.max_iterations, o.use_deflation ? 1 : 0,
+                o.conjugate_symmetry ? 1 : 0, o.simultaneous_scaling ? 1 : 0,
+                o.geometric_mean_heuristic ? 1 : 0, o.initial_f, o.initial_g,
+                o.no_progress_limit);
+  return buffer;
+}
+
+std::string sweep_key(const SweepRequest& request) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%a|%a|%d", request.f_start_hz, request.f_stop_hz,
+                request.points_per_decade);
+  return buffer;
+}
+
+/// Engine terminations that are errors at the facade boundary.
+Status termination_status(const refgen::AdaptiveResult& result) {
+  if (result.complete) return Status();
+  if (result.termination == "singular_system") {
+    return Status::error(StatusCode::kSingularSystem,
+                         "adaptive engine: system is singular at the initial scaling "
+                         "(floating section or zero-admittance cut)");
+  }
+  return Status::error(StatusCode::kIncomplete,
+                       "adaptive engine terminated without a complete reference: " +
+                           result.termination);
+}
+
+constexpr const char* kEmptyHandleMessage = "empty CircuitHandle (compile a circuit first)";
+
+}  // namespace
+
+namespace internal {
+
+/// Mutable per-TransferSpec state of one compiled circuit. The mutex
+/// serializes use of the cached evaluator/simulator (both are
+/// deliberately non-reentrant plan caches) and guards the response maps.
+struct SpecEntry {
+  std::mutex mutex;
+  /// Reference-generation plan cache: assembly pattern + symbolic LU plan
+  /// stay warm across engine runs on this spec.
+  std::unique_ptr<mna::CofactorEvaluator> evaluator;
+  /// Sweep plan cache: drive-augmented circuit, assembler, LU plan.
+  std::unique_ptr<mna::AcSimulator> simulator;
+  /// Memoized responses (ServiceOptions::cache_responses).
+  std::map<std::string, RefgenResponse> refgen_cache;
+  std::map<std::string, SweepResponse> sweep_cache;
+};
+
+struct CompiledCircuit {
+  // Declaration order is construction order: canonical is derived from
+  // original, system references canonical. The struct lives behind a
+  // shared_ptr and is never moved, so the internal reference stays valid.
+  netlist::Circuit original;
+  netlist::Circuit canonical;
+  mna::NodalSystem system;
+  std::string name;
+
+  std::mutex specs_mutex;
+  std::map<std::string, std::shared_ptr<SpecEntry>> specs;
+
+  CompiledCircuit(netlist::Circuit circuit, const netlist::CanonicalOptions& options)
+      : original(std::move(circuit)),
+        canonical(netlist::canonicalize(original, options)),
+        system(canonical) {}
+
+  std::shared_ptr<SpecEntry> entry(const mna::TransferSpec& spec) {
+    const std::lock_guard<std::mutex> lock(specs_mutex);
+    std::shared_ptr<SpecEntry>& slot = specs[spec_key(spec)];
+    if (!slot) slot = std::make_shared<SpecEntry>();
+    return slot;
+  }
+};
+
+}  // namespace internal
+
+using internal::CompiledCircuit;
+using internal::SpecEntry;
+
+const netlist::Circuit& CircuitHandle::circuit() const { return compiled_->original; }
+const netlist::Circuit& CircuitHandle::canonical() const { return compiled_->canonical; }
+int CircuitHandle::dim() const { return compiled_->system.dim(); }
+int CircuitHandle::order_bound() const { return compiled_->system.order_bound(); }
+const std::string& CircuitHandle::name() const { return compiled_->name; }
+std::string CircuitHandle::summary() const { return compiled_->original.summary(); }
+
+Service::Service(ServiceOptions options) : options_(std::move(options)) {}
+Service::~Service() = default;
+
+Result<CircuitHandle> Service::finish_compile(netlist::Circuit circuit, std::string name) const {
+  try {
+    auto compiled = std::make_shared<CompiledCircuit>(std::move(circuit), options_.canonical);
+    compiled->name = name.empty() ? compiled->original.title : std::move(name);
+    if (compiled->name.empty()) compiled->name = "circuit";
+    CircuitHandle handle;
+    handle.compiled_ = std::move(compiled);
+    return handle;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<CircuitHandle> Service::compile_netlist(std::string_view text, std::string name) const {
+  try {
+    return finish_compile(netlist::parse_netlist(text), std::move(name));
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<CircuitHandle> Service::compile(const netlist::Circuit& circuit, std::string name) const {
+  return finish_compile(circuit, std::move(name));
+}
+
+Result<RefgenResponse> Service::refgen(const CircuitHandle& handle,
+                                       const RefgenRequest& request) const {
+  if (!handle.valid()) {
+    return Status::error(StatusCode::kInvalidArgument, kEmptyHandleMessage);
+  }
+  support::Timer timer;
+  try {
+    CompiledCircuit& compiled = *handle.compiled_;
+    const std::shared_ptr<SpecEntry> entry = compiled.entry(request.spec);
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+
+    const std::string key = options_key(request.options);
+    if (options_.cache_responses) {
+      const auto hit = entry->refgen_cache.find(key);
+      if (hit != entry->refgen_cache.end()) {
+        RefgenResponse response = hit->second;
+        response.from_cache = true;
+        response.seconds = timer.seconds();
+        return response;
+      }
+    }
+
+    // Warm path: the spec's evaluator keeps its assembly pattern and LU
+    // plan across runs, so a repeat request skips the pattern merge and the
+    // first Markowitz ordering (the engine replays the cached plan).
+    if (!entry->evaluator) {
+      entry->evaluator = std::make_unique<mna::CofactorEvaluator>(compiled.system, request.spec);
+    }
+    refgen::AdaptiveScalingEngine engine(compiled.system, request.spec, request.options,
+                                         entry->evaluator.get());
+    RefgenResponse response;
+    response.result = engine.run();
+    response.seconds = timer.seconds();
+    const Status status = termination_status(response.result);
+    if (!status.ok()) return status;
+    if (options_.cache_responses) entry->refgen_cache.emplace(key, response);
+    return response;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<SweepResponse> Service::sweep(const CircuitHandle& handle,
+                                     const SweepRequest& request) const {
+  if (!handle.valid()) {
+    return Status::error(StatusCode::kInvalidArgument, kEmptyHandleMessage);
+  }
+  support::Timer timer;
+  try {
+    CompiledCircuit& compiled = *handle.compiled_;
+    const std::shared_ptr<SpecEntry> entry = compiled.entry(request.spec);
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+
+    const std::string key = sweep_key(request);
+    if (options_.cache_responses) {
+      const auto hit = entry->sweep_cache.find(key);
+      if (hit != entry->sweep_cache.end()) {
+        SweepResponse response = hit->second;
+        response.from_cache = true;
+        response.seconds = timer.seconds();
+        return response;
+      }
+    }
+
+    // Warm path: the per-spec simulator caches the drive-augmented circuit,
+    // its assembler, and the factorization plan; later sweeps and later
+    // points replay instead of re-pivoting.
+    if (!entry->simulator) {
+      entry->simulator = std::make_unique<mna::AcSimulator>(compiled.original);
+    }
+    SweepResponse response;
+    response.points = entry->simulator->bode(request.spec, request.f_start_hz,
+                                             request.f_stop_hz, request.points_per_decade,
+                                             request.threads);
+    response.seconds = timer.seconds();
+    if (options_.cache_responses) entry->sweep_cache.emplace(key, response);
+    return response;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<PolesZerosResponse> Service::poles_zeros(const CircuitHandle& handle,
+                                                const PolesZerosRequest& request) const {
+  support::Timer timer;
+  Result<RefgenResponse> reference = refgen(handle, {request.spec, request.options});
+  if (!reference.ok()) return reference.status();
+  try {
+    const refgen::NumericalReference& ref = reference.value().result.reference;
+    const numeric::RootResult zeros = numeric::find_roots(ref.numerator().polynomial());
+    const numeric::RootResult poles = numeric::find_roots(ref.denominator().polynomial());
+    PolesZerosResponse response;
+    response.poles = poles.roots;
+    response.zeros = zeros.roots;
+    response.poles_converged = poles.converged;
+    response.zeros_converged = zeros.converged;
+    response.from_cache = reference.value().from_cache;
+    response.seconds = timer.seconds();
+    return response;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<BatchResponse> Service::batch(const CircuitHandle& handle,
+                                     const BatchRequest& request) const {
+  if (!handle.valid()) {
+    return Status::error(StatusCode::kInvalidArgument, kEmptyHandleMessage);
+  }
+  support::Timer timer;
+  BatchResponse response;
+  response.items.resize(request.items.size());
+  if (request.items.empty()) return response;
+
+  try {
+    CompiledCircuit& compiled = *handle.compiled_;
+    // Shared-nothing lanes: each item builds its own evaluator over the
+    // shared immutable system, so items never contend and results match
+    // running each request alone (at any thread count). The per-spec
+    // response cache is consulted/updated with short locks around the run,
+    // never across it — two racing identical items may both compute
+    // (benign: results are identical).
+    support::ThreadPool pool(request.threads);
+    pool.parallel_for(request.items.size(), [&](std::size_t begin, std::size_t end,
+                                                int /*lane*/) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const RefgenRequest& item = request.items[i];
+        BatchItemResponse& out = response.items[i];
+        support::Timer item_timer;
+        try {
+          const std::shared_ptr<SpecEntry> entry = compiled.entry(item.spec);
+          const std::string key = options_key(item.options);
+          if (options_.cache_responses) {
+            const std::lock_guard<std::mutex> lock(entry->mutex);
+            const auto hit = entry->refgen_cache.find(key);
+            if (hit != entry->refgen_cache.end()) {
+              out.response = hit->second;
+              out.response.from_cache = true;
+              out.response.seconds = item_timer.seconds();
+              continue;
+            }
+          }
+          refgen::AdaptiveOptions options = item.options;
+          options.threads = 1;  // outer parallelism owns the lanes
+          refgen::AdaptiveScalingEngine engine(compiled.system, item.spec, options);
+          out.response.result = engine.run();
+          out.response.seconds = item_timer.seconds();
+          out.status = termination_status(out.response.result);
+          if (out.status.ok() && options_.cache_responses) {
+            const std::lock_guard<std::mutex> lock(entry->mutex);
+            entry->refgen_cache.emplace(key, out.response);
+          }
+        } catch (...) {
+          out.status = status_from_current_exception();
+        }
+      }
+    });
+    response.seconds = timer.seconds();
+    return response;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+}  // namespace symref::api

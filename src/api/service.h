@@ -1,0 +1,133 @@
+// The public entry point: compile once, query many times.
+//
+// Every caller used to hand-wire parse_netlist -> canonicalize ->
+// NodalSystem -> AdaptiveScalingEngine / AcSimulator, re-paying the
+// symbolic work on every query and letting exceptions leak across module
+// boundaries. api::Service packages that flow the way a long-lived server
+// would run it:
+//
+//   Service service;
+//   auto handle = service.compile_netlist(text);          // once per circuit
+//   if (!handle.ok()) { ... handle.status() ... }
+//   auto ref = service.refgen(handle.value(), {spec, options});   // many times
+//
+// A CircuitHandle is an immutable compiled circuit — the parsed netlist,
+// its canonical {G, C, VCCS} twin, and the NodalSystem — plus an internal
+// per-TransferSpec cache of the expensive mutable state: the
+// CofactorEvaluator (pattern-cached assembly + symbolic LU plan) for
+// reference generation, the AcSimulator spec cache for sweeps, and (when
+// ServiceOptions::cache_responses) memoized responses for repeated
+// identical requests. Handles are cheap shared references; copying one
+// shares the compiled circuit and its caches.
+//
+// No exception escapes any Service entry point: every method returns
+// api::Result<T>, with failure classes mapped to distinct StatusCodes
+// (api/status.h; the taxonomy is documented in docs/api.md).
+//
+// Concurrency: Service methods are safe to call from multiple threads.
+// Requests against different handles (or different specs of one handle)
+// run concurrently; requests sharing one handle+spec serialize on that
+// spec's cache entry, except batch() items, which run shared-nothing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "api/requests.h"
+#include "api/status.h"
+#include "netlist/canonical.h"
+#include "netlist/circuit.h"
+
+namespace symref::api {
+
+namespace internal {
+struct CompiledCircuit;
+}
+
+struct ServiceOptions {
+  /// Canonicalization applied at compile() (gyrator/VCVS conductances...).
+  netlist::CanonicalOptions canonical;
+  /// Memoize responses per handle, keyed by the exact request parameters
+  /// (thread counts excluded — results are bit-identical at any count).
+  /// Identical repeated requests then cost a map lookup, the way an
+  /// idempotent server endpoint would serve them.
+  bool cache_responses = true;
+};
+
+/// A compiled circuit: immutable shared state plus internally synchronized
+/// per-spec plan/response caches. Obtain from Service::compile*; a
+/// default-constructed handle is empty (valid() == false) and every request
+/// against it fails with kInvalidArgument.
+class CircuitHandle {
+ public:
+  CircuitHandle() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return compiled_ != nullptr; }
+
+  /// The circuit as given (pre-canonicalization). Requires valid().
+  [[nodiscard]] const netlist::Circuit& circuit() const;
+  /// The canonical {G, C, VCCS} twin the interpolation engine runs on.
+  [[nodiscard]] const netlist::Circuit& canonical() const;
+  /// Admittance-matrix dimension and determinant-degree bound.
+  [[nodiscard]] int dim() const;
+  [[nodiscard]] int order_bound() const;
+  /// Compile-time label (explicit name, else the netlist title).
+  [[nodiscard]] const std::string& name() const;
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  friend class Service;
+  std::shared_ptr<internal::CompiledCircuit> compiled_;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Parse + canonicalize + build the nodal system. `name` labels the
+  /// handle (falls back to the netlist .title).
+  [[nodiscard]] Result<CircuitHandle> compile_netlist(std::string_view text,
+                                                      std::string name = {}) const;
+
+  /// Compile a programmatically built circuit (copied into the handle).
+  [[nodiscard]] Result<CircuitHandle> compile(const netlist::Circuit& circuit,
+                                              std::string name = {}) const;
+
+  /// The paper's algorithm for one transfer function of the handle.
+  /// Warm path: repeated requests on one handle reuse the spec's evaluator
+  /// (assembly pattern + LU plan) and, for identical requests, the memoized
+  /// response. Errors: kInvalidSpec, kSingularSystem, kIncomplete.
+  [[nodiscard]] Result<RefgenResponse> refgen(const CircuitHandle& handle,
+                                              const RefgenRequest& request) const;
+
+  /// Direct AC sweep. Warm path: the spec's cached simulator sweeps via
+  /// plan replay. Errors: kInvalidSpec, kInvalidArgument (bad grid),
+  /// kSingularSystem.
+  [[nodiscard]] Result<SweepResponse> sweep(const CircuitHandle& handle,
+                                            const SweepRequest& request) const;
+
+  /// Reference generation (cache-shared with refgen()) + root extraction.
+  [[nodiscard]] Result<PolesZerosResponse> poles_zeros(const CircuitHandle& handle,
+                                                       const PolesZerosRequest& request) const;
+
+  /// Many refgen items against one handle, shared-nothing in parallel.
+  /// The call itself only fails for an invalid handle; per-item failures
+  /// come back in BatchResponse::items[i].status.
+  [[nodiscard]] Result<BatchResponse> batch(const CircuitHandle& handle,
+                                            const BatchRequest& request) const;
+
+  [[nodiscard]] const ServiceOptions& options() const noexcept { return options_; }
+
+ private:
+  [[nodiscard]] Result<CircuitHandle> finish_compile(netlist::Circuit circuit,
+                                                     std::string name) const;
+
+  ServiceOptions options_;
+};
+
+}  // namespace symref::api

@@ -1,0 +1,60 @@
+#include "api/status.h"
+
+#include <exception>
+#include <stdexcept>
+
+#include "mna/errors.h"
+#include "netlist/parser.h"
+#include "sparse/lu.h"
+
+namespace symref::api {
+
+const char* status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kParseError: return "parse_error";
+    case StatusCode::kInvalidSpec: return "invalid_spec";
+    case StatusCode::kSingularSystem: return "singular_system";
+    case StatusCode::kRefusedReplay: return "refused_replay";
+    case StatusCode::kIncomplete: return "incomplete";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = status_code_name(code_);
+  out += ": ";
+  out += message_;
+  if (location_.known()) {
+    out += " (line " + std::to_string(location_.line);
+    if (location_.column > 0) out += ", column " + std::to_string(location_.column);
+    out += ")";
+  }
+  return out;
+}
+
+Status status_from_current_exception() noexcept {
+  try {
+    throw;
+  } catch (const netlist::ParseError& e) {
+    return Status::error(StatusCode::kParseError, e.what(), {e.line(), e.column()});
+  } catch (const mna::SpecError& e) {
+    return Status::error(StatusCode::kInvalidSpec, e.what());
+  } catch (const mna::SingularSystemError& e) {
+    return Status::error(StatusCode::kSingularSystem, e.what());
+  } catch (const sparse::RefusedReplayError& e) {
+    return Status::error(StatusCode::kRefusedReplay, e.what());
+  } catch (const std::invalid_argument& e) {
+    return Status::error(StatusCode::kInvalidArgument, e.what());
+  } catch (const std::exception& e) {
+    return Status::error(StatusCode::kInternal, e.what());
+  } catch (...) {
+    return Status::error(StatusCode::kInternal, "unknown error");
+  }
+}
+
+}  // namespace symref::api

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "mna/errors.h"
 #include "support/thread_pool.h"
 
 namespace symref::mna {
@@ -61,7 +62,7 @@ AcSimulator::SpecCache& AcSimulator::prepare(const TransferSpec& spec) const {
   // no element touches).
   auto out_row = [&](const std::string& name) -> int {
     if (cache->work.find_node(name) == std::nullopt) {
-      throw std::runtime_error("AcSimulator: unknown node '" + name + "'");
+      throw SpecError("AcSimulator: unknown node '" + name + "'");
     }
     return cache->assembler->node_index(name).value_or(-1);
   };
@@ -92,7 +93,7 @@ std::complex<double> AcSimulator::solve_point(const SpecCache& cache, MnaAssembl
   if (!lu.refactor(matrix)) {
     sparse::SparseLu& fresh = persist_plan ? lu : throwaway;
     if (!fresh.factor(matrix)) {
-      throw std::runtime_error("AcSimulator: singular MNA system");
+      throw SingularSystemError("AcSimulator: singular MNA system");
     }
     solver = &fresh;
   }

@@ -37,8 +37,8 @@ class AcSimulator {
 
   /// Complex transfer value at a frequency. A VoltageGain spec drives the
   /// input pair with an ideal 1 V source; Transimpedance injects 1 A.
-  /// Throws std::runtime_error when the MNA system is singular or the spec
-  /// names unknown nodes.
+  /// Throws mna::SingularSystemError when the MNA system is singular and
+  /// mna::SpecError when the spec names unknown nodes (see mna/errors.h).
   ///
   /// The driven circuit and its assembler are built once per TransferSpec
   /// and cached; subsequent points of the same spec reuse the structural

@@ -1,0 +1,23 @@
+// Typed MNA-layer exceptions, so the api boundary can map failure classes to
+// distinct Status codes instead of string-matching exception text.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace symref::mna {
+
+/// A TransferSpec references unknown, floating, or degenerate nodes.
+class SpecError : public std::invalid_argument {
+ public:
+  explicit SpecError(const std::string& message) : std::invalid_argument(message) {}
+};
+
+/// The assembled system admitted no acceptable pivot (structurally or
+/// numerically singular at the requested point).
+class SingularSystemError : public std::runtime_error {
+ public:
+  explicit SingularSystemError(const std::string& message) : std::runtime_error(message) {}
+};
+
+}  // namespace symref::mna

@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "mna/errors.h"
 #include "netlist/canonical.h"
 #include "numeric/stats.h"
 #include "sparse/lu.h"
@@ -106,14 +107,14 @@ CofactorEvaluator::CofactorEvaluator(const NodalSystem& system, const TransferSp
   auto resolve = [&](const std::string& name, const char* what) -> int {
     const auto node = system.circuit().find_node(name);
     if (!node) {
-      throw std::invalid_argument("CofactorEvaluator: unknown " + std::string(what) +
-                                  " node '" + name + "'");
+      throw SpecError("CofactorEvaluator: unknown " + std::string(what) + " node '" + name +
+                      "'");
     }
     if (*node == 0) return -1;
     const auto row = system.row_of_node(name);
     if (!row) {
-      throw std::invalid_argument("CofactorEvaluator: " + std::string(what) + " node '" +
-                                  name + "' is floating");
+      throw SpecError("CofactorEvaluator: " + std::string(what) + " node '" + name +
+                      "' is floating");
     }
     return *row;
   };
@@ -122,7 +123,7 @@ CofactorEvaluator::CofactorEvaluator(const NodalSystem& system, const TransferSp
   out_pos_ = resolve(spec.out_pos, "output+");
   out_neg_ = resolve(spec.out_neg, "output-");
   if (in_pos_ == in_neg_) {
-    throw std::invalid_argument("CofactorEvaluator: input pair is degenerate");
+    throw SpecError("CofactorEvaluator: input pair is degenerate");
   }
   std::vector<PatternStamp> stamps = system.stamps();
   if (spec_kind_ == TransferSpec::Kind::VoltageGain) {

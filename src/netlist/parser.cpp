@@ -21,12 +21,27 @@ std::string to_lower(std::string_view text) {
   return out;
 }
 
+/// 1-based source position of a token (continuation lines keep the physical
+/// line they came from, not the logical line's first line).
+struct TokenPos {
+  int line = 0;
+  int column = 0;
+};
+
 struct LogicalLine {
   int number = 0;  // 1-based source line of the first physical line
   std::vector<std::string> tokens;
+  std::vector<TokenPos> pos;  // parallel to tokens
+
+  /// ParseError pointing at token `index` (falls back to the line when the
+  /// index names a missing token).
+  [[nodiscard]] ParseError error(std::size_t index, const std::string& message) const {
+    if (index < pos.size()) return ParseError(pos[index].line, pos[index].column, message);
+    return ParseError(number, message);
+  }
 };
 
-/// Strip comments, join continuations, tokenize.
+/// Strip comments, join continuations, tokenize with source positions.
 std::vector<LogicalLine> tokenize(std::string_view text) {
   std::vector<LogicalLine> lines;
   std::istringstream stream{std::string(text)};
@@ -34,7 +49,7 @@ std::vector<LogicalLine> tokenize(std::string_view text) {
   int number = 0;
   while (std::getline(stream, raw)) {
     ++number;
-    // Trailing comments.
+    // Trailing comments (only truncate, so columns stay those of the source).
     for (const char marker : {';', '$'}) {
       const auto pos = raw.find(marker);
       if (pos != std::string::npos) raw.erase(pos);
@@ -47,26 +62,39 @@ std::vector<LogicalLine> tokenize(std::string_view text) {
     const bool continuation = raw[begin] == '+';
     if (continuation) ++begin;
 
-    std::istringstream token_stream(raw.substr(begin));
     std::vector<std::string> tokens;
-    std::string token;
-    while (token_stream >> token) tokens.push_back(token);
+    std::vector<TokenPos> pos;
+    std::size_t at = begin;
+    while (at < raw.size()) {
+      at = raw.find_first_not_of(" \t\r", at);
+      if (at == std::string::npos) break;
+      std::size_t end = raw.find_first_of(" \t\r", at);
+      if (end == std::string::npos) end = raw.size();
+      tokens.push_back(raw.substr(at, end - at));
+      pos.push_back({number, static_cast<int>(at) + 1});
+      at = end;
+    }
     if (tokens.empty()) continue;
 
     if (continuation) {
-      if (lines.empty()) throw ParseError(number, "continuation '+' with no previous line");
-      auto& previous = lines.back().tokens;
-      previous.insert(previous.end(), tokens.begin(), tokens.end());
+      if (lines.empty()) {
+        throw ParseError(number, static_cast<int>(begin),
+                         "continuation '+' with no previous line");
+      }
+      auto& previous = lines.back();
+      previous.tokens.insert(previous.tokens.end(), tokens.begin(), tokens.end());
+      previous.pos.insert(previous.pos.end(), pos.begin(), pos.end());
     } else {
-      lines.push_back({number, std::move(tokens)});
+      lines.push_back({number, std::move(tokens), std::move(pos)});
     }
   }
   return lines;
 }
 
-double parse_value(const LogicalLine& line, const std::string& token) {
+double parse_value(const LogicalLine& line, std::size_t index) {
+  const std::string& token = line.tokens[index];
   const auto value = numeric::parse_engineering(token);
-  if (!value) throw ParseError(line.number, "bad numeric value '" + token + "'");
+  if (!value) throw line.error(index, "bad numeric value '" + token + "'");
   return *value;
 }
 
@@ -112,22 +140,22 @@ class Parser {
 
  private:
   void collect_model(const LogicalLine& line) {
-    if (line.tokens.size() < 3) throw ParseError(line.number, ".model needs a name and a type");
+    if (line.tokens.size() < 3) throw line.error(0, ".model needs a name and a type");
     ModelCard card;
     const std::string name = to_lower(line.tokens[1]);
     card.type = to_lower(line.tokens[2]);
     if (card.type != "bjt" && card.type != "mos") {
-      throw ParseError(line.number, "unknown model type '" + card.type + "'");
+      throw line.error(2, "unknown model type '" + card.type + "'");
     }
     for (std::size_t t = 3; t < line.tokens.size(); ++t) {
       const std::string& token = line.tokens[t];
       const auto eq = token.find('=');
       if (eq == std::string::npos) {
-        throw ParseError(line.number, "model parameter '" + token + "' is not key=value");
+        throw line.error(t, "model parameter '" + token + "' is not key=value");
       }
       const std::string key = to_lower(token.substr(0, eq));
       const auto value = numeric::parse_engineering(token.substr(eq + 1));
-      if (!value) throw ParseError(line.number, "bad model value in '" + token + "'");
+      if (!value) throw line.error(t, "bad model value in '" + token + "'");
       card.params[key] = *value;
     }
     models_[name] = std::move(card);
@@ -135,7 +163,7 @@ class Parser {
 
   std::size_t collect_subckt(const std::vector<LogicalLine>& lines, std::size_t start) {
     const LogicalLine& header = lines[start];
-    if (header.tokens.size() < 2) throw ParseError(header.number, ".subckt needs a name");
+    if (header.tokens.size() < 2) throw header.error(0, ".subckt needs a name");
     SubcktDef def;
     const std::string name = to_lower(header.tokens[1]);
     def.ports.assign(header.tokens.begin() + 2, header.tokens.end());
@@ -147,7 +175,7 @@ class Parser {
         return i + 1;
       }
       if (head == ".subckt") {
-        throw ParseError(lines[i].number, "nested .subckt definitions are not supported");
+        throw lines[i].error(0, "nested .subckt definitions are not supported");
       }
       def.body.push_back(lines[i]);
       ++i;
@@ -173,20 +201,20 @@ class Parser {
 
     auto node = [&](std::size_t index) -> std::string {
       if (index >= line.tokens.size()) {
-        throw ParseError(line.number, "'" + first + "': missing node");
+        throw line.error(0, "'" + first + "': missing node");
       }
       return resolve_node(line.tokens[index], port_map, prefix);
     };
-    auto value_token = [&](std::size_t index) -> const std::string& {
+    auto value_token = [&](std::size_t index) -> std::size_t {
       if (index >= line.tokens.size()) {
-        throw ParseError(line.number, "'" + first + "': missing value");
+        throw line.error(0, "'" + first + "': missing value");
       }
-      return line.tokens[index];
+      return index;
     };
     auto require_tokens = [&](std::size_t count) {
       if (line.tokens.size() < count) {
-        throw ParseError(line.number, "'" + first + "': expected at least " +
-                                          std::to_string(count - 1) + " fields");
+        throw line.error(0, "'" + first + "': expected at least " +
+                                std::to_string(count - 1) + " fields");
       }
     };
 
@@ -229,7 +257,7 @@ class Parser {
         double magnitude = 1.0;
         for (std::size_t t = 3; t < line.tokens.size(); ++t) {
           if (to_lower(line.tokens[t]) == "ac" || to_lower(line.tokens[t]) == "dc") continue;
-          magnitude = parse_value(line, line.tokens[t]);
+          magnitude = parse_value(line, t);
         }
         if (kind == 'v') {
           circuit_.add_vsource(name, node(1), node(2), magnitude);
@@ -247,7 +275,7 @@ class Parser {
         const std::string model = to_lower(line.tokens[4]);
         const auto it = models_.find(model);
         if (it == models_.end() || it->second.type != "bjt") {
-          throw ParseError(line.number, "'" + first + "': unknown bjt model '" + model + "'");
+          throw line.error(4, "'" + first + "': unknown bjt model '" + model + "'");
         }
         BjtParams p;
         const auto& params = it->second.params;
@@ -270,7 +298,7 @@ class Parser {
         const std::string model = to_lower(line.tokens[4]);
         const auto it = models_.find(model);
         if (it == models_.end() || it->second.type != "mos") {
-          throw ParseError(line.number, "'" + first + "': unknown mos model '" + model + "'");
+          throw line.error(4, "'" + first + "': unknown mos model '" + model + "'");
         }
         MosParams p;
         const auto& params = it->second.params;
@@ -299,29 +327,30 @@ class Parser {
           }
           circuit_.title = title;
         } else {
-          throw ParseError(line.number, "unknown directive '" + first + "'");
+          throw line.error(0, "unknown directive '" + first + "'");
         }
         break;
       }
       default:
-        throw ParseError(line.number, "unknown element card '" + first + "'");
+        throw line.error(0, "unknown element card '" + first + "'");
     }
   }
 
   void expand_subckt(const LogicalLine& line, const std::string& outer_prefix,
                      const std::map<std::string, std::string>& outer_map) {
-    if (line.tokens.size() < 2) throw ParseError(line.number, "X card needs a subckt name");
+    if (line.tokens.size() < 2) throw line.error(0, "X card needs a subckt name");
     const std::string subckt_name = to_lower(line.tokens.back());
     const auto it = subckts_.find(subckt_name);
     if (it == subckts_.end()) {
-      throw ParseError(line.number, "unknown subcircuit '" + line.tokens.back() + "'");
+      throw line.error(line.tokens.size() - 1,
+                       "unknown subcircuit '" + line.tokens.back() + "'");
     }
     const SubcktDef& def = it->second;
     const std::size_t node_count = line.tokens.size() - 2;
     if (node_count != def.ports.size()) {
-      throw ParseError(line.number, "subckt '" + subckt_name + "' expects " +
-                                        std::to_string(def.ports.size()) + " nodes, got " +
-                                        std::to_string(node_count));
+      throw line.error(0, "subckt '" + subckt_name + "' expects " +
+                              std::to_string(def.ports.size()) + " nodes, got " +
+                              std::to_string(node_count));
     }
     const std::string prefix = outer_prefix + line.tokens.front() + ".";
     std::map<std::string, std::string> port_map;

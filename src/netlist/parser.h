@@ -37,13 +37,23 @@ namespace symref::netlist {
 
 class ParseError : public std::runtime_error {
  public:
-  ParseError(int line, const std::string& message)
-      : std::runtime_error("netlist line " + std::to_string(line) + ": " + message),
-        line_(line) {}
+  ParseError(int line, const std::string& message) : ParseError(line, 0, message) {}
+  /// `column` is the 1-based position of the offending token in its source
+  /// line (0 when no single token is to blame, e.g. "missing .ends").
+  ParseError(int line, int column, const std::string& message)
+      : std::runtime_error(format(line, column, message)), line_(line), column_(column) {}
   [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
 
  private:
+  static std::string format(int line, int column, const std::string& message) {
+    std::string out = "netlist line " + std::to_string(line);
+    if (column > 0) out += ", column " + std::to_string(column);
+    return out + ": " + message;
+  }
+
   int line_;
+  int column_;
 };
 
 /// Parse a netlist; throws ParseError on malformed input.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "interp/interpolator.h"
@@ -131,8 +132,9 @@ double tilt_factor(const ValidRegion& region, const std::vector<ScaledComplex>& 
 
 AdaptiveScalingEngine::AdaptiveScalingEngine(const mna::NodalSystem& system,
                                              const mna::TransferSpec& spec,
-                                             AdaptiveOptions options)
-    : system_(system), spec_(spec), options_(std::move(options)) {}
+                                             AdaptiveOptions options,
+                                             const mna::CofactorEvaluator* evaluator)
+    : system_(system), spec_(spec), options_(std::move(options)), external_evaluator_(evaluator) {}
 
 std::pair<double, double> AdaptiveScalingEngine::initial_scales() const {
   double f = options_.initial_f;
@@ -157,7 +159,12 @@ AdaptiveResult AdaptiveScalingEngine::run() {
   support::Timer total_timer;
   AdaptiveResult result;
 
-  const mna::CofactorEvaluator evaluator(system_, spec_);
+  // A caller-provided evaluator keeps its assembly pattern and LU plan warm
+  // across runs (the api::Service handle cache); otherwise build a local one.
+  std::optional<mna::CofactorEvaluator> local_evaluator;
+  if (external_evaluator_ == nullptr) local_evaluator.emplace(system_, spec_);
+  const mna::CofactorEvaluator& evaluator =
+      external_evaluator_ != nullptr ? *external_evaluator_ : *local_evaluator;
   const int circuit_bound = system_.order_bound();
 
   // One pool for the whole run (workers persist across iterations). The
@@ -288,6 +295,7 @@ AdaptiveResult AdaptiveScalingEngine::run() {
       result.termination = "singular_system";
       record.seconds = iteration_timer.seconds();
       result.iterations.push_back(std::move(record));
+      if (options_.on_iteration) options_.on_iteration(result.iterations.back());
       break;
     }
     // A singular system deep into a hunt just means the tilt pushed the
@@ -392,6 +400,7 @@ AdaptiveResult AdaptiveScalingEngine::run() {
     record.seconds = iteration_timer.seconds();
     result.iterations.push_back(std::move(record));
     const IterationRecord& last = result.iterations.back();
+    if (options_.on_iteration) options_.on_iteration(last);
 
     const bool driver_is_den = !den.complete();
     PolyTracker& driver = driver_is_den ? den : num;

@@ -23,6 +23,7 @@
 // is driven by the denominator until it completes, then by the numerator.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,15 @@
 #include "refgen/reference.h"
 
 namespace symref::refgen {
+
+struct IterationRecord;
+
+/// Iteration-progress observer: called on the engine's thread immediately
+/// after each interpolation iteration is recorded (the record is final).
+/// Long-running observers stall the engine; do not mutate engine state from
+/// the callback. Response caches short-circuit whole runs, so an observer
+/// sees no iterations on a cache hit.
+using ProgressObserver = std::function<void(const IterationRecord&)>;
 
 struct AdaptiveOptions {
   /// Significant digits demanded of each coefficient (eq. (12) floor).
@@ -71,6 +81,9 @@ struct AdaptiveOptions {
   /// replays of one shared factorization plan, written into per-point slots
   /// (see CofactorEvaluator::evaluate_batch).
   int threads = 1;
+  /// Iteration-progress hook (see ProgressObserver above). Not part of any
+  /// request fingerprint: two requests differing only here are identical.
+  ProgressObserver on_iteration;
 };
 
 enum class IterationPurpose { Initial, Upward, Downward, GapRepair };
@@ -126,11 +139,24 @@ struct AdaptiveResult {
 class AdaptiveScalingEngine {
  public:
   /// The system/spec must outlive the engine. One run() per engine.
+  ///
+  /// `evaluator` (optional) is a caller-owned CofactorEvaluator built over
+  /// the SAME system and spec: its cached assembly pattern and LU plan then
+  /// survive across engine runs — the warm-handle path of api::Service. The
+  /// evaluator is non-reentrant, so the caller must serialize runs that
+  /// share one. When null, run() builds its own throwaway evaluator.
   AdaptiveScalingEngine(const mna::NodalSystem& system, const mna::TransferSpec& spec,
-                        AdaptiveOptions options = {});
+                        AdaptiveOptions options = {},
+                        const mna::CofactorEvaluator* evaluator = nullptr);
 
   /// First-interpolation scale factors (heuristic or overrides).
   [[nodiscard]] std::pair<double, double> initial_scales() const;
+
+  /// Observer invoked after every iteration (see ProgressObserver). May be
+  /// set once before run(); replaces any observer carried in the options.
+  void set_progress_observer(ProgressObserver observer) {
+    options_.on_iteration = std::move(observer);
+  }
 
   AdaptiveResult run();
 
@@ -138,6 +164,7 @@ class AdaptiveScalingEngine {
   const mna::NodalSystem& system_;
   const mna::TransferSpec& spec_;
   AdaptiveOptions options_;
+  const mna::CofactorEvaluator* external_evaluator_ = nullptr;
 };
 
 /// Convenience wrapper: canonicalize + build the nodal system + run.

@@ -1,7 +1,5 @@
 #include "refgen/batch.h"
 
-#include <exception>
-
 #include "support/thread_pool.h"
 
 namespace symref::refgen {
@@ -22,11 +20,15 @@ std::vector<BatchResult> BatchRunner::run(const std::vector<BatchJob>& jobs) con
       options.threads = 1;
       try {
         out.result = generate_reference(job.circuit, job.spec, options);
-        out.ok = true;
-      } catch (const std::exception& error) {
-        out.error = error.what();
+        if (!out.result.complete) {
+          const api::StatusCode code = out.result.termination == "singular_system"
+                                           ? api::StatusCode::kSingularSystem
+                                           : api::StatusCode::kIncomplete;
+          out.status = api::Status::error(
+              code, "adaptive engine terminated: " + out.result.termination);
+        }
       } catch (...) {
-        out.error = "unknown error";
+        out.status = api::status_from_current_exception();
       }
     }
   });

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "api/status.h"
 #include "mna/transfer.h"
 #include "netlist/circuit.h"
 #include "refgen/adaptive.h"
@@ -32,11 +33,13 @@ struct BatchJob {
 struct BatchResult {
   std::string label;
   AdaptiveResult result;
-  /// False when the job threw (malformed circuit/spec); `error` holds the
-  /// exception text and `result` is default-constructed. Other jobs are
-  /// unaffected.
-  bool ok = false;
-  std::string error;
+  /// Job outcome with the same error taxonomy as single api requests
+  /// (kInvalidSpec, kSingularSystem, kIncomplete, ...). When not ok,
+  /// `result` holds whatever the engine produced before failing (default
+  /// when the job threw before running). Other jobs are unaffected.
+  api::Status status;
+
+  [[nodiscard]] bool ok() const noexcept { return status.ok(); }
 };
 
 class BatchRunner {

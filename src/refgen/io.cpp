@@ -1,6 +1,7 @@
 #include "refgen/io.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -8,15 +9,6 @@
 namespace symref::refgen {
 
 namespace {
-
-const char* status_token(CoefficientStatus status) {
-  switch (status) {
-    case CoefficientStatus::Unknown: return "unknown";
-    case CoefficientStatus::Interpolated: return "interpolated";
-    case CoefficientStatus::ZeroTail: return "zero";
-  }
-  return "unknown";
-}
 
 CoefficientStatus parse_status(const std::string& token) {
   if (token == "interpolated") return CoefficientStatus::Interpolated;
@@ -30,9 +22,11 @@ void write_polynomial(std::ostream& os, const char* label, const PolynomialRefer
   char buffer[128];
   for (int i = 0; i <= poly.order_bound(); ++i) {
     const Coefficient& c = poly.at(i);
-    std::snprintf(buffer, sizeof(buffer), "%d %a %" PRId64 " %s %.17g\n", i,
+    // Both doubles as hex floats: bit-exact, and %a/%la round-trip inf, nan
+    // and subnormals (which "%g" + operator>> do not).
+    std::snprintf(buffer, sizeof(buffer), "%d %a %" PRId64 " %s %a\n", i,
                   c.value.mantissa(), static_cast<std::int64_t>(c.value.exponent2()),
-                  status_token(c.status), c.relative_accuracy);
+                  coefficient_status_name(c.status), c.relative_accuracy);
     os << buffer;
   }
 }
@@ -44,20 +38,41 @@ PolynomialReference read_polynomial(std::istream& is, const char* expected_label
     throw std::runtime_error("read_reference: expected '" + std::string(expected_label) +
                              " <order>' header");
   }
+  // No circuit this library can factor produces a million coefficients; a
+  // larger header is a corrupt/hostile file, not a reference (and would
+  // otherwise drive a giant allocation before the first line fails).
+  constexpr int kMaxOrderBound = 1 << 20;
+  if (order_bound > kMaxOrderBound) {
+    throw std::runtime_error("read_reference: implausible order bound " +
+                             std::to_string(order_bound));
+  }
   PolynomialReference poly(order_bound);
   for (int i = 0; i <= order_bound; ++i) {
     int index = 0;
     std::string mantissa_token;
     std::int64_t exponent = 0;
     std::string status;
-    double accuracy = 1.0;
-    if (!(is >> index >> mantissa_token >> exponent >> status >> accuracy) || index != i) {
+    std::string accuracy_token;
+    if (!(is >> index >> mantissa_token >> exponent >> status >> accuracy_token) ||
+        index != i) {
       throw std::runtime_error("read_reference: malformed coefficient line " +
                                std::to_string(i));
     }
     double mantissa = 0.0;
     if (std::sscanf(mantissa_token.c_str(), "%la", &mantissa) != 1) {
       throw std::runtime_error("read_reference: bad mantissa '" + mantissa_token + "'");
+    }
+    // A ScaledDouble mantissa is finite by construction ([1, 2) or 0); a
+    // non-finite token means the file is corrupt, and normalizing it would
+    // silently fabricate a value.
+    if (!std::isfinite(mantissa)) {
+      throw std::runtime_error("read_reference: non-finite mantissa '" + mantissa_token + "'");
+    }
+    // strtod semantics: parses hex floats, decimals (legacy v1 files), and
+    // the inf/nan tokens an accuracy field may legitimately carry.
+    double accuracy = 1.0;
+    if (std::sscanf(accuracy_token.c_str(), "%la", &accuracy) != 1) {
+      throw std::runtime_error("read_reference: bad accuracy '" + accuracy_token + "'");
     }
     Coefficient& c = poly.at(i);
     c.value = numeric::ScaledDouble::from_mantissa_exp(mantissa, exponent);
@@ -70,7 +85,9 @@ PolynomialReference read_polynomial(std::istream& is, const char* expected_label
 }  // namespace
 
 void write_reference(std::ostream& os, const NumericalReference& reference) {
-  os << "symref-reference v1\n";
+  // v2: the accuracy field is a hex float (%a) instead of v1's %.17g, so
+  // inf/nan/subnormal accuracies round-trip bit-exactly.
+  os << "symref-reference v2\n";
   write_polynomial(os, "numerator", reference.numerator());
   write_polynomial(os, "denominator", reference.denominator());
   os << "end\n";
@@ -85,8 +102,9 @@ std::string write_reference(const NumericalReference& reference) {
 NumericalReference read_reference(std::istream& is) {
   std::string magic;
   std::string version;
-  if (!(is >> magic >> version) || magic != "symref-reference" || version != "v1") {
-    throw std::runtime_error("read_reference: missing 'symref-reference v1' header");
+  if (!(is >> magic >> version) || magic != "symref-reference" ||
+      (version != "v1" && version != "v2")) {
+    throw std::runtime_error("read_reference: missing 'symref-reference v1/v2' header");
   }
   PolynomialReference numerator = read_polynomial(is, "numerator");
   PolynomialReference denominator = read_polynomial(is, "denominator");

@@ -4,16 +4,18 @@
 // lets them consume the references without linking the engine. One line per
 // coefficient:
 //
-//   symref-reference v1
+//   symref-reference v2
 //   numerator <order_bound>
-//   0 <mantissa_hex> <exp2> <status> <accuracy>
+//   0 <mantissa_hex> <exp2> <status> <accuracy_hex>
 //   ...
 //   denominator <order_bound>
 //   ...
 //   end
 //
-// Mantissas are serialized as hex doubles (%a), so the round-trip is
-// bit-exact; the binary exponent keeps the extended range intact.
+// Mantissas and accuracies are serialized as hex doubles (%a), so the
+// round-trip is bit-exact (including inf/nan/subnormal accuracies); the
+// binary exponent keeps the extended range intact. The reader also accepts
+// v1 files, whose accuracy field was decimal (%.17g).
 #pragma once
 
 #include <iosfwd>

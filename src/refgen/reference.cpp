@@ -8,6 +8,15 @@ namespace symref::refgen {
 using numeric::ScaledComplex;
 using numeric::ScaledDouble;
 
+const char* coefficient_status_name(CoefficientStatus status) noexcept {
+  switch (status) {
+    case CoefficientStatus::Unknown: return "unknown";
+    case CoefficientStatus::Interpolated: return "interpolated";
+    case CoefficientStatus::ZeroTail: return "zero";
+  }
+  return "unknown";
+}
+
 int PolynomialReference::effective_order() const noexcept {
   for (int i = order_bound(); i >= 0; --i) {
     const Coefficient& c = coefficients_[static_cast<std::size_t>(i)];

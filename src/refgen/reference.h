@@ -19,6 +19,10 @@ enum class CoefficientStatus {
   ZeroTail,    // proven zero: beyond the detected true order
 };
 
+/// Stable serialization token ("unknown", "interpolated", "zero") — shared
+/// by the reference text format (refgen/io.h) and the api JSON payloads.
+const char* coefficient_status_name(CoefficientStatus status) noexcept;
+
 struct Coefficient {
   numeric::ScaledDouble value;  // denormalized (true) value
   CoefficientStatus status = CoefficientStatus::Unknown;

@@ -296,6 +296,14 @@ bool SparseLu::analyze_and_factor(const CompressedMatrix& matrix,
   return true;
 }
 
+void SparseLu::require_refactor(const CompressedMatrix& matrix, const SparseLuOptions& options) {
+  if (!plan_) throw RefusedReplayError("SparseLu: replay required but no plan recorded");
+  if (!refactor(matrix, options)) {
+    throw RefusedReplayError(
+        "SparseLu: plan replay refused (pattern changed or reused pivot degraded)");
+  }
+}
+
 bool SparseLu::refactor(const CompressedMatrix& matrix, const SparseLuOptions& options) {
   if (!plan_ || matrix.dim != plan_->dim || matrix.row_start != plan_->pattern_row_start ||
       matrix.cols != plan_->pattern_cols) {

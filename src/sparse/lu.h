@@ -35,12 +35,24 @@
 #include <complex>
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "numeric/scaled.h"
 #include "sparse/matrix.h"
 
 namespace symref::sparse {
+
+/// Thrown by require_refactor() when the plan replay is refused (structural
+/// pattern changed or a reused pivot degraded). Callers that can fall back
+/// use the bool-returning refactor() instead; callers that REQUIRE replay
+/// semantics (bit-stable repeated evaluation against a pinned plan, e.g. a
+/// server validating a warm handle) use the throwing form so the api layer
+/// can report the distinct kRefusedReplay status code.
+class RefusedReplayError : public std::runtime_error {
+ public:
+  explicit RefusedReplayError(const std::string& message) : std::runtime_error(message) {}
+};
 
 struct SparseLuOptions {
   /// Threshold partial pivoting: a candidate pivot must satisfy
@@ -71,6 +83,10 @@ class SparseLu {
   /// state. That history independence is what makes per-point evaluation
   /// order (and hence thread count) irrelevant to the results.
   bool refactor(const CompressedMatrix& matrix, const SparseLuOptions& options = {});
+
+  /// refactor() that throws RefusedReplayError instead of returning false —
+  /// for callers whose contract is "replay the pinned plan or fail loudly".
+  void require_refactor(const CompressedMatrix& matrix, const SparseLuOptions& options = {});
 
   [[nodiscard]] int dim() const noexcept { return dim_; }
   [[nodiscard]] bool ok() const noexcept { return ok_; }

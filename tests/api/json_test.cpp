@@ -1,0 +1,113 @@
+// Minimal JSON value: build/dump/parse round trips and strict-parse errors.
+#include "api/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace symref::api {
+namespace {
+
+TEST(Json, BuildAndDumpCompact) {
+  Json out = Json::object();
+  out.set("name", "ua741");
+  out.set("ok", true);
+  out.set("count", 3);
+  Json list = Json::array();
+  list.push_back(1.5);
+  list.push_back(nullptr);
+  out.set("values", std::move(list));
+  EXPECT_EQ(out.dump(), R"({"name":"ua741","ok":true,"count":3,"values":[1.5,null]})");
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndReplaces) {
+  Json out = Json::object();
+  out.set("b", 1);
+  out.set("a", 2);
+  out.set("b", 3);  // replace in place, order kept
+  EXPECT_EQ(out.dump(), R"({"b":3,"a":2})");
+}
+
+TEST(Json, NumbersRoundTripShortest) {
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  EXPECT_EQ(Json(6.0).dump(), "6");
+  EXPECT_EQ(Json(1e300).dump(), "1e+300");
+  // 17 digits only when needed.
+  const double precise = 0.1234567890123456789;
+  const Json parsed = Json::parse(Json(precise).dump()).take();
+  EXPECT_EQ(parsed.as_number(), precise);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+}
+
+TEST(Json, StringEscapes) {
+  const Json value(std::string("a\"b\\c\nd\te\x01"));
+  EXPECT_EQ(value.dump(), R"("a\"b\\c\nd\te\u0001")");
+  const Json back = Json::parse(value.dump()).take();
+  EXPECT_EQ(back.as_string(), value.as_string());
+}
+
+TEST(Json, ParseDocument) {
+  const auto result = Json::parse(R"(
+    {"spec": {"in": "inp", "out": "vo"},
+     "options": {"sigma": 6, "deflate": true},
+     "grid": [1, 10.5, 1e3],
+     "note": "uA"}
+  )");
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  const Json& doc = result.value();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("spec")->find("in")->as_string(), "inp");
+  EXPECT_EQ(doc.find("options")->find("sigma")->as_int(), 6);
+  EXPECT_TRUE(doc.find("options")->find("deflate")->as_bool());
+  ASSERT_EQ(doc.find("grid")->size(), 3u);
+  EXPECT_EQ(doc.find("grid")->items()[2].as_number(), 1e3);
+  EXPECT_EQ(doc.find("note")->as_string(), "uA");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, DumpPrettyReparses) {
+  Json out = Json::object();
+  out.set("a", Json::array().push_back(1).push_back(2));
+  Json inner = Json::object();
+  inner.set("k", "v");
+  out.set("b", std::move(inner));
+  const std::string pretty = out.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  const auto reparsed = Json::parse(pretty);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().dump(), out.dump());
+}
+
+TEST(Json, ParseErrorsCarryLineAndColumn) {
+  const auto result = Json::parse("{\n  \"a\": 1,\n  \"b\": bogus\n}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(result.status().location().line, 3);
+  EXPECT_GT(result.status().location().column, 1);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "tru", "nul", "{\"a\" 1}", "{\"a\":1} extra", "\"unterminated",
+        "01", "1.", "1e", "[1 2]", "{'a':1}", "\x01"}) {
+    EXPECT_FALSE(Json::parse(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(Json, AccessorsAreTypeSafe) {
+  const Json number(4.0);
+  EXPECT_EQ(number.as_string(), "");
+  EXPECT_TRUE(number.items().empty());
+  EXPECT_TRUE(number.members().empty());
+  EXPECT_EQ(number.find("x"), nullptr);
+  EXPECT_EQ(number.size(), 0u);
+  EXPECT_EQ(Json("text").as_number(7.0), 7.0);
+}
+
+}  // namespace
+}  // namespace symref::api

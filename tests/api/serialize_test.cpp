@@ -1,0 +1,144 @@
+// JSON wire mapping: encode shapes, strict request decoding, round trips.
+#include "api/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/service.h"
+
+namespace symref::api {
+namespace {
+
+TEST(SerializeStatus, OkAndErrorShapes) {
+  EXPECT_EQ(to_json(Status()).dump(), R"({"code":"ok"})");
+  const Status error =
+      Status::error(StatusCode::kParseError, "bad card", SourceLocation{3, 7});
+  EXPECT_EQ(to_json(error).dump(),
+            R"({"code":"parse_error","message":"bad card","line":3,"column":7})");
+}
+
+TEST(SerializeSpec, RoundTrip) {
+  const auto spec = mna::TransferSpec::transimpedance("inp", "vo", "inn", "ref");
+  const auto parsed = spec_from_json(to_json(spec));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().kind, spec.kind);
+  EXPECT_EQ(parsed.value().in_pos, "inp");
+  EXPECT_EQ(parsed.value().in_neg, "inn");
+  EXPECT_EQ(parsed.value().out_pos, "vo");
+  EXPECT_EQ(parsed.value().out_neg, "ref");
+}
+
+TEST(SerializeSpec, StrictDecoding) {
+  EXPECT_EQ(spec_from_json(Json::parse(R"({"in":"a"})").take()).status().code(),
+            StatusCode::kInvalidArgument);  // missing "out"
+  EXPECT_EQ(
+      spec_from_json(Json::parse(R"({"in":"a","out":"b","typo":1})").take()).status().code(),
+      StatusCode::kInvalidArgument);  // unknown key
+  EXPECT_EQ(spec_from_json(Json::parse(R"({"in":"a","out":"b","kind":"nonsense"})").take())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(spec_from_json(Json(3.0)).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeOptions, RoundTripNonDefaults) {
+  refgen::AdaptiveOptions options;
+  options.sigma = 9;
+  options.tuning_r = -0.5;
+  options.use_deflation = false;
+  options.initial_f = 2.5e9;
+  options.threads = 4;
+  const auto parsed = options_from_json(to_json(options));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().sigma, 9);
+  EXPECT_EQ(parsed.value().tuning_r, -0.5);
+  EXPECT_FALSE(parsed.value().use_deflation);
+  EXPECT_EQ(parsed.value().initial_f, 2.5e9);
+  EXPECT_EQ(parsed.value().threads, 4);
+  // Untouched fields keep their defaults.
+  EXPECT_EQ(parsed.value().no_progress_limit, 3);
+}
+
+TEST(SerializeRequest, ParsesEveryType) {
+  const auto refgen_req = request_from_json(
+      Json::parse(R"({"type":"refgen","spec":{"in":"a","out":"b"},"options":{"sigma":7}})")
+          .take());
+  ASSERT_TRUE(refgen_req.ok()) << refgen_req.status().to_string();
+  EXPECT_EQ(refgen_req.value().type, AnyRequest::Type::kRefgen);
+  EXPECT_EQ(refgen_req.value().refgen.options.sigma, 7);
+
+  const auto sweep_req = request_from_json(
+      Json::parse(
+          R"({"type":"sweep","spec":{"in":"a","out":"b"},"f_start_hz":10,"f_stop_hz":1e6,"points_per_decade":5})")
+          .take());
+  ASSERT_TRUE(sweep_req.ok());
+  EXPECT_EQ(sweep_req.value().type, AnyRequest::Type::kSweep);
+  EXPECT_EQ(sweep_req.value().sweep.f_start_hz, 10.0);
+  EXPECT_EQ(sweep_req.value().sweep.points_per_decade, 5);
+
+  const auto pz_req = request_from_json(
+      Json::parse(R"({"type":"poles_zeros","spec":{"in":"a","out":"b"}})").take());
+  ASSERT_TRUE(pz_req.ok());
+  EXPECT_EQ(pz_req.value().type, AnyRequest::Type::kPolesZeros);
+
+  EXPECT_EQ(request_from_json(Json::parse(R"({"type":"bogus"})").take()).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(request_from_json(Json::parse(R"({"type":"refgen"})").take()).status().code(),
+            StatusCode::kInvalidArgument);  // missing spec
+}
+
+TEST(SerializeRequest, SessionAcceptsObjectOrArray) {
+  const auto one = requests_from_json(
+      Json::parse(R"({"type":"poles_zeros","spec":{"in":"a","out":"b"}})").take());
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value().size(), 1u);
+
+  const auto many = requests_from_json(
+      Json::parse(R"([{"type":"refgen","spec":{"in":"a","out":"b"}},
+                      {"type":"sweep","spec":{"in":"a","out":"b"}}])")
+          .take());
+  ASSERT_TRUE(many.ok());
+  EXPECT_EQ(many.value().size(), 2u);
+  EXPECT_EQ(many.value()[1].type, AnyRequest::Type::kSweep);
+}
+
+TEST(SerializeResponse, RefgenPayloadShape) {
+  const Service service;
+  const CircuitHandle handle = service
+                                   .compile_netlist("R1 in out 1k\nC1 out 0 1u\n")
+                                   .take();
+  const auto response =
+      service.refgen(handle, {mna::TransferSpec::voltage_gain("in", "out"), {}});
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+
+  const Json payload = to_json(response.value());
+  EXPECT_EQ(payload.find("type")->as_string(), "refgen");
+  EXPECT_EQ(payload.find("status")->find("code")->as_string(), "ok");
+  EXPECT_TRUE(payload.find("complete")->as_bool());
+  const Json* denominator = payload.find("reference")->find("denominator");
+  ASSERT_NE(denominator, nullptr);
+  EXPECT_EQ(denominator->find("coefficients")->size(),
+            static_cast<std::size_t>(denominator->find("order_bound")->as_int()) + 1);
+  // Coefficient values carry a bit-exact hex mantissa + binary exponent.
+  const Json& c0 = denominator->find("coefficients")->items()[0];
+  EXPECT_EQ(c0.find("value")->find("mantissa")->as_string().substr(0, 2), "0x");
+  EXPECT_TRUE(c0.find("value")->find("exp2")->is_number());
+  EXPECT_EQ(c0.find("status")->as_string(), "interpolated");
+
+  // The document survives a dump/parse cycle unchanged.
+  const auto reparsed = Json::parse(payload.dump(2));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().dump(), payload.dump());
+}
+
+TEST(SerializeResponse, ErrorEnvelope) {
+  const Json payload = error_response(
+      "sweep", Status::error(StatusCode::kSingularSystem, "no pivot"));
+  EXPECT_EQ(payload.find("type")->as_string(), "sweep");
+  EXPECT_EQ(payload.find("status")->find("code")->as_string(), "singular_system");
+  EXPECT_EQ(payload.find("points"), nullptr);
+}
+
+}  // namespace
+}  // namespace symref::api

@@ -1,0 +1,264 @@
+// api::Service facade: compile-once/query-many semantics, warm-handle
+// caches, the structured error paths of the acceptance criteria (bad
+// netlist, bad spec, singular system), batch, and the progress observer.
+#include "api/service.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "circuits/ladder.h"
+#include "circuits/ua741.h"
+#include "numeric/scaled.h"
+#include "refgen/adaptive.h"
+
+namespace symref::api {
+namespace {
+
+constexpr const char* kRcNetlist = R"(
+.title two-pole rc
+R1 in  n1 1k
+C1 n1  0  100n
+R2 n1  out 10k
+C2 out 0  10n
+)";
+
+mna::TransferSpec rc_spec() { return mna::TransferSpec::voltage_gain("in", "out"); }
+
+TEST(ServiceCompile, NetlistCompilesToValidHandle) {
+  const Service service;
+  const auto compiled = service.compile_netlist(kRcNetlist);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().to_string();
+  const CircuitHandle& handle = compiled.value();
+  EXPECT_TRUE(handle.valid());
+  EXPECT_EQ(handle.name(), "two-pole rc");
+  EXPECT_EQ(handle.circuit().element_count(), 4u);
+  EXPECT_GT(handle.canonical().element_count(), 0u);
+  EXPECT_EQ(handle.dim(), 3);
+  EXPECT_EQ(handle.order_bound(), 2);
+}
+
+TEST(ServiceCompile, MalformedNetlistMapsToParseErrorWithPosition) {
+  const Service service;
+  // Line 3: the value token of C1 is garbage; its column is 10.
+  const auto compiled = service.compile_netlist("R1 in out 1k\n* comment\nC1 out 0 bogus\n");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(compiled.status().location().line, 3);
+  EXPECT_EQ(compiled.status().location().column, 10);
+  EXPECT_NE(compiled.status().message().find("bogus"), std::string::npos);
+}
+
+TEST(ServiceCompile, EmptyHandleIsInvalidArgumentEverywhere) {
+  const Service service;
+  const CircuitHandle empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_EQ(service.refgen(empty, {rc_spec(), {}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.sweep(empty, {rc_spec()}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.poles_zeros(empty, {rc_spec(), {}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.batch(empty, {}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceRefgen, CompleteReferenceAndWarmCacheHit) {
+  const Service service;
+  const CircuitHandle handle = service.compile_netlist(kRcNetlist).take();
+
+  const auto cold = service.refgen(handle, {rc_spec(), {}});
+  ASSERT_TRUE(cold.ok()) << cold.status().to_string();
+  EXPECT_TRUE(cold.value().result.complete);
+  EXPECT_FALSE(cold.value().from_cache);
+
+  const auto warm = service.refgen(handle, {rc_spec(), {}});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().from_cache);
+  // A cache hit is the same response object: identical coefficients.
+  const auto& a = cold.value().result.reference.denominator();
+  const auto& b = warm.value().result.reference.denominator();
+  ASSERT_EQ(a.order_bound(), b.order_bound());
+  for (int i = 0; i <= a.order_bound(); ++i) {
+    EXPECT_TRUE(a.at(i).value == b.at(i).value) << i;
+  }
+}
+
+TEST(ServiceRefgen, WarmPlanReuseWithoutResponseCache) {
+  ServiceOptions options;
+  options.cache_responses = false;
+  const Service service(options);
+  const CircuitHandle handle = service.compile_netlist(kRcNetlist).take();
+
+  const auto cold = service.refgen(handle, {rc_spec(), {}});
+  ASSERT_TRUE(cold.ok());
+  const auto warm = service.refgen(handle, {rc_spec(), {}});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_FALSE(warm.value().from_cache);
+  EXPECT_TRUE(warm.value().result.complete);
+  // The warm run replays the cached factorization plan, so pivots may be
+  // adopted instead of re-searched: values agree to interpolation accuracy
+  // even if not bit-for-bit.
+  const auto& a = cold.value().result.reference.denominator();
+  const auto& b = warm.value().result.reference.denominator();
+  ASSERT_EQ(a.order_bound(), b.order_bound());
+  for (int i = 0; i <= a.order_bound(); ++i) {
+    EXPECT_LT(numeric::relative_difference(a.at(i).value, b.at(i).value), 1e-6) << i;
+  }
+}
+
+TEST(ServiceRefgen, BadSpecMapsToInvalidSpec) {
+  const Service service;
+  const CircuitHandle handle = service.compile_netlist(kRcNetlist).take();
+  const auto response =
+      service.refgen(handle, {mna::TransferSpec::voltage_gain("in", "no_such_node"), {}});
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidSpec);
+}
+
+TEST(ServiceRefgen, SingularSystemMapsToSingularStatus) {
+  const Service service;
+  // "x"/"y" form a floating island: the admittance matrix is singular at
+  // every scaling, so the engine gives up on the first iteration.
+  const auto compiled = service.compile_netlist("R1 in 0 1k\nR2 x y 1k\n");
+  ASSERT_TRUE(compiled.ok());
+  const auto response = service.refgen(
+      compiled.value(), {mna::TransferSpec::transimpedance("in", "x"), {}});
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kSingularSystem);
+}
+
+TEST(ServiceSweep, WarmCacheAndPlanReuse) {
+  const Service service;
+  const CircuitHandle handle = service.compile_netlist(kRcNetlist).take();
+  SweepRequest request;
+  request.spec = rc_spec();
+  request.f_start_hz = 1.0;
+  request.f_stop_hz = 1e6;
+  request.points_per_decade = 4;
+
+  const auto cold = service.sweep(handle, request);
+  ASSERT_TRUE(cold.ok()) << cold.status().to_string();
+  EXPECT_FALSE(cold.value().from_cache);
+  EXPECT_EQ(cold.value().points.size(), 25u);
+
+  const auto warm = service.sweep(handle, request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().from_cache);
+  ASSERT_EQ(warm.value().points.size(), cold.value().points.size());
+  for (std::size_t i = 0; i < cold.value().points.size(); ++i) {
+    EXPECT_EQ(cold.value().points[i].value, warm.value().points[i].value) << i;
+  }
+
+  // A different grid misses the response cache but still reuses the
+  // simulator's factorization plan (no way to observe directly here beyond
+  // correctness; the api bench measures the speedup).
+  SweepRequest other = request;
+  other.points_per_decade = 3;
+  const auto replan = service.sweep(handle, other);
+  ASSERT_TRUE(replan.ok());
+  EXPECT_FALSE(replan.value().from_cache);
+}
+
+TEST(ServiceSweep, ErrorsMapToDistinctCodes) {
+  const Service service;
+  const CircuitHandle handle = service.compile_netlist(kRcNetlist).take();
+
+  SweepRequest bad_spec;
+  bad_spec.spec = mna::TransferSpec::voltage_gain("in", "nowhere");
+  EXPECT_EQ(service.sweep(handle, bad_spec).status().code(), StatusCode::kInvalidSpec);
+
+  SweepRequest bad_grid;
+  bad_grid.spec = rc_spec();
+  bad_grid.f_start_hz = -1.0;
+  EXPECT_EQ(service.sweep(handle, bad_grid).status().code(), StatusCode::kInvalidArgument);
+
+  const auto singular = service.compile_netlist("R1 in 0 1k\nR2 x y 1k\n");
+  ASSERT_TRUE(singular.ok());
+  SweepRequest on_island;
+  on_island.spec = mna::TransferSpec::transimpedance("in", "x");
+  EXPECT_EQ(service.sweep(singular.value(), on_island).status().code(),
+            StatusCode::kSingularSystem);
+}
+
+TEST(ServicePolesZeros, UsesSharedRefgenCache) {
+  const Service service;
+  const CircuitHandle handle = service.compile_netlist(kRcNetlist).take();
+  const auto reference = service.refgen(handle, {rc_spec(), {}});
+  ASSERT_TRUE(reference.ok());
+
+  const auto response = service.poles_zeros(handle, {rc_spec(), {}});
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_TRUE(response.value().from_cache);  // rode the refgen response
+  EXPECT_TRUE(response.value().poles_converged);
+  EXPECT_EQ(response.value().poles.size(), 2u);
+  // Two real poles near 1/(R1 C1') and 1/(R2 C2) territory: both negative real.
+  for (const auto& pole : response.value().poles) {
+    EXPECT_LT(pole.real(), 0.0);
+    EXPECT_NEAR(pole.imag(), 0.0, 1e-3 * std::abs(pole.real()));
+  }
+}
+
+TEST(ServiceBatch, PerItemStatusAndResultsMatchSingleRequests) {
+  const Service service;
+  const CircuitHandle handle = service.compile(circuits::rc_ladder(8), "ladder-8").take();
+  const auto spec = circuits::rc_ladder_spec(8);
+
+  BatchRequest request;
+  request.threads = 2;
+  request.items.push_back({spec, {}});
+  request.items.push_back({mna::TransferSpec::voltage_gain("in", "missing"), {}});
+  refgen::AdaptiveOptions sigma8;
+  sigma8.sigma = 8;
+  request.items.push_back({spec, sigma8});
+
+  const auto response = service.batch(handle, request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response.value().items.size(), 3u);
+  const auto& items = response.value().items;
+  ASSERT_TRUE(items[0].status.ok()) << items[0].status.to_string();
+  EXPECT_TRUE(items[0].response.result.complete);
+  EXPECT_EQ(items[1].status.code(), StatusCode::kInvalidSpec);
+  ASSERT_TRUE(items[2].status.ok());
+
+  // Item 0 matches a standalone facade request on a fresh service.
+  const Service fresh;
+  const auto single =
+      fresh.refgen(fresh.compile(circuits::rc_ladder(8)).take(), {spec, {}});
+  ASSERT_TRUE(single.ok());
+  const auto& a = single.value().result.reference.denominator();
+  const auto& b = items[0].response.result.reference.denominator();
+  ASSERT_EQ(a.order_bound(), b.order_bound());
+  for (int i = 0; i <= a.order_bound(); ++i) {
+    EXPECT_TRUE(a.at(i).value == b.at(i).value) << i;
+  }
+}
+
+TEST(ServiceRefgen, ProgressObserverSeesEveryIteration) {
+  const Service service;
+  const CircuitHandle handle = service.compile(circuits::ua741(), "ua741").take();
+
+  int observed = 0;
+  int last_index = -1;
+  RefgenRequest request{circuits::ua741_gain_spec(), {}};
+  request.options.on_iteration = [&](const refgen::IterationRecord& record) {
+    EXPECT_EQ(record.index, last_index + 1);
+    last_index = record.index;
+    ++observed;
+  };
+  const auto cold = service.refgen(handle, request);
+  ASSERT_TRUE(cold.ok()) << cold.status().to_string();
+  EXPECT_EQ(static_cast<std::size_t>(observed), cold.value().result.iterations.size());
+  EXPECT_GT(observed, 0);
+
+  // Cache hit: the engine never runs, the observer stays silent, and the
+  // observer itself is not part of the request fingerprint.
+  observed = 0;
+  const auto warm = service.refgen(handle, request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().from_cache);
+  EXPECT_EQ(observed, 0);
+}
+
+}  // namespace
+}  // namespace symref::api

@@ -9,6 +9,7 @@
 #include "circuits/filters.h"
 #include "circuits/ladder.h"
 #include "circuits/ua741.h"
+#include "mna/errors.h"
 
 namespace symref::mna {
 namespace {
@@ -177,12 +178,12 @@ TEST(AcSimulator, MagnitudeDbSaturatesAtZero) {
   EXPECT_NEAR(phase_deg({0.0, 1.0}), 90.0, 1e-12);
 }
 
-TEST(AcSimulator, UnknownNodeThrows) {
+TEST(AcSimulator, UnknownNodeThrowsSpecError) {
   netlist::Circuit c;
   c.add_resistor("r1", "a", "0", 1.0);
   const AcSimulator sim(c);
-  EXPECT_THROW(sim.transfer(TransferSpec::voltage_gain("a", "missing"), 1.0),
-               std::runtime_error);
+  // The typed exception is what the api boundary maps to kInvalidSpec.
+  EXPECT_THROW(sim.transfer(TransferSpec::voltage_gain("a", "missing"), 1.0), SpecError);
 }
 
 }  // namespace

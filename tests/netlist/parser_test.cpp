@@ -153,6 +153,38 @@ TEST(Parser, ErrorsCarryLineNumbers) {
   }
 }
 
+TEST(Parser, ErrorsPointAtTheOffendingTokenColumn) {
+  try {
+    parse_netlist("R1 a 0 1k\nC1 a 0   zzz\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 10);  // 'zzz' starts at column 10
+    EXPECT_NE(std::string(e.what()).find("line 2, column 10"), std::string::npos);
+  }
+}
+
+TEST(Parser, ContinuationTokensKeepTheirPhysicalLine) {
+  // The bad value arrives on the continuation's physical line 3, column 5.
+  try {
+    parse_netlist("R1 a 0 1k\nC1 a 0\n+   zzz\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.column(), 5);
+  }
+}
+
+TEST(Parser, ModelParameterErrorsPointAtTheParameter) {
+  try {
+    parse_netlist(".model t1 bjt gm=1m oops beta=100\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 21);  // 'oops'
+  }
+}
+
 TEST(Parser, UnknownCardRejected) {
   EXPECT_THROW(parse_netlist("Z1 a 0 1k\n"), ParseError);
 }

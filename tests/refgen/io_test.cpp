@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "circuits/ladder.h"
@@ -50,9 +52,19 @@ TEST(ReferenceIo, Ua741RoundTripWithExtendedRange) {
 }
 
 TEST(ReferenceIo, HeaderValidation) {
-  EXPECT_THROW(read_reference(std::string("bogus v1\n")), std::runtime_error);
-  EXPECT_THROW(read_reference(std::string("symref-reference v2\n")), std::runtime_error);
+  EXPECT_THROW(read_reference(std::string("bogus v2\n")), std::runtime_error);
+  EXPECT_THROW(read_reference(std::string("symref-reference v3\n")), std::runtime_error);
   EXPECT_THROW(read_reference(std::string("")), std::runtime_error);
+}
+
+TEST(ReferenceIo, LegacyV1DecimalAccuracyAccepted) {
+  // v1 wrote the accuracy as %.17g; the v2 reader must still parse it.
+  const std::string v1 =
+      "symref-reference v1\n"
+      "numerator 0\n0 0x1p+0 0 interpolated 1.25e-07\n"
+      "denominator 0\n0 0x1p+0 0 interpolated 1\nend\n";
+  const NumericalReference back = read_reference(v1);
+  EXPECT_DOUBLE_EQ(back.numerator().at(0).relative_accuracy, 1.25e-07);
 }
 
 TEST(ReferenceIo, TruncatedInputRejected) {
@@ -70,6 +82,79 @@ TEST(ReferenceIo, MissingEndRejected) {
   const auto pos = text.rfind("end");
   text.erase(pos);
   EXPECT_THROW(read_reference(text), std::runtime_error);
+}
+
+TEST(ReferenceIo, EdgeCaseDoublesRoundTripBitExact) {
+  // Values whose mantissa/exponent or accuracy sit at the edges of IEEE
+  // double: far outside double range (to_double saturates), subnormal
+  // accuracies, and inf/nan accuracies. All must survive the hex-float
+  // (%a) round-trip bit-for-bit.
+  PolynomialReference num(4);
+  num.at(0).value = numeric::ScaledDouble::from_mantissa_exp(1.5, 1'000'000);
+  num.at(0).status = CoefficientStatus::Interpolated;
+  num.at(0).relative_accuracy = 5e-324;  // smallest subnormal double
+  num.at(1).value = numeric::ScaledDouble::from_mantissa_exp(-1.9999999999999998, -999'999);
+  num.at(1).status = CoefficientStatus::Interpolated;
+  num.at(1).relative_accuracy = std::numeric_limits<double>::infinity();
+  num.at(2).value = numeric::ScaledDouble(0.0);
+  num.at(2).status = CoefficientStatus::ZeroTail;
+  num.at(2).relative_accuracy = std::numeric_limits<double>::quiet_NaN();
+  num.at(3).value = numeric::ScaledDouble(std::numeric_limits<double>::denorm_min());
+  num.at(3).status = CoefficientStatus::Interpolated;
+  num.at(3).relative_accuracy = 0x1.fffffffffffffp-1022;  // largest subnormal tier
+  // Index 4 stays Unknown.
+  PolynomialReference den(0);
+  den.at(0).value = numeric::ScaledDouble(-std::numeric_limits<double>::max());
+  den.at(0).status = CoefficientStatus::Interpolated;
+
+  const NumericalReference reference(num, den);
+  const NumericalReference back = read_reference(write_reference(reference));
+  for (int i = 0; i <= 4; ++i) {
+    EXPECT_EQ(back.numerator().at(i).value, reference.numerator().at(i).value) << i;
+    EXPECT_EQ(back.numerator().at(i).status, reference.numerator().at(i).status) << i;
+  }
+  EXPECT_EQ(back.numerator().at(0).relative_accuracy, 5e-324);
+  EXPECT_TRUE(std::isinf(back.numerator().at(1).relative_accuracy));
+  EXPECT_TRUE(std::isnan(back.numerator().at(2).relative_accuracy));
+  EXPECT_EQ(back.numerator().at(3).relative_accuracy, 0x1.fffffffffffffp-1022);
+  EXPECT_EQ(back.denominator().at(0).value, reference.denominator().at(0).value);
+}
+
+TEST(ReferenceIo, EveryTruncationPrefixRejected) {
+  const auto ladder = circuits::rc_ladder(2);
+  const auto result = generate_reference(ladder, circuits::rc_ladder_spec(2));
+  const std::string text = write_reference(result.reference);
+  // Cut after every line boundary: no prefix may parse (the format ends
+  // with an explicit 'end' marker precisely so truncation is detectable).
+  for (std::size_t pos = text.find('\n'); pos != std::string::npos;
+       pos = text.find('\n', pos + 1)) {
+    if (pos + 1 == text.size()) break;  // the full document parses
+    EXPECT_THROW(read_reference(text.substr(0, pos + 1)), std::runtime_error) << pos;
+  }
+}
+
+TEST(ReferenceIo, CorruptTokensRejected) {
+  const auto make = [](const char* coefficient_line) {
+    return std::string("symref-reference v1\nnumerator 0\n") + coefficient_line +
+           "denominator 0\n0 0x1p+0 0 interpolated 0x1p-20\nend\n";
+  };
+  // Baseline sanity: a well-formed document parses.
+  EXPECT_NO_THROW(read_reference(make("0 0x1p+0 0 interpolated 0x1p-20\n")));
+  // Non-finite mantissa (a ScaledDouble mantissa is finite by invariant).
+  EXPECT_THROW(read_reference(make("0 inf 0 interpolated 0x1p-20\n")), std::runtime_error);
+  EXPECT_THROW(read_reference(make("0 nan 0 interpolated 0x1p-20\n")), std::runtime_error);
+  // Garbage tokens.
+  EXPECT_THROW(read_reference(make("0 xyz 0 interpolated 0x1p-20\n")), std::runtime_error);
+  EXPECT_THROW(read_reference(make("0 0x1p+0 huge interpolated 0x1p-20\n")),
+               std::runtime_error);
+  EXPECT_THROW(read_reference(make("0 0x1p+0 0 sideways 0x1p-20\n")), std::runtime_error);
+  EXPECT_THROW(read_reference(make("0 0x1p+0 0 interpolated junk\n")), std::runtime_error);
+  // Wrong coefficient index.
+  EXPECT_THROW(read_reference(make("7 0x1p+0 0 interpolated 0x1p-20\n")),
+               std::runtime_error);
+  // Implausible order bound must be rejected before any allocation.
+  EXPECT_THROW(read_reference(std::string("symref-reference v1\nnumerator 2000000000\n")),
+               std::runtime_error);
 }
 
 TEST(ReferenceIo, StatusTokensPreserved) {

@@ -180,7 +180,7 @@ TEST(BatchRunner, ResultsInJobOrderAndIdenticalToStandalone) {
   const auto results = runner.run(jobs);
   ASSERT_EQ(results.size(), jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    ASSERT_TRUE(results[i].ok) << results[i].error;
+    ASSERT_TRUE(results[i].ok()) << results[i].status.to_string();
     EXPECT_EQ(results[i].label, jobs[i].label);
     const AdaptiveResult standalone =
         generate_reference(jobs[i].circuit, jobs[i].spec, jobs[i].options);
@@ -204,9 +204,12 @@ TEST(BatchRunner, BadJobDoesNotPoisonTheBatch) {
   const BatchRunner runner(2);
   const auto results = runner.run(jobs);
   ASSERT_EQ(results.size(), 2u);
-  EXPECT_TRUE(results[0].ok);
-  EXPECT_FALSE(results[1].ok);
-  EXPECT_FALSE(results[1].error.empty());
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  // The bad spec carries the same machine-readable code a single
+  // api::Service request would report.
+  EXPECT_EQ(results[1].status.code(), api::StatusCode::kInvalidSpec);
+  EXPECT_FALSE(results[1].status.message().empty());
 }
 
 }  // namespace

@@ -253,6 +253,23 @@ TEST(SparseLu, RefactorWithoutPriorFactorFails) {
   EXPECT_FALSE(lu.refactor(m.compress()));
 }
 
+TEST(SparseLu, RequireRefactorThrowsTypedErrorOnRefusal) {
+  support::Rng rng(558);
+  const TripletMatrix a = random_matrix(rng, 10, 0.3);
+  SparseLu lu;
+  // No plan yet: strict replay must fail loudly.
+  EXPECT_THROW(lu.require_refactor(a.compress()), RefusedReplayError);
+
+  ASSERT_TRUE(lu.factor(a.compress()));
+  // Same pattern replays fine.
+  EXPECT_NO_THROW(lu.require_refactor(a.compress()));
+  // Different dimension: the pattern check refuses, strictly.
+  const TripletMatrix b = random_matrix(rng, 12, 0.3);
+  EXPECT_THROW(lu.require_refactor(b.compress()), RefusedReplayError);
+  // The plan survives the refusal: the original pattern still replays.
+  EXPECT_NO_THROW(lu.require_refactor(a.compress()));
+}
+
 TEST(SparseLu, RefactorDetectsDegradedPivot) {
   // Diagonal matrix; zero out one diagonal value while keeping the pattern
   // impossible — instead make it numerically tiny: refactor must refuse.

@@ -1,0 +1,327 @@
+// refgen: the reference generator as a production command-line service.
+//
+//   $ refgen my_amplifier.cir --in=vin --out=vout            # reference
+//   $ refgen ua741.cir --in=inp --out=vo --sweep=1:1e8:10    # + AC sweep
+//   $ refgen ua741.cir --in=inp --out=vo --poles --json=-    # + poles, JSON
+//   $ refgen ua741.cir --requests=session.json --json=-      # JSON session
+//
+// Built entirely on api::Service: the netlist is compiled ONCE into a
+// CircuitHandle, then every request of the session runs against that handle
+// (sharing canonicalization, assembly patterns, and LU plans — ask for
+// --sweep and --poles together and the symbolic work is not repeated).
+// Errors come back as api::Status; no exception reaches main().
+//
+// Flags:
+//   --in= --out= [--in-neg=] [--out-neg=]  transfer ports (node names)
+//   --transimpedance                       H = V(out)/I(in) instead of V/V
+//   --refgen                               reference request (default when
+//                                          ports are given)
+//   --sweep=f_start:f_stop[:pts_per_dec]   AC sweep request
+//   --poles                                poles/zeros request
+//   --requests=file.json                   JSON request session (see
+//                                          docs/api.md; replaces flag-built
+//                                          requests; '-' reads stdin)
+//   --sigma= --max-iterations= --threads=  engine options for flag-built
+//                                          requests
+//   --json[=path|-]                        machine-readable output ('-' or
+//                                          empty = stdout)
+//   --emit-reference                       text reference format (io.h)
+//   --progress                             iteration progress on stderr
+//   --name=label                           handle label in the output
+//
+// Exit status: 0 all requests ok, 1 a request failed, 2 usage/input error.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/serialize.h"
+#include "api/service.h"
+#include "refgen/io.h"
+#include "support/cli.h"
+
+namespace {
+
+using symref::api::AnyRequest;
+using symref::api::Json;
+using symref::api::Status;
+
+bool read_file(const std::string& path, std::string* out) {
+  if (path == "-") {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    *out = buffer.str();
+    return true;
+  }
+  std::ifstream file(path);
+  if (!file) return false;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+/// "1:1e8" or "1:1e8:20" -> sweep parameters.
+bool parse_sweep_range(const std::string& text, symref::api::SweepRequest* sweep) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream stream(text);
+  while (std::getline(stream, part, ':')) parts.push_back(part);
+  if (parts.size() != 2 && parts.size() != 3) return false;
+  char* end = nullptr;
+  sweep->f_start_hz = std::strtod(parts[0].c_str(), &end);
+  if (end == parts[0].c_str()) return false;
+  sweep->f_stop_hz = std::strtod(parts[1].c_str(), &end);
+  if (end == parts[1].c_str()) return false;
+  if (parts.size() == 3) {
+    sweep->points_per_decade = std::atoi(parts[2].c_str());
+    if (sweep->points_per_decade <= 0) return false;
+  }
+  return true;
+}
+
+void print_usage() {
+  std::fprintf(
+      stderr,
+      "usage: refgen <netlist-file> [--in=<node> --out=<node>] [requests] [options]\n"
+      "  requests: [--refgen] [--sweep=f0:f1[:ppd]] [--poles] [--requests=file.json]\n"
+      "  transfer: [--in-neg=<node>] [--out-neg=<node>] [--transimpedance]\n"
+      "  engine:   [--sigma=N] [--max-iterations=N] [--threads=N]\n"
+      "  output:   [--json[=path|-]] [--emit-reference] [--progress] [--name=label]\n");
+}
+
+/// Human-readable rendering of the successful responses.
+void print_refgen_text(const symref::api::RefgenResponse& response, bool emit_reference) {
+  const auto& result = response.result;
+  std::fprintf(stderr, "engine: %s, %zu iterations, %d factorizations, %.1f ms%s\n",
+               result.termination.c_str(), result.iterations.size(),
+               result.total_evaluations, result.seconds * 1e3,
+               response.from_cache ? " (cached)" : "");
+  if (emit_reference) {
+    symref::refgen::write_reference(std::cout, result.reference);
+  } else {
+    std::printf("%s", result.reference.describe(8).c_str());
+  }
+}
+
+void print_sweep_text(const symref::api::SweepResponse& response) {
+  std::printf("\nfreq[Hz]  |H|[dB]  phase[deg]\n");
+  for (const auto& p : response.points) {
+    std::printf("%9.3g  %8.3f  %9.3f\n", p.frequency_hz, p.magnitude_db, p.phase_deg);
+  }
+}
+
+void print_poles_zeros_text(const symref::api::PolesZerosResponse& response) {
+  std::printf("\npoles (rad/s):\n");
+  for (const auto& p : response.poles) {
+    std::printf("  %13.5g %+13.5g j\n", p.real(), p.imag());
+  }
+  std::printf("zeros (rad/s):\n");
+  for (const auto& z : response.zeros) {
+    std::printf("  %13.5g %+13.5g j\n", z.real(), z.imag());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const symref::support::CliArgs args(
+      argc, argv,
+      {"in", "out", "in-neg", "out-neg", "sigma", "max-iterations", "threads", "sweep",
+       "requests", "json", "name"});
+  if (args.positional().empty()) {
+    print_usage();
+    return 2;
+  }
+
+  std::string netlist_text;
+  if (!read_file(args.positional().front(), &netlist_text)) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", args.positional().front().c_str());
+    return 2;
+  }
+
+  const bool json_mode = args.has("json");
+  const bool progress = args.has("progress");
+
+  // --- Build the request session --------------------------------------------
+  std::vector<AnyRequest> requests;
+  if (args.has("requests")) {
+    std::string request_text;
+    if (!read_file(args.get("requests", "-"), &request_text)) {
+      std::fprintf(stderr, "error: cannot open requests file '%s'\n",
+                   args.get("requests").c_str());
+      return 2;
+    }
+    auto parsed_json = Json::parse(request_text);
+    if (!parsed_json.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed_json.status().to_string().c_str());
+      return 2;
+    }
+    auto parsed = symref::api::requests_from_json(parsed_json.value());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.status().to_string().c_str());
+      return 2;
+    }
+    requests = parsed.take();
+  } else {
+    if (!args.has("in") || !args.has("out")) {
+      print_usage();
+      return 2;
+    }
+    symref::mna::TransferSpec spec;
+    spec.kind = args.has("transimpedance")
+                    ? symref::mna::TransferSpec::Kind::Transimpedance
+                    : symref::mna::TransferSpec::Kind::VoltageGain;
+    spec.in_pos = args.get("in");
+    spec.in_neg = args.get("in-neg", "0");
+    spec.out_pos = args.get("out");
+    spec.out_neg = args.get("out-neg", "0");
+
+    symref::refgen::AdaptiveOptions options;
+    options.sigma = args.get_int("sigma", 6);
+    options.max_iterations = args.get_int("max-iterations", 64);
+    options.threads = args.get_int("threads", 1);
+
+    const bool want_sweep = args.has("sweep");
+    const bool want_poles = args.has("poles");
+    if (args.has("refgen") || (!want_sweep && !want_poles)) {
+      AnyRequest request;
+      request.type = AnyRequest::Type::kRefgen;
+      request.refgen = {spec, options};
+      requests.push_back(std::move(request));
+    }
+    if (want_sweep) {
+      AnyRequest request;
+      request.type = AnyRequest::Type::kSweep;
+      request.sweep.spec = spec;
+      request.sweep.threads = options.threads;
+      if (!parse_sweep_range(args.get("sweep"), &request.sweep)) {
+        std::fprintf(stderr, "error: bad --sweep range '%s' (want f_start:f_stop[:ppd])\n",
+                     args.get("sweep").c_str());
+        return 2;
+      }
+      requests.push_back(std::move(request));
+    }
+    if (want_poles) {
+      AnyRequest request;
+      request.type = AnyRequest::Type::kPolesZeros;
+      request.poles_zeros = {spec, options};
+      requests.push_back(std::move(request));
+    }
+  }
+  if (progress) {
+    for (AnyRequest& request : requests) {
+      auto observer = [](const symref::refgen::IterationRecord& record) {
+        std::fprintf(stderr, "  iter %d (%s): f=%.3g g=%.3g points=%d den+%d num+%d\n",
+                     record.index, symref::refgen::purpose_name(record.purpose),
+                     record.f_scale, record.g_scale, record.points,
+                     record.den_new_coefficients, record.num_new_coefficients);
+      };
+      if (request.type == AnyRequest::Type::kRefgen) {
+        request.refgen.options.on_iteration = observer;
+      } else if (request.type == AnyRequest::Type::kPolesZeros) {
+        request.poles_zeros.options.on_iteration = observer;
+      }
+    }
+  }
+
+  // --- Compile once, serve the session --------------------------------------
+  const symref::api::Service service;
+  auto compiled = service.compile_netlist(netlist_text, args.get("name"));
+  if (!compiled.ok()) {
+    if (json_mode) {
+      // Keep the documented envelope shape even on compile failure
+      // ("circuit" is only present when compilation succeeded).
+      Json output = Json::object();
+      output.set("tool", "refgen");
+      output.set("status", symref::api::to_json(compiled.status()));
+      output.set("ok", false);
+      output.set("responses", Json::array());
+      std::printf("%s\n", output.dump(2).c_str());
+    }
+    std::fprintf(stderr, "error: %s\n", compiled.status().to_string().c_str());
+    return 2;
+  }
+  const symref::api::CircuitHandle handle = compiled.take();
+  if (!json_mode) std::fprintf(stderr, "%s\n", handle.summary().c_str());
+
+  Json responses = Json::array();
+  bool all_ok = true;
+  for (const AnyRequest& request : requests) {
+    Json payload;
+    Status status;
+    switch (request.type) {
+      case AnyRequest::Type::kRefgen: {
+        const auto response = service.refgen(handle, request.refgen);
+        status = response.status();
+        if (response.ok()) {
+          payload = symref::api::to_json(response.value());
+          if (!json_mode) print_refgen_text(response.value(), args.has("emit-reference"));
+        } else {
+          payload = symref::api::error_response("refgen", status);
+        }
+        break;
+      }
+      case AnyRequest::Type::kSweep: {
+        const auto response = service.sweep(handle, request.sweep);
+        status = response.status();
+        if (response.ok()) {
+          payload = symref::api::to_json(response.value());
+          if (!json_mode) print_sweep_text(response.value());
+        } else {
+          payload = symref::api::error_response("sweep", status);
+        }
+        break;
+      }
+      case AnyRequest::Type::kPolesZeros: {
+        const auto response = service.poles_zeros(handle, request.poles_zeros);
+        status = response.status();
+        if (response.ok()) {
+          payload = symref::api::to_json(response.value());
+          if (!json_mode) print_poles_zeros_text(response.value());
+        } else {
+          payload = symref::api::error_response("poles_zeros", status);
+        }
+        break;
+      }
+    }
+    if (!status.ok()) {
+      all_ok = false;
+      std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+    }
+    responses.push_back(std::move(payload));
+  }
+
+  if (json_mode) {
+    Json circuit = Json::object();
+    circuit.set("name", handle.name());
+    circuit.set("summary", handle.summary());
+    circuit.set("nodes", handle.circuit().node_count());
+    circuit.set("elements", static_cast<double>(handle.circuit().element_count()));
+    circuit.set("dim", handle.dim());
+    circuit.set("order_bound", handle.order_bound());
+
+    Json output = Json::object();
+    output.set("tool", "refgen");
+    output.set("status", symref::api::to_json(Status()));
+    output.set("circuit", std::move(circuit));
+    output.set("ok", all_ok);
+    output.set("responses", std::move(responses));
+
+    const std::string path = args.get("json", "-");
+    const std::string text = output.dump(2);
+    if (path == "-" || path.empty()) {
+      std::printf("%s\n", text.c_str());
+    } else {
+      std::ofstream file(path);
+      file << text << '\n';
+      if (!file) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+        return 2;
+      }
+    }
+  }
+  return all_ok ? 0 : 1;
+}
