@@ -1,0 +1,271 @@
+#include "api/jobs.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "support/cancellation.h"
+#include "support/timer.h"
+
+namespace symref::api {
+
+const char* job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+  }
+  return "done";
+}
+
+Json to_json(const JobOutcome& outcome) {
+  if (!outcome.status.ok()) {
+    return error_response(request_type_name(outcome.type), outcome.status);
+  }
+  switch (outcome.type) {
+    case AnyRequest::Type::kRefgen: return to_json(outcome.refgen);
+    case AnyRequest::Type::kSweep: return to_json(outcome.sweep);
+    case AnyRequest::Type::kPolesZeros: return to_json(outcome.poles_zeros);
+    case AnyRequest::Type::kBatch: return to_json(outcome.batch);
+  }
+  return error_response("refgen", Status::error(StatusCode::kInternal, "bad outcome type"));
+}
+
+/// All mutable job state. The per-job mutex guards state/outcome; the
+/// fields set once at submit (request, handle, callbacks) are immutable
+/// afterwards and safe to read from the worker without it.
+struct JobManager::Job {
+  JobId id = 0;
+  CircuitHandle handle;
+  AnyRequest request;
+  JobProgressFn on_progress;
+  JobDoneFn on_done;
+  support::CancellationSource cancel_source;
+  support::Timer timer;  // started at submit
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  JobState state = JobState::kQueued;
+  /// Set after on_done returned: wait() releases only then, so everything
+  /// on_done produced (a protocol session's done event, say) is ordered
+  /// before any wait() return for this job.
+  bool callbacks_done = false;
+  bool cancel_requested = false;
+  std::atomic<int> iterations{0};  // bumped from the engine observer
+  double total_seconds = 0.0;      // frozen at finish
+  JobOutcome outcome;              // meaningful once state == kDone
+};
+
+JobManager::JobManager(const Service& service, int workers, std::size_t max_retained_jobs)
+    : service_(service),
+      max_retained_jobs_(max_retained_jobs == 0 ? 1 : max_retained_jobs),
+      queue_(workers) {}
+
+JobManager::~JobManager() {
+  std::vector<std::shared_ptr<Job>> live;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, job] : jobs_) live.push_back(job);
+  }
+  // Queued jobs complete as kCancelled here; running jobs get their token
+  // tripped and stop at the next checkpoint. The WorkQueue member is
+  // destroyed first (declared last), joining the workers.
+  for (const std::shared_ptr<Job>& job : live) cancel(job->id);
+}
+
+JobId JobManager::submit(const CircuitHandle& handle, AnyRequest request,
+                         JobProgressFn on_progress, JobDoneFn on_done) {
+  auto job = std::make_shared<Job>();
+  job->handle = handle;
+  job->request = std::move(request);
+  job->on_progress = std::move(on_progress);
+  job->on_done = std::move(on_done);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job->id = ++next_;
+    jobs_.emplace(job->id, job);
+    // Forget the oldest finished jobs beyond the retention bound. Live jobs
+    // are never dropped, so a slow queue cannot lose work — only history.
+    if (jobs_.size() > max_retained_jobs_) {
+      for (auto it = jobs_.begin();
+           it != jobs_.end() && jobs_.size() > max_retained_jobs_;) {
+        bool done = false;
+        {
+          const std::lock_guard<std::mutex> job_lock(it->second->mutex);
+          done = it->second->state == JobState::kDone;
+        }
+        it = done ? jobs_.erase(it) : std::next(it);
+      }
+    }
+  }
+  queue_.post([this, job] { run(job); });
+  return job->id;
+}
+
+std::shared_ptr<JobManager::Job> JobManager::find(JobId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+void JobManager::finish(const std::shared_ptr<Job>& job, JobOutcome outcome) {
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    if (job->state == JobState::kDone) return;  // lost the race to cancel()
+    job->state = JobState::kDone;
+    job->total_seconds = job->timer.seconds();
+    job->outcome = std::move(outcome);
+  }
+  // outcome/on_done are immutable once done; calling outside the lock keeps
+  // callbacks free to poll() without deadlocking (they must not wait() on
+  // their own job — waiters are released only after this returns).
+  if (job->on_done) job->on_done(job->id, job->outcome);
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    job->callbacks_done = true;
+  }
+  job->cv.notify_all();
+}
+
+void JobManager::run(const std::shared_ptr<Job>& job) const {
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    if (job->state != JobState::kQueued) return;  // cancelled while queued
+    job->state = JobState::kRunning;
+  }
+  const support::CancellationToken token = job->cancel_source.token();
+  // Wire the job's cancellation token and progress stream into the request's
+  // engine options (chaining any observer the request already carried).
+  auto wire = [&](refgen::AdaptiveOptions& options) {
+    options.cancel = token;
+    const refgen::ProgressObserver inner = options.on_iteration;
+    Job* raw = job.get();  // the posted task keeps the job alive
+    options.on_iteration = [raw, inner](const refgen::IterationRecord& record) {
+      if (inner) inner(record);
+      raw->iterations.fetch_add(1, std::memory_order_relaxed);
+      if (raw->on_progress) {
+        JobProgress progress;
+        progress.id = raw->id;
+        progress.iteration = record.index;
+        progress.purpose = refgen::purpose_name(record.purpose);
+        progress.points = record.points;
+        progress.evaluations = record.evaluations;
+        progress.num_new_coefficients = record.num_new_coefficients;
+        progress.den_new_coefficients = record.den_new_coefficients;
+        progress.f_scale = record.f_scale;
+        progress.g_scale = record.g_scale;
+        raw->on_progress(progress);
+      }
+    };
+  };
+
+  AnyRequest& request = job->request;
+  JobOutcome outcome;
+  outcome.type = request.type;
+  switch (request.type) {
+    case AnyRequest::Type::kRefgen: {
+      wire(request.refgen.options);
+      auto response = service_.refgen(job->handle, request.refgen);
+      outcome.status = response.status();
+      if (response.ok()) outcome.refgen = response.take();
+      break;
+    }
+    case AnyRequest::Type::kSweep: {
+      request.sweep.cancel = token;
+      auto response = service_.sweep(job->handle, request.sweep);
+      outcome.status = response.status();
+      if (response.ok()) outcome.sweep = response.take();
+      break;
+    }
+    case AnyRequest::Type::kPolesZeros: {
+      wire(request.poles_zeros.options);
+      auto response = service_.poles_zeros(job->handle, request.poles_zeros);
+      outcome.status = response.status();
+      if (response.ok()) outcome.poles_zeros = response.take();
+      break;
+    }
+    case AnyRequest::Type::kBatch: {
+      for (RefgenRequest& item : request.batch.items) item.options.cancel = token;
+      auto response = service_.batch(job->handle, request.batch);
+      outcome.status = response.status();
+      if (response.ok()) outcome.batch = response.take();
+      break;
+    }
+  }
+  finish(job, std::move(outcome));
+}
+
+JobInfo JobManager::snapshot(const Job& job) {
+  // Caller holds job.mutex.
+  JobInfo info;
+  info.id = job.id;
+  info.state = job.state;
+  info.type = job.request.type;
+  info.circuit = job.handle.valid() ? job.handle.name() : std::string();
+  info.iterations = job.iterations.load(std::memory_order_relaxed);
+  info.cancel_requested = job.cancel_requested;
+  info.seconds = job.state == JobState::kDone ? job.total_seconds : job.timer.seconds();
+  return info;
+}
+
+Result<JobInfo> JobManager::poll(JobId id) const {
+  const std::shared_ptr<Job> job = find(id);
+  if (!job) {
+    return Status::error(StatusCode::kNotFound, "unknown job_id " + std::to_string(id));
+  }
+  const std::lock_guard<std::mutex> lock(job->mutex);
+  return snapshot(*job);
+}
+
+Result<JobOutcome> JobManager::wait(JobId id) const {
+  const std::shared_ptr<Job> job = find(id);
+  if (!job) {
+    return Status::error(StatusCode::kNotFound, "unknown job_id " + std::to_string(id));
+  }
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->cv.wait(lock, [&] { return job->state == JobState::kDone && job->callbacks_done; });
+  return job->outcome;
+}
+
+bool JobManager::cancel(JobId id) {
+  const std::shared_ptr<Job> job = find(id);
+  if (!job) return false;
+  bool was_queued = false;
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    if (job->state == JobState::kDone) return false;
+    job->cancel_requested = true;
+    job->cancel_source.cancel();
+    was_queued = job->state == JobState::kQueued;
+  }
+  if (was_queued) {
+    // Complete it right here; when a worker later pops the task it sees a
+    // non-queued state and skips. (If the worker wins the race instead, the
+    // tripped token stops the engine at its first checkpoint and the
+    // worker's kCancelled outcome lands — either way exactly one finish.)
+    JobOutcome outcome;
+    outcome.type = job->request.type;
+    outcome.status =
+        Status::error(StatusCode::kCancelled, "job cancelled before it started");
+    finish(job, std::move(outcome));
+  }
+  return true;
+}
+
+std::vector<JobInfo> JobManager::list() const {
+  std::vector<std::shared_ptr<Job>> all;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, job] : jobs_) all.push_back(job);
+  }
+  std::vector<JobInfo> infos;
+  infos.reserve(all.size());
+  for (const std::shared_ptr<Job>& job : all) {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    infos.push_back(snapshot(*job));
+  }
+  return infos;
+}
+
+}  // namespace symref::api

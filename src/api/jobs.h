@@ -1,0 +1,154 @@
+// Asynchronous job execution over api::Service — the core of the served
+// protocol.
+//
+// submit() turns any typed request (refgen / sweep / poles_zeros / batch)
+// into a job on a fixed-size worker pool (support::WorkQueue) and returns a
+// JobId immediately. The caller then polls, waits, or subscribes:
+//
+//   JobManager jobs(service, /*workers=*/4);
+//   JobId id = jobs.submit(handle, request, on_progress, on_done);
+//   ... jobs.poll(id) -> JobInfo{state, iterations so far, ...}
+//   ... jobs.wait(id) -> JobOutcome{status, typed response}
+//   ... jobs.cancel(id)
+//
+// Cancellation is cooperative and safe at any moment: a queued job
+// completes immediately with kCancelled (it never runs); a running job's
+// cancellation token trips the engine's per-iteration / per-point
+// checkpoints and the job completes with kCancelled shortly after. The
+// handle's plan and response caches remain valid either way — cancelling
+// one request never poisons the next.
+//
+// Callback contract: on_progress fires on the worker thread running the job
+// (once per engine iteration, refgen/poles_zeros only); on_done fires
+// exactly once per job, on whichever thread completes it (a worker, or the
+// cancel() caller for still-queued jobs). Callbacks must be fast and must
+// not call back into wait() for their own job.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/serialize.h"
+#include "api/service.h"
+#include "support/thread_pool.h"
+
+namespace symref::api {
+
+/// Monotonically increasing per-manager id; 0 is never assigned.
+using JobId = std::uint64_t;
+
+enum class JobState { kQueued, kRunning, kDone };
+
+/// Stable snake_case token ("queued", "running", "done") — the wire value.
+const char* job_state_name(JobState state) noexcept;
+
+/// One engine iteration of a running job, streamed to on_progress.
+struct JobProgress {
+  JobId id = 0;
+  int iteration = 0;
+  const char* purpose = "";
+  int points = 0;
+  int evaluations = 0;
+  int num_new_coefficients = 0;
+  int den_new_coefficients = 0;
+  double f_scale = 1.0;
+  double g_scale = 1.0;
+};
+
+/// Terminal result of a job: the job-level status plus the response of the
+/// request's type (only the matching member is meaningful, and only when
+/// status.ok()). A cancelled job carries kCancelled here.
+struct JobOutcome {
+  Status status;
+  AnyRequest::Type type = AnyRequest::Type::kRefgen;
+  RefgenResponse refgen;
+  SweepResponse sweep;
+  PolesZerosResponse poles_zeros;
+  BatchResponse batch;
+};
+
+/// Wire form of an outcome: the typed response envelope on success, the
+/// uniform {"type", "status"} error payload otherwise.
+Json to_json(const JobOutcome& outcome);
+
+/// Point-in-time job snapshot (poll / list).
+struct JobInfo {
+  JobId id = 0;
+  JobState state = JobState::kQueued;
+  AnyRequest::Type type = AnyRequest::Type::kRefgen;
+  /// Label of the compiled circuit the job runs against.
+  std::string circuit;
+  /// Engine iterations completed so far (refgen/poles_zeros jobs).
+  int iterations = 0;
+  bool cancel_requested = false;
+  /// Since submit while live; total lifetime once done.
+  double seconds = 0.0;
+};
+
+using JobProgressFn = std::function<void(const JobProgress&)>;
+using JobDoneFn = std::function<void(JobId, const JobOutcome&)>;
+
+class JobManager {
+ public:
+  /// `workers` <= 0 picks the hardware thread count. `max_retained_jobs`
+  /// bounds the finished-job history: once exceeded, the oldest done jobs
+  /// are forgotten (their ids then poll as kNotFound).
+  explicit JobManager(const Service& service, int workers = 0,
+                      std::size_t max_retained_jobs = 4096);
+  /// Cancels every live job, waits for running ones to stop at their next
+  /// checkpoint, and joins the workers.
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Enqueue a request against a compiled handle. Never blocks on the job
+  /// itself. An invalid handle still produces a job; it completes with
+  /// kInvalidArgument (uniform error reporting for remote callers).
+  JobId submit(const CircuitHandle& handle, AnyRequest request,
+               JobProgressFn on_progress = {}, JobDoneFn on_done = {});
+
+  /// Snapshot; kNotFound for unknown/forgotten ids.
+  [[nodiscard]] Result<JobInfo> poll(JobId id) const;
+
+  /// Block until the job completes AND its on_done callback returned — so
+  /// anything the callback emitted (a daemon's done event) is ordered
+  /// before wait() returns. The outcome carries the job's own status
+  /// (kCancelled for cancelled jobs). kNotFound for unknown ids.
+  [[nodiscard]] Result<JobOutcome> wait(JobId id) const;
+
+  /// Request cancellation. True when the job was live (queued jobs complete
+  /// as kCancelled immediately; running jobs stop at the next checkpoint);
+  /// false for unknown or already-done jobs.
+  bool cancel(JobId id);
+
+  /// Snapshots of every retained job, in submit order.
+  [[nodiscard]] std::vector<JobInfo> list() const;
+
+  [[nodiscard]] int workers() const noexcept { return queue_.workers(); }
+
+ private:
+  struct Job;
+
+  [[nodiscard]] std::shared_ptr<Job> find(JobId id) const;
+  void run(const std::shared_ptr<Job>& job) const;
+  static void finish(const std::shared_ptr<Job>& job, JobOutcome outcome);
+  static JobInfo snapshot(const Job& job);
+
+  const Service& service_;
+  const std::size_t max_retained_jobs_;
+
+  mutable std::mutex mutex_;
+  JobId next_ = 0;
+  std::map<JobId, std::shared_ptr<Job>> jobs_;  // key order == submit order
+
+  // Declared last: destroyed first, so the worker join in ~WorkQueue happens
+  // while the job table is still alive.
+  support::WorkQueue queue_;
+};
+
+}  // namespace symref::api

@@ -1,0 +1,314 @@
+#include "api/protocol.h"
+
+#include <cctype>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+namespace symref::api::protocol {
+
+namespace {
+
+Status require_string(const Json& params, const char* key, std::string* out) {
+  const Json* value = params.find(key);
+  if (value == nullptr || !value->is_string()) {
+    return Status::error(StatusCode::kInvalidArgument,
+                         std::string("params: missing string \"") + key + "\"");
+  }
+  *out = value->as_string();
+  return Status();
+}
+
+bool read_flag(const Json& params, const char* key, bool fallback) {
+  const Json* value = params.find(key);
+  return value != nullptr && value->is_bool() ? value->as_bool() : fallback;
+}
+
+Json circuit_info(const std::string& id, const CircuitHandle& handle) {
+  Json out = Json::object();
+  out.set("circuit_id", id);
+  out.set("name", handle.name());
+  out.set("nodes", handle.circuit().node_count());
+  out.set("elements", static_cast<double>(handle.circuit().element_count()));
+  out.set("dim", handle.dim());
+  out.set("order_bound", handle.order_bound());
+  return out;
+}
+
+Json job_info_json(const JobInfo& info) {
+  Json out = Json::object();
+  out.set("job_id", job_id_token(info.id));
+  out.set("state", job_state_name(info.state));
+  out.set("type", request_type_name(info.type));
+  out.set("circuit", info.circuit);
+  out.set("iterations", info.iterations);
+  out.set("cancel_requested", info.cancel_requested);
+  out.set("seconds", info.seconds);
+  return out;
+}
+
+}  // namespace
+
+std::string job_id_token(JobId id) { return "j" + std::to_string(id); }
+
+Result<JobId> parse_job_id(const std::string& token) {
+  // "j<decimal>", at most 19 digits (fits uint64 for every id we assign).
+  if (token.size() < 2 || token.size() > 20 || token[0] != 'j') {
+    return Status::error(StatusCode::kInvalidArgument,
+                         "bad job_id \"" + token + "\" (expected \"j<N>\")");
+  }
+  JobId value = 0;
+  for (std::size_t i = 1; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) {
+      return Status::error(StatusCode::kInvalidArgument,
+                           "bad job_id \"" + token + "\" (expected \"j<N>\")");
+    }
+    value = value * 10 + static_cast<JobId>(token[i] - '0');
+  }
+  return value;
+}
+
+ServerCore::ServerCore(ServerOptions options)
+    : service_(std::move(options.service)), jobs_(service_, options.workers) {}
+
+void ServerCore::request_shutdown() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  // Trip every live job's cancellation token: running engines stop at
+  // their next checkpoint and blocked wait()ers (a session serving "wait",
+  // the daemon's join loop) release promptly.
+  for (const JobInfo& info : jobs_.list()) jobs_.cancel(info.id);
+}
+
+bool IostreamTransport::read_line(std::string* line) {
+  return static_cast<bool>(std::getline(in_, *line));
+}
+
+bool IostreamTransport::write_line(const std::string& line) {
+  out_ << line << '\n';
+  out_.flush();
+  return static_cast<bool>(out_);
+}
+
+/// The write side shared between the session's reader thread (replies) and
+/// the job workers (progress/done events). One mutex serializes lines;
+/// close() detaches the stream so late events from still-draining jobs are
+/// dropped instead of written to a dead client.
+struct Session::Writer {
+  std::mutex mutex;
+  std::shared_ptr<LineTransport> transport;
+  bool open = true;
+
+  void write(const Json& payload) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!open) return;
+    if (!transport->write_line(payload.dump())) open = false;
+  }
+  void close() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    open = false;
+  }
+};
+
+Session::Session(ServerCore& core, std::shared_ptr<LineTransport> transport)
+    : core_(core), transport_(std::move(transport)), writer_(std::make_shared<Writer>()) {
+  writer_->transport = transport_;
+}
+
+Session::~Session() {
+  writer_->close();
+  // Unfinished jobs of a vanished client are abandoned work: cancel them.
+  // (cancel() is a no-op false for jobs that already completed.)
+  for (const JobId id : submitted_) core_.jobs().cancel(id);
+}
+
+void Session::serve() {
+  std::string line;
+  while (!stop_ && !core_.shutdown_requested() && transport_->read_line(&line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Result<Json> parsed = Json::parse(line);
+    Json reply;
+    if (!parsed.ok()) {
+      reply = Json::object();
+      reply.set("id", Json());
+      reply.set("error", to_json(parsed.status()));
+    } else {
+      reply = dispatch(parsed.value());
+    }
+    writer_->write(reply);
+  }
+}
+
+Json Session::dispatch(const Json& request) {
+  Json reply = Json::object();
+  const Json* id = request.find("id");
+  reply.set("id", id != nullptr ? *id : Json());
+
+  auto execute = [&]() -> Result<Json> {
+    if (!request.is_object()) {
+      return Status::error(StatusCode::kInvalidArgument, "request: expected a JSON object");
+    }
+    std::string method;
+    Status status = require_string(request, "method", &method);
+    if (!status.ok()) {
+      return Status::error(StatusCode::kInvalidArgument, "request: missing string \"method\"");
+    }
+    const Json* params_ptr = request.find("params");
+    const Json params = params_ptr != nullptr ? *params_ptr : Json::object();
+    if (!params.is_object()) {
+      return Status::error(StatusCode::kInvalidArgument, "params: expected a JSON object");
+    }
+
+    if (method == "compile") {
+      std::string netlist;
+      if (!(status = require_string(params, "netlist", &netlist)).ok()) return status;
+      std::string name;
+      if (const Json* value = params.find("name"); value != nullptr && value->is_string()) {
+        name = value->as_string();
+      }
+      Result<CircuitHandle> compiled = core_.service().compile_netlist(netlist, name);
+      if (!compiled.ok()) return compiled.status();
+      CircuitHandle handle = compiled.take();
+      return circuit_info(core_.registry().add(handle), handle);
+    }
+
+    if (method == "submit") {
+      std::string circuit_id;
+      if (!(status = require_string(params, "circuit_id", &circuit_id)).ok()) return status;
+      const Json* request_json = params.find("request");
+      if (request_json == nullptr) {
+        return Status::error(StatusCode::kInvalidArgument,
+                             "params: missing object \"request\"");
+      }
+      Result<CircuitHandle> handle = core_.registry().get(circuit_id);
+      if (!handle.ok()) return handle.status();
+      Result<AnyRequest> parsed = request_from_json(*request_json);
+      if (!parsed.ok()) return parsed.status();
+
+      const std::shared_ptr<Writer> writer = writer_;
+      JobProgressFn on_progress;
+      if (read_flag(params, "progress", false)) {
+        on_progress = [writer](const JobProgress& progress) {
+          Json event = Json::object();
+          event.set("event", "progress");
+          event.set("job_id", job_id_token(progress.id));
+          event.set("iteration", progress.iteration);
+          event.set("purpose", progress.purpose);
+          event.set("points", progress.points);
+          event.set("evaluations", progress.evaluations);
+          event.set("num_new_coefficients", progress.num_new_coefficients);
+          event.set("den_new_coefficients", progress.den_new_coefficients);
+          event.set("f_scale", progress.f_scale);
+          event.set("g_scale", progress.g_scale);
+          writer->write(event);
+        };
+      }
+      JobDoneFn on_done = [writer](JobId job, const JobOutcome& outcome) {
+        Json event = Json::object();
+        event.set("event", "done");
+        event.set("job_id", job_id_token(job));
+        event.set("result", to_json(outcome));
+        writer->write(event);
+      };
+      const JobId job =
+          core_.jobs().submit(handle.take(), parsed.take(), std::move(on_progress),
+                              std::move(on_done));
+      submitted_.push_back(job);
+      Json out = Json::object();
+      out.set("job_id", job_id_token(job));
+      return out;
+    }
+
+    if (method == "poll" || method == "wait") {
+      std::string token;
+      if (!(status = require_string(params, "job_id", &token)).ok()) return status;
+      Result<JobId> job = parse_job_id(token);
+      if (!job.ok()) return job.status();
+      if (method == "wait") {
+        // Blocks the session's reader thread; events keep streaming.
+        Result<JobOutcome> outcome = core_.jobs().wait(job.value());
+        if (!outcome.ok()) return outcome.status();
+      }
+      Result<JobInfo> info = core_.jobs().poll(job.value());
+      if (!info.ok()) return info.status();
+      Json out = job_info_json(info.value());
+      if (info.value().state == JobState::kDone) {
+        Result<JobOutcome> outcome = core_.jobs().wait(job.value());  // immediate
+        if (outcome.ok()) out.set("result", to_json(outcome.value()));
+      }
+      return out;
+    }
+
+    if (method == "cancel") {
+      std::string token;
+      if (!(status = require_string(params, "job_id", &token)).ok()) return status;
+      Result<JobId> job = parse_job_id(token);
+      if (!job.ok()) return job.status();
+      Json out = Json::object();
+      out.set("job_id", token);
+      out.set("cancelled", core_.jobs().cancel(job.value()));
+      return out;
+    }
+
+    if (method == "list") {
+      Json circuits = Json::array();
+      for (const Registry::Entry& entry : core_.registry().list()) {
+        circuits.push_back(circuit_info(entry.id, entry.handle));
+      }
+      Json jobs = Json::array();
+      for (const JobInfo& info : core_.jobs().list()) jobs.push_back(job_info_json(info));
+      Json out = Json::object();
+      out.set("circuits", std::move(circuits));
+      out.set("jobs", std::move(jobs));
+      return out;
+    }
+
+    if (method == "evict") {
+      std::string circuit_id;
+      if (!(status = require_string(params, "circuit_id", &circuit_id)).ok()) return status;
+      Json out = Json::object();
+      out.set("circuit_id", circuit_id);
+      out.set("evicted", core_.registry().evict(circuit_id));
+      return out;
+    }
+
+    if (method == "stats") {
+      std::string circuit_id;
+      if (!(status = require_string(params, "circuit_id", &circuit_id)).ok()) return status;
+      Result<CircuitHandle> handle = core_.registry().get(circuit_id);
+      if (!handle.ok()) return handle.status();
+      Result<CacheStats> stats = core_.service().cache_stats(handle.value());
+      if (!stats.ok()) return stats.status();
+      Json out = Json::object();
+      out.set("circuit_id", circuit_id);
+      out.set("hits", static_cast<double>(stats.value().hits));
+      out.set("misses", static_cast<double>(stats.value().misses));
+      out.set("evictions", static_cast<double>(stats.value().evictions));
+      out.set("entries", static_cast<double>(stats.value().entries));
+      return out;
+    }
+
+    if (method == "shutdown") {
+      stop_ = true;
+      core_.request_shutdown();
+      Json out = Json::object();
+      out.set("ok", true);
+      return out;
+    }
+
+    return Status::error(StatusCode::kInvalidArgument,
+                         "unknown method \"" + method +
+                             "\" (expected compile, submit, poll, wait, cancel, list, "
+                             "evict, stats, or shutdown)");
+  };
+
+  Result<Json> result = execute();
+  if (result.ok()) {
+    reply.set("result", result.take());
+  } else {
+    reply.set("error", to_json(result.status()));
+  }
+  return reply;
+}
+
+}  // namespace symref::api::protocol

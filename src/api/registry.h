@@ -1,0 +1,60 @@
+// Named-handle store: compiled circuits addressable by id across requests
+// and clients.
+//
+// api::Service hands out CircuitHandles as C++ values; a served protocol
+// needs them addressable by a token a remote client can quote back. The
+// Registry owns that mapping: add() assigns a monotonically increasing id
+// ("c1", "c2", ...; never reused within one registry, so a stale id after
+// evict() fails with kNotFound instead of silently hitting a new circuit).
+//
+// Thread-safe; handles are cheap shared references, so get() copies one out
+// under the lock and requests then run without touching the registry.
+// Evicting a circuit that still has in-flight jobs is safe — their handles
+// keep the compiled circuit alive until they finish.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/service.h"
+#include "api/status.h"
+
+namespace symref::api {
+
+class Registry {
+ public:
+  struct Entry {
+    std::string id;
+    CircuitHandle handle;
+  };
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Store a compiled handle; returns its new id. Invalid handles are
+  /// rejected with an empty string (callers should not register failures).
+  std::string add(CircuitHandle handle);
+
+  /// Handle by id; kNotFound when absent or evicted.
+  [[nodiscard]] Result<CircuitHandle> get(std::string_view id) const;
+
+  /// All live entries, in insertion order.
+  [[nodiscard]] std::vector<Entry> list() const;
+
+  /// Drop the id. Returns false when it was not present. In-flight requests
+  /// holding the handle are unaffected (shared ownership).
+  bool evict(std::string_view id);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t next_ = 0;
+  std::vector<Entry> entries_;  // daemon-scale N: linear scans are fine
+};
+
+}  // namespace symref::api

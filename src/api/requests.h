@@ -43,6 +43,10 @@ struct SweepRequest {
   /// Worker lanes for the per-point solves; results are bit-identical at
   /// every setting (not part of the response-cache key).
   int threads = 1;
+  /// Cooperative cancellation checkpoint, polled per point. A cancelled
+  /// sweep fails with kCancelled; the handle's plan caches stay valid.
+  /// Like threads, not part of the response-cache key.
+  support::CancellationToken cancel;
 };
 
 struct SweepResponse {

@@ -324,6 +324,51 @@ Result<refgen::AdaptiveOptions> options_from_json(const Json& json) {
   return options;
 }
 
+const char* request_type_name(AnyRequest::Type type) noexcept {
+  switch (type) {
+    case AnyRequest::Type::kRefgen: return "refgen";
+    case AnyRequest::Type::kSweep: return "sweep";
+    case AnyRequest::Type::kPolesZeros: return "poles_zeros";
+    case AnyRequest::Type::kBatch: return "batch";
+  }
+  return "refgen";
+}
+
+Json to_json(const AnyRequest& request) {
+  Json out = Json::object();
+  out.set("type", request_type_name(request.type));
+  switch (request.type) {
+    case AnyRequest::Type::kRefgen:
+      out.set("spec", to_json(request.refgen.spec));
+      out.set("options", to_json(request.refgen.options));
+      break;
+    case AnyRequest::Type::kPolesZeros:
+      out.set("spec", to_json(request.poles_zeros.spec));
+      out.set("options", to_json(request.poles_zeros.options));
+      break;
+    case AnyRequest::Type::kSweep:
+      out.set("spec", to_json(request.sweep.spec));
+      out.set("f_start_hz", request.sweep.f_start_hz);
+      out.set("f_stop_hz", request.sweep.f_stop_hz);
+      out.set("points_per_decade", request.sweep.points_per_decade);
+      out.set("threads", request.sweep.threads);
+      break;
+    case AnyRequest::Type::kBatch: {
+      Json items = Json::array();
+      for (const RefgenRequest& item : request.batch.items) {
+        Json entry = Json::object();
+        entry.set("spec", to_json(item.spec));
+        entry.set("options", to_json(item.options));
+        items.push_back(std::move(entry));
+      }
+      out.set("items", std::move(items));
+      out.set("threads", request.batch.threads);
+      break;
+    }
+  }
+  return out;
+}
+
 Result<AnyRequest> request_from_json(const Json& json) {
   constexpr const char* kWhat = "request";
   if (!json.is_object()) {
@@ -389,9 +434,41 @@ Result<AnyRequest> request_from_json(const Json& json) {
     }
     return request;
   }
+  if (type == "batch") {
+    status = check_keys(json, {"type", "items", "threads"}, kWhat);
+    if (!status.ok()) return status;
+    const Json* items = json.find("items");
+    if (items == nullptr || !items->is_array()) {
+      return Status::error(StatusCode::kInvalidArgument,
+                           "request: batch requires an \"items\" array");
+    }
+    request.type = AnyRequest::Type::kBatch;
+    for (const Json& item : items->items()) {
+      status = check_keys(item, {"spec", "options"}, "batch item");
+      if (!status.ok()) return status;
+      const Json* spec = item.find("spec");
+      if (spec == nullptr) {
+        return Status::error(StatusCode::kInvalidArgument,
+                             "batch item: missing required key \"spec\"");
+      }
+      Result<mna::TransferSpec> parsed_spec = spec_from_json(*spec);
+      if (!parsed_spec.ok()) return parsed_spec.status();
+      refgen::AdaptiveOptions options;
+      if (const Json* options_json = item.find("options"); options_json != nullptr) {
+        Result<refgen::AdaptiveOptions> parsed = options_from_json(*options_json);
+        if (!parsed.ok()) return parsed.status();
+        options = parsed.take();
+      }
+      request.batch.items.push_back({parsed_spec.take(), std::move(options)});
+    }
+    if (!(status = read_int(json, "threads", &request.batch.threads, kWhat)).ok()) {
+      return status;
+    }
+    return request;
+  }
   return Status::error(StatusCode::kInvalidArgument,
                        "request: unknown type \"" + type +
-                           "\" (expected refgen, sweep, or poles_zeros)");
+                           "\" (expected refgen, sweep, poles_zeros, or batch)");
 }
 
 Result<std::vector<AnyRequest>> requests_from_json(const Json& json) {

@@ -47,16 +47,27 @@ Result<refgen::AdaptiveOptions> options_from_json(const Json& json);
 
 /// A request of any type, as parsed from a JSON payload.
 struct AnyRequest {
-  enum class Type { kRefgen, kSweep, kPolesZeros };
+  enum class Type { kRefgen, kSweep, kPolesZeros, kBatch };
   Type type = Type::kRefgen;
   RefgenRequest refgen;
   SweepRequest sweep;
   PolesZerosRequest poles_zeros;
+  BatchRequest batch;
 };
 
-/// Parse {"type": "refgen"|"sweep"|"poles_zeros", ...}. Strict: unknown
-/// keys and missing required fields fail with kInvalidArgument, so typos in
-/// hand-written request files surface instead of silently using defaults.
+/// Stable wire token of a request type: "refgen", "sweep", "poles_zeros",
+/// "batch".
+const char* request_type_name(AnyRequest::Type type) noexcept;
+
+/// Encode a request in the exact schema request_from_json accepts — the
+/// client half of the wire (tools/refgen --connect, request-file writers).
+Json to_json(const AnyRequest& request);
+
+/// Parse {"type": "refgen"|"sweep"|"poles_zeros"|"batch", ...}. Strict:
+/// unknown keys and missing required fields fail with kInvalidArgument, so
+/// typos in hand-written request files surface instead of silently using
+/// defaults. A batch request carries "items": an array of {"spec", "options"}
+/// refgen items, plus optional "threads".
 Result<AnyRequest> request_from_json(const Json& json);
 
 /// Parse a request *session*: either one request object or an array of

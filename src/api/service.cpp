@@ -1,15 +1,18 @@
 #include "api/service.h"
 
+#include <atomic>
 #include <cstdio>
 #include <map>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "mna/ac.h"
 #include "mna/nodal.h"
 #include "netlist/parser.h"
 #include "numeric/roots.h"
 #include "refgen/adaptive.h"
+#include "support/lru_cache.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
 
@@ -56,6 +59,10 @@ Status termination_status(const refgen::AdaptiveResult& result) {
                          "adaptive engine: system is singular at the initial scaling "
                          "(floating section or zero-admittance cut)");
   }
+  if (result.termination == "cancelled") {
+    return Status::error(StatusCode::kCancelled,
+                         "adaptive engine: run cancelled before completion");
+  }
   return Status::error(StatusCode::kIncomplete,
                        "adaptive engine terminated without a complete reference: " +
                            result.termination);
@@ -69,17 +76,21 @@ namespace internal {
 
 /// Mutable per-TransferSpec state of one compiled circuit. The mutex
 /// serializes use of the cached evaluator/simulator (both are
-/// deliberately non-reentrant plan caches) and guards the response maps.
+/// deliberately non-reentrant plan caches) and guards the response caches.
 struct SpecEntry {
+  explicit SpecEntry(std::size_t cache_capacity)
+      : refgen_cache(cache_capacity), sweep_cache(cache_capacity) {}
+
   std::mutex mutex;
   /// Reference-generation plan cache: assembly pattern + symbolic LU plan
   /// stay warm across engine runs on this spec.
   std::unique_ptr<mna::CofactorEvaluator> evaluator;
   /// Sweep plan cache: drive-augmented circuit, assembler, LU plan.
   std::unique_ptr<mna::AcSimulator> simulator;
-  /// Memoized responses (ServiceOptions::cache_responses).
-  std::map<std::string, RefgenResponse> refgen_cache;
-  std::map<std::string, SweepResponse> sweep_cache;
+  /// Memoized responses (ServiceOptions::cache_responses), bounded by
+  /// ServiceOptions::max_cached_responses with LRU eviction.
+  support::LruCache<std::string, RefgenResponse> refgen_cache;
+  support::LruCache<std::string, SweepResponse> sweep_cache;
 };
 
 struct CompiledCircuit {
@@ -90,9 +101,17 @@ struct CompiledCircuit {
   netlist::Circuit canonical;
   mna::NodalSystem system;
   std::string name;
+  std::size_t cache_capacity = 0;
 
   std::mutex specs_mutex;
   std::map<std::string, std::shared_ptr<SpecEntry>> specs;
+
+  // Response-cache counters (Service::cache_stats). Atomics so the batch
+  // lanes and concurrent requests can bump them without extending any
+  // critical section.
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> cache_evictions{0};
 
   CompiledCircuit(netlist::Circuit circuit, const netlist::CanonicalOptions& options)
       : original(std::move(circuit)),
@@ -102,7 +121,7 @@ struct CompiledCircuit {
   std::shared_ptr<SpecEntry> entry(const mna::TransferSpec& spec) {
     const std::lock_guard<std::mutex> lock(specs_mutex);
     std::shared_ptr<SpecEntry>& slot = specs[spec_key(spec)];
-    if (!slot) slot = std::make_shared<SpecEntry>();
+    if (!slot) slot = std::make_shared<SpecEntry>(cache_capacity);
     return slot;
   }
 };
@@ -127,6 +146,7 @@ Result<CircuitHandle> Service::finish_compile(netlist::Circuit circuit, std::str
     auto compiled = std::make_shared<CompiledCircuit>(std::move(circuit), options_.canonical);
     compiled->name = name.empty() ? compiled->original.title : std::move(name);
     if (compiled->name.empty()) compiled->name = "circuit";
+    compiled->cache_capacity = options_.max_cached_responses;
     CircuitHandle handle;
     handle.compiled_ = std::move(compiled);
     return handle;
@@ -160,13 +180,14 @@ Result<RefgenResponse> Service::refgen(const CircuitHandle& handle,
 
     const std::string key = options_key(request.options);
     if (options_.cache_responses) {
-      const auto hit = entry->refgen_cache.find(key);
-      if (hit != entry->refgen_cache.end()) {
-        RefgenResponse response = hit->second;
+      if (const RefgenResponse* hit = entry->refgen_cache.find(key)) {
+        compiled.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        RefgenResponse response = *hit;
         response.from_cache = true;
         response.seconds = timer.seconds();
         return response;
       }
+      compiled.cache_misses.fetch_add(1, std::memory_order_relaxed);
     }
 
     // Warm path: the spec's evaluator keeps its assembly pattern and LU
@@ -182,7 +203,10 @@ Result<RefgenResponse> Service::refgen(const CircuitHandle& handle,
     response.seconds = timer.seconds();
     const Status status = termination_status(response.result);
     if (!status.ok()) return status;
-    if (options_.cache_responses) entry->refgen_cache.emplace(key, response);
+    if (options_.cache_responses) {
+      compiled.cache_evictions.fetch_add(entry->refgen_cache.insert(key, response),
+                                         std::memory_order_relaxed);
+    }
     return response;
   } catch (...) {
     return status_from_current_exception();
@@ -202,13 +226,14 @@ Result<SweepResponse> Service::sweep(const CircuitHandle& handle,
 
     const std::string key = sweep_key(request);
     if (options_.cache_responses) {
-      const auto hit = entry->sweep_cache.find(key);
-      if (hit != entry->sweep_cache.end()) {
-        SweepResponse response = hit->second;
+      if (const SweepResponse* hit = entry->sweep_cache.find(key)) {
+        compiled.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        SweepResponse response = *hit;
         response.from_cache = true;
         response.seconds = timer.seconds();
         return response;
       }
+      compiled.cache_misses.fetch_add(1, std::memory_order_relaxed);
     }
 
     // Warm path: the per-spec simulator caches the drive-augmented circuit,
@@ -220,13 +245,39 @@ Result<SweepResponse> Service::sweep(const CircuitHandle& handle,
     SweepResponse response;
     response.points = entry->simulator->bode(request.spec, request.f_start_hz,
                                              request.f_stop_hz, request.points_per_decade,
-                                             request.threads);
+                                             request.threads, request.cancel);
     response.seconds = timer.seconds();
-    if (options_.cache_responses) entry->sweep_cache.emplace(key, response);
+    if (options_.cache_responses) {
+      compiled.cache_evictions.fetch_add(entry->sweep_cache.insert(key, response),
+                                         std::memory_order_relaxed);
+    }
     return response;
   } catch (...) {
     return status_from_current_exception();
   }
+}
+
+Result<CacheStats> Service::cache_stats(const CircuitHandle& handle) const {
+  if (!handle.valid()) {
+    return Status::error(StatusCode::kInvalidArgument, kEmptyHandleMessage);
+  }
+  CompiledCircuit& compiled = *handle.compiled_;
+  CacheStats stats;
+  stats.hits = compiled.cache_hits.load(std::memory_order_relaxed);
+  stats.misses = compiled.cache_misses.load(std::memory_order_relaxed);
+  stats.evictions = compiled.cache_evictions.load(std::memory_order_relaxed);
+  // Collect the entries first, then lock each one briefly — never hold
+  // specs_mutex and an entry mutex together.
+  std::vector<std::shared_ptr<SpecEntry>> entries;
+  {
+    const std::lock_guard<std::mutex> lock(compiled.specs_mutex);
+    for (const auto& [key, entry] : compiled.specs) entries.push_back(entry);
+  }
+  for (const std::shared_ptr<SpecEntry>& entry : entries) {
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    stats.entries += entry->refgen_cache.size() + entry->sweep_cache.size();
+  }
+  return stats;
 }
 
 Result<PolesZerosResponse> Service::poles_zeros(const CircuitHandle& handle,
@@ -280,14 +331,21 @@ Result<BatchResponse> Service::batch(const CircuitHandle& handle,
           const std::shared_ptr<SpecEntry> entry = compiled.entry(item.spec);
           const std::string key = options_key(item.options);
           if (options_.cache_responses) {
-            const std::lock_guard<std::mutex> lock(entry->mutex);
-            const auto hit = entry->refgen_cache.find(key);
-            if (hit != entry->refgen_cache.end()) {
-              out.response = hit->second;
+            bool hit_cache = false;
+            {
+              const std::lock_guard<std::mutex> lock(entry->mutex);
+              if (const RefgenResponse* hit = entry->refgen_cache.find(key)) {
+                out.response = *hit;
+                hit_cache = true;
+              }
+            }
+            if (hit_cache) {
+              compiled.cache_hits.fetch_add(1, std::memory_order_relaxed);
               out.response.from_cache = true;
               out.response.seconds = item_timer.seconds();
               continue;
             }
+            compiled.cache_misses.fetch_add(1, std::memory_order_relaxed);
           }
           refgen::AdaptiveOptions options = item.options;
           options.threads = 1;  // outer parallelism owns the lanes
@@ -296,8 +354,12 @@ Result<BatchResponse> Service::batch(const CircuitHandle& handle,
           out.response.seconds = item_timer.seconds();
           out.status = termination_status(out.response.result);
           if (out.status.ok() && options_.cache_responses) {
-            const std::lock_guard<std::mutex> lock(entry->mutex);
-            entry->refgen_cache.emplace(key, out.response);
+            std::size_t evicted = 0;
+            {
+              const std::lock_guard<std::mutex> lock(entry->mutex);
+              evicted = entry->refgen_cache.insert(key, out.response);
+            }
+            compiled.cache_evictions.fetch_add(evicted, std::memory_order_relaxed);
           }
         } catch (...) {
           out.status = status_from_current_exception();

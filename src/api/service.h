@@ -30,6 +30,8 @@
 // spec's cache entry, except batch() items, which run shared-nothing.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -53,6 +55,21 @@ struct ServiceOptions {
   /// Identical repeated requests then cost a map lookup, the way an
   /// idempotent server endpoint would serve them.
   bool cache_responses = true;
+  /// Bound on each per-spec response cache (refgen and sweep memoization
+  /// each keep at most this many entries, least-recently-used evicted
+  /// first). 0 = unbounded — the pre-LRU behavior, unsafe for a long-lived
+  /// server under adversarial option churn.
+  std::size_t max_cached_responses = 64;
+};
+
+/// Aggregate response-cache counters of one handle (all specs, refgen +
+/// sweep caches combined) since compile. Monotonic except `entries`.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  /// Responses currently resident across the handle's spec caches.
+  std::size_t entries = 0;
 };
 
 /// A compiled circuit: immutable shared state plus internally synchronized
@@ -120,6 +137,10 @@ class Service {
   /// come back in BatchResponse::items[i].status.
   [[nodiscard]] Result<BatchResponse> batch(const CircuitHandle& handle,
                                             const BatchRequest& request) const;
+
+  /// Response-cache counters of the handle (hit/miss/eviction totals and
+  /// resident entries). Cheap; safe to call concurrently with requests.
+  [[nodiscard]] Result<CacheStats> cache_stats(const CircuitHandle& handle) const;
 
   [[nodiscard]] const ServiceOptions& options() const noexcept { return options_; }
 

@@ -6,6 +6,7 @@
 #include "mna/errors.h"
 #include "netlist/parser.h"
 #include "sparse/lu.h"
+#include "support/cancellation.h"
 
 namespace symref::api {
 
@@ -18,10 +19,23 @@ const char* status_code_name(StatusCode code) noexcept {
     case StatusCode::kSingularSystem: return "singular_system";
     case StatusCode::kRefusedReplay: return "refused_replay";
     case StatusCode::kIncomplete: return "incomplete";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kNotFound: return "not_found";
     case StatusCode::kIoError: return "io_error";
     case StatusCode::kInternal: return "internal";
   }
   return "internal";
+}
+
+StatusCode status_code_from_name(std::string_view name) noexcept {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
+        StatusCode::kInvalidSpec, StatusCode::kSingularSystem, StatusCode::kRefusedReplay,
+        StatusCode::kIncomplete, StatusCode::kCancelled, StatusCode::kNotFound,
+        StatusCode::kIoError}) {
+    if (name == status_code_name(code)) return code;
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::to_string() const {
@@ -48,6 +62,8 @@ Status status_from_current_exception() noexcept {
     return Status::error(StatusCode::kSingularSystem, e.what());
   } catch (const sparse::RefusedReplayError& e) {
     return Status::error(StatusCode::kRefusedReplay, e.what());
+  } catch (const support::CancelledError& e) {
+    return Status::error(StatusCode::kCancelled, e.what());
   } catch (const std::invalid_argument& e) {
     return Status::error(StatusCode::kInvalidArgument, e.what());
   } catch (const std::exception& e) {

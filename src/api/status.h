@@ -10,6 +10,7 @@
 
 #include <cassert>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace symref::api {
@@ -34,6 +35,12 @@ enum class StatusCode {
   /// The engine terminated without a complete reference (max_iterations,
   /// no_valid_region, gap_unresolved).
   kIncomplete,
+  /// The request was cancelled at a cooperative checkpoint (job cancel,
+  /// client timeout) before producing a complete result.
+  kCancelled,
+  /// A named resource (registry circuit_id, job_id) does not exist — never
+  /// existed, or was evicted/forgotten.
+  kNotFound,
   /// File or serialized-payload I/O failed.
   kIoError,
   /// Unexpected failure; the message is the caught exception text.
@@ -43,6 +50,10 @@ enum class StatusCode {
 /// Stable snake_case token for a code ("ok", "parse_error", ...); these are
 /// the strings used in JSON payloads.
 const char* status_code_name(StatusCode code) noexcept;
+
+/// Inverse of status_code_name — remote clients mapping wire tokens back to
+/// codes. Unknown tokens come back as kInternal.
+StatusCode status_code_from_name(std::string_view name) noexcept;
 
 /// 1-based position in the source netlist (or request payload); 0 = unknown.
 struct SourceLocation {
@@ -93,8 +104,9 @@ class Status {
 ///
 /// netlist::ParseError -> kParseError (with line/column), mna::SpecError ->
 /// kInvalidSpec, mna::SingularSystemError -> kSingularSystem,
-/// sparse::RefusedReplayError -> kRefusedReplay, std::invalid_argument ->
-/// kInvalidArgument, anything else -> kInternal.
+/// sparse::RefusedReplayError -> kRefusedReplay, support::CancelledError ->
+/// kCancelled, std::invalid_argument -> kInvalidArgument, anything else ->
+/// kInternal.
 [[nodiscard]] Status status_from_current_exception() noexcept;
 
 /// A value or a non-ok Status. `status()` is always valid; `value()` only

@@ -133,10 +133,11 @@ std::vector<double> log_frequency_grid(double f_start_hz, double f_stop_hz,
 
 std::vector<BodePoint> AcSimulator::bode(const TransferSpec& spec, double f_start_hz,
                                          double f_stop_hz, int points_per_decade,
-                                         int threads) const {
+                                         int threads, support::CancellationToken cancel) const {
   const std::vector<double> grid = log_frequency_grid(f_start_hz, f_stop_hz, points_per_decade);
   SpecCache& cache = prepare(spec);
   auto s_of = [](double f) { return std::complex<double>(0.0, kTwoPi * f); };
+  if (cancel.cancelled()) throw support::CancelledError();
 
   // The first point runs on the caller with the cache's own state, creating
   // (or refreshing) the factorization plan every other point replays.
@@ -171,6 +172,9 @@ std::vector<BodePoint> AcSimulator::bode(const TransferSpec& spec, double f_star
     auto body = [&](std::size_t begin, std::size_t end, int lane) {
       Lane& state = lanes[static_cast<std::size_t>(lane)];
       for (std::size_t i = begin; i < end; ++i) {
+        // Cooperative checkpoint: the pool rethrows the first lane's
+        // CancelledError and abandons the remaining chunks.
+        if (cancel.cancelled()) throw support::CancelledError();
         values[i + 1] = solve_point(cache, state.assembler, state.lu, state.rhs,
                                     /*persist_plan=*/false, s_of(grid[i + 1]));
       }

@@ -13,6 +13,7 @@
 #include "mna/transfer.h"
 #include "netlist/circuit.h"
 #include "sparse/lu.h"
+#include "support/cancellation.h"
 
 namespace symref::mna {
 
@@ -67,9 +68,16 @@ class AcSimulator {
   /// on the caller in frequency order (deterministic ordered reduction).
   /// `threads` <= 0 picks the hardware thread count (the ThreadPool
   /// convention); 1 is the serial path.
+  ///
+  /// `cancel` is a cooperative checkpoint polled before every point solve
+  /// (on every lane); a tripped token makes bode throw
+  /// support::CancelledError promptly. The spec cache and its factorization
+  /// plan stay valid — a later sweep on the same simulator just resumes
+  /// replaying the plan.
   [[nodiscard]] std::vector<BodePoint> bode(const TransferSpec& spec, double f_start_hz,
                                             double f_stop_hz, int points_per_decade = 10,
-                                            int threads = 1) const;
+                                            int threads = 1,
+                                            support::CancellationToken cancel = {}) const;
 
  private:
   /// Per-spec sweep state: the drive-augmented circuit copy, its assembler

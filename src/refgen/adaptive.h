@@ -33,6 +33,7 @@
 #include "mna/transfer.h"
 #include "numeric/scaled.h"
 #include "refgen/reference.h"
+#include "support/cancellation.h"
 
 namespace symref::refgen {
 
@@ -84,6 +85,12 @@ struct AdaptiveOptions {
   /// Iteration-progress hook (see ProgressObserver above). Not part of any
   /// request fingerprint: two requests differing only here are identical.
   ProgressObserver on_iteration;
+  /// Cooperative cancellation checkpoint, polled once per interpolation
+  /// iteration. A cancelled run() returns promptly with whatever is known
+  /// so far and termination == "cancelled" (complete stays false); the
+  /// evaluator's caches remain valid for later runs. Like on_iteration,
+  /// not part of any request fingerprint.
+  support::CancellationToken cancel;
 };
 
 enum class IterationPurpose { Initial, Upward, Downward, GapRepair };

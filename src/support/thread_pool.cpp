@@ -92,4 +92,50 @@ void ThreadPool::parallel_for(
   }
 }
 
+WorkQueue::WorkQueue(int workers) {
+  if (workers <= 0) workers = ThreadPool::hardware_threads();
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkQueue::~WorkQueue() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    tasks_.clear();
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool WorkQueue::post(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return false;
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t WorkQueue::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+void WorkQueue::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
+    if (stop_) return;
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
 }  // namespace symref::support

@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -79,6 +80,44 @@ class ThreadPool {
   std::size_t chunk_ = 1;
   std::atomic<std::size_t> cursor_{0};
   std::exception_ptr error_;
+};
+
+/// FIFO task executor for job-style workloads — the complement of
+/// ThreadPool. parallel_for fans ONE computation out and blocks the caller;
+/// a WorkQueue accepts MANY independent computations (api::JobManager's
+/// submitted jobs) and runs them on persistent workers while the caller
+/// moves on. Tasks must not throw (run whole jobs that report failure
+/// through their own channel); a throwing task terminates, by design.
+class WorkQueue {
+ public:
+  /// `workers` <= 0 picks hardware_threads(). Unlike ThreadPool, the caller
+  /// is NOT a lane — post() returns immediately — so a queue always spawns
+  /// at least one worker.
+  explicit WorkQueue(int workers = 0);
+  /// Stops accepting work, discards tasks that have not started, and joins
+  /// the workers (running tasks finish first). Callers that need discarded
+  /// tasks observed (job managers completing them as cancelled) must do so
+  /// before destruction.
+  ~WorkQueue();
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  /// Enqueue a task. Returns false (task dropped) after shutdown began.
+  bool post(std::function<void()> task);
+
+  [[nodiscard]] int workers() const noexcept { return static_cast<int>(workers_.size()); }
+  /// Tasks posted but not yet started.
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
 };
 
 }  // namespace symref::support

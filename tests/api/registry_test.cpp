@@ -1,0 +1,99 @@
+// api::Registry: id assignment, lookup, eviction, id stability, and
+// concurrent registration.
+#include "api/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+
+namespace symref::api {
+namespace {
+
+constexpr const char* kRcNetlist = "R1 in out 1k\nC1 out 0 1u\n";
+
+CircuitHandle compile(const Service& service, const char* name) {
+  auto compiled = service.compile_netlist(kRcNetlist, name);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().to_string();
+  return compiled.take();
+}
+
+TEST(Registry, AddAssignsSequentialIdsAndGetReturnsTheHandle) {
+  const Service service;
+  Registry registry;
+  const std::string a = registry.add(compile(service, "first"));
+  const std::string b = registry.add(compile(service, "second"));
+  EXPECT_EQ(a, "c1");
+  EXPECT_EQ(b, "c2");
+  EXPECT_EQ(registry.size(), 2u);
+
+  const auto found = registry.get(a);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().name(), "first");
+  EXPECT_EQ(registry.get(b).value().name(), "second");
+}
+
+TEST(Registry, GetUnknownIdIsNotFound) {
+  Registry registry;
+  const auto missing = registry.get("c99");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Registry, AddRejectsEmptyHandles) {
+  Registry registry;
+  EXPECT_EQ(registry.add(CircuitHandle()), "");
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(Registry, EvictRemovesAndNeverReusesIds) {
+  const Service service;
+  Registry registry;
+  const std::string a = registry.add(compile(service, "first"));
+  EXPECT_TRUE(registry.evict(a));
+  EXPECT_FALSE(registry.evict(a));
+  EXPECT_EQ(registry.get(a).status().code(), StatusCode::kNotFound);
+  // A later add gets a fresh id — a stale "c1" cannot alias a new circuit.
+  const std::string b = registry.add(compile(service, "second"));
+  EXPECT_EQ(b, "c2");
+}
+
+TEST(Registry, ListPreservesInsertionOrder) {
+  const Service service;
+  Registry registry;
+  registry.add(compile(service, "a"));
+  registry.add(compile(service, "b"));
+  registry.add(compile(service, "c"));
+  registry.evict("c2");
+  const auto entries = registry.list();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, "c1");
+  EXPECT_EQ(entries[1].id, "c3");
+}
+
+TEST(Registry, ConcurrentAddsGetDistinctIds) {
+  const Service service;
+  const CircuitHandle handle = compile(service, "shared");
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::vector<std::vector<std::string>> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) ids[t].push_back(registry.add(handle));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::set<std::string> unique;
+  for (const auto& batch : ids) unique.insert(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(registry.size(), unique.size());
+}
+
+}  // namespace
+}  // namespace symref::api

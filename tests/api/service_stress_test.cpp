@@ -1,0 +1,227 @@
+// The documented Service thread-safety contract, under load: many threads
+// hammering one handle (same and different specs) and many handles
+// concurrently, with every response bit-identical to the serial path; plus
+// the bounded response cache (LRU eviction + CacheStats counters).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/serialize.h"
+#include "api/service.h"
+#include "circuits/ladder.h"
+#include "numeric/scaled.h"
+
+namespace symref::api {
+namespace {
+
+constexpr int kStages = 8;
+
+netlist::Circuit stress_circuit() { return circuits::rc_ladder(kStages); }
+
+/// The two specs the stress mixes on one handle: across the ladder and to
+/// its midpoint.
+mna::TransferSpec spec_full() { return circuits::rc_ladder_spec(kStages); }
+mna::TransferSpec spec_mid() { return mna::TransferSpec::voltage_gain("in", "n4"); }
+
+/// Canonical fingerprint of a response: the serialized reference (hex-float
+/// mantissas make the comparison bit-exact).
+std::string fingerprint(const RefgenResponse& response) {
+  return to_json(response.result.reference).dump();
+}
+
+/// Serial baseline: each request computed cold on its own fresh handle —
+/// exactly what a lone caller would get.
+std::string serial_refgen(const mna::TransferSpec& spec) {
+  const Service service;
+  const auto handle = service.compile(stress_circuit());
+  EXPECT_TRUE(handle.ok());
+  const auto response = service.refgen(handle.value(), {spec, {}});
+  EXPECT_TRUE(response.ok()) << response.status().to_string();
+  return fingerprint(response.value());
+}
+
+TEST(ServiceStress, OneHandleManySpecsManyThreadsBitIdenticalToSerial) {
+  const std::string expected_full = serial_refgen(spec_full());
+  const std::string expected_mid = serial_refgen(spec_mid());
+  // Distinct specs genuinely differ — the assertion below is not vacuous.
+  ASSERT_NE(expected_full, expected_mid);
+
+  const Service service;
+  const auto compiled = service.compile(stress_circuit(), "ladder-8");
+  ASSERT_TRUE(compiled.ok());
+  const CircuitHandle handle = compiled.value();
+
+  // One options set per spec: with response caching on, each spec is
+  // computed exactly once — by whichever thread arrives first, on a COLD
+  // evaluator (the entry is fresh) — and every other thread receives the
+  // memoized copy. Bit-identity to the serial path is therefore exact.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const bool full = (t + round) % 2 == 0;
+        const auto response = service.refgen(handle, {full ? spec_full() : spec_mid(), {}});
+        if (!response.ok() ||
+            fingerprint(response.value()) != (full ? expected_full : expected_mid)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const auto stats = service.cache_stats(handle);
+  ASSERT_TRUE(stats.ok());
+  // Exactly two computations happened; everything else hit the cache.
+  EXPECT_EQ(stats.value().misses, 2u);
+  EXPECT_EQ(stats.value().hits,
+            static_cast<std::uint64_t>(kThreads * kRounds) - 2u);
+  EXPECT_EQ(stats.value().evictions, 0u);
+  EXPECT_EQ(stats.value().entries, 2u);
+}
+
+TEST(ServiceStress, ManyHandlesConcurrentlyBitIdenticalToSerial) {
+  const std::string expected = serial_refgen(spec_full());
+  const Service service;
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      // Each thread compiles its own handle and queries it — the
+      // many-independent-clients shape.
+      const auto handle = service.compile(stress_circuit());
+      if (!handle.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const auto response = service.refgen(handle.value(), {spec_full(), {}});
+      if (!response.ok() || fingerprint(response.value()) != expected) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ServiceStress, MixedSweepAndRefgenOnOneHandle) {
+  const Service service;
+  const auto compiled = service.compile(stress_circuit());
+  ASSERT_TRUE(compiled.ok());
+  const CircuitHandle handle = compiled.value();
+
+  SweepRequest sweep;
+  sweep.spec = spec_full();
+  sweep.f_start_hz = 1.0;
+  sweep.f_stop_hz = 1e6;
+  sweep.points_per_decade = 3;
+  const auto sweep_baseline = service.sweep(handle, sweep);
+  ASSERT_TRUE(sweep_baseline.ok());
+  const auto refgen_baseline = service.refgen(handle, {spec_full(), {}});
+  ASSERT_TRUE(refgen_baseline.ok());
+
+  constexpr int kThreads = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 4; ++round) {
+        if ((t + round) % 2 == 0) {
+          const auto response = service.sweep(handle, sweep);
+          if (!response.ok() ||
+              response.value().points.size() != sweep_baseline.value().points.size()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          for (std::size_t i = 0; i < response.value().points.size(); ++i) {
+            if (response.value().points[i].value != sweep_baseline.value().points[i].value) {
+              failures.fetch_add(1);
+              break;
+            }
+          }
+        } else {
+          const auto response = service.refgen(handle, {spec_full(), {}});
+          if (!response.ok() || fingerprint(response.value()) !=
+                                    fingerprint(refgen_baseline.value())) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// The LRU satellite: max_cached_responses bounds each per-spec response
+// cache, evicting least-recently-used entries, with the counters exposed
+// through CacheStats.
+TEST(ServiceCacheBound, LruEvictionAndCounters) {
+  ServiceOptions options;
+  options.max_cached_responses = 2;
+  const Service service(options);
+  const auto compiled = service.compile(stress_circuit());
+  ASSERT_TRUE(compiled.ok());
+  const CircuitHandle handle = compiled.value();
+
+  auto request_with_sigma = [&](int sigma) {
+    RefgenRequest request{spec_full(), {}};
+    request.options.sigma = sigma;
+    return request;
+  };
+
+  // A, B, C with capacity 2: C's insert evicts A (least recently used).
+  ASSERT_TRUE(service.refgen(handle, request_with_sigma(5)).ok());  // A: miss
+  ASSERT_TRUE(service.refgen(handle, request_with_sigma(6)).ok());  // B: miss
+  ASSERT_TRUE(service.refgen(handle, request_with_sigma(7)).ok());  // C: miss, evicts A
+  auto stats = service.cache_stats(handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().misses, 3u);
+  EXPECT_EQ(stats.value().hits, 0u);
+  EXPECT_EQ(stats.value().evictions, 1u);
+  EXPECT_EQ(stats.value().entries, 2u);
+
+  // A again: recomputed (it was evicted) and reinserted, evicting B.
+  const auto a_again = service.refgen(handle, request_with_sigma(5));
+  ASSERT_TRUE(a_again.ok());
+  EXPECT_FALSE(a_again.value().from_cache);
+  // C again: still resident.
+  const auto c_again = service.refgen(handle, request_with_sigma(7));
+  ASSERT_TRUE(c_again.ok());
+  EXPECT_TRUE(c_again.value().from_cache);
+
+  stats = service.cache_stats(handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().misses, 4u);
+  EXPECT_EQ(stats.value().hits, 1u);
+  EXPECT_EQ(stats.value().evictions, 2u);
+  EXPECT_EQ(stats.value().entries, 2u);
+
+  // Unbounded mode (0) never evicts — the pre-LRU behavior stays available.
+  ServiceOptions unbounded;
+  unbounded.max_cached_responses = 0;
+  const Service open_service(unbounded);
+  const auto open_handle = open_service.compile(stress_circuit());
+  ASSERT_TRUE(open_handle.ok());
+  for (int sigma = 4; sigma < 10; ++sigma) {
+    ASSERT_TRUE(open_service.refgen(open_handle.value(), request_with_sigma(sigma)).ok());
+  }
+  const auto open_stats = open_service.cache_stats(open_handle.value());
+  ASSERT_TRUE(open_stats.ok());
+  EXPECT_EQ(open_stats.value().evictions, 0u);
+  EXPECT_EQ(open_stats.value().entries, 6u);
+}
+
+}  // namespace
+}  // namespace symref::api

@@ -57,7 +57,9 @@ TEST(ServiceCompile, EmptyHandleIsInvalidArgumentEverywhere) {
   EXPECT_FALSE(empty.valid());
   EXPECT_EQ(service.refgen(empty, {rc_spec(), {}}).status().code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(service.sweep(empty, {rc_spec()}).status().code(), StatusCode::kInvalidArgument);
+  SweepRequest sweep;
+  sweep.spec = rc_spec();
+  EXPECT_EQ(service.sweep(empty, sweep).status().code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(service.poles_zeros(empty, {rc_spec(), {}}).status().code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(service.batch(empty, {}).status().code(), StatusCode::kInvalidArgument);

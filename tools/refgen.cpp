@@ -4,12 +4,18 @@
 //   $ refgen ua741.cir --in=inp --out=vo --sweep=1:1e8:10    # + AC sweep
 //   $ refgen ua741.cir --in=inp --out=vo --poles --json=-    # + poles, JSON
 //   $ refgen ua741.cir --requests=session.json --json=-      # JSON session
+//   $ refgen ua741.cir --in=inp --out=vo --connect=7171      # via refgend
 //
 // Built entirely on api::Service: the netlist is compiled ONCE into a
 // CircuitHandle, then every request of the session runs against that handle
 // (sharing canonicalization, assembly patterns, and LU plans — ask for
 // --sweep and --poles together and the symbolic work is not repeated).
 // Errors come back as api::Status; no exception reaches main().
+//
+// With --connect the same session is executed remotely: the tool dials a
+// refgend daemon, compiles the netlist there, submits every request as an
+// asynchronous job, and waits for the results (identical payloads — the
+// daemon runs the same facade).
 //
 // Flags:
 //   --in= --out= [--in-neg=] [--out-neg=]  transfer ports (node names)
@@ -23,30 +29,92 @@
 //                                          requests; '-' reads stdin)
 //   --sigma= --max-iterations= --threads=  engine options for flag-built
 //                                          requests
+//   --timeout=<seconds>                    cancel outstanding work after the
+//                                          budget (exit code 9, local runs)
+//   --connect=[host:]port                  run the session on a refgend
+//                                          daemon instead of in-process
 //   --json[=path|-]                        machine-readable output ('-' or
 //                                          empty = stdout)
 //   --emit-reference                       text reference format (io.h)
 //   --progress                             iteration progress on stderr
 //   --name=label                           handle label in the output
 //
-// Exit status: 0 all requests ok, 1 a request failed, 2 usage/input error.
+// Exit status: 0 all requests ok; 2 usage/input error; otherwise the class
+// of the first failure: 3 parse_error, 4 invalid_spec, 5 invalid_argument,
+// 6 singular_system, 7 refused_replay, 8 incomplete, 9 cancelled (e.g.
+// --timeout), 10 not_found, 11 io_error, 12 internal.
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/serialize.h"
 #include "api/service.h"
 #include "refgen/io.h"
+#include "support/cancellation.h"
 #include "support/cli.h"
+#include "transport_posix.h"
 
 namespace {
 
 using symref::api::AnyRequest;
 using symref::api::Json;
 using symref::api::Status;
+using symref::api::StatusCode;
+
+/// The documented exit-code contract (one code per StatusCode class).
+int exit_code_for(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kParseError: return 3;
+    case StatusCode::kInvalidSpec: return 4;
+    case StatusCode::kInvalidArgument: return 5;
+    case StatusCode::kSingularSystem: return 6;
+    case StatusCode::kRefusedReplay: return 7;
+    case StatusCode::kIncomplete: return 8;
+    case StatusCode::kCancelled: return 9;
+    case StatusCode::kNotFound: return 10;
+    case StatusCode::kIoError: return 11;
+    case StatusCode::kInternal: return 12;
+  }
+  return 12;
+}
+
+/// Trips a CancellationSource once the budget elapses (--timeout). The
+/// destructor releases the watchdog thread early on normal completion.
+class Watchdog {
+ public:
+  Watchdog(double seconds, symref::support::CancellationSource source)
+      : source_(std::move(source)), thread_([this, seconds] {
+          std::unique_lock<std::mutex> lock(mutex_);
+          if (!cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                            [this] { return disarmed_; })) {
+            source_.cancel();
+          }
+        }) {}
+  ~Watchdog() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  symref::support::CancellationSource source_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
 
 bool read_file(const std::string& path, std::string* out) {
   if (path == "-") {
@@ -88,8 +156,12 @@ void print_usage() {
       "usage: refgen <netlist-file> [--in=<node> --out=<node>] [requests] [options]\n"
       "  requests: [--refgen] [--sweep=f0:f1[:ppd]] [--poles] [--requests=file.json]\n"
       "  transfer: [--in-neg=<node>] [--out-neg=<node>] [--transimpedance]\n"
-      "  engine:   [--sigma=N] [--max-iterations=N] [--threads=N]\n"
-      "  output:   [--json[=path|-]] [--emit-reference] [--progress] [--name=label]\n");
+      "  engine:   [--sigma=N] [--max-iterations=N] [--threads=N] [--timeout=SECONDS]\n"
+      "  remote:   [--connect=[host:]port]  (drive a refgend daemon)\n"
+      "  output:   [--json[=path|-]] [--emit-reference] [--progress] [--name=label]\n"
+      "exit codes: 0 ok, 2 usage, 3 parse_error, 4 invalid_spec, 5 invalid_argument,\n"
+      "  6 singular_system, 7 refused_replay, 8 incomplete, 9 cancelled,\n"
+      "  10 not_found, 11 io_error, 12 internal\n");
 }
 
 /// Human-readable rendering of the successful responses.
@@ -124,13 +196,197 @@ void print_poles_zeros_text(const symref::api::PolesZerosResponse& response) {
   }
 }
 
+void print_batch_text(const symref::api::BatchResponse& response) {
+  std::printf("\nbatch: %zu items, %.1f ms\n", response.items.size(),
+              response.seconds * 1e3);
+  for (std::size_t i = 0; i < response.items.size(); ++i) {
+    const auto& item = response.items[i];
+    std::printf("  item %zu: %s\n", i,
+                item.status.ok() ? item.response.result.termination.c_str()
+                                 : item.status.to_string().c_str());
+  }
+}
+
+/// Track the first failed status of the session (drives the exit code).
+struct FailureTracker {
+  Status first;
+  void record(const Status& status) {
+    if (!status.ok() && first.ok()) first = status;
+  }
+  [[nodiscard]] int exit_code() const {
+    return first.ok() ? 0 : exit_code_for(first.code());
+  }
+};
+
+// --- Remote execution against a refgend daemon (--connect) -----------------
+
+/// One blocking RPC: write the request line, then read lines until our
+/// reply arrives. Event lines encountered on the way are streamed to stderr
+/// (progress) or ignored (done — the session uses "wait" replies instead).
+Status remote_call(symref::tools::FdTransport& transport, int* next_id,
+                   const std::string& method, Json params, bool progress, Json* result) {
+  Json request = Json::object();
+  const int id = (*next_id)++;
+  request.set("id", id);
+  request.set("method", method);
+  request.set("params", std::move(params));
+  if (!transport.write_line(request.dump())) {
+    return Status::error(StatusCode::kIoError, "connection lost while sending " + method);
+  }
+  std::string line;
+  while (transport.read_line(&line)) {
+    auto parsed = Json::parse(line);
+    if (!parsed.ok()) continue;  // not ours to diagnose
+    const Json& message = parsed.value();
+    if (const Json* event = message.find("event"); event != nullptr) {
+      if (progress && event->as_string() == "progress") {
+        std::fprintf(stderr, "  %s iter %d (%s): points=%d den+%d num+%d\n",
+                     message.find("job_id") ? message.find("job_id")->as_string().c_str()
+                                            : "?",
+                     message.find("iteration") ? message.find("iteration")->as_int() : 0,
+                     message.find("purpose") ? message.find("purpose")->as_string().c_str()
+                                             : "?",
+                     message.find("points") ? message.find("points")->as_int() : 0,
+                     message.find("den_new_coefficients")
+                         ? message.find("den_new_coefficients")->as_int()
+                         : 0,
+                     message.find("num_new_coefficients")
+                         ? message.find("num_new_coefficients")->as_int()
+                         : 0);
+      }
+      continue;
+    }
+    if (const Json* error = message.find("error"); error != nullptr) {
+      const Json* code = error->find("code");
+      const Json* text = error->find("message");
+      return Status::error(
+          symref::api::status_code_from_name(code ? code->as_string() : "internal"),
+          method + ": " + (text ? text->as_string() : "remote error"));
+    }
+    if (const Json* payload = message.find("result"); payload != nullptr) {
+      *result = *payload;
+      return Status();
+    }
+  }
+  return Status::error(StatusCode::kIoError, "connection closed before " + method + " reply");
+}
+
+/// Status embedded in a response payload ({"status": {"code": ...}}).
+Status embedded_status(const Json& payload) {
+  const Json* status = payload.find("status");
+  const Json* code = status != nullptr ? status->find("code") : nullptr;
+  if (code == nullptr) {
+    return Status::error(StatusCode::kInternal, "response without a status");
+  }
+  const StatusCode parsed = symref::api::status_code_from_name(code->as_string());
+  if (parsed == StatusCode::kOk) return Status();
+  const Json* message = status->find("message");
+  return Status::error(parsed, message != nullptr ? message->as_string() : "remote failure");
+}
+
+int run_connected(const symref::support::CliArgs& args, const std::string& netlist_text,
+                  const std::vector<AnyRequest>& requests, bool json_mode, bool progress) {
+  std::string error;
+  const int fd = symref::tools::dial(args.get("connect"), &error);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  symref::tools::FdTransport transport(fd);
+  int next_id = 1;
+
+  Json compile_params = Json::object();
+  compile_params.set("netlist", netlist_text);
+  if (args.has("name")) compile_params.set("name", args.get("name"));
+  Json circuit;
+  Status status = remote_call(transport, &next_id, "compile", std::move(compile_params),
+                              progress, &circuit);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+    return exit_code_for(status.code());
+  }
+  const Json* circuit_id = circuit.find("circuit_id");
+  if (circuit_id == nullptr || !circuit_id->is_string()) {
+    std::fprintf(stderr, "error: daemon compile reply without circuit_id\n");
+    return exit_code_for(StatusCode::kInternal);
+  }
+  if (!json_mode) {
+    std::fprintf(stderr, "compiled on daemon: %s (dim %d)\n",
+                 circuit.find("name") ? circuit.find("name")->as_string().c_str() : "?",
+                 circuit.find("dim") ? circuit.find("dim")->as_int() : 0);
+  }
+
+  FailureTracker failures;
+  Json responses = Json::array();
+  for (const AnyRequest& request : requests) {
+    Json submit_params = Json::object();
+    submit_params.set("circuit_id", circuit_id->as_string());
+    submit_params.set("request", symref::api::to_json(request));
+    if (progress) submit_params.set("progress", true);
+    Json submitted;
+    status = remote_call(transport, &next_id, "submit", std::move(submit_params), progress,
+                         &submitted);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+      failures.record(status);
+      responses.push_back(
+          symref::api::error_response(symref::api::request_type_name(request.type), status));
+      continue;
+    }
+    const Json* job_id = submitted.find("job_id");
+    Json wait_params = Json::object();
+    wait_params.set("job_id", job_id != nullptr ? job_id->as_string() : "");
+    Json waited;
+    status = remote_call(transport, &next_id, "wait", std::move(wait_params), progress,
+                         &waited);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+      failures.record(status);
+      responses.push_back(
+          symref::api::error_response(symref::api::request_type_name(request.type), status));
+      continue;
+    }
+    const Json* payload = waited.find("result");
+    Json response = payload != nullptr ? *payload : Json::object();
+    const Status job_status = embedded_status(response);
+    failures.record(job_status);
+    if (!json_mode) {
+      std::fprintf(stderr, "%s %s: %s\n",
+                   job_id != nullptr ? job_id->as_string().c_str() : "?",
+                   symref::api::request_type_name(request.type),
+                   job_status.ok() ? "ok" : job_status.to_string().c_str());
+    }
+    responses.push_back(std::move(response));
+  }
+
+  // This session's circuit is ephemeral: evict it so repeated --connect
+  // invocations do not accumulate compiled circuits in the daemon's
+  // registry. Best-effort — a lost connection already failed above.
+  Json evicted;
+  Json evict_params = Json::object();
+  evict_params.set("circuit_id", circuit_id->as_string());
+  (void)remote_call(transport, &next_id, "evict", std::move(evict_params), false, &evicted);
+
+  if (json_mode) {
+    Json output = Json::object();
+    output.set("tool", "refgen");
+    output.set("status", symref::api::to_json(Status()));
+    output.set("connect", args.get("connect"));
+    output.set("circuit", std::move(circuit));
+    output.set("ok", failures.exit_code() == 0);
+    output.set("responses", std::move(responses));
+    std::printf("%s\n", output.dump(2).c_str());
+  }
+  return failures.exit_code();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const symref::support::CliArgs args(
       argc, argv,
       {"in", "out", "in-neg", "out-neg", "sigma", "max-iterations", "threads", "sweep",
-       "requests", "json", "name"});
+       "requests", "json", "name", "timeout", "connect"});
   if (args.positional().empty()) {
     print_usage();
     return 2;
@@ -227,6 +483,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Remote session (--connect): the daemon executes, we render -----------
+  if (args.has("connect")) {
+    return run_connected(args, netlist_text, requests, json_mode, progress);
+  }
+
+  // --- Local --timeout: one cancellation source covers the whole session ----
+  symref::support::CancellationSource timeout_source;
+  std::unique_ptr<Watchdog> watchdog;
+  if (args.has("timeout")) {
+    const double seconds = args.get_double("timeout", 0.0);
+    if (seconds <= 0.0) {
+      std::fprintf(stderr, "error: bad --timeout '%s' (want seconds > 0)\n",
+                   args.get("timeout").c_str());
+      return 2;
+    }
+    const auto token = timeout_source.token();
+    for (AnyRequest& request : requests) {
+      switch (request.type) {
+        case AnyRequest::Type::kRefgen: request.refgen.options.cancel = token; break;
+        case AnyRequest::Type::kSweep: request.sweep.cancel = token; break;
+        case AnyRequest::Type::kPolesZeros:
+          request.poles_zeros.options.cancel = token;
+          break;
+        case AnyRequest::Type::kBatch:
+          for (auto& item : request.batch.items) item.options.cancel = token;
+          break;
+      }
+    }
+    watchdog = std::make_unique<Watchdog>(seconds, timeout_source);
+  }
+
   // --- Compile once, serve the session --------------------------------------
   const symref::api::Service service;
   auto compiled = service.compile_netlist(netlist_text, args.get("name"));
@@ -242,13 +529,13 @@ int main(int argc, char** argv) {
       std::printf("%s\n", output.dump(2).c_str());
     }
     std::fprintf(stderr, "error: %s\n", compiled.status().to_string().c_str());
-    return 2;
+    return exit_code_for(compiled.status().code());
   }
   const symref::api::CircuitHandle handle = compiled.take();
   if (!json_mode) std::fprintf(stderr, "%s\n", handle.summary().c_str());
 
+  FailureTracker failures;
   Json responses = Json::array();
-  bool all_ok = true;
   for (const AnyRequest& request : requests) {
     Json payload;
     Status status;
@@ -286,9 +573,23 @@ int main(int argc, char** argv) {
         }
         break;
       }
+      case AnyRequest::Type::kBatch: {
+        const auto response = service.batch(handle, request.batch);
+        status = response.status();
+        if (response.ok()) {
+          payload = symref::api::to_json(response.value());
+          if (!json_mode) print_batch_text(response.value());
+          // A batch call succeeds as a whole; surface the first item
+          // failure for the exit code.
+          for (const auto& item : response.value().items) failures.record(item.status);
+        } else {
+          payload = symref::api::error_response("batch", status);
+        }
+        break;
+      }
     }
+    failures.record(status);
     if (!status.ok()) {
-      all_ok = false;
       std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
     }
     responses.push_back(std::move(payload));
@@ -307,7 +608,7 @@ int main(int argc, char** argv) {
     output.set("tool", "refgen");
     output.set("status", symref::api::to_json(Status()));
     output.set("circuit", std::move(circuit));
-    output.set("ok", all_ok);
+    output.set("ok", failures.exit_code() == 0);
     output.set("responses", std::move(responses));
 
     const std::string path = args.get("json", "-");
@@ -323,5 +624,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return all_ok ? 0 : 1;
+  return failures.exit_code();
 }

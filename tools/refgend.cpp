@@ -1,0 +1,110 @@
+// refgend: the reference-generation engine as a session daemon.
+//
+// Speaks the line-delimited JSON protocol of api/protocol.h (methods:
+// compile, submit, poll, wait, cancel, list, evict, stats, shutdown;
+// server-pushed progress/done events). Circuits compile once into a shared
+// registry; every analysis runs as an asynchronous job on a fixed worker
+// pool, so many clients (or one scripted session) share warm plan caches.
+//
+//   $ refgend                          # one session on stdin/stdout
+//   $ refgend --listen=7171           # concurrent clients on 127.0.0.1:7171
+//   $ refgend --listen=0              # ephemeral port (printed on stdout)
+//
+// Flags:
+//   --workers=N     job worker lanes (default: hardware threads)
+//   --listen=PORT   serve TCP on 127.0.0.1:PORT instead of stdio;
+//                   prints "refgend: listening on 127.0.0.1:<port>" first
+//   --max-cached=N  per-spec response-cache bound (default 64)
+//
+// stdio mode serves exactly one session and exits at EOF or shutdown. TCP
+// mode serves until any client sends shutdown; the daemon then unblocks
+// every session and exits cleanly. A scripted session, end to end
+// (printf '%s\n' LINE... | refgend):
+//
+//   {"id":1,"method":"compile","params":{"netlist":"R1 in out 1k ..."}}
+//   {"id":2,"method":"submit","params":{"circuit_id":"c1","request":
+//      {"type":"refgen","spec":{"in":"in","out":"out"}},"progress":true}}
+//   {"id":3,"method":"wait","params":{"job_id":"j1"}}
+//   {"id":4,"method":"shutdown"}
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/protocol.h"
+#include "support/cli.h"
+#include "transport_posix.h"
+
+namespace {
+
+using symref::api::protocol::ServerCore;
+using symref::api::protocol::ServerOptions;
+using symref::api::protocol::Session;
+
+int serve_stdio(ServerCore& core) {
+  auto transport =
+      std::make_shared<symref::api::protocol::IostreamTransport>(std::cin, std::cout);
+  Session session(core, std::move(transport));
+  session.serve();
+  return 0;
+}
+
+int serve_tcp(ServerCore& core, int port) {
+  std::string error;
+  int bound_port = 0;
+  const int listen_fd = symref::tools::listen_on(port, &bound_port, &error);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "refgend: %s\n", error.c_str());
+    return 2;
+  }
+  // Announce the bound port on stdout (scripts with --listen=0 parse it).
+  std::printf("refgend: listening on 127.0.0.1:%d\n", bound_port);
+  std::fflush(stdout);
+
+  std::mutex clients_mutex;
+  std::vector<int> client_fds;
+  std::vector<std::thread> sessions;
+  while (!core.shutdown_requested()) {
+    const int fd = symref::tools::accept_client(listen_fd, /*timeout_ms=*/200);
+    if (fd < 0) continue;
+    {
+      const std::lock_guard<std::mutex> lock(clients_mutex);
+      client_fds.push_back(fd);
+    }
+    sessions.emplace_back([&core, fd] {
+      // The transport owns (and eventually closes) fd; the daemon only ever
+      // shutdown(2)s it to break the read loop.
+      Session session(core, std::make_shared<symref::tools::FdTransport>(fd));
+      session.serve();
+    });
+  }
+  ::close(listen_fd);
+  // Unblock sessions parked in read_line so their threads can finish.
+  {
+    const std::lock_guard<std::mutex> lock(clients_mutex);
+    for (const int fd : client_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& session : sessions) session.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const symref::support::CliArgs args(argc, argv, {"workers", "listen", "max-cached"});
+  if (!args.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: refgend [--workers=N] [--listen=PORT] [--max-cached=N]\n");
+    return 2;
+  }
+  ServerOptions options;
+  options.workers = args.get_int("workers", 0);
+  const int max_cached = args.get_int("max-cached", 64);
+  options.service.max_cached_responses =
+      max_cached < 0 ? 0 : static_cast<std::size_t>(max_cached);
+  ServerCore core(options);
+  if (args.has("listen")) return serve_tcp(core, args.get_int("listen", 0));
+  return serve_stdio(core);
+}

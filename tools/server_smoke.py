@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Smoke-test the refgend daemon over stdio.
+
+Usage: server_smoke.py <refgend> <refgen> <netlist>
+
+Three scenarios, all against the bundled netlist:
+  1. Four CONCURRENT stdio-scripted sessions (one refgend process each):
+     compile + submit(progress) + wait + shutdown. Validates the JSON
+     event-stream shape and that every session's reference payload is
+     bit-identical to a direct api::Service run (tools/refgen --json).
+  2. A cancellation session on a single-worker daemon: the second submitted
+     job is cancelled while queued and must come back as "cancelled",
+     while the first job still completes.
+  3. Error replies: unknown circuit ids surface as not_found.
+"""
+import json
+import subprocess
+import sys
+
+
+def lines_of(output):
+    parsed = []
+    for line in output.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        parsed.append(json.loads(line))  # every line must be valid JSON
+    return parsed
+
+
+def reply(messages, rpc_id):
+    found = [m for m in messages if m.get("id") == rpc_id]
+    assert found, f"no reply with id {rpc_id}: {messages}"
+    assert "result" in found[0], f"reply {rpc_id} is an error: {found[0]}"
+    return found[0]["result"]
+
+
+def run_session(daemon, script, args=()):
+    proc = subprocess.Popen(
+        [daemon, *args],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    out, err = proc.communicate("".join(json.dumps(m) + "\n" for m in script), timeout=120)
+    assert proc.returncode == 0, f"refgend exited {proc.returncode}: {err}"
+    return lines_of(out)
+
+
+SPEC = {"in": "inp", "in_neg": "inn", "out": "vo"}
+
+
+def main():
+    daemon, refgen, netlist_path = sys.argv[1], sys.argv[2], sys.argv[3]
+    netlist = open(netlist_path).read()
+
+    # --- Direct facade baseline (bit-exact reference payload) --------------
+    direct = subprocess.run(
+        [refgen, netlist_path, "--in=inp", "--in-neg=inn", "--out=vo", "--json=-"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert direct.returncode == 0, direct.stderr
+    baseline = json.loads(direct.stdout)["responses"][0]
+    assert baseline["status"]["code"] == "ok" and baseline["complete"] is True
+    expected_reference = json.dumps(baseline["reference"], sort_keys=True)
+
+    # --- 1. Four concurrent stdio-scripted sessions ------------------------
+    script = [
+        {"id": 1, "method": "compile", "params": {"netlist": netlist, "name": "ua741"}},
+        {
+            "id": 2,
+            "method": "submit",
+            "params": {
+                "circuit_id": "c1",
+                "request": {"type": "refgen", "spec": SPEC},
+                "progress": True,
+            },
+        },
+        {"id": 3, "method": "wait", "params": {"job_id": "j1"}},
+        {"id": 4, "method": "shutdown"},
+    ]
+    procs = [
+        subprocess.Popen(
+            [daemon], stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+        )
+        for _ in range(4)
+    ]
+    payload = "".join(json.dumps(m) + "\n" for m in script)
+    outputs = []
+    for proc in procs:  # all four daemons now run their job concurrently
+        proc.stdin.write(payload)
+        proc.stdin.close()
+    for proc in procs:
+        out = proc.stdout.read()
+        proc.wait(timeout=120)
+        assert proc.returncode == 0, proc.stderr.read()
+        outputs.append(lines_of(out))
+
+    for i, messages in enumerate(outputs):
+        compiled = reply(messages, 1)
+        assert compiled["circuit_id"] == "c1" and compiled["dim"] > 30, compiled
+        assert reply(messages, 2)["job_id"] == "j1"
+
+        progress = [m for m in messages if m.get("event") == "progress"]
+        assert len(progress) > 3, f"session {i}: no progress stream"
+        for event in progress:
+            assert event["job_id"] == "j1"
+            for key in ("iteration", "purpose", "points", "evaluations",
+                        "num_new_coefficients", "den_new_coefficients"):
+                assert key in event, f"progress event missing {key}: {event}"
+        done = [m for m in messages if m.get("event") == "done"]
+        assert len(done) == 1 and done[0]["result"]["status"]["code"] == "ok"
+
+        waited = reply(messages, 3)
+        assert waited["state"] == "done" and waited["iterations"] > 3
+        result = waited["result"]
+        assert result["complete"] is True
+        got = json.dumps(result["reference"], sort_keys=True)
+        assert got == expected_reference, f"session {i}: reference differs from direct run"
+        assert reply(messages, 4) == {"ok": True}
+    print(f"4 concurrent sessions OK: results bit-identical to the direct facade, "
+          f"{len(progress)} progress events each")
+
+    # --- 2. Cancellation: queued job cancelled on a 1-worker daemon --------
+    # j1 is a serial 6-item batch (tens of ms), so j2 is still queued behind
+    # it on the single worker when the cancel lands.
+    long_batch = {
+        "type": "batch",
+        "threads": 1,
+        "items": [{"spec": SPEC, "options": {"sigma": s}} for s in range(5, 11)],
+    }
+    cancel_script = [
+        {"id": 1, "method": "compile", "params": {"netlist": netlist}},
+        {"id": 2, "method": "submit",
+         "params": {"circuit_id": "c1", "request": long_batch}},
+        {"id": 3, "method": "submit",
+         "params": {"circuit_id": "c1",
+                    "request": {"type": "refgen", "spec": SPEC,
+                                "options": {"sigma": 8}}}},
+        {"id": 4, "method": "cancel", "params": {"job_id": "j2"}},
+        {"id": 5, "method": "poll", "params": {"job_id": "j2"}},
+        {"id": 6, "method": "wait", "params": {"job_id": "j1"}},
+        {"id": 7, "method": "shutdown"},
+    ]
+    messages = run_session(daemon, cancel_script, args=["--workers=1"])
+    assert reply(messages, 4)["cancelled"] is True
+    polled = reply(messages, 5)
+    assert polled["state"] == "done" and polled["cancel_requested"] is True
+    assert polled["result"]["status"]["code"] == "cancelled", polled
+    assert reply(messages, 6)["result"]["status"]["code"] == "ok"
+    print("cancel OK: queued job cancelled, first job completed")
+
+    # --- 3. Errors are structured ------------------------------------------
+    error_script = [
+        {"id": 1, "method": "submit",
+         "params": {"circuit_id": "c9", "request": {"type": "refgen", "spec": SPEC}}},
+        {"id": 2, "method": "shutdown"},
+    ]
+    messages = run_session(daemon, error_script)
+    errors = [m for m in messages if m.get("id") == 1]
+    assert errors and errors[0]["error"]["code"] == "not_found", errors
+    print("error path OK: unknown circuit_id -> not_found")
+
+
+if __name__ == "__main__":
+    main()
