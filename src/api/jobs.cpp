@@ -28,6 +28,7 @@ Json to_json(const JobOutcome& outcome) {
     case AnyRequest::Type::kSweep: return to_json(outcome.sweep);
     case AnyRequest::Type::kPolesZeros: return to_json(outcome.poles_zeros);
     case AnyRequest::Type::kBatch: return to_json(outcome.batch);
+    case AnyRequest::Type::kParamSweep: return to_json(outcome.param_sweep);
   }
   return error_response("refgen", Status::error(StatusCode::kInternal, "bad outcome type"));
 }
@@ -190,6 +191,13 @@ void JobManager::run(const std::shared_ptr<Job>& job) const {
       auto response = service_.batch(job->handle, request.batch);
       outcome.status = response.status();
       if (response.ok()) outcome.batch = response.take();
+      break;
+    }
+    case AnyRequest::Type::kParamSweep: {
+      request.param_sweep.cancel = token;
+      auto response = service_.param_sweep(job->handle, request.param_sweep);
+      outcome.status = response.status();
+      if (response.ok()) outcome.param_sweep = response.take();
       break;
     }
   }

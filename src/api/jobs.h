@@ -69,6 +69,7 @@ struct JobOutcome {
   SweepResponse sweep;
   PolesZerosResponse poles_zeros;
   BatchResponse batch;
+  ParamSweepResponse param_sweep;
 };
 
 /// Wire form of an outcome: the typed response envelope on success, the

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <vector>
 
 #include "api/status.h"
 #include "mna/ac.h"
+#include "mna/param_sweep.h"
 #include "mna/transfer.h"
 #include "refgen/adaptive.h"
 
@@ -69,6 +71,39 @@ struct PolesZerosResponse {
   bool poles_converged = false;
   bool zeros_converged = false;
   /// True when the underlying reference came from the response cache.
+  bool from_cache = false;
+  double seconds = 0.0;
+};
+
+/// Parameter sweep (corners / tolerance grid / Monte-Carlo) over the
+/// `.param` symbols of a handle compiled FROM NETLIST TEXT: the compiled
+/// template re-elaborates per sample while every sample replays the
+/// handle-independent baseline factorization plan (see mna/param_sweep.h).
+/// Requires a netlist-compiled handle; a handle compiled from a
+/// programmatic Circuit fails with kInvalidArgument.
+struct ParamSweepRequest {
+  mna::TransferSpec spec;
+  enum class Mode { kGrid, kMonteCarlo };
+  Mode mode = Mode::kGrid;
+  /// Grid mode: Cartesian product of these axes.
+  std::vector<mna::ParamAxis> axes;
+  /// Monte-Carlo mode: one draw per dimension per sample.
+  std::vector<mna::ParamDist> dists;
+  int samples = 0;         // Monte-Carlo sample count
+  std::uint64_t seed = 0;  // Monte-Carlo seed (same seed -> same study)
+  /// Probe frequency grid per sample (like SweepRequest's).
+  double f_start_hz = 1.0;
+  double f_stop_hz = 1e9;
+  int points_per_decade = 10;
+  /// Worker lanes; results are bit-identical at every setting (not part of
+  /// the response-cache key).
+  int threads = 1;
+  /// Cooperative cancellation, polled per sample. Not part of the cache key.
+  support::CancellationToken cancel;
+};
+
+struct ParamSweepResponse {
+  mna::ParamSweepResult result;
   bool from_cache = false;
   double seconds = 0.0;
 };

@@ -118,6 +118,17 @@ Status read_number(const Json& json, const char* key, double* out, const char* w
   return Status();
 }
 
+/// read_number that treats an absent key as an error — for fields where a
+/// silent default would change the study (sweep ranges, nominals).
+Status read_required_number(const Json& json, const char* key, double* out,
+                            const char* what) {
+  if (json.find(key) == nullptr) {
+    return Status::error(StatusCode::kInvalidArgument,
+                         std::string(what) + ": missing required key \"" + key + "\"");
+  }
+  return read_number(json, key, out, what);
+}
+
 Status read_int(const Json& json, const char* key, int* out, const char* what) {
   double value = *out;
   const Status status = read_number(json, key, &value, what);
@@ -252,6 +263,48 @@ Json to_json(const BatchResponse& response) {
   return out;
 }
 
+Json to_json(const ParamSweepResponse& response) {
+  Json out = envelope("param_sweep", Status());
+  out.set("from_cache", response.from_cache);
+  out.set("seconds", response.seconds);
+  const mna::ParamSweepResult& result = response.result;
+  Json names = Json::array();
+  for (const std::string& name : result.names) names.push_back(name);
+  out.set("names", std::move(names));
+  Json frequencies = Json::array();
+  for (const double f : result.frequencies_hz) frequencies.push_back(f);
+  out.set("frequencies_hz", std::move(frequencies));
+  out.set("fresh_factorizations", static_cast<double>(result.fresh_factorizations));
+  out.set("engine_seconds", result.seconds);
+
+  const std::size_t width = result.names.size();
+  const std::size_t points = result.frequencies_hz.size();
+  Json samples = Json::array();
+  const std::size_t count = width == 0 ? 0 : result.values.size() / width;
+  for (std::size_t i = 0; i < count; ++i) {
+    Json sample = Json::object();
+    Json values = Json::array();
+    for (std::size_t j = 0; j < width; ++j) values.push_back(result.values[i * width + j]);
+    sample.set("values", std::move(values));
+    sample.set("ok", i < result.ok.size() && result.ok[i] != 0);
+    Json points_json = Json::array();
+    for (std::size_t k = 0; k < points; ++k) {
+      const std::complex<double> h = result.response[i * points + k];
+      Json point = Json::object();
+      // Hex floats: bit-exact across the wire (and hex "nan" for the
+      // points of a failed sample), like the reference coefficients.
+      point.set("real", hex_double(h.real()));
+      point.set("imag", hex_double(h.imag()));
+      point.set("magnitude_db", mna::magnitude_db(h));
+      points_json.push_back(std::move(point));
+    }
+    sample.set("response", std::move(points_json));
+    samples.push_back(std::move(sample));
+  }
+  out.set("samples", std::move(samples));
+  return out;
+}
+
 Json error_response(const char* type, const Status& status) {
   return envelope(type, status);
 }
@@ -330,6 +383,7 @@ const char* request_type_name(AnyRequest::Type type) noexcept {
     case AnyRequest::Type::kSweep: return "sweep";
     case AnyRequest::Type::kPolesZeros: return "poles_zeros";
     case AnyRequest::Type::kBatch: return "batch";
+    case AnyRequest::Type::kParamSweep: return "param_sweep";
   }
   return "refgen";
 }
@@ -363,6 +417,42 @@ Json to_json(const AnyRequest& request) {
       }
       out.set("items", std::move(items));
       out.set("threads", request.batch.threads);
+      break;
+    }
+    case AnyRequest::Type::kParamSweep: {
+      const ParamSweepRequest& sweep = request.param_sweep;
+      out.set("spec", to_json(sweep.spec));
+      const bool grid = sweep.mode == ParamSweepRequest::Mode::kGrid;
+      out.set("mode", grid ? "grid" : "monte_carlo");
+      Json params = Json::array();
+      if (grid) {
+        for (const mna::ParamAxis& axis : sweep.axes) {
+          Json entry = Json::object();
+          entry.set("name", axis.name);
+          entry.set("from", axis.from);
+          entry.set("to", axis.to);
+          entry.set("count", axis.count);
+          entry.set("log", axis.log_scale);
+          params.push_back(std::move(entry));
+        }
+      } else {
+        for (const mna::ParamDist& dist : sweep.dists) {
+          Json entry = Json::object();
+          entry.set("name", dist.name);
+          entry.set("nominal", dist.nominal);
+          entry.set("rel_sigma", dist.rel_sigma);
+          entry.set("dist",
+                    dist.kind == mna::ParamDist::Kind::kGaussian ? "gaussian" : "uniform");
+          params.push_back(std::move(entry));
+        }
+        out.set("samples", sweep.samples);
+        out.set("seed", static_cast<double>(sweep.seed));
+      }
+      out.set("params", std::move(params));
+      out.set("f_start_hz", sweep.f_start_hz);
+      out.set("f_stop_hz", sweep.f_stop_hz);
+      out.set("points_per_decade", sweep.points_per_decade);
+      out.set("threads", sweep.threads);
       break;
     }
   }
@@ -466,9 +556,118 @@ Result<AnyRequest> request_from_json(const Json& json) {
     }
     return request;
   }
+  if (type == "param_sweep") {
+    status = check_keys(json,
+                        {"type", "spec", "mode", "params", "samples", "seed", "f_start_hz",
+                         "f_stop_hz", "points_per_decade", "threads"},
+                        kWhat);
+    if (!status.ok()) return status;
+    const Json* spec = json.find("spec");
+    if (spec == nullptr) {
+      return Status::error(StatusCode::kInvalidArgument,
+                           "request: missing required key \"spec\"");
+    }
+    Result<mna::TransferSpec> parsed_spec = spec_from_json(*spec);
+    if (!parsed_spec.ok()) return parsed_spec.status();
+    request.type = AnyRequest::Type::kParamSweep;
+    ParamSweepRequest& sweep = request.param_sweep;
+    sweep.spec = parsed_spec.take();
+
+    std::string mode = "grid";
+    if (!(status = read_string(json, "mode", false, &mode, kWhat)).ok()) return status;
+    const bool grid = mode == "grid";
+    if (!grid && mode != "monte_carlo") {
+      return Status::error(StatusCode::kInvalidArgument,
+                           "request: unknown param_sweep mode \"" + mode +
+                               "\" (expected grid or monte_carlo)");
+    }
+    sweep.mode = grid ? ParamSweepRequest::Mode::kGrid : ParamSweepRequest::Mode::kMonteCarlo;
+
+    const Json* params = json.find("params");
+    if (params == nullptr || !params->is_array() || params->items().empty()) {
+      return Status::error(StatusCode::kInvalidArgument,
+                           "request: param_sweep requires a non-empty \"params\" array");
+    }
+    for (const Json& entry : params->items()) {
+      if (grid) {
+        status = check_keys(entry, {"name", "from", "to", "count", "log"}, "param axis");
+        if (!status.ok()) return status;
+        mna::ParamAxis axis;
+        if (!(status = read_string(entry, "name", true, &axis.name, "param axis")).ok()) {
+          return status;
+        }
+        if (!(status = read_required_number(entry, "from", &axis.from, "param axis")).ok()) {
+          return status;
+        }
+        if (!(status = read_required_number(entry, "to", &axis.to, "param axis")).ok()) {
+          return status;
+        }
+        if (entry.find("count") == nullptr) {
+          return Status::error(StatusCode::kInvalidArgument,
+                               "param axis: missing required key \"count\"");
+        }
+        if (!(status = read_int(entry, "count", &axis.count, "param axis")).ok()) return status;
+        if (!(status = read_bool(entry, "log", &axis.log_scale, "param axis")).ok()) {
+          return status;
+        }
+        sweep.axes.push_back(std::move(axis));
+      } else {
+        status = check_keys(entry, {"name", "nominal", "rel_sigma", "dist"}, "param dist");
+        if (!status.ok()) return status;
+        mna::ParamDist dist;
+        if (!(status = read_string(entry, "name", true, &dist.name, "param dist")).ok()) {
+          return status;
+        }
+        if (!(status = read_required_number(entry, "nominal", &dist.nominal, "param dist"))
+                 .ok()) {
+          return status;
+        }
+        if (!(status =
+                  read_required_number(entry, "rel_sigma", &dist.rel_sigma, "param dist"))
+                 .ok()) {
+          return status;
+        }
+        std::string kind = "gaussian";
+        if (!(status = read_string(entry, "dist", false, &kind, "param dist")).ok()) {
+          return status;
+        }
+        if (kind == "gaussian") {
+          dist.kind = mna::ParamDist::Kind::kGaussian;
+        } else if (kind == "uniform") {
+          dist.kind = mna::ParamDist::Kind::kUniform;
+        } else {
+          return Status::error(StatusCode::kInvalidArgument,
+                               "param dist: unknown dist \"" + kind +
+                                   "\" (expected gaussian or uniform)");
+        }
+        sweep.dists.push_back(std::move(dist));
+      }
+    }
+    if (!(status = read_int(json, "samples", &sweep.samples, kWhat)).ok()) return status;
+    double seed = 0.0;
+    if (!(status = read_number(json, "seed", &seed, kWhat)).ok()) return status;
+    // Seeds ride a JSON number: integers up to 2^53 round-trip exactly.
+    if (!(seed >= 0.0) || seed != static_cast<double>(static_cast<std::uint64_t>(seed)) ||
+        seed > 9007199254740992.0) {
+      return Status::error(StatusCode::kInvalidArgument,
+                           "request: \"seed\" must be a non-negative integer <= 2^53");
+    }
+    sweep.seed = static_cast<std::uint64_t>(seed);
+    if (!(status = read_number(json, "f_start_hz", &sweep.f_start_hz, kWhat)).ok()) {
+      return status;
+    }
+    if (!(status = read_number(json, "f_stop_hz", &sweep.f_stop_hz, kWhat)).ok()) {
+      return status;
+    }
+    if (!(status = read_int(json, "points_per_decade", &sweep.points_per_decade, kWhat)).ok()) {
+      return status;
+    }
+    if (!(status = read_int(json, "threads", &sweep.threads, kWhat)).ok()) return status;
+    return request;
+  }
   return Status::error(StatusCode::kInvalidArgument,
                        "request: unknown type \"" + type +
-                           "\" (expected refgen, sweep, poles_zeros, or batch)");
+                           "\" (expected refgen, sweep, poles_zeros, batch, or param_sweep)");
 }
 
 Result<std::vector<AnyRequest>> requests_from_json(const Json& json) {

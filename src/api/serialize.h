@@ -36,6 +36,9 @@ Json to_json(const RefgenResponse& response);
 Json to_json(const SweepResponse& response);
 Json to_json(const PolesZerosResponse& response);
 Json to_json(const BatchResponse& response);
+/// Per-sample transfer values are hex-float strings (bit-exact across the
+/// wire — the 1-vs-N-thread byte-compare of CI's smoke jobs rides on this).
+Json to_json(const ParamSweepResponse& response);
 
 /// Uniform failure payload: {"type": <type>, "status": {...}}.
 Json error_response(const char* type, const Status& status);
@@ -47,27 +50,31 @@ Result<refgen::AdaptiveOptions> options_from_json(const Json& json);
 
 /// A request of any type, as parsed from a JSON payload.
 struct AnyRequest {
-  enum class Type { kRefgen, kSweep, kPolesZeros, kBatch };
+  enum class Type { kRefgen, kSweep, kPolesZeros, kBatch, kParamSweep };
   Type type = Type::kRefgen;
   RefgenRequest refgen;
   SweepRequest sweep;
   PolesZerosRequest poles_zeros;
   BatchRequest batch;
+  ParamSweepRequest param_sweep;
 };
 
 /// Stable wire token of a request type: "refgen", "sweep", "poles_zeros",
-/// "batch".
+/// "batch", "param_sweep".
 const char* request_type_name(AnyRequest::Type type) noexcept;
 
 /// Encode a request in the exact schema request_from_json accepts — the
 /// client half of the wire (tools/refgen --connect, request-file writers).
 Json to_json(const AnyRequest& request);
 
-/// Parse {"type": "refgen"|"sweep"|"poles_zeros"|"batch", ...}. Strict:
-/// unknown keys and missing required fields fail with kInvalidArgument, so
-/// typos in hand-written request files surface instead of silently using
-/// defaults. A batch request carries "items": an array of {"spec", "options"}
-/// refgen items, plus optional "threads".
+/// Parse {"type": "refgen"|"sweep"|"poles_zeros"|"batch"|"param_sweep",
+/// ...}. Strict: unknown keys and missing required fields fail with
+/// kInvalidArgument, so typos in hand-written request files surface instead
+/// of silently using defaults. A batch request carries "items": an array of
+/// {"spec", "options"} refgen items, plus optional "threads". A param_sweep
+/// request carries "mode" ("grid"|"monte_carlo") and "params": grid axes
+/// {"name", "from", "to", "count", "log"} or Monte-Carlo dimensions
+/// {"name", "nominal", "rel_sigma", "dist"} plus "samples"/"seed".
 Result<AnyRequest> request_from_json(const Json& json);
 
 /// Parse a request *session*: either one request object or an array of

@@ -51,6 +51,49 @@ std::string sweep_key(const SweepRequest& request) {
   return buffer;
 }
 
+/// Exact fingerprint of a parameter-sweep request (threads and cancel
+/// excluded — neither influences the bit-identical result). Parameter
+/// names are length-prefixed so arbitrary name content (any length, any
+/// delimiter characters) cannot collide with the numeric fields; numbers
+/// are formatted one per bounded buffer, never truncated.
+std::string param_sweep_key(const ParamSweepRequest& request) {
+  std::string key = request.mode == ParamSweepRequest::Mode::kGrid ? "grid" : "mc";
+  char buffer[64];
+  auto add_number = [&](double value) {
+    std::snprintf(buffer, sizeof(buffer), "|%a", value);
+    key += buffer;
+  };
+  auto add_name = [&](const std::string& name) {
+    key += '|';
+    key += std::to_string(name.size());
+    key += ':';
+    key += name;
+  };
+  for (const mna::ParamAxis& axis : request.axes) {
+    key += "|a";
+    add_name(axis.name);
+    add_number(axis.from);
+    add_number(axis.to);
+    std::snprintf(buffer, sizeof(buffer), "|%d|%d", axis.count, axis.log_scale ? 1 : 0);
+    key += buffer;
+  }
+  for (const mna::ParamDist& dist : request.dists) {
+    key += "|d";
+    add_name(dist.name);
+    add_number(dist.nominal);
+    add_number(dist.rel_sigma);
+    key += dist.kind == mna::ParamDist::Kind::kGaussian ? "|g" : "|u";
+  }
+  std::snprintf(buffer, sizeof(buffer), "|%d|%llu", request.samples,
+                static_cast<unsigned long long>(request.seed));
+  key += buffer;
+  add_number(request.f_start_hz);
+  add_number(request.f_stop_hz);
+  std::snprintf(buffer, sizeof(buffer), "|%d", request.points_per_decade);
+  key += buffer;
+  return key;
+}
+
 /// Engine terminations that are errors at the facade boundary.
 Status termination_status(const refgen::AdaptiveResult& result) {
   if (result.complete) return Status();
@@ -79,7 +122,9 @@ namespace internal {
 /// deliberately non-reentrant plan caches) and guards the response caches.
 struct SpecEntry {
   explicit SpecEntry(std::size_t cache_capacity)
-      : refgen_cache(cache_capacity), sweep_cache(cache_capacity) {}
+      : refgen_cache(cache_capacity),
+        sweep_cache(cache_capacity),
+        param_sweep_cache(cache_capacity) {}
 
   std::mutex mutex;
   /// Reference-generation plan cache: assembly pattern + symbolic LU plan
@@ -91,6 +136,7 @@ struct SpecEntry {
   /// ServiceOptions::max_cached_responses with LRU eviction.
   support::LruCache<std::string, RefgenResponse> refgen_cache;
   support::LruCache<std::string, SweepResponse> sweep_cache;
+  support::LruCache<std::string, ParamSweepResponse> param_sweep_cache;
 };
 
 struct CompiledCircuit {
@@ -102,6 +148,11 @@ struct CompiledCircuit {
   mna::NodalSystem system;
   std::string name;
   std::size_t cache_capacity = 0;
+  /// The parsed-but-unexpanded netlist (compile_netlist only) — what
+  /// param_sweep() re-elaborates per sample. Invalid for programmatic
+  /// compile() handles.
+  netlist::NetlistTemplate netlist_template;
+  netlist::CanonicalOptions canonical_options;
 
   std::mutex specs_mutex;
   std::map<std::string, std::shared_ptr<SpecEntry>> specs;
@@ -132,6 +183,12 @@ using internal::CompiledCircuit;
 using internal::SpecEntry;
 
 const netlist::Circuit& CircuitHandle::circuit() const { return compiled_->original; }
+bool CircuitHandle::has_netlist_template() const {
+  return compiled_ != nullptr && compiled_->netlist_template.valid();
+}
+const std::vector<std::string>& CircuitHandle::parameter_names() const {
+  return compiled_->netlist_template.parameter_names();
+}
 const netlist::Circuit& CircuitHandle::canonical() const { return compiled_->canonical; }
 int CircuitHandle::dim() const { return compiled_->system.dim(); }
 int CircuitHandle::order_bound() const { return compiled_->system.order_bound(); }
@@ -141,12 +198,15 @@ std::string CircuitHandle::summary() const { return compiled_->original.summary(
 Service::Service(ServiceOptions options) : options_(std::move(options)) {}
 Service::~Service() = default;
 
-Result<CircuitHandle> Service::finish_compile(netlist::Circuit circuit, std::string name) const {
+Result<CircuitHandle> Service::finish_compile(netlist::Circuit circuit, std::string name,
+                                              netlist::NetlistTemplate netlist_template) const {
   try {
     auto compiled = std::make_shared<CompiledCircuit>(std::move(circuit), options_.canonical);
     compiled->name = name.empty() ? compiled->original.title : std::move(name);
     if (compiled->name.empty()) compiled->name = "circuit";
     compiled->cache_capacity = options_.max_cached_responses;
+    compiled->netlist_template = std::move(netlist_template);
+    compiled->canonical_options = options_.canonical;
     CircuitHandle handle;
     handle.compiled_ = std::move(compiled);
     return handle;
@@ -157,7 +217,9 @@ Result<CircuitHandle> Service::finish_compile(netlist::Circuit circuit, std::str
 
 Result<CircuitHandle> Service::compile_netlist(std::string_view text, std::string name) const {
   try {
-    return finish_compile(netlist::parse_netlist(text), std::move(name));
+    netlist::NetlistTemplate netlist_template = netlist::parse_netlist_template(text);
+    netlist::Circuit circuit = netlist_template.elaborate();
+    return finish_compile(std::move(circuit), std::move(name), std::move(netlist_template));
   } catch (...) {
     return status_from_current_exception();
   }
@@ -257,6 +319,92 @@ Result<SweepResponse> Service::sweep(const CircuitHandle& handle,
   }
 }
 
+Result<ParamSweepResponse> Service::param_sweep(const CircuitHandle& handle,
+                                                const ParamSweepRequest& request) const {
+  if (!handle.valid()) {
+    return Status::error(StatusCode::kInvalidArgument, kEmptyHandleMessage);
+  }
+  support::Timer timer;
+  try {
+    CompiledCircuit& compiled = *handle.compiled_;
+    if (!compiled.netlist_template.valid()) {
+      return Status::error(StatusCode::kInvalidArgument,
+                           "param_sweep requires a handle compiled from netlist text "
+                           "(compile_netlist), not a programmatic circuit");
+    }
+    const std::shared_ptr<SpecEntry> entry = compiled.entry(request.spec);
+
+    // Unlike refgen/sweep, the run itself touches no shared per-spec state
+    // (everything is rebuilt from the immutable template), so the entry
+    // mutex guards only the cache lookups/insert — a long sweep never
+    // blocks other requests on the same spec. Two racing identical sweeps
+    // may both compute; results are bit-identical, so that is benign.
+    const std::string key = param_sweep_key(request);
+    if (options_.cache_responses) {
+      bool hit_cache = false;
+      ParamSweepResponse response;
+      {
+        const std::lock_guard<std::mutex> lock(entry->mutex);
+        if (const ParamSweepResponse* hit = entry->param_sweep_cache.find(key)) {
+          response = *hit;
+          hit_cache = true;
+        }
+      }
+      if (hit_cache) {
+        compiled.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        response.from_cache = true;
+        response.seconds = timer.seconds();
+        return response;
+      }
+      compiled.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Resolve the sample plan, then run: every sample re-elaborates the
+    // compiled template and replays the baseline factorization plan.
+    mna::ParamSamplePlan plan;
+    if (request.mode == ParamSweepRequest::Mode::kGrid) {
+      if (!request.dists.empty() || request.samples != 0) {
+        return Status::error(StatusCode::kInvalidArgument,
+                             "param_sweep: grid mode takes axes only (no dists/samples)");
+      }
+      plan = mna::grid_samples(request.axes);
+    } else {
+      if (!request.axes.empty()) {
+        return Status::error(StatusCode::kInvalidArgument,
+                             "param_sweep: monte_carlo mode takes dists only (no axes)");
+      }
+      plan = mna::monte_carlo_samples(request.dists, request.samples, request.seed);
+    }
+    mna::ParamSweepOptions options;
+    options.spec = request.spec;
+    options.f_start_hz = request.f_start_hz;
+    options.f_stop_hz = request.f_stop_hz;
+    options.points_per_decade = request.points_per_decade;
+    options.threads = request.threads;
+    options.cancel = request.cancel;
+    options.canonical = compiled.canonical_options;
+
+    ParamSweepResponse response;
+    response.result = mna::run_param_sweep(compiled.netlist_template, plan, options);
+    response.seconds = timer.seconds();
+    // Memoize only reasonably sized studies: the LRU bound counts entries,
+    // not bytes, and one maximal Monte-Carlo response can reach gigabytes —
+    // a long-lived daemon must not pin that behind a 64-entry cache.
+    constexpr std::size_t kMaxCachedSweepValues = std::size_t{1} << 16;
+    if (options_.cache_responses && response.result.response.size() <= kMaxCachedSweepValues) {
+      std::size_t evicted = 0;
+      {
+        const std::lock_guard<std::mutex> lock(entry->mutex);
+        evicted = entry->param_sweep_cache.insert(key, response);
+      }
+      compiled.cache_evictions.fetch_add(evicted, std::memory_order_relaxed);
+    }
+    return response;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
 Result<CacheStats> Service::cache_stats(const CircuitHandle& handle) const {
   if (!handle.valid()) {
     return Status::error(StatusCode::kInvalidArgument, kEmptyHandleMessage);
@@ -275,7 +423,8 @@ Result<CacheStats> Service::cache_stats(const CircuitHandle& handle) const {
   }
   for (const std::shared_ptr<SpecEntry>& entry : entries) {
     const std::lock_guard<std::mutex> lock(entry->mutex);
-    stats.entries += entry->refgen_cache.size() + entry->sweep_cache.size();
+    stats.entries += entry->refgen_cache.size() + entry->sweep_cache.size() +
+                     entry->param_sweep_cache.size();
   }
   return stats;
 }

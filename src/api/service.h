@@ -40,6 +40,7 @@
 #include "api/status.h"
 #include "netlist/canonical.h"
 #include "netlist/circuit.h"
+#include "netlist/parser.h"
 
 namespace symref::api {
 
@@ -84,6 +85,13 @@ class CircuitHandle {
 
   /// The circuit as given (pre-canonicalization). Requires valid().
   [[nodiscard]] const netlist::Circuit& circuit() const;
+  /// True when the handle was compiled from netlist text, which retains the
+  /// parsed template — the prerequisite for param_sweep() (a programmatic
+  /// compile() has no parameters to re-elaborate).
+  [[nodiscard]] bool has_netlist_template() const;
+  /// Top-level `.param` names of the compiled netlist (empty for
+  /// programmatic handles). Requires valid().
+  [[nodiscard]] const std::vector<std::string>& parameter_names() const;
   /// The canonical {G, C, VCCS} twin the interpolation engine runs on.
   [[nodiscard]] const netlist::Circuit& canonical() const;
   /// Admittance-matrix dimension and determinant-degree bound.
@@ -132,6 +140,16 @@ class Service {
   [[nodiscard]] Result<PolesZerosResponse> poles_zeros(const CircuitHandle& handle,
                                                        const PolesZerosRequest& request) const;
 
+  /// Plan-reusing parameter sweep (grid or seeded Monte-Carlo) over the
+  /// handle's top-level `.param` symbols: compile once, re-stamp values and
+  /// replay the baseline factorization plan per sample. Bit-identical at
+  /// every thread count. Errors: kInvalidArgument (programmatic handle,
+  /// unknown parameter, bad grid/sample counts), kInvalidSpec,
+  /// kParseError (a sample drives an expression into a failure, e.g.
+  /// division by zero), kCancelled.
+  [[nodiscard]] Result<ParamSweepResponse> param_sweep(const CircuitHandle& handle,
+                                                       const ParamSweepRequest& request) const;
+
   /// Many refgen items against one handle, shared-nothing in parallel.
   /// The call itself only fails for an invalid handle; per-item failures
   /// come back in BatchResponse::items[i].status.
@@ -145,8 +163,9 @@ class Service {
   [[nodiscard]] const ServiceOptions& options() const noexcept { return options_; }
 
  private:
-  [[nodiscard]] Result<CircuitHandle> finish_compile(netlist::Circuit circuit,
-                                                     std::string name) const;
+  [[nodiscard]] Result<CircuitHandle> finish_compile(
+      netlist::Circuit circuit, std::string name,
+      netlist::NetlistTemplate netlist_template = {}) const;
 
   ServiceOptions options_;
 };

@@ -103,37 +103,45 @@ sparse::TripletMatrix NodalSystem::matrix(std::complex<double> s_hat, double f_s
 }
 
 CofactorEvaluator::CofactorEvaluator(const NodalSystem& system, const TransferSpec& spec)
-    : system_(system), spec_kind_(spec.kind) {
+    : system_(&system), spec_(spec) {
+  if (spec_.kind == TransferSpec::Kind::VoltageGain) {
+    // Typical element magnitudes keep the drive admittance in the same
+    // range as the rest of the (scaled) matrix. Chosen once: rebind() keeps
+    // these values so every parameter sample sees the identical drive (any
+    // value is exact — see the Sherman-Morrison note in the header).
+    const auto conductances = system.circuit().conductance_values();
+    const auto capacitances = system.circuit().capacitor_values();
+    drive_conductance_ = numeric::geometric_mean(conductances);
+    if (drive_conductance_ <= 0.0) drive_conductance_ = 1.0;
+    drive_capacitance_ = numeric::geometric_mean(capacitances);
+  }
+  bind_system();
+}
+
+void CofactorEvaluator::bind_system() {
   auto resolve = [&](const std::string& name, const char* what) -> int {
-    const auto node = system.circuit().find_node(name);
+    const auto node = system_->circuit().find_node(name);
     if (!node) {
       throw SpecError("CofactorEvaluator: unknown " + std::string(what) + " node '" + name +
                       "'");
     }
     if (*node == 0) return -1;
-    const auto row = system.row_of_node(name);
+    const auto row = system_->row_of_node(name);
     if (!row) {
       throw SpecError("CofactorEvaluator: " + std::string(what) + " node '" + name +
                       "' is floating");
     }
     return *row;
   };
-  in_pos_ = resolve(spec.in_pos, "input+");
-  in_neg_ = resolve(spec.in_neg, "input-");
-  out_pos_ = resolve(spec.out_pos, "output+");
-  out_neg_ = resolve(spec.out_neg, "output-");
+  in_pos_ = resolve(spec_.in_pos, "input+");
+  in_neg_ = resolve(spec_.in_neg, "input-");
+  out_pos_ = resolve(spec_.out_pos, "output+");
+  out_neg_ = resolve(spec_.out_neg, "output-");
   if (in_pos_ == in_neg_) {
     throw SpecError("CofactorEvaluator: input pair is degenerate");
   }
-  std::vector<PatternStamp> stamps = system.stamps();
-  if (spec_kind_ == TransferSpec::Kind::VoltageGain) {
-    // Typical element magnitudes keep the drive admittance in the same
-    // range as the rest of the (scaled) matrix.
-    const auto conductances = system.circuit().conductance_values();
-    const auto capacitances = system.circuit().capacitor_values();
-    drive_conductance_ = numeric::geometric_mean(conductances);
-    if (drive_conductance_ <= 0.0) drive_conductance_ = 1.0;
-    drive_capacitance_ = numeric::geometric_mean(capacitances);
+  std::vector<PatternStamp> stamps = system_->stamps();
+  if (spec_.kind == TransferSpec::Kind::VoltageGain) {
     // Drive admittance across the input pair (see header), merged into the
     // structural pattern once: it scales exactly like any other element, so
     // per-sample assembly needs no special-casing.
@@ -144,7 +152,18 @@ CofactorEvaluator::CofactorEvaluator(const NodalSystem& system, const TransferSp
       stamps.push_back({in_neg_, in_pos_, -drive_conductance_, -drive_capacitance_});
     }
   }
-  assembly_ = PatternedMatrix(system.dim(), std::move(stamps));
+  // Same merged structure (the parameter-sweep fast path): rewrite the base
+  // values in place and keep the cached pattern AND the LU plan. A changed
+  // structure rebuilds the pattern; the next replay then refuses and the
+  // caller's factorization fallback repivots.
+  if (!assembly_.rebind(system_->dim(), stamps)) {
+    assembly_ = PatternedMatrix(system_->dim(), std::move(stamps));
+  }
+}
+
+void CofactorEvaluator::rebind(const NodalSystem& system) {
+  system_ = &system;
+  bind_system();
 }
 
 CofactorEvaluator::Sample CofactorEvaluator::evaluate(std::complex<double> s_hat,
@@ -154,11 +173,30 @@ CofactorEvaluator::Sample CofactorEvaluator::evaluate(std::complex<double> s_hat
   // Markowitz factorization when the reused pivots degrade. The fallback
   // persists its plan in lu_, so later points (and batches) replay it.
   const sparse::CompressedMatrix& compressed = assembly_.assemble(s_hat, f_scale, g_scale);
-  if (!lu_.refactor(compressed) && !lu_.factor(compressed)) {
-    return Sample{};  // singular at this point; caller will retry/adjust
+  if (!lu_.refactor(compressed)) {
+    ++fresh_factor_count_;
+    if (!lu_.factor(compressed)) {
+      return Sample{};  // singular at this point; caller will retry/adjust
+    }
   }
   std::vector<std::complex<double>> rhs;
   return finish_sample(lu_, rhs);
+}
+
+CofactorEvaluator::Sample CofactorEvaluator::evaluate_pinned(std::complex<double> s_hat,
+                                                             double f_scale,
+                                                             double g_scale) const {
+  const sparse::CompressedMatrix& compressed = assembly_.assemble(s_hat, f_scale, g_scale);
+  std::vector<std::complex<double>> rhs;
+  if (lu_.refactor(compressed)) {
+    return finish_sample(lu_, rhs);
+  }
+  // Refused replay: fresh Markowitz factorization on a throwaway instance,
+  // leaving the member plan pinned for the next point/sample.
+  ++fresh_factor_count_;
+  sparse::SparseLu fresh;
+  if (!fresh.factor(compressed)) return Sample{};
+  return finish_sample(fresh, rhs);
 }
 
 CofactorEvaluator::Sample CofactorEvaluator::evaluate_in(EvalContext& context,
@@ -228,7 +266,7 @@ CofactorEvaluator::Sample CofactorEvaluator::finish_sample(
                                : kMachineEpsilon,
                kMachineEpsilon);
 
-  rhs.assign(static_cast<std::size_t>(system_.dim()), std::complex<double>());
+  rhs.assign(static_cast<std::size_t>(system_->dim()), std::complex<double>());
   if (in_pos_ >= 0) rhs[static_cast<std::size_t>(in_pos_)] += 1.0;
   if (in_neg_ >= 0) rhs[static_cast<std::size_t>(in_neg_)] -= 1.0;
   lu.solve(rhs);
@@ -240,7 +278,7 @@ CofactorEvaluator::Sample CofactorEvaluator::finish_sample(
   const std::complex<double> v_in = voltage(in_pos_) - voltage(in_neg_);
 
   sample.numerator = numeric::ScaledComplex(v_out) * det;
-  sample.denominator = spec_kind_ == TransferSpec::Kind::VoltageGain
+  sample.denominator = spec_.kind == TransferSpec::Kind::VoltageGain
                            ? numeric::ScaledComplex(v_in) * det
                            : det;
 
@@ -258,7 +296,7 @@ CofactorEvaluator::Sample CofactorEvaluator::finish_sample(
     return det_error + kMachineEpsilon * max_abs_v / magnitude;
   };
   sample.numerator_error = port_error(v_out);
-  sample.denominator_error = spec_kind_ == TransferSpec::Kind::VoltageGain
+  sample.denominator_error = spec_.kind == TransferSpec::Kind::VoltageGain
                                  ? port_error(v_in)
                                  : det_error;
   sample.ok = true;

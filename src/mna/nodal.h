@@ -22,6 +22,7 @@
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -91,10 +92,16 @@ class CofactorEvaluator {
   /// floating nodes.
   CofactorEvaluator(const NodalSystem& system, const TransferSpec& spec);
 
+  /// Copying clones the pattern-cached assembly values and the LU numeric
+  /// workspace while SHARING the immutable symbolic plan — the cheap
+  /// per-lane clone parameter sweeps are built on (see rebind()).
+  CofactorEvaluator(const CofactorEvaluator&) = default;
+  CofactorEvaluator& operator=(const CofactorEvaluator&) = default;
+
   /// Homogeneity degrees used for denormalization.
-  [[nodiscard]] int numerator_degree() const noexcept { return system_.dim() - 1; }
+  [[nodiscard]] int numerator_degree() const noexcept { return system_->dim() - 1; }
   [[nodiscard]] int denominator_degree() const noexcept {
-    return spec_kind_ == TransferSpec::Kind::VoltageGain ? system_.dim() - 1 : system_.dim();
+    return spec_.kind == TransferSpec::Kind::VoltageGain ? system_->dim() - 1 : system_->dim();
   }
 
   struct Sample {
@@ -146,6 +153,37 @@ class CofactorEvaluator {
       const std::vector<std::complex<double>>& s_hats, double f_scale, double g_scale,
       support::ThreadPool* pool = nullptr) const;
 
+  /// Point the evaluator at a NEW NodalSystem with the same structure but
+  /// different element values — the per-sample step of a parameter sweep.
+  /// Re-resolves the spec rows, keeps the drive admittance chosen at
+  /// construction (exactness does not depend on its value — see the drive
+  /// note below), and rewrites the assembly values IN PLACE when the stamp
+  /// structure matches the cached pattern. The cached LU plan is kept
+  /// either way: a matching pattern replays it; a changed one makes the
+  /// next replay refuse, falling back to a fresh factorization. `system`
+  /// must outlive the evaluator (or the next rebind).
+  void rebind(const NodalSystem& system);
+
+  /// One point against the PINNED member plan: replay it, and when the
+  /// replay refuses, run a throwaway fresh factorization of this point only
+  /// (counted by fresh_factor_count()) — the member plan is never replaced.
+  /// Unlike evaluate(), results therefore depend only on (plan, point,
+  /// values), never on evaluation history, which is what keeps parameter
+  /// sweeps bit-identical at every thread count. Requires a plan (any
+  /// successful evaluate() establishes one).
+  [[nodiscard]] Sample evaluate_pinned(std::complex<double> s_hat, double f_scale,
+                                       double g_scale) const;
+
+  /// Fresh (non-replay) factorizations this instance has run — the plan
+  /// probe of parameter-sweep tests and benches. Counts evaluate()'s
+  /// fallback factorizations and evaluate_pinned()'s throwaway ones; the
+  /// per-lane contexts of evaluate_batch() are not counted (they are
+  /// throwaway clones shared across lanes). Single-threaded like the rest
+  /// of the instance.
+  [[nodiscard]] std::uint64_t fresh_factor_count() const noexcept {
+    return fresh_factor_count_;
+  }
+
  private:
   /// Per-lane mutable state of a batch evaluation: pattern-cached assembly
   /// values and the SparseLu numeric payload, both cloned from the members
@@ -167,12 +205,17 @@ class CofactorEvaluator {
   [[nodiscard]] Sample finish_sample(const sparse::SparseLu& lu,
                                      std::vector<std::complex<double>>& rhs) const;
 
-  const NodalSystem& system_;
-  TransferSpec::Kind spec_kind_;
+  /// Resolve the spec rows against *system_ and (re)build the pattern-cached
+  /// assembly from its stamps plus the drive admittance.
+  void bind_system();
+
+  const NodalSystem* system_;  // pointer so rebind() can reseat it
+  TransferSpec spec_;
   int in_pos_ = -1;  // -1 encodes ground
   int in_neg_ = -1;
   int out_pos_ = -1;
   int out_neg_ = -1;
+  mutable std::uint64_t fresh_factor_count_ = 0;
   // Pattern-cached assembly (system stamps + drive admittance, merged once)
   // and the cached factorization plan reused across evaluation points.
   mutable PatternedMatrix assembly_;

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
-#include <map>
 #include <optional>
 #include <sstream>
-#include <vector>
+#include <utility>
 
 #include "netlist/devices.h"
+#include "netlist/expression.h"
 #include "numeric/units.h"
 
 namespace symref::netlist {
@@ -42,6 +42,7 @@ struct LogicalLine {
 };
 
 /// Strip comments, join continuations, tokenize with source positions.
+/// A `{...}` group is one token even when the expression contains spaces.
 std::vector<LogicalLine> tokenize(std::string_view text) {
   std::vector<LogicalLine> lines;
   std::istringstream stream{std::string(text)};
@@ -68,8 +69,29 @@ std::vector<LogicalLine> tokenize(std::string_view text) {
     while (at < raw.size()) {
       at = raw.find_first_not_of(" \t\r", at);
       if (at == std::string::npos) break;
-      std::size_t end = raw.find_first_of(" \t\r", at);
-      if (end == std::string::npos) end = raw.size();
+      // Scan to the next whitespace, treating a balanced {...} group (which
+      // may contain whitespace) as part of the current token.
+      std::size_t end = at;
+      while (end < raw.size()) {
+        const char c = raw[end];
+        if (c == ' ' || c == '\t' || c == '\r') break;
+        if (c == '{') {
+          const std::size_t open = end;
+          int depth = 1;
+          ++end;
+          while (end < raw.size() && depth > 0) {
+            if (raw[end] == '{') ++depth;
+            if (raw[end] == '}') --depth;
+            ++end;
+          }
+          if (depth > 0) {
+            throw ParseError(number, static_cast<int>(open) + 1,
+                             "unterminated '{' expression");
+          }
+          continue;
+        }
+        ++end;
+      }
       tokens.push_back(raw.substr(at, end - at));
       pos.push_back({number, static_cast<int>(at) + 1});
       at = end;
@@ -91,96 +113,210 @@ std::vector<LogicalLine> tokenize(std::string_view text) {
   return lines;
 }
 
-double parse_value(const LogicalLine& line, std::size_t index) {
-  const std::string& token = line.tokens[index];
-  const auto value = numeric::parse_engineering(token);
-  if (!value) throw line.error(index, "bad numeric value '" + token + "'");
-  return *value;
+/// One `name=value` token, split. `pos` points at the value text; `name_pos`
+/// at the token start (the name).
+struct Assignment {
+  std::string name;  // lowercased
+  std::string value;
+  TokenPos pos;
+  TokenPos name_pos;
+};
+
+/// Split a `name=value` token; nullopt when it is not assignment-shaped
+/// (no '=', empty name, or a `{...}` expression token).
+std::optional<Assignment> split_assignment(const std::string& token, const TokenPos& pos) {
+  if (token.empty() || token.front() == '{') return std::nullopt;
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) return std::nullopt;
+  Assignment a;
+  a.name = to_lower(token.substr(0, eq));
+  a.value = token.substr(eq + 1);
+  a.name_pos = pos;
+  a.pos = {pos.line, pos.column + static_cast<int>(eq) + 1};
+  return a;
 }
 
 struct ModelCard {
   std::string type;  // "bjt" or "mos"
-  std::map<std::string, double> params;
+  /// Raw value text per key — evaluated at each Q/M instantiation, so model
+  /// parameters may reference `.param` symbols of the instantiating scope.
+  std::map<std::string, Assignment> params;
 };
 
 struct SubcktDef {
+  std::string name;  // lowercased
+  int header_line = 0;
   std::vector<std::string> ports;
+  /// Parameter defaults from the header, in declaration order.
+  std::vector<Assignment> defaults;
   std::vector<LogicalLine> body;
+  /// Nested definitions, visible only inside this body (lexical scoping).
+  std::map<std::string, int> locals;
+  int parent = -1;  // enclosing definition index; -1 = top level
 };
 
-class Parser {
- public:
-  Circuit run(std::string_view text) {
-    const std::vector<LogicalLine> lines = tokenize(text);
+}  // namespace
 
-    // First pass: collect .model and .subckt cards.
-    std::size_t i = 0;
-    std::vector<LogicalLine> top_level;
-    while (i < lines.size()) {
-      const LogicalLine& line = lines[i];
-      const std::string head = to_lower(line.tokens.front());
-      if (head == ".model") {
-        collect_model(line);
-        ++i;
-      } else if (head == ".subckt") {
-        i = collect_subckt(lines, i);
-      } else if (head == ".end") {
-        break;
+namespace internal {
+
+/// The immutable pass-1 product: tokenized top-level cards plus the
+/// definition tables. elaborate() walks it without mutating it.
+struct TemplateImpl {
+  std::vector<LogicalLine> top_level;
+  std::map<std::string, ModelCard> models;
+  std::vector<SubcktDef> defs;
+  std::map<std::string, int> top_defs;
+  /// Top-level `.param` names (lowercased, first-definition order).
+  std::vector<std::string> param_names;
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::TemplateImpl;
+
+void collect_model(const LogicalLine& line, std::map<std::string, ModelCard>* models) {
+  if (line.tokens.size() < 3) throw line.error(0, ".model needs a name and a type");
+  ModelCard card;
+  const std::string name = to_lower(line.tokens[1]);
+  card.type = to_lower(line.tokens[2]);
+  if (card.type != "bjt" && card.type != "mos") {
+    throw line.error(2, "unknown model type '" + card.type + "'");
+  }
+  for (std::size_t t = 3; t < line.tokens.size(); ++t) {
+    auto assignment = split_assignment(line.tokens[t], line.pos[t]);
+    if (!assignment || assignment->value.empty()) {
+      throw line.error(t, "model parameter '" + line.tokens[t] + "' is not key=value");
+    }
+    card.params[assignment->name] = std::move(*assignment);
+  }
+  (*models)[name] = std::move(card);
+}
+
+/// Collect one .subckt block (recursively for nested definitions); returns
+/// the index of the line after the matching .ends.
+std::size_t collect_subckt(const std::vector<LogicalLine>& lines, std::size_t start,
+                           int parent, TemplateImpl* out) {
+  const LogicalLine& header = lines[start];
+  if (header.tokens.size() < 2) throw header.error(0, ".subckt needs a name");
+
+  const int self = static_cast<int>(out->defs.size());
+  out->defs.emplace_back();
+  {
+    SubcktDef& def = out->defs[static_cast<std::size_t>(self)];
+    def.name = to_lower(header.tokens[1]);
+    def.header_line = header.number;
+    def.parent = parent;
+    // Header tail: ports until the first name=default assignment, then only
+    // assignments (a port after a default would be ambiguous).
+    bool in_defaults = false;
+    for (std::size_t t = 2; t < header.tokens.size(); ++t) {
+      auto assignment = split_assignment(header.tokens[t], header.pos[t]);
+      if (assignment) {
+        if (assignment->value.empty()) {
+          throw header.error(t, "parameter default '" + header.tokens[t] +
+                                    "' is missing a value");
+        }
+        in_defaults = true;
+        def.defaults.push_back(std::move(*assignment));
       } else {
-        top_level.push_back(line);
-        ++i;
+        if (in_defaults) {
+          throw header.error(t, "port '" + header.tokens[t] +
+                                    "' after parameter defaults (ports come first)");
+        }
+        def.ports.push_back(header.tokens[t]);
       }
     }
+  }
 
-    for (const LogicalLine& line : top_level) {
-      dispatch(line, /*prefix=*/"", /*port_map=*/{});
+  std::size_t i = start + 1;
+  while (i < lines.size()) {
+    const LogicalLine& line = lines[i];
+    const std::string head = to_lower(line.tokens.front());
+    if (head == ".ends") {
+      SubcktDef& def = out->defs[static_cast<std::size_t>(self)];
+      if (parent >= 0) {
+        out->defs[static_cast<std::size_t>(parent)].locals[def.name] = self;
+      } else {
+        out->top_defs[def.name] = self;
+      }
+      return i + 1;
+    }
+    if (head == ".subckt") {
+      i = collect_subckt(lines, i, self, out);
+    } else if (head == ".model") {
+      collect_model(line, &out->models);
+      ++i;
+    } else if (head == ".end") {
+      throw line.error(0, "'.end' inside .subckt '" +
+                              out->defs[static_cast<std::size_t>(self)].name +
+                              "' (missing .ends)");
+    } else {
+      out->defs[static_cast<std::size_t>(self)].body.push_back(line);
+      ++i;
+    }
+  }
+  throw ParseError(out->defs[static_cast<std::size_t>(self)].header_line,
+                   ".subckt '" + out->defs[static_cast<std::size_t>(self)].name +
+                       "' has no matching .ends");
+}
+
+/// Parameter scope chain: a subcircuit body sees its own `.param`
+/// definitions and instance parameters first, then the scope that
+/// instantiated it, up to the netlist's top-level parameters.
+struct Scope final : ParamEnv {
+  const Scope* parent = nullptr;
+  std::map<std::string, double, std::less<>> values;
+
+  [[nodiscard]] const double* find(std::string_view name) const override {
+    for (const Scope* s = this; s != nullptr; s = s->parent) {
+      const auto it = s->values.find(name);
+      if (it != s->values.end()) return &it->second;
+    }
+    return nullptr;
+  }
+};
+
+/// Pass 2: expand one TemplateImpl into a Circuit. One Elaborator per
+/// elaborate() call; reads the template, never writes it.
+class Elaborator {
+ public:
+  Elaborator(const TemplateImpl& tpl, std::map<std::string, double> overrides)
+      : tpl_(tpl), overrides_(std::move(overrides)) {}
+
+  Circuit run() {
+    Scope global;
+    for (const LogicalLine& line : tpl_.top_level) {
+      dispatch(line, /*prefix=*/"", /*port_map=*/{}, global, /*lexical_def=*/-1,
+               /*top_level=*/true);
     }
     return std::move(circuit_);
   }
 
  private:
-  void collect_model(const LogicalLine& line) {
-    if (line.tokens.size() < 3) throw line.error(0, ".model needs a name and a type");
-    ModelCard card;
-    const std::string name = to_lower(line.tokens[1]);
-    card.type = to_lower(line.tokens[2]);
-    if (card.type != "bjt" && card.type != "mos") {
-      throw line.error(2, "unknown model type '" + card.type + "'");
-    }
-    for (std::size_t t = 3; t < line.tokens.size(); ++t) {
-      const std::string& token = line.tokens[t];
-      const auto eq = token.find('=');
-      if (eq == std::string::npos) {
-        throw line.error(t, "model parameter '" + token + "' is not key=value");
+  /// A literal ("2.2k") or brace expression ("{2*c0}") value at a known
+  /// source position.
+  double eval_value(const std::string& text, const TokenPos& pos, const Scope& scope) const {
+    if (!text.empty() && text.front() == '{') {
+      // The tokenizer only produces balanced groups; re-check for values
+      // that arrived through assignment splitting.
+      if (text.size() < 2 || text.back() != '}') {
+        throw ParseError(pos.line, pos.column, "unterminated '{' expression");
       }
-      const std::string key = to_lower(token.substr(0, eq));
-      const auto value = numeric::parse_engineering(token.substr(eq + 1));
-      if (!value) throw line.error(t, "bad model value in '" + token + "'");
-      card.params[key] = *value;
+      try {
+        return evaluate_expression(std::string_view(text).substr(1, text.size() - 2), scope);
+      } catch (const ExprError& e) {
+        throw ParseError(pos.line, pos.column + 1 + static_cast<int>(e.offset()), e.what());
+      }
     }
-    models_[name] = std::move(card);
+    const auto value = numeric::parse_engineering(text);
+    if (!value) throw ParseError(pos.line, pos.column, "bad numeric value '" + text + "'");
+    return *value;
   }
 
-  std::size_t collect_subckt(const std::vector<LogicalLine>& lines, std::size_t start) {
-    const LogicalLine& header = lines[start];
-    if (header.tokens.size() < 2) throw header.error(0, ".subckt needs a name");
-    SubcktDef def;
-    const std::string name = to_lower(header.tokens[1]);
-    def.ports.assign(header.tokens.begin() + 2, header.tokens.end());
-    std::size_t i = start + 1;
-    while (i < lines.size()) {
-      const std::string head = to_lower(lines[i].tokens.front());
-      if (head == ".ends") {
-        subckts_[name] = std::move(def);
-        return i + 1;
-      }
-      if (head == ".subckt") {
-        throw lines[i].error(0, "nested .subckt definitions are not supported");
-      }
-      def.body.push_back(lines[i]);
-      ++i;
-    }
-    throw ParseError(header.number, ".subckt '" + name + "' has no matching .ends");
+  double parse_value(const LogicalLine& line, std::size_t index, const Scope& scope) const {
+    return eval_value(line.tokens[index], line.pos[index], scope);
   }
 
   /// Resolve a node token through the subcircuit port map and prefix.
@@ -193,8 +329,27 @@ class Parser {
     return prefix.empty() ? token : prefix + token;
   }
 
+  void do_param(const LogicalLine& line, Scope& scope, bool top_level) {
+    if (line.tokens.size() < 2) throw line.error(0, ".param needs name=value assignments");
+    for (std::size_t t = 1; t < line.tokens.size(); ++t) {
+      auto assignment = split_assignment(line.tokens[t], line.pos[t]);
+      if (!assignment || assignment->value.empty()) {
+        throw line.error(t, "'" + line.tokens[t] + "' is not a name=value assignment");
+      }
+      double value = 0.0;
+      const auto it = top_level ? overrides_.find(assignment->name) : overrides_.end();
+      if (it != overrides_.end()) {
+        value = it->second;  // swept/overridden top-level parameter
+      } else {
+        value = eval_value(assignment->value, assignment->pos, scope);
+      }
+      scope.values[assignment->name] = value;  // later .param of the same name wins
+    }
+  }
+
   void dispatch(const LogicalLine& line, const std::string& prefix,
-                const std::map<std::string, std::string>& port_map) {
+                const std::map<std::string, std::string>& port_map, Scope& scope,
+                int lexical_def, bool top_level) {
     const std::string& first = line.tokens.front();
     const char kind = static_cast<char>(std::tolower(static_cast<unsigned char>(first[0])));
     const std::string name = prefix + first;
@@ -221,35 +376,35 @@ class Parser {
     switch (kind) {
       case 'r':
         require_tokens(4);
-        circuit_.add_resistor(name, node(1), node(2), parse_value(line, value_token(3)));
+        circuit_.add_resistor(name, node(1), node(2), parse_value(line, value_token(3), scope));
         break;
       case 'c':
         require_tokens(4);
-        circuit_.add_capacitor(name, node(1), node(2), parse_value(line, value_token(3)));
+        circuit_.add_capacitor(name, node(1), node(2), parse_value(line, value_token(3), scope));
         break;
       case 'l':
         require_tokens(4);
-        circuit_.add_inductor(name, node(1), node(2), parse_value(line, value_token(3)));
+        circuit_.add_inductor(name, node(1), node(2), parse_value(line, value_token(3), scope));
         break;
       case 'g':
         require_tokens(6);
         circuit_.add_vccs(name, node(1), node(2), node(3), node(4),
-                          parse_value(line, value_token(5)));
+                          parse_value(line, value_token(5), scope));
         break;
       case 'e':
         require_tokens(6);
         circuit_.add_vcvs(name, node(1), node(2), node(3), node(4),
-                          parse_value(line, value_token(5)));
+                          parse_value(line, value_token(5), scope));
         break;
       case 'f':
         require_tokens(5);
         circuit_.add_cccs(name, node(1), node(2), prefix + line.tokens[3],
-                          parse_value(line, value_token(4)));
+                          parse_value(line, value_token(4), scope));
         break;
       case 'h':
         require_tokens(5);
         circuit_.add_ccvs(name, node(1), node(2), prefix + line.tokens[3],
-                          parse_value(line, value_token(4)));
+                          parse_value(line, value_token(4), scope));
         break;
       case 'v':
       case 'i': {
@@ -257,7 +412,7 @@ class Parser {
         double magnitude = 1.0;
         for (std::size_t t = 3; t < line.tokens.size(); ++t) {
           if (to_lower(line.tokens[t]) == "ac" || to_lower(line.tokens[t]) == "dc") continue;
-          magnitude = parse_value(line, t);
+          magnitude = parse_value(line, t, scope);
         }
         if (kind == 'v') {
           circuit_.add_vsource(name, node(1), node(2), magnitude);
@@ -272,17 +427,9 @@ class Parser {
         break;
       case 'q': {
         require_tokens(5);
-        const std::string model = to_lower(line.tokens[4]);
-        const auto it = models_.find(model);
-        if (it == models_.end() || it->second.type != "bjt") {
-          throw line.error(4, "'" + first + "': unknown bjt model '" + model + "'");
-        }
+        const ModelCard& card = find_model(line, 4, "bjt");
         BjtParams p;
-        const auto& params = it->second.params;
-        auto get = [&](const char* key) {
-          const auto pit = params.find(key);
-          return pit == params.end() ? 0.0 : pit->second;
-        };
+        auto get = [&](const char* key) { return model_param(card, key, scope); };
         p.gm = get("gm");
         p.beta = get("beta");
         p.ro = get("ro");
@@ -295,17 +442,9 @@ class Parser {
       }
       case 'm': {
         require_tokens(5);
-        const std::string model = to_lower(line.tokens[4]);
-        const auto it = models_.find(model);
-        if (it == models_.end() || it->second.type != "mos") {
-          throw line.error(4, "'" + first + "': unknown mos model '" + model + "'");
-        }
+        const ModelCard& card = find_model(line, 4, "mos");
         MosParams p;
-        const auto& params = it->second.params;
-        auto get = [&](const char* key) {
-          const auto pit = params.find(key);
-          return pit == params.end() ? 0.0 : pit->second;
-        };
+        auto get = [&](const char* key) { return model_param(card, key, scope); };
         p.gm = get("gm");
         p.gds = get("gds");
         p.cgs = get("cgs");
@@ -315,7 +454,7 @@ class Parser {
         break;
       }
       case 'x':
-        expand_subckt(line, prefix, port_map);
+        expand_subckt(line, prefix, port_map, scope, lexical_def);
         break;
       case '.': {
         const std::string head = to_lower(first);
@@ -326,6 +465,10 @@ class Parser {
             title += line.tokens[t];
           }
           circuit_.title = title;
+        } else if (head == ".param") {
+          do_param(line, scope, top_level);
+        } else if (head == ".ends") {
+          throw line.error(0, "'.ends' without a matching '.subckt'");
         } else {
           throw line.error(0, "unknown directive '" + first + "'");
         }
@@ -336,43 +479,206 @@ class Parser {
     }
   }
 
-  void expand_subckt(const LogicalLine& line, const std::string& outer_prefix,
-                     const std::map<std::string, std::string>& outer_map) {
-    if (line.tokens.size() < 2) throw line.error(0, "X card needs a subckt name");
-    const std::string subckt_name = to_lower(line.tokens.back());
-    const auto it = subckts_.find(subckt_name);
-    if (it == subckts_.end()) {
-      throw line.error(line.tokens.size() - 1,
-                       "unknown subcircuit '" + line.tokens.back() + "'");
+  const ModelCard& find_model(const LogicalLine& line, std::size_t index,
+                              const char* type) const {
+    const std::string model = to_lower(line.tokens[index]);
+    const auto it = tpl_.models.find(model);
+    if (it == tpl_.models.end() || it->second.type != type) {
+      throw line.error(index, "'" + line.tokens.front() + "': unknown " + type + " model '" +
+                                  model + "'");
     }
-    const SubcktDef& def = it->second;
-    const std::size_t node_count = line.tokens.size() - 2;
+    return it->second;
+  }
+
+  double model_param(const ModelCard& card, const char* key, const Scope& scope) const {
+    const auto it = card.params.find(key);
+    if (it == card.params.end()) return 0.0;
+    return eval_value(it->second.value, it->second.pos, scope);
+  }
+
+  /// Definition lookup along the lexical chain (innermost wins), falling
+  /// back to the top-level table.
+  [[nodiscard]] int lookup_def(const std::string& name, int lexical) const {
+    for (int s = lexical; s >= 0; s = tpl_.defs[static_cast<std::size_t>(s)].parent) {
+      const auto& locals = tpl_.defs[static_cast<std::size_t>(s)].locals;
+      const auto it = locals.find(name);
+      if (it != locals.end()) return it->second;
+    }
+    const auto it = tpl_.top_defs.find(name);
+    return it == tpl_.top_defs.end() ? -1 : it->second;
+  }
+
+  void expand_subckt(const LogicalLine& line, const std::string& outer_prefix,
+                     const std::map<std::string, std::string>& outer_map,
+                     const Scope& outer_scope, int lexical_def) {
+    if (line.tokens.size() < 2) throw line.error(0, "X card needs a subckt name");
+
+    // Trailing name=value tokens are instance parameter overrides; the last
+    // remaining token is the subcircuit name.
+    std::vector<Assignment> instance_params;
+    std::size_t end = line.tokens.size();
+    while (end > 1) {
+      auto assignment = split_assignment(line.tokens[end - 1], line.pos[end - 1]);
+      if (!assignment) break;
+      if (assignment->value.empty()) {
+        throw line.error(end - 1, "parameter override '" + line.tokens[end - 1] +
+                                      "' is missing a value");
+      }
+      instance_params.push_back(std::move(*assignment));
+      --end;
+    }
+    std::reverse(instance_params.begin(), instance_params.end());
+    if (end < 2) throw line.error(0, "X card needs a subckt name");
+    const std::size_t name_index = end - 1;
+    const std::string subckt_name = to_lower(line.tokens[name_index]);
+
+    const int def_index = lookup_def(subckt_name, lexical_def);
+    if (def_index < 0) {
+      throw line.error(name_index, "unknown subcircuit '" + line.tokens[name_index] + "'");
+    }
+    const SubcktDef& def = tpl_.defs[static_cast<std::size_t>(def_index)];
+
+    const std::size_t node_count = name_index - 1;
     if (node_count != def.ports.size()) {
       throw line.error(0, "subckt '" + subckt_name + "' expects " +
                               std::to_string(def.ports.size()) + " nodes, got " +
                               std::to_string(node_count));
     }
+
+    // Recursive instantiation would expand forever; diagnose the cycle with
+    // the full instantiation chain instead of crashing on stack exhaustion.
+    for (const int active : instantiation_stack_) {
+      if (active == def_index) {
+        std::string chain;
+        bool in_cycle = false;
+        for (const int d : instantiation_stack_) {
+          if (d == def_index) in_cycle = true;
+          if (!in_cycle) continue;
+          chain += tpl_.defs[static_cast<std::size_t>(d)].name + " -> ";
+        }
+        chain += def.name;
+        throw line.error(name_index, "recursive subcircuit instantiation: " + chain);
+      }
+    }
+
     const std::string prefix = outer_prefix + line.tokens.front() + ".";
     std::map<std::string, std::string> port_map;
     for (std::size_t p = 0; p < def.ports.size(); ++p) {
       // The instance's node tokens are resolved in the *outer* scope.
       port_map[def.ports[p]] = resolve_node(line.tokens[1 + p], outer_map, outer_prefix);
     }
-    for (const LogicalLine& body_line : def.body) {
-      dispatch(body_line, prefix, port_map);
+
+    // Instance parameters: overrides evaluate in the CALLER's scope (their
+    // expressions reference the instantiating context); defaults evaluate in
+    // the child scope, so a later default may use an earlier parameter —
+    // including one the instance overrode.
+    Scope child;
+    child.parent = &outer_scope;
+    std::vector<bool> used(instance_params.size(), false);
+    for (const Assignment& d : def.defaults) {
+      double value = 0.0;
+      bool overridden = false;
+      for (std::size_t i = 0; i < instance_params.size(); ++i) {
+        if (instance_params[i].name == d.name) {
+          value = eval_value(instance_params[i].value, instance_params[i].pos, outer_scope);
+          used[i] = true;
+          overridden = true;
+        }
+      }
+      if (!overridden) value = eval_value(d.value, d.pos, child);
+      child.values[d.name] = value;
     }
+    for (std::size_t i = 0; i < instance_params.size(); ++i) {
+      if (!used[i]) {
+        throw ParseError(instance_params[i].name_pos.line, instance_params[i].name_pos.column,
+                         "subckt '" + subckt_name + "' has no parameter '" +
+                             instance_params[i].name + "'");
+      }
+    }
+
+    instantiation_stack_.push_back(def_index);
+    for (const LogicalLine& body_line : def.body) {
+      dispatch(body_line, prefix, port_map, child, def_index, /*top_level=*/false);
+    }
+    instantiation_stack_.pop_back();
   }
 
+  const TemplateImpl& tpl_;
+  std::map<std::string, double> overrides_;  // lowercased keys
   Circuit circuit_;
-  std::map<std::string, ModelCard> models_;
-  std::map<std::string, SubcktDef> subckts_;
+  std::vector<int> instantiation_stack_;  // active definition indices
 };
 
 }  // namespace
 
+Circuit NetlistTemplate::elaborate(const std::map<std::string, double>& overrides) const {
+  if (!impl_) throw std::invalid_argument("NetlistTemplate: empty template");
+  std::map<std::string, double> lowered;
+  for (const auto& [name, value] : overrides) {
+    const std::string key = to_lower(name);
+    if (std::find(impl_->param_names.begin(), impl_->param_names.end(), key) ==
+        impl_->param_names.end()) {
+      throw std::invalid_argument("netlist has no top-level parameter '" + key +
+                                  "' (add a .param card to sweep it)");
+    }
+    lowered[key] = value;
+  }
+  return Elaborator(*impl_, std::move(lowered)).run();
+}
+
+const std::vector<std::string>& NetlistTemplate::parameter_names() const {
+  static const std::vector<std::string> kEmpty;
+  return impl_ ? impl_->param_names : kEmpty;
+}
+
+bool NetlistTemplate::has_parameter(std::string_view name) const {
+  if (!impl_) return false;
+  const std::string key = to_lower(name);
+  return std::find(impl_->param_names.begin(), impl_->param_names.end(), key) !=
+         impl_->param_names.end();
+}
+
+NetlistTemplate parse_netlist_template(std::string_view text) {
+  auto impl = std::make_shared<TemplateImpl>();
+  const std::vector<LogicalLine> lines = tokenize(text);
+
+  // Pass 1: collect .model and .subckt definitions (models are global, even
+  // when written inside a .subckt body; definitions nest lexically), keep
+  // every other card in order, and record the top-level parameter names.
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    const LogicalLine& line = lines[i];
+    const std::string head = to_lower(line.tokens.front());
+    if (head == ".model") {
+      collect_model(line, &impl->models);
+      ++i;
+    } else if (head == ".subckt") {
+      i = collect_subckt(lines, i, /*parent=*/-1, impl.get());
+    } else if (head == ".end") {
+      break;
+    } else {
+      if (head == ".param") {
+        for (std::size_t t = 1; t < line.tokens.size(); ++t) {
+          const auto assignment = split_assignment(line.tokens[t], line.pos[t]);
+          if (!assignment) continue;  // diagnosed during elaboration
+          if (std::find(impl->param_names.begin(), impl->param_names.end(),
+                        assignment->name) == impl->param_names.end()) {
+            impl->param_names.push_back(assignment->name);
+          }
+        }
+      }
+      impl->top_level.push_back(line);
+      ++i;
+    }
+  }
+
+  NetlistTemplate tpl;
+  tpl.impl_ = std::move(impl);
+  return tpl;
+}
+
 Circuit parse_netlist(std::string_view text) {
-  Parser parser;
-  return parser.run(text);
+  return parse_netlist_template(text).elaborate();
 }
 
 }  // namespace symref::netlist

@@ -1,6 +1,7 @@
-// SPICE-subset netlist parser.
+// SPICE-subset netlist parser with hierarchy and symbolic parameters.
 //
-// Supported cards (case-insensitive prefixes, engineering-notation values):
+// Supported cards (case-insensitive prefixes; values are engineering
+// notation literals or brace expressions `{...}`, see netlist/expression.h):
 //
 //   Rname n+ n- value              resistor
 //   Cname n+ n- value              capacitor
@@ -14,22 +15,42 @@
 //   Oname out in+ in-              ideal opamp (nullor output to ground)
 //   Qname c b e model              BJT, expanded via a small-signal .model
 //   Mname d g s model              MOS, expanded via a small-signal .model
-//   Xname n1 ... nk subckt         subcircuit instance
+//   Xname n1 ... nk subckt [p=v..] subcircuit instance (+ parameter overrides)
 //
+//   .param name=value ...          symbolic parameters (sequential; a later
+//                                  .param of the same name wins in its scope)
 //   .model name bjt gm=.. beta=.. ro=.. rb=.. cpi=.. cmu=.. ccs=..
 //   .model name mos gm=.. gds=.. cgs=.. cgd=.. cdb=..
-//   .subckt name n1 ... nk / .ends
+//   .subckt name n1 ... nk [p=default ..] / .ends
+//                                  definitions may nest; an inner definition
+//                                  is visible only inside its enclosing body
 //   .title any text
 //   .end
 //
 // Comments: full-line '*' or '#', trailing ';' or '$'. Continuation lines
 // start with '+'. Unlike classic SPICE, the first line is NOT implicitly a
 // title (use .title) — netlists here are usually embedded string literals.
+//
+// The full dialect (units, scoping/shadowing rules, error positions) is
+// documented in docs/netlist.md.
+//
+// Parsing is split in two phases so parameter studies can re-elaborate
+// cheaply: parse_netlist_template() tokenizes the text and collects the
+// macro definitions ONCE; NetlistTemplate::elaborate() runs the expansion —
+// parameter evaluation, subcircuit instantiation with collision-free
+// renaming, device-model expansion — and may be called many times with
+// different top-level parameter overrides (the api::Service parameter-sweep
+// path; see src/mna/param_sweep.h). Per-token source positions survive both
+// phases, so an error deep inside a nested subcircuit instantiation still
+// points at the exact line/column of the offending token.
 #pragma once
 
+#include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "netlist/circuit.h"
 
@@ -56,7 +77,47 @@ class ParseError : public std::runtime_error {
   int column_;
 };
 
-/// Parse a netlist; throws ParseError on malformed input.
-Circuit parse_netlist(std::string_view text);
+namespace internal {
+struct TemplateImpl;
+}
+
+/// A parsed-but-unexpanded netlist: tokenized cards plus the .model/.subckt
+/// definition table. Immutable and cheaply copyable (copies share the parsed
+/// state); elaborate() is const and safe to call concurrently — each call
+/// carries its own expansion state, which is what lets parameter-sweep lanes
+/// re-elaborate shared-nothing.
+class NetlistTemplate {
+ public:
+  /// Empty template; elaborate() throws std::invalid_argument until the
+  /// instance came from parse_netlist_template().
+  NetlistTemplate() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+
+  /// Run macro expansion and parameter evaluation. `overrides` replaces the
+  /// values of top-level `.param` definitions by (case-insensitive) name —
+  /// the hook parameter sweeps are built on. Throws ParseError for netlist
+  /// problems and std::invalid_argument for an override naming no top-level
+  /// parameter.
+  [[nodiscard]] Circuit elaborate(const std::map<std::string, double>& overrides = {}) const;
+
+  /// Names of the top-level `.param` definitions (lowercased, in first-
+  /// definition order) — the sweepable parameters of this netlist.
+  [[nodiscard]] const std::vector<std::string>& parameter_names() const;
+
+  [[nodiscard]] bool has_parameter(std::string_view name) const;
+
+ private:
+  friend NetlistTemplate parse_netlist_template(std::string_view text);
+  std::shared_ptr<const internal::TemplateImpl> impl_;
+};
+
+/// Tokenize and collect definitions; throws ParseError on malformed input
+/// that is detectable before expansion (bad continuations, unterminated
+/// `{...}` or .subckt blocks, malformed .model cards).
+[[nodiscard]] NetlistTemplate parse_netlist_template(std::string_view text);
+
+/// Parse a netlist (template + one elaboration); throws ParseError.
+[[nodiscard]] Circuit parse_netlist(std::string_view text);
 
 }  // namespace symref::netlist

@@ -59,6 +59,52 @@ PatternedMatrix::PatternedMatrix(int dim, std::vector<PatternStamp> stamps) {
   matrix_.values.assign(matrix_.cols.size(), {});
 }
 
+bool PatternedMatrix::rebind(int dim, std::vector<PatternStamp> stamps) {
+  if (dim != matrix_.dim) return false;
+  std::sort(stamps.begin(), stamps.end(), [](const PatternStamp& a, const PatternStamp& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  // First pass: verify the merged positions reproduce the cached layout
+  // exactly, without touching the value arrays (rebind must be all-or-
+  // nothing so a failed attempt leaves a usable matrix behind).
+  std::size_t k = 0;
+  std::size_t i = 0;
+  while (i < stamps.size()) {
+    std::size_t j = i + 1;
+    while (j < stamps.size() && stamps[j].row == stamps[i].row &&
+           stamps[j].col == stamps[i].col) {
+      ++j;
+    }
+    if (k >= matrix_.cols.size() || matrix_.cols[k] != stamps[i].col ||
+        k < static_cast<std::size_t>(matrix_.row_start[static_cast<std::size_t>(stamps[i].row)]) ||
+        k >= static_cast<std::size_t>(
+                 matrix_.row_start[static_cast<std::size_t>(stamps[i].row) + 1])) {
+      return false;
+    }
+    ++k;
+    i = j;
+  }
+  if (k != matrix_.cols.size()) return false;
+
+  // Second pass: rewrite the base values in place.
+  k = 0;
+  i = 0;
+  while (i < stamps.size()) {
+    PatternStamp merged = stamps[i];
+    std::size_t j = i + 1;
+    while (j < stamps.size() && stamps[j].row == merged.row && stamps[j].col == merged.col) {
+      merged.conductance += stamps[j].conductance;
+      merged.capacitance += stamps[j].capacitance;
+      ++j;
+    }
+    conductance_[k] = merged.conductance;
+    capacitance_[k] = merged.capacitance;
+    ++k;
+    i = j;
+  }
+  return true;
+}
+
 const CompressedMatrix& PatternedMatrix::assemble(std::complex<double> s, double f_scale,
                                                   double g_scale) {
   for (std::size_t k = 0; k < matrix_.values.size(); ++k) {

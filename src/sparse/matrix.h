@@ -63,6 +63,16 @@ class PatternedMatrix {
   const CompressedMatrix& assemble(std::complex<double> s, double f_scale = 1.0,
                                    double g_scale = 1.0);
 
+  /// Replace the base conductance/capacitance arrays from a NEW stamp list
+  /// with the SAME merged structure — the per-sample path of parameter
+  /// sweeps, where element values change but the topology does not. Returns
+  /// true when every merged (row, col) position matched the cached layout
+  /// (values rewritten in place, no allocation of a new pattern); false
+  /// leaves the matrix untouched and the caller falls back to rebuilding
+  /// (PatternedMatrix(dim, stamps)), after which a plan replay will refuse
+  /// and trigger a fresh factorization.
+  bool rebind(int dim, std::vector<PatternStamp> stamps);
+
   [[nodiscard]] const CompressedMatrix& matrix() const noexcept { return matrix_; }
 
  private:

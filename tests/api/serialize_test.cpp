@@ -132,6 +132,117 @@ TEST(SerializeResponse, RefgenPayloadShape) {
   EXPECT_EQ(reparsed.value().dump(), payload.dump());
 }
 
+TEST(SerializeRequest, ParamSweepGridRoundTrip) {
+  AnyRequest request;
+  request.type = AnyRequest::Type::kParamSweep;
+  request.param_sweep.spec = mna::TransferSpec::voltage_gain("in", "out");
+  request.param_sweep.mode = ParamSweepRequest::Mode::kGrid;
+  request.param_sweep.axes = {{"r1", 1e3, 1e4, 5, true}, {"c1", 1e-12, 4e-12, 4, false}};
+  request.param_sweep.f_start_hz = 10.0;
+  request.param_sweep.f_stop_hz = 1e7;
+  request.param_sweep.points_per_decade = 3;
+  request.param_sweep.threads = 4;
+
+  const auto parsed = request_from_json(to_json(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const ParamSweepRequest& round = parsed.value().param_sweep;
+  ASSERT_EQ(parsed.value().type, AnyRequest::Type::kParamSweep);
+  EXPECT_EQ(round.mode, ParamSweepRequest::Mode::kGrid);
+  ASSERT_EQ(round.axes.size(), 2u);
+  EXPECT_EQ(round.axes[0].name, "r1");
+  EXPECT_DOUBLE_EQ(round.axes[0].from, 1e3);
+  EXPECT_DOUBLE_EQ(round.axes[0].to, 1e4);
+  EXPECT_EQ(round.axes[0].count, 5);
+  EXPECT_TRUE(round.axes[0].log_scale);
+  EXPECT_FALSE(round.axes[1].log_scale);
+  EXPECT_DOUBLE_EQ(round.f_start_hz, 10.0);
+  EXPECT_EQ(round.points_per_decade, 3);
+  EXPECT_EQ(round.threads, 4);
+}
+
+TEST(SerializeRequest, ParamSweepMonteCarloRoundTrip) {
+  AnyRequest request;
+  request.type = AnyRequest::Type::kParamSweep;
+  request.param_sweep.spec = mna::TransferSpec::voltage_gain("in", "out");
+  request.param_sweep.mode = ParamSweepRequest::Mode::kMonteCarlo;
+  request.param_sweep.dists = {{"gm", 1e-3, 0.05, mna::ParamDist::Kind::kGaussian},
+                               {"cl", 1e-11, 0.1, mna::ParamDist::Kind::kUniform}};
+  request.param_sweep.samples = 256;
+  request.param_sweep.seed = 424242;
+
+  const auto parsed = request_from_json(to_json(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const ParamSweepRequest& round = parsed.value().param_sweep;
+  EXPECT_EQ(round.mode, ParamSweepRequest::Mode::kMonteCarlo);
+  ASSERT_EQ(round.dists.size(), 2u);
+  EXPECT_EQ(round.dists[0].name, "gm");
+  EXPECT_EQ(round.dists[0].kind, mna::ParamDist::Kind::kGaussian);
+  EXPECT_EQ(round.dists[1].kind, mna::ParamDist::Kind::kUniform);
+  EXPECT_DOUBLE_EQ(round.dists[1].rel_sigma, 0.1);
+  EXPECT_EQ(round.samples, 256);
+  EXPECT_EQ(round.seed, 424242u);
+}
+
+TEST(SerializeRequest, ParamSweepStrictness) {
+  // Unknown keys, bad modes, bad dists and bad seeds are all rejected.
+  auto parse = [](const char* text) {
+    const auto json = Json::parse(text);
+    EXPECT_TRUE(json.ok());
+    return request_from_json(json.value());
+  };
+  EXPECT_FALSE(parse(R"({"type":"param_sweep"})").ok());  // no spec/params
+  EXPECT_FALSE(parse(R"({"type":"param_sweep","spec":{"in":"a","out":"b"},
+    "mode":"bogus","params":[{"name":"r","from":1,"to":2,"count":2}]})")
+                   .ok());
+  EXPECT_FALSE(parse(R"({"type":"param_sweep","spec":{"in":"a","out":"b"},
+    "params":[{"name":"r","from":1,"to":2,"count":2,"zzz":1}]})")
+                   .ok());
+  EXPECT_FALSE(parse(R"({"type":"param_sweep","spec":{"in":"a","out":"b"},
+    "mode":"monte_carlo","params":[{"name":"r","nominal":1,"rel_sigma":0.1,
+    "dist":"exotic"}],"samples":4})")
+                   .ok());
+  EXPECT_FALSE(parse(R"({"type":"param_sweep","spec":{"in":"a","out":"b"},
+    "mode":"monte_carlo","params":[{"name":"r","nominal":1,"rel_sigma":0.1}],
+    "samples":4,"seed":-1})")
+                   .ok());
+  EXPECT_TRUE(parse(R"({"type":"param_sweep","spec":{"in":"a","out":"b"},
+    "params":[{"name":"r","from":1,"to":2,"count":2}]})")
+                  .ok());  // grid is the default mode
+  // Range/nominal fields are required — a forgotten "from" must not
+  // silently sweep from 0.
+  EXPECT_FALSE(parse(R"({"type":"param_sweep","spec":{"in":"a","out":"b"},
+    "params":[{"name":"r","to":2,"count":2}]})")
+                   .ok());
+  EXPECT_FALSE(parse(R"({"type":"param_sweep","spec":{"in":"a","out":"b"},
+    "params":[{"name":"r","from":1,"to":2}]})")
+                   .ok());
+  EXPECT_FALSE(parse(R"({"type":"param_sweep","spec":{"in":"a","out":"b"},
+    "mode":"monte_carlo","params":[{"name":"r","rel_sigma":0.1}],"samples":4})")
+                   .ok());
+}
+
+TEST(SerializeResponse, ParamSweepCarriesHexFloatPoints) {
+  ParamSweepResponse response;
+  response.result.names = {"r"};
+  response.result.frequencies_hz = {1.0, 10.0};
+  response.result.values = {1e3, 2e3};
+  response.result.response = {{0.5, -0.25}, {0.1, 0.0}, {0.4, -0.2}, {0.05, 0.0}};
+  response.result.ok = {1, 1};
+  response.result.fresh_factorizations = 1;
+
+  const Json payload = to_json(response);
+  EXPECT_EQ(payload.find("type")->as_string(), "param_sweep");
+  EXPECT_EQ(payload.find("fresh_factorizations")->as_number(), 1.0);
+  ASSERT_EQ(payload.find("samples")->size(), 2u);
+  const Json& sample = payload.find("samples")->items()[0];
+  EXPECT_DOUBLE_EQ(sample.find("values")->items()[0].as_number(), 1e3);
+  EXPECT_TRUE(sample.find("ok")->as_bool());
+  const Json& point = sample.find("response")->items()[0];
+  EXPECT_EQ(point.find("real")->as_string(), "0x1p-1");
+  EXPECT_EQ(point.find("imag")->as_string(), "-0x1p-2");
+  EXPECT_TRUE(point.find("magnitude_db")->is_number());
+}
+
 TEST(SerializeResponse, ErrorEnvelope) {
   const Json payload = error_response(
       "sweep", Status::error(StatusCode::kSingularSystem, "no pivot"));

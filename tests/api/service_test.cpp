@@ -262,5 +262,131 @@ TEST(ServiceRefgen, ProgressObserverSeesEveryIteration) {
   EXPECT_EQ(observed, 0);
 }
 
+// --- Parameter sweeps -------------------------------------------------------
+
+constexpr const char* kParamRcNetlist = R"(
+.title parameterized rc
+.param r=1k c=100n
+R1 in out {r}
+C1 out 0 {c}
+)";
+
+ParamSweepRequest rc_param_sweep() {
+  ParamSweepRequest request;
+  request.spec = rc_spec();
+  request.mode = ParamSweepRequest::Mode::kGrid;
+  request.axes = {{"r", 500.0, 2000.0, 4, false}};
+  request.f_start_hz = 10.0;
+  request.f_stop_hz = 1e5;
+  request.points_per_decade = 2;
+  return request;
+}
+
+TEST(ServiceParamSweep, GridSweepRunsAndCaches) {
+  const Service service;
+  const auto compiled = service.compile_netlist(kParamRcNetlist);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().to_string();
+  const CircuitHandle& handle = compiled.value();
+  EXPECT_TRUE(handle.has_netlist_template());
+  ASSERT_EQ(handle.parameter_names().size(), 2u);
+  EXPECT_EQ(handle.parameter_names()[0], "r");
+
+  const auto cold = service.param_sweep(handle, rc_param_sweep());
+  ASSERT_TRUE(cold.ok()) << cold.status().to_string();
+  EXPECT_FALSE(cold.value().from_cache);
+  EXPECT_EQ(cold.value().result.ok.size(), 4u);
+  EXPECT_EQ(cold.value().result.fresh_factorizations, 1u);
+  EXPECT_DOUBLE_EQ(cold.value().result.values[0], 500.0);
+
+  // Identical request: memoized. Different threads: still the same entry
+  // (threads are excluded from the fingerprint — results are bit-identical).
+  ParamSweepRequest warm_request = rc_param_sweep();
+  warm_request.threads = 8;
+  const auto warm = service.param_sweep(handle, warm_request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().from_cache);
+
+  // A different grid is a different study.
+  ParamSweepRequest other = rc_param_sweep();
+  other.axes[0].count = 3;
+  const auto miss = service.param_sweep(handle, other);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss.value().from_cache);
+}
+
+TEST(ServiceParamSweep, MonteCarloIsSeedDeterministic) {
+  const Service service;
+  const auto compiled = service.compile_netlist(kParamRcNetlist);
+  ASSERT_TRUE(compiled.ok());
+  ParamSweepRequest request;
+  request.spec = rc_spec();
+  request.mode = ParamSweepRequest::Mode::kMonteCarlo;
+  request.dists = {{"r", 1e3, 0.05, mna::ParamDist::Kind::kGaussian}};
+  request.samples = 16;
+  request.seed = 99;
+  request.f_start_hz = 100.0;
+  request.f_stop_hz = 1e4;
+  request.points_per_decade = 1;
+
+  const auto first = service.param_sweep(compiled.value(), request);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  EXPECT_TRUE(service.param_sweep(compiled.value(), request).value().from_cache);
+
+  // Same seed on a FRESH handle: bit-identical study.
+  const Service other_service;
+  const auto fresh = other_service.param_sweep(
+      other_service.compile_netlist(kParamRcNetlist).value(), request);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(first.value().result.values, fresh.value().result.values);
+  ASSERT_EQ(first.value().result.response.size(), fresh.value().result.response.size());
+  for (std::size_t i = 0; i < first.value().result.response.size(); ++i) {
+    EXPECT_EQ(first.value().result.response[i], fresh.value().result.response[i]);
+  }
+}
+
+TEST(ServiceParamSweep, ErrorTaxonomy) {
+  const Service service;
+  const auto compiled = service.compile_netlist(kParamRcNetlist);
+  ASSERT_TRUE(compiled.ok());
+  const CircuitHandle& handle = compiled.value();
+
+  // Programmatic handles have no template to re-elaborate.
+  const auto programmatic = service.compile(circuits::ua741());
+  ASSERT_TRUE(programmatic.ok());
+  EXPECT_FALSE(programmatic.value().has_netlist_template());
+  ParamSweepRequest request = rc_param_sweep();
+  request.spec = circuits::ua741_gain_spec();
+  const auto no_template = service.param_sweep(programmatic.value(), request);
+  EXPECT_EQ(no_template.status().code(), StatusCode::kInvalidArgument);
+
+  // Unknown parameter name.
+  request = rc_param_sweep();
+  request.axes[0].name = "nothere";
+  EXPECT_EQ(service.param_sweep(handle, request).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Mode/field mismatch.
+  request = rc_param_sweep();
+  request.samples = 8;
+  EXPECT_EQ(service.param_sweep(handle, request).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Bad spec -> kInvalidSpec.
+  request = rc_param_sweep();
+  request.spec = mna::TransferSpec::voltage_gain("in", "nosuch");
+  EXPECT_EQ(service.param_sweep(handle, request).status().code(), StatusCode::kInvalidSpec);
+
+  // Empty handle.
+  EXPECT_EQ(service.param_sweep(CircuitHandle(), rc_param_sweep()).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Pre-cancelled token -> kCancelled.
+  support::CancellationSource source;
+  source.cancel();
+  request = rc_param_sweep();
+  request.cancel = source.token();
+  EXPECT_EQ(service.param_sweep(handle, request).status().code(), StatusCode::kCancelled);
+}
+
 }  // namespace
 }  // namespace symref::api

@@ -24,6 +24,14 @@
 //                                          ports are given)
 //   --sweep=f_start:f_stop[:pts_per_dec]   AC sweep request
 //   --poles                                poles/zeros request
+//   --sweep-param=name:from:to:count[:log][,name:...]
+//                                          grid parameter sweep over the
+//                                          netlist's .param symbols
+//   --mc-param=name:nominal:rel_sigma[:uniform][,name:...]
+//                                          Monte-Carlo parameter sweep
+//   --mc-samples=N --seed=S                Monte-Carlo sample count / seed
+//   --probe=f_start:f_stop[:pts_per_dec]   per-sample probe frequency grid
+//                                          of a parameter sweep
 //   --requests=file.json                   JSON request session (see
 //                                          docs/api.md; replaces flag-built
 //                                          requests; '-' reads stdin)
@@ -57,6 +65,7 @@
 
 #include "api/serialize.h"
 #include "api/service.h"
+#include "numeric/units.h"
 #include "refgen/io.h"
 #include "support/cancellation.h"
 #include "support/cli.h"
@@ -150,11 +159,71 @@ bool parse_sweep_range(const std::string& text, symref::api::SweepRequest* sweep
   return true;
 }
 
+/// Split on `sep`, keeping empty fields.
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream stream(text);
+  while (std::getline(stream, part, sep)) parts.push_back(part);
+  if (!text.empty() && text.back() == sep) parts.push_back("");
+  return parts;
+}
+
+bool parse_value_token(const std::string& text, double* out) {
+  const auto value = symref::numeric::parse_engineering(text);
+  if (!value) return false;
+  *out = *value;
+  return true;
+}
+
+/// "r1:1k:10k:5[:log],c1:..." -> grid axes.
+bool parse_grid_axes(const std::string& text, std::vector<symref::mna::ParamAxis>* axes) {
+  for (const std::string& item : split(text, ',')) {
+    const std::vector<std::string> fields = split(item, ':');
+    if (fields.size() != 4 && fields.size() != 5) return false;
+    symref::mna::ParamAxis axis;
+    axis.name = fields[0];
+    if (axis.name.empty()) return false;
+    if (!parse_value_token(fields[1], &axis.from)) return false;
+    if (!parse_value_token(fields[2], &axis.to)) return false;
+    axis.count = std::atoi(fields[3].c_str());
+    if (axis.count < 1) return false;
+    if (fields.size() == 5) {
+      if (fields[4] != "log" && fields[4] != "lin") return false;
+      axis.log_scale = fields[4] == "log";
+    }
+    axes->push_back(std::move(axis));
+  }
+  return !axes->empty();
+}
+
+/// "gm:4m:0.05[:uniform],cc:30p:0.1" -> Monte-Carlo dimensions.
+bool parse_mc_dists(const std::string& text, std::vector<symref::mna::ParamDist>* dists) {
+  for (const std::string& item : split(text, ',')) {
+    const std::vector<std::string> fields = split(item, ':');
+    if (fields.size() != 3 && fields.size() != 4) return false;
+    symref::mna::ParamDist dist;
+    dist.name = fields[0];
+    if (dist.name.empty()) return false;
+    if (!parse_value_token(fields[1], &dist.nominal)) return false;
+    if (!parse_value_token(fields[2], &dist.rel_sigma)) return false;
+    if (fields.size() == 4) {
+      if (fields[3] != "uniform" && fields[3] != "gaussian") return false;
+      if (fields[3] == "uniform") dist.kind = symref::mna::ParamDist::Kind::kUniform;
+    }
+    dists->push_back(std::move(dist));
+  }
+  return !dists->empty();
+}
+
 void print_usage() {
   std::fprintf(
       stderr,
       "usage: refgen <netlist-file> [--in=<node> --out=<node>] [requests] [options]\n"
       "  requests: [--refgen] [--sweep=f0:f1[:ppd]] [--poles] [--requests=file.json]\n"
+      "  param sweeps: [--sweep-param=name:from:to:count[:log],...]\n"
+      "            [--mc-param=name:nominal:rel_sigma[:uniform],...]\n"
+      "            [--mc-samples=N] [--seed=S] [--probe=f0:f1[:ppd]]\n"
       "  transfer: [--in-neg=<node>] [--out-neg=<node>] [--transimpedance]\n"
       "  engine:   [--sigma=N] [--max-iterations=N] [--threads=N] [--timeout=SECONDS]\n"
       "  remote:   [--connect=[host:]port]  (drive a refgend daemon)\n"
@@ -194,6 +263,35 @@ void print_poles_zeros_text(const symref::api::PolesZerosResponse& response) {
   for (const auto& z : response.zeros) {
     std::printf("  %13.5g %+13.5g j\n", z.real(), z.imag());
   }
+}
+
+void print_param_sweep_text(const symref::api::ParamSweepResponse& response) {
+  const auto& result = response.result;
+  const std::size_t width = result.names.size();
+  const std::size_t points = result.frequencies_hz.size();
+  const std::size_t samples = width == 0 ? 0 : result.values.size() / width;
+  std::fprintf(stderr,
+               "param sweep: %zu samples x %zu points, %llu fresh factorization%s, "
+               "%.1f ms%s\n",
+               samples, points,
+               static_cast<unsigned long long>(result.fresh_factorizations),
+               result.fresh_factorizations == 1 ? "" : "s", result.seconds * 1e3,
+               response.from_cache ? " (cached)" : "");
+  std::printf("\nsample  ");
+  for (const std::string& name : result.names) std::printf("%12s", name.c_str());
+  std::printf("  |H(f0)|[dB]  |H(f1)|[dB]\n");
+  const std::size_t shown = samples < 16 ? samples : 16;
+  for (std::size_t i = 0; i < shown; ++i) {
+    std::printf("%6zu  ", i);
+    for (std::size_t j = 0; j < width; ++j) {
+      std::printf("%12.4g", result.values[i * width + j]);
+    }
+    const std::complex<double> first = result.response[i * points];
+    const std::complex<double> last = result.response[i * points + points - 1];
+    std::printf("  %11.3f  %11.3f%s\n", symref::mna::magnitude_db(first),
+                symref::mna::magnitude_db(last), result.ok[i] ? "" : "  (failed)");
+  }
+  if (shown < samples) std::printf("   ... %zu more samples (use --json)\n", samples - shown);
 }
 
 void print_batch_text(const symref::api::BatchResponse& response) {
@@ -386,7 +484,8 @@ int main(int argc, char** argv) {
   const symref::support::CliArgs args(
       argc, argv,
       {"in", "out", "in-neg", "out-neg", "sigma", "max-iterations", "threads", "sweep",
-       "requests", "json", "name", "timeout", "connect"});
+       "sweep-param", "mc-param", "mc-samples", "seed", "probe", "requests", "json", "name",
+       "timeout", "connect"});
   if (args.positional().empty()) {
     print_usage();
     return 2;
@@ -442,7 +541,12 @@ int main(int argc, char** argv) {
 
     const bool want_sweep = args.has("sweep");
     const bool want_poles = args.has("poles");
-    if (args.has("refgen") || (!want_sweep && !want_poles)) {
+    const bool want_param_sweep = args.has("sweep-param") || args.has("mc-param");
+    if (args.has("sweep-param") && args.has("mc-param")) {
+      std::fprintf(stderr, "error: --sweep-param and --mc-param are mutually exclusive\n");
+      return 2;
+    }
+    if (args.has("refgen") || (!want_sweep && !want_poles && !want_param_sweep)) {
       AnyRequest request;
       request.type = AnyRequest::Type::kRefgen;
       request.refgen = {spec, options};
@@ -464,6 +568,50 @@ int main(int argc, char** argv) {
       AnyRequest request;
       request.type = AnyRequest::Type::kPolesZeros;
       request.poles_zeros = {spec, options};
+      requests.push_back(std::move(request));
+    }
+    if (want_param_sweep) {
+      AnyRequest request;
+      request.type = AnyRequest::Type::kParamSweep;
+      symref::api::ParamSweepRequest& sweep = request.param_sweep;
+      sweep.spec = spec;
+      sweep.threads = options.threads;
+      if (args.has("sweep-param")) {
+        sweep.mode = symref::api::ParamSweepRequest::Mode::kGrid;
+        if (!parse_grid_axes(args.get("sweep-param"), &sweep.axes)) {
+          std::fprintf(stderr,
+                       "error: bad --sweep-param '%s' (want name:from:to:count[:log],...)\n",
+                       args.get("sweep-param").c_str());
+          return 2;
+        }
+      } else {
+        sweep.mode = symref::api::ParamSweepRequest::Mode::kMonteCarlo;
+        if (!parse_mc_dists(args.get("mc-param"), &sweep.dists)) {
+          std::fprintf(
+              stderr,
+              "error: bad --mc-param '%s' (want name:nominal:rel_sigma[:uniform],...)\n",
+              args.get("mc-param").c_str());
+          return 2;
+        }
+        sweep.samples = args.get_int("mc-samples", 64);
+        const double seed = args.get_double("seed", 0.0);
+        if (seed < 0.0 || seed != static_cast<double>(static_cast<std::uint64_t>(seed))) {
+          std::fprintf(stderr, "error: bad --seed '%s'\n", args.get("seed").c_str());
+          return 2;
+        }
+        sweep.seed = static_cast<std::uint64_t>(seed);
+      }
+      if (args.has("probe")) {
+        symref::api::SweepRequest probe;
+        if (!parse_sweep_range(args.get("probe"), &probe)) {
+          std::fprintf(stderr, "error: bad --probe range '%s' (want f_start:f_stop[:ppd])\n",
+                       args.get("probe").c_str());
+          return 2;
+        }
+        sweep.f_start_hz = probe.f_start_hz;
+        sweep.f_stop_hz = probe.f_stop_hz;
+        sweep.points_per_decade = probe.points_per_decade;
+      }
       requests.push_back(std::move(request));
     }
   }
@@ -509,6 +657,7 @@ int main(int argc, char** argv) {
         case AnyRequest::Type::kBatch:
           for (auto& item : request.batch.items) item.options.cancel = token;
           break;
+        case AnyRequest::Type::kParamSweep: request.param_sweep.cancel = token; break;
       }
     }
     watchdog = std::make_unique<Watchdog>(seconds, timeout_source);
@@ -584,6 +733,17 @@ int main(int argc, char** argv) {
           for (const auto& item : response.value().items) failures.record(item.status);
         } else {
           payload = symref::api::error_response("batch", status);
+        }
+        break;
+      }
+      case AnyRequest::Type::kParamSweep: {
+        const auto response = service.param_sweep(handle, request.param_sweep);
+        status = response.status();
+        if (response.ok()) {
+          payload = symref::api::to_json(response.value());
+          if (!json_mode) print_param_sweep_text(response.value());
+        } else {
+          payload = symref::api::error_response("param_sweep", status);
         }
         break;
       }

@@ -12,6 +12,9 @@ Three scenarios, all against the bundled netlist:
      job is cancelled while queued and must come back as "cancelled",
      while the first job still completes.
   3. Error replies: unknown circuit ids surface as not_found.
+  4. A Monte-Carlo param_sweep job on the daemon at 8 worker threads whose
+     sample payloads are byte-identical to a direct 1-thread refgen CLI run
+     (the determinism contract of the sweep engine, over the wire).
 """
 import json
 import subprocess
@@ -164,6 +167,45 @@ def main():
     errors = [m for m in messages if m.get("id") == 1]
     assert errors and errors[0]["error"]["code"] == "not_found", errors
     print("error path OK: unknown circuit_id -> not_found")
+
+    # --- 4. param_sweep: daemon (8 threads) vs direct CLI (1 thread) --------
+    # Hex-float sample payloads must be byte-identical: one shared symbolic
+    # plan, counter-based Monte-Carlo draws, order-independent replays.
+    direct = subprocess.run(
+        [refgen, netlist_path, "--in=inp", "--in-neg=inn", "--out=vo",
+         "--mc-param=ccomp:30p:0.1", "--mc-samples=32", "--seed=5",
+         "--probe=1:1e6:2", "--threads=1", "--json=-"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert direct.returncode == 0, direct.stderr
+    direct_sweep = json.loads(direct.stdout)["responses"][0]
+    assert direct_sweep["status"]["code"] == "ok", direct_sweep
+    assert direct_sweep["fresh_factorizations"] == 1, direct_sweep["fresh_factorizations"]
+
+    sweep_request = {
+        "type": "param_sweep", "spec": SPEC, "mode": "monte_carlo",
+        "params": [{"name": "ccomp", "nominal": 30e-12, "rel_sigma": 0.1}],
+        "samples": 32, "seed": 5,
+        "f_start_hz": 1.0, "f_stop_hz": 1e6, "points_per_decade": 2,
+        "threads": 8,
+    }
+    sweep_script = [
+        {"id": 1, "method": "compile", "params": {"netlist": netlist}},
+        {"id": 2, "method": "submit",
+         "params": {"circuit_id": "c1", "request": sweep_request}},
+        {"id": 3, "method": "wait", "params": {"job_id": "j1"}},
+        {"id": 4, "method": "shutdown"},
+    ]
+    messages = run_session(daemon, sweep_script)
+    result = reply(messages, 3)["result"]
+    assert result["status"]["code"] == "ok", result
+    assert result["fresh_factorizations"] == 1, result["fresh_factorizations"]
+    assert len(result["samples"]) == 32
+    got = json.dumps(result["samples"], sort_keys=True)
+    want = json.dumps(direct_sweep["samples"], sort_keys=True)
+    assert got == want, "daemon param_sweep differs from the direct 1-thread run"
+    print("param_sweep OK: 32 MC samples on the daemon byte-identical to the "
+          "direct run, one shared factorization plan")
 
 
 if __name__ == "__main__":
