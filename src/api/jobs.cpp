@@ -1,14 +1,45 @@
 #include "api/jobs.h"
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 #include <utility>
 
 #include "support/cancellation.h"
+#include "support/fault_injection.h"
 #include "support/timer.h"
 
 namespace symref::api {
+
+namespace {
+
+using MonotonicClock = std::chrono::steady_clock;
+
+/// splitmix64 (same construction as support::FaultInjector) — deterministic
+/// retry jitter.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Backoff before attempt `attempts + 1`, given `attempts` completed ones.
+double backoff_delay_ms(const RetryPolicy& policy, int attempts, JobId id) noexcept {
+  double base = policy.initial_backoff_ms;
+  for (int k = 1; k < attempts; ++k) base *= policy.backoff_multiplier;
+  base = std::min(base, policy.max_backoff_ms);
+  if (base < 0.0) base = 0.0;
+  const std::uint64_t draw =
+      mix64(mix64(policy.jitter_seed) ^ mix64(id) ^ static_cast<std::uint64_t>(attempts));
+  const double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;  // [0, 1)
+  return base * (0.5 + unit);                                       // [0.5x, 1.5x)
+}
+
+}  // namespace
 
 const char* job_state_name(JobState state) noexcept {
   switch (state) {
@@ -23,6 +54,9 @@ Json to_json(const JobOutcome& outcome) {
   if (!outcome.status.ok()) {
     return error_response(request_type_name(outcome.type), outcome.status);
   }
+  // A store hit replays the persisted bytes verbatim (byte-identical across
+  // daemon restarts — the whole point of the reference store).
+  if (!outcome.raw.is_null()) return outcome.raw;
   switch (outcome.type) {
     case AnyRequest::Type::kRefgen: return to_json(outcome.refgen);
     case AnyRequest::Type::kSweep: return to_json(outcome.sweep);
@@ -44,6 +78,9 @@ struct JobManager::Job {
   JobDoneFn on_done;
   support::CancellationSource cancel_source;
   support::Timer timer;  // started at submit
+  RetryPolicy retry;     // immutable after submit
+  double deadline_ms = 0.0;
+  MonotonicClock::time_point deadline_at;  // meaningful when deadline_ms > 0
 
   std::mutex mutex;
   std::condition_variable cv;
@@ -53,15 +90,79 @@ struct JobManager::Job {
   /// before any wait() return for this job.
   bool callbacks_done = false;
   bool cancel_requested = false;
+  /// Set by the monitor when deadline_at passed before completion; the
+  /// engine's kCancelled (from the tripped token) is rewritten to
+  /// kDeadlineExceeded, and no retry is attempted.
+  bool deadline_hit = false;
+  int attempts = 0;                // executions started
   std::atomic<int> iterations{0};  // bumped from the engine observer
   double total_seconds = 0.0;      // frozen at finish
   JobOutcome outcome;              // meaningful once state == kDone
 };
 
-JobManager::JobManager(const Service& service, int workers, std::size_t max_retained_jobs)
+/// Timed-event thread: a single multimap of (fire time -> closure) ordered
+/// by time, drained by one background thread. Closures run off the monitor
+/// thread with no locks held, so they may take job mutexes and post to the
+/// work queue freely.
+class JobManager::Monitor {
+ public:
+  Monitor() : thread_([this] { loop(); }) {}
+  ~Monitor() { shutdown(); }
+
+  void schedule(MonotonicClock::time_point when, std::function<void()> event) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) return;
+      events_.emplace(when, std::move(event));
+    }
+    cv_.notify_all();
+  }
+
+  /// Discards pending events and joins. Idempotent.
+  void shutdown() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+      events_.clear();
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (stop_) return;
+      if (events_.empty()) {
+        cv_.wait(lock);
+        continue;
+      }
+      const MonotonicClock::time_point next = events_.begin()->first;
+      if (MonotonicClock::now() < next) {
+        cv_.wait_until(lock, next);
+        continue;  // re-check stop / earlier insertions
+      }
+      std::function<void()> event = std::move(events_.begin()->second);
+      events_.erase(events_.begin());
+      lock.unlock();
+      event();
+      lock.lock();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::multimap<MonotonicClock::time_point, std::function<void()>> events_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+JobManager::JobManager(const Service& service, int workers, std::size_t max_retained_jobs,
+                       std::size_t max_queue_depth)
     : service_(service),
       max_retained_jobs_(max_retained_jobs == 0 ? 1 : max_retained_jobs),
-      queue_(workers) {}
+      queue_(workers, max_queue_depth) {}
 
 JobManager::~JobManager() {
   std::vector<std::shared_ptr<Job>> live;
@@ -70,38 +171,116 @@ JobManager::~JobManager() {
     for (const auto& [id, job] : jobs_) live.push_back(job);
   }
   // Queued jobs complete as kCancelled here; running jobs get their token
-  // tripped and stop at the next checkpoint. The WorkQueue member is
-  // destroyed first (declared last), joining the workers.
+  // tripped and stop at the next checkpoint. Backoff-parked jobs are queued,
+  // so they complete here too — their pending monitor events then see a done
+  // job and drop. The monitor is joined before member destruction begins so
+  // no event can touch the queue or job table mid-teardown; the WorkQueue
+  // member is destroyed first (declared last), joining the workers.
   for (const std::shared_ptr<Job>& job : live) cancel(job->id);
+  if (monitor_) monitor_->shutdown();
+}
+
+JobManager::Monitor& JobManager::monitor() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!monitor_) monitor_ = std::make_unique<Monitor>();
+  return *monitor_;
+}
+
+void JobManager::register_job(const std::shared_ptr<Job>& job) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  job->id = ++next_;
+  jobs_.emplace(job->id, job);
+  // Forget the oldest finished jobs beyond the retention bound. Live jobs
+  // are never dropped, so a slow queue cannot lose work — only history.
+  if (jobs_.size() > max_retained_jobs_) {
+    for (auto it = jobs_.begin(); it != jobs_.end() && jobs_.size() > max_retained_jobs_;) {
+      bool done = false;
+      {
+        const std::lock_guard<std::mutex> job_lock(it->second->mutex);
+        done = it->second->state == JobState::kDone;
+      }
+      it = done ? jobs_.erase(it) : std::next(it);
+    }
+  }
 }
 
 JobId JobManager::submit(const CircuitHandle& handle, AnyRequest request,
                          JobProgressFn on_progress, JobDoneFn on_done) {
+  SubmitOptions options;
+  options.on_progress = std::move(on_progress);
+  options.on_done = std::move(on_done);
+  return submit(handle, std::move(request), std::move(options));
+}
+
+JobId JobManager::submit(const CircuitHandle& handle, AnyRequest request,
+                         SubmitOptions options) {
   auto job = std::make_shared<Job>();
   job->handle = handle;
   job->request = std::move(request);
-  job->on_progress = std::move(on_progress);
-  job->on_done = std::move(on_done);
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    job->id = ++next_;
-    jobs_.emplace(job->id, job);
-    // Forget the oldest finished jobs beyond the retention bound. Live jobs
-    // are never dropped, so a slow queue cannot lose work — only history.
-    if (jobs_.size() > max_retained_jobs_) {
-      for (auto it = jobs_.begin();
-           it != jobs_.end() && jobs_.size() > max_retained_jobs_;) {
-        bool done = false;
-        {
-          const std::lock_guard<std::mutex> job_lock(it->second->mutex);
-          done = it->second->state == JobState::kDone;
-        }
-        it = done ? jobs_.erase(it) : std::next(it);
-      }
-    }
+  job->on_progress = std::move(options.on_progress);
+  job->on_done = std::move(options.on_done);
+  job->retry = options.retry;
+  if (job->retry.max_attempts < 1) job->retry.max_attempts = 1;
+  register_job(job);
+  if (options.deadline_ms > 0.0) {
+    job->deadline_ms = options.deadline_ms;
+    job->deadline_at = MonotonicClock::now() +
+                       std::chrono::duration_cast<MonotonicClock::duration>(
+                           std::chrono::duration<double, std::milli>(options.deadline_ms));
+    monitor().schedule(job->deadline_at, [this, job] { expire_deadline(job); });
   }
-  queue_.post([this, job] { run(job); });
+  const auto posted = queue_.try_post([this, job] { run(job); });
+  if (posted == support::WorkQueue::PostResult::kFull) {
+    JobOutcome outcome;
+    outcome.type = job->request.type;
+    outcome.status = Status::error(
+        StatusCode::kOverloaded, "work queue full (" + std::to_string(queue_.pending()) + "/" +
+                                     std::to_string(queue_.max_pending()) +
+                                     " pending); retry after backoff");
+    finish(job, std::move(outcome));
+  } else if (posted == support::WorkQueue::PostResult::kStopped) {
+    JobOutcome outcome;
+    outcome.type = job->request.type;
+    outcome.status = Status::error(StatusCode::kCancelled, "job manager is shutting down");
+    finish(job, std::move(outcome));
+  }
   return job->id;
+}
+
+JobId JobManager::submit_stored(const CircuitHandle& handle, AnyRequest request, Json stored,
+                                JobDoneFn on_done) {
+  auto job = std::make_shared<Job>();
+  job->handle = handle;
+  job->request = std::move(request);
+  job->on_done = std::move(on_done);
+  register_job(job);
+  JobOutcome outcome;
+  outcome.type = job->request.type;
+  outcome.raw = std::move(stored);
+  job->attempts = 0;  // never executed — served from the persistent store
+  finish(job, std::move(outcome));
+  return job->id;
+}
+
+void JobManager::expire_deadline(const std::shared_ptr<Job>& job) {
+  bool was_queued = false;
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    if (job->state == JobState::kDone) return;
+    job->deadline_hit = true;
+    // Trip the token: a running engine stops at its next cooperative
+    // checkpoint and reports kCancelled, which run() rewrites below.
+    job->cancel_source.cancel();
+    was_queued = job->state == JobState::kQueued;
+  }
+  if (was_queued) {
+    JobOutcome outcome;
+    outcome.type = job->request.type;
+    outcome.status = Status::error(
+        StatusCode::kDeadlineExceeded,
+        "deadline of " + std::to_string(job->deadline_ms) + " ms expired before the job ran");
+    finish(job, std::move(outcome));
+  }
 }
 
 std::shared_ptr<JobManager::Job> JobManager::find(JobId id) const {
@@ -129,11 +308,12 @@ void JobManager::finish(const std::shared_ptr<Job>& job, JobOutcome outcome) {
   job->cv.notify_all();
 }
 
-void JobManager::run(const std::shared_ptr<Job>& job) const {
+void JobManager::run(const std::shared_ptr<Job>& job) {
   {
     const std::lock_guard<std::mutex> lock(job->mutex);
     if (job->state != JobState::kQueued) return;  // cancelled while queued
     job->state = JobState::kRunning;
+    ++job->attempts;
   }
   const support::CancellationToken token = job->cancel_source.token();
   // Wire the job's cancellation token and progress stream into the request's
@@ -164,6 +344,15 @@ void JobManager::run(const std::shared_ptr<Job>& job) const {
   AnyRequest& request = job->request;
   JobOutcome outcome;
   outcome.type = request.type;
+  // Fault site "work_queue": the attempt fails with a transient status
+  // before touching the engine — the cheapest way to drive the RetryPolicy
+  // machinery below through real backoff/re-post cycles.
+  if (support::fault("work_queue")) {
+    outcome.status =
+        Status::error(StatusCode::kUnavailable, "injected fault at site work_queue");
+    maybe_retry_or_finish(job, std::move(outcome));
+    return;
+  }
   switch (request.type) {
     case AnyRequest::Type::kRefgen: {
       wire(request.refgen.options);
@@ -201,7 +390,56 @@ void JobManager::run(const std::shared_ptr<Job>& job) const {
       break;
     }
   }
-  finish(job, std::move(outcome));
+  maybe_retry_or_finish(job, std::move(outcome));
+}
+
+void JobManager::maybe_retry_or_finish(const std::shared_ptr<Job>& job, JobOutcome outcome) {
+  const MonotonicClock::time_point now = MonotonicClock::now();
+  bool retry = false;
+  double delay_ms = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    // Deadline rewrite: the engine saw only a tripped token, so it reports
+    // kCancelled; the caller asked for a deadline, so it gets the code that
+    // says which one happened.
+    if (job->deadline_hit && outcome.status.code() == StatusCode::kCancelled) {
+      outcome.status = Status::error(
+          StatusCode::kDeadlineExceeded,
+          "deadline of " + std::to_string(job->deadline_ms) + " ms exceeded");
+    }
+    if (job->state == JobState::kRunning && status_is_transient(outcome.status.code()) &&
+        !job->cancel_requested && !job->deadline_hit &&
+        job->attempts < job->retry.max_attempts) {
+      delay_ms = backoff_delay_ms(job->retry, job->attempts, job->id);
+      const auto fire_at = now + std::chrono::duration_cast<MonotonicClock::duration>(
+                                     std::chrono::duration<double, std::milli>(delay_ms));
+      // Never schedule a retry that cannot complete before the deadline.
+      if (job->deadline_ms <= 0.0 || fire_at < job->deadline_at) {
+        job->state = JobState::kQueued;  // cancel()/deadline can still claim it
+        retry = true;
+      }
+    }
+  }
+  if (!retry) {
+    finish(job, std::move(outcome));
+    return;
+  }
+  const auto fire_at = now + std::chrono::duration_cast<MonotonicClock::duration>(
+                                 std::chrono::duration<double, std::milli>(delay_ms));
+  monitor().schedule(fire_at, [this, job] {
+    {
+      const std::lock_guard<std::mutex> lock(job->mutex);
+      if (job->state != JobState::kQueued) return;  // finished while parked
+    }
+    if (queue_.try_post([this, job] { run(job); }) !=
+        support::WorkQueue::PostResult::kAccepted) {
+      JobOutcome dropped;
+      dropped.type = job->request.type;
+      dropped.status =
+          Status::error(StatusCode::kCancelled, "worker queue unavailable during retry");
+      finish(job, std::move(dropped));
+    }
+  });
 }
 
 JobInfo JobManager::snapshot(const Job& job) {
@@ -214,6 +452,7 @@ JobInfo JobManager::snapshot(const Job& job) {
   info.iterations = job.iterations.load(std::memory_order_relaxed);
   info.cancel_requested = job.cancel_requested;
   info.seconds = job.state == JobState::kDone ? job.total_seconds : job.timer.seconds();
+  info.attempts = job.attempts;
   return info;
 }
 

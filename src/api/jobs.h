@@ -61,7 +61,8 @@ struct JobProgress {
 
 /// Terminal result of a job: the job-level status plus the response of the
 /// request's type (only the matching member is meaningful, and only when
-/// status.ok()). A cancelled job carries kCancelled here.
+/// status.ok()). A cancelled job carries kCancelled here; a job whose
+/// deadline expired carries kDeadlineExceeded.
 struct JobOutcome {
   Status status;
   AnyRequest::Type type = AnyRequest::Type::kRefgen;
@@ -70,6 +71,10 @@ struct JobOutcome {
   PolesZerosResponse poles_zeros;
   BatchResponse batch;
   ParamSweepResponse param_sweep;
+  /// Pre-serialized wire payload (submit_stored: a reference-store hit).
+  /// When non-null and status is ok, to_json returns it verbatim — the
+  /// stored bytes ARE the contract (byte-identical replay across restarts).
+  Json raw;
 };
 
 /// Wire form of an outcome: the typed response envelope on success, the
@@ -88,18 +93,49 @@ struct JobInfo {
   bool cancel_requested = false;
   /// Since submit while live; total lifetime once done.
   double seconds = 0.0;
+  /// Execution attempts started (> 1 after transient-failure retries).
+  int attempts = 0;
 };
 
 using JobProgressFn = std::function<void(const JobProgress&)>;
 using JobDoneFn = std::function<void(JobId, const JobOutcome&)>;
 
+/// Exponential backoff with deterministic jitter for transient-classified
+/// failures (status_is_transient: kUnavailable / kOverloaded / kIoError).
+/// max_attempts counts executions, so 1 means "no retry". Delay before
+/// attempt k+1 is min(initial * multiplier^(k-1), max) * U where U is a
+/// jitter factor in [0.5, 1.5) drawn from a splitmix64 stream seeded by
+/// (jitter_seed, job id, k) — reproducible, but decorrelated across jobs.
+struct RetryPolicy {
+  int max_attempts = 1;
+  double initial_backoff_ms = 25.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  std::uint64_t jitter_seed = 0;
+};
+
+/// Per-submit knobs beyond the request payload itself.
+struct SubmitOptions {
+  JobProgressFn on_progress;
+  JobDoneFn on_done;
+  /// Wall-clock budget from submit, in milliseconds (0 = none). Enforced
+  /// through the job's CancellationToken at the engine's cooperative
+  /// checkpoints; an expired job completes with kDeadlineExceeded. A job
+  /// still queued at expiry completes immediately without running.
+  double deadline_ms = 0.0;
+  RetryPolicy retry;
+};
+
 class JobManager {
  public:
   /// `workers` <= 0 picks the hardware thread count. `max_retained_jobs`
   /// bounds the finished-job history: once exceeded, the oldest done jobs
-  /// are forgotten (their ids then poll as kNotFound).
+  /// are forgotten (their ids then poll as kNotFound). `max_queue_depth`
+  /// bounds tasks waiting for a worker (0 = unbounded): a submit that
+  /// finds the queue full completes immediately with kOverloaded — the
+  /// shed-load half of the backpressure contract.
   explicit JobManager(const Service& service, int workers = 0,
-                      std::size_t max_retained_jobs = 4096);
+                      std::size_t max_retained_jobs = 4096, std::size_t max_queue_depth = 0);
   /// Cancels every live job, waits for running ones to stop at their next
   /// checkpoint, and joins the workers.
   ~JobManager();
@@ -112,6 +148,16 @@ class JobManager {
   /// kInvalidArgument (uniform error reporting for remote callers).
   JobId submit(const CircuitHandle& handle, AnyRequest request,
                JobProgressFn on_progress = {}, JobDoneFn on_done = {});
+
+  /// submit() with deadline and retry policy.
+  JobId submit(const CircuitHandle& handle, AnyRequest request, SubmitOptions options);
+
+  /// Register an already-materialized result (a reference-store hit) as an
+  /// immediately-done job: same id space, same on_done/wait/poll lifecycle
+  /// as a computed job, but `stored` is returned verbatim as the outcome's
+  /// wire payload — no worker involved.
+  JobId submit_stored(const CircuitHandle& handle, AnyRequest request, Json stored,
+                      JobDoneFn on_done = {});
 
   /// Snapshot; kNotFound for unknown/forgotten ids.
   [[nodiscard]] Result<JobInfo> poll(JobId id) const;
@@ -134,9 +180,20 @@ class JobManager {
 
  private:
   struct Job;
+  /// One background thread multiplexing every timed event of the manager —
+  /// deadline expirations and retry re-posts — so neither ties up a worker
+  /// lane or spawns per-job threads. Created lazily on first use.
+  class Monitor;
 
   [[nodiscard]] std::shared_ptr<Job> find(JobId id) const;
-  void run(const std::shared_ptr<Job>& job) const;
+  void register_job(const std::shared_ptr<Job>& job);
+  void run(const std::shared_ptr<Job>& job);
+  /// Tail of run(): rewrite deadline cancellations, decide whether the
+  /// outcome is a retryable transient failure, and either park the job for
+  /// a backoff re-post or finish it.
+  void maybe_retry_or_finish(const std::shared_ptr<Job>& job, JobOutcome outcome);
+  void expire_deadline(const std::shared_ptr<Job>& job);
+  Monitor& monitor();
   static void finish(const std::shared_ptr<Job>& job, JobOutcome outcome);
   static JobInfo snapshot(const Job& job);
 
@@ -146,6 +203,7 @@ class JobManager {
   mutable std::mutex mutex_;
   JobId next_ = 0;
   std::map<JobId, std::shared_ptr<Job>> jobs_;  // key order == submit order
+  std::unique_ptr<Monitor> monitor_;  // shut down explicitly in ~JobManager
 
   // Declared last: destroyed first, so the worker join in ~WorkQueue happens
   // while the job table is still alive.

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "support/fault_injection.h"
+
 namespace symref::api {
 
 namespace {
@@ -410,6 +412,11 @@ std::string Json::dump(int indent) const {
 }
 
 Result<Json> Json::parse(std::string_view text) {
+  // Fault site "json_parse": malformed-input handling is exercised by
+  // chaos runs without needing actually-malformed bytes on the wire.
+  if (support::fault("json_parse")) {
+    return Status::error(StatusCode::kParseError, "injected fault at site json_parse");
+  }
   return JsonParser(text).run();
 }
 

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <istream>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <utility>
 
@@ -25,6 +26,36 @@ bool read_flag(const Json& params, const char* key, bool fallback) {
   return value != nullptr && value->is_bool() ? value->as_bool() : fallback;
 }
 
+double read_number(const Json& params, const char* key, double fallback) {
+  const Json* value = params.find(key);
+  return value != nullptr && value->is_number() ? value->as_number() : fallback;
+}
+
+/// Deep copy with every "threads" member removed: results are bit-identical
+/// at any thread count, so the reference-store key must not depend on it.
+Json strip_threads(const Json& value) {
+  if (value.is_object()) {
+    Json out = Json::object();
+    for (const auto& [key, member] : value.members()) {
+      if (key == "threads") continue;
+      out.set(key, strip_threads(member));
+    }
+    return out;
+  }
+  if (value.is_array()) {
+    Json out = Json::array();
+    for (const Json& item : value.items()) out.push_back(strip_threads(item));
+    return out;
+  }
+  return value;
+}
+
+/// Reference-store key of one (compiled netlist, request) pair.
+std::string store_key(const std::string& content_key, const Json& request_json) {
+  return content_key + "-" +
+         support::hex64(support::fnv1a64(strip_threads(request_json).dump()));
+}
+
 Json circuit_info(const std::string& id, const CircuitHandle& handle) {
   Json out = Json::object();
   out.set("circuit_id", id);
@@ -45,6 +76,7 @@ Json job_info_json(const JobInfo& info) {
   out.set("iterations", info.iterations);
   out.set("cancel_requested", info.cancel_requested);
   out.set("seconds", info.seconds);
+  out.set("attempts", info.attempts);
   return out;
 }
 
@@ -70,7 +102,13 @@ Result<JobId> parse_job_id(const std::string& token) {
 }
 
 ServerCore::ServerCore(ServerOptions options)
-    : service_(std::move(options.service)), jobs_(service_, options.workers) {}
+    : options_(std::move(options)),
+      service_(options_.service),
+      store_(options_.store_dir.empty()
+                 ? nullptr
+                 : std::make_unique<support::BlobStore>(options_.store_dir)),
+      jobs_(service_, options_.workers, /*max_retained_jobs=*/4096,
+            options_.max_queue_depth) {}
 
 void ServerCore::request_shutdown() {
   shutdown_.store(true, std::memory_order_relaxed);
@@ -169,7 +207,11 @@ Json Session::dispatch(const Json& request) {
       Result<CircuitHandle> compiled = core_.service().compile_netlist(netlist, name);
       if (!compiled.ok()) return compiled.status();
       CircuitHandle handle = compiled.take();
-      return circuit_info(core_.registry().add(handle), handle);
+      // The content key survives restarts (it hashes the netlist text, not
+      // the ephemeral circuit id), which is what lets a fresh daemon serve
+      // stored responses for circuits compiled by a previous process.
+      return circuit_info(
+          core_.registry().add(handle, support::hex64(support::fnv1a64(netlist))), handle);
     }
 
     if (method == "submit") {
@@ -180,10 +222,12 @@ Json Session::dispatch(const Json& request) {
         return Status::error(StatusCode::kInvalidArgument,
                              "params: missing object \"request\"");
       }
-      Result<CircuitHandle> handle = core_.registry().get(circuit_id);
-      if (!handle.ok()) return handle.status();
+      Result<CircuitHandle> handle_result = core_.registry().get(circuit_id);
+      if (!handle_result.ok()) return handle_result.status();
       Result<AnyRequest> parsed = request_from_json(*request_json);
       if (!parsed.ok()) return parsed.status();
+      CircuitHandle handle = handle_result.take();
+      AnyRequest any_request = parsed.take();
 
       const std::shared_ptr<Writer> writer = writer_;
       JobProgressFn on_progress;
@@ -203,16 +247,60 @@ Json Session::dispatch(const Json& request) {
           writer->write(event);
         };
       }
-      JobDoneFn on_done = [writer](JobId job, const JobOutcome& outcome) {
+
+      // Reference store: key on (netlist content, request-minus-threads).
+      support::BlobStore* store = core_.store();
+      std::string key;
+      if (store != nullptr && store->ok()) {
+        const std::string content = core_.registry().content_key(circuit_id);
+        if (!content.empty()) key = store_key(content, *request_json);
+      }
+
+      JobDoneFn on_done = [writer, store, key](JobId job, const JobOutcome& outcome) {
         Json event = Json::object();
         event.set("event", "done");
         event.set("job_id", job_id_token(job));
         event.set("result", to_json(outcome));
         writer->write(event);
+        // Persist after the client saw its event. Only clean computed
+        // results are stored: not errors, not store replays (raw), not
+        // degraded references (a later healthy run should replace them),
+        // not batches (they can embed per-item failures).
+        if (store != nullptr && !key.empty() && outcome.status.ok() &&
+            outcome.raw.is_null() && outcome.type != AnyRequest::Type::kBatch &&
+            !(outcome.type == AnyRequest::Type::kRefgen && outcome.refgen.result.degraded)) {
+          store->put(key, to_json(outcome).dump());
+        }
       };
+
+      if (!key.empty()) {
+        if (std::optional<std::string> stored = store->get(key)) {
+          // A checksum-verified entry that fails to re-parse is treated as a
+          // miss (recomputed) — this also covers injected json_parse faults.
+          Result<Json> payload = Json::parse(*stored);
+          if (payload.ok()) {
+            const JobId job = core_.jobs().submit_stored(
+                std::move(handle), std::move(any_request), payload.take(), std::move(on_done));
+            submitted_.push_back(job);
+            Json out = Json::object();
+            out.set("job_id", job_id_token(job));
+            out.set("stored", true);
+            return out;
+          }
+        }
+      }
+
+      SubmitOptions options;
+      options.on_progress = std::move(on_progress);
+      options.on_done = std::move(on_done);
+      options.deadline_ms = read_number(params, "deadline_ms", 0.0);
+      options.retry = core_.options().default_retry;
+      if (const Json* value = params.find("max_attempts");
+          value != nullptr && value->is_number()) {
+        options.retry.max_attempts = value->as_int(options.retry.max_attempts);
+      }
       const JobId job =
-          core_.jobs().submit(handle.take(), parsed.take(), std::move(on_progress),
-                              std::move(on_done));
+          core_.jobs().submit(std::move(handle), std::move(any_request), std::move(options));
       submitted_.push_back(job);
       Json out = Json::object();
       out.set("job_id", job_id_token(job));
@@ -285,6 +373,28 @@ Json Session::dispatch(const Json& request) {
       out.set("misses", static_cast<double>(stats.value().misses));
       out.set("evictions", static_cast<double>(stats.value().evictions));
       out.set("entries", static_cast<double>(stats.value().entries));
+      Result<EngineStats> engine = core_.service().engine_stats(handle.value());
+      if (!engine.ok()) return engine.status();
+      Json engine_json = Json::object();
+      engine_json.set("fresh_factorizations",
+                      static_cast<double>(engine.value().fresh_factorizations));
+      engine_json.set("pivot_escalations",
+                      static_cast<double>(engine.value().pivot_escalations));
+      engine_json.set("degraded_responses",
+                      static_cast<double>(engine.value().degraded_responses));
+      out.set("engine", std::move(engine_json));
+      if (support::BlobStore* store = core_.store(); store != nullptr) {
+        const support::BlobStore::Stats store_stats = store->stats();
+        Json store_json = Json::object();
+        store_json.set("ok", store->ok());
+        store_json.set("hits", static_cast<double>(store_stats.hits));
+        store_json.set("misses", static_cast<double>(store_stats.misses));
+        store_json.set("writes", static_cast<double>(store_stats.writes));
+        store_json.set("write_failures", static_cast<double>(store_stats.write_failures));
+        store_json.set("corrupt_quarantined",
+                       static_cast<double>(store_stats.corrupt_quarantined));
+        out.set("store", std::move(store_json));
+      }
       return out;
     }
 

@@ -39,6 +39,7 @@
 #include "api/jobs.h"
 #include "api/registry.h"
 #include "api/service.h"
+#include "support/blob_store.h"
 
 namespace symref::api::protocol {
 
@@ -46,6 +47,17 @@ struct ServerOptions {
   ServiceOptions service;
   /// JobManager worker lanes; <= 0 picks the hardware thread count.
   int workers = 0;
+  /// Bound on jobs waiting for a worker (0 = unbounded). A submit that
+  /// finds the queue full completes immediately with kOverloaded — clients
+  /// are expected to back off and retry.
+  std::size_t max_queue_depth = 0;
+  /// Directory of the crash-safe reference store (empty = no store). A
+  /// submit whose (netlist content, request) pair was served before — even
+  /// by a previous daemon process — replays the stored response
+  /// byte-identically instead of recomputing.
+  std::string store_dir;
+  /// Retry policy applied to submits that do not specify "max_attempts".
+  RetryPolicy default_retry{/*max_attempts=*/3};
 };
 
 /// Shared state of one daemon: every session compiles into, submits to, and
@@ -57,6 +69,11 @@ class ServerCore {
   [[nodiscard]] const Service& service() const noexcept { return service_; }
   [[nodiscard]] Registry& registry() noexcept { return registry_; }
   [[nodiscard]] JobManager& jobs() noexcept { return jobs_; }
+  [[nodiscard]] const ServerOptions& options() const noexcept { return options_; }
+  /// The reference store, or nullptr when ServerOptions::store_dir is
+  /// empty. May be !ok() (unusable directory) — sessions then skip it and
+  /// the daemon serves without persistence; check error() for the cause.
+  [[nodiscard]] support::BlobStore* store() noexcept { return store_.get(); }
 
   [[nodiscard]] bool shutdown_requested() const noexcept {
     return shutdown_.load(std::memory_order_relaxed);
@@ -67,8 +84,10 @@ class ServerCore {
   void request_shutdown();
 
  private:
+  ServerOptions options_;
   Service service_;
   Registry registry_;
+  std::unique_ptr<support::BlobStore> store_;
   std::atomic<bool> shutdown_{false};
   JobManager jobs_;  // declared last: destroyed first, while the rest lives
 };

@@ -5,11 +5,11 @@
 
 namespace symref::api {
 
-std::string Registry::add(CircuitHandle handle) {
+std::string Registry::add(CircuitHandle handle, std::string content_key) {
   if (!handle.valid()) return {};
   const std::lock_guard<std::mutex> lock(mutex_);
   std::string id = "c" + std::to_string(++next_);
-  entries_.push_back(Entry{id, std::move(handle)});
+  entries_.push_back(Entry{id, std::move(handle), std::move(content_key)});
   return id;
 }
 
@@ -20,6 +20,14 @@ Result<CircuitHandle> Registry::get(std::string_view id) const {
   }
   return Status::error(StatusCode::kNotFound,
                        "unknown circuit_id \"" + std::string(id) + "\"");
+}
+
+std::string Registry::content_key(std::string_view id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) {
+    if (entry.id == id) return entry.content_key;
+  }
+  return {};
 }
 
 std::vector<Registry::Entry> Registry::list() const {

@@ -29,6 +29,10 @@ class Registry {
   struct Entry {
     std::string id;
     CircuitHandle handle;
+    /// Content hash of the source netlist text (hex64 of fnv1a64); empty
+    /// for programmatic handles. Keys the daemon's reference store so a
+    /// restarted daemon recognizes the same circuit under a fresh id.
+    std::string content_key;
   };
 
   Registry() = default;
@@ -37,10 +41,13 @@ class Registry {
 
   /// Store a compiled handle; returns its new id. Invalid handles are
   /// rejected with an empty string (callers should not register failures).
-  std::string add(CircuitHandle handle);
+  std::string add(CircuitHandle handle, std::string content_key = {});
 
   /// Handle by id; kNotFound when absent or evicted.
   [[nodiscard]] Result<CircuitHandle> get(std::string_view id) const;
+
+  /// Content key recorded at add(); empty when absent or keyless.
+  [[nodiscard]] std::string content_key(std::string_view id) const;
 
   /// All live entries, in insertion order.
   [[nodiscard]] std::vector<Entry> list() const;

@@ -214,6 +214,8 @@ Json to_json(const RefgenResponse& response) {
   out.set("engine_seconds", response.result.seconds);
   out.set("numerator_degree", response.result.numerator_degree);
   out.set("denominator_degree", response.result.denominator_degree);
+  out.set("degraded", response.result.degraded);
+  out.set("degraded_points", static_cast<double>(response.result.degraded_points));
   out.set("reference", to_json(response.result.reference));
   return out;
 }

@@ -163,6 +163,11 @@ struct CompiledCircuit {
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
   std::atomic<std::uint64_t> cache_evictions{0};
+  /// Refgen responses that completed through the degradation ladder
+  /// (Service::engine_stats). Per-spec factorization counters live on the
+  /// cached evaluators; this one is response-level so cache hits of a
+  /// degraded result do not re-count.
+  std::atomic<std::uint64_t> degraded_responses{0};
 
   CompiledCircuit(netlist::Circuit circuit, const netlist::CanonicalOptions& options)
       : original(std::move(circuit)),
@@ -265,6 +270,9 @@ Result<RefgenResponse> Service::refgen(const CircuitHandle& handle,
     response.seconds = timer.seconds();
     const Status status = termination_status(response.result);
     if (!status.ok()) return status;
+    if (response.result.degraded) {
+      compiled.degraded_responses.fetch_add(1, std::memory_order_relaxed);
+    }
     if (options_.cache_responses) {
       compiled.cache_evictions.fetch_add(entry->refgen_cache.insert(key, response),
                                          std::memory_order_relaxed);
@@ -425,6 +433,28 @@ Result<CacheStats> Service::cache_stats(const CircuitHandle& handle) const {
     const std::lock_guard<std::mutex> lock(entry->mutex);
     stats.entries += entry->refgen_cache.size() + entry->sweep_cache.size() +
                      entry->param_sweep_cache.size();
+  }
+  return stats;
+}
+
+Result<EngineStats> Service::engine_stats(const CircuitHandle& handle) const {
+  if (!handle.valid()) {
+    return Status::error(StatusCode::kInvalidArgument, kEmptyHandleMessage);
+  }
+  CompiledCircuit& compiled = *handle.compiled_;
+  EngineStats stats;
+  stats.degraded_responses = compiled.degraded_responses.load(std::memory_order_relaxed);
+  // Same discipline as cache_stats: collect entries, then lock each briefly.
+  std::vector<std::shared_ptr<SpecEntry>> entries;
+  {
+    const std::lock_guard<std::mutex> lock(compiled.specs_mutex);
+    for (const auto& [key, entry] : compiled.specs) entries.push_back(entry);
+  }
+  for (const std::shared_ptr<SpecEntry>& entry : entries) {
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+    if (!entry->evaluator) continue;
+    stats.fresh_factorizations += entry->evaluator->fresh_factor_count();
+    stats.pivot_escalations += entry->evaluator->pivot_escalation_count();
   }
   return stats;
 }

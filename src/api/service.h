@@ -73,6 +73,18 @@ struct CacheStats {
   std::size_t entries = 0;
 };
 
+/// Numeric-robustness counters of one handle (all specs combined) since
+/// compile — the telemetry face of the degradation ladder. Monotonic.
+struct EngineStats {
+  /// Refused plan replays that fell back to a fresh factorization.
+  std::uint64_t fresh_factorizations = 0;
+  /// Fresh factorizations that only succeeded after relaxing the pivot
+  /// threshold (the corresponding samples are flagged `degraded`).
+  std::uint64_t pivot_escalations = 0;
+  /// refgen() responses whose result carried the `degraded` flag.
+  std::uint64_t degraded_responses = 0;
+};
+
 /// A compiled circuit: immutable shared state plus internally synchronized
 /// per-spec plan/response caches. Obtain from Service::compile*; a
 /// default-constructed handle is empty (valid() == false) and every request
@@ -159,6 +171,11 @@ class Service {
   /// Response-cache counters of the handle (hit/miss/eviction totals and
   /// resident entries). Cheap; safe to call concurrently with requests.
   [[nodiscard]] Result<CacheStats> cache_stats(const CircuitHandle& handle) const;
+
+  /// Numeric-robustness counters of the handle (fresh factorizations, pivot
+  /// escalations, degraded responses). Cheap; safe to call concurrently
+  /// with requests.
+  [[nodiscard]] Result<EngineStats> engine_stats(const CircuitHandle& handle) const;
 
   [[nodiscard]] const ServiceOptions& options() const noexcept { return options_; }
 

@@ -1,6 +1,7 @@
 #include "api/status.h"
 
 #include <exception>
+#include <new>
 #include <stdexcept>
 
 #include "mna/errors.h"
@@ -22,6 +23,9 @@ const char* status_code_name(StatusCode code) noexcept {
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kNotFound: return "not_found";
     case StatusCode::kIoError: return "io_error";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kOverloaded: return "overloaded";
+    case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kInternal: return "internal";
   }
   return "internal";
@@ -32,10 +36,16 @@ StatusCode status_code_from_name(std::string_view name) noexcept {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
         StatusCode::kInvalidSpec, StatusCode::kSingularSystem, StatusCode::kRefusedReplay,
         StatusCode::kIncomplete, StatusCode::kCancelled, StatusCode::kNotFound,
-        StatusCode::kIoError}) {
+        StatusCode::kIoError, StatusCode::kDeadlineExceeded, StatusCode::kOverloaded,
+        StatusCode::kUnavailable}) {
     if (name == status_code_name(code)) return code;
   }
   return StatusCode::kInternal;
+}
+
+bool status_is_transient(StatusCode code) noexcept {
+  return code == StatusCode::kUnavailable || code == StatusCode::kOverloaded ||
+         code == StatusCode::kIoError;
 }
 
 std::string Status::to_string() const {
@@ -66,6 +76,8 @@ Status status_from_current_exception() noexcept {
     return Status::error(StatusCode::kCancelled, e.what());
   } catch (const std::invalid_argument& e) {
     return Status::error(StatusCode::kInvalidArgument, e.what());
+  } catch (const std::bad_alloc& e) {
+    return Status::error(StatusCode::kUnavailable, std::string("allocation failed: ") + e.what());
   } catch (const std::exception& e) {
     return Status::error(StatusCode::kInternal, e.what());
   } catch (...) {

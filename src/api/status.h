@@ -43,6 +43,15 @@ enum class StatusCode {
   kNotFound,
   /// File or serialized-payload I/O failed.
   kIoError,
+  /// The request's deadline_ms elapsed before a complete result; the job was
+  /// cancelled at the next cooperative checkpoint.
+  kDeadlineExceeded,
+  /// The server shed the request because its work queue was at capacity.
+  /// Transient by definition: retry after backoff.
+  kOverloaded,
+  /// A transient resource failure (allocation pressure, an injected
+  /// work-queue fault) — the request itself is fine; retrying may succeed.
+  kUnavailable,
   /// Unexpected failure; the message is the caught exception text.
   kInternal,
 };
@@ -54,6 +63,12 @@ const char* status_code_name(StatusCode code) noexcept;
 /// Inverse of status_code_name — remote clients mapping wire tokens back to
 /// codes. Unknown tokens come back as kInternal.
 StatusCode status_code_from_name(std::string_view name) noexcept;
+
+/// Retry classification: true for codes that describe a condition expected
+/// to clear on its own (kUnavailable, kOverloaded, kIoError). Everything
+/// else — bad requests, singular systems, cancellation — is permanent:
+/// resubmitting the identical request cannot succeed.
+[[nodiscard]] bool status_is_transient(StatusCode code) noexcept;
 
 /// 1-based position in the source netlist (or request payload); 0 = unknown.
 struct SourceLocation {
@@ -105,8 +120,9 @@ class Status {
 /// netlist::ParseError -> kParseError (with line/column), mna::SpecError ->
 /// kInvalidSpec, mna::SingularSystemError -> kSingularSystem,
 /// sparse::RefusedReplayError -> kRefusedReplay, support::CancelledError ->
-/// kCancelled, std::invalid_argument -> kInvalidArgument, anything else ->
-/// kInternal.
+/// kCancelled, std::invalid_argument -> kInvalidArgument, std::bad_alloc ->
+/// kUnavailable (allocation pressure is transient — retryable), anything
+/// else -> kInternal.
 [[nodiscard]] Status status_from_current_exception() noexcept;
 
 /// A value or a non-ok Status. `status()` is always valid; `value()` only

@@ -1,6 +1,7 @@
 #include "mna/nodal.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -49,6 +50,11 @@ NodalSystem::NodalSystem(const netlist::Circuit& circuit) : circuit_(circuit) {
   auto row_of = [&](int node) { return node_to_row_[static_cast<std::size_t>(node)]; };
 
   for (const Element& e : circuit.elements()) {
+    // Reject NaN/Inf element values up front: a non-finite stamp would slip
+    // through the LU replay as a "successful" factorization of garbage.
+    if (!std::isfinite(e.value)) {
+      throw SpecError("NodalSystem: non-finite value on element '" + e.name + "'");
+    }
     const int ra = row_of(e.node_pos);
     const int rb = row_of(e.node_neg);
     switch (e.kind) {
@@ -175,12 +181,20 @@ CofactorEvaluator::Sample CofactorEvaluator::evaluate(std::complex<double> s_hat
   const sparse::CompressedMatrix& compressed = assembly_.assemble(s_hat, f_scale, g_scale);
   if (!lu_.refactor(compressed)) {
     ++fresh_factor_count_;
-    if (!lu_.factor(compressed)) {
+    bool degraded = false;
+    if (!factor_with_ladder(lu_, compressed, &degraded)) {
       return Sample{};  // singular at this point; caller will retry/adjust
     }
+    if (degraded) ++pivot_escalation_count_;
+    // The persisted plan inherits the escalation: replays of a degraded
+    // plan are flagged too (plan_degraded_ clears when a default-threshold
+    // factorization re-establishes a healthy plan).
+    plan_degraded_ = degraded;
   }
   std::vector<std::complex<double>> rhs;
-  return finish_sample(lu_, rhs);
+  Sample sample = finish_sample(lu_, rhs);
+  sample.degraded = plan_degraded_;
+  return sample;
 }
 
 CofactorEvaluator::Sample CofactorEvaluator::evaluate_pinned(std::complex<double> s_hat,
@@ -189,14 +203,20 @@ CofactorEvaluator::Sample CofactorEvaluator::evaluate_pinned(std::complex<double
   const sparse::CompressedMatrix& compressed = assembly_.assemble(s_hat, f_scale, g_scale);
   std::vector<std::complex<double>> rhs;
   if (lu_.refactor(compressed)) {
-    return finish_sample(lu_, rhs);
+    Sample sample = finish_sample(lu_, rhs);
+    sample.degraded = plan_degraded_;
+    return sample;
   }
   // Refused replay: fresh Markowitz factorization on a throwaway instance,
   // leaving the member plan pinned for the next point/sample.
   ++fresh_factor_count_;
   sparse::SparseLu fresh;
-  if (!fresh.factor(compressed)) return Sample{};
-  return finish_sample(fresh, rhs);
+  bool degraded = false;
+  if (!factor_with_ladder(fresh, compressed, &degraded)) return Sample{};
+  if (degraded) ++pivot_escalation_count_;
+  Sample sample = finish_sample(fresh, rhs);
+  sample.degraded = degraded;
+  return sample;
 }
 
 CofactorEvaluator::Sample CofactorEvaluator::evaluate_in(EvalContext& context,
@@ -205,15 +225,45 @@ CofactorEvaluator::Sample CofactorEvaluator::evaluate_in(EvalContext& context,
   const sparse::CompressedMatrix& compressed =
       context.assembly.assemble(s_hat, f_scale, g_scale);
   if (context.lu.refactor(compressed)) {
-    return finish_sample(context.lu, context.rhs);
+    // The context's lu shares the member's symbolic plan, so the member's
+    // degraded flag applies to this replay too (it is stable for the
+    // duration of a batch — only evaluate() on the caller thread writes it).
+    Sample sample = finish_sample(context.lu, context.rhs);
+    sample.degraded = plan_degraded_;
+    return sample;
   }
   // Degraded replay: fresh Markowitz factorization for this point only. The
   // throwaway instance keeps the context's baseline plan untouched, so the
   // next point in the chunk sees exactly what it would see in any other
-  // evaluation order.
+  // evaluation order. (The escalation counter is NOT bumped here — lanes
+  // share this const instance — but the sample still carries the flag.)
   sparse::SparseLu fresh;
-  if (!fresh.factor(compressed)) return Sample{};
-  return finish_sample(fresh, context.rhs);
+  bool degraded = false;
+  if (!factor_with_ladder(fresh, compressed, &degraded)) return Sample{};
+  Sample sample = finish_sample(fresh, context.rhs);
+  sample.degraded = degraded;
+  return sample;
+}
+
+bool CofactorEvaluator::factor_with_ladder(sparse::SparseLu& lu,
+                                           const sparse::CompressedMatrix& matrix,
+                                           bool* degraded) {
+  *degraded = false;
+  if (lu.factor(matrix)) return true;
+  // Escalation: each level trades pivot quality for factorability. The
+  // levels are fixed (not adaptive), so a given matrix always lands on the
+  // same level — escalated results stay deterministic.
+  static constexpr double kEscalationThresholds[] = {1e-6, 0.0};
+  for (const double threshold : kEscalationThresholds) {
+    sparse::SparseLuOptions relaxed;
+    relaxed.pivot_threshold = threshold;
+    relaxed.singularity_tolerance = 0.0;
+    if (lu.factor(matrix, relaxed)) {
+      *degraded = true;
+      return true;
+    }
+  }
+  return false;  // no nonzero pivot at any threshold: truly singular
 }
 
 std::vector<CofactorEvaluator::Sample> CofactorEvaluator::evaluate_batch(

@@ -119,6 +119,11 @@ class CofactorEvaluator {
     double numerator_error = 0.0;
     double denominator_error = 0.0;
     bool ok = false;
+    /// True when the value came from the degradation ladder's escalated
+    /// pivot thresholds (see evaluate()): numerically usable, but the pivot
+    /// quality guarantee of the default threshold no longer holds. Callers
+    /// surface this (AdaptiveResult::degraded) instead of failing hard.
+    bool degraded = false;
   };
 
   /// Evaluate N and D at one scaled frequency point.
@@ -184,6 +189,14 @@ class CofactorEvaluator {
     return fresh_factor_count_;
   }
 
+  /// Times the degradation ladder had to relax the pivot threshold beyond
+  /// the default to factor a point (evaluate()/evaluate_pinned() only, like
+  /// fresh_factor_count()). Every escalated point's Sample carries
+  /// degraded == true.
+  [[nodiscard]] std::uint64_t pivot_escalation_count() const noexcept {
+    return pivot_escalation_count_;
+  }
+
  private:
   /// Per-lane mutable state of a batch evaluation: pattern-cached assembly
   /// values and the SparseLu numeric payload, both cloned from the members
@@ -205,6 +218,15 @@ class CofactorEvaluator {
   [[nodiscard]] Sample finish_sample(const sparse::SparseLu& lu,
                                      std::vector<std::complex<double>>& rhs) const;
 
+  /// The numeric degradation ladder: a fresh factorization at the default
+  /// options, then — instead of giving up — retries with progressively
+  /// relaxed pivot thresholds. Returns false only when even a thresholdless
+  /// factorization finds no nonzero pivot (truly singular); *degraded is
+  /// set when an escalated level produced the factorization.
+  [[nodiscard]] static bool factor_with_ladder(sparse::SparseLu& lu,
+                                               const sparse::CompressedMatrix& matrix,
+                                               bool* degraded);
+
   /// Resolve the spec rows against *system_ and (re)build the pattern-cached
   /// assembly from its stamps plus the drive admittance.
   void bind_system();
@@ -216,6 +238,9 @@ class CofactorEvaluator {
   int out_pos_ = -1;
   int out_neg_ = -1;
   mutable std::uint64_t fresh_factor_count_ = 0;
+  mutable std::uint64_t pivot_escalation_count_ = 0;
+  /// True while lu_ holds a plan produced by an escalated ladder level.
+  mutable bool plan_degraded_ = false;
   // Pattern-cached assembly (system stamps + drive admittance, merged once)
   // and the cached factorization plan reused across evaluation points.
   mutable PatternedMatrix assembly_;

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <new>
 #include <utility>
+
+#include "support/fault_injection.h"
 
 namespace symref::sparse {
 
@@ -60,6 +63,10 @@ bool SparseLu::factor(const CompressedMatrix& matrix, const SparseLuOptions& opt
 
 bool SparseLu::analyze_and_factor(const CompressedMatrix& matrix,
                                   const SparseLuOptions& options) {
+  // Fault site "lu_alloc": the symbolic analysis is the allocation-heavy
+  // path (plan vectors sized by fill-in); an injected bad_alloc exercises
+  // the facade's kUnavailable mapping and the JobManager retry path.
+  if (support::fault("lu_alloc")) throw std::bad_alloc();
   const int n = matrix.dim;
   dim_ = n;
   ok_ = false;
@@ -309,6 +316,11 @@ bool SparseLu::refactor(const CompressedMatrix& matrix, const SparseLuOptions& o
       matrix.cols != plan_->pattern_cols) {
     return false;  // no plan or pattern changed: need a full factor()
   }
+  // Fault site "lu_pivot": pretend a reused pivot degraded. The caller's
+  // fallback (fresh factor through the degradation ladder) re-selects the
+  // same pivots on a healthy matrix, so results stay bit-identical — which
+  // is exactly what the recovery tests assert.
+  if (support::fault("lu_pivot")) return false;
   const SymbolicPlan& plan = *plan_;
   const int n = plan.dim;
   dim_ = n;

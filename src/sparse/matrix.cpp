@@ -2,9 +2,27 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace symref::sparse {
+
+namespace {
+
+/// NaN/Inf stamps are rejected at assembly/rebind time: a non-finite value
+/// would otherwise ride silently through the LU replay (every pivot check
+/// compares magnitudes, and NaN comparisons are false) and poison the
+/// result. Throwing std::invalid_argument surfaces as a typed Status at the
+/// facade instead.
+void require_finite_stamp(const PatternStamp& stamp) {
+  if (std::isfinite(stamp.conductance) && std::isfinite(stamp.capacitance)) return;
+  throw std::invalid_argument("PatternedMatrix: non-finite stamp value at (" +
+                              std::to_string(stamp.row) + ", " + std::to_string(stamp.col) +
+                              ")");
+}
+
+}  // namespace
 
 std::complex<double> CompressedMatrix::at(int r, int c) const noexcept {
   if (r < 0 || r >= dim) return {};
@@ -46,6 +64,7 @@ PatternedMatrix::PatternedMatrix(int dim, std::vector<PatternStamp> stamps) {
       merged.capacitance += stamps[j].capacitance;
       ++j;
     }
+    require_finite_stamp(merged);
     matrix_.cols.push_back(merged.col);
     conductance_.push_back(merged.conductance);
     capacitance_.push_back(merged.capacitance);
@@ -66,7 +85,10 @@ bool PatternedMatrix::rebind(int dim, std::vector<PatternStamp> stamps) {
   });
   // First pass: verify the merged positions reproduce the cached layout
   // exactly, without touching the value arrays (rebind must be all-or-
-  // nothing so a failed attempt leaves a usable matrix behind).
+  // nothing so a failed attempt leaves a usable matrix behind). Stamp
+  // values are validated here too, BEFORE any mutation, for the same
+  // all-or-nothing guarantee.
+  for (const PatternStamp& stamp : stamps) require_finite_stamp(stamp);
   std::size_t k = 0;
   std::size_t i = 0;
   while (i < stamps.size()) {

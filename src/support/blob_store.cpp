@@ -1,0 +1,176 @@
+#include "support/blob_store.h"
+
+// The one src/ translation unit allowed POSIX headers (see blob_store.h):
+// durability requires fsync on both the entry file and its directory.
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/fault_injection.h"
+
+namespace symref::support {
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+namespace {
+
+constexpr const char* kMagic = "refstore v1 ";
+
+bool fsync_path(const std::string& path, bool directory) {
+  const int fd = ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+BlobStore::BlobStore(std::string directory) : directory_(std::move(directory)) {
+  if (directory_.empty()) {
+    error_ = "store directory is empty";
+    return;
+  }
+  if (::mkdir(directory_.c_str(), 0755) != 0 && errno != EEXIST) {
+    error_ = "cannot create '" + directory_ + "': " + std::strerror(errno);
+    return;
+  }
+  struct stat info{};
+  if (::stat(directory_.c_str(), &info) != 0 || !S_ISDIR(info.st_mode)) {
+    error_ = "'" + directory_ + "' is not a directory";
+    return;
+  }
+  ok_ = true;
+}
+
+bool BlobStore::valid_key(const std::string& key) noexcept {
+  if (key.empty() || key.front() == '.') return false;
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool BlobStore::put(const std::string& key, std::string_view payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!ok_ || !valid_key(key) || fault("store_io")) {
+    ++write_failures_;
+    return false;
+  }
+  std::ostringstream header;
+  header << kMagic << hex64(fnv1a64(payload)) << ' ' << payload.size() << '\n';
+  const std::string head = header.str();
+
+  // Unique temp name inside the store directory (rename must not cross
+  // filesystems); pid + counter keeps concurrent daemons apart.
+  const std::string temp = directory_ + "/.tmp-" + std::to_string(::getpid()) + "-" +
+                           std::to_string(++temp_counter_);
+  const std::string final_path = directory_ + "/" + key;
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    ++write_failures_;
+    return false;
+  }
+  bool ok = true;
+  auto write_all = [&](const char* data, std::size_t size) {
+    while (size > 0) {
+      const ssize_t n = ::write(fd, data, size);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      data += n;
+      size -= static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  ok = write_all(head.data(), head.size()) && write_all(payload.data(), payload.size());
+  if (ok) ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (ok) ok = ::rename(temp.c_str(), final_path.c_str()) == 0;
+  if (ok) ok = fsync_path(directory_, /*directory=*/true);
+  if (!ok) {
+    ::unlink(temp.c_str());
+    ++write_failures_;
+    return false;
+  }
+  ++writes_;
+  return true;
+}
+
+std::optional<std::string> BlobStore::get(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!ok_ || !valid_key(key) || fault("store_io")) {
+    ++misses_;
+    return std::nullopt;
+  }
+  const std::string path = directory_ + "/" + key;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ++misses_;
+    return std::nullopt;
+  }
+  std::string header;
+  if (!std::getline(in, header) || header.rfind(kMagic, 0) != 0) {
+    quarantine(key);
+    ++misses_;
+    return std::nullopt;
+  }
+  std::istringstream fields(header.substr(std::strlen(kMagic)));
+  std::string checksum_hex;
+  std::uint64_t size = 0;
+  if (!(fields >> checksum_hex >> size) || checksum_hex.size() != 16) {
+    quarantine(key);
+    ++misses_;
+    return std::nullopt;
+  }
+  std::string payload(size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(size));
+  // Exactly `size` payload bytes, then EOF: anything shorter is a torn
+  // write, anything longer is a foreign file.
+  const bool sized_ok = in.gcount() == static_cast<std::streamsize>(size) &&
+                        in.peek() == std::ifstream::traits_type::eof();
+  if (!sized_ok || hex64(fnv1a64(payload)) != checksum_hex) {
+    quarantine(key);
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return payload;
+}
+
+void BlobStore::quarantine(const std::string& key) {
+  const std::string path = directory_ + "/" + key;
+  ::rename(path.c_str(), (path + ".corrupt").c_str());
+  ++corrupt_quarantined_;
+}
+
+BlobStore::Stats BlobStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{hits_, misses_, writes_, write_failures_, corrupt_quarantined_};
+}
+
+}  // namespace symref::support

@@ -1,0 +1,89 @@
+// Crash-safe content-addressed blob store (the refgend --store backend).
+//
+// Maps a caller-chosen key (here: a hash of compiled netlist + request) to
+// an opaque payload, surviving kill -9 at any instant:
+//
+//   * writes go to a unique temp file, fflush + fsync, then rename(2) onto
+//     the final name and fsync the directory — readers see either the old
+//     entry or the complete new one, never a torn write;
+//   * every entry carries a one-line header with an FNV-1a checksum and the
+//     payload size; get() verifies both, and an entry that fails is renamed
+//     to "<key>.corrupt" (quarantined for postmortem) and reported as a
+//     miss — a half-written or bit-rotted file is recomputed, never trusted.
+//
+// On-disk format (docs/api.md "Reference store"):
+//
+//   refstore v1 <16-hex-digit fnv1a64> <payload bytes>\n
+//   <payload>
+//
+// NOTE This file deliberately breaks the "src/ stays free of platform
+// headers" rule that transport_posix.h documents: crash safety needs
+// fsync(2), and C++ has no portable equivalent. The POSIX surface is
+// confined to blob_store.cpp; this header is standard C++.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace symref::support {
+
+/// FNV-1a 64-bit over arbitrary bytes — the store checksum, also used by
+/// callers to derive content-addressed keys.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Lowercase 16-hex-digit rendering of a 64-bit hash.
+[[nodiscard]] std::string hex64(std::uint64_t value);
+
+class BlobStore {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t write_failures = 0;
+    std::uint64_t corrupt_quarantined = 0;
+  };
+
+  /// Opens (creating if needed) the store directory. ok() reports whether
+  /// the directory is usable; a broken store degrades to a pass-through
+  /// (every get misses, every put fails) rather than taking the server down.
+  explicit BlobStore(std::string directory);
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] const std::string& directory() const noexcept { return directory_; }
+
+  /// Atomically persist `payload` under `key` (replacing any previous
+  /// entry). Keys must be non-empty [A-Za-z0-9._-] tokens not starting with
+  /// '.'. Returns false on I/O failure (the previous entry, if any, is
+  /// untouched).
+  bool put(const std::string& key, std::string_view payload);
+
+  /// Fetch the payload for `key`; nullopt on absent, unreadable, or
+  /// corrupt (quarantined) entries.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  [[nodiscard]] static bool valid_key(const std::string& key) noexcept;
+  void quarantine(const std::string& key);
+
+  std::string directory_;
+  bool ok_ = false;
+  std::string error_;
+  /// One writer/reader at a time: entries are small and the store sits off
+  /// the hot path (consulted once per submit), so a single mutex is enough.
+  mutable std::mutex mutex_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t write_failures_ = 0;
+  std::uint64_t corrupt_quarantined_ = 0;
+  std::uint64_t temp_counter_ = 0;
+};
+
+}  // namespace symref::support

@@ -92,7 +92,7 @@ void ThreadPool::parallel_for(
   }
 }
 
-WorkQueue::WorkQueue(int workers) {
+WorkQueue::WorkQueue(int workers, std::size_t max_pending) : max_pending_(max_pending) {
   if (workers <= 0) workers = ThreadPool::hardware_threads();
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -111,13 +111,18 @@ WorkQueue::~WorkQueue() {
 }
 
 bool WorkQueue::post(std::function<void()> task) {
+  return try_post(std::move(task)) == PostResult::kAccepted;
+}
+
+WorkQueue::PostResult WorkQueue::try_post(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (stop_) return false;
+    if (stop_) return PostResult::kStopped;
+    if (max_pending_ > 0 && tasks_.size() >= max_pending_) return PostResult::kFull;
     tasks_.push_back(std::move(task));
   }
   cv_.notify_one();
-  return true;
+  return PostResult::kAccepted;
 }
 
 std::size_t WorkQueue::pending() const {

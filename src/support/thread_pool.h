@@ -90,10 +90,19 @@ class ThreadPool {
 /// through their own channel); a throwing task terminates, by design.
 class WorkQueue {
  public:
+  /// Outcome of try_post — the backpressure contract.
+  enum class PostResult {
+    kAccepted,  ///< task enqueued (or already running)
+    kFull,      ///< depth bound hit; task dropped — shed load, retry later
+    kStopped,   ///< shutdown began; task dropped
+  };
+
   /// `workers` <= 0 picks hardware_threads(). Unlike ThreadPool, the caller
   /// is NOT a lane — post() returns immediately — so a queue always spawns
-  /// at least one worker.
-  explicit WorkQueue(int workers = 0);
+  /// at least one worker. `max_pending` bounds the tasks waiting to start
+  /// (0 = unbounded): a bounded queue sheds load instead of buffering an
+  /// unbounded backlog behind a slow worker pool.
+  explicit WorkQueue(int workers = 0, std::size_t max_pending = 0);
   /// Stops accepting work, discards tasks that have not started, and joins
   /// the workers (running tasks finish first). Callers that need discarded
   /// tasks observed (job managers completing them as cancelled) must do so
@@ -103,12 +112,19 @@ class WorkQueue {
   WorkQueue(const WorkQueue&) = delete;
   WorkQueue& operator=(const WorkQueue&) = delete;
 
-  /// Enqueue a task. Returns false (task dropped) after shutdown began.
+  /// Enqueue a task. Returns false (task dropped) after shutdown began or
+  /// when the depth bound is hit — post(t) == (try_post(t) == kAccepted).
   bool post(std::function<void()> task);
+
+  /// Enqueue a task, distinguishing "queue full" from "shut down" so
+  /// callers can answer kOverloaded vs kCancelled.
+  PostResult try_post(std::function<void()> task);
 
   [[nodiscard]] int workers() const noexcept { return static_cast<int>(workers_.size()); }
   /// Tasks posted but not yet started.
   [[nodiscard]] std::size_t pending() const;
+  /// Depth bound (0 = unbounded).
+  [[nodiscard]] std::size_t max_pending() const noexcept { return max_pending_; }
 
  private:
   void worker_loop();
@@ -117,6 +133,7 @@ class WorkQueue {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> tasks_;
+  std::size_t max_pending_ = 0;
   bool stop_ = false;
 };
 

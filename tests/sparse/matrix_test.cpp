@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 namespace symref::sparse {
@@ -102,6 +103,32 @@ TEST(PatternedMatrix, AppliesScaleFactors) {
   const Complex s(0.25, -0.5);
   const CompressedMatrix& m = pattern.assemble(s, f, g);
   EXPECT_EQ(m.at(0, 0), g * 2.0 + s * (f * 5.0));
+}
+
+TEST(PatternedMatrix, RejectsNonFiniteStampsAtConstruction) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(PatternedMatrix(2, {{0, 0, nan, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(PatternedMatrix(2, {{0, 0, 0.0, inf}}), std::invalid_argument);
+  EXPECT_THROW(PatternedMatrix(2, {{0, 1, -inf, 0.0}}), std::invalid_argument);
+  // Duplicate stamps whose merged sum is non-finite (inf + -inf) are caught
+  // too — validation runs on the merged values.
+  EXPECT_THROW(PatternedMatrix(2, {{0, 0, inf, 0.0}, {0, 0, -inf, 0.0}}),
+               std::invalid_argument);
+}
+
+TEST(PatternedMatrix, RejectsNonFiniteStampsAtRebindWithoutMutating) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  PatternedMatrix pattern(2, {{0, 0, 2.0, 0.0}, {1, 1, 3.0, 1.0}});
+  EXPECT_THROW(pattern.rebind(2, {{0, 0, nan, 0.0}, {1, 1, 4.0, 1.0}}),
+               std::invalid_argument);
+  // All-or-nothing: the matching finite stamp was not applied either.
+  const CompressedMatrix& m = pattern.assemble(Complex(0.0, 0.0));
+  EXPECT_EQ(m.at(0, 0), Complex(2.0, 0.0));
+  EXPECT_EQ(m.at(1, 1), Complex(3.0, 0.0));
+  // A clean rebind still works afterwards.
+  EXPECT_TRUE(pattern.rebind(2, {{0, 0, 5.0, 0.0}, {1, 1, 6.0, 1.0}}));
+  EXPECT_EQ(pattern.assemble(Complex(0.0, 0.0)).at(0, 0), Complex(5.0, 0.0));
 }
 
 }  // namespace

@@ -1,0 +1,116 @@
+// support::FaultInjector: deterministic, configurable fault-site registry.
+//
+// The injector is process-global, so every test restores the disarmed state
+// before and after itself.
+#include "support/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace symref::support {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedSitesNeverFail) {
+  EXPECT_FALSE(fault("lu_pivot"));
+  EXPECT_FALSE(fault("no_such_site"));
+  EXPECT_TRUE(FaultInjector::instance().stats().empty());
+}
+
+TEST_F(FaultInjectorTest, ProbabilityOneAlwaysFails) {
+  ASSERT_TRUE(FaultInjector::instance().configure("lu_pivot:1"));
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(fault("lu_pivot"));
+  // Only the armed site fails; others stay untouched.
+  EXPECT_FALSE(fault("json_parse"));
+}
+
+TEST_F(FaultInjectorTest, ProbabilityZeroNeverFails) {
+  ASSERT_TRUE(FaultInjector::instance().configure("lu_pivot:0"));
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(fault("lu_pivot"));
+}
+
+TEST_F(FaultInjectorTest, SameSeedReproducesTheSameFaultSequence) {
+  FaultInjector& injector = FaultInjector::instance();
+  const auto draw_sequence = [&](const std::string& spec) {
+    EXPECT_TRUE(injector.configure(spec));
+    std::vector<bool> fired;
+    fired.reserve(200);
+    for (int i = 0; i < 200; ++i) fired.push_back(fault("socket_io"));
+    return fired;
+  };
+  const std::vector<bool> first = draw_sequence("socket_io:0.3:42");
+  const std::vector<bool> second = draw_sequence("socket_io:0.3:42");
+  EXPECT_EQ(first, second);
+  // A different seed decorrelates (with 200 draws at p=0.3, identical
+  // sequences from independent streams are practically impossible).
+  const std::vector<bool> other = draw_sequence("socket_io:0.3:43");
+  EXPECT_NE(first, other);
+}
+
+TEST_F(FaultInjectorTest, StatsCountQueriesAndInjections) {
+  FaultInjector& injector = FaultInjector::instance();
+  ASSERT_TRUE(injector.configure("work_queue:1,json_parse:0"));
+  for (int i = 0; i < 7; ++i) (void)fault("work_queue");
+  for (int i = 0; i < 3; ++i) (void)fault("json_parse");
+  const std::vector<FaultInjector::SiteStats> stats = injector.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  for (const FaultInjector::SiteStats& site : stats) {
+    if (site.site == "work_queue") {
+      EXPECT_EQ(site.queries, 7u);
+      EXPECT_EQ(site.injected, 7u);
+      EXPECT_DOUBLE_EQ(site.probability, 1.0);
+    } else {
+      EXPECT_EQ(site.site, "json_parse");
+      EXPECT_EQ(site.queries, 3u);
+      EXPECT_EQ(site.injected, 0u);
+    }
+  }
+}
+
+TEST_F(FaultInjectorTest, ApproximatesTheConfiguredRate) {
+  ASSERT_TRUE(FaultInjector::instance().configure("store_io:0.25:7"));
+  int fired = 0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) fired += fault("store_io") ? 1 : 0;
+  // 0.25 +- generous slack; deterministic, so this can never flake.
+  EXPECT_GT(fired, kDraws / 8);
+  EXPECT_LT(fired, kDraws / 2);
+}
+
+TEST_F(FaultInjectorTest, RejectsMalformedSpecsAndKeepsTheOldConfig) {
+  FaultInjector& injector = FaultInjector::instance();
+  ASSERT_TRUE(injector.configure("lu_alloc:1"));
+  std::string error;
+  EXPECT_FALSE(injector.configure("lu_alloc", &error));       // missing prob
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(injector.configure("lu_alloc:2", &error));     // prob > 1
+  EXPECT_FALSE(injector.configure("lu_alloc:-0.5", &error));  // prob < 0
+  EXPECT_FALSE(injector.configure("lu_alloc:x", &error));     // not a number
+  EXPECT_FALSE(injector.configure(":0.5", &error));           // empty site
+  EXPECT_FALSE(injector.configure("a:0.5:1:9", &error));      // extra field
+  // The original configuration survived every rejected spec.
+  EXPECT_TRUE(fault("lu_alloc"));
+}
+
+TEST_F(FaultInjectorTest, EmptySpecAndResetDisarm) {
+  FaultInjector& injector = FaultInjector::instance();
+  ASSERT_TRUE(injector.configure("lu_pivot:1"));
+  EXPECT_TRUE(fault("lu_pivot"));
+  ASSERT_TRUE(injector.configure(""));
+  EXPECT_FALSE(fault("lu_pivot"));
+
+  ASSERT_TRUE(injector.configure("lu_pivot:1"));
+  injector.reset();
+  EXPECT_FALSE(fault("lu_pivot"));
+  EXPECT_TRUE(injector.stats().empty());
+}
+
+}  // namespace
+}  // namespace symref::support

@@ -87,5 +87,47 @@ TEST(WorkQueue, DefaultWorkerCountIsHardware) {
   EXPECT_EQ(queue.workers(), ThreadPool::hardware_threads());
 }
 
+TEST(WorkQueue, BoundedQueueShedsLoadWhenFull) {
+  std::atomic<int> ran{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  WorkQueue queue(1, /*max_pending=*/2);
+  EXPECT_EQ(queue.max_pending(), 2u);
+  // Occupy the worker so subsequent posts stay pending.
+  std::atomic<bool> blocked{false};
+  ASSERT_EQ(queue.try_post([&] {
+              blocked.store(true);
+              std::unique_lock<std::mutex> lock(mutex);
+              cv.wait(lock, [&] { return release; });
+              ran.fetch_add(1);
+            }),
+            WorkQueue::PostResult::kAccepted);
+  while (!blocked.load()) std::this_thread::yield();
+  // Two fit the bound; the third is shed.
+  EXPECT_EQ(queue.try_post([&] { ran.fetch_add(1); }), WorkQueue::PostResult::kAccepted);
+  EXPECT_EQ(queue.try_post([&] { ran.fetch_add(1); }), WorkQueue::PostResult::kAccepted);
+  EXPECT_EQ(queue.try_post([&] { ran.fetch_add(1); }), WorkQueue::PostResult::kFull);
+  EXPECT_FALSE(queue.post([&] { ran.fetch_add(1); }));
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  // Accepted tasks drain; shed ones never run.
+  while (ran.load() < 3) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(WorkQueue, UnboundedByDefault) {
+  WorkQueue queue(1);
+  EXPECT_EQ(queue.max_pending(), 0u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(queue.try_post([&] { ran.fetch_add(1); }), WorkQueue::PostResult::kAccepted);
+  }
+  while (ran.load() < 100) std::this_thread::yield();
+}
+
 }  // namespace
 }  // namespace symref::support

