@@ -6,10 +6,21 @@
 // of iterations independent of n. google-benchmark timings per size follow
 // the summary table.
 // Flags: --json <path> selects the metrics file (default BENCH_refgen.json);
-// --threads N re-runs the ladder-128 generation across 1, 2, 4, ... N lanes
-// and emits one metrics row per thread count.
+// --threads N re-runs the largest-ladder generation across 1, 2, 4, ... N
+// lanes and emits one metrics row per thread count; --max-stages N raises
+// the top of the refgen size axis beyond the default 128 (powers of two up
+// to N).
+//
+// A second section benchmarks the replay kernels themselves (scalar vs
+// batched SoA, see sparse/batched.h) on the large-size axis — ladder-1024,
+// ladder-4096 and RC grid meshes (genuine fill-in, multi-step supernodes) —
+// and records the samples_per_sec_per_core headline metric plus the
+// batched-over-scalar speedup per circuit.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <complex>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -29,12 +40,86 @@ namespace {
 
 using symref::support::thread_ladder;
 
-void print_summary(const std::string& json_path, int max_threads) {
+/// Sustained single-thread replay throughput of one kernel on one circuit:
+/// repeated evaluate_batch() over a fixed probe-point set (the engine's
+/// inner loop with the adaptive logic stripped away). The first batch warms
+/// the caches and establishes the factorization plan before timing starts.
+double replay_samples_per_sec(const symref::mna::CofactorEvaluator& evaluator,
+                              const std::vector<std::complex<double>>& points,
+                              double f_scale, symref::sparse::ReplayKernel kernel) {
+  auto warm = evaluator.evaluate_batch(points, f_scale, 1.0, nullptr, kernel);
+  benchmark::DoNotOptimize(warm.data());
+  symref::support::Timer timer;
+  std::size_t samples = 0;
+  while (timer.seconds() < 0.2) {
+    auto batch = evaluator.evaluate_batch(points, f_scale, 1.0, nullptr, kernel);
+    benchmark::DoNotOptimize(batch.data());
+    samples += batch.size();
+  }
+  return static_cast<double>(samples) / timer.seconds();
+}
+
+void print_kernel_throughput(std::map<std::string, double>& json_metrics) {
+  std::printf("--- replay kernel throughput (single thread) ---\n");
+  struct Row {
+    const char* tag;
+    symref::netlist::Circuit circuit;
+    symref::mna::TransferSpec spec;
+    int points;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"ladder1024", symref::circuits::rc_ladder(1024),
+                  symref::circuits::rc_ladder_spec(1024), 256});
+  rows.push_back({"ladder4096", symref::circuits::rc_ladder(4096),
+                  symref::circuits::rc_ladder_spec(4096), 64});
+  rows.push_back({"grid_mesh16", symref::circuits::grid_mesh(16, 16),
+                  symref::circuits::grid_mesh_spec(16, 16), 256});
+  rows.push_back({"grid_mesh32", symref::circuits::grid_mesh(32, 32),
+                  symref::circuits::grid_mesh_spec(32, 32), 128});
+
+  symref::support::TextTable table;
+  table.set_header(
+      {"circuit", "dim", "supernodes", "scalar [samp/s]", "batched [samp/s]", "speedup"});
+  for (Row& row : rows) {
+    const auto canonical = symref::netlist::canonicalize(row.circuit);
+    const symref::mna::NodalSystem system(canonical);
+    const symref::mna::CofactorEvaluator evaluator(system, row.spec);
+    // Probe points on the upper unit semicircle (the engine's scaled domain);
+    // all circuits here use R=1k/C=1n, so 1/(RC) re-centres s*C against G.
+    const double f_scale = 1e6;
+    std::vector<std::complex<double>> points(static_cast<std::size_t>(row.points));
+    for (int k = 0; k < row.points; ++k) {
+      const double theta = 3.141592653589793 * (k + 0.5) / row.points;
+      points[static_cast<std::size_t>(k)] = {std::cos(theta), std::sin(theta)};
+    }
+    const double scalar = replay_samples_per_sec(evaluator, points, f_scale,
+                                                 symref::sparse::ReplayKernel::kScalar);
+    const double batched = replay_samples_per_sec(evaluator, points, f_scale,
+                                                  symref::sparse::ReplayKernel::kBatched);
+    const double speedup = scalar > 0.0 ? batched / scalar : 0.0;
+    table.add_row({row.tag, std::to_string(system.dim()),
+                   std::to_string(evaluator.supernode_count()),
+                   symref::support::format_sci(scalar, 3), symref::support::format_sci(batched, 3),
+                   symref::support::format_sci(speedup, 3)});
+    const std::string prefix = std::string(row.tag) + "_";
+    json_metrics[prefix + "scalar_samples_per_sec_per_core"] = scalar;
+    json_metrics[prefix + "batched_samples_per_sec_per_core"] = batched;
+    json_metrics[prefix + "batched_speedup"] = speedup;
+  }
+  std::printf("%s\n", table.str().c_str());
+  // Headline metric: batched throughput on the ladder-1024 size axis.
+  json_metrics["samples_per_sec_per_core"] =
+      json_metrics["ladder1024_batched_samples_per_sec_per_core"];
+}
+
+void print_summary(const std::string& json_path, int max_threads, int max_stages) {
   std::map<std::string, double> json_metrics;
   std::printf("=== Ablation A4: adaptive reference generation vs ladder size ===\n\n");
+  std::vector<int> sizes;
+  for (int n = 4; n <= std::max(4, max_stages); n *= 2) sizes.push_back(n);
   symref::support::TextTable table;
   table.set_header({"n (order)", "iterations", "LU evaluations", "time [ms]", "complete"});
-  for (const int n : {4, 8, 16, 32, 64, 128}) {
+  for (const int n : sizes) {
     const auto ladder = symref::circuits::rc_ladder(n);
     const auto spec = symref::circuits::rc_ladder_spec(n);
     const auto result = symref::refgen::generate_reference(ladder, spec);
@@ -79,9 +164,10 @@ void print_summary(const std::string& json_path, int max_threads) {
   if (max_threads > 1) {
     // Largest ladder across the thread ladder: the per-iteration point
     // batches grow with n, so this is the best-scaling refgen workload.
-    std::printf("--- ladder-128 reference generation, parallel ---\n");
-    const auto ladder = symref::circuits::rc_ladder(128);
-    const auto spec = symref::circuits::rc_ladder_spec(128);
+    const int top = sizes.back();
+    std::printf("--- ladder-%d reference generation, parallel ---\n", top);
+    const auto ladder = symref::circuits::rc_ladder(top);
+    const auto spec = symref::circuits::rc_ladder_spec(top);
     for (const int threads : thread_ladder(max_threads)) {
       symref::refgen::AdaptiveOptions options;
       options.threads = threads;
@@ -90,10 +176,13 @@ void print_summary(const std::string& json_path, int max_threads) {
       const double ms = timer.millis();
       std::printf("threads=%2d: %8.2f ms (%d evaluations)\n", threads, ms,
                   result.total_evaluations);
-      json_metrics["ladder128_refgen_ms_t" + std::to_string(threads)] = ms;
+      json_metrics["ladder" + std::to_string(top) + "_refgen_ms_t" + std::to_string(threads)] =
+          ms;
     }
     std::printf("\n");
   }
+
+  print_kernel_throughput(json_metrics);
 
   if (!symref::support::merge_bench_json(json_path, json_metrics)) {
     std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
@@ -133,9 +222,9 @@ BENCHMARK(BM_Ua741SparseLuPerPoint)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  const symref::support::CliArgs args(argc, argv, {"json", "threads"});
-  print_summary(args.get("json", symref::support::kBenchJsonPath),
-                args.get_int("threads", 1));
+  const symref::support::CliArgs args(argc, argv, {"json", "threads", "max-stages"});
+  print_summary(args.get("json", symref::support::kBenchJsonPath), args.get_int("threads", 1),
+                args.get_int("max-stages", 128));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

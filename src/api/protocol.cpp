@@ -31,20 +31,23 @@ double read_number(const Json& params, const char* key, double fallback) {
   return value != nullptr && value->is_number() ? value->as_number() : fallback;
 }
 
-/// Deep copy with every "threads" member removed: results are bit-identical
-/// at any thread count, so the reference-store key must not depend on it.
-Json strip_threads(const Json& value) {
+/// Deep copy with every "threads" and "kernel" member removed: results are
+/// bit-identical at any thread count and under either replay kernel (the
+/// oracle contract of sparse/batched.h), so the reference-store key must
+/// not depend on them — a batched-kernel client warm-hits entries a
+/// scalar-kernel client persisted, and vice versa.
+Json strip_execution_knobs(const Json& value) {
   if (value.is_object()) {
     Json out = Json::object();
     for (const auto& [key, member] : value.members()) {
-      if (key == "threads") continue;
-      out.set(key, strip_threads(member));
+      if (key == "threads" || key == "kernel") continue;
+      out.set(key, strip_execution_knobs(member));
     }
     return out;
   }
   if (value.is_array()) {
     Json out = Json::array();
-    for (const Json& item : value.items()) out.push_back(strip_threads(item));
+    for (const Json& item : value.items()) out.push_back(strip_execution_knobs(item));
     return out;
   }
   return value;
@@ -53,7 +56,7 @@ Json strip_threads(const Json& value) {
 /// Reference-store key of one (compiled netlist, request) pair.
 std::string store_key(const std::string& content_key, const Json& request_json) {
   return content_key + "-" +
-         support::hex64(support::fnv1a64(strip_threads(request_json).dump()));
+         support::hex64(support::fnv1a64(strip_execution_knobs(request_json).dump()));
 }
 
 Json circuit_info(const std::string& id, const CircuitHandle& handle) {
@@ -248,7 +251,8 @@ Json Session::dispatch(const Json& request) {
         };
       }
 
-      // Reference store: key on (netlist content, request-minus-threads).
+      // Reference store: key on (netlist content, request minus the
+      // execution knobs that never change results).
       support::BlobStore* store = core_.store();
       std::string key;
       if (store != nullptr && store->ok()) {
@@ -382,6 +386,8 @@ Json Session::dispatch(const Json& request) {
                       static_cast<double>(engine.value().pivot_escalations));
       engine_json.set("degraded_responses",
                       static_cast<double>(engine.value().degraded_responses));
+      engine_json.set("supernodes", static_cast<double>(engine.value().supernodes));
+      engine_json.set("batched_lanes", static_cast<double>(engine.value().batched_lanes));
       out.set("engine", std::move(engine_json));
       if (support::BlobStore* store = core_.store(); store != nullptr) {
         const support::BlobStore::Stats store_stats = store->stats();

@@ -49,6 +49,10 @@ struct SweepRequest {
   /// sweep fails with kCancelled; the handle's plan caches stay valid.
   /// Like threads, not part of the response-cache key.
   support::CancellationToken cancel;
+  /// Replay kernel for the per-point solves (see sparse/batched.h). Results
+  /// are bit-identical under either kernel — like threads, not part of the
+  /// response-cache key.
+  sparse::ReplayKernel kernel = sparse::ReplayKernel::kScalar;
 };
 
 struct SweepResponse {
@@ -100,6 +104,9 @@ struct ParamSweepRequest {
   int threads = 1;
   /// Cooperative cancellation, polled per sample. Not part of the cache key.
   support::CancellationToken cancel;
+  /// Replay kernel for the per-point plan replays; bit-identical results,
+  /// not part of the response-cache key.
+  sparse::ReplayKernel kernel = sparse::ReplayKernel::kScalar;
 };
 
 struct ParamSweepResponse {

@@ -144,6 +144,33 @@ Status read_int(const Json& json, const char* key, int* out, const char* what) {
   return Status();
 }
 
+const char* kernel_name(sparse::ReplayKernel kernel) noexcept {
+  return kernel == sparse::ReplayKernel::kBatched ? "batched" : "scalar";
+}
+
+/// Optional "kernel" member: "scalar" (default) or "batched". Results are
+/// bit-identical either way, so an absent key is never an error.
+Status read_kernel(const Json& json, const char* key, sparse::ReplayKernel* out,
+                   const char* what) {
+  const Json* value = json.find(key);
+  if (value == nullptr) return Status();
+  if (!value->is_string()) {
+    return Status::error(StatusCode::kInvalidArgument,
+                         std::string(what) + ": \"" + key + "\" must be a string");
+  }
+  const std::string& name = value->as_string();
+  if (name == "scalar") {
+    *out = sparse::ReplayKernel::kScalar;
+  } else if (name == "batched") {
+    *out = sparse::ReplayKernel::kBatched;
+  } else {
+    return Status::error(StatusCode::kInvalidArgument,
+                         std::string(what) + ": unknown kernel \"" + name +
+                             "\" (expected scalar or batched)");
+  }
+  return Status();
+}
+
 Status read_bool(const Json& json, const char* key, bool* out, const char* what) {
   const Json* value = json.find(key);
   if (value == nullptr) return Status();
@@ -193,6 +220,7 @@ Json to_json(const refgen::AdaptiveOptions& options) {
   out.set("initial_g", options.initial_g);
   out.set("no_progress_limit", options.no_progress_limit);
   out.set("threads", options.threads);
+  out.set("kernel", kernel_name(options.kernel));
   return out;
 }
 
@@ -341,7 +369,7 @@ Result<refgen::AdaptiveOptions> options_from_json(const Json& json) {
                              {"sigma", "noise_decades", "tuning_r", "max_iterations",
                               "use_deflation", "conjugate_symmetry", "simultaneous_scaling",
                               "geometric_mean_heuristic", "initial_f", "initial_g",
-                              "no_progress_limit", "threads"},
+                              "no_progress_limit", "threads", "kernel"},
                              kWhat);
   if (!status.ok()) return status;
 
@@ -376,6 +404,7 @@ Result<refgen::AdaptiveOptions> options_from_json(const Json& json) {
     return status;
   }
   if (!(status = read_int(json, "threads", &options.threads, kWhat)).ok()) return status;
+  if (!(status = read_kernel(json, "kernel", &options.kernel, kWhat)).ok()) return status;
   return options;
 }
 
@@ -408,6 +437,7 @@ Json to_json(const AnyRequest& request) {
       out.set("f_stop_hz", request.sweep.f_stop_hz);
       out.set("points_per_decade", request.sweep.points_per_decade);
       out.set("threads", request.sweep.threads);
+      out.set("kernel", kernel_name(request.sweep.kernel));
       break;
     case AnyRequest::Type::kBatch: {
       Json items = Json::array();
@@ -455,6 +485,7 @@ Json to_json(const AnyRequest& request) {
       out.set("f_stop_hz", sweep.f_stop_hz);
       out.set("points_per_decade", sweep.points_per_decade);
       out.set("threads", sweep.threads);
+      out.set("kernel", kernel_name(sweep.kernel));
       break;
     }
   }
@@ -498,7 +529,8 @@ Result<AnyRequest> request_from_json(const Json& json) {
   }
   if (type == "sweep") {
     status = check_keys(
-        json, {"type", "spec", "f_start_hz", "f_stop_hz", "points_per_decade", "threads"},
+        json,
+        {"type", "spec", "f_start_hz", "f_stop_hz", "points_per_decade", "threads", "kernel"},
         kWhat);
     if (!status.ok()) return status;
     const Json* spec = json.find("spec");
@@ -522,6 +554,9 @@ Result<AnyRequest> request_from_json(const Json& json) {
       return status;
     }
     if (!(status = read_int(json, "threads", &request.sweep.threads, kWhat)).ok()) {
+      return status;
+    }
+    if (!(status = read_kernel(json, "kernel", &request.sweep.kernel, kWhat)).ok()) {
       return status;
     }
     return request;
@@ -561,7 +596,7 @@ Result<AnyRequest> request_from_json(const Json& json) {
   if (type == "param_sweep") {
     status = check_keys(json,
                         {"type", "spec", "mode", "params", "samples", "seed", "f_start_hz",
-                         "f_stop_hz", "points_per_decade", "threads"},
+                         "f_stop_hz", "points_per_decade", "threads", "kernel"},
                         kWhat);
     if (!status.ok()) return status;
     const Json* spec = json.find("spec");
@@ -665,6 +700,7 @@ Result<AnyRequest> request_from_json(const Json& json) {
       return status;
     }
     if (!(status = read_int(json, "threads", &sweep.threads, kWhat)).ok()) return status;
+    if (!(status = read_kernel(json, "kernel", &sweep.kernel, kWhat)).ok()) return status;
     return request;
   }
   return Status::error(StatusCode::kInvalidArgument,

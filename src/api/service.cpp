@@ -32,8 +32,9 @@ std::string spec_key(const mna::TransferSpec& spec) {
 }
 
 /// Exact fingerprint of the engine options. Doubles are rendered as hex
-/// floats (bit-exact); `threads` and `on_iteration` are excluded — neither
-/// influences the result (bit-identical parallelism; observer is a hook).
+/// floats (bit-exact); `threads`, `kernel` and `on_iteration` are excluded —
+/// none influences the result (bit-identical parallelism and replay
+/// kernels; observer is a hook).
 std::string options_key(const refgen::AdaptiveOptions& o) {
   char buffer[256];
   std::snprintf(buffer, sizeof(buffer), "%d|%a|%a|%d|%d%d%d%d|%a|%a|%d", o.sigma,
@@ -315,7 +316,7 @@ Result<SweepResponse> Service::sweep(const CircuitHandle& handle,
     SweepResponse response;
     response.points = entry->simulator->bode(request.spec, request.f_start_hz,
                                              request.f_stop_hz, request.points_per_decade,
-                                             request.threads, request.cancel);
+                                             request.threads, request.cancel, request.kernel);
     response.seconds = timer.seconds();
     if (options_.cache_responses) {
       compiled.cache_evictions.fetch_add(entry->sweep_cache.insert(key, response),
@@ -389,6 +390,7 @@ Result<ParamSweepResponse> Service::param_sweep(const CircuitHandle& handle,
     options.f_stop_hz = request.f_stop_hz;
     options.points_per_decade = request.points_per_decade;
     options.threads = request.threads;
+    options.kernel = request.kernel;
     options.cancel = request.cancel;
     options.canonical = compiled.canonical_options;
 
@@ -455,6 +457,8 @@ Result<EngineStats> Service::engine_stats(const CircuitHandle& handle) const {
     if (!entry->evaluator) continue;
     stats.fresh_factorizations += entry->evaluator->fresh_factor_count();
     stats.pivot_escalations += entry->evaluator->pivot_escalation_count();
+    stats.supernodes += entry->evaluator->supernode_count();
+    stats.batched_lanes += entry->evaluator->batched_lane_count();
   }
   return stats;
 }

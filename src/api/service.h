@@ -83,6 +83,13 @@ struct EngineStats {
   std::uint64_t pivot_escalations = 0;
   /// refgen() responses whose result carried the `degraded` flag.
   std::uint64_t degraded_responses = 0;
+  /// Supernodes detected across the handle's current factorization plans
+  /// (sum over the cached per-spec evaluators; see sparse/batched.h). A
+  /// plan property, so NOT monotonic — it reflects the plans resident now.
+  std::uint64_t supernodes = 0;
+  /// Samples evaluated through the batched SoA replay kernel (all specs
+  /// combined). Stays 0 under the scalar kernel. Monotonic.
+  std::uint64_t batched_lanes = 0;
 };
 
 /// A compiled circuit: immutable shared state plus internally synchronized

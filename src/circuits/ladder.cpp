@@ -51,6 +51,36 @@ mna::TransferSpec gm_c_chain_spec(int stages) {
   return mna::TransferSpec::voltage_gain("in", "n" + std::to_string(stages));
 }
 
+netlist::Circuit grid_mesh(int rows, int cols, double resistance, double capacitance) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("grid_mesh: rows/cols must be >= 1");
+  netlist::Circuit c;
+  c.title = "grid-mesh-" + std::to_string(rows) + "x" + std::to_string(cols);
+  auto node = [](int r, int col) {
+    return "m" + std::to_string(r) + "_" + std::to_string(col);
+  };
+  int element = 0;
+  for (int r = 1; r <= rows; ++r) {
+    for (int col = 1; col <= cols; ++col) {
+      if (col < cols) {
+        c.add_resistor("rh" + std::to_string(++element), node(r, col), node(r, col + 1),
+                       resistance);
+      }
+      if (r < rows) {
+        c.add_resistor("rv" + std::to_string(++element), node(r, col), node(r + 1, col),
+                       resistance);
+      }
+      c.add_capacitor("cg" + std::to_string(++element), node(r, col), "0", capacitance);
+    }
+  }
+  c.add_resistor("rload", node(rows, cols), "0", resistance);
+  return c;
+}
+
+mna::TransferSpec grid_mesh_spec(int rows, int cols) {
+  return mna::TransferSpec::voltage_gain("m1_1",
+                                         "m" + std::to_string(rows) + "_" + std::to_string(cols));
+}
+
 netlist::Circuit random_rc(support::Rng& rng, const RandomRcOptions& options) {
   netlist::Circuit c;
   c.title = "random-rc";

@@ -27,6 +27,17 @@ netlist::Circuit gm_c_chain(int stages, double decades_of_spread = 3.0,
 
 mna::TransferSpec gm_c_chain_spec(int stages);
 
+/// rows x cols RC grid: resistors along the mesh edges, a capacitor from
+/// every node to ground, and a load resistor grounding the output corner.
+/// Unlike the ladder (which factors with zero fill), the 2D mesh produces
+/// genuine fill-in and multi-step supernodes — the size axis for the replay
+/// kernel benches. Node names "m<row>_<col>", 1-based.
+netlist::Circuit grid_mesh(int rows, int cols, double resistance = 1e3,
+                           double capacitance = 1e-9);
+
+/// Voltage gain from corner m1_1 to corner m<rows>_<cols>.
+mna::TransferSpec grid_mesh_spec(int rows, int cols);
+
 struct RandomRcOptions {
   int nodes = 8;            // non-ground nodes
   int extra_resistors = 6;  // beyond the spanning tree

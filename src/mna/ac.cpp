@@ -133,7 +133,8 @@ std::vector<double> log_frequency_grid(double f_start_hz, double f_stop_hz,
 
 std::vector<BodePoint> AcSimulator::bode(const TransferSpec& spec, double f_start_hz,
                                          double f_stop_hz, int points_per_decade,
-                                         int threads, support::CancellationToken cancel) const {
+                                         int threads, support::CancellationToken cancel,
+                                         sparse::ReplayKernel kernel) const {
   const std::vector<double> grid = log_frequency_grid(f_start_hz, f_stop_hz, points_per_decade);
   SpecCache& cache = prepare(spec);
   auto s_of = [](double f) { return std::complex<double>(0.0, kTwoPi * f); };
@@ -156,6 +157,11 @@ std::vector<BodePoint> AcSimulator::bode(const TransferSpec& spec, double f_star
       MnaAssembler assembler;
       sparse::SparseLu lu;
       std::vector<std::complex<double>> rhs;
+      // Batched-kernel state (unused under kScalar): the SoA replay bound
+      // to the cache's plan, its solve buffer and the group's s values.
+      sparse::BatchedReplay replay;
+      std::vector<std::complex<double>> soa_rhs;
+      std::vector<std::complex<double>> s_values;
     };
     // <= 0 picks the hardware thread count (same convention as
     // AdaptiveOptions::threads and ThreadPool); never more lanes than
@@ -167,7 +173,7 @@ std::vector<BodePoint> AcSimulator::bode(const TransferSpec& spec, double f_star
     std::vector<Lane> lanes;
     lanes.reserve(static_cast<std::size_t>(lane_count));
     for (int i = 0; i < lane_count; ++i) {
-      lanes.push_back(Lane{*cache.assembler, cache.lu, {}});
+      lanes.push_back(Lane{*cache.assembler, cache.lu, {}, {}, {}, {}});
     }
     auto body = [&](std::size_t begin, std::size_t end, int lane) {
       Lane& state = lanes[static_cast<std::size_t>(lane)];
@@ -179,11 +185,100 @@ std::vector<BodePoint> AcSimulator::bode(const TransferSpec& spec, double f_star
                                     /*persist_plan=*/false, s_of(grid[i + 1]));
       }
     };
+
+    // Batched kernel: SoA groups against the first point's plan. Requires a
+    // structurally replayable plan — otherwise (first point singular or
+    // re-factored onto a different pattern, which cannot happen for a fixed
+    // assembler but costs nothing to check) the sweep falls back to the
+    // scalar body, which is bit-identical anyway.
+    const auto plan = cache.lu.plan();
+    const sparse::CompressedMatrix& pattern = cache.assembler->pattern();
+    const bool batched = kernel == sparse::ReplayKernel::kBatched && plan != nullptr &&
+                         pattern.dim == plan->dim &&
+                         pattern.row_start == plan->pattern_row_start &&
+                         pattern.cols == plan->pattern_cols;
+    const int width = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(sparse::kDefaultBatchWidth), grid.size() - 1));
+    auto batched_body = [&](std::size_t begin, std::size_t end, int lane) {
+      Lane& state = lanes[static_cast<std::size_t>(lane)];
+      state.replay.bind(plan, width);
+      const std::size_t stride = static_cast<std::size_t>(width);
+      const int dim = state.assembler.dim();
+      state.s_values.resize(stride);
+      for (std::size_t at = begin; at < end; at += stride) {
+        if (cancel.cancelled()) throw support::CancelledError();
+        const int count =
+            static_cast<int>(std::min<std::size_t>(stride, end - at));
+        for (int t = 0; t < count; ++t) {
+          state.s_values[static_cast<std::size_t>(t)] = s_of(grid[at + 1 + static_cast<std::size_t>(t)]);
+        }
+        state.replay.replay(count, state.assembler.lane_assembly(state.s_values.data()));
+
+        // Batched solves: the drive injection is the same in every lane.
+        state.soa_rhs.assign(static_cast<std::size_t>(dim) * stride, std::complex<double>());
+        for (int l = 0; l < count; ++l) {
+          if (cache.drive_branch >= 0) {
+            state.soa_rhs[static_cast<std::size_t>(cache.drive_branch) * stride +
+                          static_cast<std::size_t>(l)] = 1.0;
+          } else {
+            if (cache.in_pos_row >= 0) {
+              state.soa_rhs[static_cast<std::size_t>(cache.in_pos_row) * stride +
+                            static_cast<std::size_t>(l)] += 1.0;
+            }
+            if (cache.in_neg_row >= 0) {
+              state.soa_rhs[static_cast<std::size_t>(cache.in_neg_row) * stride +
+                            static_cast<std::size_t>(l)] -= 1.0;
+            }
+          }
+        }
+        state.replay.solve(state.soa_rhs, count);
+
+        for (int l = 0; l < count; ++l) {
+          if (state.replay.lane_ok(l)) {
+            auto voltage = [&](int row) -> std::complex<double> {
+              return row < 0 ? std::complex<double>(0.0, 0.0)
+                             : state.soa_rhs[static_cast<std::size_t>(row) * stride +
+                                             static_cast<std::size_t>(l)];
+            };
+            values[at + 1 + static_cast<std::size_t>(l)] =
+                voltage(cache.out_pos_row) - voltage(cache.out_neg_row);
+            continue;
+          }
+          // Refused lane: the exact scalar refusal branch of solve_point
+          // with persist_plan == false — a throwaway fresh factorization of
+          // this point alone (no second replay attempt: the lane's refusal
+          // IS the refactor refusal).
+          const sparse::CompressedMatrix& matrix =
+              state.assembler.assemble(state.s_values[static_cast<std::size_t>(l)]);
+          state.rhs.assign(static_cast<std::size_t>(dim), std::complex<double>());
+          if (cache.drive_branch >= 0) {
+            state.rhs[static_cast<std::size_t>(cache.drive_branch)] = 1.0;
+          } else {
+            if (cache.in_pos_row >= 0) state.rhs[static_cast<std::size_t>(cache.in_pos_row)] += 1.0;
+            if (cache.in_neg_row >= 0) state.rhs[static_cast<std::size_t>(cache.in_neg_row)] -= 1.0;
+          }
+          sparse::SparseLu throwaway;
+          if (!throwaway.factor(matrix)) {
+            throw SingularSystemError("AcSimulator: singular MNA system");
+          }
+          throwaway.solve(state.rhs);
+          auto voltage = [&](int row) -> std::complex<double> {
+            return row < 0 ? std::complex<double>(0.0, 0.0)
+                           : state.rhs[static_cast<std::size_t>(row)];
+          };
+          values[at + 1 + static_cast<std::size_t>(l)] =
+              voltage(cache.out_pos_row) - voltage(cache.out_neg_row);
+        }
+      }
+    };
+
+    auto run = batched ? std::function<void(std::size_t, std::size_t, int)>(batched_body)
+                       : std::function<void(std::size_t, std::size_t, int)>(body);
     if (lane_count == 1) {
-      body(0, grid.size() - 1, 0);
+      run(0, grid.size() - 1, 0);
     } else {
       support::ThreadPool pool(lane_count);
-      pool.parallel_for(grid.size() - 1, body);
+      pool.parallel_for(grid.size() - 1, run);
     }
   }
 

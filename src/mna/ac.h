@@ -12,6 +12,7 @@
 #include "mna/assembler.h"
 #include "mna/transfer.h"
 #include "netlist/circuit.h"
+#include "sparse/batched.h"
 #include "sparse/lu.h"
 #include "support/cancellation.h"
 
@@ -70,14 +71,22 @@ class AcSimulator {
   /// convention); 1 is the serial path.
   ///
   /// `cancel` is a cooperative checkpoint polled before every point solve
-  /// (on every lane); a tripped token makes bode throw
-  /// support::CancelledError promptly. The spec cache and its factorization
-  /// plan stay valid — a later sweep on the same simulator just resumes
-  /// replaying the plan.
+  /// (before every SoA group under the batched kernel); a tripped token
+  /// makes bode throw support::CancelledError promptly. The spec cache and
+  /// its factorization plan stay valid — a later sweep on the same
+  /// simulator just resumes replaying the plan.
+  ///
+  /// `kernel` selects the replay implementation for the per-point solves:
+  /// kBatched sweeps SoA groups through sparse::BatchedReplay against the
+  /// first point's plan, falling back per refused lane (and wholesale when
+  /// no replayable plan exists) to the scalar path. Values are bit-identical
+  /// under either kernel, at every thread count.
   [[nodiscard]] std::vector<BodePoint> bode(const TransferSpec& spec, double f_start_hz,
                                             double f_stop_hz, int points_per_decade = 10,
                                             int threads = 1,
-                                            support::CancellationToken cancel = {}) const;
+                                            support::CancellationToken cancel = {},
+                                            sparse::ReplayKernel kernel =
+                                                sparse::ReplayKernel::kScalar) const;
 
  private:
   /// Per-spec sweep state: the drive-augmented circuit copy, its assembler

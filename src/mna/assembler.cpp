@@ -186,6 +186,12 @@ const sparse::CompressedMatrix& MnaAssembler::assemble(std::complex<double> s) {
   return assembly_.assemble(s);
 }
 
+void MnaAssembler::assemble_batch(std::complex<double>* dest, std::size_t stride,
+                                  const std::complex<double>* s, int lanes) const {
+  require_stamps();
+  assembly_.assemble_batch(dest, stride, s, lanes);
+}
+
 std::vector<std::complex<double>> MnaAssembler::excitation() const {
   std::vector<std::complex<double>> rhs(static_cast<std::size_t>(dim_));
   auto row_of = [&](int node) { return node_to_row_[static_cast<std::size_t>(node)]; };

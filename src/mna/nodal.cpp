@@ -266,9 +266,94 @@ bool CofactorEvaluator::factor_with_ladder(sparse::SparseLu& lu,
   return false;  // no nonzero pivot at any threshold: truly singular
 }
 
+bool CofactorEvaluator::plan_replayable() const {
+  const auto plan = lu_.plan();
+  const sparse::CompressedMatrix& matrix = assembly_.matrix();
+  return plan != nullptr && matrix.dim == plan->dim &&
+         matrix.row_start == plan->pattern_row_start && matrix.cols == plan->pattern_cols;
+}
+
+void CofactorEvaluator::evaluate_group_batched(BatchContext& context,
+                                               const std::complex<double>* s_hats, int count,
+                                               double f_scale, double g_scale,
+                                               bool count_fallbacks, Sample* out) const {
+  const int width = context.replay.width();
+  const std::size_t stride = static_cast<std::size_t>(width);
+  context.replay.replay(count, context.assembly.lane_assembly(s_hats, f_scale, g_scale));
+
+  // Batched cofactor solve: the unit injection at the input pair is the
+  // same for every lane.
+  const int n = system_->dim();
+  context.soa_rhs.assign(static_cast<std::size_t>(n) * stride, std::complex<double>());
+  for (int l = 0; l < count; ++l) {
+    if (in_pos_ >= 0) {
+      context.soa_rhs[static_cast<std::size_t>(in_pos_) * stride + static_cast<std::size_t>(l)] +=
+          1.0;
+    }
+    if (in_neg_ >= 0) {
+      context.soa_rhs[static_cast<std::size_t>(in_neg_) * stride + static_cast<std::size_t>(l)] -=
+          1.0;
+    }
+  }
+  context.replay.solve(context.soa_rhs, count);
+
+  // Per-lane solution reductions in lane-inner passes over the SoA
+  // solution: max |V_r|^2 (rooted once per lane — bitwise equal to the
+  // scalar max-of-replay_abs scan since sqrt is monotone) and the smallest
+  // pivot magnitude. Port voltages are direct SoA lookups; nothing is
+  // gathered into a per-lane scratch vector.
+  context.max_norm.assign(stride, 0.0);
+  for (int r = 0; r < n; ++r) {
+    const std::complex<double>* row = context.soa_rhs.data() + static_cast<std::size_t>(r) * stride;
+    for (int l = 0; l < count; ++l) {
+      const double re = row[static_cast<std::size_t>(l)].real();
+      const double im = row[static_cast<std::size_t>(l)].imag();
+      context.max_norm[static_cast<std::size_t>(l)] =
+          std::max(context.max_norm[static_cast<std::size_t>(l)], re * re + im * im);
+    }
+  }
+  context.min_pivots.resize(stride);
+  context.replay.min_abs_pivots(context.min_pivots.data(), count);
+  context.dets.resize(stride);
+  context.replay.determinants(context.dets.data(), count);
+  auto lane_voltage = [&](int row, int lane) -> std::complex<double> {
+    return row < 0 ? std::complex<double>(0.0, 0.0)
+                   : context.soa_rhs[static_cast<std::size_t>(row) * stride +
+                                     static_cast<std::size_t>(lane)];
+  };
+
+  for (int l = 0; l < count; ++l) {
+    if (context.replay.lane_ok(l)) {
+      const std::complex<double> v_out = lane_voltage(out_pos_, l) - lane_voltage(out_neg_, l);
+      const std::complex<double> v_in = lane_voltage(in_pos_, l) - lane_voltage(in_neg_, l);
+      out[l] = sample_from_ports(context.dets[static_cast<std::size_t>(l)],
+                                 context.min_pivots[static_cast<std::size_t>(l)],
+                                 context.replay.max_abs_entry(l), v_out, v_in,
+                                 std::sqrt(context.max_norm[static_cast<std::size_t>(l)]));
+      out[l].degraded = plan_degraded_;
+      continue;
+    }
+    // Refused lane: the batched mirror of the scalar replay-refusal branch —
+    // a throwaway fresh factorization of this point alone, leaving the
+    // baseline plan (and the other lanes) untouched.
+    const sparse::CompressedMatrix& compressed =
+        context.assembly.assemble(s_hats[l], f_scale, g_scale);
+    if (count_fallbacks) ++fresh_factor_count_;
+    sparse::SparseLu fresh;
+    bool degraded = false;
+    if (!factor_with_ladder(fresh, compressed, &degraded)) {
+      out[l] = Sample{};
+      continue;
+    }
+    if (count_fallbacks && degraded) ++pivot_escalation_count_;
+    out[l] = finish_sample(fresh, context.rhs);
+    out[l].degraded = degraded;
+  }
+}
+
 std::vector<CofactorEvaluator::Sample> CofactorEvaluator::evaluate_batch(
     const std::vector<std::complex<double>>& s_hats, double f_scale, double g_scale,
-    support::ThreadPool* pool) const {
+    support::ThreadPool* pool, sparse::ReplayKernel kernel, int batch_width) const {
   std::vector<Sample> samples(s_hats.size());
   if (s_hats.empty()) return samples;
 
@@ -278,12 +363,47 @@ std::vector<CofactorEvaluator::Sample> CofactorEvaluator::evaluate_batch(
   samples[0] = evaluate(s_hats[0], f_scale, g_scale);
   if (s_hats.size() == 1) return samples;
 
+  const int lanes = pool != nullptr ? pool->size() : 1;
+
+  // The batched kernel needs a structurally replayable baseline plan; when
+  // point 0 left none (singular, or the pattern changed), the whole batch
+  // degrades to the scalar path below — which is bit-identical anyway.
+  if (kernel == sparse::ReplayKernel::kBatched && batch_width >= 1 && plan_replayable()) {
+    const auto plan = lu_.plan();
+    const int width = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(batch_width), s_hats.size() - 1));
+    std::vector<std::unique_ptr<BatchContext>> contexts(static_cast<std::size_t>(lanes));
+    auto body = [&](std::size_t begin, std::size_t end, int lane) {
+      std::unique_ptr<BatchContext>& slot = contexts[static_cast<std::size_t>(lane)];
+      if (!slot) {
+        slot = std::make_unique<BatchContext>();
+        slot->assembly = assembly_;
+        slot->replay.bind(plan, width);
+      }
+      // SoA groups of at most `width` points. Each lane's per-point
+      // operation sequence is independent of the grouping, so the chunk
+      // boundaries (and hence the thread count) never change the results.
+      for (std::size_t at = begin; at < end; at += static_cast<std::size_t>(width)) {
+        const int count = static_cast<int>(
+            std::min<std::size_t>(static_cast<std::size_t>(width), end - at));
+        evaluate_group_batched(*slot, s_hats.data() + at + 1, count, f_scale, g_scale,
+                               /*count_fallbacks=*/false, samples.data() + at + 1);
+      }
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(s_hats.size() - 1, body);
+    } else {
+      body(0, s_hats.size() - 1, 0);
+    }
+    batched_lane_count_ += s_hats.size() - 1;
+    return samples;
+  }
+
   // One context slot per pool lane, cloned lazily on the lane's first chunk
   // (a slot is only ever touched by its own lane): a wide pool driving a
   // short batch does not pay for clones that never receive work. Each clone
   // copies the value arrays and the numeric LU workspace; the symbolic plan
   // inside lu_ is shared read-only across all lanes.
-  const int lanes = pool != nullptr ? pool->size() : 1;
   std::vector<std::unique_ptr<EvalContext>> contexts(static_cast<std::size_t>(lanes));
 
   // Per-point contract even when point 0 was singular (no baseline plan):
@@ -305,27 +425,74 @@ std::vector<CofactorEvaluator::Sample> CofactorEvaluator::evaluate_batch(
   return samples;
 }
 
+std::vector<CofactorEvaluator::Sample> CofactorEvaluator::evaluate_pinned_batch(
+    const std::vector<std::complex<double>>& s_hats, double f_scale, double g_scale,
+    sparse::ReplayKernel kernel, int batch_width) const {
+  std::vector<Sample> samples(s_hats.size());
+  if (s_hats.empty()) return samples;
+
+  // The scalar loop doubles as the fallback when the pinned plan is missing
+  // or structurally stale: evaluate_pinned's refusal branch then reproduces
+  // the exact counter increments the batched path would have produced.
+  if (kernel != sparse::ReplayKernel::kBatched || batch_width < 1 || !plan_replayable()) {
+    for (std::size_t i = 0; i < s_hats.size(); ++i) {
+      samples[i] = evaluate_pinned(s_hats[i], f_scale, g_scale);
+    }
+    return samples;
+  }
+
+  BatchContext context;
+  context.assembly = assembly_;
+  const int width = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(batch_width), s_hats.size()));
+  context.replay.bind(lu_.plan(), width);
+  for (std::size_t at = 0; at < s_hats.size(); at += static_cast<std::size_t>(width)) {
+    const int count = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(width), s_hats.size() - at));
+    evaluate_group_batched(context, s_hats.data() + at, count, f_scale, g_scale,
+                           /*count_fallbacks=*/true, samples.data() + at);
+  }
+  batched_lane_count_ += s_hats.size();
+  return samples;
+}
+
 CofactorEvaluator::Sample CofactorEvaluator::finish_sample(
     const sparse::SparseLu& lu, std::vector<std::complex<double>>& rhs) const {
-  Sample sample;
-  const numeric::ScaledComplex det = lu.determinant();
-  constexpr double kMachineEpsilon = 2.220446049250313e-16;
-  const double min_pivot = lu.min_abs_pivot();
-  const double det_error =
-      std::max(min_pivot > 0.0 ? kMachineEpsilon * lu.max_abs_entry() / min_pivot
-                               : kMachineEpsilon,
-               kMachineEpsilon);
-
   rhs.assign(static_cast<std::size_t>(system_->dim()), std::complex<double>());
   if (in_pos_ >= 0) rhs[static_cast<std::size_t>(in_pos_)] += 1.0;
   if (in_neg_ >= 0) rhs[static_cast<std::size_t>(in_neg_)] -= 1.0;
   lu.solve(rhs);
+  return sample_from_solution(lu.determinant(), lu.min_abs_pivot(), lu.max_abs_entry(), rhs);
+}
 
+CofactorEvaluator::Sample CofactorEvaluator::sample_from_solution(
+    const numeric::ScaledComplex& det, double min_pivot, double max_entry,
+    const std::vector<std::complex<double>>& rhs) const {
   auto voltage = [&](int row) -> std::complex<double> {
     return row < 0 ? std::complex<double>(0.0, 0.0) : rhs[static_cast<std::size_t>(row)];
   };
   const std::complex<double> v_out = voltage(out_pos_) - voltage(out_neg_);
   const std::complex<double> v_in = voltage(in_pos_) - voltage(in_neg_);
+
+  // Scanning squared magnitudes and taking one sqrt at the end is bitwise
+  // equal to max over sparse::replay_abs (sqrt is monotone), and keeps the
+  // per-sample cost off the replay kernels' critical path.
+  double max_norm_v = 0.0;
+  for (const std::complex<double>& value : rhs) {
+    const double norm = value.real() * value.real() + value.imag() * value.imag();
+    max_norm_v = std::max(max_norm_v, norm);
+  }
+  return sample_from_ports(det, min_pivot, max_entry, v_out, v_in, std::sqrt(max_norm_v));
+}
+
+CofactorEvaluator::Sample CofactorEvaluator::sample_from_ports(
+    const numeric::ScaledComplex& det, double min_pivot, double max_entry,
+    std::complex<double> v_out, std::complex<double> v_in, double max_abs_v) const {
+  Sample sample;
+  constexpr double kMachineEpsilon = 2.220446049250313e-16;
+  const double det_error =
+      std::max(min_pivot > 0.0 ? kMachineEpsilon * max_entry / min_pivot : kMachineEpsilon,
+               kMachineEpsilon);
 
   sample.numerator = numeric::ScaledComplex(v_out) * det;
   sample.denominator = spec_.kind == TransferSpec::Kind::VoltageGain
@@ -336,12 +503,8 @@ CofactorEvaluator::Sample CofactorEvaluator::finish_sample(
   // the triangular solves carry absolute round-off ~ eps * max|V|, so a port
   // voltage far below that level has a large RELATIVE error even when the
   // determinant is accurate.
-  double max_abs_v = 0.0;
-  for (const std::complex<double>& value : rhs) {
-    max_abs_v = std::max(max_abs_v, std::abs(value));
-  }
   auto port_error = [&](const std::complex<double>& port) {
-    const double magnitude = std::abs(port);
+    const double magnitude = sparse::replay_abs(port);
     if (magnitude == 0.0 || max_abs_v == 0.0) return det_error;
     return det_error + kMachineEpsilon * max_abs_v / magnitude;
   };

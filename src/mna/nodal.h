@@ -30,6 +30,7 @@
 #include "mna/transfer.h"
 #include "netlist/circuit.h"
 #include "numeric/scaled.h"
+#include "sparse/batched.h"
 #include "sparse/lu.h"
 #include "sparse/matrix.h"
 
@@ -154,9 +155,20 @@ class CofactorEvaluator {
   /// with ok == false; other points are unaffected (when the first point
   /// leaves no baseline plan, each remaining point runs its own fresh
   /// factorization — still a pure function of that point alone).
+  ///
+  /// `kernel` selects the numeric replay implementation. kBatched groups the
+  /// remaining points into SoA lanes (at most `batch_width` per group) and
+  /// runs them through one sparse::BatchedReplay pass per group; a refused
+  /// lane falls back to the same throwaway fresh factorization the scalar
+  /// path uses. Results are bit-identical to kScalar by the oracle contract
+  /// (and hence across batch widths and thread counts); when the baseline
+  /// plan is missing or its pattern no longer matches the assembly, the
+  /// batched path degrades to the scalar one wholesale.
   [[nodiscard]] std::vector<Sample> evaluate_batch(
       const std::vector<std::complex<double>>& s_hats, double f_scale, double g_scale,
-      support::ThreadPool* pool = nullptr) const;
+      support::ThreadPool* pool = nullptr,
+      sparse::ReplayKernel kernel = sparse::ReplayKernel::kScalar,
+      int batch_width = sparse::kDefaultBatchWidth) const;
 
   /// Point the evaluator at a NEW NodalSystem with the same structure but
   /// different element values — the per-sample step of a parameter sweep.
@@ -179,6 +191,20 @@ class CofactorEvaluator {
   [[nodiscard]] Sample evaluate_pinned(std::complex<double> s_hat, double f_scale,
                                        double g_scale) const;
 
+  /// evaluate_pinned() over a whole point list, optionally through the
+  /// batched kernel: with kBatched (and a replayable pinned plan) the points
+  /// run in SoA groups of at most `batch_width` lanes; refused lanes fall
+  /// back per point exactly like evaluate_pinned (counted by
+  /// fresh_factor_count(), escalations included). With kScalar — or when
+  /// the plan is missing / its pattern no longer matches — this is a plain
+  /// evaluate_pinned loop. Results and counter increments are identical
+  /// under either kernel (the differential suite's engine-stats contract).
+  /// Single-threaded, like every other method of one instance.
+  [[nodiscard]] std::vector<Sample> evaluate_pinned_batch(
+      const std::vector<std::complex<double>>& s_hats, double f_scale, double g_scale,
+      sparse::ReplayKernel kernel = sparse::ReplayKernel::kScalar,
+      int batch_width = sparse::kDefaultBatchWidth) const;
+
   /// Fresh (non-replay) factorizations this instance has run — the plan
   /// probe of parameter-sweep tests and benches. Counts evaluate()'s
   /// fallback factorizations and evaluate_pinned()'s throwaway ones; the
@@ -197,6 +223,16 @@ class CofactorEvaluator {
     return pivot_escalation_count_;
   }
 
+  /// Points this instance has evaluated through batched replay lanes
+  /// (evaluate_batch / evaluate_pinned_batch with kBatched on a replayable
+  /// plan; points that fell back to the scalar path are not counted).
+  /// Purely observational — feeds Service::engine_stats, never results.
+  [[nodiscard]] std::uint64_t batched_lane_count() const noexcept { return batched_lane_count_; }
+
+  /// Supernodes of the cached factorization plan (0 before the first
+  /// successful evaluation).
+  [[nodiscard]] std::size_t supernode_count() const noexcept { return lu_.supernode_count(); }
+
  private:
   /// Per-lane mutable state of a batch evaluation: pattern-cached assembly
   /// values and the SparseLu numeric payload, both cloned from the members
@@ -207,16 +243,62 @@ class CofactorEvaluator {
     std::vector<std::complex<double>> rhs;
   };
 
+  /// Per-lane mutable state of a BATCHED batch evaluation: cloned assembly
+  /// (base value arrays for assemble_batch and the scalar fallback), the
+  /// SoA replay bound to the shared baseline plan, the SoA solve buffer and
+  /// a per-lane gather vector.
+  struct BatchContext {
+    PatternedMatrix assembly;
+    sparse::BatchedReplay replay;
+    std::vector<std::complex<double>> soa_rhs;
+    std::vector<std::complex<double>> rhs;
+    std::vector<double> max_norm;       // per-lane max |V_r|^2 over the solution
+    std::vector<double> min_pivots;     // per-lane smallest |pivot|
+    std::vector<numeric::ScaledComplex> dets;  // per-lane determinants
+  };
+
   /// One point against the context's baseline plan: refactor, with a
   /// throwaway fresh factorization when the replay refuses (the context's
   /// plan is never replaced, keeping later points history-independent).
   [[nodiscard]] Sample evaluate_in(EvalContext& context, std::complex<double> s_hat,
                                    double f_scale, double g_scale) const;
 
+  /// One SoA group of `count` points against the baseline plan bound into
+  /// context.replay: batched assembly, batched replay, batched cofactor
+  /// solve, then per-lane sample assembly. Refused lanes fall back to a
+  /// throwaway fresh factorization of that point alone;
+  /// `count_fallbacks` selects whether those bump fresh_factor_count() /
+  /// pivot_escalation_count() (true on the pinned caller-thread path,
+  /// false on pool lanes — matching the scalar paths' accounting).
+  void evaluate_group_batched(BatchContext& context, const std::complex<double>* s_hats,
+                              int count, double f_scale, double g_scale, bool count_fallbacks,
+                              Sample* out) const;
+
   /// Shared tail of every evaluation path: determinant, cofactor solve and
   /// the two error proxies from an already factored system.
   [[nodiscard]] Sample finish_sample(const sparse::SparseLu& lu,
                                      std::vector<std::complex<double>>& rhs) const;
+
+  /// Sample assembly from an already-solved system: determinant, error
+  /// proxies and port voltages from the solution vector. The arithmetic tail
+  /// shared verbatim by the scalar and batched paths (bit-identity).
+  [[nodiscard]] Sample sample_from_solution(const numeric::ScaledComplex& det,
+                                            double min_pivot, double max_entry,
+                                            const std::vector<std::complex<double>>& rhs) const;
+
+  /// Core of sample_from_solution with the solution-vector reductions
+  /// (port voltages, max |V|) already performed — the batched path computes
+  /// them in one lane-inner pass over the SoA solution instead of gathering
+  /// each lane into a scratch vector first. Arithmetic identical to the
+  /// scalar tail.
+  [[nodiscard]] Sample sample_from_ports(const numeric::ScaledComplex& det, double min_pivot,
+                                         double max_entry, std::complex<double> v_out,
+                                         std::complex<double> v_in, double max_abs_v) const;
+
+  /// True when the member plan exists and its structural fingerprint matches
+  /// the cached assembly — i.e. a (scalar or batched) replay would be
+  /// accepted structurally.
+  [[nodiscard]] bool plan_replayable() const;
 
   /// The numeric degradation ladder: a fresh factorization at the default
   /// options, then — instead of giving up — retries with progressively
@@ -239,6 +321,9 @@ class CofactorEvaluator {
   int out_neg_ = -1;
   mutable std::uint64_t fresh_factor_count_ = 0;
   mutable std::uint64_t pivot_escalation_count_ = 0;
+  /// Points evaluated through batched lanes; bumped on the caller thread
+  /// only (pool lanes never touch it), like the other counters.
+  mutable std::uint64_t batched_lane_count_ = 0;
   /// True while lu_ holds a plan produced by an escalated ladder level.
   mutable bool plan_degraded_ = false;
   // Pattern-cached assembly (system stamps + drive admittance, merged once)

@@ -183,6 +183,13 @@ ParamSweepResult run_param_sweep(const netlist::NetlistTemplate& netlist,
   const std::complex<double> s0(0.0, 2.0 * kPi * result.frequencies_hz.front());
   (void)baseline.evaluate(s0, 1.0, 1.0);  // one fresh factorization, counted below
 
+  // Probe grid in s, shared by every sample's evaluate_pinned_batch call.
+  std::vector<std::complex<double>> probe_points;
+  probe_points.reserve(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    probe_points.emplace_back(0.0, 2.0 * kPi * result.frequencies_hz[k]);
+  }
+
   // Per-lane state, cloned lazily on the lane's first chunk. `start` makes
   // the fresh-factor tally a delta, so the baseline's own factorization is
   // not double counted through the clones.
@@ -213,9 +220,10 @@ ParamSweepResult run_param_sweep(const netlist::NetlistTemplate& netlist,
       const NodalSystem system(canonical);
       slot->eval.rebind(system);
       std::uint8_t all_ok = 1;
+      const std::vector<CofactorEvaluator::Sample> point_samples =
+          slot->eval.evaluate_pinned_batch(probe_points, 1.0, 1.0, options.kernel);
       for (std::size_t k = 0; k < points; ++k) {
-        const std::complex<double> s(0.0, 2.0 * kPi * result.frequencies_hz[k]);
-        const CofactorEvaluator::Sample sample = slot->eval.evaluate_pinned(s, 1.0, 1.0);
+        const CofactorEvaluator::Sample& sample = point_samples[k];
         if (!sample.ok || sample.denominator.is_zero()) {
           all_ok = 0;
           continue;  // the slot keeps its NaN marker

@@ -225,4 +225,45 @@ std::ostream& operator<<(std::ostream& os, const ScaledComplex& value) {
   return os << value.to_string();
 }
 
+ScaledComplex scaled_pivot_product(const std::complex<double>* values, std::size_t count,
+                                   std::size_t stride, double sign) {
+  // std::complex<double> is layout-compatible with double[2] (guaranteed by
+  // the standard), so the interleaved form is the plane form with doubled
+  // stride and the imaginary plane offset by one.
+  const double* flat = reinterpret_cast<const double*>(values);
+  return scaled_pivot_product(flat, flat + 1, count, stride * 2, sign);
+}
+
+ScaledComplex scaled_pivot_product(const double* re, const double* im, std::size_t count,
+                                   std::size_t stride, double sign) {
+  // Window bounds: with the accumulator and each factor's peak magnitude
+  // inside (2^-256, 2^256), every elementary product stays within 2^±513 —
+  // far from double overflow AND far enough from the subnormal range that
+  // no mantissa bits are ever rounded away by the deferred scaling. A
+  // factor outside the window (including an exact zero) takes the eagerly
+  // normalized ScaledComplex step instead.
+  constexpr double kHigh = 0x1p256, kLow = 0x1p-256;
+  std::complex<double> acc(sign, 0.0);
+  std::int64_t exponent = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::complex<double> v(re[i * stride], im[i * stride]);
+    const double vpeak = std::max(std::fabs(v.real()), std::fabs(v.imag()));
+    if (!(vpeak > kLow && vpeak < kHigh)) {
+      const ScaledComplex folded =
+          ScaledComplex::from_mantissa_exp(acc, exponent) * ScaledComplex(v);
+      acc = folded.mantissa();
+      exponent = folded.exponent2();
+      continue;
+    }
+    acc *= v;
+    const double peak = std::max(std::fabs(acc.real()), std::fabs(acc.imag()));
+    if (!(peak > kLow && peak < kHigh)) {
+      const ScaledComplex folded = ScaledComplex::from_mantissa_exp(acc, exponent);
+      acc = folded.mantissa();
+      exponent = folded.exponent2();
+    }
+  }
+  return ScaledComplex::from_mantissa_exp(acc, exponent);
+}
+
 }  // namespace symref::numeric

@@ -198,4 +198,21 @@ class ScaledComplex {
 
 std::ostream& operator<<(std::ostream& os, const ScaledComplex& value);
 
+/// sign * product of `count` strided complex factors (values[i * stride]) as
+/// a canonical ScaledComplex — the pivot-product determinant of the LU
+/// replay paths. Bit-identical to folding each factor through ScaledComplex
+/// operator*= (scaling by powers of two is exact, so WHEN the accumulated
+/// magnitude is folded into the exponent cannot change the canonical
+/// result), but renormalizes only when the running product leaves a wide
+/// safe window instead of after every factor: the common step is one plain
+/// complex multiply.
+ScaledComplex scaled_pivot_product(const std::complex<double>* values, std::size_t count,
+                                   std::size_t stride, double sign);
+
+/// Plane-split overload for SoA consumers that keep real and imaginary parts
+/// in separate arrays: factor i is (re[i * stride], im[i * stride]). Same
+/// arithmetic, same canonical result.
+ScaledComplex scaled_pivot_product(const double* re, const double* im, std::size_t count,
+                                   std::size_t stride, double sign);
+
 }  // namespace symref::numeric

@@ -1,0 +1,458 @@
+#include "sparse/batched.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/fault_injection.h"
+
+namespace symref::sparse {
+
+namespace {
+using Complex = std::complex<double>;
+
+// Lane-loop micro-kernels on split re/im planes. Each performs, per lane,
+// exactly the scalar expression it is named for (see replay_mul/replay_div
+// in lu.h) — written as plane arithmetic so the compiler emits packed
+// mul/add/div over adjacent lanes instead of per-complex shuffles. The
+// baseline target has no FMA, so products and sums round exactly like the
+// scalar helpers and bit-identity per lane is preserved.
+
+// mult = work[j] / pivot[j] (the replay_div conjugate formula per lane).
+inline void lane_div(double* __restrict mr, double* __restrict mi, const double* __restrict ar,
+                     const double* __restrict ai, const double* __restrict br,
+                     const double* __restrict bi, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const double den = br[l] * br[l] + bi[l] * bi[l];
+    mr[l] = (ar[l] * br[l] + ai[l] * bi[l]) / den;
+    mi[l] = (ai[l] * br[l] - ar[l] * bi[l]) / den;
+  }
+}
+
+// work[i] = work[i] / pivot[i] — the in-place form the back substitution
+// needs (numerator and destination are the same planes, so both parts are
+// read before either is stored).
+inline void lane_div_inplace(double* __restrict ar, double* __restrict ai,
+                             const double* __restrict br, const double* __restrict bi,
+                             std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const double den = br[l] * br[l] + bi[l] * bi[l];
+    const double re = (ar[l] * br[l] + ai[l] * bi[l]) / den;
+    const double im = (ai[l] * br[l] - ar[l] * bi[l]) / den;
+    ar[l] = re;
+    ai[l] = im;
+  }
+}
+
+// slot -= mult * uval (the replay_mul four-product formula per lane).
+inline void lane_sub_mul(double* __restrict sr, double* __restrict si,
+                         const double* __restrict mr, const double* __restrict mi,
+                         const double* __restrict br, const double* __restrict bi,
+                         std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    sr[l] -= mr[l] * br[l] - mi[l] * bi[l];
+    si[l] -= mr[l] * bi[l] + mi[l] * br[l];
+  }
+}
+}  // namespace
+
+void BatchedReplay::bind(std::shared_ptr<const ReplayPlan> plan, int width) {
+  assert(plan != nullptr);
+  assert(width >= 1);
+  if (plan_ == plan && width_ == width) return;  // hot path: keep the buffers
+  plan_ = std::move(plan);
+  width_ = width;
+  const std::size_t w = static_cast<std::size_t>(width);
+  const std::size_t dim = static_cast<std::size_t>(plan_->dim);
+  a_values_.assign(plan_->pattern_cols.size() * w, Complex{});
+  l_re_.assign(plan_->l_steps.size() * w, 0.0);
+  l_im_.assign(plan_->l_steps.size() * w, 0.0);
+  u_re_.assign(plan_->u_steps.size() * w, 0.0);
+  u_im_.assign(plan_->u_steps.size() * w, 0.0);
+  pivot_re_.assign(dim * w, 0.0);
+  pivot_im_.assign(dim * w, 0.0);
+  work_re_.assign(dim * w, 0.0);
+  work_im_.assign(dim * w, 0.0);
+  row_norm_.assign(w, 0.0);
+  entry_norm_.assign(w, 0.0);
+  s_re_.assign(w, 0.0);
+  s_im_.assign(w, 0.0);
+  lane_ok_.assign(w, 0);
+  max_abs_entry_.assign(w, 0.0);
+}
+
+bool BatchedReplay::pattern_matches(const CompressedMatrix& matrix) const {
+  return plan_ != nullptr && matrix.dim == plan_->dim &&
+         matrix.row_start == plan_->pattern_row_start && matrix.cols == plan_->pattern_cols;
+}
+
+void BatchedReplay::replay(int active, const SparseLuOptions& options) {
+  replay_impl<false>(active, nullptr, options);
+}
+
+void BatchedReplay::replay(int active, const LaneAssembly& assembly, const SparseLuOptions& options) {
+  replay_impl<true>(active, &assembly, options);
+}
+
+template <bool Fused>
+void BatchedReplay::replay_impl(int active, const LaneAssembly* assembly,
+                                const SparseLuOptions& options) {
+  assert(plan_ != nullptr);
+  assert(active >= 0 && active <= width_);
+  const ReplayPlan& plan = *plan_;
+  const std::size_t W = static_cast<std::size_t>(width_);
+  const std::size_t A = static_cast<std::size_t>(active);
+
+  // Fault site "lu_pivot": one draw per active lane in lane order — the
+  // batched mirror of the scalar path's one draw per refactor() call. The
+  // lane still streams through the elimination (loops stay uniform); its
+  // results are simply never consumed.
+  for (std::size_t l = 0; l < A; ++l) {
+    lane_ok_[l] = support::fault("lu_pivot") ? 0 : 1;
+  }
+
+  // Largest |entry| per lane over the input values. Tracking the squared
+  // magnitude and rooting once per lane equals the scalar max-of-replay_abs
+  // scan bit for bit: a correctly rounded sqrt is monotone, so
+  // max(sqrt(x_k)) == sqrt(max(x_k)). The fused path folds this scan into
+  // the scatter below (every CSR position is scattered exactly once, and
+  // max does not care about the visit order).
+  double* const entry_norm = entry_norm_.data();
+  std::fill(entry_norm_.begin(), entry_norm_.begin() + active, 0.0);
+  if constexpr (!Fused) {
+    const std::size_t nnz = plan.pattern_cols.size();
+    for (std::size_t k = 0; k < nnz; ++k) {
+      const Complex* lane_values = a_values_.data() + k * W;
+      for (std::size_t l = 0; l < A; ++l) {
+        const double re = lane_values[l].real();
+        const double im = lane_values[l].imag();
+        entry_norm[l] = std::max(entry_norm[l], re * re + im * im);
+      }
+    }
+  } else {
+    for (std::size_t l = 0; l < A; ++l) {
+      s_re_[l] = assembly->s[l].real();
+      s_im_[l] = assembly->s[l].imag();
+    }
+  }
+
+  double* const wre = work_re_.data();
+  double* const wim = work_im_.data();
+  double* const lre = l_re_.data();
+  double* const lim = l_im_.data();
+  double* const ure = u_re_.data();
+  double* const uim = u_im_.data();
+  double* const pre = pivot_re_.data();
+  double* const pim = pivot_im_.data();
+  double* const row_norm = row_norm_.data();
+  const Complex* const avalues = a_values_.data();
+
+  // Up-looking replay, supernode by supernode. Per lane this executes the
+  // EXACT operation sequence of SparseLu::refactor(): clear the row's
+  // pattern slots, scatter the row of A, apply the earlier steps' updates in
+  // ascending dep order, test the pivot, gather the surviving U row. The
+  // supernode split only changes WHERE the indices come from (unit-stride
+  // block targets + one shared tail list instead of per-entry loads), never
+  // the per-slot arithmetic order — that is the whole bit-identity argument.
+  const std::size_t blocks = plan.supernode_count();
+  for (std::size_t s = 0; s < blocks; ++s) {
+    const int block_begin = plan.supernode_start[s];
+    const int block_end = plan.supernode_start[s + 1];
+    // Shared U tail of the block: every block row's off-block targets.
+    const int tail_begin = plan.u_start[static_cast<std::size_t>(block_end - 1)];
+    const int tail_len = plan.u_start[static_cast<std::size_t>(block_end)] - tail_begin;
+    const int* const tail_steps = plan.u_steps.data() + tail_begin;
+
+    for (int i = block_begin; i < block_end; ++i) {
+      const int l_begin = plan.l_start[static_cast<std::size_t>(i)];
+      const int l_end = plan.l_start[static_cast<std::size_t>(i) + 1];
+      const int u_begin = plan.u_start[static_cast<std::size_t>(i)];
+      const int u_end = plan.u_start[static_cast<std::size_t>(i) + 1];
+      // The dep list is ascending, so the in-block deps [block_begin .. i-1]
+      // are exactly its suffix (supernode invariant).
+      const int out_end = l_end - (i - block_begin);
+
+      // Clear the row's pattern slots.
+      for (int k = l_begin; k < l_end; ++k) {
+        const std::size_t off =
+            static_cast<std::size_t>(plan.l_steps[static_cast<std::size_t>(k)]) * W;
+        for (std::size_t l = 0; l < A; ++l) {
+          wre[off + l] = 0.0;
+          wim[off + l] = 0.0;
+        }
+      }
+      for (int k = u_begin; k < u_end; ++k) {
+        const std::size_t off =
+            static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(k)]) * W;
+        for (std::size_t l = 0; l < A; ++l) {
+          wre[off + l] = 0.0;
+          wim[off + l] = 0.0;
+        }
+      }
+      {
+        const std::size_t off = static_cast<std::size_t>(i) * W;
+        for (std::size_t l = 0; l < A; ++l) {
+          wre[off + l] = 0.0;
+          wim[off + l] = 0.0;
+        }
+      }
+
+      // Scatter the row of A (deinterleave into the planes). The fused path
+      // assembles each lane value right here instead of reading values().
+      const int r = plan.row_order[static_cast<std::size_t>(i)];
+      for (int k = plan.pattern_row_start[static_cast<std::size_t>(r)];
+           k < plan.pattern_row_start[static_cast<std::size_t>(r) + 1]; ++k) {
+        const std::size_t off =
+            static_cast<std::size_t>(plan.a_dest[static_cast<std::size_t>(k)]) * W;
+        if constexpr (Fused) {
+          const double g = assembly->g_scale * assembly->conductance[static_cast<std::size_t>(k)];
+          const double c = assembly->f_scale * assembly->capacitance[static_cast<std::size_t>(k)];
+          const double* const sre = s_re_.data();
+          const double* const sim = s_im_.data();
+          for (std::size_t l = 0; l < A; ++l) {
+            const double vre = g + sre[l] * c;
+            const double vim = sim[l] * c;
+            wre[off + l] = vre;
+            wim[off + l] = vim;
+            entry_norm[l] = std::max(entry_norm[l], vre * vre + vim * vim);
+          }
+        } else {
+          const Complex* src = avalues + static_cast<std::size_t>(k) * W;
+          for (std::size_t l = 0; l < A; ++l) {
+            wre[off + l] = src[l].real();
+            wim[off + l] = src[l].imag();
+          }
+        }
+      }
+
+      // Off-block updates: generic indexed walk.
+      for (int k = l_begin; k < out_end; ++k) {
+        const std::size_t j = static_cast<std::size_t>(plan.l_steps[static_cast<std::size_t>(k)]);
+        const std::size_t mk = static_cast<std::size_t>(k) * W;
+        lane_div(lre + mk, lim + mk, wre + j * W, wim + j * W, pre + j * W, pim + j * W, A);
+        for (int t = plan.u_start[j]; t < plan.u_start[j + 1]; ++t) {
+          const std::size_t off =
+              static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(t)]) * W;
+          const std::size_t uk = static_cast<std::size_t>(t) * W;
+          lane_sub_mul(wre + off, wim + off, lre + mk, lim + mk, ure + uk, uim + uk, A);
+        }
+      }
+
+      // In-block updates: the dense rank-k micro-kernel. Dep j's U row is
+      // [j+1 .. block_end-1] ++ tail in storage order — unit-stride targets
+      // for the block part, one shared index list for the tail.
+      for (int j = block_begin; j < i; ++j) {
+        const int k = out_end + (j - block_begin);
+        const std::size_t jw = static_cast<std::size_t>(j) * W;
+        const std::size_t mk = static_cast<std::size_t>(k) * W;
+        lane_div(lre + mk, lim + mk, wre + jw, wim + jw, pre + jw, pim + jw, A);
+        const std::size_t urow = static_cast<std::size_t>(plan.u_start[static_cast<std::size_t>(j)]) * W;
+        const int block_targets = block_end - 1 - j;
+        const std::size_t first_target = static_cast<std::size_t>(j + 1) * W;
+        for (int t = 0; t < block_targets; ++t) {
+          const std::size_t off = first_target + static_cast<std::size_t>(t) * W;
+          const std::size_t uk = urow + static_cast<std::size_t>(t) * W;
+          lane_sub_mul(wre + off, wim + off, lre + mk, lim + mk, ure + uk, uim + uk, A);
+        }
+        const std::size_t tail_vals = urow + static_cast<std::size_t>(block_targets) * W;
+        for (int t = 0; t < tail_len; ++t) {
+          const std::size_t off = static_cast<std::size_t>(tail_steps[t]) * W;
+          const std::size_t uk = tail_vals + static_cast<std::size_t>(t) * W;
+          lane_sub_mul(wre + off, wim + off, lre + mk, lim + mk, ure + uk, uim + uk, A);
+        }
+      }
+
+      // Pivot acceptance per lane: same relaxed replay threshold as the
+      // scalar path. The row maximum is accumulated over squared magnitudes
+      // (one packed multiply-add per entry) and rooted once per lane — equal
+      // to the scalar max-of-replay_abs scan because sqrt is monotone.
+      const std::size_t iw = static_cast<std::size_t>(i) * W;
+      for (std::size_t l = 0; l < A; ++l) {
+        row_norm[l] = wre[iw + l] * wre[iw + l] + wim[iw + l] * wim[iw + l];
+      }
+      for (int k = u_begin; k < u_end; ++k) {
+        const std::size_t off =
+            static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(k)]) * W;
+        for (std::size_t l = 0; l < A; ++l) {
+          const double norm = wre[off + l] * wre[off + l] + wim[off + l] * wim[off + l];
+          row_norm[l] = std::max(row_norm[l], norm);
+        }
+      }
+      for (std::size_t l = 0; l < A; ++l) {
+        const double pivot_magnitude =
+            std::sqrt(wre[iw + l] * wre[iw + l] + wim[iw + l] * wim[iw + l]);
+        const double row_max = std::sqrt(row_norm[l]);
+        if (pivot_magnitude <= options.singularity_tolerance ||
+            pivot_magnitude < kReplayRelaxedThresholdScale * options.pivot_threshold * row_max) {
+          lane_ok_[l] = 0;
+        }
+        pre[iw + l] = wre[iw + l];
+        pim[iw + l] = wim[iw + l];
+      }
+      for (int k = u_begin; k < u_end; ++k) {
+        const std::size_t off =
+            static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(k)]) * W;
+        const std::size_t uk = static_cast<std::size_t>(k) * W;
+        for (std::size_t l = 0; l < A; ++l) {
+          ure[uk + l] = wre[off + l];
+          uim[uk + l] = wim[off + l];
+        }
+      }
+    }
+  }
+
+  for (std::size_t l = 0; l < A; ++l) max_abs_entry_[l] = std::sqrt(entry_norm[l]);
+}
+
+void BatchedReplay::solve(std::vector<Complex>& rhs, int active) const {
+  assert(plan_ != nullptr);
+  assert(active >= 0 && active <= width_);
+  const ReplayPlan& plan = *plan_;
+  const int n = plan.dim;
+  assert(rhs.size() == static_cast<std::size_t>(n) * static_cast<std::size_t>(width_));
+  const std::size_t W = static_cast<std::size_t>(width_);
+  const std::size_t A = static_cast<std::size_t>(active);
+
+  // Forward substitution L y = P b, then in-place back substitution
+  // U z = y — the scalar solve() accumulation order per lane. The rhs stays
+  // interleaved at the interface; it is deinterleaved into the work planes
+  // on entry and reinterleaved by the final permutation scatter.
+  double* const wre = work_re_.data();
+  double* const wim = work_im_.data();
+  const double* const lre = l_re_.data();
+  const double* const lim = l_im_.data();
+  const double* const ure = u_re_.data();
+  const double* const uim = u_im_.data();
+  const double* const pre = pivot_re_.data();
+  const double* const pim = pivot_im_.data();
+  for (int i = 0; i < n; ++i) {
+    const std::size_t iw = static_cast<std::size_t>(i) * W;
+    const Complex* src =
+        rhs.data() + static_cast<std::size_t>(plan.row_order[static_cast<std::size_t>(i)]) * W;
+    for (std::size_t l = 0; l < A; ++l) {
+      wre[iw + l] = src[l].real();
+      wim[iw + l] = src[l].imag();
+    }
+    for (int k = plan.l_start[static_cast<std::size_t>(i)];
+         k < plan.l_start[static_cast<std::size_t>(i) + 1]; ++k) {
+      const std::size_t lk = static_cast<std::size_t>(k) * W;
+      const std::size_t jw =
+          static_cast<std::size_t>(plan.l_steps[static_cast<std::size_t>(k)]) * W;
+      lane_sub_mul(wre + iw, wim + iw, lre + lk, lim + lk, wre + jw, wim + jw, A);
+    }
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    const std::size_t iw = static_cast<std::size_t>(i) * W;
+    for (int k = plan.u_start[static_cast<std::size_t>(i)];
+         k < plan.u_start[static_cast<std::size_t>(i) + 1]; ++k) {
+      const std::size_t uk = static_cast<std::size_t>(k) * W;
+      const std::size_t jw =
+          static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(k)]) * W;
+      lane_sub_mul(wre + iw, wim + iw, ure + uk, uim + uk, wre + jw, wim + jw, A);
+    }
+    lane_div_inplace(wre + iw, wim + iw, pre + iw, pim + iw, A);
+  }
+  for (int i = 0; i < n; ++i) {
+    const std::size_t iw = static_cast<std::size_t>(i) * W;
+    Complex* dst =
+        rhs.data() + static_cast<std::size_t>(plan.col_order[static_cast<std::size_t>(i)]) * W;
+    for (std::size_t l = 0; l < A; ++l) {
+      dst[l] = Complex(wre[iw + l], wim[iw + l]);
+    }
+  }
+}
+
+numeric::ScaledComplex BatchedReplay::determinant(int lane) const {
+  assert(plan_ != nullptr);
+  assert(lane >= 0 && lane < width_);
+  const std::size_t W = static_cast<std::size_t>(width_);
+  return numeric::scaled_pivot_product(pivot_re_.data() + lane, pivot_im_.data() + lane,
+                                       static_cast<std::size_t>(plan_->dim), W,
+                                       static_cast<double>(plan_->permutation_sign));
+}
+
+void BatchedReplay::min_abs_pivots(double* out, int active) const {
+  assert(plan_ != nullptr);
+  assert(active >= 0 && active <= width_);
+  const std::size_t W = static_cast<std::size_t>(width_);
+  const std::size_t A = static_cast<std::size_t>(active);
+  const double* const pre = pivot_re_.data();
+  const double* const pim = pivot_im_.data();
+  for (std::size_t l = 0; l < A; ++l) out[l] = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < plan_->dim; ++i) {
+    const std::size_t iw = static_cast<std::size_t>(i) * W;
+    for (std::size_t l = 0; l < A; ++l) {
+      const double norm = pre[iw + l] * pre[iw + l] + pim[iw + l] * pim[iw + l];
+      out[l] = std::min(out[l], norm);
+    }
+  }
+  for (std::size_t l = 0; l < A; ++l) out[l] = std::sqrt(out[l]);
+}
+
+void BatchedReplay::determinants(numeric::ScaledComplex* out, int active) const {
+  assert(plan_ != nullptr);
+  assert(active >= 0 && active <= width_);
+  const std::size_t W = static_cast<std::size_t>(width_);
+  const std::size_t A = static_cast<std::size_t>(active);
+  const double* const pre = pivot_re_.data();
+  const double* const pim = pivot_im_.data();
+  const double sign = static_cast<double>(plan_->permutation_sign);
+  // Same window as numeric::scaled_pivot_product; see there for the bounds.
+  constexpr double kHigh = 0x1p256, kLow = 0x1p-256;
+  std::vector<double> acc_re(A, sign), acc_im(A, 0.0), peak(A, 0.0);
+  std::vector<std::int64_t> exponent(A, 0);
+  std::vector<char> slow(A, 0);
+  for (int i = 0; i < plan_->dim; ++i) {
+    const std::size_t iw = static_cast<std::size_t>(i) * W;
+    for (std::size_t l = 0; l < A; ++l) {
+      const double vr = pre[iw + l];
+      const double vi = pim[iw + l];
+      const double vpeak = std::max(std::fabs(vr), std::fabs(vi));
+      // Out-of-window factor: the scalar routine takes an eagerly
+      // normalized step here; mark the lane for a scalar recompute (its
+      // fast-path accumulator is garbage from now on) instead of breaking
+      // the uniform loop.
+      slow[l] |= static_cast<char>(!(vpeak > kLow && vpeak < kHigh));
+      const double nr = acc_re[l] * vr - acc_im[l] * vi;
+      const double ni = acc_re[l] * vi + acc_im[l] * vr;
+      acc_re[l] = nr;
+      acc_im[l] = ni;
+      peak[l] = std::max(std::fabs(nr), std::fabs(ni));
+    }
+    for (std::size_t l = 0; l < A; ++l) {
+      // Slow lanes are excluded: their accumulator is garbage (possibly
+      // non-finite) and from_mantissa_exp requires finite input.
+      if (slow[l] == 0 && !(peak[l] > kLow && peak[l] < kHigh)) {
+        const numeric::ScaledComplex folded = numeric::ScaledComplex::from_mantissa_exp(
+            std::complex<double>(acc_re[l], acc_im[l]), exponent[l]);
+        acc_re[l] = folded.mantissa().real();
+        acc_im[l] = folded.mantissa().imag();
+        exponent[l] = folded.exponent2();
+      }
+    }
+  }
+  for (std::size_t l = 0; l < A; ++l) {
+    out[l] = slow[l] != 0
+                 ? numeric::scaled_pivot_product(pre + l, pim + l,
+                                                 static_cast<std::size_t>(plan_->dim), W, sign)
+                 : numeric::ScaledComplex::from_mantissa_exp(
+                       std::complex<double>(acc_re[l], acc_im[l]), exponent[l]);
+  }
+}
+
+double BatchedReplay::min_abs_pivot(int lane) const {
+  assert(plan_ != nullptr);
+  assert(lane >= 0 && lane < width_);
+  const std::size_t W = static_cast<std::size_t>(width_);
+  const std::size_t off = static_cast<std::size_t>(lane);
+  // min over replay_abs == sqrt(min over |pivot|^2): sqrt is monotone.
+  double smallest_norm = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < plan_->dim; ++i) {
+    const double re = pivot_re_[static_cast<std::size_t>(i) * W + off];
+    const double im = pivot_im_[static_cast<std::size_t>(i) * W + off];
+    smallest_norm = std::min(smallest_norm, re * re + im * im);
+  }
+  return std::sqrt(smallest_norm);
+}
+
+}  // namespace symref::sparse

@@ -16,11 +16,6 @@ namespace {
 
 using Complex = std::complex<double>;
 
-/// Pivots reused by refactor() were not re-searched, so they are accepted
-/// with a threshold this much more permissive than the factor() one; a pivot
-/// degraded beyond it signals the caller to re-run the full factor().
-constexpr double kRelaxedThresholdScale = 1e-5;
-
 /// Bounded Markowitz search: only this many least-populated active columns
 /// are examined before falling back to a full scan (which is needed only
 /// when none of the candidates holds a numerically acceptable pivot).
@@ -74,7 +69,7 @@ bool SparseLu::analyze_and_factor(const CompressedMatrix& matrix,
   // A fresh plan per factor(): clones of this instance may still replay the
   // old one, so it is never mutated in place (copy-on-factor).
   plan_.reset();
-  auto plan = std::make_shared<SymbolicPlan>();
+  auto plan = std::make_shared<ReplayPlan>();
   plan->dim = n;
   plan->row_order.assign(static_cast<std::size_t>(n), -1);
   plan->col_order.assign(static_cast<std::size_t>(n), -1);
@@ -219,7 +214,7 @@ bool SparseLu::analyze_and_factor(const CompressedMatrix& matrix,
         pos[static_cast<std::size_t>(row[i].col)] = static_cast<int>(i);
       }
       const int at = pos[static_cast<std::size_t>(pivot_col)];
-      const Complex multiplier = row[static_cast<std::size_t>(at)].value / pivot;
+      const Complex multiplier = replay_div(row[static_cast<std::size_t>(at)].value, pivot);
       // Remove the eliminated entry (swap-pop keeps the scatter consistent).
       if (static_cast<std::size_t>(at) + 1 != row.size()) {
         row[static_cast<std::size_t>(at)] = row.back();
@@ -279,8 +274,14 @@ bool SparseLu::analyze_and_factor(const CompressedMatrix& matrix,
     }
   }
 
-  // U rows keep the elimination's freeze order so replay applies the exact
-  // same operation sequence (bit-identical results).
+  // U rows are normalized to ascending step order. This is value-safe even
+  // though the elimination froze them in its own order: within one dep row
+  // every replay update targets a DISTINCT workspace slot, so reordering a
+  // row permutes independent operations and every per-slot accumulation
+  // sequence — hence every computed value — is unchanged. The normalization
+  // buys two things: the triangular solves get a fixed deterministic
+  // accumulation order, and supernode detection below reduces to prefix
+  // comparisons on sorted rows.
   plan->u_start.assign(static_cast<std::size_t>(n) + 1, 0);
   for (int step = 0; step < n; ++step) {
     plan->u_start[static_cast<std::size_t>(step) + 1] =
@@ -289,18 +290,73 @@ bool SparseLu::analyze_and_factor(const CompressedMatrix& matrix,
   }
   plan->u_steps.resize(static_cast<std::size_t>(plan->u_start[static_cast<std::size_t>(n)]));
   u_values_.resize(plan->u_steps.size());
+  std::vector<std::pair<int, Complex>> sorted_row;
   for (int step = 0; step < n; ++step) {
-    int at = plan->u_start[static_cast<std::size_t>(step)];
+    sorted_row.clear();
     for (const ActiveEntry& entry : urows[static_cast<std::size_t>(step)]) {
-      plan->u_steps[static_cast<std::size_t>(at)] = plan->col_step[static_cast<std::size_t>(entry.col)];
-      u_values_[static_cast<std::size_t>(at)] = entry.value;
+      sorted_row.emplace_back(plan->col_step[static_cast<std::size_t>(entry.col)], entry.value);
+    }
+    std::sort(sorted_row.begin(), sorted_row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    int at = plan->u_start[static_cast<std::size_t>(step)];
+    for (const auto& [u_step, value] : sorted_row) {
+      plan->u_steps[static_cast<std::size_t>(at)] = u_step;
+      u_values_[static_cast<std::size_t>(at)] = value;
       ++at;
     }
   }
 
+  detect_supernodes(*plan);
+
   plan_ = std::move(plan);
   ok_ = true;
   return true;
+}
+
+void SparseLu::detect_supernodes(ReplayPlan& plan) {
+  const int n = plan.dim;
+  plan.supernode_start.clear();
+  plan.supernode_start.push_back(0);
+  if (n == 0) return;
+
+  // urow(i) == [i+1] ++ urow(i+1), element-wise on the ascending-step rows.
+  auto u_chains = [&](int i) {
+    const int begin_i = plan.u_start[static_cast<std::size_t>(i)];
+    const int len_i = plan.u_start[static_cast<std::size_t>(i) + 1] - begin_i;
+    const int begin_next = plan.u_start[static_cast<std::size_t>(i) + 1];
+    const int len_next = plan.u_start[static_cast<std::size_t>(i) + 2] - begin_next;
+    if (len_i != len_next + 1) return false;
+    if (plan.u_steps[static_cast<std::size_t>(begin_i)] != i + 1) return false;
+    for (int t = 0; t < len_next; ++t) {
+      if (plan.u_steps[static_cast<std::size_t>(begin_i + 1 + t)] !=
+          plan.u_steps[static_cast<std::size_t>(begin_next + t)]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // ldeps(r) ends with [b .. r-1] (the dep list is ascending by
+  // construction, so the block deps — if all present — are its suffix).
+  auto l_has_block_suffix = [&](int r, int b) {
+    const int count = r - b;
+    const int begin = plan.l_start[static_cast<std::size_t>(r)];
+    const int len = plan.l_start[static_cast<std::size_t>(r) + 1] - begin;
+    if (len < count) return false;
+    for (int t = 0; t < count; ++t) {
+      if (plan.l_steps[static_cast<std::size_t>(begin + len - count + t)] != b + t) return false;
+    }
+    return true;
+  };
+
+  int block_begin = 0;
+  for (int i = 0; i < n; ++i) {
+    const bool extend = i + 1 < n && u_chains(i) && l_has_block_suffix(i + 1, block_begin);
+    if (!extend) {
+      plan.supernode_start.push_back(i + 1);
+      block_begin = i + 1;
+    }
+  }
 }
 
 void SparseLu::require_refactor(const CompressedMatrix& matrix, const SparseLuOptions& options) {
@@ -321,12 +377,12 @@ bool SparseLu::refactor(const CompressedMatrix& matrix, const SparseLuOptions& o
   // same pivots on a healthy matrix, so results stay bit-identical — which
   // is exactly what the recovery tests assert.
   if (support::fault("lu_pivot")) return false;
-  const SymbolicPlan& plan = *plan_;
+  const ReplayPlan& plan = *plan_;
   const int n = plan.dim;
   dim_ = n;
   max_abs_entry_ = 0.0;
   for (const Complex& v : matrix.values) {
-    max_abs_entry_ = std::max(max_abs_entry_, std::abs(v));
+    max_abs_entry_ = std::max(max_abs_entry_, replay_abs(v));
   }
   l_values_.resize(plan.l_steps.size());
   u_values_.resize(plan.u_steps.size());
@@ -359,25 +415,25 @@ bool SparseLu::refactor(const CompressedMatrix& matrix, const SparseLuOptions& o
     for (int k = plan.l_start[static_cast<std::size_t>(i)]; k < plan.l_start[static_cast<std::size_t>(i) + 1]; ++k) {
       const int j = plan.l_steps[static_cast<std::size_t>(k)];
       const Complex multiplier =
-          work_[static_cast<std::size_t>(j)] / pivots_[static_cast<std::size_t>(j)];
+          replay_div(work_[static_cast<std::size_t>(j)], pivots_[static_cast<std::size_t>(j)]);
       l_values_[static_cast<std::size_t>(k)] = multiplier;
       for (int t = plan.u_start[static_cast<std::size_t>(j)]; t < plan.u_start[static_cast<std::size_t>(j) + 1]; ++t) {
         work_[static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(t)])] -=
-            multiplier * u_values_[static_cast<std::size_t>(t)];
+            replay_mul(multiplier, u_values_[static_cast<std::size_t>(t)]);
       }
     }
 
     // Pivot acceptance against the replayed active row (pivot + U part),
     // with a relaxed threshold: this pivot position was not re-searched.
     const Complex pivot = work_[static_cast<std::size_t>(i)];
-    const double pivot_magnitude = std::abs(pivot);
+    const double pivot_magnitude = replay_abs(pivot);
     double row_max = pivot_magnitude;
     for (int k = plan.u_start[static_cast<std::size_t>(i)]; k < plan.u_start[static_cast<std::size_t>(i) + 1]; ++k) {
       row_max = std::max(
-          row_max, std::abs(work_[static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(k)])]));
+          row_max, replay_abs(work_[static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(k)])]));
     }
     if (pivot_magnitude <= options.singularity_tolerance ||
-        pivot_magnitude < kRelaxedThresholdScale * options.pivot_threshold * row_max) {
+        pivot_magnitude < kReplayRelaxedThresholdScale * options.pivot_threshold * row_max) {
       ok_ = false;
       return false;
     }
@@ -396,7 +452,7 @@ void SparseLu::solve(std::vector<Complex>& rhs) const {
   assert(ok_ && plan_);
   assert(static_cast<int>(rhs.size()) == dim_);
   if (!ok_ || !plan_) return;  // defined no-op in release builds
-  const SymbolicPlan& plan = *plan_;
+  const ReplayPlan& plan = *plan_;
   const int n = dim_;
 
   // Forward substitution L y = P b, then in-place back substitution
@@ -405,8 +461,8 @@ void SparseLu::solve(std::vector<Complex>& rhs) const {
   for (int i = 0; i < n; ++i) {
     Complex acc = rhs[static_cast<std::size_t>(plan.row_order[static_cast<std::size_t>(i)])];
     for (int k = plan.l_start[static_cast<std::size_t>(i)]; k < plan.l_start[static_cast<std::size_t>(i) + 1]; ++k) {
-      acc -= l_values_[static_cast<std::size_t>(k)] *
-             work_[static_cast<std::size_t>(plan.l_steps[static_cast<std::size_t>(k)])];
+      acc -= replay_mul(l_values_[static_cast<std::size_t>(k)],
+                        work_[static_cast<std::size_t>(plan.l_steps[static_cast<std::size_t>(k)])]);
     }
     work_[static_cast<std::size_t>(i)] = acc;
   }
@@ -414,10 +470,10 @@ void SparseLu::solve(std::vector<Complex>& rhs) const {
     Complex acc = work_[static_cast<std::size_t>(i)];
     for (int k = plan.u_start[static_cast<std::size_t>(i)]; k < plan.u_start[static_cast<std::size_t>(i) + 1]; ++k) {
       assert(plan.u_steps[static_cast<std::size_t>(k)] > i);
-      acc -= u_values_[static_cast<std::size_t>(k)] *
-             work_[static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(k)])];
+      acc -= replay_mul(u_values_[static_cast<std::size_t>(k)],
+                        work_[static_cast<std::size_t>(plan.u_steps[static_cast<std::size_t>(k)])]);
     }
-    work_[static_cast<std::size_t>(i)] = acc / pivots_[static_cast<std::size_t>(i)];
+    work_[static_cast<std::size_t>(i)] = replay_div(acc, pivots_[static_cast<std::size_t>(i)]);
   }
   for (int i = 0; i < n; ++i) {
     rhs[static_cast<std::size_t>(plan.col_order[static_cast<std::size_t>(i)])] =
@@ -431,16 +487,15 @@ double SparseLu::min_abs_pivot() const noexcept {
   if (dim_ == 0) return std::numeric_limits<double>::infinity();
   double smallest = std::numeric_limits<double>::infinity();
   for (const Complex& pivot : pivots_) {
-    smallest = std::min(smallest, std::abs(pivot));
+    smallest = std::min(smallest, replay_abs(pivot));
   }
   return smallest;
 }
 
 numeric::ScaledComplex SparseLu::determinant() const {
   if (!ok_) return numeric::ScaledComplex();
-  numeric::ScaledComplex det(Complex(static_cast<double>(plan_->permutation_sign), 0.0));
-  for (const Complex& pivot : pivots_) det *= numeric::ScaledComplex(pivot);
-  return det;
+  return numeric::scaled_pivot_product(pivots_.data(), pivots_.size(), 1,
+                                       static_cast<double>(plan_->permutation_sign));
 }
 
 }  // namespace symref::sparse

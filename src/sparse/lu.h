@@ -32,6 +32,7 @@
 // single-threaded (solve() mutates its scratch workspace).
 #pragma once
 
+#include <cmath>
 #include <complex>
 #include <cstddef>
 #include <memory>
@@ -60,6 +61,109 @@ struct SparseLuOptions {
   double pivot_threshold = 1e-3;
   /// A pivot with magnitude <= this is rejected as numerically zero.
   double singularity_tolerance = 0.0;
+};
+
+/// Pivots reused by a plan replay (scalar refactor() or a BatchedReplay
+/// lane) were not re-searched, so they are accepted with a threshold this
+/// much more permissive than the factor() one; a pivot degraded beyond it
+/// refuses the replay and signals the caller to re-run the full factor().
+/// Both replay paths MUST share this constant — the refusal decision is part
+/// of the bit-identity contract between them.
+inline constexpr double kReplayRelaxedThresholdScale = 1e-5;
+
+/// Complex magnitude of the replay hot paths: sqrt(re^2 + im^2) compiles to
+/// a handful of vectorizable instructions instead of a libm hypot call, and
+/// the matrices this library factors are scaled admittance matrices whose
+/// entries sit far inside the |z| < ~1e150 range where the squared form is
+/// exact enough (it can differ from std::abs by an ulp, never overflow).
+/// Scalar refactor() and BatchedReplay MUST share this function — pivot
+/// refusal decisions and the min/max magnitude statistics are part of the
+/// bit-identity contract between them.
+inline double replay_abs(const std::complex<double>& z) noexcept {
+  return std::sqrt(z.real() * z.real() + z.imag() * z.imag());
+}
+
+/// Complex multiply of the replay hot paths: the plain four-product formula
+/// without the NaN-recovery branch GCC attaches to the builtin complex
+/// multiply. Bitwise equal to operator* whenever the naive result is finite
+/// (the recovery only rewrites NaN results); written out so the per-lane
+/// loops of the batched kernel vectorize. Shared by scalar replay, batched
+/// replay and both solve paths for the same bit-identity reason as
+/// replay_abs.
+inline std::complex<double> replay_mul(const std::complex<double>& a,
+                                       const std::complex<double>& b) noexcept {
+  return {a.real() * b.real() - a.imag() * b.imag(),
+          a.real() * b.imag() + a.imag() * b.real()};
+}
+
+/// Complex division of the factor/replay/solve hot paths: the direct
+/// conjugate formula instead of the branchy Smith algorithm behind
+/// operator/. The denominator |b|^2 stays in double range for any divisor
+/// magnitude in ~(1e-150, 1e150) — comfortably true for pivots of scaled
+/// admittance matrices (a pivot tiny enough to underflow here would long
+/// since have been refused or escalated). Every elimination and solve MUST
+/// divide through this one function: factor() and refactor() are bit-equal
+/// because they execute identical arithmetic, and scalar/batched replays
+/// likewise.
+inline std::complex<double> replay_div(const std::complex<double>& a,
+                                       const std::complex<double>& b) noexcept {
+  const double den = b.real() * b.real() + b.imag() * b.imag();
+  return {(a.real() * b.real() + a.imag() * b.imag()) / den,
+          (a.imag() * b.real() - a.real() * b.imag()) / den};
+}
+
+/// The one-time symbolic work of SparseLu::factor(): pivot order, fill-in
+/// pattern, scatter plan and supernode partition. Immutable once recorded
+/// and shared read-only (shared_ptr) between a SparseLu, its clones and any
+/// BatchedReplay bound to it — every replay consumer walks the same flat
+/// arrays, which is what makes scalar and batched replays bit-identical by
+/// construction (identical per-slot operation sequences).
+///
+/// Everything is expressed in STEP space (elimination order), not original
+/// row/column indices: step i eliminates original row row_order[i] and
+/// column col_order[i].
+struct ReplayPlan {
+  int dim = 0;
+  std::size_t fill_in = 0;
+  int permutation_sign = 1;
+  std::vector<int> row_order;  // step -> original pivot row
+  std::vector<int> col_order;  // step -> original pivot column
+  std::vector<int> col_step;   // original column -> step
+  /// Structural fingerprint of A for the refactor() pattern check.
+  std::vector<int> pattern_row_start;
+  std::vector<int> pattern_cols;
+  /// CSR position k of A -> column-step workspace slot (scatter plan).
+  std::vector<int> a_dest;
+  /// L (unit lower) stored by row-step: for row i, steps j < i in ascending
+  /// order with the multipliers. U stored by row-step: steps k > i in
+  /// ascending step order with the row values; pivots kept separately.
+  /// (Ascending U order is safe: within one dep row every update hits a
+  /// distinct workspace slot, so the per-slot accumulation sequence — and
+  /// hence every replayed value — is order-independent across the row.)
+  std::vector<int> l_start;
+  std::vector<int> l_steps;
+  std::vector<int> u_start;
+  std::vector<int> u_steps;
+  /// Supernode partition of the step range: supernode s covers steps
+  /// [supernode_start[s], supernode_start[s+1]). A supernode is a maximal
+  /// run of steps whose fill-in forms a dense diagonal block with a shared
+  /// off-block row structure:
+  ///   * U chain: urow(i) == [i+1] ++ urow(i+1) for every interior step, so
+  ///     urow(j) == [j+1 .. e-1] ++ urow(e-1) — the in-block targets are the
+  ///     contiguous steps after j and the tail indices are shared by every
+  ///     row of the block;
+  ///   * L fill: ldeps(r) ends with [b .. r-1] — every block row depends on
+  ///     ALL earlier block steps.
+  /// Batched replay executes such a block as a small dense rank-k kernel
+  /// (unit-stride targets, one shared tail index list) with the exact scalar
+  /// operation order. Degenerate cases: a diagonal pattern yields dim
+  /// singleton supernodes and a dense matrix one; a tridiagonal yields
+  /// dim - 1 (only its trailing 2x2 corner — genuinely dense — merges).
+  std::vector<int> supernode_start;
+
+  [[nodiscard]] std::size_t supernode_count() const noexcept {
+    return supernode_start.empty() ? 0 : supernode_start.size() - 1;
+  }
 };
 
 class SparseLu {
@@ -95,8 +199,18 @@ class SparseLu {
   /// shared with clones of this instance). refactor() requires it.
   [[nodiscard]] bool has_plan() const noexcept { return plan_ != nullptr; }
 
+  /// The recorded symbolic plan (nullptr before the first successful
+  /// factor()). Shared read-only — the handle a BatchedReplay binds to.
+  [[nodiscard]] std::shared_ptr<const ReplayPlan> plan() const noexcept { return plan_; }
+
   /// Fill-in created by elimination (entries in L+U beyond those of A).
   [[nodiscard]] std::size_t fill_in() const noexcept { return plan_ ? plan_->fill_in : 0; }
+
+  /// Supernodes of the recorded plan (0 before the first factor()). Every
+  /// step belongs to exactly one supernode; see ReplayPlan::supernode_start.
+  [[nodiscard]] std::size_t supernode_count() const noexcept {
+    return plan_ ? plan_->supernode_count() : 0;
+  }
 
   /// Largest |entry| of the factored matrix and smallest |pivot| of U.
   /// Their ratio is a cheap proxy for the determinant's relative
@@ -120,36 +234,17 @@ class SparseLu {
   [[nodiscard]] numeric::ScaledComplex determinant() const;
 
  private:
-  /// The one-time symbolic work of factor(), immutable afterwards and shared
-  /// read-only between an instance and its clones (each thread of a batch
-  /// evaluation replays the same plan with its own numeric payload).
-  struct SymbolicPlan {
-    int dim = 0;
-    std::size_t fill_in = 0;
-    int permutation_sign = 1;
-    std::vector<int> row_order;  // step -> original pivot row
-    std::vector<int> col_order;  // step -> original pivot column
-    std::vector<int> col_step;   // original column -> step
-    /// Structural fingerprint of A for the refactor() pattern check.
-    std::vector<int> pattern_row_start;
-    std::vector<int> pattern_cols;
-    /// CSR position k of A -> column-step workspace slot (scatter plan).
-    std::vector<int> a_dest;
-    /// L (unit lower) stored by row-step: for row i, steps j < i in ascending
-    /// order with the multipliers. U stored by row-step: steps k > i in the
-    /// elimination's freeze order with the row values; pivots kept separately.
-    std::vector<int> l_start;
-    std::vector<int> l_steps;
-    std::vector<int> u_start;
-    std::vector<int> u_steps;
-  };
-
   bool analyze_and_factor(const CompressedMatrix& matrix, const SparseLuOptions& options);
+
+  /// Partition the plan's steps into supernodes (see ReplayPlan). Pure
+  /// structure analysis over the harvested L/U patterns; greedy maximal
+  /// runs, O(total block area).
+  static void detect_supernodes(ReplayPlan& plan);
 
   int dim_ = 0;
   bool ok_ = false;
   double max_abs_entry_ = 0.0;
-  std::shared_ptr<const SymbolicPlan> plan_;
+  std::shared_ptr<const ReplayPlan> plan_;
 
   // --- Numeric payload (rewritten by every factor()/refactor()) -------------
   std::vector<std::complex<double>> l_values_;

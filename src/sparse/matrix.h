@@ -47,6 +47,19 @@ struct PatternStamp {
   double capacitance = 0.0;
 };
 
+/// On-the-fly lane assembly for BatchedReplay: the base value arrays plus
+/// the per-lane frequency points, letting the replay's scatter compute
+/// value(k, l) = g_scale * conductance[k] + s[l] * (f_scale * capacitance[k])
+/// as it streams — the exact assemble_batch expression without ever
+/// materializing the nnz-by-width value block.
+struct LaneAssembly {
+  const double* conductance = nullptr;  // per CSR position
+  const double* capacitance = nullptr;  // per CSR position
+  const std::complex<double>* s = nullptr;  // per lane
+  double f_scale = 1.0;
+  double g_scale = 1.0;
+};
+
 /// Pattern-cached assembly: the structural nonzero layout is computed once
 /// from a stamp list (duplicates merged, rows sorted), and every assemble()
 /// call rewrites only the value array of the cached CompressedMatrix — no
@@ -63,6 +76,16 @@ class PatternedMatrix {
   const CompressedMatrix& assemble(std::complex<double> s, double f_scale = 1.0,
                                    double g_scale = 1.0);
 
+  /// Batched SoA assembly: for each lane l in [0, lanes), write
+  /// dest[k * stride + l] = g_scale * conductance[k] + s[l] * (f_scale *
+  /// capacitance[k]) for every CSR position k — the same expression as
+  /// assemble(s[l], f_scale, g_scale), so each lane is bit-identical to a
+  /// scalar assembly at its point. dest is typically
+  /// BatchedReplay::values() with stride == its width.
+  void assemble_batch(std::complex<double>* dest, std::size_t stride,
+                      const std::complex<double>* s, int lanes, double f_scale = 1.0,
+                      double g_scale = 1.0) const;
+
   /// Replace the base conductance/capacitance arrays from a NEW stamp list
   /// with the SAME merged structure — the per-sample path of parameter
   /// sweeps, where element values change but the topology does not. Returns
@@ -74,6 +97,14 @@ class PatternedMatrix {
   bool rebind(int dim, std::vector<PatternStamp> stamps);
 
   [[nodiscard]] const CompressedMatrix& matrix() const noexcept { return matrix_; }
+
+  /// View for BatchedReplay's fused-assembly replay: lane l of CSR position
+  /// k assembles to the same bits as assemble(s[l], f_scale, g_scale). The
+  /// view borrows this matrix's arrays — keep it alive while in use.
+  [[nodiscard]] LaneAssembly lane_assembly(const std::complex<double>* s, double f_scale = 1.0,
+                                           double g_scale = 1.0) const noexcept {
+    return {conductance_.data(), capacitance_.data(), s, f_scale, g_scale};
+  }
 
  private:
   CompressedMatrix matrix_;

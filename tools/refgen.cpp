@@ -237,6 +237,7 @@ void print_usage() {
       "            [--mc-samples=N] [--seed=S] [--probe=f0:f1[:ppd]]\n"
       "  transfer: [--in-neg=<node>] [--out-neg=<node>] [--transimpedance]\n"
       "  engine:   [--sigma=N] [--max-iterations=N] [--threads=N] [--timeout=SECONDS]\n"
+      "            [--kernel=scalar|batched] (replay kernel; results bit-identical)\n"
       "  remote:   [--connect=[host:]port] [--retry=N] [--deadline-ms=N]\n"
       "            (drive a refgend daemon)\n"
       "  output:   [--json[=path|-]] [--emit-reference] [--progress] [--name=label]\n"
@@ -527,9 +528,9 @@ int run_connected(const symref::support::CliArgs& args, const std::string& netli
 int main(int argc, char** argv) {
   const symref::support::CliArgs args(
       argc, argv,
-      {"in", "out", "in-neg", "out-neg", "sigma", "max-iterations", "threads", "sweep",
-       "sweep-param", "mc-param", "mc-samples", "seed", "probe", "requests", "json", "name",
-       "timeout", "connect", "retry", "deadline-ms"});
+      {"in", "out", "in-neg", "out-neg", "sigma", "max-iterations", "threads", "kernel",
+       "sweep", "sweep-param", "mc-param", "mc-samples", "seed", "probe", "requests", "json",
+       "name", "timeout", "connect", "retry", "deadline-ms"});
   if (args.positional().empty()) {
     print_usage();
     return 2;
@@ -657,6 +658,33 @@ int main(int argc, char** argv) {
         sweep.points_per_decade = probe.points_per_decade;
       }
       requests.push_back(std::move(request));
+    }
+  }
+  // --kernel applies to every request of the session (including ones read
+  // from a --requests file). Results are bit-identical either way, so the
+  // override is safe — it only selects the replay implementation.
+  if (args.has("kernel")) {
+    const std::string kernel_name = args.get("kernel");
+    symref::sparse::ReplayKernel kernel = symref::sparse::ReplayKernel::kScalar;
+    if (kernel_name == "batched") {
+      kernel = symref::sparse::ReplayKernel::kBatched;
+    } else if (kernel_name != "scalar") {
+      std::fprintf(stderr, "error: bad --kernel '%s' (want scalar or batched)\n",
+                   kernel_name.c_str());
+      return 2;
+    }
+    for (AnyRequest& request : requests) {
+      switch (request.type) {
+        case AnyRequest::Type::kRefgen: request.refgen.options.kernel = kernel; break;
+        case AnyRequest::Type::kPolesZeros: request.poles_zeros.options.kernel = kernel; break;
+        case AnyRequest::Type::kSweep: request.sweep.kernel = kernel; break;
+        case AnyRequest::Type::kParamSweep: request.param_sweep.kernel = kernel; break;
+        case AnyRequest::Type::kBatch:
+          for (symref::api::RefgenRequest& item : request.batch.items) {
+            item.options.kernel = kernel;
+          }
+          break;
+      }
     }
   }
   if (progress) {
