@@ -63,6 +63,7 @@ Json to_json(const JobOutcome& outcome) {
     case AnyRequest::Type::kPolesZeros: return to_json(outcome.poles_zeros);
     case AnyRequest::Type::kBatch: return to_json(outcome.batch);
     case AnyRequest::Type::kParamSweep: return to_json(outcome.param_sweep);
+    case AnyRequest::Type::kSimplify: return to_json(outcome.simplify);
   }
   return error_response("refgen", Status::error(StatusCode::kInternal, "bad outcome type"));
 }
@@ -387,6 +388,15 @@ void JobManager::run(const std::shared_ptr<Job>& job) {
       auto response = service_.param_sweep(job->handle, request.param_sweep);
       outcome.status = response.status();
       if (response.ok()) outcome.param_sweep = response.take();
+      break;
+    }
+    case AnyRequest::Type::kSimplify: {
+      // The simplify engine re-runs the reference internally; its observer
+      // hook feeds the same progress stream as a refgen job.
+      wire(request.simplify.options.engine);
+      auto response = service_.simplify(job->handle, request.simplify);
+      outcome.status = response.status();
+      if (response.ok()) outcome.simplify = response.take();
       break;
     }
   }

@@ -71,6 +71,7 @@ struct JobOutcome {
   PolesZerosResponse poles_zeros;
   BatchResponse batch;
   ParamSweepResponse param_sweep;
+  SimplifyResponse simplify;
   /// Pre-serialized wire payload (submit_stored: a reference-store hit).
   /// When non-null and status is ok, to_json returns it verbatim — the
   /// stored bytes ARE the contract (byte-identical replay across restarts).

@@ -388,6 +388,10 @@ Json Session::dispatch(const Json& request) {
                       static_cast<double>(engine.value().degraded_responses));
       engine_json.set("supernodes", static_cast<double>(engine.value().supernodes));
       engine_json.set("batched_lanes", static_cast<double>(engine.value().batched_lanes));
+      engine_json.set("simplify_term_evals",
+                      static_cast<double>(engine.value().simplify_term_evals));
+      engine_json.set("simplify_terms_dropped",
+                      static_cast<double>(engine.value().simplify_terms_dropped));
       out.set("engine", std::move(engine_json));
       if (support::BlobStore* store = core_.store(); store != nullptr) {
         const support::BlobStore::Stats store_stats = store->stats();

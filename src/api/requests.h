@@ -16,6 +16,7 @@
 #include "mna/param_sweep.h"
 #include "mna/transfer.h"
 #include "refgen/adaptive.h"
+#include "refgen/simplify.h"
 
 namespace symref::api {
 
@@ -111,6 +112,24 @@ struct ParamSweepRequest {
 
 struct ParamSweepResponse {
   mna::ParamSweepResult result;
+  bool from_cache = false;
+  double seconds = 0.0;
+};
+
+/// Reference-driven symbolic simplification of one transfer function: prune,
+/// re-reference, enumerate and drop terms until the band error certificate
+/// fits the budget (refgen/simplify.h). `options.engine.threads/kernel/
+/// cancel` drive every stage; results are bit-identical at any setting, so
+/// none is part of the response-cache key. Errors: kInvalidSpec (spec the
+/// generators cannot represent), kIncomplete (budget not certifiable within
+/// the enumeration caps), kSingularSystem, kCancelled.
+struct SimplifyRequest {
+  mna::TransferSpec spec;
+  refgen::SimplifyOptions options;
+};
+
+struct SimplifyResponse {
+  refgen::SimplifyResult result;
   bool from_cache = false;
   double seconds = 0.0;
 };

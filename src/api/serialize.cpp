@@ -335,6 +335,69 @@ Json to_json(const ParamSweepResponse& response) {
   return out;
 }
 
+namespace {
+
+Json simplified_terms_to_json(const std::vector<refgen::SimplifiedTerm>& terms) {
+  Json out = Json::array();
+  for (const refgen::SimplifiedTerm& term : terms) {
+    Json entry = Json::object();
+    entry.set("coefficient", term.coefficient);
+    Json symbols = Json::array();
+    for (const std::string& symbol : term.symbols) symbols.push_back(symbol);
+    entry.set("symbols", std::move(symbols));
+    entry.set("s_power", term.s_power);
+    entry.set("value", scaled_to_json(term.value));
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace
+
+Json to_json(const SimplifyResponse& response) {
+  Json out = envelope("simplify", Status());
+  out.set("from_cache", response.from_cache);
+  out.set("seconds", response.seconds);
+  const refgen::SimplifyResult& result = response.result;
+  out.set("engine_seconds", result.seconds);
+  out.set("reduced_dim", result.reduced_dim);
+  out.set("reduced_elements", static_cast<double>(result.reduced_elements));
+  out.set("original_elements", static_cast<double>(result.original_elements));
+  out.set("enumerated_terms", static_cast<double>(result.enumerated_terms));
+  out.set("kept_terms", static_cast<double>(result.kept_terms));
+  out.set("terms_dropped", static_cast<double>(result.terms_dropped));
+  out.set("term_evals", static_cast<double>(result.term_evals));
+  out.set("ranking_fresh_factorizations",
+          static_cast<double>(result.ranking_fresh_factorizations));
+  Json actions = Json::array();
+  for (const refgen::SimplifyPruneAction& action : result.prune_actions) {
+    Json entry = Json::object();
+    entry.set("element", action.element);
+    entry.set("op", action.op);
+    entry.set("error_after", action.error_after);
+    actions.push_back(std::move(entry));
+  }
+  out.set("prune_actions", std::move(actions));
+  Json certificate = Json::object();
+  certificate.set("error_budget", result.certificate.error_budget);
+  certificate.set("max_relative_error", hex_double(result.certificate.max_relative_error));
+  Json points = Json::array();
+  for (std::size_t i = 0; i < result.certificate.frequencies_hz.size(); ++i) {
+    Json point = Json::object();
+    point.set("frequency_hz", result.certificate.frequencies_hz[i]);
+    // Hex floats: the daemon-vs-CLI byte-compare rides on bit-exactness.
+    point.set("relative_error", hex_double(result.certificate.relative_error[i]));
+    points.push_back(std::move(point));
+  }
+  certificate.set("points", std::move(points));
+  out.set("certificate", std::move(certificate));
+  out.set("numerator_expression", result.numerator_expression);
+  out.set("denominator_expression", result.denominator_expression);
+  out.set("numerator_terms", simplified_terms_to_json(result.numerator_terms));
+  out.set("denominator_terms", simplified_terms_to_json(result.denominator_terms));
+  return out;
+}
+
 Json error_response(const char* type, const Status& status) {
   return envelope(type, status);
 }
@@ -415,6 +478,7 @@ const char* request_type_name(AnyRequest::Type type) noexcept {
     case AnyRequest::Type::kPolesZeros: return "poles_zeros";
     case AnyRequest::Type::kBatch: return "batch";
     case AnyRequest::Type::kParamSweep: return "param_sweep";
+    case AnyRequest::Type::kSimplify: return "simplify";
   }
   return "refgen";
 }
@@ -449,6 +513,21 @@ Json to_json(const AnyRequest& request) {
       }
       out.set("items", std::move(items));
       out.set("threads", request.batch.threads);
+      break;
+    }
+    case AnyRequest::Type::kSimplify: {
+      const refgen::SimplifyOptions& options = request.simplify.options;
+      out.set("spec", to_json(request.simplify.spec));
+      out.set("error_budget", options.error_budget);
+      out.set("f_start_hz", options.f_start_hz);
+      out.set("f_stop_hz", options.f_stop_hz);
+      out.set("band_points", options.band_points);
+      out.set("prune", options.prune);
+      out.set("prune_share", options.prune_share);
+      out.set("max_terms", static_cast<double>(options.max_terms_per_coefficient));
+      out.set("max_queue", static_cast<double>(options.max_queue));
+      out.set("skip_factor", options.coefficient_skip_factor);
+      out.set("options", to_json(options.engine));
       break;
     }
     case AnyRequest::Type::kParamSweep: {
@@ -593,6 +672,60 @@ Result<AnyRequest> request_from_json(const Json& json) {
     }
     return request;
   }
+  if (type == "simplify") {
+    status = check_keys(json,
+                        {"type", "spec", "error_budget", "f_start_hz", "f_stop_hz",
+                         "band_points", "prune", "prune_share", "max_terms", "max_queue",
+                         "skip_factor", "options"},
+                        kWhat);
+    if (!status.ok()) return status;
+    const Json* spec = json.find("spec");
+    if (spec == nullptr) {
+      return Status::error(StatusCode::kInvalidArgument,
+                           "request: missing required key \"spec\"");
+    }
+    Result<mna::TransferSpec> parsed_spec = spec_from_json(*spec);
+    if (!parsed_spec.ok()) return parsed_spec.status();
+    request.type = AnyRequest::Type::kSimplify;
+    request.simplify.spec = parsed_spec.take();
+    refgen::SimplifyOptions& options = request.simplify.options;
+    if (!(status = read_number(json, "error_budget", &options.error_budget, kWhat)).ok()) {
+      return status;
+    }
+    if (!(status = read_number(json, "f_start_hz", &options.f_start_hz, kWhat)).ok()) {
+      return status;
+    }
+    if (!(status = read_number(json, "f_stop_hz", &options.f_stop_hz, kWhat)).ok()) {
+      return status;
+    }
+    if (!(status = read_int(json, "band_points", &options.band_points, kWhat)).ok()) {
+      return status;
+    }
+    if (!(status = read_bool(json, "prune", &options.prune, kWhat)).ok()) return status;
+    if (!(status = read_number(json, "prune_share", &options.prune_share, kWhat)).ok()) {
+      return status;
+    }
+    int max_terms = static_cast<int>(options.max_terms_per_coefficient);
+    int max_queue = static_cast<int>(options.max_queue);
+    if (!(status = read_int(json, "max_terms", &max_terms, kWhat)).ok()) return status;
+    if (!(status = read_int(json, "max_queue", &max_queue, kWhat)).ok()) return status;
+    if (max_terms <= 0 || max_queue <= 0) {
+      return Status::error(StatusCode::kInvalidArgument,
+                           "request: \"max_terms\"/\"max_queue\" must be positive");
+    }
+    options.max_terms_per_coefficient = static_cast<std::size_t>(max_terms);
+    options.max_queue = static_cast<std::size_t>(max_queue);
+    if (!(status = read_number(json, "skip_factor", &options.coefficient_skip_factor, kWhat))
+             .ok()) {
+      return status;
+    }
+    if (const Json* options_json = json.find("options"); options_json != nullptr) {
+      Result<refgen::AdaptiveOptions> parsed = options_from_json(*options_json);
+      if (!parsed.ok()) return parsed.status();
+      options.engine = parsed.take();
+    }
+    return request;
+  }
   if (type == "param_sweep") {
     status = check_keys(json,
                         {"type", "spec", "mode", "params", "samples", "seed", "f_start_hz",
@@ -705,7 +838,8 @@ Result<AnyRequest> request_from_json(const Json& json) {
   }
   return Status::error(StatusCode::kInvalidArgument,
                        "request: unknown type \"" + type +
-                           "\" (expected refgen, sweep, poles_zeros, batch, or param_sweep)");
+                           "\" (expected refgen, sweep, poles_zeros, batch, param_sweep, "
+                           "or simplify)");
 }
 
 Result<std::vector<AnyRequest>> requests_from_json(const Json& json) {

@@ -36,6 +36,10 @@ Json to_json(const RefgenResponse& response);
 Json to_json(const SweepResponse& response);
 Json to_json(const PolesZerosResponse& response);
 Json to_json(const BatchResponse& response);
+/// Term values and certificate errors are hex-float (bit-exact across the
+/// wire — the daemon-vs-CLI byte-compare of the simplify smoke rides on
+/// this).
+Json to_json(const SimplifyResponse& response);
 /// Per-sample transfer values are hex-float strings (bit-exact across the
 /// wire — the 1-vs-N-thread byte-compare of CI's smoke jobs rides on this).
 Json to_json(const ParamSweepResponse& response);
@@ -50,31 +54,36 @@ Result<refgen::AdaptiveOptions> options_from_json(const Json& json);
 
 /// A request of any type, as parsed from a JSON payload.
 struct AnyRequest {
-  enum class Type { kRefgen, kSweep, kPolesZeros, kBatch, kParamSweep };
+  enum class Type { kRefgen, kSweep, kPolesZeros, kBatch, kParamSweep, kSimplify };
   Type type = Type::kRefgen;
   RefgenRequest refgen;
   SweepRequest sweep;
   PolesZerosRequest poles_zeros;
   BatchRequest batch;
   ParamSweepRequest param_sweep;
+  SimplifyRequest simplify;
 };
 
 /// Stable wire token of a request type: "refgen", "sweep", "poles_zeros",
-/// "batch", "param_sweep".
+/// "batch", "param_sweep", "simplify".
 const char* request_type_name(AnyRequest::Type type) noexcept;
 
 /// Encode a request in the exact schema request_from_json accepts — the
 /// client half of the wire (tools/refgen --connect, request-file writers).
 Json to_json(const AnyRequest& request);
 
-/// Parse {"type": "refgen"|"sweep"|"poles_zeros"|"batch"|"param_sweep",
-/// ...}. Strict: unknown keys and missing required fields fail with
-/// kInvalidArgument, so typos in hand-written request files surface instead
-/// of silently using defaults. A batch request carries "items": an array of
-/// {"spec", "options"} refgen items, plus optional "threads". A param_sweep
-/// request carries "mode" ("grid"|"monte_carlo") and "params": grid axes
-/// {"name", "from", "to", "count", "log"} or Monte-Carlo dimensions
-/// {"name", "nominal", "rel_sigma", "dist"} plus "samples"/"seed".
+/// Parse {"type": "refgen"|"sweep"|"poles_zeros"|"batch"|"param_sweep"|
+/// "simplify", ...}. Strict: unknown keys and missing required fields fail
+/// with kInvalidArgument, so typos in hand-written request files surface
+/// instead of silently using defaults. A batch request carries "items": an
+/// array of {"spec", "options"} refgen items, plus optional "threads". A
+/// param_sweep request carries "mode" ("grid"|"monte_carlo") and "params":
+/// grid axes {"name", "from", "to", "count", "log"} or Monte-Carlo
+/// dimensions {"name", "nominal", "rel_sigma", "dist"} plus
+/// "samples"/"seed". A simplify request carries "error_budget", the band
+/// ("f_start_hz"/"f_stop_hz"/"band_points") and optional tuning knobs
+/// ("prune", "prune_share", "max_terms", "max_queue", "skip_factor") plus
+/// the nested reference-engine "options".
 Result<AnyRequest> request_from_json(const Json& json);
 
 /// Parse a request *session*: either one request object or an array of

@@ -45,6 +45,17 @@ std::string options_key(const refgen::AdaptiveOptions& o) {
   return buffer;
 }
 
+/// Exact fingerprint of a simplify request (engine threads/kernel/cancel
+/// excluded — bit-identical results at any setting). The nested engine
+/// options reuse options_key.
+std::string simplify_key(const refgen::SimplifyOptions& o) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer), "%a|%a|%a|%d|%d|%a|%zu|%zu|%a|", o.error_budget,
+                o.f_start_hz, o.f_stop_hz, o.band_points, o.prune ? 1 : 0, o.prune_share,
+                o.max_terms_per_coefficient, o.max_queue, o.coefficient_skip_factor);
+  return buffer + options_key(o.engine);
+}
+
 std::string sweep_key(const SweepRequest& request) {
   char buffer[128];
   std::snprintf(buffer, sizeof(buffer), "%a|%a|%d", request.f_start_hz, request.f_stop_hz,
@@ -125,7 +136,8 @@ struct SpecEntry {
   explicit SpecEntry(std::size_t cache_capacity)
       : refgen_cache(cache_capacity),
         sweep_cache(cache_capacity),
-        param_sweep_cache(cache_capacity) {}
+        param_sweep_cache(cache_capacity),
+        simplify_cache(cache_capacity) {}
 
   std::mutex mutex;
   /// Reference-generation plan cache: assembly pattern + symbolic LU plan
@@ -138,6 +150,7 @@ struct SpecEntry {
   support::LruCache<std::string, RefgenResponse> refgen_cache;
   support::LruCache<std::string, SweepResponse> sweep_cache;
   support::LruCache<std::string, ParamSweepResponse> param_sweep_cache;
+  support::LruCache<std::string, SimplifyResponse> simplify_cache;
 };
 
 struct CompiledCircuit {
@@ -169,6 +182,10 @@ struct CompiledCircuit {
   /// cached evaluators; this one is response-level so cache hits of a
   /// degraded result do not re-count.
   std::atomic<std::uint64_t> degraded_responses{0};
+  /// Simplify workload counters (Service::engine_stats). Response-level so
+  /// cache hits do not re-count, like degraded_responses.
+  std::atomic<std::uint64_t> simplify_term_evals{0};
+  std::atomic<std::uint64_t> simplify_terms_dropped{0};
 
   CompiledCircuit(netlist::Circuit circuit, const netlist::CanonicalOptions& options)
       : original(std::move(circuit)),
@@ -276,6 +293,54 @@ Result<RefgenResponse> Service::refgen(const CircuitHandle& handle,
     }
     if (options_.cache_responses) {
       compiled.cache_evictions.fetch_add(entry->refgen_cache.insert(key, response),
+                                         std::memory_order_relaxed);
+    }
+    return response;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<SimplifyResponse> Service::simplify(const CircuitHandle& handle,
+                                           const SimplifyRequest& request) const {
+  if (!handle.valid()) {
+    return Status::error(StatusCode::kInvalidArgument, kEmptyHandleMessage);
+  }
+  support::Timer timer;
+  try {
+    CompiledCircuit& compiled = *handle.compiled_;
+    const std::shared_ptr<SpecEntry> entry = compiled.entry(request.spec);
+    const std::lock_guard<std::mutex> lock(entry->mutex);
+
+    const std::string key = simplify_key(request.options);
+    if (options_.cache_responses) {
+      if (const SimplifyResponse* hit = entry->simplify_cache.find(key)) {
+        compiled.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        SimplifyResponse response = *hit;
+        response.from_cache = true;
+        response.seconds = timer.seconds();
+        return response;
+      }
+      compiled.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Warm path: the spec's evaluator serves the baseline band sweep with
+    // its cached assembly pattern and LU plan; the ranking lanes copy it
+    // (sharing the immutable symbolic plan) inside the engine.
+    if (!entry->evaluator) {
+      entry->evaluator = std::make_unique<mna::CofactorEvaluator>(compiled.system, request.spec);
+    }
+    SimplifyResponse response;
+    response.result = refgen::simplify_transfer(compiled.canonical, compiled.system,
+                                                request.spec, request.options,
+                                                entry->evaluator.get());
+    response.seconds = timer.seconds();
+    compiled.simplify_term_evals.fetch_add(response.result.term_evals,
+                                           std::memory_order_relaxed);
+    compiled.simplify_terms_dropped.fetch_add(response.result.terms_dropped,
+                                              std::memory_order_relaxed);
+    if (options_.cache_responses) {
+      compiled.cache_evictions.fetch_add(entry->simplify_cache.insert(key, response),
                                          std::memory_order_relaxed);
     }
     return response;
@@ -434,7 +499,7 @@ Result<CacheStats> Service::cache_stats(const CircuitHandle& handle) const {
   for (const std::shared_ptr<SpecEntry>& entry : entries) {
     const std::lock_guard<std::mutex> lock(entry->mutex);
     stats.entries += entry->refgen_cache.size() + entry->sweep_cache.size() +
-                     entry->param_sweep_cache.size();
+                     entry->param_sweep_cache.size() + entry->simplify_cache.size();
   }
   return stats;
 }
@@ -446,6 +511,9 @@ Result<EngineStats> Service::engine_stats(const CircuitHandle& handle) const {
   CompiledCircuit& compiled = *handle.compiled_;
   EngineStats stats;
   stats.degraded_responses = compiled.degraded_responses.load(std::memory_order_relaxed);
+  stats.simplify_term_evals = compiled.simplify_term_evals.load(std::memory_order_relaxed);
+  stats.simplify_terms_dropped =
+      compiled.simplify_terms_dropped.load(std::memory_order_relaxed);
   // Same discipline as cache_stats: collect entries, then lock each briefly.
   std::vector<std::shared_ptr<SpecEntry>> entries;
   {

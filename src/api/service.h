@@ -90,6 +90,12 @@ struct EngineStats {
   /// Samples evaluated through the batched SoA replay kernel (all specs
   /// combined). Stays 0 under the scalar kernel. Monotonic.
   std::uint64_t batched_lanes = 0;
+  /// Band-point evaluations the simplify() pruning/certification stages
+  /// spent ranking candidates and trialing term drops. Monotonic.
+  std::uint64_t simplify_term_evals = 0;
+  /// Symbolic terms simplify() enumerated and then discarded (SAG drops).
+  /// Monotonic.
+  std::uint64_t simplify_terms_dropped = 0;
 };
 
 /// A compiled circuit: immutable shared state plus internally synchronized
@@ -168,6 +174,15 @@ class Service {
   /// division by zero), kCancelled.
   [[nodiscard]] Result<ParamSweepResponse> param_sweep(const CircuitHandle& handle,
                                                        const ParamSweepRequest& request) const;
+
+  /// Reference-driven symbolic simplification: prune the circuit, generate
+  /// the reduced reference, enumerate terms under eq. (3) and drop them
+  /// greedily while the certificate stays inside the budget. Warm path: the
+  /// spec's cached evaluator serves the baseline band sweep; identical
+  /// requests hit the per-spec response cache. Errors: kInvalidSpec,
+  /// kIncomplete, kSingularSystem, kInvalidArgument, kCancelled.
+  [[nodiscard]] Result<SimplifyResponse> simplify(const CircuitHandle& handle,
+                                                  const SimplifyRequest& request) const;
 
   /// Many refgen items against one handle, shared-nothing in parallel.
   /// The call itself only fails for an invalid handle; per-item failures

@@ -8,6 +8,7 @@
 #include "netlist/parser.h"
 #include "sparse/lu.h"
 #include "support/cancellation.h"
+#include "symbolic/errors.h"
 
 namespace symref::api {
 
@@ -74,6 +75,12 @@ Status status_from_current_exception() noexcept {
     return Status::error(StatusCode::kRefusedReplay, e.what());
   } catch (const support::CancelledError& e) {
     return Status::error(StatusCode::kCancelled, e.what());
+  } catch (const symbolic::NonAdmissibleError& e) {
+    // Before std::invalid_argument (its base): a non-admissible spec/graph
+    // is a spec problem, not a generic bad argument.
+    return Status::error(StatusCode::kInvalidSpec, e.what());
+  } catch (const symbolic::TermEnumerationError& e) {
+    return Status::error(StatusCode::kIncomplete, e.what());
   } catch (const std::invalid_argument& e) {
     return Status::error(StatusCode::kInvalidArgument, e.what());
   } catch (const std::bad_alloc& e) {

@@ -241,6 +241,18 @@ bool Circuit::remove_element(std::string_view name) {
   return true;
 }
 
+bool Circuit::set_element_value(std::string_view name, double value) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("set_element_value: value for '" + std::string(name) +
+                                "' is not finite");
+  }
+  const auto it = std::find_if(elements_.begin(), elements_.end(),
+                               [&](const Element& e) { return e.name == name; });
+  if (it == elements_.end()) return false;
+  it->value = value;
+  return true;
+}
+
 bool Circuit::short_element(std::string_view name) {
   const auto it = std::find_if(elements_.begin(), elements_.end(),
                                [&](const Element& e) { return e.name == name; });

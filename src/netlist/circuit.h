@@ -77,6 +77,11 @@ class Circuit {
   /// Remove (open-circuit) an element. Returns false if absent.
   bool remove_element(std::string_view name);
 
+  /// Overwrite an element's value in place. Unlike the add_* builders this
+  /// accepts zero (an "opened" element whose stamp pattern must survive for
+  /// plan replay); the value must still be finite. Returns false if absent.
+  bool set_element_value(std::string_view name, double value);
+
   /// Short-circuit an element: its two terminals are merged (the kept node is
   /// the lower index / ground wins) and the element is removed. Controlled
   /// sources keep their control references through the merge.

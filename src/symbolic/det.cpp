@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "netlist/canonical.h"
+#include "symbolic/errors.h"
 
 namespace symref::symbolic {
 
@@ -30,8 +31,13 @@ SymbolicNodalMatrix::SymbolicNodalMatrix(const netlist::Circuit& circuit)
     if (active[static_cast<std::size_t>(n)]) node_to_row_[static_cast<std::size_t>(n)] = next++;
   }
   dim_ = next;
-  if (dim_ > 20) {
-    throw std::length_error("SymbolicNodalMatrix: symbolic expansion limited to 20 nodes");
+  // The matrix itself is only O(dim^2) entry lists; the binding limit is the
+  // 64-bit column masks of the best-first SDG generator. The exponential
+  // full-expansion routines below enforce their own, much tighter cap.
+  if (dim_ > 64) {
+    throw NonAdmissibleError(
+        "SymbolicNodalMatrix: " + std::to_string(dim_) +
+        " rows exceed the generators' 64-column search mask");
   }
   entries_.assign(static_cast<std::size_t>(dim_) * static_cast<std::size_t>(dim_), {});
 
@@ -154,12 +160,22 @@ std::vector<int> all_rows_except(int dim, int skip) {
   return rows;
 }
 
+/// The memoized Laplace expansion is exponential in dim; beyond ~20 rows the
+/// complete expression is out of reach — that workload belongs to the
+/// best-first SDG generator instead.
+void require_expandable(const SymbolicNodalMatrix& matrix, const char* who) {
+  if (matrix.dim() > 20) {
+    throw NonAdmissibleError(std::string(who) + ": full symbolic expansion limited to " +
+                             "20 nodes (matrix has " + std::to_string(matrix.dim()) +
+                             "); use the SDG generators for larger circuits");
+  }
+}
+
 }  // namespace
 
 Expression symbolic_determinant(const SymbolicNodalMatrix& matrix) {
-  const std::uint32_t full = matrix.dim() >= 32
-                                 ? ~0u
-                                 : ((1u << matrix.dim()) - 1u);
+  require_expandable(matrix, "symbolic_determinant");
+  const std::uint32_t full = (1u << matrix.dim()) - 1u;
   DeterminantExpander expander(matrix, all_rows_except(matrix.dim(), -1));
   Expression det = expander.run(full);
   det.canonicalize();
@@ -170,6 +186,7 @@ Expression symbolic_cofactor(const SymbolicNodalMatrix& matrix, int row, int col
   if (row < 0 || col < 0 || row >= matrix.dim() || col >= matrix.dim()) {
     throw std::out_of_range("symbolic_cofactor: index outside matrix");
   }
+  require_expandable(matrix, "symbolic_cofactor");
   const std::uint32_t full = (1u << matrix.dim()) - 1u;
   DeterminantExpander expander(matrix, all_rows_except(matrix.dim(), row));
   Expression minor = expander.run(full & ~(1u << col));

@@ -1,0 +1,34 @@
+// Typed errors for the symbolic layer (SBG/SDG/SAG + the simplify engine).
+//
+// The api layer maps these onto its wire Status taxonomy in
+// status_from_current_exception(): NonAdmissibleError -> kInvalidSpec
+// (the request asked for something the generators cannot represent),
+// TermEnumerationError -> kIncomplete (the generators ran but could not
+// meet the eq. (3) stop rule within their resource caps).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace symref::symbolic {
+
+/// The spec/graph is outside what the symbolic generators admit: a
+/// differential transfer spec (N/D are sums of four cofactors the
+/// generator does not merge), an unknown port node, or a nodal matrix
+/// wider than the 64-column search mask.
+class NonAdmissibleError : public std::invalid_argument {
+ public:
+  explicit NonAdmissibleError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Term enumeration terminated without meeting the eq. (3) error target:
+/// the best-first stream hit max_terms / the queue cap, or produced an
+/// empty term set against a nonzero reference coefficient.
+class TermEnumerationError : public std::runtime_error {
+ public:
+  explicit TermEnumerationError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace symref::symbolic

@@ -31,7 +31,11 @@ struct SdgOptions {
   /// eq. (3) error-control parameter eps_k.
   double epsilon = 1e-3;
   std::size_t max_terms = 200000;
-  /// Search-frontier cap; overflowing it aborts with met=false.
+  /// Search-frontier cap. When the frontier outgrows it, the weakest-bound
+  /// half is discarded and generation continues on the strong half: the
+  /// stream stays exact and magnitude-ordered down to the discarded bound,
+  /// below which terms may be missing (frontier_pruned records this). A
+  /// search that ends un-met after pruning reports "queue_overflow".
   std::size_t max_queue = 2000000;
 };
 
@@ -46,6 +50,10 @@ struct SdgResult {
   double relative_error = 1.0;
   bool met = false;
   std::string termination;  // "met", "exhausted", "max_terms", "queue_overflow"
+  /// True when the frontier cap forced the weakest-bound states to be
+  /// discarded at least once; terms below the discarded bound may be
+  /// missing from the stream (harmless when the stop rule met above it).
+  bool frontier_pruned = false;
 
   [[nodiscard]] std::size_t generated() const noexcept { return terms.size(); }
 };

@@ -59,6 +59,29 @@ TEST(JobManager, SubmitWaitDeliversTheResponse) {
   EXPECT_FALSE(info.value().cancel_requested);
 }
 
+TEST(JobManager, SimplifyJobDeliversCertifiedResponse) {
+  const Service service;
+  const CircuitHandle handle = compile(service, kRcNetlist);
+  JobManager jobs(service, 1);
+
+  AnyRequest request;
+  request.type = AnyRequest::Type::kSimplify;
+  request.simplify.spec = mna::TransferSpec::voltage_gain("in", "out");
+  request.simplify.options.f_start_hz = 10.0;
+  request.simplify.options.f_stop_hz = 1e5;
+  request.simplify.options.band_points = 5;
+
+  const JobId id = jobs.submit(handle, std::move(request));
+  const auto outcome = jobs.wait(id);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().to_string();
+  ASSERT_TRUE(outcome.value().status.ok()) << outcome.value().status.to_string();
+  EXPECT_EQ(outcome.value().type, AnyRequest::Type::kSimplify);
+  const auto& result = outcome.value().simplify.result;
+  EXPECT_LE(result.certificate.max_relative_error, 0.01);
+  EXPECT_GT(result.kept_terms, 0u);
+  EXPECT_EQ(to_json(outcome.value()).find("type")->as_string(), "simplify");
+}
+
 TEST(JobManager, ProgressAndDoneCallbacksFire) {
   const Service service;
   const CircuitHandle handle = compile(service, kRcNetlist);

@@ -103,6 +103,98 @@ TEST(SerializeRequest, SessionAcceptsObjectOrArray) {
   EXPECT_EQ(many.value()[1].type, AnyRequest::Type::kSweep);
 }
 
+TEST(SerializeRequest, SimplifyRoundTrip) {
+  AnyRequest request;
+  request.type = AnyRequest::Type::kSimplify;
+  request.simplify.spec = mna::TransferSpec::voltage_gain("in", "out");
+  request.simplify.options.error_budget = 0.02;
+  request.simplify.options.f_start_hz = 5.0;
+  request.simplify.options.f_stop_hz = 5e4;
+  request.simplify.options.band_points = 11;
+  request.simplify.options.prune = false;
+  request.simplify.options.prune_share = 0.25;
+  request.simplify.options.max_terms_per_coefficient = 1234;
+  request.simplify.options.max_queue = 9999;
+  request.simplify.options.coefficient_skip_factor = 1e-4;
+  request.simplify.options.engine.sigma = 8;
+
+  const auto parsed = request_from_json(to_json(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().type, AnyRequest::Type::kSimplify);
+  const auto& options = parsed.value().simplify.options;
+  EXPECT_EQ(options.error_budget, 0.02);
+  EXPECT_EQ(options.f_start_hz, 5.0);
+  EXPECT_EQ(options.f_stop_hz, 5e4);
+  EXPECT_EQ(options.band_points, 11);
+  EXPECT_FALSE(options.prune);
+  EXPECT_EQ(options.prune_share, 0.25);
+  EXPECT_EQ(options.max_terms_per_coefficient, 1234u);
+  EXPECT_EQ(options.max_queue, 9999u);
+  EXPECT_EQ(options.coefficient_skip_factor, 1e-4);
+  EXPECT_EQ(options.engine.sigma, 8);
+  EXPECT_EQ(parsed.value().simplify.spec.out_pos, "out");
+}
+
+TEST(SerializeRequest, SimplifyStrictness) {
+  // Minimal form: spec only, everything else defaulted.
+  const auto minimal = request_from_json(
+      Json::parse(R"({"type":"simplify","spec":{"in":"a","out":"b"}})").take());
+  ASSERT_TRUE(minimal.ok()) << minimal.status().to_string();
+  EXPECT_EQ(minimal.value().simplify.options.error_budget, 0.01);
+
+  // Unknown keys are rejected, not ignored.
+  EXPECT_EQ(request_from_json(
+                Json::parse(
+                    R"({"type":"simplify","spec":{"in":"a","out":"b"},"bogus_knob":1})")
+                    .take())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Non-positive caps are rejected.
+  EXPECT_EQ(request_from_json(
+                Json::parse(
+                    R"({"type":"simplify","spec":{"in":"a","out":"b"},"max_terms":0})")
+                    .take())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeResponse, SimplifyPayloadShape) {
+  const Service service;
+  const CircuitHandle handle =
+      service.compile_netlist("R1 in n1 1k\nC1 n1 0 100n\nR2 n1 out 10k\nC2 out 0 10n\n")
+          .take();
+  SimplifyRequest request;
+  request.spec = mna::TransferSpec::voltage_gain("in", "out");
+  request.options.f_start_hz = 10.0;
+  request.options.f_stop_hz = 1e5;
+  request.options.band_points = 5;
+  const auto response = service.simplify(handle, request);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+
+  const Json payload = to_json(response.value());
+  EXPECT_EQ(payload.find("type")->as_string(), "simplify");
+  EXPECT_EQ(payload.find("status")->find("code")->as_string(), "ok");
+  const Json* certificate = payload.find("certificate");
+  ASSERT_NE(certificate, nullptr);
+  EXPECT_EQ(certificate->find("points")->size(), 5u);
+  // Certificate errors are hex-float strings: bit-exact across the wire
+  // (the daemon-vs-CLI byte compare rides on this).
+  EXPECT_EQ(certificate->find("max_relative_error")->as_string().substr(0, 2), "0x");
+  const Json* terms = payload.find("denominator_terms");
+  ASSERT_NE(terms, nullptr);
+  ASSERT_GT(terms->size(), 0u);
+  const Json& term = terms->items()[0];
+  EXPECT_TRUE(term.find("symbols")->is_array());
+  EXPECT_EQ(term.find("value")->find("mantissa")->as_string().substr(0, 2), "0x");
+
+  const auto reparsed = Json::parse(payload.dump(2));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().dump(), payload.dump());
+}
+
 TEST(SerializeResponse, RefgenPayloadShape) {
   const Service service;
   const CircuitHandle handle = service

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "circuits/ladder.h"
+#include "circuits/ota.h"
 #include "circuits/ua741.h"
 #include "numeric/scaled.h"
 #include "refgen/adaptive.h"
@@ -386,6 +387,88 @@ TEST(ServiceParamSweep, ErrorTaxonomy) {
   request = rc_param_sweep();
   request.cancel = source.token();
   EXPECT_EQ(service.param_sweep(handle, request).status().code(), StatusCode::kCancelled);
+}
+
+TEST(ServiceSimplify, WarmCacheHitAndEngineCounters) {
+  const Service service;
+  const CircuitHandle handle = service.compile_netlist(kRcNetlist).take();
+
+  SimplifyRequest request;
+  request.spec = rc_spec();
+  request.options.error_budget = 0.01;
+  request.options.f_start_hz = 10.0;
+  request.options.f_stop_hz = 1e5;
+  request.options.band_points = 7;
+
+  const auto cold = service.simplify(handle, request);
+  ASSERT_TRUE(cold.ok()) << cold.status().to_string();
+  EXPECT_FALSE(cold.value().from_cache);
+  const auto& result = cold.value().result;
+  EXPECT_LE(result.certificate.max_relative_error, request.options.error_budget);
+  EXPECT_GT(result.enumerated_terms, 0u);
+
+  const auto stats = service.engine_stats(handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().simplify_term_evals, result.term_evals);
+  EXPECT_EQ(stats.value().simplify_terms_dropped, result.terms_dropped);
+
+  const auto warm = service.simplify(handle, request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().from_cache);
+  EXPECT_EQ(warm.value().result.numerator_expression, result.numerator_expression);
+  // A cache hit runs no engine: the counters must not move.
+  const auto stats_after = service.engine_stats(handle);
+  ASSERT_TRUE(stats_after.ok());
+  EXPECT_EQ(stats_after.value().simplify_term_evals, result.term_evals);
+
+  // A different budget is a different cache key.
+  request.options.error_budget = 0.05;
+  const auto other = service.simplify(handle, request);
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other.value().from_cache);
+}
+
+TEST(ServiceSimplify, ErrorTaxonomy) {
+  const Service service;
+  const CircuitHandle handle = service.compile_netlist(kRcNetlist).take();
+
+  // Empty handle.
+  EXPECT_EQ(service.simplify(CircuitHandle(), {rc_spec(), {}}).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Unknown node -> kInvalidSpec.
+  SimplifyRequest bad_node;
+  bad_node.spec = mna::TransferSpec::voltage_gain("in", "nosuch");
+  EXPECT_EQ(service.simplify(handle, bad_node).status().code(), StatusCode::kInvalidSpec);
+
+  // A spec the term generators cannot represent (differential input) is a
+  // spec problem too: symbolic::NonAdmissibleError -> kInvalidSpec.
+  const auto ota = service.compile(circuits::ota_fig1());
+  ASSERT_TRUE(ota.ok());
+  SimplifyRequest differential;
+  differential.spec = circuits::ota_fig1_gain_spec();
+  EXPECT_EQ(service.simplify(ota.value(), differential).status().code(),
+            StatusCode::kInvalidSpec);
+
+  // Caps too tight to certify the budget: symbolic::TermEnumerationError ->
+  // kIncomplete.
+  SimplifyRequest starved;
+  starved.spec = rc_spec();
+  starved.options.error_budget = 1e-6;
+  starved.options.f_start_hz = 10.0;
+  starved.options.f_stop_hz = 1e5;
+  starved.options.band_points = 5;
+  starved.options.prune = false;
+  starved.options.max_terms_per_coefficient = 1;
+  EXPECT_EQ(service.simplify(handle, starved).status().code(), StatusCode::kIncomplete);
+
+  // Pre-cancelled token -> kCancelled.
+  support::CancellationSource source;
+  source.cancel();
+  SimplifyRequest cancelled;
+  cancelled.spec = rc_spec();
+  cancelled.options.engine.cancel = source.token();
+  EXPECT_EQ(service.simplify(handle, cancelled).status().code(), StatusCode::kCancelled);
 }
 
 }  // namespace

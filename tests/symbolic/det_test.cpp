@@ -11,6 +11,7 @@
 #include "netlist/canonical.h"
 #include "sparse/dense.h"
 #include "support/random.h"
+#include "symbolic/errors.h"
 
 namespace symref::symbolic {
 namespace {
@@ -147,11 +148,24 @@ TEST(SymbolicDet, EntryExpression) {
 }
 
 TEST(SymbolicDet, TooLargeMatrixRejected) {
+  // Construction admits up to the SDG generators' 64-column mask...
   netlist::Circuit big;
-  for (int i = 0; i < 25; ++i) {
+  for (int i = 0; i < 70; ++i) {
     big.add_conductance("g" + std::to_string(i), "n" + std::to_string(i), "0", 1.0);
   }
-  EXPECT_THROW(SymbolicNodalMatrix{big}, std::length_error);
+  EXPECT_THROW(SymbolicNodalMatrix{big}, NonAdmissibleError);
+}
+
+TEST(SymbolicDet, FullExpansionRejectsLargeMatrices) {
+  // ...but the exponential full expansion keeps its own ~20-node cap.
+  netlist::Circuit mid;
+  for (int i = 0; i < 25; ++i) {
+    mid.add_conductance("g" + std::to_string(i), "n" + std::to_string(i), "0", 1.0);
+  }
+  const SymbolicNodalMatrix matrix(mid);
+  EXPECT_EQ(matrix.dim(), 25);
+  EXPECT_THROW(symbolic_determinant(matrix), NonAdmissibleError);
+  EXPECT_THROW(symbolic_cofactor(matrix, 0, 0), NonAdmissibleError);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "circuits/ladder.h"
 #include "circuits/ota.h"
+#include "circuits/ua741.h"
 #include "netlist/canonical.h"
 #include "refgen/adaptive.h"
 
@@ -145,6 +146,74 @@ TEST(Sdg, MaxTermsCapRespected) {
   EXPECT_EQ(result.termination, "max_terms");
 }
 
+
+TEST(Sdg, FrontierPruningContinuesPastOverflow) {
+  // A frontier cap small enough to overflow must PRUNE the weakest-bound
+  // states and keep generating (flagging frontier_pruned) instead of
+  // aborting — and must refuse to claim eq. (3) was met afterwards, since
+  // pruned states could have carried mass.
+  const netlist::Circuit ota = netlist::canonicalize(circuits::ota_fig1());
+  const SymbolicNodalMatrix matrix(ota);
+  const auto oracle = symbolic_determinant(matrix).coefficients(matrix.symbols());
+  SdgOptions options;
+  options.epsilon = 0.0;  // never met: exhaust through repeated prunes
+  options.max_queue = 8;
+  const SdgResult result = generate_determinant_terms(matrix, 2, oracle.coeff(2), options);
+  EXPECT_TRUE(result.frontier_pruned);
+  EXPECT_EQ(result.termination, "queue_overflow");
+  EXPECT_FALSE(result.met);
+  EXPECT_GT(result.generated(), 0u);
+  // The survivors still stream in decreasing magnitude.
+  for (std::size_t i = 1; i < result.terms.size(); ++i) {
+    EXPECT_GE(result.terms[i - 1].magnitude(matrix.symbols()).log10_abs(),
+              result.terms[i].magnitude(matrix.symbols()).log10_abs() - 1e-9)
+        << i;
+  }
+}
+
+TEST(Sdg, UnprunedRunIsUnaffectedByLargeQueueCap) {
+  const netlist::Circuit ladder = netlist::canonicalize(circuits::rc_ladder(3));
+  const SymbolicNodalMatrix matrix(ladder);
+  const auto oracle = symbolic_determinant(matrix).coefficients(matrix.symbols());
+  SdgOptions roomy;
+  roomy.epsilon = 0.0;
+  roomy.max_queue = 1u << 20;
+  const SdgResult result = generate_determinant_terms(matrix, 1, oracle.coeff(1), roomy);
+  EXPECT_FALSE(result.frontier_pruned);
+  EXPECT_EQ(result.termination, "exhausted");
+  EXPECT_LT(numeric::relative_difference(result.accumulated, oracle.coeff(1)), 1e-10);
+}
+
+TEST(Sdg, Ua741TermStreamIsDeterministic) {
+  // Two runs over the reduced ua741 (dim 22) must be identical term for
+  // term — the generator's order is a pure function of the matrix, with no
+  // dependence on allocation or iteration incidentals.
+  circuits::Ua741Options reduced;
+  reduced.base_resistance = false;
+  reduced.substrate_caps = false;
+  const netlist::Circuit amp = netlist::canonicalize(circuits::ua741(reduced));
+  const auto spec = mna::TransferSpec::voltage_gain("inp", "vo");
+  const refgen::AdaptiveResult reference = refgen::generate_reference(amp, spec);
+  ASSERT_TRUE(reference.complete);
+  const SymbolicNodalMatrix matrix(amp);
+
+  SdgOptions options;
+  options.epsilon = 0.05;
+  const auto& num = reference.reference.numerator();
+  const SdgResult first = generate_transfer_terms(matrix, spec, TransferSide::Numerator, 0,
+                                                  num.at(0).value, options);
+  const SdgResult second = generate_transfer_terms(matrix, spec, TransferSide::Numerator, 0,
+                                                   num.at(0).value, options);
+  EXPECT_TRUE(first.met) << first.termination;
+  ASSERT_EQ(first.generated(), second.generated());
+  EXPECT_GT(first.generated(), 100u);  // a real stream, not a toy
+  EXPECT_EQ(first.accumulated.mantissa(), second.accumulated.mantissa());
+  EXPECT_EQ(first.accumulated.exponent2(), second.accumulated.exponent2());
+  for (std::size_t i = 0; i < first.terms.size(); ++i) {
+    EXPECT_EQ(first.terms[i].symbols, second.terms[i].symbols) << i;
+    EXPECT_EQ(first.terms[i].coefficient, second.terms[i].coefficient) << i;
+  }
+}
 
 TEST(Sdg, CofactorTermsMatchSymbolicCofactor) {
   const netlist::Circuit ladder = netlist::canonicalize(circuits::rc_ladder(3));

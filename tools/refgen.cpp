@@ -32,6 +32,12 @@
 //   --mc-samples=N --seed=S                Monte-Carlo sample count / seed
 //   --probe=f_start:f_stop[:pts_per_dec]   per-sample probe frequency grid
 //                                          of a parameter sweep
+//   --simplify                             reference-driven symbolic
+//                                          simplification request
+//   --error-budget=E                       simplify: certified max relative
+//                                          error over the band (default 0.01)
+//   --band=f_start:f_stop[:points]         simplify: log-spaced frequency
+//                                          band (default 10:1e3:9)
 //   --requests=file.json                   JSON request session (see
 //                                          docs/api.md; replaces flag-built
 //                                          requests; '-' reads stdin)
@@ -170,6 +176,25 @@ bool parse_sweep_range(const std::string& text, symref::api::SweepRequest* sweep
   return true;
 }
 
+/// "10:1e3" or "10:1e3:9" -> simplify band (third field = total points).
+bool parse_band(const std::string& text, symref::api::SimplifyRequest* simplify) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream stream(text);
+  while (std::getline(stream, part, ':')) parts.push_back(part);
+  if (parts.size() != 2 && parts.size() != 3) return false;
+  char* end = nullptr;
+  simplify->options.f_start_hz = std::strtod(parts[0].c_str(), &end);
+  if (end == parts[0].c_str()) return false;
+  simplify->options.f_stop_hz = std::strtod(parts[1].c_str(), &end);
+  if (end == parts[1].c_str()) return false;
+  if (parts.size() == 3) {
+    simplify->options.band_points = std::atoi(parts[2].c_str());
+    if (simplify->options.band_points < 2) return false;
+  }
+  return true;
+}
+
 /// Split on `sep`, keeping empty fields.
 std::vector<std::string> split(const std::string& text, char sep) {
   std::vector<std::string> parts;
@@ -232,6 +257,7 @@ void print_usage() {
       stderr,
       "usage: refgen <netlist-file> [--in=<node> --out=<node>] [requests] [options]\n"
       "  requests: [--refgen] [--sweep=f0:f1[:ppd]] [--poles] [--requests=file.json]\n"
+      "            [--simplify [--error-budget=E] [--band=f0:f1[:points]]]\n"
       "  param sweeps: [--sweep-param=name:from:to:count[:log],...]\n"
       "            [--mc-param=name:nominal:rel_sigma[:uniform],...]\n"
       "            [--mc-samples=N] [--seed=S] [--probe=f0:f1[:ppd]]\n"
@@ -306,6 +332,34 @@ void print_param_sweep_text(const symref::api::ParamSweepResponse& response) {
                 symref::mna::magnitude_db(last), result.ok[i] ? "" : "  (failed)");
   }
   if (shown < samples) std::printf("   ... %zu more samples (use --json)\n", samples - shown);
+}
+
+void print_simplify_text(const symref::api::SimplifyResponse& response) {
+  const auto& result = response.result;
+  std::fprintf(stderr,
+               "simplify: %zu/%zu terms kept, %zu prune actions "
+               "(%zu -> %zu elements), %llu evals, %.1f ms%s\n",
+               result.kept_terms, result.enumerated_terms, result.prune_actions.size(),
+               result.original_elements, result.reduced_elements,
+               static_cast<unsigned long long>(result.term_evals), result.seconds * 1e3,
+               response.from_cache ? " (cached)" : "");
+  std::printf("\ncertificate: max rel error %.3e over [%g, %g] Hz (budget %.3e)\n",
+              result.certificate.max_relative_error,
+              result.certificate.frequencies_hz.empty()
+                  ? 0.0
+                  : result.certificate.frequencies_hz.front(),
+              result.certificate.frequencies_hz.empty()
+                  ? 0.0
+                  : result.certificate.frequencies_hz.back(),
+              result.certificate.error_budget);
+  for (std::size_t i = 0; i < result.certificate.frequencies_hz.size(); ++i) {
+    std::printf("  f=%10.4g Hz  rel_error=%.3e\n", result.certificate.frequencies_hz[i],
+                result.certificate.relative_error[i]);
+  }
+  std::printf("\nnumerator   (%zu terms): %s\n", result.numerator_terms.size(),
+              result.numerator_expression.c_str());
+  std::printf("denominator (%zu terms): %s\n", result.denominator_terms.size(),
+              result.denominator_expression.c_str());
 }
 
 void print_batch_text(const symref::api::BatchResponse& response) {
@@ -530,7 +584,7 @@ int main(int argc, char** argv) {
       argc, argv,
       {"in", "out", "in-neg", "out-neg", "sigma", "max-iterations", "threads", "kernel",
        "sweep", "sweep-param", "mc-param", "mc-samples", "seed", "probe", "requests", "json",
-       "name", "timeout", "connect", "retry", "deadline-ms"});
+       "name", "timeout", "connect", "retry", "deadline-ms", "error-budget", "band"});
   if (args.positional().empty()) {
     print_usage();
     return 2;
@@ -587,11 +641,13 @@ int main(int argc, char** argv) {
     const bool want_sweep = args.has("sweep");
     const bool want_poles = args.has("poles");
     const bool want_param_sweep = args.has("sweep-param") || args.has("mc-param");
+    const bool want_simplify = args.has("simplify");
     if (args.has("sweep-param") && args.has("mc-param")) {
       std::fprintf(stderr, "error: --sweep-param and --mc-param are mutually exclusive\n");
       return 2;
     }
-    if (args.has("refgen") || (!want_sweep && !want_poles && !want_param_sweep)) {
+    if (args.has("refgen") ||
+        (!want_sweep && !want_poles && !want_param_sweep && !want_simplify)) {
       AnyRequest request;
       request.type = AnyRequest::Type::kRefgen;
       request.refgen = {spec, options};
@@ -659,6 +715,25 @@ int main(int argc, char** argv) {
       }
       requests.push_back(std::move(request));
     }
+    if (want_simplify) {
+      AnyRequest request;
+      request.type = AnyRequest::Type::kSimplify;
+      request.simplify.spec = spec;
+      request.simplify.options.engine = options;
+      request.simplify.options.error_budget = args.get_double("error-budget", 0.01);
+      if (request.simplify.options.error_budget <= 0.0) {
+        std::fprintf(stderr, "error: bad --error-budget '%s' (want a value > 0)\n",
+                     args.get("error-budget").c_str());
+        return 2;
+      }
+      if (args.has("band") && !parse_band(args.get("band"), &request.simplify)) {
+        std::fprintf(stderr,
+                     "error: bad --band '%s' (want f_start:f_stop[:points], points >= 2)\n",
+                     args.get("band").c_str());
+        return 2;
+      }
+      requests.push_back(std::move(request));
+    }
   }
   // --kernel applies to every request of the session (including ones read
   // from a --requests file). Results are bit-identical either way, so the
@@ -679,6 +754,9 @@ int main(int argc, char** argv) {
         case AnyRequest::Type::kPolesZeros: request.poles_zeros.options.kernel = kernel; break;
         case AnyRequest::Type::kSweep: request.sweep.kernel = kernel; break;
         case AnyRequest::Type::kParamSweep: request.param_sweep.kernel = kernel; break;
+        case AnyRequest::Type::kSimplify:
+          request.simplify.options.engine.kernel = kernel;
+          break;
         case AnyRequest::Type::kBatch:
           for (symref::api::RefgenRequest& item : request.batch.items) {
             item.options.kernel = kernel;
@@ -699,6 +777,8 @@ int main(int argc, char** argv) {
         request.refgen.options.on_iteration = observer;
       } else if (request.type == AnyRequest::Type::kPolesZeros) {
         request.poles_zeros.options.on_iteration = observer;
+      } else if (request.type == AnyRequest::Type::kSimplify) {
+        request.simplify.options.engine.on_iteration = observer;
       }
     }
   }
@@ -741,6 +821,9 @@ int main(int argc, char** argv) {
           for (auto& item : request.batch.items) item.options.cancel = token;
           break;
         case AnyRequest::Type::kParamSweep: request.param_sweep.cancel = token; break;
+        case AnyRequest::Type::kSimplify:
+          request.simplify.options.engine.cancel = token;
+          break;
       }
     }
     watchdog = std::make_unique<Watchdog>(seconds, timeout_source);
@@ -827,6 +910,17 @@ int main(int argc, char** argv) {
           if (!json_mode) print_param_sweep_text(response.value());
         } else {
           payload = symref::api::error_response("param_sweep", status);
+        }
+        break;
+      }
+      case AnyRequest::Type::kSimplify: {
+        const auto response = service.simplify(handle, request.simplify);
+        status = response.status();
+        if (response.ok()) {
+          payload = symref::api::to_json(response.value());
+          if (!json_mode) print_simplify_text(response.value());
+        } else {
+          payload = symref::api::error_response("simplify", status);
         }
         break;
       }

@@ -15,7 +15,12 @@ Five scenarios, all against the bundled netlist:
   4. A Monte-Carlo param_sweep job on the daemon at 8 worker threads whose
      sample payloads are byte-identical to a direct 1-thread refgen CLI run
      (the determinism contract of the sweep engine, over the wire).
-  5. Crash-safe reference store: a daemon with --store is killed with
+  5. A simplify job (reference-driven symbolic simplification) on the
+     daemon at 8 worker threads with the batched kernel, byte-identical to
+     a direct 1-thread scalar refgen --simplify CLI run, certificate under
+     budget. Runs on the reduced ua741_core.cir next to the netlist (the
+     full model is not sparsely representable at a 1% budget).
+  6. Crash-safe reference store: a daemon with --store is killed with
      SIGKILL (no shutdown, no flush) right after its result lands on disk;
      a restarted daemon sharing the store dir must reply "stored": true
      with a result byte-identical to the pre-crash response. A corrupted
@@ -222,7 +227,51 @@ def main():
     print("param_sweep OK: 32 MC samples on the daemon byte-identical to the "
           "direct run, one shared factorization plan")
 
-    # --- 5. Crash-safe store: kill -9, restart, byte-identical replay ------
+    # --- 5. simplify: daemon (8 threads, batched) vs direct CLI (1 thread) --
+    # The simplified model, its error certificate, and every hex-float term
+    # value must be byte-identical across thread counts and replay kernels.
+    core_path = os.path.join(os.path.dirname(netlist_path), "ua741_core.cir")
+    core_netlist = open(core_path).read()
+    direct = subprocess.run(
+        [refgen, core_path, "--in=inp", "--out=vo", "--simplify",
+         "--error-budget=0.01", "--band=10:1e3:9", "--threads=1",
+         "--kernel=scalar", "--json=-"],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert direct.returncode == 0, direct.stderr
+    direct_simplify = json.loads(direct.stdout)["responses"][0]
+    assert direct_simplify["status"]["code"] == "ok", direct_simplify
+    cert = direct_simplify["certificate"]
+    assert float.fromhex(cert["max_relative_error"]) <= cert["error_budget"], cert
+    assert direct_simplify["kept_terms"] < direct_simplify["enumerated_terms"]
+
+    simplify_request = {
+        "type": "simplify", "spec": {"in": "inp", "out": "vo"},
+        "error_budget": 0.01, "f_start_hz": 10.0, "f_stop_hz": 1e3,
+        "band_points": 9,
+        "options": {"threads": 8, "kernel": "batched"},
+    }
+    simplify_script = [
+        {"id": 1, "method": "compile", "params": {"netlist": core_netlist}},
+        {"id": 2, "method": "submit",
+         "params": {"circuit_id": "c1", "request": simplify_request}},
+        {"id": 3, "method": "wait", "params": {"job_id": "j1"}},
+        {"id": 4, "method": "shutdown"},
+    ]
+    messages = run_session(daemon, simplify_script)
+    result = reply(messages, 3)["result"]
+    assert result["status"]["code"] == "ok", result
+    scrub = ("seconds", "engine_seconds", "from_cache")
+    got = json.dumps({k: v for k, v in result.items() if k not in scrub},
+                     sort_keys=True)
+    want = json.dumps({k: v for k, v in direct_simplify.items() if k not in scrub},
+                      sort_keys=True)
+    assert got == want, "daemon simplify differs from the direct 1-thread run"
+    print(f"simplify OK: {result['kept_terms']} of "
+          f"{result['enumerated_terms']} terms certified at 1% on the daemon, "
+          f"byte-identical to the direct scalar run")
+
+    # --- 6. Crash-safe store: kill -9, restart, byte-identical replay ------
     chaos = bool(os.environ.get("REFGEN_CHAOS"))
     chaos_env = None
     if chaos:
