@@ -64,6 +64,7 @@ Json to_json(const JobOutcome& outcome) {
     case AnyRequest::Type::kBatch: return to_json(outcome.batch);
     case AnyRequest::Type::kParamSweep: return to_json(outcome.param_sweep);
     case AnyRequest::Type::kSimplify: return to_json(outcome.simplify);
+    case AnyRequest::Type::kOp: return to_json(outcome.op);
   }
   return error_response("refgen", Status::error(StatusCode::kInternal, "bad outcome type"));
 }
@@ -397,6 +398,15 @@ void JobManager::run(const std::shared_ptr<Job>& job) {
       auto response = service_.simplify(job->handle, request.simplify);
       outcome.status = response.status();
       if (response.ok()) outcome.simplify = response.take();
+      break;
+    }
+    case AnyRequest::Type::kOp: {
+      // The bias was solved at compile; the token is wired for symmetry but
+      // the serve is a lock-free copy of the stored solution.
+      request.op.cancel = token;
+      auto response = service_.op(job->handle, request.op);
+      outcome.status = response.status();
+      if (response.ok()) outcome.op = response.take();
       break;
     }
   }

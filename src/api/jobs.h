@@ -72,6 +72,7 @@ struct JobOutcome {
   BatchResponse batch;
   ParamSweepResponse param_sweep;
   SimplifyResponse simplify;
+  OpResponse op;
   /// Pre-serialized wire payload (submit_stored: a reference-store hit).
   /// When non-null and status is ok, to_json returns it verbatim — the
   /// stored bytes ARE the contract (byte-identical replay across restarts).

@@ -392,6 +392,9 @@ Json Session::dispatch(const Json& request) {
                       static_cast<double>(engine.value().simplify_term_evals));
       engine_json.set("simplify_terms_dropped",
                       static_cast<double>(engine.value().simplify_terms_dropped));
+      engine_json.set("newton_iterations",
+                      static_cast<double>(engine.value().newton_iterations));
+      engine_json.set("op_solves", static_cast<double>(engine.value().op_solves));
       out.set("engine", std::move(engine_json));
       if (support::BlobStore* store = core_.store(); store != nullptr) {
         const support::BlobStore::Stats store_stats = store->stats();

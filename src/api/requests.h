@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "api/status.h"
+#include "dc/newton.h"
 #include "mna/ac.h"
 #include "mna/param_sweep.h"
 #include "mna/transfer.h"
@@ -25,6 +26,12 @@ namespace symref::api {
 struct RefgenRequest {
   mna::TransferSpec spec;
   refgen::AdaptiveOptions options;
+  /// Required `true` to serve this request on a handle whose netlist
+  /// contains nonlinear devices (D/Q/M cards): the request then runs
+  /// against the small-signal circuit linearized at the handle's solved DC
+  /// operating point. On a purely linear handle the flag is ignored.
+  /// Omitting it on a device-bearing handle fails with kInvalidArgument.
+  bool auto_linearize = false;
 };
 
 struct RefgenResponse {
@@ -54,6 +61,12 @@ struct SweepRequest {
   /// are bit-identical under either kernel — like threads, not part of the
   /// response-cache key.
   sparse::ReplayKernel kernel = sparse::ReplayKernel::kScalar;
+  /// Required `true` to serve this request on a handle whose netlist
+  /// contains nonlinear devices (D/Q/M cards): the request then runs
+  /// against the small-signal circuit linearized at the handle's solved DC
+  /// operating point. On a purely linear handle the flag is ignored.
+  /// Omitting it on a device-bearing handle fails with kInvalidArgument.
+  bool auto_linearize = false;
 };
 
 struct SweepResponse {
@@ -68,6 +81,12 @@ struct PolesZerosRequest {
   mna::TransferSpec spec;
   /// Options of the underlying reference generation.
   refgen::AdaptiveOptions options;
+  /// Required `true` to serve this request on a handle whose netlist
+  /// contains nonlinear devices (D/Q/M cards): the request then runs
+  /// against the small-signal circuit linearized at the handle's solved DC
+  /// operating point. On a purely linear handle the flag is ignored.
+  /// Omitting it on a device-bearing handle fails with kInvalidArgument.
+  bool auto_linearize = false;
 };
 
 struct PolesZerosResponse {
@@ -108,6 +127,13 @@ struct ParamSweepRequest {
   /// Replay kernel for the per-point plan replays; bit-identical results,
   /// not part of the response-cache key.
   sparse::ReplayKernel kernel = sparse::ReplayKernel::kScalar;
+  /// Required `true` to serve this request on a handle whose netlist
+  /// contains nonlinear devices (D/Q/M cards): the request then runs
+  /// against the small-signal circuit linearized at the PER-SAMPLE solved DC
+  /// operating point (each elaborated sample is re-biased, so `.param`
+  /// symbols reaching device cards vary the operating point). On a purely linear handle the flag is ignored.
+  /// Omitting it on a device-bearing handle fails with kInvalidArgument.
+  bool auto_linearize = false;
 };
 
 struct ParamSweepResponse {
@@ -126,10 +152,39 @@ struct ParamSweepResponse {
 struct SimplifyRequest {
   mna::TransferSpec spec;
   refgen::SimplifyOptions options;
+  /// Required `true` to serve this request on a handle whose netlist
+  /// contains nonlinear devices (D/Q/M cards): the request then runs
+  /// against the small-signal circuit linearized at the handle's solved DC
+  /// operating point. On a purely linear handle the flag is ignored.
+  /// Omitting it on a device-bearing handle fails with kInvalidArgument.
+  bool auto_linearize = false;
 };
 
 struct SimplifyResponse {
   refgen::SimplifyResult result;
+  bool from_cache = false;
+  double seconds = 0.0;
+};
+
+/// DC operating point (".op") of a device-bearing handle. The bias is
+/// solved once when the handle compiles (damped Newton with gmin/source
+/// stepping, one shared factorization plan — see dc/newton.h); this request
+/// returns that solution, so the first call and every later one are cache
+/// hits by construction. On a purely linear handle it fails with
+/// kInvalidArgument (there is no bias problem to solve).
+struct OpRequest {
+  /// Accepted for wire symmetry with the other requests; the Newton solve
+  /// is inherently serial and the value does not change the result (not
+  /// part of any cache key).
+  int threads = 1;
+  /// Cooperative cancellation, polled per Newton iteration.
+  support::CancellationToken cancel;
+};
+
+struct OpResponse {
+  dc::OpResult result;
+  /// True when served from the handle's compiled bias (always, today,
+  /// except the compile itself).
   bool from_cache = false;
   double seconds = 0.0;
 };

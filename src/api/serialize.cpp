@@ -248,6 +248,53 @@ Json to_json(const RefgenResponse& response) {
   return out;
 }
 
+Json to_json(const OpResponse& response) {
+  Json out = envelope("op", Status());
+  out.set("from_cache", response.from_cache);
+  out.set("seconds", response.seconds);
+  const dc::OpResult& result = response.result;
+  Json nodes = Json::array();
+  for (std::size_t i = 0; i < result.node_names.size(); ++i) {
+    Json entry = Json::object();
+    entry.set("name", result.node_names[i]);
+    // Hex floats: the 1-vs-N-thread byte-compare of the CLI smoke rides on
+    // bit-exactness, like the reference coefficients.
+    entry.set("v", hex_double(result.node_voltages[i]));
+    entry.set("volts", result.node_voltages[i]);
+    nodes.push_back(std::move(entry));
+  }
+  out.set("nodes", std::move(nodes));
+  Json branches = Json::array();
+  for (std::size_t i = 0; i < result.branch_names.size(); ++i) {
+    Json entry = Json::object();
+    entry.set("name", result.branch_names[i]);
+    entry.set("i", hex_double(result.branch_currents[i]));
+    entry.set("amps", result.branch_currents[i]);
+    branches.push_back(std::move(entry));
+  }
+  out.set("branches", std::move(branches));
+  Json devices = Json::array();
+  for (const dc::OpDeviceInfo& device : result.devices) {
+    Json entry = Json::object();
+    entry.set("name", device.name);
+    entry.set("kind", device.kind);
+    Json values = Json::object();
+    for (const auto& [key, value] : device.values) values.set(key, hex_double(value));
+    entry.set("values", std::move(values));
+    devices.push_back(std::move(entry));
+  }
+  out.set("devices", std::move(devices));
+  out.set("newton_iterations", result.newton_iterations);
+  out.set("gmin_steps", result.gmin_steps);
+  out.set("source_steps", result.source_steps);
+  out.set("fresh_factorizations", static_cast<double>(result.fresh_factorizations));
+  out.set("pivot_escalations", static_cast<double>(result.pivot_escalations));
+  out.set("degraded", result.degraded);
+  out.set("max_residual", hex_double(result.max_residual));
+  out.set("engine_seconds", result.seconds);
+  return out;
+}
+
 Json to_json(const SweepResponse& response) {
   Json out = envelope("sweep", Status());
   out.set("from_cache", response.from_cache);
@@ -305,6 +352,8 @@ Json to_json(const ParamSweepResponse& response) {
   for (const double f : result.frequencies_hz) frequencies.push_back(f);
   out.set("frequencies_hz", std::move(frequencies));
   out.set("fresh_factorizations", static_cast<double>(result.fresh_factorizations));
+  out.set("op_solves", static_cast<double>(result.op_solves));
+  out.set("newton_iterations", static_cast<double>(result.newton_iterations));
   out.set("engine_seconds", result.seconds);
 
   const std::size_t width = result.names.size();
@@ -479,6 +528,7 @@ const char* request_type_name(AnyRequest::Type type) noexcept {
     case AnyRequest::Type::kBatch: return "batch";
     case AnyRequest::Type::kParamSweep: return "param_sweep";
     case AnyRequest::Type::kSimplify: return "simplify";
+    case AnyRequest::Type::kOp: return "op";
   }
   return "refgen";
 }
@@ -490,10 +540,15 @@ Json to_json(const AnyRequest& request) {
     case AnyRequest::Type::kRefgen:
       out.set("spec", to_json(request.refgen.spec));
       out.set("options", to_json(request.refgen.options));
+      out.set("auto_linearize", request.refgen.auto_linearize);
       break;
     case AnyRequest::Type::kPolesZeros:
       out.set("spec", to_json(request.poles_zeros.spec));
       out.set("options", to_json(request.poles_zeros.options));
+      out.set("auto_linearize", request.poles_zeros.auto_linearize);
+      break;
+    case AnyRequest::Type::kOp:
+      out.set("threads", request.op.threads);
       break;
     case AnyRequest::Type::kSweep:
       out.set("spec", to_json(request.sweep.spec));
@@ -502,6 +557,7 @@ Json to_json(const AnyRequest& request) {
       out.set("points_per_decade", request.sweep.points_per_decade);
       out.set("threads", request.sweep.threads);
       out.set("kernel", kernel_name(request.sweep.kernel));
+      out.set("auto_linearize", request.sweep.auto_linearize);
       break;
     case AnyRequest::Type::kBatch: {
       Json items = Json::array();
@@ -528,6 +584,7 @@ Json to_json(const AnyRequest& request) {
       out.set("max_queue", static_cast<double>(options.max_queue));
       out.set("skip_factor", options.coefficient_skip_factor);
       out.set("options", to_json(options.engine));
+      out.set("auto_linearize", request.simplify.auto_linearize);
       break;
     }
     case AnyRequest::Type::kParamSweep: {
@@ -565,6 +622,7 @@ Json to_json(const AnyRequest& request) {
       out.set("points_per_decade", sweep.points_per_decade);
       out.set("threads", sweep.threads);
       out.set("kernel", kernel_name(sweep.kernel));
+      out.set("auto_linearize", sweep.auto_linearize);
       break;
     }
   }
@@ -582,7 +640,7 @@ Result<AnyRequest> request_from_json(const Json& json) {
 
   AnyRequest request;
   if (type == "refgen" || type == "poles_zeros") {
-    status = check_keys(json, {"type", "spec", "options"}, kWhat);
+    status = check_keys(json, {"type", "spec", "options", "auto_linearize"}, kWhat);
     if (!status.ok()) return status;
     const Json* spec = json.find("spec");
     if (spec == nullptr) {
@@ -597,19 +655,24 @@ Result<AnyRequest> request_from_json(const Json& json) {
       if (!parsed.ok()) return parsed.status();
       options = parsed.take();
     }
+    bool auto_linearize = false;
+    if (!(status = read_bool(json, "auto_linearize", &auto_linearize, kWhat)).ok()) {
+      return status;
+    }
     if (type == "refgen") {
       request.type = AnyRequest::Type::kRefgen;
-      request.refgen = {parsed_spec.take(), std::move(options)};
+      request.refgen = {parsed_spec.take(), std::move(options), auto_linearize};
     } else {
       request.type = AnyRequest::Type::kPolesZeros;
-      request.poles_zeros = {parsed_spec.take(), std::move(options)};
+      request.poles_zeros = {parsed_spec.take(), std::move(options), auto_linearize};
     }
     return request;
   }
   if (type == "sweep") {
     status = check_keys(
         json,
-        {"type", "spec", "f_start_hz", "f_stop_hz", "points_per_decade", "threads", "kernel"},
+        {"type", "spec", "f_start_hz", "f_stop_hz", "points_per_decade", "threads", "kernel",
+         "auto_linearize"},
         kWhat);
     if (!status.ok()) return status;
     const Json* spec = json.find("spec");
@@ -638,6 +701,17 @@ Result<AnyRequest> request_from_json(const Json& json) {
     if (!(status = read_kernel(json, "kernel", &request.sweep.kernel, kWhat)).ok()) {
       return status;
     }
+    if (!(status = read_bool(json, "auto_linearize", &request.sweep.auto_linearize, kWhat))
+             .ok()) {
+      return status;
+    }
+    return request;
+  }
+  if (type == "op") {
+    status = check_keys(json, {"type", "threads"}, kWhat);
+    if (!status.ok()) return status;
+    request.type = AnyRequest::Type::kOp;
+    if (!(status = read_int(json, "threads", &request.op.threads, kWhat)).ok()) return status;
     return request;
   }
   if (type == "batch") {
@@ -676,7 +750,7 @@ Result<AnyRequest> request_from_json(const Json& json) {
     status = check_keys(json,
                         {"type", "spec", "error_budget", "f_start_hz", "f_stop_hz",
                          "band_points", "prune", "prune_share", "max_terms", "max_queue",
-                         "skip_factor", "options"},
+                         "skip_factor", "options", "auto_linearize"},
                         kWhat);
     if (!status.ok()) return status;
     const Json* spec = json.find("spec");
@@ -724,12 +798,17 @@ Result<AnyRequest> request_from_json(const Json& json) {
       if (!parsed.ok()) return parsed.status();
       options.engine = parsed.take();
     }
+    if (!(status = read_bool(json, "auto_linearize", &request.simplify.auto_linearize, kWhat))
+             .ok()) {
+      return status;
+    }
     return request;
   }
   if (type == "param_sweep") {
     status = check_keys(json,
                         {"type", "spec", "mode", "params", "samples", "seed", "f_start_hz",
-                         "f_stop_hz", "points_per_decade", "threads", "kernel"},
+                         "f_stop_hz", "points_per_decade", "threads", "kernel",
+                         "auto_linearize"},
                         kWhat);
     if (!status.ok()) return status;
     const Json* spec = json.find("spec");
@@ -834,12 +913,15 @@ Result<AnyRequest> request_from_json(const Json& json) {
     }
     if (!(status = read_int(json, "threads", &sweep.threads, kWhat)).ok()) return status;
     if (!(status = read_kernel(json, "kernel", &sweep.kernel, kWhat)).ok()) return status;
+    if (!(status = read_bool(json, "auto_linearize", &sweep.auto_linearize, kWhat)).ok()) {
+      return status;
+    }
     return request;
   }
   return Status::error(StatusCode::kInvalidArgument,
                        "request: unknown type \"" + type +
                            "\" (expected refgen, sweep, poles_zeros, batch, param_sweep, "
-                           "or simplify)");
+                           "simplify, or op)");
 }
 
 Result<std::vector<AnyRequest>> requests_from_json(const Json& json) {

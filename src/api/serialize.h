@@ -33,6 +33,10 @@ Json to_json(const refgen::NumericalReference& reference);
 /// Response payloads. Every response object carries "type" and "status";
 /// the remaining fields are type-specific and only present on success.
 Json to_json(const RefgenResponse& response);
+/// Node voltages, branch currents and the per-device operating-point table
+/// are hex-float strings (bit-exact across the wire — the 1-vs-N-thread
+/// byte-compare of the CLI smoke rides on this).
+Json to_json(const OpResponse& response);
 Json to_json(const SweepResponse& response);
 Json to_json(const PolesZerosResponse& response);
 Json to_json(const BatchResponse& response);
@@ -54,9 +58,10 @@ Result<refgen::AdaptiveOptions> options_from_json(const Json& json);
 
 /// A request of any type, as parsed from a JSON payload.
 struct AnyRequest {
-  enum class Type { kRefgen, kSweep, kPolesZeros, kBatch, kParamSweep, kSimplify };
+  enum class Type { kRefgen, kSweep, kPolesZeros, kBatch, kParamSweep, kSimplify, kOp };
   Type type = Type::kRefgen;
   RefgenRequest refgen;
+  OpRequest op;
   SweepRequest sweep;
   PolesZerosRequest poles_zeros;
   BatchRequest batch;
@@ -65,7 +70,7 @@ struct AnyRequest {
 };
 
 /// Stable wire token of a request type: "refgen", "sweep", "poles_zeros",
-/// "batch", "param_sweep", "simplify".
+/// "batch", "param_sweep", "simplify", "op".
 const char* request_type_name(AnyRequest::Type type) noexcept;
 
 /// Encode a request in the exact schema request_from_json accepts — the
@@ -73,7 +78,7 @@ const char* request_type_name(AnyRequest::Type type) noexcept;
 Json to_json(const AnyRequest& request);
 
 /// Parse {"type": "refgen"|"sweep"|"poles_zeros"|"batch"|"param_sweep"|
-/// "simplify", ...}. Strict: unknown keys and missing required fields fail
+/// "simplify"|"op", ...}. Strict: unknown keys and missing required fields fail
 /// with kInvalidArgument, so typos in hand-written request files surface
 /// instead of silently using defaults. A batch request carries "items": an
 /// array of {"spec", "options"} refgen items, plus optional "threads". A
@@ -83,7 +88,9 @@ Json to_json(const AnyRequest& request);
 /// "samples"/"seed". A simplify request carries "error_budget", the band
 /// ("f_start_hz"/"f_stop_hz"/"band_points") and optional tuning knobs
 /// ("prune", "prune_share", "max_terms", "max_queue", "skip_factor") plus
-/// the nested reference-engine "options".
+/// the nested reference-engine "options". An op request carries only an
+/// optional "threads". Every AC-family request accepts an optional boolean
+/// "auto_linearize" (required true on device-bearing handles).
 Result<AnyRequest> request_from_json(const Json& json);
 
 /// Parse a request *session*: either one request object or an array of

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "dc/linearize.h"
+#include "dc/newton.h"
 #include "mna/ac.h"
 #include "mna/nodal.h"
 #include "netlist/parser.h"
@@ -154,10 +156,18 @@ struct SpecEntry {
 };
 
 struct CompiledCircuit {
-  // Declaration order is construction order: canonical is derived from
-  // original, system references canonical. The struct lives behind a
-  // shared_ptr and is never moved, so the internal reference stays valid.
+  // Declaration order is construction order: op is solved on original (when
+  // it carries devices), linear is the linearization at that bias (or a
+  // plain copy), canonical is derived from linear, system references
+  // canonical. The struct lives behind a shared_ptr and is never moved, so
+  // the internal reference stays valid.
   netlist::Circuit original;
+  /// Solved DC bias (device-bearing handles only; default elsewhere).
+  /// Immutable after construction — Service::op serves it lock-free.
+  dc::OpResult op;
+  /// What the AC-family analyses run on: the small-signal linearization of
+  /// `original` at `op`, or `original` itself when there are no devices.
+  netlist::Circuit linear;
   netlist::Circuit canonical;
   mna::NodalSystem system;
   std::string name;
@@ -186,11 +196,27 @@ struct CompiledCircuit {
   /// cache hits do not re-count, like degraded_responses.
   std::atomic<std::uint64_t> simplify_term_evals{0};
   std::atomic<std::uint64_t> simplify_terms_dropped{0};
+  /// Newton workload counters (Service::engine_stats): the compile-time
+  /// bias solve plus every param_sweep per-sample re-bias. Atomics because
+  /// sweep lanes bump them concurrently.
+  std::atomic<std::uint64_t> newton_iterations{0};
+  std::atomic<std::uint64_t> op_solves{0};
+  /// Whether Service::op already served the stored bias once (from_cache
+  /// flips true on the second and later calls).
+  std::atomic<bool> op_served{false};
 
   CompiledCircuit(netlist::Circuit circuit, const netlist::CanonicalOptions& options)
       : original(std::move(circuit)),
-        canonical(netlist::canonicalize(original, options)),
-        system(canonical) {}
+        op(original.has_devices() ? dc::solve_op(original) : dc::OpResult{}),
+        linear(original.has_devices() ? dc::linearize_at(original, op) : original),
+        canonical(netlist::canonicalize(linear, options)),
+        system(canonical) {
+    if (original.has_devices()) {
+      op_solves.store(1, std::memory_order_relaxed);
+      newton_iterations.store(static_cast<std::uint64_t>(op.newton_iterations),
+                              std::memory_order_relaxed);
+    }
+  }
 
   std::shared_ptr<SpecEntry> entry(const mna::TransferSpec& spec) {
     const std::lock_guard<std::mutex> lock(specs_mutex);
@@ -205,7 +231,31 @@ struct CompiledCircuit {
 using internal::CompiledCircuit;
 using internal::SpecEntry;
 
+namespace {
+
+/// The auto_linearize gate: a device-bearing handle only serves AC-family
+/// requests that explicitly opted into the linearized circuit, so a client
+/// that does not know about devices cannot silently analyze the wrong
+/// (nonsensical large-signal) netlist. Linear handles ignore the flag.
+Status check_auto_linearize(const CompiledCircuit& compiled, bool auto_linearize) {
+  if (compiled.original.has_devices() && !auto_linearize) {
+    return Status::error(
+        StatusCode::kInvalidArgument,
+        "handle '" + compiled.name +
+            "' contains nonlinear devices; set auto_linearize=true to run this "
+            "analysis on the small-signal circuit linearized at the solved "
+            "operating point");
+  }
+  return Status();
+}
+
+}  // namespace
+
 const netlist::Circuit& CircuitHandle::circuit() const { return compiled_->original; }
+bool CircuitHandle::has_devices() const {
+  return compiled_ != nullptr && compiled_->original.has_devices();
+}
+const netlist::Circuit& CircuitHandle::linear() const { return compiled_->linear; }
 bool CircuitHandle::has_netlist_template() const {
   return compiled_ != nullptr && compiled_->netlist_template.valid();
 }
@@ -260,6 +310,9 @@ Result<RefgenResponse> Service::refgen(const CircuitHandle& handle,
   support::Timer timer;
   try {
     CompiledCircuit& compiled = *handle.compiled_;
+    if (const Status gate = check_auto_linearize(compiled, request.auto_linearize); !gate.ok()) {
+      return gate;
+    }
     const std::shared_ptr<SpecEntry> entry = compiled.entry(request.spec);
     const std::lock_guard<std::mutex> lock(entry->mutex);
 
@@ -309,6 +362,9 @@ Result<SimplifyResponse> Service::simplify(const CircuitHandle& handle,
   support::Timer timer;
   try {
     CompiledCircuit& compiled = *handle.compiled_;
+    if (const Status gate = check_auto_linearize(compiled, request.auto_linearize); !gate.ok()) {
+      return gate;
+    }
     const std::shared_ptr<SpecEntry> entry = compiled.entry(request.spec);
     const std::lock_guard<std::mutex> lock(entry->mutex);
 
@@ -357,6 +413,9 @@ Result<SweepResponse> Service::sweep(const CircuitHandle& handle,
   support::Timer timer;
   try {
     CompiledCircuit& compiled = *handle.compiled_;
+    if (const Status gate = check_auto_linearize(compiled, request.auto_linearize); !gate.ok()) {
+      return gate;
+    }
     const std::shared_ptr<SpecEntry> entry = compiled.entry(request.spec);
     const std::lock_guard<std::mutex> lock(entry->mutex);
 
@@ -376,7 +435,7 @@ Result<SweepResponse> Service::sweep(const CircuitHandle& handle,
     // its assembler, and the factorization plan; later sweeps and later
     // points replay instead of re-pivoting.
     if (!entry->simulator) {
-      entry->simulator = std::make_unique<mna::AcSimulator>(compiled.original);
+      entry->simulator = std::make_unique<mna::AcSimulator>(compiled.linear);
     }
     SweepResponse response;
     response.points = entry->simulator->bode(request.spec, request.f_start_hz,
@@ -405,6 +464,9 @@ Result<ParamSweepResponse> Service::param_sweep(const CircuitHandle& handle,
       return Status::error(StatusCode::kInvalidArgument,
                            "param_sweep requires a handle compiled from netlist text "
                            "(compile_netlist), not a programmatic circuit");
+    }
+    if (const Status gate = check_auto_linearize(compiled, request.auto_linearize); !gate.ok()) {
+      return gate;
     }
     const std::shared_ptr<SpecEntry> entry = compiled.entry(request.spec);
 
@@ -462,6 +524,11 @@ Result<ParamSweepResponse> Service::param_sweep(const CircuitHandle& handle,
     ParamSweepResponse response;
     response.result = mna::run_param_sweep(compiled.netlist_template, plan, options);
     response.seconds = timer.seconds();
+    // Newton telemetry (device-bearing sweeps re-bias per sample). Computed
+    // runs only — a later cache hit of this response does not re-count.
+    compiled.op_solves.fetch_add(response.result.op_solves, std::memory_order_relaxed);
+    compiled.newton_iterations.fetch_add(response.result.newton_iterations,
+                                         std::memory_order_relaxed);
     // Memoize only reasonably sized studies: the LRU bound counts entries,
     // not bytes, and one maximal Monte-Carlo response can reach gigabytes —
     // a long-lived daemon must not pin that behind a 64-entry cache.
@@ -474,6 +541,29 @@ Result<ParamSweepResponse> Service::param_sweep(const CircuitHandle& handle,
       }
       compiled.cache_evictions.fetch_add(evicted, std::memory_order_relaxed);
     }
+    return response;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
+Result<OpResponse> Service::op(const CircuitHandle& handle, const OpRequest& request) const {
+  (void)request;  // threads/cancel are wire symmetry only — bias is pre-solved
+  if (!handle.valid()) {
+    return Status::error(StatusCode::kInvalidArgument, kEmptyHandleMessage);
+  }
+  support::Timer timer;
+  try {
+    CompiledCircuit& compiled = *handle.compiled_;
+    if (!compiled.original.has_devices()) {
+      return Status::error(StatusCode::kInvalidArgument,
+                           "op requires a handle with nonlinear devices (D/Q/M cards); a "
+                           "purely linear circuit has no Newton bias problem");
+    }
+    OpResponse response;
+    response.result = compiled.op;
+    response.from_cache = compiled.op_served.exchange(true, std::memory_order_relaxed);
+    response.seconds = timer.seconds();
     return response;
   } catch (...) {
     return status_from_current_exception();
@@ -514,6 +604,12 @@ Result<EngineStats> Service::engine_stats(const CircuitHandle& handle) const {
   stats.simplify_term_evals = compiled.simplify_term_evals.load(std::memory_order_relaxed);
   stats.simplify_terms_dropped =
       compiled.simplify_terms_dropped.load(std::memory_order_relaxed);
+  stats.newton_iterations = compiled.newton_iterations.load(std::memory_order_relaxed);
+  stats.op_solves = compiled.op_solves.load(std::memory_order_relaxed);
+  // The compile-time bias solve contributes its factorization telemetry
+  // alongside the per-spec evaluators' counters below.
+  stats.fresh_factorizations += compiled.op.fresh_factorizations;
+  stats.pivot_escalations += compiled.op.pivot_escalations;
   // Same discipline as cache_stats: collect entries, then lock each briefly.
   std::vector<std::shared_ptr<SpecEntry>> entries;
   {
@@ -534,7 +630,8 @@ Result<EngineStats> Service::engine_stats(const CircuitHandle& handle) const {
 Result<PolesZerosResponse> Service::poles_zeros(const CircuitHandle& handle,
                                                 const PolesZerosRequest& request) const {
   support::Timer timer;
-  Result<RefgenResponse> reference = refgen(handle, {request.spec, request.options});
+  Result<RefgenResponse> reference =
+      refgen(handle, {request.spec, request.options, request.auto_linearize});
   if (!reference.ok()) return reference.status();
   try {
     const refgen::NumericalReference& ref = reference.value().result.reference;
@@ -579,6 +676,11 @@ Result<BatchResponse> Service::batch(const CircuitHandle& handle,
         BatchItemResponse& out = response.items[i];
         support::Timer item_timer;
         try {
+          if (const Status gate = check_auto_linearize(compiled, item.auto_linearize);
+              !gate.ok()) {
+            out.status = gate;
+            continue;
+          }
           const std::shared_ptr<SpecEntry> entry = compiled.entry(item.spec);
           const std::string key = options_key(item.options);
           if (options_.cache_responses) {

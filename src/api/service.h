@@ -96,6 +96,13 @@ struct EngineStats {
   /// Symbolic terms simplify() enumerated and then discarded (SAG drops).
   /// Monotonic.
   std::uint64_t simplify_terms_dropped = 0;
+  /// Damped-Newton iterations spent solving DC operating points on this
+  /// handle: the compile-time bias solve plus every per-sample re-bias a
+  /// device-bearing param_sweep() performs. 0 on linear handles. Monotonic.
+  std::uint64_t newton_iterations = 0;
+  /// DC operating-point solves (compile-time bias + param_sweep re-biases).
+  /// 0 on linear handles. Monotonic.
+  std::uint64_t op_solves = 0;
 };
 
 /// A compiled circuit: immutable shared state plus internally synchronized
@@ -110,6 +117,14 @@ class CircuitHandle {
 
   /// The circuit as given (pre-canonicalization). Requires valid().
   [[nodiscard]] const netlist::Circuit& circuit() const;
+  /// True when the compiled netlist carries nonlinear devices (D/Q/M
+  /// cards); such a handle solved its DC bias at compile and serves every
+  /// AC-family request on the linearized circuit (auto_linearize gate).
+  [[nodiscard]] bool has_devices() const;
+  /// The small-signal circuit the AC-family analyses run on: the
+  /// linearization of circuit() at the solved operating point when
+  /// has_devices(), circuit() itself otherwise. Requires valid().
+  [[nodiscard]] const netlist::Circuit& linear() const;
   /// True when the handle was compiled from netlist text, which retains the
   /// parsed template — the prerequisite for param_sweep() (a programmatic
   /// compile() has no parameters to re-elaborate).
@@ -183,6 +198,15 @@ class Service {
   /// kIncomplete, kSingularSystem, kInvalidArgument, kCancelled.
   [[nodiscard]] Result<SimplifyResponse> simplify(const CircuitHandle& handle,
                                                   const SimplifyRequest& request) const;
+
+  /// The DC operating point of a device-bearing handle. The bias was
+  /// solved once at compile (one shared Newton factorization plan); this
+  /// serves the stored solution, so from_cache is true on every call after
+  /// the first. Errors: kInvalidArgument (purely linear handle — no bias
+  /// problem). A bias solve that fails surfaces at compile_netlist/compile
+  /// as kNoConvergence or kSingularSystem, never here.
+  [[nodiscard]] Result<OpResponse> op(const CircuitHandle& handle,
+                                      const OpRequest& request) const;
 
   /// Many refgen items against one handle, shared-nothing in parallel.
   /// The call itself only fails for an invalid handle; per-item failures

@@ -4,6 +4,7 @@
 #include <new>
 #include <stdexcept>
 
+#include "dc/newton.h"
 #include "mna/errors.h"
 #include "netlist/parser.h"
 #include "sparse/lu.h"
@@ -21,6 +22,7 @@ const char* status_code_name(StatusCode code) noexcept {
     case StatusCode::kSingularSystem: return "singular_system";
     case StatusCode::kRefusedReplay: return "refused_replay";
     case StatusCode::kIncomplete: return "incomplete";
+    case StatusCode::kNoConvergence: return "no_convergence";
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kNotFound: return "not_found";
     case StatusCode::kIoError: return "io_error";
@@ -36,7 +38,7 @@ StatusCode status_code_from_name(std::string_view name) noexcept {
   for (const StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
         StatusCode::kInvalidSpec, StatusCode::kSingularSystem, StatusCode::kRefusedReplay,
-        StatusCode::kIncomplete, StatusCode::kCancelled, StatusCode::kNotFound,
+        StatusCode::kIncomplete, StatusCode::kNoConvergence, StatusCode::kCancelled, StatusCode::kNotFound,
         StatusCode::kIoError, StatusCode::kDeadlineExceeded, StatusCode::kOverloaded,
         StatusCode::kUnavailable}) {
     if (name == status_code_name(code)) return code;
@@ -73,6 +75,8 @@ Status status_from_current_exception() noexcept {
     return Status::error(StatusCode::kSingularSystem, e.what());
   } catch (const sparse::RefusedReplayError& e) {
     return Status::error(StatusCode::kRefusedReplay, e.what());
+  } catch (const dc::NoConvergenceError& e) {
+    return Status::error(StatusCode::kNoConvergence, e.what());
   } catch (const support::CancelledError& e) {
     return Status::error(StatusCode::kCancelled, e.what());
   } catch (const symbolic::NonAdmissibleError& e) {

@@ -35,6 +35,11 @@ enum class StatusCode {
   /// The engine terminated without a complete reference (max_iterations,
   /// no_valid_region, gap_unresolved).
   kIncomplete,
+  /// The Newton .op solver exhausted its whole homotopy ladder (plain
+  /// damped iteration, gmin stepping, source stepping) without converging.
+  /// Permanent for the identical request; a different initial guess,
+  /// looser tolerances, or a fixed netlist may succeed.
+  kNoConvergence,
   /// The request was cancelled at a cooperative checkpoint (job cancel,
   /// client timeout) before producing a complete result.
   kCancelled,
@@ -119,8 +124,9 @@ class Status {
 ///
 /// netlist::ParseError -> kParseError (with line/column), mna::SpecError ->
 /// kInvalidSpec, mna::SingularSystemError -> kSingularSystem,
-/// sparse::RefusedReplayError -> kRefusedReplay, support::CancelledError ->
-/// kCancelled, std::invalid_argument -> kInvalidArgument, std::bad_alloc ->
+/// sparse::RefusedReplayError -> kRefusedReplay, dc::NoConvergenceError ->
+/// kNoConvergence, support::CancelledError -> kCancelled,
+/// std::invalid_argument -> kInvalidArgument, std::bad_alloc ->
 /// kUnavailable (allocation pressure is transient — retryable), anything
 /// else -> kInternal.
 [[nodiscard]] Status status_from_current_exception() noexcept;

@@ -1,0 +1,132 @@
+// Damped Newton-Raphson DC operating-point (".op") solver.
+//
+// The solver assembles the full MNA system (node voltages plus auxiliary
+// branch currents for V/E/H/L/opamp elements) with every nonlinear device
+// replaced by its companion linearization (devices/models.h). The key
+// property the engine is built around carries over from the AC path: the
+// Jacobian's sparsity pattern is FIXED across iterations — device stamps are
+// emitted at every position they can ever occupy (including a permanent
+// gmin shunt across each junction), so iterating is
+//
+//   PatternedMatrix::rebind  (new values, same structure)
+//   SparseLu::refactor       (numeric replay of the one recorded plan)
+//
+// and a fresh Markowitz factorization happens exactly once per pattern — or
+// again only on the degradation ladder when a replay is refused (mirroring
+// CofactorEvaluator's escalation policy). An OpSolver instance keeps its
+// plan across solve() calls, so a parameter sweep re-solving the bias point
+// per sample replays one plan for the whole sweep.
+//
+// Convergence homotopy, in order: plain damped Newton with junction
+// limiting; gmin stepping (the junction shunt walks 1e-2 -> gmin, same
+// pattern throughout); source stepping (DC sources ramped 0 -> 1). Failure
+// of all three throws the typed NoConvergenceError (api maps it to
+// kNoConvergence).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "sparse/lu.h"
+#include "sparse/matrix.h"
+#include "support/cancellation.h"
+
+namespace symref::dc {
+
+/// The circuit refused to converge through the whole homotopy ladder.
+class NoConvergenceError : public std::runtime_error {
+ public:
+  explicit NoConvergenceError(const std::string& message) : std::runtime_error(message) {}
+};
+
+struct OpOptions {
+  int max_iterations = 200;  // Newton cap per homotopy stage
+  // Convergence tolerances, SPICE-flavored: the accepted step must satisfy
+  // |dx| <= abstol + reltol*|x| per unknown. Tighter settings than these
+  // run into linear-solve roundoff on realistic (30 V rail, mA current)
+  // circuits — near-ground nodes jitter by nanovolts, so a 1e-12 vntol can
+  // never be met even though the iterate has fully converged. The achieved
+  // accuracy is far better than the tolerance (Newton is quadratic near the
+  // solution; the last accepted step overshoots the true error by orders of
+  // magnitude).
+  double reltol = 1e-6;    // per-unknown relative tolerance
+  double abstol_v = 1e-6;  // node-voltage absolute tolerance [V] (SPICE vntol)
+  double abstol_i = 1e-12;  // branch-current absolute tolerance [A] (SPICE abstol)
+  double gmin = 1e-12;         // permanent junction shunt [S]
+  double gmin_start = 1e-2;    // gmin-stepping ladder entry [S]
+  int source_steps = 10;       // source-stepping ramp stages
+  double max_voltage_step = 10.0;  // global Newton damping clamp [V]
+  support::CancellationToken cancel;
+};
+
+/// Named operating-point quantities for one device (junction voltages,
+/// terminal currents, small-signal parameters) in a fixed per-kind order.
+struct OpDeviceInfo {
+  std::string name;
+  std::string kind;  // "diode" | "bjt" | "mos"
+  std::vector<std::pair<std::string, double>> values;
+
+  [[nodiscard]] double value(std::string_view key) const;  // 0.0 when absent
+};
+
+struct OpResult {
+  /// Non-ground nodes in circuit index order (index i = circuit node i+1).
+  std::vector<std::string> node_names;
+  std::vector<double> node_voltages;
+  /// Elements with auxiliary branch unknowns, in element order.
+  std::vector<std::string> branch_names;
+  std::vector<double> branch_currents;
+  std::vector<OpDeviceInfo> devices;
+
+  // Newton telemetry.
+  int newton_iterations = 0;  // total across all homotopy stages
+  int gmin_steps = 0;         // gmin-stepping stages actually run
+  int source_steps = 0;       // source-stepping stages actually run
+  std::uint64_t fresh_factorizations = 0;
+  std::uint64_t pivot_escalations = 0;
+  bool degraded = false;      // any escalated-pivot factorization involved
+  double max_residual = 0.0;  // final KCL residual, infinity norm [A]
+  double seconds = 0.0;
+
+  /// Solved voltage of a node by name (throws std::invalid_argument when
+  /// the node is unknown; ground returns 0).
+  [[nodiscard]] double voltage_of(std::string_view node) const;
+};
+
+/// Plan-holding Newton solver. The first solve() factors the Jacobian
+/// pattern once; every later iteration — and every later solve() whose
+/// merged stamp structure matches (a parameter-sweep sample) — replays the
+/// recorded plan through rebind + refactor.
+class OpSolver {
+ public:
+  explicit OpSolver(OpOptions options = {});
+
+  /// Solve the DC operating point. Throws NoConvergenceError when the
+  /// homotopy ladder is exhausted, mna::SingularSystemError when the DC
+  /// system is structurally singular, support::CancelledError on
+  /// cancellation.
+  OpResult solve(const netlist::Circuit& circuit);
+
+  /// Fresh Markowitz factorizations performed over this solver's lifetime
+  /// (the probe the one-shared-plan tests assert on).
+  [[nodiscard]] std::uint64_t fresh_factor_count() const noexcept { return fresh_factors_; }
+  [[nodiscard]] std::uint64_t pivot_escalation_count() const noexcept { return escalations_; }
+
+ private:
+  OpOptions options_;
+  sparse::PatternedMatrix assembly_;
+  sparse::SparseLu lu_;
+  bool has_pattern_ = false;
+  std::uint64_t fresh_factors_ = 0;
+  std::uint64_t escalations_ = 0;
+};
+
+/// One-shot convenience wrapper around OpSolver.
+OpResult solve_op(const netlist::Circuit& circuit, const OpOptions& options = {});
+
+}  // namespace symref::dc

@@ -1,0 +1,153 @@
+#include "devices/models.h"
+
+#include <cmath>
+
+namespace symref::devices {
+
+ExpPair guarded_exp(double x) noexcept {
+  ExpPair e;
+  if (x > kMaxExpArg) {
+    const double cap = std::exp(kMaxExpArg);
+    e.df = cap;
+    e.f = cap * (1.0 + (x - kMaxExpArg));
+    return e;
+  }
+  e.f = std::exp(x);
+  e.df = e.f;
+  return e;
+}
+
+double junction_vcrit(double is, double n_vt) noexcept {
+  return n_vt * std::log(n_vt / (is * std::sqrt(2.0)));
+}
+
+double pnjlim(double v_new, double v_old, double n_vt, double vcrit, bool* limited) noexcept {
+  // Nagel (SPICE2 §). Above vcrit the exponential doubles every ~0.7*nVt, so
+  // raw Newton steps overshoot by many orders of magnitude; replace the step
+  // with a logarithmic one that tracks the current instead of the voltage.
+  if (v_new > vcrit && std::fabs(v_new - v_old) > 2.0 * n_vt) {
+    if (v_old > 0.0) {
+      const double arg = 1.0 + (v_new - v_old) / n_vt;
+      if (arg > 0.0) {
+        v_new = v_old + n_vt * std::log(arg);
+      } else {
+        v_new = vcrit;
+      }
+    } else {
+      v_new = n_vt * std::log(v_new / n_vt);
+    }
+    *limited = true;
+  }
+  return v_new;
+}
+
+DiodeEval eval_diode(const netlist::DeviceModel& model, double vd) noexcept {
+  const double n_vt = model.n * kThermalVoltage;
+  const ExpPair e = guarded_exp(vd / n_vt);
+  DiodeEval out;
+  out.id = model.is * (e.f - 1.0);
+  out.gd = model.is * e.df / n_vt;
+  out.ieq = out.id - out.gd * vd;
+  return out;
+}
+
+BjtEval eval_bjt(const netlist::DeviceModel& model, double vbe, double vbc) noexcept {
+  const double n_vt = model.n * kThermalVoltage;
+  const ExpPair ef = guarded_exp(vbe / n_vt);
+  const ExpPair er = guarded_exp(vbc / n_vt);
+  const double icc = model.is * (ef.f - 1.0);
+  const double iec = model.is * (er.f - 1.0);
+  const double gcc = model.is * ef.df / n_vt;  // d icc / d vbe
+  const double gec = model.is * er.df / n_vt;  // d iec / d vbc
+
+  BjtEval out;
+  out.ic = icc - iec * (1.0 + 1.0 / model.br);
+  out.ib = icc / model.bf + iec / model.br;
+  out.dic_dvbe = gcc;
+  out.dic_dvbc = -gec * (1.0 + 1.0 / model.br);
+  out.dib_dvbe = gcc / model.bf;
+  out.dib_dvbc = gec / model.br;
+  out.ic_eq = out.ic - out.dic_dvbe * vbe - out.dic_dvbc * vbc;
+  out.ib_eq = out.ib - out.dib_dvbe * vbe - out.dib_dvbc * vbc;
+  return out;
+}
+
+MosEval eval_mos(const netlist::DeviceModel& model, double vgs, double vds) noexcept {
+  // Symmetric device: for vds < 0 the physical source is the higher-voltage
+  // terminal; evaluate in the swapped frame and map the derivatives back
+  // (id' = -id, vgs' = vgs - vds = vgd, vds' = -vds).
+  const bool swapped = vds < 0.0;
+  const double vgs_eff = swapped ? vgs - vds : vgs;
+  const double vds_eff = swapped ? -vds : vds;
+
+  const double vov = vgs_eff - model.vto;  // overdrive
+  double id = 0.0, gm = 0.0, gds = 0.0;
+  if (vov > 0.0) {
+    const double clm = 1.0 + model.lambda * vds_eff;
+    if (vds_eff < vov) {
+      // Triode.
+      id = model.kp * (vov * vds_eff - 0.5 * vds_eff * vds_eff) * clm;
+      gm = model.kp * vds_eff * clm;
+      gds = model.kp * ((vov - vds_eff) * clm +
+                        (vov * vds_eff - 0.5 * vds_eff * vds_eff) * model.lambda);
+    } else {
+      // Saturation.
+      id = 0.5 * model.kp * vov * vov * clm;
+      gm = model.kp * vov * clm;
+      gds = 0.5 * model.kp * vov * vov * model.lambda;
+    }
+  }
+
+  MosEval out;
+  if (swapped) {
+    // id(vgs, vds) = -id'(vgs - vds, -vds):
+    //   d id/d vgs = -gm';  d id/d vds = -(gm' * -1 + gds' * -1) = gm' + gds'.
+    out.id = -id;
+    out.did_dvgs = -gm;
+    out.did_dvds = gm + gds;
+  } else {
+    out.id = id;
+    out.did_dvgs = gm;
+    out.did_dvds = gds;
+  }
+  out.id_eq = out.id - out.did_dvgs * vgs - out.did_dvds * vds;
+  return out;
+}
+
+netlist::BjtParams bjt_small_signal(const netlist::DeviceModel& model, double ic) noexcept {
+  const double ic_mag = std::fabs(ic);
+  if (ic_mag > 0.0) {
+    return netlist::BjtParams::from_bias(ic_mag, model.bf, model.vaf, model.tf, model.cje,
+                                         model.cjc, model.ccs, model.rb);
+  }
+  // Cut-off device: no transconductance, infinite ro; only the junction
+  // capacitances survive.
+  netlist::BjtParams p;
+  p.cpi = model.cje;
+  p.cmu = model.cjc;
+  p.ccs = model.ccs;
+  p.rb = model.rb;
+  return p;
+}
+
+netlist::MosParams mos_small_signal(const netlist::DeviceModel& model, double vgs,
+                                    double vds) noexcept {
+  const MosEval e = eval_mos(model, vgs, vds);
+  netlist::MosParams p;
+  p.gm = e.did_dvgs;
+  p.gds = e.did_dvds;
+  p.cgs = model.cgs;
+  p.cgd = model.cgd;
+  p.cdb = model.cdb;
+  return p;
+}
+
+DiodeSmallSignal diode_small_signal(const netlist::DeviceModel& model, double vd) noexcept {
+  const DiodeEval e = eval_diode(model, vd);
+  DiodeSmallSignal s;
+  s.gd = e.gd;
+  s.c = model.tt * e.gd + model.cj;
+  return s;
+}
+
+}  // namespace symref::devices

@@ -1,0 +1,126 @@
+// Large-signal device model evaluation.
+//
+// Every model exposes its Newton companion form: terminal currents, the
+// Jacobian conductances (derivatives of the terminal currents with respect
+// to the terminal voltages), and the equivalent current sources
+//   ieq = i(v0) - sum_j g_j * v0_j
+// so that the linearized branch  i ~= sum_j g_j * v_j + ieq  stamps into the
+// MNA matrix exactly like a conductance network plus an independent source
+// (the classic SPICE companion model).
+//
+// Polarity convention: all evaluation happens in the positive-polarity
+// frame. For pnp/pmos devices the caller negates the junction voltages on
+// the way in and the terminal currents on the way out; because every
+// Jacobian entry is d(pol*i)/d(pol*v) = di/dv, the conductances need no
+// sign flip (see netlist::Device::polarity).
+//
+// Numerical safety: exponentials are linearized above kMaxExpArg so an
+// un-limited Newton excursion yields a huge-but-finite conductance instead
+// of inf/nan, and pnjlim() (Nagel's junction limiting) keeps successive
+// junction-voltage iterates inside the range where the exponential is
+// meaningful.
+#pragma once
+
+#include "netlist/device.h"
+#include "netlist/devices.h"
+
+namespace symref::devices {
+
+/// Thermal voltage kT/q at the engine's fixed nominal temperature (300 K);
+/// the same constant BjtParams::from_bias uses, so DC solutions and
+/// small-signal expansions share one temperature.
+inline constexpr double kThermalVoltage = 0.02585;
+
+/// Exponential arguments above this are continued linearly (exp stays
+/// first-order consistent: f(x) = e^c * (1 + x - c)).
+inline constexpr double kMaxExpArg = 80.0;
+
+/// Value/derivative pair of the guarded exponential.
+struct ExpPair {
+  double f = 0.0;
+  double df = 0.0;
+};
+
+/// e^x with a linear continuation above kMaxExpArg (keeps f and df finite
+/// and consistent: above the cap df is constant and f integrates it).
+[[nodiscard]] ExpPair guarded_exp(double x) noexcept;
+
+/// Critical voltage of a junction: the voltage where the exponential's
+/// curvature starts defeating plain Newton (vcrit = nVt * ln(nVt/(is*sqrt2))).
+[[nodiscard]] double junction_vcrit(double is, double n_vt) noexcept;
+
+/// Nagel's pnjlim: limit the new junction-voltage iterate `v_new` against
+/// the previous one `v_old`. Returns the limited voltage; *limited is set
+/// when the iterate was changed (the Newton loop must then keep iterating).
+[[nodiscard]] double pnjlim(double v_new, double v_old, double n_vt, double vcrit,
+                            bool* limited) noexcept;
+
+// --- Diode ----------------------------------------------------------------
+
+/// Companion linearization of  id = is*(e^{vd/(n vt)} - 1)  at vd.
+struct DiodeEval {
+  double id = 0.0;   // diode current at vd [A]
+  double gd = 0.0;   // d id / d vd [S]
+  double ieq = 0.0;  // id - gd*vd (companion current source) [A]
+};
+[[nodiscard]] DiodeEval eval_diode(const netlist::DeviceModel& model, double vd) noexcept;
+
+// --- BJT (Ebers-Moll transport form) --------------------------------------
+
+/// Terminal currents (into collector and base) and their derivatives with
+/// respect to (vbe, vbc) at the evaluation point. The emitter current is
+/// -(ic + ib). vaf/rb are small-signal-only parameters: the DC model is the
+/// ideal three-terminal Ebers-Moll transport model
+///   icc = is*(e^{vbe/vt}-1),  iec = is*(e^{vbc/vt}-1)
+///   ic  = icc - iec*(1 + 1/br),   ib = icc/bf + iec/br.
+struct BjtEval {
+  double ic = 0.0;      // collector terminal current [A]
+  double ib = 0.0;      // base terminal current [A]
+  double dic_dvbe = 0.0;  // = gcc
+  double dic_dvbc = 0.0;  // = -gec*(1+1/br)
+  double dib_dvbe = 0.0;  // = gcc/bf
+  double dib_dvbc = 0.0;  // = gec/br
+  double ic_eq = 0.0;   // ic - dic_dvbe*vbe - dic_dvbc*vbc
+  double ib_eq = 0.0;   // ib - dib_dvbe*vbe - dib_dvbc*vbc
+};
+[[nodiscard]] BjtEval eval_bjt(const netlist::DeviceModel& model, double vbe,
+                               double vbc) noexcept;
+
+// --- MOS level 1 ----------------------------------------------------------
+
+/// Drain current and derivatives at (vgs, vds), source-referenced. For
+/// vds < 0 the drain and source roles swap internally (symmetric device);
+/// the returned derivatives are still with respect to the *terminal*
+/// voltages vgs/vds, so the caller stamps them unchanged.
+struct MosEval {
+  double id = 0.0;      // drain terminal current [A]
+  double did_dvgs = 0.0;  // gm
+  double did_dvds = 0.0;  // gds
+  double id_eq = 0.0;   // id - gm*vgs - gds*vds
+};
+[[nodiscard]] MosEval eval_mos(const netlist::DeviceModel& model, double vgs,
+                               double vds) noexcept;
+
+// --- Small-signal extraction ----------------------------------------------
+
+/// Hybrid-pi parameters of a BJT at the solved bias (collector current in
+/// the positive-polarity frame). Routed through netlist::BjtParams::from_bias
+/// so a device-level linearization and a hand-built reference built from the
+/// same currents produce bit-identical elements.
+[[nodiscard]] netlist::BjtParams bjt_small_signal(const netlist::DeviceModel& model,
+                                                  double ic) noexcept;
+
+/// Small-signal MOS parameters at the solved bias.
+[[nodiscard]] netlist::MosParams mos_small_signal(const netlist::DeviceModel& model, double vgs,
+                                                  double vds) noexcept;
+
+/// Small-signal diode: conductance gd at bias plus the junction capacitance
+/// c = tt*gd + cj (diffusion + depletion).
+struct DiodeSmallSignal {
+  double gd = 0.0;
+  double c = 0.0;
+};
+[[nodiscard]] DiodeSmallSignal diode_small_signal(const netlist::DeviceModel& model,
+                                                  double vd) noexcept;
+
+}  // namespace symref::devices

@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "dc/linearize.h"
 #include "mna/ac.h"
 #include "mna/nodal.h"
 #include "support/thread_pool.h"
@@ -176,8 +177,24 @@ ParamSweepResult run_param_sweep(const netlist::NetlistTemplate& netlist,
   // Baseline on the caller: nominal elaboration, plan factored at the first
   // probe frequency. Every lane clones this evaluator — the clones share
   // the immutable symbolic plan and replay it per (sample, point).
+  //
+  // Device-bearing netlists get a second baseline: the nominal DC bias is
+  // solved once here, recording the Newton Jacobian plan, and the lanes
+  // clone THAT solver too — so every per-sample re-bias replays one shared
+  // plan, exactly like the AC points replay the evaluator's.
   const netlist::Circuit base_circuit = netlist.elaborate();
-  const netlist::Circuit base_canonical = netlist::canonicalize(base_circuit, options.canonical);
+  const bool has_devices = base_circuit.has_devices();
+  dc::OpOptions op_options = options.op;
+  op_options.cancel = options.cancel;
+  dc::OpSolver base_op_solver(op_options);
+  netlist::Circuit base_linear = base_circuit;
+  if (has_devices) {
+    const dc::OpResult base_op = base_op_solver.solve(base_circuit);
+    result.op_solves = 1;
+    result.newton_iterations = static_cast<std::uint64_t>(base_op.newton_iterations);
+    base_linear = dc::linearize_at(base_circuit, base_op);
+  }
+  const netlist::Circuit base_canonical = netlist::canonicalize(base_linear, options.canonical);
   const NodalSystem base_system(base_canonical);
   CofactorEvaluator baseline(base_system, options.spec);
   const std::complex<double> s0(0.0, 2.0 * kPi * result.frequencies_hz.front());
@@ -195,7 +212,11 @@ ParamSweepResult run_param_sweep(const netlist::NetlistTemplate& netlist,
   // not double counted through the clones.
   struct Lane {
     CofactorEvaluator eval;
+    dc::OpSolver op_solver;
     std::uint64_t start = 0;
+    std::uint64_t op_start = 0;
+    std::uint64_t op_solves = 0;
+    std::uint64_t newton_iterations = 0;
   };
   support::ThreadPool pool(options.threads);
   std::vector<std::unique_ptr<Lane>> lanes(static_cast<std::size_t>(pool.size()));
@@ -203,8 +224,9 @@ ParamSweepResult run_param_sweep(const netlist::NetlistTemplate& netlist,
   auto body = [&](std::size_t begin, std::size_t end, int lane_index) {
     std::unique_ptr<Lane>& slot = lanes[static_cast<std::size_t>(lane_index)];
     if (!slot) {
-      slot = std::make_unique<Lane>(Lane{baseline, 0});
+      slot = std::make_unique<Lane>(Lane{baseline, base_op_solver});
       slot->start = slot->eval.fresh_factor_count();
+      slot->op_start = slot->op_solver.fresh_factor_count();
     }
     std::map<std::string, double> overrides;
     for (std::size_t i = begin; i < end; ++i) {
@@ -214,9 +236,20 @@ ParamSweepResult run_param_sweep(const netlist::NetlistTemplate& netlist,
         overrides[plan.names[j]] = plan.values[i * width + j];
       }
       // Same topology, new values: re-elaborate, rebind the pattern in
-      // place, replay the pinned plan per probe point.
+      // place, replay the pinned plan per probe point. Device-bearing
+      // samples are re-biased first (replaying the cloned Newton plan) and
+      // analyzed through their own linearization.
       const netlist::Circuit circuit = netlist.elaborate(overrides);
-      const netlist::Circuit canonical = netlist::canonicalize(circuit, options.canonical);
+      netlist::Circuit linear_storage;
+      const netlist::Circuit* linear = &circuit;
+      if (has_devices) {
+        const dc::OpResult op = slot->op_solver.solve(circuit);
+        slot->op_solves += 1;
+        slot->newton_iterations += static_cast<std::uint64_t>(op.newton_iterations);
+        linear_storage = dc::linearize_at(circuit, op);
+        linear = &linear_storage;
+      }
+      const netlist::Circuit canonical = netlist::canonicalize(*linear, options.canonical);
       const NodalSystem system(canonical);
       slot->eval.rebind(system);
       std::uint8_t all_ok = 1;
@@ -235,9 +268,14 @@ ParamSweepResult run_param_sweep(const netlist::NetlistTemplate& netlist,
   };
   pool.parallel_for(samples, body);
 
-  result.fresh_factorizations = baseline.fresh_factor_count();
+  result.fresh_factorizations = baseline.fresh_factor_count() +
+                                (has_devices ? base_op_solver.fresh_factor_count() : 0);
   for (const std::unique_ptr<Lane>& lane : lanes) {
-    if (lane) result.fresh_factorizations += lane->eval.fresh_factor_count() - lane->start;
+    if (!lane) continue;
+    result.fresh_factorizations += lane->eval.fresh_factor_count() - lane->start;
+    result.fresh_factorizations += lane->op_solver.fresh_factor_count() - lane->op_start;
+    result.op_solves += lane->op_solves;
+    result.newton_iterations += lane->newton_iterations;
   }
   result.seconds = timer.seconds();
   return result;

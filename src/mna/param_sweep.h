@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "dc/newton.h"
 #include "mna/transfer.h"
 #include "netlist/canonical.h"
 #include "netlist/parser.h"
@@ -108,6 +109,11 @@ struct ParamSweepOptions {
   /// Cooperative checkpoint, polled once per sample on every lane.
   support::CancellationToken cancel;
   netlist::CanonicalOptions canonical;
+  /// Newton options of the per-sample DC bias solves a device-bearing
+  /// netlist needs before linearization (ignored when the elaborated
+  /// circuit has no D/Q/M cards). Its own cancel token is replaced by
+  /// `cancel` so one token trips the whole sweep.
+  dc::OpOptions op;
 };
 
 struct ParamSweepResult {
@@ -124,15 +130,26 @@ struct ParamSweepResult {
   std::vector<std::uint8_t> ok;
   /// Fresh (non-replay) factorizations across the whole sweep: 1 means the
   /// baseline symbolic plan served every sample and point — the headline
-  /// economics this engine exists for. Independent of the thread count.
+  /// economics this engine exists for (2 for a device-bearing netlist: the
+  /// AC plan plus the one Newton Jacobian plan every bias solve replays).
+  /// Independent of the thread count while every replay is accepted.
   std::uint64_t fresh_factorizations = 0;
+  /// DC operating-point solves performed: 0 for a linear netlist, else the
+  /// nominal baseline bias plus one re-bias per sample — `.param` symbols
+  /// reaching device cards vary the operating point, so every sample is
+  /// linearized at ITS OWN bias.
+  std::uint64_t op_solves = 0;
+  /// Damped-Newton iterations across all bias solves. 0 for linear netlists.
+  std::uint64_t newton_iterations = 0;
   double seconds = 0.0;
 };
 
 /// Run the sweep. Throws std::invalid_argument for plan/grid problems or
 /// parameters the template does not define, netlist::ParseError when a
 /// sample's elaboration fails (e.g. an override drives an expression into a
-/// division by zero), and support::CancelledError on cancellation.
+/// division by zero), dc::NoConvergenceError when a sample's bias solve
+/// exhausts its homotopy ladder, and support::CancelledError on
+/// cancellation.
 [[nodiscard]] ParamSweepResult run_param_sweep(const netlist::NetlistTemplate& netlist,
                                                const ParamSamplePlan& plan,
                                                const ParamSweepOptions& options);

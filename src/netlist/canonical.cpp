@@ -11,6 +11,7 @@
 namespace symref::netlist {
 
 bool is_canonical(const Circuit& circuit) noexcept {
+  if (circuit.has_devices()) return false;  // nonlinear: needs dc::linearize_at first
   for (const Element& e : circuit.elements()) {
     switch (e.kind) {
       case ElementKind::Conductance:
@@ -39,6 +40,11 @@ void emit_forced_vcvs(Circuit& out, const std::string& name, const std::string& 
 }  // namespace
 
 Circuit canonicalize(const Circuit& circuit, const CanonicalOptions& options) {
+  if (circuit.has_devices()) {
+    throw std::invalid_argument(
+        "canonicalize: circuit contains nonlinear devices; solve a DC operating point and "
+        "linearize (dc::linearize_at) first");
+  }
   const std::vector<double> conductances = circuit.conductance_values();
   double gyrator_g = options.gyrator_conductance;
   if (gyrator_g <= 0.0) {

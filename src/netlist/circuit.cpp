@@ -25,6 +25,15 @@ const char* kind_name(ElementKind kind) noexcept {
   return "?";
 }
 
+const char* device_kind_name(DeviceKind kind) noexcept {
+  switch (kind) {
+    case DeviceKind::kDiode: return "diode";
+    case DeviceKind::kBjt: return "bjt";
+    case DeviceKind::kMos: return "mos";
+  }
+  return "?";
+}
+
 namespace {
 bool is_ground_name(std::string_view name) noexcept {
   return name == "0" || name == "gnd" || name == "GND" || name == "Gnd";
@@ -226,6 +235,82 @@ Element& Circuit::add_opamp(std::string name, std::string_view out, std::string_
   return add(std::move(e));
 }
 
+Device& Circuit::add_device(Device device) {
+  if (device.name.empty()) {
+    throw std::invalid_argument("device with empty name");
+  }
+  if (find_element(device.name) != nullptr || find_device(device.name) != nullptr) {
+    throw std::invalid_argument("duplicate device name '" + device.name + "'");
+  }
+  if (device.polarity != 1 && device.polarity != -1) {
+    throw std::invalid_argument("device '" + device.name + "': polarity must be +1 or -1");
+  }
+  const int terminals = device.kind == DeviceKind::kDiode ? 2 : 3;
+  for (int t = 0; t < terminals; ++t) {
+    if (device.nodes[t] < 0 || device.nodes[t] >= node_count()) {
+      throw std::invalid_argument("device '" + device.name + "': bad terminal node");
+    }
+  }
+  const DeviceModel& m = device.model;
+  for (const double p : {m.is, m.n, m.tt, m.cj, m.bf, m.br, m.vaf, m.tf, m.cje, m.cjc, m.ccs,
+                         m.rb, m.kp, m.vto, m.lambda, m.cgs, m.cgd, m.cdb}) {
+    if (!std::isfinite(p)) {
+      throw std::invalid_argument("device '" + device.name + "': non-finite model parameter");
+    }
+  }
+  if (m.is <= 0.0 || m.n <= 0.0) {
+    throw std::invalid_argument("device '" + device.name +
+                                "': saturation current and emission coefficient must be positive");
+  }
+  devices_.push_back(std::move(device));
+  return devices_.back();
+}
+
+Device& Circuit::add_diode(std::string name, std::string_view anode, std::string_view cathode,
+                           const DeviceModel& model, int polarity) {
+  Device d;
+  d.kind = DeviceKind::kDiode;
+  d.name = std::move(name);
+  d.polarity = polarity;
+  d.nodes[0] = node(anode);
+  d.nodes[1] = node(cathode);
+  d.model = model;
+  return add_device(std::move(d));
+}
+
+Device& Circuit::add_bjt(std::string name, std::string_view collector, std::string_view base,
+                         std::string_view emitter, const DeviceModel& model, int polarity) {
+  Device d;
+  d.kind = DeviceKind::kBjt;
+  d.name = std::move(name);
+  d.polarity = polarity;
+  d.nodes[0] = node(collector);
+  d.nodes[1] = node(base);
+  d.nodes[2] = node(emitter);
+  d.model = model;
+  return add_device(std::move(d));
+}
+
+Device& Circuit::add_mos(std::string name, std::string_view drain, std::string_view gate,
+                         std::string_view source, const DeviceModel& model, int polarity) {
+  Device d;
+  d.kind = DeviceKind::kMos;
+  d.name = std::move(name);
+  d.polarity = polarity;
+  d.nodes[0] = node(drain);
+  d.nodes[1] = node(gate);
+  d.nodes[2] = node(source);
+  d.model = model;
+  return add_device(std::move(d));
+}
+
+const Device* Circuit::find_device(std::string_view name) const noexcept {
+  for (const Device& d : devices_) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
 const Element* Circuit::find_element(std::string_view name) const noexcept {
   for (const Element& e : elements_) {
     if (e.name == name) return &e;
@@ -268,6 +353,11 @@ bool Circuit::short_element(std::string_view name) {
     if (e.ctrl_pos >= 0) e.ctrl_pos = remap(e.ctrl_pos);
     if (e.ctrl_neg >= 0) e.ctrl_neg = remap(e.ctrl_neg);
   }
+  for (Device& d : devices_) {
+    for (int& n : d.nodes) {
+      if (n >= 0) n = remap(n);
+    }
+  }
   // The merged node keeps its slot in node_names_ so indices stay stable;
   // its name now aliases the survivor so lookups keep working.
   alias_[static_cast<std::size_t>(gone)] = keep;
@@ -304,6 +394,7 @@ std::size_t Circuit::count(ElementKind kind) const noexcept {
 std::string Circuit::summary() const {
   std::map<std::string, int> counts;
   for (const Element& e : elements_) ++counts[kind_name(e.kind)];
+  for (const Device& d : devices_) ++counts[device_kind_name(d.kind)];
   std::ostringstream os;
   os << (title.empty() ? "circuit" : title) << ": " << unknown_count() << " nodes";
   for (const auto& [kind, count] : counts) os << ", " << count << ' ' << kind;

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "netlist/device.h"
 #include "netlist/element.h"
 
 namespace symref::netlist {
@@ -87,6 +88,29 @@ class Circuit {
   /// sources keep their control references through the merge.
   bool short_element(std::string_view name);
 
+  // --- Nonlinear devices ----------------------------------------------------
+  //
+  // Devices make the circuit nonlinear: the AC/canonicalization path rejects
+  // a circuit with devices (see netlist::is_canonical), and the dc:: Newton
+  // solver + dc::linearize_at() turn it into a linear one at a bias point.
+
+  /// Append a validated device; throws std::invalid_argument on bad nodes,
+  /// a name that collides with an element or device, or non-finite model
+  /// parameters.
+  Device& add_device(Device device);
+
+  Device& add_diode(std::string name, std::string_view anode, std::string_view cathode,
+                    const DeviceModel& model, int polarity = 1);
+  Device& add_bjt(std::string name, std::string_view collector, std::string_view base,
+                  std::string_view emitter, const DeviceModel& model, int polarity = 1);
+  Device& add_mos(std::string name, std::string_view drain, std::string_view gate,
+                  std::string_view source, const DeviceModel& model, int polarity = 1);
+
+  [[nodiscard]] const std::vector<Device>& devices() const noexcept { return devices_; }
+  [[nodiscard]] bool has_devices() const noexcept { return !devices_.empty(); }
+
+  [[nodiscard]] const Device* find_device(std::string_view name) const noexcept;
+
   // --- Statistics (scale-factor heuristics, §3.2) ---------------------------
 
   /// All capacitor values, in farads.
@@ -110,6 +134,7 @@ class Circuit {
   /// survivor so name lookups keep working.
   std::vector<int> alias_;
   std::vector<Element> elements_;
+  std::vector<Device> devices_;
 };
 
 }  // namespace symref::netlist

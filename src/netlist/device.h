@@ -1,0 +1,78 @@
+// Nonlinear device instances attached to a Circuit.
+//
+// A Device is a *large-signal* element: it has no fixed conductance, only a
+// model (diode exponential, BJT Ebers-Moll, MOS level-1) whose linearization
+// depends on the terminal voltages. Devices are ignored by the linear MNA
+// path; they are consumed by the dc:: Newton solver, which produces a bias
+// point, and by dc::linearize_at(), which rewrites each device into the
+// small-signal elements (gm/gpi/ro/C) the rest of the engine understands.
+//
+// This header is deliberately free of any devices/ or dc/ dependency so the
+// netlist layer stays the bottom of the include graph: it only *stores*
+// device instances; evaluating them lives in src/devices/.
+#pragma once
+
+#include <string>
+
+namespace symref::netlist {
+
+enum class DeviceKind {
+  kDiode,  // nodes: anode, cathode
+  kBjt,    // nodes: collector, base, emitter
+  kMos,    // nodes: drain, gate, source
+};
+
+[[nodiscard]] const char* device_kind_name(DeviceKind kind) noexcept;
+
+/// Union of the model-card parameters of all device kinds. Per kind only a
+/// subset is meaningful; the parser fills the relevant fields from the
+/// .model card and leaves the rest at their defaults.
+struct DeviceModel {
+  // --- Diode ("d" model cards) ------------------------------------------
+  // is (also BJT), n emission coefficient, tt transit time, cj zero-bias
+  // junction capacitance. tt/cj shape only the small-signal capacitance.
+  double is = 1e-16;  // saturation current [A]
+  double n = 1.0;     // emission coefficient
+  double tt = 0.0;    // transit time [s]
+  double cj = 0.0;    // junction capacitance [F]
+
+  // --- BJT ("npn"/"pnp" model cards), Ebers-Moll ------------------------
+  // bf/br forward/reverse beta; is shared with the diode block above.
+  // vaf (Early voltage), tf, cje, cjc, ccs, rb only affect the
+  // small-signal expansion (ro, cpi, cmu, ccs, rb) -- the DC equations are
+  // the ideal three-terminal Ebers-Moll transport model.
+  double bf = 100.0;  // forward beta
+  double br = 1.0;    // reverse beta
+  double vaf = 0.0;   // forward Early voltage [V]; 0 = infinite (no ro)
+  double tf = 0.0;    // forward transit time [s]
+  double cje = 0.0;   // B-E junction capacitance [F]
+  double cjc = 0.0;   // B-C junction capacitance [F]
+  double ccs = 0.0;   // collector-substrate capacitance [F]
+  double rb = 0.0;    // base spreading resistance [ohm]
+
+  // --- MOS ("nmos"/"pmos" model cards), level 1 -------------------------
+  // id = kp/2 * (vgs-vto)^2 * (1+lambda*vds) in saturation. cgs/cgd/cdb
+  // only affect the small-signal expansion.
+  double kp = 2e-5;    // transconductance factor [A/V^2]
+  double vto = 0.0;    // threshold voltage [V] (positive for nmos)
+  double lambda = 0.0; // channel-length modulation [1/V]
+  double cgs = 0.0;    // gate-source capacitance [F]
+  double cgd = 0.0;    // gate-drain capacitance [F]
+  double cdb = 0.0;    // drain-bulk capacitance [F]
+};
+
+/// One nonlinear device instance. Terminal node indices point into the
+/// owning Circuit's node table (0 = ground). `polarity` is +1 for
+/// diode/npn/nmos and -1 for pnp/pmos: the model equations are always
+/// evaluated in the positive-polarity frame (junction voltages and terminal
+/// currents multiplied by polarity), which leaves every Jacobian
+/// conductance polarity-independent.
+struct Device {
+  DeviceKind kind = DeviceKind::kDiode;
+  std::string name;
+  int polarity = 1;
+  int nodes[3] = {-1, -1, -1};  // diode uses [0..1], BJT/MOS use [0..2]
+  DeviceModel model;
+};
+
+}  // namespace symref::netlist

@@ -18,8 +18,8 @@ enum class ElementKind {
   Vcvs,           // E: v(pos,neg) = value * v(ctrl_pos, ctrl_neg)    [gain]
   Cccs,           // F: i(pos->neg) = value * i(ctrl_branch)          [gain]
   Ccvs,           // H: v(pos,neg) = value * i(ctrl_branch)           [ohms]
-  VoltageSource,  // V: value = AC magnitude
-  CurrentSource,  // I: value = AC magnitude
+  VoltageSource,  // V: value = AC magnitude, dc_value = DC bias level
+  CurrentSource,  // I: value = AC magnitude, dc_value = DC bias level
   IdealOpAmp,     // O: v(pos) driven so that v(ctrl_pos) == v(ctrl_neg)
 };
 
@@ -40,6 +40,12 @@ struct Element {
   std::string ctrl_branch;
 
   double value = 0.0;
+
+  /// Independent sources only: the DC operating-point level (volts/amps).
+  /// The AC engines ignore it; the dc:: Newton solver drives the bias with
+  /// it. `value` stays the AC magnitude, so pre-existing linear netlists
+  /// keep their meaning unchanged.
+  double dc_value = 0.0;
 
   [[nodiscard]] bool is_controlled() const noexcept {
     return kind == ElementKind::Vccs || kind == ElementKind::Vcvs ||

@@ -205,6 +205,15 @@ class Evaluator {
     } else if (name == "exp") {
       want(1);
       value = std::exp(args[0]);
+    } else if (name == "tanh") {
+      want(1);
+      value = std::tanh(args[0]);
+    } else if (name == "sinh") {
+      want(1);
+      value = std::sinh(args[0]);
+    } else if (name == "cosh") {
+      want(1);
+      value = std::cosh(args[0]);
     } else if (name == "ln") {
       want(1);
       if (args[0] <= 0.0) throw ExprError(start, "ln of a non-positive value");

@@ -12,7 +12,8 @@
 // Numbers use the same engineering notation as element values ("30p",
 // "2.2k", "1meg", "1e-9"); names are parameters resolved through the
 // caller's scope chain (case-insensitive, like the rest of the dialect).
-// Functions: sqrt, abs, exp, ln, log/log10, min(a,b), max(a,b), pow(a,b).
+// Functions: sqrt, abs, exp, tanh, sinh, cosh, ln, log/log10, min(a,b),
+// max(a,b), pow(a,b).
 //
 // Failures (syntax, undefined parameter, division by zero, domain errors,
 // non-finite results) throw ExprError carrying the 0-based character offset

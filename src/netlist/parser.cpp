@@ -181,7 +181,11 @@ void collect_model(const LogicalLine& line, std::map<std::string, ModelCard>* mo
   ModelCard card;
   const std::string name = to_lower(line.tokens[1]);
   card.type = to_lower(line.tokens[2]);
-  if (card.type != "bjt" && card.type != "mos") {
+  // "bjt"/"mos" are the legacy pre-linearized (small-signal) model types;
+  // "d"/"npn"/"pnp"/"nmos"/"pmos" are large-signal device models consumed by
+  // the dc:: Newton solver.
+  if (card.type != "bjt" && card.type != "mos" && card.type != "d" && card.type != "npn" &&
+      card.type != "pnp" && card.type != "nmos" && card.type != "pmos") {
     throw line.error(2, "unknown model type '" + card.type + "'");
   }
   for (std::size_t t = 3; t < line.tokens.size(); ++t) {
@@ -409,48 +413,108 @@ class Elaborator {
       case 'v':
       case 'i': {
         require_tokens(3);
+        // Left to right: `dc <v>` sets the bias level, `ac <v>` the AC
+        // magnitude, and a bare value (no keyword) sets both — so legacy
+        // one-value cards keep meaning "AC magnitude" and a "DC 5 AC 0.5"
+        // card means what SPICE says it means.
         double magnitude = 1.0;
+        double dc = 0.0;
         for (std::size_t t = 3; t < line.tokens.size(); ++t) {
-          if (to_lower(line.tokens[t]) == "ac" || to_lower(line.tokens[t]) == "dc") continue;
-          magnitude = parse_value(line, t, scope);
+          const std::string word = to_lower(line.tokens[t]);
+          if (word == "ac" || word == "dc") {
+            if (t + 1 >= line.tokens.size()) {
+              throw line.error(t, "'" + first + "': '" + word + "' needs a value");
+            }
+            const double v = parse_value(line, ++t, scope);
+            (word == "ac" ? magnitude : dc) = v;
+          } else {
+            magnitude = parse_value(line, t, scope);
+            dc = magnitude;
+          }
         }
-        if (kind == 'v') {
-          circuit_.add_vsource(name, node(1), node(2), magnitude);
-        } else {
-          circuit_.add_isource(name, node(1), node(2), magnitude);
-        }
+        Element& e = kind == 'v' ? circuit_.add_vsource(name, node(1), node(2), magnitude)
+                                 : circuit_.add_isource(name, node(1), node(2), magnitude);
+        e.dc_value = dc;
         break;
       }
       case 'o':
         require_tokens(4);
         circuit_.add_opamp(name, node(1), node(2), node(3));
         break;
+      case 'd': {
+        require_tokens(4);
+        const ModelCard& card = find_model(line, 3, "d");
+        DeviceModel m;
+        auto get = [&](const char* key, double fallback) {
+          return model_param_or(card, key, scope, fallback);
+        };
+        m.is = get("is", m.is);
+        m.n = get("n", m.n);
+        m.tt = get("tt", m.tt);
+        m.cj = get("cj", m.cj);
+        circuit_.add_diode(name, node(1), node(2), m);
+        break;
+      }
       case 'q': {
         require_tokens(5);
-        const ModelCard& card = find_model(line, 4, "bjt");
-        BjtParams p;
-        auto get = [&](const char* key) { return model_param(card, key, scope); };
-        p.gm = get("gm");
-        p.beta = get("beta");
-        p.ro = get("ro");
-        p.rb = get("rb");
-        p.cpi = get("cpi");
-        p.cmu = get("cmu");
-        p.ccs = get("ccs");
-        expand_bjt(circuit_, name, node(1), node(2), node(3), p);
+        const ModelCard& card = find_model(line, 4, "bjt", "npn", "pnp");
+        if (card.type == "bjt") {
+          // Legacy pre-linearized card: expand directly to the small-signal
+          // hybrid-pi elements, no operating point needed.
+          BjtParams p;
+          auto get = [&](const char* key) { return model_param(card, key, scope); };
+          p.gm = get("gm");
+          p.beta = get("beta");
+          p.ro = get("ro");
+          p.rb = get("rb");
+          p.cpi = get("cpi");
+          p.cmu = get("cmu");
+          p.ccs = get("ccs");
+          expand_bjt(circuit_, name, node(1), node(2), node(3), p);
+          break;
+        }
+        DeviceModel m;
+        auto get = [&](const char* key, double fallback) {
+          return model_param_or(card, key, scope, fallback);
+        };
+        m.is = get("is", m.is);
+        m.n = get("n", m.n);
+        m.bf = get("bf", m.bf);
+        m.br = get("br", m.br);
+        m.vaf = get("vaf", m.vaf);
+        m.tf = get("tf", m.tf);
+        m.cje = get("cje", m.cje);
+        m.cjc = get("cjc", m.cjc);
+        m.ccs = get("ccs", m.ccs);
+        m.rb = get("rb", m.rb);
+        circuit_.add_bjt(name, node(1), node(2), node(3), m, card.type == "pnp" ? -1 : 1);
         break;
       }
       case 'm': {
         require_tokens(5);
-        const ModelCard& card = find_model(line, 4, "mos");
-        MosParams p;
-        auto get = [&](const char* key) { return model_param(card, key, scope); };
-        p.gm = get("gm");
-        p.gds = get("gds");
-        p.cgs = get("cgs");
-        p.cgd = get("cgd");
-        p.cdb = get("cdb");
-        expand_mos(circuit_, name, node(1), node(2), node(3), p);
+        const ModelCard& card = find_model(line, 4, "mos", "nmos", "pmos");
+        if (card.type == "mos") {
+          MosParams p;
+          auto get = [&](const char* key) { return model_param(card, key, scope); };
+          p.gm = get("gm");
+          p.gds = get("gds");
+          p.cgs = get("cgs");
+          p.cgd = get("cgd");
+          p.cdb = get("cdb");
+          expand_mos(circuit_, name, node(1), node(2), node(3), p);
+          break;
+        }
+        DeviceModel m;
+        auto get = [&](const char* key, double fallback) {
+          return model_param_or(card, key, scope, fallback);
+        };
+        m.kp = get("kp", m.kp);
+        m.vto = get("vto", m.vto);
+        m.lambda = get("lambda", m.lambda);
+        m.cgs = get("cgs", m.cgs);
+        m.cgd = get("cgd", m.cgd);
+        m.cdb = get("cdb", m.cdb);
+        circuit_.add_mos(name, node(1), node(2), node(3), m, card.type == "pmos" ? -1 : 1);
         break;
       }
       case 'x':
@@ -479,12 +543,20 @@ class Elaborator {
     }
   }
 
-  const ModelCard& find_model(const LogicalLine& line, std::size_t index,
-                              const char* type) const {
+  /// Look up a model card whose type is one of the accepted ones (null
+  /// entries of the trailing types mean "only the first applies").
+  const ModelCard& find_model(const LogicalLine& line, std::size_t index, const char* type,
+                              const char* type2 = nullptr, const char* type3 = nullptr) const {
     const std::string model = to_lower(line.tokens[index]);
     const auto it = tpl_.models.find(model);
-    if (it == tpl_.models.end() || it->second.type != type) {
-      throw line.error(index, "'" + line.tokens.front() + "': unknown " + type + " model '" +
+    const bool found = it != tpl_.models.end() &&
+                       (it->second.type == type || (type2 != nullptr && it->second.type == type2) ||
+                        (type3 != nullptr && it->second.type == type3));
+    if (!found) {
+      std::string wanted = type;
+      if (type2 != nullptr) wanted += std::string("/") + type2;
+      if (type3 != nullptr) wanted += std::string("/") + type3;
+      throw line.error(index, "'" + line.tokens.front() + "': unknown " + wanted + " model '" +
                                   model + "'");
     }
     return it->second;
@@ -493,6 +565,15 @@ class Elaborator {
   double model_param(const ModelCard& card, const char* key, const Scope& scope) const {
     const auto it = card.params.find(key);
     if (it == card.params.end()) return 0.0;
+    return eval_value(it->second.value, it->second.pos, scope);
+  }
+
+  /// Like model_param(), but with an explicit per-key default for the
+  /// large-signal device cards (where "absent" rarely means zero).
+  double model_param_or(const ModelCard& card, const char* key, const Scope& scope,
+                        double fallback) const {
+    const auto it = card.params.find(key);
+    if (it == card.params.end()) return fallback;
     return eval_value(it->second.value, it->second.pos, scope);
   }
 

@@ -10,17 +10,27 @@
 //   Ename n+ n- nc+ nc- gain       VCVS
 //   Fname n+ n- vsrc gain          CCCS (controlled by branch of `vsrc`)
 //   Hname n+ n- vsrc ohms          CCVS
-//   Vname n+ n- [AC] [mag]         independent voltage source (default 1)
-//   Iname n+ n- [AC] [mag]         independent current source (default 1)
+//   Vname n+ n- [DC v] [AC] [mag]  independent voltage source: `dc v` sets
+//                                  the bias level, `ac v` the AC magnitude
+//                                  (default 1), a bare value sets both
+//   Iname n+ n- [DC v] [AC] [mag]  independent current source, same syntax
 //   Oname out in+ in-              ideal opamp (nullor output to ground)
-//   Qname c b e model              BJT, expanded via a small-signal .model
-//   Mname d g s model              MOS, expanded via a small-signal .model
+//   Dname a c model                diode (large-signal `d` model)
+//   Qname c b e model              BJT: `bjt` model = small-signal expansion,
+//                                  `npn`/`pnp` model = large-signal device
+//   Mname d g s model              MOS: `mos` model = small-signal expansion,
+//                                  `nmos`/`pmos` model = large-signal device
 //   Xname n1 ... nk subckt [p=v..] subcircuit instance (+ parameter overrides)
 //
 //   .param name=value ...          symbolic parameters (sequential; a later
 //                                  .param of the same name wins in its scope)
 //   .model name bjt gm=.. beta=.. ro=.. rb=.. cpi=.. cmu=.. ccs=..
 //   .model name mos gm=.. gds=.. cgs=.. cgd=.. cdb=..
+//   .model name d [is= n= tt= cj=]                    large-signal diode
+//   .model name npn|pnp [is= bf= br= vaf= tf= cje= cjc= ccs= rb=]
+//   .model name nmos|pmos [kp= vto= lambda= cgs= cgd= cdb=]
+//                                  large-signal devices need a DC operating
+//                                  point (dc::solve_op) before AC analysis
 //   .subckt name n1 ... nk [p=default ..] / .ends
 //                                  definitions may nest; an inner definition
 //                                  is visible only inside its enclosing body

@@ -129,6 +129,73 @@ TEST_F(FaultRecoveryTest, LuAllocFaultIsTypedUnavailableAndHandleRecovers) {
   EXPECT_TRUE(recovered.value().result.complete);
 }
 
+constexpr const char* kDiodeNetlist = R"(
+.title forward-biased diode with an rc probe tap
+.model nd d is=1e-14
+V1 in 0 dc 5
+R1 in d 1k
+D1 d 0 nd
+R2 d m 1k
+C2 m 0 1n
+)";
+
+TEST_F(FaultRecoveryTest, NewtonStepFaultsFallBackToFreshFactorizationsAndOpStillConverges) {
+  const Service service;
+  // Clean baseline: the bias solves at compile time through ONE shared plan.
+  const CircuitHandle clean = compile(service, kDiodeNetlist);
+  auto clean_op = service.op(clean, {});
+  ASSERT_TRUE(clean_op.ok()) << clean_op.status().to_string();
+  EXPECT_EQ(clean_op.value().result.fresh_factorizations, 1u);
+
+  // Every Newton plan replay refused: each iterate falls back to a fresh
+  // factorization through the degradation ladder, and the solve must still
+  // land on the same operating point — slower, not degraded, not diverged.
+  ASSERT_TRUE(support::FaultInjector::instance().configure("newton_step:1"));
+  const CircuitHandle faulty = compile(service, kDiodeNetlist);
+  auto faulty_op = service.op(faulty, {});
+  ASSERT_TRUE(faulty_op.ok()) << faulty_op.status().to_string();
+  EXPECT_GT(injected_count("newton_step"), 0u);
+
+  const dc::OpResult& result = faulty_op.value().result;
+  EXPECT_GT(result.fresh_factorizations, 1u);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_LT(result.max_residual, 1e-9);
+  EXPECT_NEAR(result.voltage_of("d"), clean_op.value().result.voltage_of("d"), 1e-9);
+  EXPECT_NEAR(result.voltage_of("in"), 5.0, 1e-12);
+
+  auto engine = service.engine_stats(faulty);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_GT(engine.value().fresh_factorizations, 1u);
+  EXPECT_EQ(engine.value().op_solves, 1u);
+  EXPECT_GT(engine.value().newton_iterations, 0u);
+
+  // The linearized AC side is untouched by the Newton faults: the handle
+  // serves analyses (and repeat .op calls come from the stored bias).
+  support::FaultInjector::instance().reset();
+  auto repeat = service.op(faulty, {});
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat.value().from_cache);
+  auto ac = service.refgen(faulty, {mna::TransferSpec::voltage_gain("d", "m"), {},
+                                    /*auto_linearize=*/true});
+  ASSERT_TRUE(ac.ok()) << ac.status().to_string();
+  EXPECT_TRUE(ac.value().result.complete);
+}
+
+TEST_F(FaultRecoveryTest, IntermittentNewtonStepFaultsAreRiddenOutDeterministically) {
+  // Half the replays refused with a fixed seed: chaos that reproduces. The
+  // solve converges with a fresh-factor count strictly between the clean 1
+  // and the all-refused iteration count.
+  ASSERT_TRUE(support::FaultInjector::instance().configure("newton_step:0.5:11"));
+  const Service service;
+  const CircuitHandle handle = compile(service, kDiodeNetlist);
+  auto op = service.op(handle, {});
+  ASSERT_TRUE(op.ok()) << op.status().to_string();
+  EXPECT_GT(op.value().result.fresh_factorizations, 1u);
+  EXPECT_LT(op.value().result.fresh_factorizations,
+            static_cast<std::uint64_t>(op.value().result.newton_iterations));
+  EXPECT_LT(op.value().result.max_residual, 1e-9);
+}
+
 TEST_F(FaultRecoveryTest, JsonParseFaultIsTypedParseError) {
   ASSERT_TRUE(support::FaultInjector::instance().configure("json_parse:1"));
   auto parsed = Json::parse("{\"valid\": true}");

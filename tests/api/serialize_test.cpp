@@ -335,6 +335,72 @@ TEST(SerializeResponse, ParamSweepCarriesHexFloatPoints) {
   EXPECT_TRUE(point.find("magnitude_db")->is_number());
 }
 
+TEST(SerializeRequest, OpRoundTripAndStrictness) {
+  AnyRequest request;
+  request.type = AnyRequest::Type::kOp;
+  request.op.threads = 4;
+  const auto parsed = request_from_json(to_json(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().type, AnyRequest::Type::kOp);
+  EXPECT_EQ(parsed.value().op.threads, 4);
+
+  // Minimal form: just the type.
+  const auto minimal = request_from_json(Json::parse(R"({"type":"op"})").take());
+  ASSERT_TRUE(minimal.ok()) << minimal.status().to_string();
+  EXPECT_EQ(minimal.value().op.threads, 1);
+
+  // An op request has no spec or options; unknown keys are rejected.
+  EXPECT_EQ(request_from_json(Json::parse(R"({"type":"op","spec":{"in":"a","out":"b"}})").take())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeRequest, AutoLinearizeRoundTripsOnAcFamilyRequests) {
+  AnyRequest request;
+  request.type = AnyRequest::Type::kRefgen;
+  request.refgen.spec = mna::TransferSpec::voltage_gain("in", "out");
+  request.refgen.auto_linearize = true;
+  const auto parsed = request_from_json(to_json(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_TRUE(parsed.value().refgen.auto_linearize);
+
+  // Omitted on the wire -> false, so device-bearing handles fail closed.
+  const auto bare = request_from_json(
+      Json::parse(R"({"type":"refgen","spec":{"in":"a","out":"b"}})").take());
+  ASSERT_TRUE(bare.ok());
+  EXPECT_FALSE(bare.value().refgen.auto_linearize);
+}
+
+TEST(SerializeResponse, OpPayloadShape) {
+  const Service service;
+  const CircuitHandle handle =
+      service
+          .compile_netlist(
+              ".model nd d is=1e-14\nV1 in 0 dc 5\nR1 in d 1k\nD1 d 0 nd\n")
+          .take();
+  const auto response = service.op(handle, {});
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+
+  const Json payload = to_json(response.value());
+  EXPECT_EQ(payload.find("type")->as_string(), "op");
+  EXPECT_EQ(payload.find("status")->find("code")->as_string(), "ok");
+  EXPECT_GT(payload.find("newton_iterations")->as_int(), 0);
+  EXPECT_EQ(payload.find("fresh_factorizations")->as_number(), 1.0);
+  ASSERT_GT(payload.find("nodes")->size(), 0u);
+  const Json& node = payload.find("nodes")->items()[0];
+  // Voltages carry a bit-exact hex form next to the human-readable one —
+  // the 1-vs-8-thread byte compare in the CLI smoke rides on this.
+  const std::string v = node.find("v")->as_string();
+  EXPECT_TRUE(v.rfind("0x", 0) == 0 || v.rfind("-0x", 0) == 0) << v;
+  ASSERT_EQ(payload.find("devices")->size(), 1u);
+  EXPECT_EQ(payload.find("devices")->items()[0].find("kind")->as_string(), "diode");
+
+  const auto reparsed = Json::parse(payload.dump(2));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().dump(), payload.dump());
+}
+
 TEST(SerializeResponse, ErrorEnvelope) {
   const Json payload = error_response(
       "sweep", Status::error(StatusCode::kSingularSystem, "no pivot"));

@@ -471,5 +471,86 @@ TEST(ServiceSimplify, ErrorTaxonomy) {
   EXPECT_EQ(service.simplify(handle, cancelled).status().code(), StatusCode::kCancelled);
 }
 
+// --- Nonlinear handles: .op and the auto_linearize gate --------------------
+
+constexpr const char* kDiodeNetlist = R"(
+.title forward-biased diode
+.model nd d is=1e-14
+V1 in 0 dc 5
+R1 in d 1k
+D1 d 0 nd
+R2 d m 1k
+C2 m 0 1n
+)";
+
+TEST(ServiceOp, ServesTheCompiledBiasAndMarksRepeatsCached) {
+  const Service service;
+  const CircuitHandle handle = service.compile_netlist(kDiodeNetlist).take();
+  EXPECT_TRUE(handle.has_devices());
+
+  const auto first = service.op(handle, {});
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  EXPECT_FALSE(first.value().from_cache);  // compile did the work, op reports it
+  const dc::OpResult& op = first.value().result;
+  EXPECT_GT(op.newton_iterations, 0);
+  EXPECT_EQ(op.fresh_factorizations, 1u);  // one shared Newton plan
+  EXPECT_LT(op.max_residual, 1e-9);
+  EXPECT_NEAR(op.voltage_of("in"), 5.0, 1e-12);
+  EXPECT_GT(op.voltage_of("d"), 0.4);  // forward-biased junction
+  // No current flows into the open RC tap at DC.
+  EXPECT_NEAR(op.voltage_of("m"), op.voltage_of("d"), 1e-9);
+
+  const auto repeat = service.op(handle, {});
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat.value().from_cache);
+
+  auto stats = service.engine_stats(handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().op_solves, 1u);
+  EXPECT_EQ(stats.value().newton_iterations,
+            static_cast<std::uint64_t>(op.newton_iterations));
+}
+
+TEST(ServiceOp, LinearHandleIsInvalidArgument) {
+  const Service service;
+  const CircuitHandle handle = service.compile_netlist(kRcNetlist).take();
+  EXPECT_FALSE(handle.has_devices());
+  const auto response = service.op(handle, {});
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(response.status().message().find("nonlinear devices"), std::string::npos);
+}
+
+TEST(ServiceOp, AutoLinearizeGatesEveryAcFamilyEntryPoint) {
+  const Service service;
+  const CircuitHandle handle = service.compile_netlist(kDiodeNetlist).take();
+  const mna::TransferSpec spec = mna::TransferSpec::voltage_gain("d", "m");
+
+  // Without the flag: fail closed, with an actionable message.
+  const auto refused = service.refgen(handle, {spec, {}});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(refused.status().message().find("auto_linearize"), std::string::npos);
+  SweepRequest sweep;
+  sweep.spec = spec;
+  EXPECT_EQ(service.sweep(handle, sweep).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.poles_zeros(handle, {spec, {}}).status().code(),
+            StatusCode::kInvalidArgument);
+  SimplifyRequest simplify;
+  simplify.spec = spec;
+  EXPECT_EQ(service.simplify(handle, simplify).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // With it: the request runs against the linearized small-signal circuit.
+  const auto allowed = service.refgen(handle, {spec, {}, /*auto_linearize=*/true});
+  ASSERT_TRUE(allowed.ok()) << allowed.status().to_string();
+  EXPECT_TRUE(allowed.value().result.complete);
+
+  // The flag is a no-op on linear handles (back-compat with every caller).
+  const CircuitHandle rc = service.compile_netlist(kRcNetlist).take();
+  const auto linear = service.refgen(rc, {rc_spec(), {}, /*auto_linearize=*/true});
+  EXPECT_TRUE(linear.ok()) << linear.status().to_string();
+}
+
 }  // namespace
 }  // namespace symref::api

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <string>
 
@@ -63,6 +64,50 @@ TEST(Expression, Functions) {
   EXPECT_DOUBLE_EQ(eval("ln(exp(1))"), 1.0);
   EXPECT_DOUBLE_EQ(eval("log(1000)"), 3.0);
   EXPECT_DOUBLE_EQ(eval("log10(100)"), 2.0);
+}
+
+TEST(Expression, HyperbolicFunctions) {
+  EXPECT_DOUBLE_EQ(eval("tanh(0)"), 0.0);
+  EXPECT_DOUBLE_EQ(eval("tanh(1)"), std::tanh(1.0));
+  EXPECT_DOUBLE_EQ(eval("sinh(0)"), 0.0);
+  EXPECT_DOUBLE_EQ(eval("cosh(0)"), 1.0);
+  // cosh^2 - sinh^2 == 1, evaluated inside the expression language itself.
+  EXPECT_NEAR(eval("cosh(0.5)^2 - sinh(0.5)^2"), 1.0, 1e-12);
+  // Device-style usage: thermal-voltage limiter around a .param value.
+  EXPECT_DOUBLE_EQ(eval("vt * tanh(vd / vt)", {{"vt", 0.02585}, {"vd", 1.0}}),
+                   0.02585 * std::tanh(1.0 / 0.02585));
+}
+
+TEST(Expression, HyperbolicErrorsCarryOffsets) {
+  // Overflow in sinh/cosh is a positioned evaluation error, not an inf/nan
+  // that silently poisons a component value downstream.
+  try {
+    eval("1 + sinh(1000)");
+    FAIL() << "expected ExprError";
+  } catch (const ExprError& e) {
+    EXPECT_EQ(e.offset(), 4u);  // the 's' of sinh
+    EXPECT_NE(std::string(e.what()).find("'sinh' produced a non-finite value"),
+              std::string::npos);
+  }
+  try {
+    eval("2 * cosh(1000)");
+    FAIL() << "expected ExprError";
+  } catch (const ExprError& e) {
+    EXPECT_EQ(e.offset(), 4u);
+    EXPECT_NE(std::string(e.what()).find("'cosh' produced a non-finite value"),
+              std::string::npos);
+  }
+  // Arity errors point at the call, with the usual one-argument message.
+  try {
+    eval("tanh(1, 2)");
+    FAIL() << "expected ExprError";
+  } catch (const ExprError& e) {
+    EXPECT_EQ(e.offset(), 0u);
+    EXPECT_NE(std::string(e.what()).find("'tanh' expects 1 argument"),
+              std::string::npos);
+  }
+  EXPECT_THROW(eval("sinh()"), ExprError);
+  EXPECT_THROW(eval("cosh(1, 2)"), ExprError);
 }
 
 TEST(Expression, ErrorsCarryOffsets) {

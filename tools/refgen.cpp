@@ -22,6 +22,12 @@
 //   --transimpedance                       H = V(out)/I(in) instead of V/V
 //   --refgen                               reference request (default when
 //                                          ports are given)
+//   --op                                   DC operating-point request (the
+//                                          bias a device-bearing netlist is
+//                                          linearized at; needs no ports)
+//   --auto-linearize                       mark every AC-family request of
+//                                          the session auto_linearize=true —
+//                                          required for D/Q/M netlists
 //   --sweep=f_start:f_stop[:pts_per_dec]   AC sweep request
 //   --poles                                poles/zeros request
 //   --sweep-param=name:from:to:count[:log][,name:...]
@@ -64,7 +70,7 @@
 // of the first failure: 3 parse_error, 4 invalid_spec, 5 invalid_argument,
 // 6 singular_system, 7 refused_replay, 8 incomplete, 9 cancelled (e.g.
 // --timeout), 10 not_found, 11 io_error, 12 internal, 13 deadline_exceeded,
-// 14 overloaded, 15 unavailable.
+// 14 overloaded, 15 unavailable, 16 no_convergence.
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -108,6 +114,7 @@ int exit_code_for(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return 13;
     case StatusCode::kOverloaded: return 14;
     case StatusCode::kUnavailable: return 15;
+    case StatusCode::kNoConvergence: return 16;
     case StatusCode::kInternal: return 12;
   }
   return 12;
@@ -257,20 +264,22 @@ void print_usage() {
       stderr,
       "usage: refgen <netlist-file> [--in=<node> --out=<node>] [requests] [options]\n"
       "  requests: [--refgen] [--sweep=f0:f1[:ppd]] [--poles] [--requests=file.json]\n"
-      "            [--simplify [--error-budget=E] [--band=f0:f1[:points]]]\n"
+      "            [--op] [--simplify [--error-budget=E] [--band=f0:f1[:points]]]\n"
       "  param sweeps: [--sweep-param=name:from:to:count[:log],...]\n"
       "            [--mc-param=name:nominal:rel_sigma[:uniform],...]\n"
       "            [--mc-samples=N] [--seed=S] [--probe=f0:f1[:ppd]]\n"
       "  transfer: [--in-neg=<node>] [--out-neg=<node>] [--transimpedance]\n"
       "  engine:   [--sigma=N] [--max-iterations=N] [--threads=N] [--timeout=SECONDS]\n"
       "            [--kernel=scalar|batched] (replay kernel; results bit-identical)\n"
+      "  devices:  [--auto-linearize] (required to run AC analyses on a netlist\n"
+      "            with D/Q/M cards; they use the linearized small-signal circuit)\n"
       "  remote:   [--connect=[host:]port] [--retry=N] [--deadline-ms=N]\n"
       "            (drive a refgend daemon)\n"
       "  output:   [--json[=path|-]] [--emit-reference] [--progress] [--name=label]\n"
       "exit codes: 0 ok, 2 usage, 3 parse_error, 4 invalid_spec, 5 invalid_argument,\n"
       "  6 singular_system, 7 refused_replay, 8 incomplete, 9 cancelled,\n"
       "  10 not_found, 11 io_error, 12 internal, 13 deadline_exceeded,\n"
-      "  14 overloaded, 15 unavailable\n");
+      "  14 overloaded, 15 unavailable, 16 no_convergence\n");
 }
 
 /// Human-readable rendering of the successful responses.
@@ -332,6 +341,39 @@ void print_param_sweep_text(const symref::api::ParamSweepResponse& response) {
                 symref::mna::magnitude_db(last), result.ok[i] ? "" : "  (failed)");
   }
   if (shown < samples) std::printf("   ... %zu more samples (use --json)\n", samples - shown);
+}
+
+void print_op_text(const symref::api::OpResponse& response) {
+  const auto& result = response.result;
+  std::fprintf(stderr,
+               "op: %d Newton iterations (%d gmin steps, %d source steps), "
+               "%llu fresh factorization%s, max residual %.3e A, %.1f ms%s\n",
+               result.newton_iterations, result.gmin_steps, result.source_steps,
+               static_cast<unsigned long long>(result.fresh_factorizations),
+               result.fresh_factorizations == 1 ? "" : "s", result.max_residual,
+               result.seconds * 1e3, response.from_cache ? " (cached)" : "");
+  std::printf("\nnode voltages:\n");
+  for (std::size_t i = 0; i < result.node_names.size(); ++i) {
+    std::printf("  %-12s %14.6g V\n", result.node_names[i].c_str(),
+                result.node_voltages[i]);
+  }
+  if (!result.branch_names.empty()) {
+    std::printf("branch currents:\n");
+    for (std::size_t i = 0; i < result.branch_names.size(); ++i) {
+      std::printf("  %-12s %14.6g A\n", result.branch_names[i].c_str(),
+                  result.branch_currents[i]);
+    }
+  }
+  if (!result.devices.empty()) {
+    std::printf("devices:\n");
+    for (const symref::dc::OpDeviceInfo& device : result.devices) {
+      std::printf("  %-10s %-6s", device.name.c_str(), device.kind.c_str());
+      for (const auto& [key, value] : device.values) {
+        std::printf("  %s=%.6g", key.c_str(), value);
+      }
+      std::printf("\n");
+    }
+  }
 }
 
 void print_simplify_text(const symref::api::SimplifyResponse& response) {
@@ -620,119 +662,131 @@ int main(int argc, char** argv) {
     }
     requests = parsed.take();
   } else {
+    // --op needs no transfer ports — an op-only session is legal on a bare
+    // deck; every other flag-built request needs --in/--out.
+    const bool want_op = args.has("op");
+    if (want_op) {
+      AnyRequest request;
+      request.type = AnyRequest::Type::kOp;
+      request.op.threads = args.get_int("threads", 1);
+      requests.push_back(std::move(request));
+    }
     if (!args.has("in") || !args.has("out")) {
-      print_usage();
-      return 2;
-    }
-    symref::mna::TransferSpec spec;
-    spec.kind = args.has("transimpedance")
-                    ? symref::mna::TransferSpec::Kind::Transimpedance
-                    : symref::mna::TransferSpec::Kind::VoltageGain;
-    spec.in_pos = args.get("in");
-    spec.in_neg = args.get("in-neg", "0");
-    spec.out_pos = args.get("out");
-    spec.out_neg = args.get("out-neg", "0");
-
-    symref::refgen::AdaptiveOptions options;
-    options.sigma = args.get_int("sigma", 6);
-    options.max_iterations = args.get_int("max-iterations", 64);
-    options.threads = args.get_int("threads", 1);
-
-    const bool want_sweep = args.has("sweep");
-    const bool want_poles = args.has("poles");
-    const bool want_param_sweep = args.has("sweep-param") || args.has("mc-param");
-    const bool want_simplify = args.has("simplify");
-    if (args.has("sweep-param") && args.has("mc-param")) {
-      std::fprintf(stderr, "error: --sweep-param and --mc-param are mutually exclusive\n");
-      return 2;
-    }
-    if (args.has("refgen") ||
-        (!want_sweep && !want_poles && !want_param_sweep && !want_simplify)) {
-      AnyRequest request;
-      request.type = AnyRequest::Type::kRefgen;
-      request.refgen = {spec, options};
-      requests.push_back(std::move(request));
-    }
-    if (want_sweep) {
-      AnyRequest request;
-      request.type = AnyRequest::Type::kSweep;
-      request.sweep.spec = spec;
-      request.sweep.threads = options.threads;
-      if (!parse_sweep_range(args.get("sweep"), &request.sweep)) {
-        std::fprintf(stderr, "error: bad --sweep range '%s' (want f_start:f_stop[:ppd])\n",
-                     args.get("sweep").c_str());
+      if (!want_op) {
+        print_usage();
         return 2;
       }
-      requests.push_back(std::move(request));
-    }
-    if (want_poles) {
-      AnyRequest request;
-      request.type = AnyRequest::Type::kPolesZeros;
-      request.poles_zeros = {spec, options};
-      requests.push_back(std::move(request));
-    }
-    if (want_param_sweep) {
-      AnyRequest request;
-      request.type = AnyRequest::Type::kParamSweep;
-      symref::api::ParamSweepRequest& sweep = request.param_sweep;
-      sweep.spec = spec;
-      sweep.threads = options.threads;
-      if (args.has("sweep-param")) {
-        sweep.mode = symref::api::ParamSweepRequest::Mode::kGrid;
-        if (!parse_grid_axes(args.get("sweep-param"), &sweep.axes)) {
+    } else {
+      symref::mna::TransferSpec spec;
+      spec.kind = args.has("transimpedance")
+                      ? symref::mna::TransferSpec::Kind::Transimpedance
+                      : symref::mna::TransferSpec::Kind::VoltageGain;
+      spec.in_pos = args.get("in");
+      spec.in_neg = args.get("in-neg", "0");
+      spec.out_pos = args.get("out");
+      spec.out_neg = args.get("out-neg", "0");
+
+      symref::refgen::AdaptiveOptions options;
+      options.sigma = args.get_int("sigma", 6);
+      options.max_iterations = args.get_int("max-iterations", 64);
+      options.threads = args.get_int("threads", 1);
+
+      const bool want_sweep = args.has("sweep");
+      const bool want_poles = args.has("poles");
+      const bool want_param_sweep = args.has("sweep-param") || args.has("mc-param");
+      const bool want_simplify = args.has("simplify");
+      if (args.has("sweep-param") && args.has("mc-param")) {
+        std::fprintf(stderr, "error: --sweep-param and --mc-param are mutually exclusive\n");
+        return 2;
+      }
+      if (args.has("refgen") || (!want_sweep && !want_poles && !want_param_sweep &&
+                                 !want_simplify && !want_op)) {
+        AnyRequest request;
+        request.type = AnyRequest::Type::kRefgen;
+        request.refgen = {spec, options};
+        requests.push_back(std::move(request));
+      }
+      if (want_sweep) {
+        AnyRequest request;
+        request.type = AnyRequest::Type::kSweep;
+        request.sweep.spec = spec;
+        request.sweep.threads = options.threads;
+        if (!parse_sweep_range(args.get("sweep"), &request.sweep)) {
+          std::fprintf(stderr, "error: bad --sweep range '%s' (want f_start:f_stop[:ppd])\n",
+                       args.get("sweep").c_str());
+          return 2;
+        }
+        requests.push_back(std::move(request));
+      }
+      if (want_poles) {
+        AnyRequest request;
+        request.type = AnyRequest::Type::kPolesZeros;
+        request.poles_zeros = {spec, options};
+        requests.push_back(std::move(request));
+      }
+      if (want_param_sweep) {
+        AnyRequest request;
+        request.type = AnyRequest::Type::kParamSweep;
+        symref::api::ParamSweepRequest& sweep = request.param_sweep;
+        sweep.spec = spec;
+        sweep.threads = options.threads;
+        if (args.has("sweep-param")) {
+          sweep.mode = symref::api::ParamSweepRequest::Mode::kGrid;
+          if (!parse_grid_axes(args.get("sweep-param"), &sweep.axes)) {
+            std::fprintf(stderr,
+                         "error: bad --sweep-param '%s' (want name:from:to:count[:log],...)\n",
+                         args.get("sweep-param").c_str());
+            return 2;
+          }
+        } else {
+          sweep.mode = symref::api::ParamSweepRequest::Mode::kMonteCarlo;
+          if (!parse_mc_dists(args.get("mc-param"), &sweep.dists)) {
+            std::fprintf(
+                stderr,
+                "error: bad --mc-param '%s' (want name:nominal:rel_sigma[:uniform],...)\n",
+                args.get("mc-param").c_str());
+            return 2;
+          }
+          sweep.samples = args.get_int("mc-samples", 64);
+          const double seed = args.get_double("seed", 0.0);
+          if (seed < 0.0 || seed != static_cast<double>(static_cast<std::uint64_t>(seed))) {
+            std::fprintf(stderr, "error: bad --seed '%s'\n", args.get("seed").c_str());
+            return 2;
+          }
+          sweep.seed = static_cast<std::uint64_t>(seed);
+        }
+        if (args.has("probe")) {
+          symref::api::SweepRequest probe;
+          if (!parse_sweep_range(args.get("probe"), &probe)) {
+            std::fprintf(stderr, "error: bad --probe range '%s' (want f_start:f_stop[:ppd])\n",
+                         args.get("probe").c_str());
+            return 2;
+          }
+          sweep.f_start_hz = probe.f_start_hz;
+          sweep.f_stop_hz = probe.f_stop_hz;
+          sweep.points_per_decade = probe.points_per_decade;
+        }
+        requests.push_back(std::move(request));
+      }
+      if (want_simplify) {
+        AnyRequest request;
+        request.type = AnyRequest::Type::kSimplify;
+        request.simplify.spec = spec;
+        request.simplify.options.engine = options;
+        request.simplify.options.error_budget = args.get_double("error-budget", 0.01);
+        if (request.simplify.options.error_budget <= 0.0) {
+          std::fprintf(stderr, "error: bad --error-budget '%s' (want a value > 0)\n",
+                       args.get("error-budget").c_str());
+          return 2;
+        }
+        if (args.has("band") && !parse_band(args.get("band"), &request.simplify)) {
           std::fprintf(stderr,
-                       "error: bad --sweep-param '%s' (want name:from:to:count[:log],...)\n",
-                       args.get("sweep-param").c_str());
+                       "error: bad --band '%s' (want f_start:f_stop[:points], points >= 2)\n",
+                       args.get("band").c_str());
           return 2;
         }
-      } else {
-        sweep.mode = symref::api::ParamSweepRequest::Mode::kMonteCarlo;
-        if (!parse_mc_dists(args.get("mc-param"), &sweep.dists)) {
-          std::fprintf(
-              stderr,
-              "error: bad --mc-param '%s' (want name:nominal:rel_sigma[:uniform],...)\n",
-              args.get("mc-param").c_str());
-          return 2;
-        }
-        sweep.samples = args.get_int("mc-samples", 64);
-        const double seed = args.get_double("seed", 0.0);
-        if (seed < 0.0 || seed != static_cast<double>(static_cast<std::uint64_t>(seed))) {
-          std::fprintf(stderr, "error: bad --seed '%s'\n", args.get("seed").c_str());
-          return 2;
-        }
-        sweep.seed = static_cast<std::uint64_t>(seed);
-      }
-      if (args.has("probe")) {
-        symref::api::SweepRequest probe;
-        if (!parse_sweep_range(args.get("probe"), &probe)) {
-          std::fprintf(stderr, "error: bad --probe range '%s' (want f_start:f_stop[:ppd])\n",
-                       args.get("probe").c_str());
-          return 2;
-        }
-        sweep.f_start_hz = probe.f_start_hz;
-        sweep.f_stop_hz = probe.f_stop_hz;
-        sweep.points_per_decade = probe.points_per_decade;
-      }
-      requests.push_back(std::move(request));
+        requests.push_back(std::move(request));
     }
-    if (want_simplify) {
-      AnyRequest request;
-      request.type = AnyRequest::Type::kSimplify;
-      request.simplify.spec = spec;
-      request.simplify.options.engine = options;
-      request.simplify.options.error_budget = args.get_double("error-budget", 0.01);
-      if (request.simplify.options.error_budget <= 0.0) {
-        std::fprintf(stderr, "error: bad --error-budget '%s' (want a value > 0)\n",
-                     args.get("error-budget").c_str());
-        return 2;
-      }
-      if (args.has("band") && !parse_band(args.get("band"), &request.simplify)) {
-        std::fprintf(stderr,
-                     "error: bad --band '%s' (want f_start:f_stop[:points], points >= 2)\n",
-                     args.get("band").c_str());
-        return 2;
-      }
-      requests.push_back(std::move(request));
     }
   }
   // --kernel applies to every request of the session (including ones read
@@ -762,6 +816,31 @@ int main(int argc, char** argv) {
             item.options.kernel = kernel;
           }
           break;
+        case AnyRequest::Type::kOp: break;  // bias is solved at compile
+      }
+    }
+  }
+  // --auto-linearize marks every AC-family request of the session (including
+  // ones read from a --requests file) — the explicit opt-in a device-bearing
+  // netlist requires before its linearized circuit is analyzed.
+  if (args.has("auto-linearize")) {
+    for (AnyRequest& request : requests) {
+      switch (request.type) {
+        case AnyRequest::Type::kRefgen: request.refgen.auto_linearize = true; break;
+        case AnyRequest::Type::kSweep: request.sweep.auto_linearize = true; break;
+        case AnyRequest::Type::kPolesZeros:
+          request.poles_zeros.auto_linearize = true;
+          break;
+        case AnyRequest::Type::kParamSweep:
+          request.param_sweep.auto_linearize = true;
+          break;
+        case AnyRequest::Type::kSimplify: request.simplify.auto_linearize = true; break;
+        case AnyRequest::Type::kBatch:
+          for (symref::api::RefgenRequest& item : request.batch.items) {
+            item.auto_linearize = true;
+          }
+          break;
+        case AnyRequest::Type::kOp: break;  // op serves the bias itself
       }
     }
   }
@@ -824,6 +903,7 @@ int main(int argc, char** argv) {
         case AnyRequest::Type::kSimplify:
           request.simplify.options.engine.cancel = token;
           break;
+        case AnyRequest::Type::kOp: request.op.cancel = token; break;
       }
     }
     watchdog = std::make_unique<Watchdog>(seconds, timeout_source);
@@ -921,6 +1001,17 @@ int main(int argc, char** argv) {
           if (!json_mode) print_simplify_text(response.value());
         } else {
           payload = symref::api::error_response("simplify", status);
+        }
+        break;
+      }
+      case AnyRequest::Type::kOp: {
+        const auto response = service.op(handle, request.op);
+        status = response.status();
+        if (response.ok()) {
+          payload = symref::api::to_json(response.value());
+          if (!json_mode) print_op_text(response.value());
+        } else {
+          payload = symref::api::error_response("op", status);
         }
         break;
       }
