@@ -65,6 +65,7 @@ Json to_json(const JobOutcome& outcome) {
     case AnyRequest::Type::kParamSweep: return to_json(outcome.param_sweep);
     case AnyRequest::Type::kSimplify: return to_json(outcome.simplify);
     case AnyRequest::Type::kOp: return to_json(outcome.op);
+    case AnyRequest::Type::kTransient: return to_json(outcome.transient);
   }
   return error_response("refgen", Status::error(StatusCode::kInternal, "bad outcome type"));
 }
@@ -407,6 +408,15 @@ void JobManager::run(const std::shared_ptr<Job>& job) {
       auto response = service_.op(job->handle, request.op);
       outcome.status = response.status();
       if (response.ok()) outcome.op = response.take();
+      break;
+    }
+    case AnyRequest::Type::kTransient: {
+      // The token trips the integrator's per-step (and per-Newton-iterate)
+      // checkpoints, so cancel/deadline land mid-run, not only at the end.
+      request.transient.cancel = token;
+      auto response = service_.transient(job->handle, request.transient);
+      outcome.status = response.status();
+      if (response.ok()) outcome.transient = response.take();
       break;
     }
   }

@@ -73,6 +73,7 @@ struct JobOutcome {
   ParamSweepResponse param_sweep;
   SimplifyResponse simplify;
   OpResponse op;
+  TransientResponse transient;
   /// Pre-serialized wire payload (submit_stored: a reference-store hit).
   /// When non-null and status is ok, to_json returns it verbatim — the
   /// stored bytes ARE the contract (byte-identical replay across restarts).

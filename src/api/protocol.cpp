@@ -268,11 +268,13 @@ Json Session::dispatch(const Json& request) {
         writer->write(event);
         // Persist after the client saw its event. Only clean computed
         // results are stored: not errors, not store replays (raw), not
-        // degraded references (a later healthy run should replace them),
-        // not batches (they can embed per-item failures).
+        // degraded references or transients (a later healthy run should
+        // replace them), not batches (they can embed per-item failures).
         if (store != nullptr && !key.empty() && outcome.status.ok() &&
             outcome.raw.is_null() && outcome.type != AnyRequest::Type::kBatch &&
-            !(outcome.type == AnyRequest::Type::kRefgen && outcome.refgen.result.degraded)) {
+            !(outcome.type == AnyRequest::Type::kRefgen && outcome.refgen.result.degraded) &&
+            !(outcome.type == AnyRequest::Type::kTransient &&
+              outcome.transient.result.degraded)) {
           store->put(key, to_json(outcome).dump());
         }
       };
@@ -395,6 +397,10 @@ Json Session::dispatch(const Json& request) {
       engine_json.set("newton_iterations",
                       static_cast<double>(engine.value().newton_iterations));
       engine_json.set("op_solves", static_cast<double>(engine.value().op_solves));
+      engine_json.set("transient_steps",
+                      static_cast<double>(engine.value().transient_steps));
+      engine_json.set("lte_rejections",
+                      static_cast<double>(engine.value().lte_rejections));
       out.set("engine", std::move(engine_json));
       if (support::BlobStore* store = core_.store(); store != nullptr) {
         const support::BlobStore::Stats store_stats = store->stats();

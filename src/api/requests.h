@@ -18,6 +18,7 @@
 #include "mna/transfer.h"
 #include "refgen/adaptive.h"
 #include "refgen/simplify.h"
+#include "transient/transient.h"
 
 namespace symref::api {
 
@@ -185,6 +186,38 @@ struct OpResponse {
   dc::OpResult result;
   /// True when served from the handle's compiled bias (always, today,
   /// except the compile itself).
+  bool from_cache = false;
+  double seconds = 0.0;
+};
+
+/// Time-domain (transient) integration of the handle's circuit over
+/// [0, tstop]. Unlike the AC-family requests there is NO auto_linearize
+/// gate: the integrator runs the large-signal netlist directly, solving a
+/// damped Newton iteration per step on device-bearing handles — that is the
+/// point of a transient analysis. Linear handles integrate with one plan
+/// replay per step (see transient/transient.h for the step-bucket contract).
+struct TransientRequest {
+  /// End of the simulated window (seconds, > 0 required).
+  double tstop = 0.0;
+  /// Reference (maximum) step size; 0 picks tstop / 1000.
+  double tstep = 0.0;
+  /// Integration method: trapezoidal (default), BDF1 or BDF2.
+  transient::Method method = transient::Method::kTrapezoidal;
+  /// LTE step control on/off; off = constant tstep steps (one plan bucket).
+  bool adaptive = true;
+  /// Accepted for wire symmetry with the other requests; time stepping is
+  /// inherently serial and the value never changes the result (not part of
+  /// the response-cache key).
+  int threads = 1;
+  /// Cooperative cancellation, polled at every step and Newton iterate.
+  support::CancellationToken cancel;
+};
+
+struct TransientResponse {
+  transient::TransientResult result;
+  /// True when served from the handle's response cache (identical
+  /// tstop/tstep/method/adaptive seen before; small runs only — large
+  /// waveforms are recomputed, bit-identically, instead of pinned).
   bool from_cache = false;
   double seconds = 0.0;
 };

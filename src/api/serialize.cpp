@@ -3,6 +3,7 @@
 #include <climits>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 namespace symref::api {
@@ -384,6 +385,41 @@ Json to_json(const ParamSweepResponse& response) {
   return out;
 }
 
+Json to_json(const TransientResponse& response) {
+  Json out = envelope("transient", Status());
+  out.set("from_cache", response.from_cache);
+  out.set("seconds", response.seconds);
+  const transient::TransientResult& result = response.result;
+  out.set("steps", result.steps);
+  out.set("lte_rejections", result.lte_rejections);
+  out.set("newton_iterations", result.newton_iterations);
+  out.set("step_size_buckets", result.step_size_buckets);
+  out.set("fresh_factorizations", static_cast<double>(result.fresh_factorizations));
+  out.set("pivot_escalations", static_cast<double>(result.pivot_escalations));
+  out.set("degraded", result.degraded);
+  out.set("engine_seconds", result.seconds);
+  Json nodes = Json::array();
+  for (const std::string& name : result.node_names) nodes.push_back(name);
+  out.set("nodes", std::move(nodes));
+  Json branches = Json::array();
+  for (const std::string& name : result.branch_names) branches.push_back(name);
+  out.set("branches", std::move(branches));
+  Json points = Json::array();
+  for (std::size_t k = 0; k < result.times.size(); ++k) {
+    Json point = Json::object();
+    // Hex floats: the 1-vs-N-thread and daemon-vs-CLI byte-compares ride on
+    // bit-exactness; "time" is the plot-friendly approximation.
+    point.set("t", hex_double(result.times[k]));
+    point.set("time", result.times[k]);
+    Json values = Json::array();
+    for (const double x : result.states[k]) values.push_back(hex_double(x));
+    point.set("v", std::move(values));
+    points.push_back(std::move(point));
+  }
+  out.set("points", std::move(points));
+  return out;
+}
+
 namespace {
 
 Json simplified_terms_to_json(const std::vector<refgen::SimplifiedTerm>& terms) {
@@ -529,6 +565,7 @@ const char* request_type_name(AnyRequest::Type type) noexcept {
     case AnyRequest::Type::kParamSweep: return "param_sweep";
     case AnyRequest::Type::kSimplify: return "simplify";
     case AnyRequest::Type::kOp: return "op";
+    case AnyRequest::Type::kTransient: return "transient";
   }
   return "refgen";
 }
@@ -549,6 +586,13 @@ Json to_json(const AnyRequest& request) {
       break;
     case AnyRequest::Type::kOp:
       out.set("threads", request.op.threads);
+      break;
+    case AnyRequest::Type::kTransient:
+      out.set("tstop", request.transient.tstop);
+      out.set("tstep", request.transient.tstep);
+      out.set("method", transient::method_name(request.transient.method));
+      out.set("adaptive", request.transient.adaptive);
+      out.set("threads", request.transient.threads);
       break;
     case AnyRequest::Type::kSweep:
       out.set("spec", to_json(request.sweep.spec));
@@ -712,6 +756,29 @@ Result<AnyRequest> request_from_json(const Json& json) {
     if (!status.ok()) return status;
     request.type = AnyRequest::Type::kOp;
     if (!(status = read_int(json, "threads", &request.op.threads, kWhat)).ok()) return status;
+    return request;
+  }
+  if (type == "transient") {
+    status = check_keys(json, {"type", "tstop", "tstep", "method", "adaptive", "threads"},
+                        kWhat);
+    if (!status.ok()) return status;
+    request.type = AnyRequest::Type::kTransient;
+    TransientRequest& tran = request.transient;
+    if (!(status = read_required_number(json, "tstop", &tran.tstop, kWhat)).ok()) {
+      return status;
+    }
+    if (!(status = read_number(json, "tstep", &tran.tstep, kWhat)).ok()) return status;
+    std::string method;
+    if (!(status = read_string(json, "method", false, &method, kWhat)).ok()) return status;
+    if (!method.empty()) {
+      try {
+        tran.method = transient::method_from_name(method);
+      } catch (const std::invalid_argument& e) {
+        return Status::error(StatusCode::kInvalidArgument, std::string("request: ") + e.what());
+      }
+    }
+    if (!(status = read_bool(json, "adaptive", &tran.adaptive, kWhat)).ok()) return status;
+    if (!(status = read_int(json, "threads", &tran.threads, kWhat)).ok()) return status;
     return request;
   }
   if (type == "batch") {
@@ -921,7 +988,7 @@ Result<AnyRequest> request_from_json(const Json& json) {
   return Status::error(StatusCode::kInvalidArgument,
                        "request: unknown type \"" + type +
                            "\" (expected refgen, sweep, poles_zeros, batch, param_sweep, "
-                           "simplify, or op)");
+                           "simplify, op, or transient)");
 }
 
 Result<std::vector<AnyRequest>> requests_from_json(const Json& json) {

@@ -47,6 +47,10 @@ Json to_json(const SimplifyResponse& response);
 /// Per-sample transfer values are hex-float strings (bit-exact across the
 /// wire — the 1-vs-N-thread byte-compare of CI's smoke jobs rides on this).
 Json to_json(const ParamSweepResponse& response);
+/// Time points and waveform samples are hex-float strings (bit-exact across
+/// the wire — the 1-vs-N-thread byte-compare of the CLI transient smoke and
+/// the daemon-vs-CLI byte-compare ride on this).
+Json to_json(const TransientResponse& response);
 
 /// Uniform failure payload: {"type": <type>, "status": {...}}.
 Json error_response(const char* type, const Status& status);
@@ -58,7 +62,16 @@ Result<refgen::AdaptiveOptions> options_from_json(const Json& json);
 
 /// A request of any type, as parsed from a JSON payload.
 struct AnyRequest {
-  enum class Type { kRefgen, kSweep, kPolesZeros, kBatch, kParamSweep, kSimplify, kOp };
+  enum class Type {
+    kRefgen,
+    kSweep,
+    kPolesZeros,
+    kBatch,
+    kParamSweep,
+    kSimplify,
+    kOp,
+    kTransient
+  };
   Type type = Type::kRefgen;
   RefgenRequest refgen;
   OpRequest op;
@@ -67,10 +80,11 @@ struct AnyRequest {
   BatchRequest batch;
   ParamSweepRequest param_sweep;
   SimplifyRequest simplify;
+  TransientRequest transient;
 };
 
 /// Stable wire token of a request type: "refgen", "sweep", "poles_zeros",
-/// "batch", "param_sweep", "simplify", "op".
+/// "batch", "param_sweep", "simplify", "op", "transient".
 const char* request_type_name(AnyRequest::Type type) noexcept;
 
 /// Encode a request in the exact schema request_from_json accepts — the
@@ -85,7 +99,9 @@ Json to_json(const AnyRequest& request);
 /// param_sweep request carries "mode" ("grid"|"monte_carlo") and "params":
 /// grid axes {"name", "from", "to", "count", "log"} or Monte-Carlo
 /// dimensions {"name", "nominal", "rel_sigma", "dist"} plus
-/// "samples"/"seed". A simplify request carries "error_budget", the band
+/// "samples"/"seed". A transient request carries "tstop" plus optional
+/// "tstep", "method" ("trap"|"bdf1"|"bdf2"), "adaptive" and "threads". A
+/// simplify request carries "error_budget", the band
 /// ("f_start_hz"/"f_stop_hz"/"band_points") and optional tuning knobs
 /// ("prune", "prune_share", "max_terms", "max_queue", "skip_factor") plus
 /// the nested reference-engine "options". An op request carries only an

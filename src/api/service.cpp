@@ -58,6 +58,16 @@ std::string simplify_key(const refgen::SimplifyOptions& o) {
   return buffer + options_key(o.engine);
 }
 
+/// Exact fingerprint of a transient request (threads and cancel excluded —
+/// time stepping is serial and bit-identical regardless).
+std::string transient_key(const TransientRequest& request) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%s|%a|%a|%d",
+                transient::method_name(request.method), request.tstop, request.tstep,
+                request.adaptive ? 1 : 0);
+  return buffer;
+}
+
 std::string sweep_key(const SweepRequest& request) {
   char buffer[128];
   std::snprintf(buffer, sizeof(buffer), "%a|%a|%d", request.f_start_hz, request.f_stop_hz,
@@ -204,6 +214,18 @@ struct CompiledCircuit {
   /// Whether Service::op already served the stored bias once (from_cache
   /// flips true on the second and later calls).
   std::atomic<bool> op_served{false};
+  /// Transient workload counters (Service::engine_stats). Computed runs
+  /// only — cache hits do not re-count, like degraded_responses.
+  std::atomic<std::uint64_t> transient_steps{0};
+  std::atomic<std::uint64_t> lte_rejections{0};
+  std::atomic<std::uint64_t> transient_fresh_factorizations{0};
+  std::atomic<std::uint64_t> transient_pivot_escalations{0};
+
+  /// Transient analyses have no TransferSpec, so their response cache lives
+  /// on the circuit itself rather than in a SpecEntry. Lazily built under
+  /// transient_mutex (cache_capacity is assigned after construction).
+  std::mutex transient_mutex;
+  std::unique_ptr<support::LruCache<std::string, TransientResponse>> transient_cache;
 
   CompiledCircuit(netlist::Circuit circuit, const netlist::CanonicalOptions& options)
       : original(std::move(circuit)),
@@ -570,6 +592,95 @@ Result<OpResponse> Service::op(const CircuitHandle& handle, const OpRequest& req
   }
 }
 
+Result<TransientResponse> Service::transient(const CircuitHandle& handle,
+                                             const TransientRequest& request) const {
+  if (!handle.valid()) {
+    return Status::error(StatusCode::kInvalidArgument, kEmptyHandleMessage);
+  }
+  support::Timer timer;
+  try {
+    CompiledCircuit& compiled = *handle.compiled_;
+    // Deliberately NO check_auto_linearize: a transient analysis runs the
+    // large-signal netlist directly (Newton per step on device handles) —
+    // linearizing first would be answering a different question.
+    const std::string key = transient_key(request);
+    if (options_.cache_responses) {
+      bool hit_cache = false;
+      TransientResponse response;
+      {
+        const std::lock_guard<std::mutex> lock(compiled.transient_mutex);
+        if (compiled.transient_cache) {
+          if (const TransientResponse* hit = compiled.transient_cache->find(key)) {
+            response = *hit;
+            hit_cache = true;
+          }
+        }
+      }
+      if (hit_cache) {
+        compiled.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        response.from_cache = true;
+        response.seconds = timer.seconds();
+        return response;
+      }
+      compiled.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    transient::TransientOptions options;
+    options.method = request.method;
+    options.tstop = request.tstop;
+    options.tstep = request.tstep;
+    options.adaptive = request.adaptive;
+    options.cancel = request.cancel;
+    TransientResponse response;
+    {
+      // A fresh solver per run: the step-bucket plans are shaped by the
+      // request's tstep, so they are not reusable across different requests
+      // anyway, and the runs stay shared-nothing (bit-identical at any
+      // concurrency, never serialized behind a per-handle solver).
+      transient::TransientSolver solver(options);
+      response.result = solver.solve(compiled.original);
+    }
+    response.seconds = timer.seconds();
+    const transient::TransientResult& result = response.result;
+    compiled.transient_steps.fetch_add(static_cast<std::uint64_t>(result.steps),
+                                       std::memory_order_relaxed);
+    compiled.lte_rejections.fetch_add(static_cast<std::uint64_t>(result.lte_rejections),
+                                      std::memory_order_relaxed);
+    compiled.transient_fresh_factorizations.fetch_add(result.fresh_factorizations,
+                                                      std::memory_order_relaxed);
+    compiled.transient_pivot_escalations.fetch_add(result.pivot_escalations,
+                                                   std::memory_order_relaxed);
+    compiled.newton_iterations.fetch_add(
+        static_cast<std::uint64_t>(result.newton_iterations), std::memory_order_relaxed);
+    if (result.degraded) {
+      compiled.degraded_responses.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Memoize only reasonably sized waveforms, like param_sweep: the LRU
+    // bound counts entries, not bytes, and a long run's state history can
+    // reach gigabytes. Recomputing is bit-identical, so a miss is only time.
+    constexpr std::size_t kMaxCachedStateValues = std::size_t{1} << 16;
+    const std::size_t state_values =
+        result.states.size() *
+        (result.node_names.size() + result.branch_names.size());
+    if (options_.cache_responses && state_values <= kMaxCachedStateValues) {
+      std::size_t evicted = 0;
+      {
+        const std::lock_guard<std::mutex> lock(compiled.transient_mutex);
+        if (!compiled.transient_cache) {
+          compiled.transient_cache =
+              std::make_unique<support::LruCache<std::string, TransientResponse>>(
+                  compiled.cache_capacity);
+        }
+        evicted = compiled.transient_cache->insert(key, response);
+      }
+      compiled.cache_evictions.fetch_add(evicted, std::memory_order_relaxed);
+    }
+    return response;
+  } catch (...) {
+    return status_from_current_exception();
+  }
+}
+
 Result<CacheStats> Service::cache_stats(const CircuitHandle& handle) const {
   if (!handle.valid()) {
     return Status::error(StatusCode::kInvalidArgument, kEmptyHandleMessage);
@@ -591,6 +702,10 @@ Result<CacheStats> Service::cache_stats(const CircuitHandle& handle) const {
     stats.entries += entry->refgen_cache.size() + entry->sweep_cache.size() +
                      entry->param_sweep_cache.size() + entry->simplify_cache.size();
   }
+  {
+    const std::lock_guard<std::mutex> lock(compiled.transient_mutex);
+    if (compiled.transient_cache) stats.entries += compiled.transient_cache->size();
+  }
   return stats;
 }
 
@@ -606,10 +721,16 @@ Result<EngineStats> Service::engine_stats(const CircuitHandle& handle) const {
       compiled.simplify_terms_dropped.load(std::memory_order_relaxed);
   stats.newton_iterations = compiled.newton_iterations.load(std::memory_order_relaxed);
   stats.op_solves = compiled.op_solves.load(std::memory_order_relaxed);
-  // The compile-time bias solve contributes its factorization telemetry
-  // alongside the per-spec evaluators' counters below.
+  stats.transient_steps = compiled.transient_steps.load(std::memory_order_relaxed);
+  stats.lte_rejections = compiled.lte_rejections.load(std::memory_order_relaxed);
+  // The compile-time bias solve and the transient runs contribute their
+  // factorization telemetry alongside the per-spec evaluators' counters.
   stats.fresh_factorizations += compiled.op.fresh_factorizations;
   stats.pivot_escalations += compiled.op.pivot_escalations;
+  stats.fresh_factorizations +=
+      compiled.transient_fresh_factorizations.load(std::memory_order_relaxed);
+  stats.pivot_escalations +=
+      compiled.transient_pivot_escalations.load(std::memory_order_relaxed);
   // Same discipline as cache_stats: collect entries, then lock each briefly.
   std::vector<std::shared_ptr<SpecEntry>> entries;
   {

@@ -103,6 +103,12 @@ struct EngineStats {
   /// DC operating-point solves (compile-time bias + param_sweep re-biases).
   /// 0 on linear handles. Monotonic.
   std::uint64_t op_solves = 0;
+  /// Accepted time steps integrated by transient() requests on this handle
+  /// (computed runs only — cache hits do not re-count). Monotonic.
+  std::uint64_t transient_steps = 0;
+  /// Transient step candidates the LTE controller rejected and retried in a
+  /// smaller step bucket. Monotonic.
+  std::uint64_t lte_rejections = 0;
 };
 
 /// A compiled circuit: immutable shared state plus internally synchronized
@@ -207,6 +213,15 @@ class Service {
   /// as kNoConvergence or kSingularSystem, never here.
   [[nodiscard]] Result<OpResponse> op(const CircuitHandle& handle,
                                       const OpRequest& request) const;
+
+  /// Time-domain integration over [0, tstop]. No auto_linearize gate: the
+  /// integrator runs the handle's large-signal circuit directly (devices get
+  /// a warm-started Newton iteration per step). Small responses are memoized
+  /// like the other request types; big waveforms are recomputed
+  /// bit-identically instead of pinned in the LRU. Errors: kInvalidArgument
+  /// (bad tstop/tstep), kSingularSystem, kNoConvergence, kCancelled.
+  [[nodiscard]] Result<TransientResponse> transient(const CircuitHandle& handle,
+                                                    const TransientRequest& request) const;
 
   /// Many refgen items against one handle, shared-nothing in parallel.
   /// The call itself only fails for an invalid handle; per-item failures

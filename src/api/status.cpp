@@ -10,6 +10,7 @@
 #include "sparse/lu.h"
 #include "support/cancellation.h"
 #include "symbolic/errors.h"
+#include "transient/transient.h"
 
 namespace symref::api {
 
@@ -76,6 +77,8 @@ Status status_from_current_exception() noexcept {
   } catch (const sparse::RefusedReplayError& e) {
     return Status::error(StatusCode::kRefusedReplay, e.what());
   } catch (const dc::NoConvergenceError& e) {
+    return Status::error(StatusCode::kNoConvergence, e.what());
+  } catch (const transient::NoConvergenceError& e) {
     return Status::error(StatusCode::kNoConvergence, e.what());
   } catch (const support::CancelledError& e) {
     return Status::error(StatusCode::kCancelled, e.what());

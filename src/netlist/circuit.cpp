@@ -40,6 +40,37 @@ bool is_ground_name(std::string_view name) noexcept {
 }
 }  // namespace
 
+double Waveform::value_at(double t, double dc) const noexcept {
+  switch (kind) {
+    case WaveformKind::kDc:
+      return dc;
+    case WaveformKind::kPulse: {
+      double tp = t - delay;
+      if (tp < 0.0) return v1;
+      if (period > 0.0) tp = std::fmod(tp, period);
+      if (tp < rise) {
+        // rise == 0 never reaches here (tp < 0 is impossible after the
+        // clamp), so the edge is instantaneous.
+        return v1 + (v2 - v1) * (tp / rise);
+      }
+      tp -= rise;
+      if (width > 0.0 && tp >= width) {
+        tp -= width;
+        if (tp < fall) return v2 + (v1 - v2) * (tp / fall);
+        return v1;
+      }
+      return v2;  // width == 0: hold the pulsed level for the rest
+    }
+    case WaveformKind::kSin: {
+      const double tp = t - delay;
+      if (tp < 0.0) return v1;
+      const double envelope = damping > 0.0 ? std::exp(-tp * damping) : 1.0;
+      return v1 + v2 * envelope * std::sin(2.0 * 3.141592653589793238462643 * frequency * tp);
+    }
+  }
+  return dc;
+}
+
 Circuit::Circuit() {
   node_names_.emplace_back("0");
   alias_.push_back(0);
@@ -316,6 +347,34 @@ const Element* Circuit::find_element(std::string_view name) const noexcept {
     if (e.name == name) return &e;
   }
   return nullptr;
+}
+
+Element* Circuit::mutable_element(std::string_view name) noexcept {
+  for (Element& e : elements_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+void Circuit::set_initial_condition(std::string_view node_name, double volts) {
+  if (!std::isfinite(volts)) {
+    throw std::invalid_argument(".ic: non-finite voltage for node '" + std::string(node_name) +
+                                "'");
+  }
+  const std::optional<int> index = find_node(node_name);
+  if (!index.has_value()) {
+    throw std::invalid_argument(".ic: unknown node '" + std::string(node_name) + "'");
+  }
+  if (*index == 0) {
+    throw std::invalid_argument(".ic: cannot set ground node '" + std::string(node_name) + "'");
+  }
+  for (auto& [node, value] : initial_conditions_) {
+    if (node == *index) {
+      value = volts;
+      return;
+    }
+  }
+  initial_conditions_.emplace_back(*index, volts);
 }
 
 bool Circuit::remove_element(std::string_view name) {

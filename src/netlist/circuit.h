@@ -75,6 +75,11 @@ class Circuit {
 
   [[nodiscard]] const Element* find_element(std::string_view name) const noexcept;
 
+  /// Mutable element lookup (e.g. to attach a transient Waveform to a parsed
+  /// source). Node/name edits must go through the dedicated editing
+  /// operations; nullptr when absent.
+  [[nodiscard]] Element* mutable_element(std::string_view name) noexcept;
+
   /// Remove (open-circuit) an element. Returns false if absent.
   bool remove_element(std::string_view name);
 
@@ -111,6 +116,19 @@ class Circuit {
 
   [[nodiscard]] const Device* find_device(std::string_view name) const noexcept;
 
+  // --- Initial conditions (.ic) ---------------------------------------------
+
+  /// Pin a node's voltage at t = 0 for transient analysis (the `.ic`
+  /// directive). Overrides the bias solution for that node; repeated
+  /// settings of the same node keep the last value. Throws
+  /// std::invalid_argument for ground or an unknown node.
+  void set_initial_condition(std::string_view node_name, double volts);
+
+  /// (node index, volts) pairs in first-set order.
+  [[nodiscard]] const std::vector<std::pair<int, double>>& initial_conditions() const noexcept {
+    return initial_conditions_;
+  }
+
   // --- Statistics (scale-factor heuristics, §3.2) ---------------------------
 
   /// All capacitor values, in farads.
@@ -135,6 +153,7 @@ class Circuit {
   std::vector<int> alias_;
   std::vector<Element> elements_;
   std::vector<Device> devices_;
+  std::vector<std::pair<int, double>> initial_conditions_;
 };
 
 }  // namespace symref::netlist

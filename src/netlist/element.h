@@ -26,6 +26,40 @@ enum class ElementKind {
 /// Human-readable kind name ("resistor", "vccs", ...).
 const char* kind_name(ElementKind kind) noexcept;
 
+/// Time-domain shape of an independent source (transient analysis). A source
+/// without an explicit waveform holds its DC level for all t; PULSE and SIN
+/// follow the SPICE card semantics.
+enum class WaveformKind {
+  kDc,     // constant at Element::dc_value
+  kPulse,  // PULSE(v1 v2 td tr tf pw per)
+  kSin,    // SIN(vo va freq td theta)
+};
+
+struct Waveform {
+  WaveformKind kind = WaveformKind::kDc;
+
+  // PULSE: v1 = initial level, v2 = pulsed level. SIN: v1 = offset vo,
+  // v2 = amplitude va.
+  double v1 = 0.0;
+  double v2 = 0.0;
+  /// Both: delay td before the waveform starts (holds v1 / vo until then).
+  double delay = 0.0;
+
+  // PULSE only.
+  double rise = 0.0;    // tr: 0 = instantaneous edge
+  double fall = 0.0;    // tf
+  double width = 0.0;   // pw: 0 = holds v2 until fall of the period
+  double period = 0.0;  // per: 0 = single pulse
+
+  // SIN only.
+  double frequency = 0.0;  // hertz
+  double damping = 0.0;    // theta: exp(-(t - td) * theta) envelope
+
+  /// Source level at time t (seconds). kDc returns `dc`, the element's bias
+  /// level — callers pass Element::dc_value.
+  [[nodiscard]] double value_at(double t, double dc) const noexcept;
+};
+
 struct Element {
   ElementKind kind = ElementKind::Resistor;
   std::string name;
@@ -46,6 +80,16 @@ struct Element {
   /// it. `value` stays the AC magnitude, so pre-existing linear netlists
   /// keep their meaning unchanged.
   double dc_value = 0.0;
+
+  /// Independent sources only: time-domain shape for transient analysis
+  /// (kDc = hold dc_value). Ignored by the DC and AC engines.
+  Waveform waveform;
+
+  /// Source level at time t: the waveform when one was given, dc_value
+  /// otherwise.
+  [[nodiscard]] double transient_value(double t) const noexcept {
+    return waveform.value_at(t, dc_value);
+  }
 
   [[nodiscard]] bool is_controlled() const noexcept {
     return kind == ElementKind::Vccs || kind == ElementKind::Vcvs ||

@@ -295,6 +295,15 @@ class Elaborator {
       dispatch(line, /*prefix=*/"", /*port_map=*/{}, global, /*lexical_def=*/-1,
                /*top_level=*/true);
     }
+    // `.ic` cards apply once every element (and with it every node) exists,
+    // so a directive written above the cards it names still works.
+    for (const PendingIc& ic : pending_ics_) {
+      try {
+        circuit_.set_initial_condition(ic.node, ic.volts);
+      } catch (const std::invalid_argument& e) {
+        throw ParseError(ic.pos.line, ic.pos.column, e.what());
+      }
+    }
     return std::move(circuit_);
   }
 
@@ -348,6 +357,109 @@ class Elaborator {
         value = eval_value(assignment->value, assignment->pos, scope);
       }
       scope.values[assignment->name] = value;  // later .param of the same name wins
+    }
+  }
+
+  /// Transient source shape: `PULSE(v1 v2 td tr tf pw per)` or
+  /// `SIN(vo va freq td theta)`. `(` is not tokenizer-special, so the group
+  /// arrives as several tokens (`pulse(0`, `1`, ..., `10u)`); this scans
+  /// forward until the closing `)`, advancing *index past the group.
+  Waveform parse_source_waveform(const LogicalLine& line, std::size_t* index, const Scope& scope,
+                                 WaveformKind kind) {
+    std::vector<double> args;
+    bool closed = false;
+    auto push_arg = [&](std::string text, TokenPos pos) {
+      if (!text.empty() && text.back() == ')') {
+        closed = true;
+        text.pop_back();
+      }
+      if (!text.empty()) args.push_back(eval_value(text, pos, scope));
+    };
+
+    const std::string& head = line.tokens[*index];
+    const std::size_t open = head.find('(');
+    if (open != std::string::npos) {
+      push_arg(head.substr(open + 1),
+               {line.pos[*index].line, line.pos[*index].column + static_cast<int>(open) + 1});
+    }
+    std::size_t t = *index;
+    while (!closed) {
+      ++t;
+      if (t >= line.tokens.size()) {
+        throw line.error(*index, "'" + head + "': missing ')'");
+      }
+      std::string text = line.tokens[t];
+      TokenPos pos = line.pos[t];
+      if (!text.empty() && text.front() == '(') {
+        text.erase(0, 1);
+        ++pos.column;
+      }
+      push_arg(std::move(text), pos);
+    }
+    *index = t;
+
+    Waveform w;
+    w.kind = kind;
+    auto arg = [&](std::size_t i, double fallback) { return i < args.size() ? args[i] : fallback; };
+    if (kind == WaveformKind::kPulse) {
+      if (args.size() < 2 || args.size() > 7) {
+        throw line.error(*index, "PULSE needs 2..7 arguments (v1 v2 td tr tf pw per)");
+      }
+      w.v1 = args[0];
+      w.v2 = args[1];
+      w.delay = arg(2, 0.0);
+      w.rise = arg(3, 0.0);
+      w.fall = arg(4, 0.0);
+      w.width = arg(5, 0.0);
+      w.period = arg(6, 0.0);
+      for (const double d : {w.delay, w.rise, w.fall, w.width, w.period}) {
+        if (d < 0.0) throw line.error(*index, "PULSE timing arguments must be >= 0");
+      }
+      if (w.period > 0.0 && w.period < w.rise + w.width + w.fall) {
+        throw line.error(*index, "PULSE period shorter than rise + width + fall");
+      }
+    } else {
+      if (args.size() < 3 || args.size() > 5) {
+        throw line.error(*index, "SIN needs 3..5 arguments (vo va freq td theta)");
+      }
+      w.v1 = args[0];
+      w.v2 = args[1];
+      w.frequency = args[2];
+      w.delay = arg(3, 0.0);
+      w.damping = arg(4, 0.0);
+      if (w.frequency <= 0.0) throw line.error(*index, "SIN frequency must be > 0");
+      if (w.delay < 0.0 || w.damping < 0.0) {
+        throw line.error(*index, "SIN delay and damping must be >= 0");
+      }
+    }
+    return w;
+  }
+
+  /// `.ic v(node)=volts ...` (bare `node=volts` also accepted). Application
+  /// is deferred to the end of run() so directive order does not matter.
+  void do_ic(const LogicalLine& line, const std::map<std::string, std::string>& port_map,
+             const std::string& prefix, const Scope& scope) {
+    if (line.tokens.size() < 2) throw line.error(0, ".ic needs v(node)=value assignments");
+    for (std::size_t t = 1; t < line.tokens.size(); ++t) {
+      const std::string& token = line.tokens[t];
+      const auto eq = token.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+        throw line.error(t, "'" + token + "' is not a v(node)=value assignment");
+      }
+      std::string target = token.substr(0, eq);
+      int name_offset = 0;
+      const std::string lowered = to_lower(target);
+      if (lowered.size() > 2 && lowered.rfind("v(", 0) == 0 && lowered.back() == ')') {
+        target = target.substr(2, target.size() - 3);
+        name_offset = 2;
+      }
+      if (target.empty()) throw line.error(t, "'" + token + "': empty node name");
+      const TokenPos value_pos = {line.pos[t].line,
+                                  line.pos[t].column + static_cast<int>(eq) + 1};
+      const double volts = eval_value(token.substr(eq + 1), value_pos, scope);
+      pending_ics_.push_back({resolve_node(target, port_map, prefix),
+                              volts,
+                              {line.pos[t].line, line.pos[t].column + name_offset}});
     }
   }
 
@@ -419,6 +531,7 @@ class Elaborator {
         // card means what SPICE says it means.
         double magnitude = 1.0;
         double dc = 0.0;
+        Waveform waveform;
         for (std::size_t t = 3; t < line.tokens.size(); ++t) {
           const std::string word = to_lower(line.tokens[t]);
           if (word == "ac" || word == "dc") {
@@ -427,6 +540,11 @@ class Elaborator {
             }
             const double v = parse_value(line, ++t, scope);
             (word == "ac" ? magnitude : dc) = v;
+          } else if (word == "pulse" || word == "sin" || word.rfind("pulse(", 0) == 0 ||
+                     word.rfind("sin(", 0) == 0) {
+            waveform = parse_source_waveform(line, &t, scope,
+                                             word.rfind("sin", 0) == 0 ? WaveformKind::kSin
+                                                                       : WaveformKind::kPulse);
           } else {
             magnitude = parse_value(line, t, scope);
             dc = magnitude;
@@ -435,6 +553,7 @@ class Elaborator {
         Element& e = kind == 'v' ? circuit_.add_vsource(name, node(1), node(2), magnitude)
                                  : circuit_.add_isource(name, node(1), node(2), magnitude);
         e.dc_value = dc;
+        e.waveform = waveform;
         break;
       }
       case 'o':
@@ -531,6 +650,8 @@ class Elaborator {
           circuit_.title = title;
         } else if (head == ".param") {
           do_param(line, scope, top_level);
+        } else if (head == ".ic") {
+          do_ic(line, port_map, prefix, scope);
         } else if (head == ".ends") {
           throw line.error(0, "'.ends' without a matching '.subckt'");
         } else {
@@ -684,10 +805,17 @@ class Elaborator {
     instantiation_stack_.pop_back();
   }
 
+  struct PendingIc {
+    std::string node;
+    double volts = 0.0;
+    TokenPos pos;
+  };
+
   const TemplateImpl& tpl_;
   std::map<std::string, double> overrides_;  // lowercased keys
   Circuit circuit_;
   std::vector<int> instantiation_stack_;  // active definition indices
+  std::vector<PendingIc> pending_ics_;    // applied after the element cards
 };
 
 }  // namespace

@@ -38,6 +38,12 @@
 //   --mc-samples=N --seed=S                Monte-Carlo sample count / seed
 //   --probe=f_start:f_stop[:pts_per_dec]   per-sample probe frequency grid
 //                                          of a parameter sweep
+//   --tran=tstop[:tstep[:method[:fixed]]]  transient analysis over [0, tstop]
+//                                          (method: trap|bdf1|bdf2; "fixed"
+//                                          disables the LTE step control;
+//                                          needs no ports; runs the
+//                                          large-signal netlist directly —
+//                                          no --auto-linearize required)
 //   --simplify                             reference-driven symbolic
 //                                          simplification request
 //   --error-budget=E                       simplify: certified max relative
@@ -183,6 +189,38 @@ bool parse_sweep_range(const std::string& text, symref::api::SweepRequest* sweep
   return true;
 }
 
+/// "1m", "1m:5u", "1m:5u:bdf2" or "1m:5u:trap:fixed" -> transient request.
+bool parse_tran(const std::string& text, symref::api::TransientRequest* tran) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream stream(text);
+  while (std::getline(stream, part, ':')) parts.push_back(part);
+  if (parts.empty() || parts.size() > 4) return false;
+  const auto tstop = symref::numeric::parse_engineering(parts[0]);
+  if (!tstop) return false;
+  tran->tstop = *tstop;
+  if (parts.size() >= 2 && !parts[1].empty()) {
+    const auto tstep = symref::numeric::parse_engineering(parts[1]);
+    if (!tstep) return false;
+    tran->tstep = *tstep;
+  }
+  if (parts.size() >= 3 && !parts[2].empty()) {
+    try {
+      tran->method = symref::transient::method_from_name(parts[2]);
+    } catch (const std::invalid_argument&) {
+      return false;
+    }
+  }
+  if (parts.size() == 4) {
+    if (parts[3] == "fixed") {
+      tran->adaptive = false;
+    } else if (parts[3] != "adaptive") {
+      return false;
+    }
+  }
+  return true;
+}
+
 /// "10:1e3" or "10:1e3:9" -> simplify band (third field = total points).
 bool parse_band(const std::string& text, symref::api::SimplifyRequest* simplify) {
   std::vector<std::string> parts;
@@ -264,7 +302,8 @@ void print_usage() {
       stderr,
       "usage: refgen <netlist-file> [--in=<node> --out=<node>] [requests] [options]\n"
       "  requests: [--refgen] [--sweep=f0:f1[:ppd]] [--poles] [--requests=file.json]\n"
-      "            [--op] [--simplify [--error-budget=E] [--band=f0:f1[:points]]]\n"
+      "            [--op] [--tran=tstop[:tstep[:method[:fixed]]]]\n"
+      "            [--simplify [--error-budget=E] [--band=f0:f1[:points]]]\n"
       "  param sweeps: [--sweep-param=name:from:to:count[:log],...]\n"
       "            [--mc-param=name:nominal:rel_sigma[:uniform],...]\n"
       "            [--mc-samples=N] [--seed=S] [--probe=f0:f1[:ppd]]\n"
@@ -373,6 +412,49 @@ void print_op_text(const symref::api::OpResponse& response) {
       }
       std::printf("\n");
     }
+  }
+}
+
+void print_transient_text(const symref::api::TransientResponse& response) {
+  const auto& result = response.result;
+  std::fprintf(stderr,
+               "transient: %d steps (%d LTE rejections), %d step bucket%s, "
+               "%llu fresh factorization%s, %d Newton iterations, %.1f ms%s%s\n",
+               result.steps, result.lte_rejections, result.step_size_buckets,
+               result.step_size_buckets == 1 ? "" : "s",
+               static_cast<unsigned long long>(result.fresh_factorizations),
+               result.fresh_factorizations == 1 ? "" : "s", result.newton_iterations,
+               result.seconds * 1e3, result.degraded ? " (degraded)" : "",
+               response.from_cache ? " (cached)" : "");
+  const std::size_t columns =
+      result.node_names.size() < 6 ? result.node_names.size() : std::size_t{6};
+  std::printf("\n%-12s", "t[s]");
+  for (std::size_t j = 0; j < columns; ++j) {
+    std::printf("  %14s", ("v(" + result.node_names[j] + ")").c_str());
+  }
+  std::printf("\n");
+  // Decimated table: at most ~32 rows, the final point always included.
+  const std::size_t rows = result.times.size();
+  const std::size_t stride = rows <= 33 ? 1 : (rows - 1 + 31) / 32;
+  std::size_t last_printed = 0;
+  for (std::size_t k = 0; k < rows; k += stride) {
+    std::printf("%-12.5g", result.times[k]);
+    for (std::size_t j = 0; j < columns; ++j) {
+      std::printf("  %14.6g", result.states[k][j]);
+    }
+    std::printf("\n");
+    last_printed = k;
+  }
+  if (rows > 0 && last_printed != rows - 1) {
+    const std::size_t k = rows - 1;
+    std::printf("%-12.5g", result.times[k]);
+    for (std::size_t j = 0; j < columns; ++j) {
+      std::printf("  %14.6g", result.states[k][j]);
+    }
+    std::printf("\n");
+  }
+  if (columns < result.node_names.size()) {
+    std::printf("   ... %zu more nodes (use --json)\n", result.node_names.size() - columns);
   }
 }
 
@@ -626,7 +708,7 @@ int main(int argc, char** argv) {
       argc, argv,
       {"in", "out", "in-neg", "out-neg", "sigma", "max-iterations", "threads", "kernel",
        "sweep", "sweep-param", "mc-param", "mc-samples", "seed", "probe", "requests", "json",
-       "name", "timeout", "connect", "retry", "deadline-ms", "error-budget", "band"});
+       "name", "timeout", "connect", "retry", "deadline-ms", "error-budget", "band", "tran"});
   if (args.positional().empty()) {
     print_usage();
     return 2;
@@ -662,17 +744,32 @@ int main(int argc, char** argv) {
     }
     requests = parsed.take();
   } else {
-    // --op needs no transfer ports — an op-only session is legal on a bare
-    // deck; every other flag-built request needs --in/--out.
+    // --op and --tran need no transfer ports — an op-only or transient-only
+    // session is legal on a bare deck; every other flag-built request needs
+    // --in/--out.
     const bool want_op = args.has("op");
+    const bool want_tran = args.has("tran");
     if (want_op) {
       AnyRequest request;
       request.type = AnyRequest::Type::kOp;
       request.op.threads = args.get_int("threads", 1);
       requests.push_back(std::move(request));
     }
+    if (want_tran) {
+      AnyRequest request;
+      request.type = AnyRequest::Type::kTransient;
+      request.transient.threads = args.get_int("threads", 1);
+      if (!parse_tran(args.get("tran"), &request.transient)) {
+        std::fprintf(stderr,
+                     "error: bad --tran '%s' (want tstop[:tstep[:method[:fixed]]], "
+                     "method trap|bdf1|bdf2)\n",
+                     args.get("tran").c_str());
+        return 2;
+      }
+      requests.push_back(std::move(request));
+    }
     if (!args.has("in") || !args.has("out")) {
-      if (!want_op) {
+      if (!want_op && !want_tran) {
         print_usage();
         return 2;
       }
@@ -700,7 +797,7 @@ int main(int argc, char** argv) {
         return 2;
       }
       if (args.has("refgen") || (!want_sweep && !want_poles && !want_param_sweep &&
-                                 !want_simplify && !want_op)) {
+                                 !want_simplify && !want_op && !want_tran)) {
         AnyRequest request;
         request.type = AnyRequest::Type::kRefgen;
         request.refgen = {spec, options};
@@ -816,7 +913,8 @@ int main(int argc, char** argv) {
             item.options.kernel = kernel;
           }
           break;
-        case AnyRequest::Type::kOp: break;  // bias is solved at compile
+        case AnyRequest::Type::kOp: break;       // bias is solved at compile
+        case AnyRequest::Type::kTransient: break;  // serial time stepping
       }
     }
   }
@@ -841,6 +939,8 @@ int main(int argc, char** argv) {
           }
           break;
         case AnyRequest::Type::kOp: break;  // op serves the bias itself
+        case AnyRequest::Type::kTransient:
+          break;  // transient always runs the large-signal netlist
       }
     }
   }
@@ -904,6 +1004,7 @@ int main(int argc, char** argv) {
           request.simplify.options.engine.cancel = token;
           break;
         case AnyRequest::Type::kOp: request.op.cancel = token; break;
+        case AnyRequest::Type::kTransient: request.transient.cancel = token; break;
       }
     }
     watchdog = std::make_unique<Watchdog>(seconds, timeout_source);
@@ -1012,6 +1113,17 @@ int main(int argc, char** argv) {
           if (!json_mode) print_op_text(response.value());
         } else {
           payload = symref::api::error_response("op", status);
+        }
+        break;
+      }
+      case AnyRequest::Type::kTransient: {
+        const auto response = service.transient(handle, request.transient);
+        status = response.status();
+        if (response.ok()) {
+          payload = symref::api::to_json(response.value());
+          if (!json_mode) print_transient_text(response.value());
+        } else {
+          payload = symref::api::error_response("transient", status);
         }
         break;
       }

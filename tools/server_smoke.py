@@ -3,7 +3,9 @@
 
 Usage: server_smoke.py <refgend> <refgen> <netlist>
 
-Five scenarios, all against the bundled netlist:
+Seven scenarios, all against the bundled netlist (the transient scenario
+builds its own small nonlinear deck — the bundled models have no
+time-varying sources):
   1. Four CONCURRENT stdio-scripted sessions (one refgend process each):
      compile + submit(progress) + wait + shutdown. Validates the JSON
      event-stream shape and that every session's reference payload is
@@ -20,7 +22,11 @@ Five scenarios, all against the bundled netlist:
      a direct 1-thread scalar refgen --simplify CLI run, certificate under
      budget. Runs on the reduced ua741_core.cir next to the netlist (the
      full model is not sparsely representable at a 1% budget).
-  6. Crash-safe reference store: a daemon with --store is killed with
+  6. A transient job (nonlinear peak detector, fixed-step trapezoidal) on
+     the daemon whose hex-float waveform points are byte-identical to a
+     direct refgen --tran CLI run, with the step-bucket plan probe
+     (fresh_factorizations == 3) asserted on both sides.
+  7. Crash-safe reference store: a daemon with --store is killed with
      SIGKILL (no shutdown, no flush) right after its result lands on disk;
      a restarted daemon sharing the store dir must reply "stored": true
      with a result byte-identical to the pre-crash response. A corrupted
@@ -271,7 +277,61 @@ def main():
           f"{result['enumerated_terms']} terms certified at 1% on the daemon, "
           f"byte-identical to the direct scalar run")
 
-    # --- 6. Crash-safe store: kill -9, restart, byte-identical replay ------
+    # --- 6. transient: daemon vs direct CLI, byte-identical waveform --------
+    # Serial time stepping with shared-nothing per-request solvers: the
+    # daemon's hex-float point array must match the direct run byte for
+    # byte, and both sides must report the step-bucket replay contract
+    # (bias + consistent init + ONE bucket plan = 3 fresh factorizations).
+    tran_netlist = (
+        "* peak detector\n"
+        ".model dfast d is=1e-14 n=1\n"
+        "vin in 0 dc 0 sin(0 5 1k)\n"
+        "rs in a 10\n"
+        "d1 a out dfast\n"
+        "c1 out 0 1u\n"
+        "rbleed out 0 100k\n"
+        ".end\n")
+    with tempfile.NamedTemporaryFile(
+            "w", suffix=".cir", delete=False) as handle:
+        handle.write(tran_netlist)
+        tran_path = handle.name
+    try:
+        direct = subprocess.run(
+            [refgen, tran_path, "--tran=2m:4u:trap:fixed", "--threads=1",
+             "--json=-"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert direct.returncode == 0, direct.stderr
+        direct_tran = json.loads(direct.stdout)["responses"][0]
+        assert direct_tran["status"]["code"] == "ok", direct_tran
+        assert direct_tran["fresh_factorizations"] == 3, direct_tran
+        assert direct_tran["newton_iterations"] > direct_tran["steps"]
+
+        tran_request = {"type": "transient", "tstop": 2e-3, "tstep": 4e-6,
+                        "method": "trap", "adaptive": False, "threads": 8}
+        tran_script = [
+            {"id": 1, "method": "compile", "params": {"netlist": tran_netlist}},
+            {"id": 2, "method": "submit",
+             "params": {"circuit_id": "c1", "request": tran_request}},
+            {"id": 3, "method": "wait", "params": {"job_id": "j1"}},
+            {"id": 4, "method": "shutdown"},
+        ]
+        messages = run_session(daemon, tran_script)
+        result = reply(messages, 3)["result"]
+        assert result["status"]["code"] == "ok", result
+        assert result["steps"] == 500 and len(result["points"]) == 501, result
+        assert result["step_size_buckets"] == 1
+        assert result["fresh_factorizations"] == 3, result["fresh_factorizations"]
+        got = json.dumps(result["points"], sort_keys=True)
+        want = json.dumps(direct_tran["points"], sort_keys=True)
+        assert got == want, "daemon transient differs from the direct CLI run"
+        print(f"transient OK: {int(result['steps'])} steps on the daemon "
+              f"byte-identical to the direct run, one bucket plan, "
+              f"{result['newton_iterations']} Newton iterations")
+    finally:
+        os.unlink(tran_path)
+
+    # --- 7. Crash-safe store: kill -9, restart, byte-identical replay ------
     chaos = bool(os.environ.get("REFGEN_CHAOS"))
     chaos_env = None
     if chaos:
